@@ -1,0 +1,52 @@
+// Falsification bench (DESIGN.md §5): BASM's edge over a static model must
+// come from the spatiotemporal modulation planted in the data. Sweeping the
+// generator's modulation amplitude (0 = every context identical, 1 = default,
+// 1.5 = stronger drift) should show the BASM-vs-DIN AUC gap growing with the
+// amplitude and vanishing at zero.
+
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/table_printer.h"
+#include "data/synth.h"
+#include "models/model_zoo.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace basm;
+  uint64_t seed = static_cast<uint64_t>(basm::EnvInt("BASM_SEED", 42));
+  std::printf("[ablation] data modulation sweep (BASM vs DIN)\n\n");
+
+  TablePrinter table(
+      {"Modulation", "DIN AUC", "BASM AUC", "Gap", "DIN TAUC", "BASM TAUC"});
+  for (float scale : {0.0f, 1.0f, 1.5f}) {
+    data::SynthConfig config = data::SynthConfig::Eleme();
+    if (basm::FastMode()) config = config.Fast();
+    config.tp_modulation *= scale;
+    config.city_modulation *= scale;
+    data::Dataset ds = data::GenerateDataset(config);
+
+    train::TrainConfig tc;
+    tc.epochs = basm::FastMode() ? 1 : 2;
+    auto din = models::CreateModel(models::ModelKind::kDin, ds.schema, seed);
+    train::Fit(*din, ds, tc);
+    train::EvalResult din_eval = train::EvaluateOnTest(*din, ds);
+
+    auto basm_model =
+        models::CreateModel(models::ModelKind::kBasm, ds.schema, seed);
+    train::Fit(*basm_model, ds, tc);
+    train::EvalResult basm_eval = train::EvaluateOnTest(*basm_model, ds);
+
+    table.AddRow({TablePrinter::Num(scale, 1),
+                  TablePrinter::Num(din_eval.summary.auc),
+                  TablePrinter::Num(basm_eval.summary.auc),
+                  TablePrinter::Num(basm_eval.summary.auc -
+                                    din_eval.summary.auc),
+                  TablePrinter::Num(din_eval.summary.tauc),
+                  TablePrinter::Num(basm_eval.summary.tauc)});
+    std::printf("  finished modulation x%.1f\n", scale);
+  }
+  table.Print();
+  std::printf("\n(expect the BASM-DIN gap to grow with modulation)\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+#ifndef BASM_BENCH_BENCH_UTIL_H_
+#define BASM_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/ascii_chart.h"
+#include "analysis/tsne.h"
+#include "common/env.h"
+#include "core/basm_model.h"
+#include "data/batch.h"
+#include "data/synth.h"
+#include "train/trainer.h"
+
+namespace basm::bench {
+
+/// Trains a full BASM on the Ele.me-like dataset (shared recipe of the
+/// alpha-heatmap and t-SNE figure benches).
+struct TrainedBasm {
+  data::Dataset dataset;
+  std::unique_ptr<core::Basm> model;
+};
+
+inline TrainedBasm TrainBasmOnEleme(uint64_t seed) {
+  data::SynthConfig config = data::SynthConfig::Eleme();
+  if (basm::FastMode()) config = config.Fast();
+  TrainedBasm out;
+  out.dataset = data::GenerateDataset(config);
+  Rng rng(seed);
+  out.model = std::make_unique<core::Basm>(out.dataset.schema,
+                                           core::BasmConfig::Full(), rng);
+  train::TrainConfig tc;
+  tc.epochs = basm::FastMode() ? 1 : 2;
+  std::printf("  training BASM (%zu impressions)...\n",
+              out.dataset.examples.size());
+  train::Fit(*out.model, out.dataset, tc);
+  return out;
+}
+
+/// Runs the model over the test split in eval mode and accumulates the mean
+/// StAEL alpha per (group, field), where `group_of` maps an example to its
+/// group id (time-period or city).
+template <typename GroupFn>
+std::map<int32_t, std::vector<double>> CollectAlphaByGroup(
+    core::Basm& model, const data::Dataset& dataset, GroupFn group_of,
+    int64_t batch_size = 512) {
+  model.SetTraining(false);
+  auto test = dataset.TestExamples();
+  std::map<int32_t, std::vector<double>> sums;
+  std::map<int32_t, int64_t> counts;
+  const int64_t num_fields = 5;
+  for (size_t start = 0; start < test.size();
+       start += static_cast<size_t>(batch_size)) {
+    size_t end =
+        std::min(test.size(), start + static_cast<size_t>(batch_size));
+    std::vector<const data::Example*> slice(test.begin() + start,
+                                            test.begin() + end);
+    data::Batch batch = data::MakeBatch(slice, dataset.schema);
+    model.ForwardLogits(batch);
+    const Tensor& alphas = model.last_alphas();
+    for (size_t i = 0; i < slice.size(); ++i) {
+      int32_t g = group_of(*slice[i]);
+      auto& sum = sums[g];
+      if (sum.empty()) sum.assign(num_fields, 0.0);
+      for (int64_t j = 0; j < num_fields; ++j) {
+        sum[j] += alphas.at(static_cast<int64_t>(i), j);
+      }
+      counts[g]++;
+    }
+  }
+  for (auto& [g, sum] : sums) {
+    for (double& v : sum) v /= static_cast<double>(counts[g]);
+  }
+  return sums;
+}
+
+/// t-SNE embedding of a model's final representations over the first
+/// `max_points` test examples, grouped by time-period or city.
+struct EmbeddedReps {
+  Tensor points;                // [n, 2]
+  std::vector<int32_t> groups;  // group id per point
+};
+
+inline EmbeddedReps EmbedRepresentations(models::CtrModel& model,
+                                         const data::Dataset& dataset,
+                                         int64_t max_points, bool by_city) {
+  model.SetTraining(false);
+  auto test = dataset.TestExamples();
+  int64_t n =
+      std::min<int64_t>(max_points, static_cast<int64_t>(test.size()));
+  std::vector<const data::Example*> slice(test.begin(), test.begin() + n);
+
+  std::vector<Tensor> chunks;
+  std::vector<int32_t> groups;
+  const int64_t kChunk = 256;
+  int64_t rep_dim = 0;
+  for (int64_t start = 0; start < n; start += kChunk) {
+    int64_t end = std::min(n, start + kChunk);
+    std::vector<const data::Example*> part(slice.begin() + start,
+                                           slice.begin() + end);
+    data::Batch batch = data::MakeBatch(part, dataset.schema);
+    Tensor rep = model.FinalRepresentation(batch).value();
+    rep_dim = rep.cols();
+    chunks.push_back(rep);
+    for (const auto* e : part) {
+      groups.push_back(by_city ? e->city : e->time_period);
+    }
+  }
+  Tensor all({n, rep_dim});
+  int64_t row = 0;
+  for (const Tensor& c : chunks) {
+    std::copy(c.data(), c.data() + c.numel(), all.data() + row * rep_dim);
+    row += c.rows();
+  }
+
+  analysis::TsneConfig config;
+  config.iterations = basm::FastMode() ? 150 : 350;
+  config.perplexity = 30.0;
+  EmbeddedReps out;
+  out.points = analysis::Tsne(config).Embed(all);
+  out.groups = std::move(groups);
+  return out;
+}
+
+/// Prints the scatter plot + separation metrics of one embedding.
+inline void ReportEmbedding(const char* title, const EmbeddedReps& e) {
+  std::vector<double> xs, ys;
+  std::vector<int> labels;
+  for (int64_t i = 0; i < e.points.dim(0); ++i) {
+    xs.push_back(e.points.at(i, 0));
+    ys.push_back(e.points.at(i, 1));
+    labels.push_back(e.groups[i]);
+  }
+  std::printf("\n%s\n%s", title,
+              analysis::ScatterPlot(xs, ys, labels).c_str());
+  std::printf("separation ratio %.3f, silhouette %.3f\n",
+              analysis::SeparationRatio(e.points, e.groups),
+              analysis::Silhouette(e.points, e.groups));
+}
+
+}  // namespace basm::bench
+
+#endif  // BASM_BENCH_BENCH_UTIL_H_

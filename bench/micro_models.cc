@@ -1,0 +1,91 @@
+// Microbenchmarks of full-model forward and forward+backward steps for every
+// model in the zoo at serving (64) and training (256) batch sizes — the
+// per-step view behind Table VI.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "data/batch.h"
+#include "data/synth.h"
+#include "models/model_zoo.h"
+
+namespace {
+
+using namespace basm;
+namespace ag = basm::autograd;
+
+const data::Dataset& SharedDataset() {
+  static const data::Dataset* dataset = [] {
+    data::SynthConfig c = data::SynthConfig::Eleme();
+    c.num_users = 500;
+    c.num_items = 300;
+    c.num_cities = 6;
+    c.requests_per_day = 60;
+    c.days = 2;
+    c.test_day = 1;
+    return new data::Dataset(data::GenerateDataset(c));
+  }();
+  return *dataset;
+}
+
+data::Batch MakeSharedBatch(int64_t batch_size) {
+  const data::Dataset& ds = SharedDataset();
+  auto train = ds.TrainExamples();
+  std::vector<const data::Example*> slice(
+      train.begin(), train.begin() + std::min<size_t>(batch_size,
+                                                      train.size()));
+  return data::MakeBatch(slice, ds.schema);
+}
+
+void BM_ModelForward(benchmark::State& state) {
+  auto kind = static_cast<models::ModelKind>(state.range(0));
+  int64_t batch_size = state.range(1);
+  auto model = models::CreateModel(kind, SharedDataset().schema, 42);
+  model->SetTraining(false);
+  data::Batch batch = MakeSharedBatch(batch_size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->ForwardLogits(batch).value().data());
+  }
+  state.SetLabel(models::ModelKindName(kind));
+  state.SetItemsProcessed(state.iterations() * batch.size);
+}
+
+void BM_ModelTrainStep(benchmark::State& state) {
+  auto kind = static_cast<models::ModelKind>(state.range(0));
+  auto model = models::CreateModel(kind, SharedDataset().schema, 42);
+  model->SetTraining(true);
+  data::Batch batch = MakeSharedBatch(256);
+  for (auto _ : state) {
+    ag::Variable loss =
+        ag::BceWithLogits(model->ForwardLogits(batch), batch.labels);
+    ag::Backward(loss);
+    model->ZeroGrad();
+  }
+  state.SetLabel(models::ModelKindName(kind));
+  state.SetItemsProcessed(state.iterations() * batch.size);
+}
+
+void RegisterAll() {
+  for (auto kind :
+       {models::ModelKind::kWideDeep, models::ModelKind::kDin,
+        models::ModelKind::kAutoInt, models::ModelKind::kStar,
+        models::ModelKind::kM2m, models::ModelKind::kApg,
+        models::ModelKind::kBasm, models::ModelKind::kBaseDin}) {
+    std::string name = models::ModelKindName(kind);
+    benchmark::RegisterBenchmark(("BM_Forward64/" + name).c_str(),
+                                 BM_ModelForward)
+        ->Args({static_cast<int64_t>(kind), 64});
+    benchmark::RegisterBenchmark(("BM_TrainStep256/" + name).c_str(),
+                                 BM_ModelTrainStep)
+        ->Args({static_cast<int64_t>(kind)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

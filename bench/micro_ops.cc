@@ -1,0 +1,128 @@
+// Microbenchmarks of the tensor kernels and autograd ops that dominate
+// training time: GEMM variants, batched matmul (attention / instance-wise
+// dynamic layers), embedding gather/scatter, softmax and the BN pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/batchnorm.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using namespace basm;
+namespace ag = basm::autograd;
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Normal({n, n}, 0, 1, rng);
+  Tensor b = Tensor::Normal({n, n}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulRect(benchmark::State& state) {
+  // The shape training actually uses: [batch, in] x [in, out].
+  Rng rng(2);
+  Tensor a = Tensor::Normal({256, 176}, 0, 1, rng);
+  Tensor b = Tensor::Normal({176, 64}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 256 * 176 * 64);
+}
+BENCHMARK(BM_MatMulRect);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  // Instance-wise dynamic linear: [B, out, in] x [B, in, 1].
+  Rng rng(3);
+  Tensor w = Tensor::Normal({256, 64, 64}, 0, 1, rng);
+  Tensor x = Tensor::Normal({256, 64, 1}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::BatchedMatMul(w, x));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 256 * 64 * 64);
+}
+BENCHMARK(BM_BatchedMatMul);
+
+void BM_AttentionScores(benchmark::State& state) {
+  // Q K^T over a behavior sequence: [B, 1, D] x [B, T, D]^T.
+  Rng rng(4);
+  Tensor q = Tensor::Normal({256, 1, 40}, 0, 1, rng);
+  Tensor k = Tensor::Normal({256, 12, 40}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::BatchedMatMulTransB(q, k));
+  }
+}
+BENCHMARK(BM_AttentionScores);
+
+void BM_RowSoftmax(benchmark::State& state) {
+  Rng rng(5);
+  Tensor a = Tensor::Normal({256, 64}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::RowSoftmax(a));
+  }
+}
+BENCHMARK(BM_RowSoftmax);
+
+void BM_EmbeddingLookupBackward(benchmark::State& state) {
+  // Gather + scatter-add of a sequence batch: 256 x 12 ids into [20k, 8].
+  Rng table_rng(6);
+  ag::Variable table =
+      ag::Variable::Leaf(Tensor::Normal({20000, 8}, 0, 0.05f, table_rng), true);
+  Rng rng(7);
+  std::vector<int32_t> ids(256 * 12);
+  for (auto& id : ids) id = static_cast<int32_t>(rng.NextUint64(20000));
+  for (auto _ : state) {
+    ag::Variable out = ag::EmbeddingLookup(table, ids);
+    ag::Backward(ag::SumAll(out));
+    table.ZeroGrad();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(ids.size()));
+}
+BENCHMARK(BM_EmbeddingLookupBackward);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  // One tower step at training batch size.
+  Rng rng(8);
+  ag::Variable w1 =
+      ag::Variable::Leaf(Tensor::Normal({176, 64}, 0, 0.1f, rng), true);
+  ag::Variable w2 =
+      ag::Variable::Leaf(Tensor::Normal({64, 32}, 0, 0.1f, rng), true);
+  ag::Variable w3 =
+      ag::Variable::Leaf(Tensor::Normal({32, 1}, 0, 0.1f, rng), true);
+  Tensor x = Tensor::Normal({256, 176}, 0, 1, rng);
+  Tensor y({256});
+  for (auto _ : state) {
+    ag::Variable h1 = ag::LeakyRelu(ag::MatMul(ag::Variable::Constant(x), w1));
+    ag::Variable h2 = ag::LeakyRelu(ag::MatMul(h1, w2));
+    ag::Variable logits = ag::Reshape(ag::MatMul(h2, w3), {256});
+    ag::Variable loss = ag::BceWithLogits(logits, y);
+    ag::Backward(loss);
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    w3.ZeroGrad();
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_BatchNormTrainStep(benchmark::State& state) {
+  Rng rng(9);
+  nn::BatchNorm1d bn(64);
+  bn.SetTraining(true);
+  Tensor x = Tensor::Normal({256, 64}, 0, 1, rng);
+  for (auto _ : state) {
+    ag::Variable out = bn.Forward(ag::Variable::Constant(x));
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+BENCHMARK(BM_BatchNormTrainStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

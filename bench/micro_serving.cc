@@ -1,0 +1,75 @@
+// Serving-latency microbenchmarks: one full pipeline request (feature fetch
+// -> recall -> batch scoring -> top-k) per model arm, plus the recall stage
+// alone — the RTP/TPP-side numbers behind the deployment section.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "data/synth.h"
+#include "models/model_zoo.h"
+#include "serving/feature_server.h"
+#include "serving/pipeline.h"
+#include "serving/recall.h"
+
+namespace {
+
+using namespace basm;
+
+const data::World& SharedWorld() {
+  static const data::World* world = [] {
+    data::SynthConfig c = data::SynthConfig::Eleme();
+    c.num_users = 1000;
+    c.num_items = 800;
+    c.num_cities = 8;
+    return new data::World(c);
+  }();
+  return *world;
+}
+
+void BM_RecallByCity(benchmark::State& state) {
+  serving::RecallIndex recall(SharedWorld());
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recall.RecallByCity(0, 24, rng));
+  }
+}
+BENCHMARK(BM_RecallByCity);
+
+void BM_RecallByGeohash(benchmark::State& state) {
+  const data::World& world = SharedWorld();
+  serving::RecallIndex recall(world);
+  Rng rng(2);
+  int32_t cell = world.item(0).geohash;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recall.RecallByGeohash(0, cell, 24, rng));
+  }
+}
+BENCHMARK(BM_RecallByGeohash);
+
+void BM_ServeRequest(benchmark::State& state) {
+  auto kind = static_cast<models::ModelKind>(state.range(0));
+  const data::World& world = SharedWorld();
+  serving::FeatureServer features(world, world.config().seq_len, 3);
+  serving::RecallIndex recall(world);
+  auto model = models::CreateModel(kind, world.schema(), 42);
+  model->SetTraining(false);
+  serving::Pipeline pipeline(world, &features, &recall, model.get(),
+                             /*recall_size=*/24, /*expose_k=*/8);
+  serving::Request req;
+  req.user_id = 5;
+  req.hour = 12;
+  req.city = world.user(5).city;
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.Serve(req, rng));
+  }
+  state.SetLabel(models::ModelKindName(kind));
+}
+BENCHMARK(BM_ServeRequest)
+    ->Arg(static_cast<int64_t>(models::ModelKind::kBaseDin))
+    ->Arg(static_cast<int64_t>(models::ModelKind::kBasm));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Reproduces Table III: basic statistics of both datasets (total size,
+// feature columns, users, items, clicks, mean behavior-sequence length).
+// The synthetic datasets are ratio-preserving scale-downs of the paper's:
+// the Ele.me-like set is denser in clicks and features than the public-like
+// set, which has more items relative to traffic.
+
+#include <cstdio>
+#include <set>
+
+#include "common/env.h"
+#include "common/table_printer.h"
+#include "data/synth.h"
+
+namespace {
+
+using namespace basm;
+
+struct Stats {
+  int64_t total = 0;
+  int64_t features = 0;
+  int64_t users = 0;
+  int64_t items = 0;
+  int64_t clicks = 0;
+  double mean_seq_len = 0.0;
+};
+
+Stats Collect(const data::Dataset& ds) {
+  Stats s;
+  s.total = static_cast<int64_t>(ds.examples.size());
+  s.features = ds.schema.NumFeatureColumns();
+  std::set<int32_t> users, items;
+  double seq_total = 0.0;
+  for (const auto& e : ds.examples) {
+    users.insert(e.user_id);
+    items.insert(e.item_id);
+    if (e.label > 0.5f) ++s.clicks;
+    seq_total += static_cast<double>(e.behaviors.size());
+  }
+  s.users = static_cast<int64_t>(users.size());
+  s.items = static_cast<int64_t>(items.size());
+  s.mean_seq_len = seq_total / static_cast<double>(s.total);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace basm;
+  std::printf("[table3] dataset statistics\n\n");
+  TablePrinter table({"Dataset", "TotalSize", "#FeatureCols", "#Vocab",
+                      "#Users", "#Items", "#Clicks", "CTR", "ML"});
+  for (auto config : {data::SynthConfig::Eleme(), data::SynthConfig::Public()}) {
+    if (basm::FastMode()) config = config.Fast();
+    data::Dataset ds = data::GenerateDataset(config);
+    Stats s = Collect(ds);
+    table.AddRow({ds.name, std::to_string(s.total),
+                  std::to_string(s.features),
+                  std::to_string(ds.schema.TotalVocab()),
+                  std::to_string(s.users), std::to_string(s.items),
+                  std::to_string(s.clicks),
+                  TablePrinter::Num(
+                      static_cast<double>(s.clicks) / s.total, 4),
+                  TablePrinter::Num(s.mean_seq_len, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\n(paper: Ele.me 2.38B rows / 417 features / 81M users; public set\n"
+      " 177M rows / 38 features / 14.4M users — same density contrasts at\n"
+      " 1e-4 scale)\n");
+  return 0;
+}

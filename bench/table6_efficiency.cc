@@ -1,0 +1,44 @@
+// Reproduces Table VI: training time per epoch and memory cost per model on
+// the Ele.me-like dataset. Time is measured over probe batches and
+// extrapolated to a full epoch; memory is parameters + optimizer state +
+// the forward/backward graph of one batch.
+//
+// Expected shape (paper): static models (Wide&Deep, DIN, AutoInt) are
+// cheapest; dynamic models cost more, with BASM cheaper than the other
+// dynamic-parameter models (STAR / M2M / APG) thanks to the low-rank
+// decomposition in StSTL.
+
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/table_printer.h"
+#include "data/synth.h"
+#include "models/model_zoo.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace basm;
+  data::SynthConfig config = data::SynthConfig::Eleme();
+  if (basm::FastMode()) config = config.Fast();
+  data::Dataset ds = data::GenerateDataset(config);
+  int64_t probe = basm::FastMode() ? 4 : 16;
+  std::printf("[table6] efficiency profile on %s (probe=%lld batches)\n\n",
+              ds.name.c_str(), static_cast<long long>(probe));
+
+  TablePrinter table({"Model", "Time/Epoch(s)", "Params", "ParamMB",
+                      "ActivationMB", "TotalMB"});
+  for (models::ModelKind kind : models::TableFourModels()) {
+    auto model = models::CreateModel(kind, ds.schema, 42);
+    train::EfficiencyReport r =
+        train::ProfileEfficiency(*model, ds, /*batch_size=*/256, probe);
+    auto mb = [](int64_t bytes) {
+      return TablePrinter::Num(static_cast<double>(bytes) / (1 << 20), 2);
+    };
+    table.AddRow({model->name(), TablePrinter::Num(r.seconds_per_epoch, 1),
+                  std::to_string(r.parameter_count), mb(r.parameter_bytes),
+                  mb(r.activation_bytes), mb(r.total_bytes)});
+    std::printf("  profiled %s\n", model->name().c_str());
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Building a custom CTR model on the library substrate: implement the
+// CtrModel interface with your own architecture and it plugs into the
+// trainer, the metrics, the efficiency profiler and the serving pipeline
+// unchanged. The model below is a compact "context-gated MLP" that reuses
+// the shared FeatureEncoder, LayerNorm and a sequence attention block.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/env.h"
+#include "data/synth.h"
+#include "models/ctr_model.h"
+#include "models/feature_encoder.h"
+#include "models/model_zoo.h"
+#include "nn/attention.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "serving/simulator.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace basm;
+namespace ag = basm::autograd;
+
+/// A minimal custom architecture: attention-pooled behaviors + all fields,
+/// LayerNorm instead of BatchNorm (serving-friendly), and one sigmoid gate
+/// from the context field scaling the hidden layer — a poor man's StABT.
+class ContextGatedMlp : public models::CtrModel {
+ public:
+  ContextGatedMlp(const data::Schema& schema, Rng& rng) {
+    encoder_ = std::make_unique<models::FeatureEncoder>(schema, 8, rng);
+    RegisterModule("encoder", encoder_.get());
+    attention_ =
+        std::make_unique<nn::TargetAttention>(encoder_->seq_dim(), 32, rng);
+    RegisterModule("attention", attention_.get());
+    hidden_ = std::make_unique<nn::Linear>(encoder_->concat_dim(), 64, rng);
+    RegisterModule("hidden", hidden_.get());
+    norm_ = std::make_unique<nn::LayerNorm>(64);
+    RegisterModule("norm", norm_.get());
+    gate_ = std::make_unique<nn::Linear>(encoder_->context_dim(), 64, rng);
+    RegisterModule("gate", gate_.get());
+    out_ = std::make_unique<nn::Linear>(64, 1, rng);
+    RegisterModule("out", out_.get());
+  }
+
+  ag::Variable ForwardLogits(const data::Batch& batch) override {
+    auto f = encoder_->Encode(batch);
+    ag::Variable interest =
+        attention_->Forward(f.query, f.seq, batch.seq_mask);
+    ag::Variable x =
+        ag::ConcatCols({f.user, interest, f.item, f.context, f.combine});
+    ag::Variable h = norm_->Forward(hidden_->Forward(x));
+    ag::Variable gate = ag::Sigmoid(gate_->Forward(f.context));
+    h = ag::LeakyRelu(ag::Mul(h, gate), 0.01f);
+    return ag::Reshape(out_->Forward(h), {batch.size});
+  }
+
+  std::string name() const override { return "ContextGatedMLP(custom)"; }
+
+ private:
+  std::unique_ptr<models::FeatureEncoder> encoder_;
+  std::unique_ptr<nn::TargetAttention> attention_;
+  std::unique_ptr<nn::Linear> hidden_;
+  std::unique_ptr<nn::LayerNorm> norm_;
+  std::unique_ptr<nn::Linear> gate_;
+  std::unique_ptr<nn::Linear> out_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace basm;
+  bool fast = basm::FastMode();
+  data::SynthConfig config = data::SynthConfig::Eleme();
+  config.num_users = 1200;
+  config.num_items = 700;
+  config.requests_per_day = fast ? 60 : 350;
+  config.days = 5;
+  config.test_day = 4;
+  data::Dataset dataset = data::GenerateDataset(config);
+
+  Rng rng(31);
+  ContextGatedMlp custom(dataset.schema, rng);
+  std::printf("custom model '%s': %lld parameters\n", custom.name().c_str(),
+              static_cast<long long>(custom.ParameterCount()));
+
+  // The standard trainer and evaluator work out of the box...
+  train::TrainConfig tc;
+  tc.epochs = fast ? 1 : 2;
+  train::Fit(custom, dataset, tc);
+  train::EvalResult eval = train::EvaluateOnTest(custom, dataset);
+  std::printf("AUC %.4f | TAUC %.4f | CAUC %.4f | LogLoss %.4f\n",
+              eval.summary.auc, eval.summary.tauc, eval.summary.cauc,
+              eval.summary.logloss);
+
+  // ...and so does the serving A/B harness against a zoo baseline.
+  auto din = models::CreateModel(models::ModelKind::kDin, dataset.schema, 31);
+  train::Fit(*din, dataset, tc);
+  data::World world(config);
+  serving::AbTestConfig ab;
+  ab.days = 3;
+  ab.requests_per_day = fast ? 40 : 150;
+  serving::OnlineSimulator sim(world, ab);
+  serving::AbTestResult result = sim.Run(*din, custom);
+  std::printf("A/B vs DIN: base CTR %.2f%%, custom CTR %.2f%% (%+.2f%%)\n",
+              100 * result.base.total.ctr(),
+              100 * result.treatment.total.ctr(),
+              100 * result.average_improvement);
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "analysis/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace basm::analysis {
+
+std::string BarChart(const std::vector<std::string>& labels,
+                     const std::vector<double>& values, int width,
+                     const std::string& unit) {
+  BASM_CHECK_EQ(labels.size(), values.size());
+  BASM_CHECK_GT(width, 0);
+  double mx = 0.0;
+  size_t label_width = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    BASM_CHECK_GE(values[i], 0.0);
+    mx = std::max(mx, values[i]);
+    label_width = std::max(label_width, labels[i].size());
+  }
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    int bar = mx > 0 ? static_cast<int>(std::lround(values[i] / mx * width))
+                     : 0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%10.4g%s", values[i], unit.c_str());
+    out += labels[i] + std::string(label_width - labels[i].size(), ' ') +
+           " |" + std::string(bar, '#') + std::string(width - bar, ' ') +
+           "|" + buf + "\n";
+  }
+  return out;
+}
+
+std::string Heatmap(const std::vector<std::string>& row_labels,
+                    const std::vector<std::string>& col_labels,
+                    const std::vector<std::vector<double>>& values,
+                    int cell_width) {
+  BASM_CHECK_EQ(row_labels.size(), values.size());
+  BASM_CHECK(!values.empty());
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kRampLen = 9;  // max index into kRamp
+
+  double mn = 1e300, mx = -1e300;
+  for (const auto& row : values) {
+    BASM_CHECK_EQ(row.size(), col_labels.size());
+    for (double v : row) {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+  }
+  double span = mx - mn;
+
+  size_t label_width = 0;
+  for (const auto& l : row_labels) label_width = std::max(label_width, l.size());
+
+  auto pad = [&](const std::string& s, size_t w) {
+    return s + std::string(w > s.size() ? w - s.size() : 0, ' ');
+  };
+
+  std::string out = std::string(label_width + 1, ' ');
+  for (const auto& c : col_labels) out += pad(c, cell_width);
+  out += "\n";
+  for (size_t r = 0; r < values.size(); ++r) {
+    out += pad(row_labels[r], label_width + 1);
+    for (size_t c = 0; c < values[r].size(); ++c) {
+      double norm = span > 0 ? (values[r][c] - mn) / span : 0.5;
+      char ch = kRamp[static_cast<int>(std::lround(norm * kRampLen))];
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%c%.3f", ch, values[r][c]);
+      out += pad(buf, cell_width);
+    }
+    out += "\n";
+  }
+  out += "(ramp: low '" + std::string(1, kRamp[0]) + "' ... high '" +
+         std::string(1, kRamp[kRampLen]) + "'; min=" +
+         std::to_string(mn) + " max=" + std::to_string(mx) + ")\n";
+  return out;
+}
+
+std::string ScatterPlot(const std::vector<double>& xs,
+                        const std::vector<double>& ys,
+                        const std::vector<int>& labels, int width,
+                        int height) {
+  BASM_CHECK_EQ(xs.size(), ys.size());
+  BASM_CHECK_EQ(xs.size(), labels.size());
+  BASM_CHECK(!xs.empty());
+  static const char kTags[] = "01234abcdefghij";
+
+  double xmin = xs[0], xmax = xs[0], ymin = ys[0], ymax = ys[0];
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xmin = std::min(xmin, xs[i]);
+    xmax = std::max(xmax, xs[i]);
+    ymin = std::min(ymin, ys[i]);
+    ymax = std::max(ymax, ys[i]);
+  }
+  double xs_span = std::max(xmax - xmin, 1e-12);
+  double ys_span = std::max(ymax - ymin, 1e-12);
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    int cx = static_cast<int>((xs[i] - xmin) / xs_span * (width - 1));
+    int cy = static_cast<int>((ys[i] - ymin) / ys_span * (height - 1));
+    int tag = labels[i] % static_cast<int>(sizeof(kTags) - 1);
+    grid[height - 1 - cy][cx] = kTags[tag];
+  }
+  std::string out = "+" + std::string(width, '-') + "+\n";
+  for (const auto& row : grid) out += "|" + row + "|\n";
+  out += "+" + std::string(width, '-') + "+\n";
+  return out;
+}
+
+}  // namespace basm::analysis

@@ -1,0 +1,32 @@
+#ifndef BASM_ANALYSIS_ASCII_CHART_H_
+#define BASM_ANALYSIS_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace basm::analysis {
+
+/// Horizontal bar chart; one row per label, bars scaled to `width` chars.
+/// Values must be non-negative.
+std::string BarChart(const std::vector<std::string>& labels,
+                     const std::vector<double>& values, int width = 50,
+                     const std::string& unit = "");
+
+/// Intensity heatmap rendered with the ' .:-=+*#%@' ramp, scaled to the
+/// min/max of `values` (row-major rows x cols). Used for the Fig 8/9
+/// alpha-weight heatmaps.
+std::string Heatmap(const std::vector<std::string>& row_labels,
+                    const std::vector<std::string>& col_labels,
+                    const std::vector<std::vector<double>>& values,
+                    int cell_width = 7);
+
+/// Scatter plot of 2-D points into a character grid; each point is drawn as
+/// the single-character class tag of its label. Used for the t-SNE figures.
+std::string ScatterPlot(const std::vector<double>& xs,
+                        const std::vector<double>& ys,
+                        const std::vector<int>& labels, int width = 78,
+                        int height = 24);
+
+}  // namespace basm::analysis
+
+#endif  // BASM_ANALYSIS_ASCII_CHART_H_

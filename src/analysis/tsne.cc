@@ -1,0 +1,241 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+
+namespace basm::analysis {
+
+namespace {
+
+/// Squared Euclidean distance matrix of [n,d] points.
+std::vector<double> PairwiseSq(const Tensor& x) {
+  int64_t n = x.dim(0), d = x.dim(1);
+  std::vector<double> dist(n * n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        double diff = x[i * d + k] - x[j * d + k];
+        acc += diff * diff;
+      }
+      dist[i * n + j] = acc;
+      dist[j * n + i] = acc;
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+Tsne::Tsne(TsneConfig config) : config_(config) {}
+
+Tensor Tsne::Embed(const Tensor& points) const {
+  BASM_CHECK_EQ(points.rank(), 2);
+  int64_t n = points.dim(0);
+  BASM_CHECK_GT(n, 4);
+  std::vector<double> dist = PairwiseSq(points);
+
+  // Per-point sigma by binary search on the entropy to hit the target
+  // perplexity; builds conditional probabilities p_{j|i}.
+  std::vector<double> p(n * n, 0.0);
+  double target_entropy = std::log(config_.perplexity);
+  for (int64_t i = 0; i < n; ++i) {
+    double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+    for (int iter = 0; iter < 60; ++iter) {
+      double sum = 0.0, dot = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        double pij = std::exp(-dist[i * n + j] * beta);
+        p[i * n + j] = pij;
+        sum += pij;
+        dot += dist[i * n + j] * pij;
+      }
+      if (sum <= 1e-300) {
+        beta /= 2.0;
+        beta_hi = beta * 4.0;
+        continue;
+      }
+      double entropy = std::log(sum) + beta * dot / sum;
+      if (std::abs(entropy - target_entropy) < 1e-4) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = (beta_hi >= 1e12) ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta + beta_lo) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) sum += p[i * n + j];
+    if (sum > 0) {
+      for (int64_t j = 0; j < n; ++j) p[i * n + j] /= sum;
+    }
+  }
+  // Symmetrize.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double v = (p[i * n + j] + p[j * n + i]) / (2.0 * n);
+      v = std::max(v, 1e-12);
+      p[i * n + j] = v;
+      p[j * n + i] = v;
+    }
+    p[i * n + i] = 0.0;
+  }
+
+  // Gradient descent on 2-D coordinates with the reference implementation's
+  // per-coordinate gains and momentum schedule (van der Maaten 2008) — plain
+  // momentum oscillates and freezes once points overshoot.
+  Rng rng(config_.seed);
+  std::vector<double> y(n * 2), vel(n * 2, 0.0), gains(n * 2, 1.0);
+  for (auto& v : y) v = rng.Normal(0.0, 1e-2);
+
+  std::vector<double> q(n * n);
+  int exaggerate_until = config_.iterations / 4;
+  for (int iter = 0; iter < config_.iterations; ++iter) {
+    double exo = iter < exaggerate_until ? config_.exaggeration : 1.0;
+    double momentum = iter < exaggerate_until ? 0.5 : config_.momentum;
+    // Student-t affinities.
+    double qsum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      q[i * n + i] = 0.0;
+      for (int64_t j = i + 1; j < n; ++j) {
+        double dx = y[2 * i] - y[2 * j];
+        double dy = y[2 * i + 1] - y[2 * j + 1];
+        double v = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i * n + j] = v;
+        q[j * n + i] = v;
+        qsum += 2.0 * v;
+      }
+    }
+    qsum = std::max(qsum, 1e-300);
+    // Gradient and update.
+    for (int64_t i = 0; i < n; ++i) {
+      double gx = 0.0, gy = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        double qn = q[i * n + j] / qsum;
+        double mult = (exo * p[i * n + j] - qn) * q[i * n + j];
+        gx += 4.0 * mult * (y[2 * i] - y[2 * j]);
+        gy += 4.0 * mult * (y[2 * i + 1] - y[2 * j + 1]);
+      }
+      // Clip the raw gradient: hub points with concentrated P mass can
+      // otherwise blow the embedding apart in the first iterations, after
+      // which all q's vanish and the layout freezes.
+      double g[2] = {std::clamp(gx, -5.0, 5.0), std::clamp(gy, -5.0, 5.0)};
+      for (int d = 0; d < 2; ++d) {
+        int64_t idx = 2 * i + d;
+        // Gain grows when gradient and velocity agree in moving direction,
+        // shrinks when they fight (sign(grad) == sign(vel) means reversal
+        // because the update subtracts the gradient).
+        bool same_sign = (g[d] > 0.0) == (vel[idx] > 0.0);
+        gains[idx] = same_sign ? gains[idx] * 0.8 : gains[idx] + 0.2;
+        gains[idx] = std::max(gains[idx], 0.01);
+        vel[idx] = momentum * vel[idx] -
+                   config_.learning_rate * gains[idx] * g[d];
+        y[idx] += vel[idx];
+      }
+    }
+    // Re-center.
+    double mx = 0.0, my = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      mx += y[2 * i];
+      my += y[2 * i + 1];
+    }
+    mx /= n;
+    my /= n;
+    for (int64_t i = 0; i < n; ++i) {
+      y[2 * i] -= mx;
+      y[2 * i + 1] -= my;
+    }
+  }
+
+  Tensor out({n, 2});
+  for (int64_t i = 0; i < 2 * n; ++i) out[i] = static_cast<float>(y[i]);
+  return out;
+}
+
+double SeparationRatio(const Tensor& points,
+                       const std::vector<int32_t>& labels) {
+  BASM_CHECK_EQ(points.rank(), 2);
+  int64_t n = points.dim(0), d = points.dim(1);
+  BASM_CHECK_EQ(n, static_cast<int64_t>(labels.size()));
+
+  std::map<int32_t, std::vector<double>> centroids;
+  std::map<int32_t, int64_t> counts;
+  for (int64_t i = 0; i < n; ++i) {
+    auto& c = centroids[labels[i]];
+    if (c.empty()) c.assign(d, 0.0);
+    for (int64_t k = 0; k < d; ++k) c[k] += points[i * d + k];
+    counts[labels[i]]++;
+  }
+  for (auto& [label, c] : centroids) {
+    for (double& v : c) v /= static_cast<double>(counts[label]);
+  }
+
+  // Within-class spread: mean distance to own centroid.
+  double within = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& c = centroids[labels[i]];
+    double acc = 0.0;
+    for (int64_t k = 0; k < d; ++k) {
+      double diff = points[i * d + k] - c[k];
+      acc += diff * diff;
+    }
+    within += std::sqrt(acc);
+  }
+  within /= static_cast<double>(n);
+
+  // Between-class: mean pairwise centroid distance.
+  double between = 0.0;
+  int64_t pairs = 0;
+  for (auto it = centroids.begin(); it != centroids.end(); ++it) {
+    for (auto jt = std::next(it); jt != centroids.end(); ++jt) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        double diff = it->second[k] - jt->second[k];
+        acc += diff * diff;
+      }
+      between += std::sqrt(acc);
+      ++pairs;
+    }
+  }
+  if (pairs == 0 || within <= 1e-12) return 0.0;
+  between /= static_cast<double>(pairs);
+  return between / within;
+}
+
+double Silhouette(const Tensor& points, const std::vector<int32_t>& labels) {
+  BASM_CHECK_EQ(points.rank(), 2);
+  int64_t n = points.dim(0);
+  BASM_CHECK_EQ(n, static_cast<int64_t>(labels.size()));
+  std::vector<double> dist = PairwiseSq(points);
+
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    std::map<int32_t, std::pair<double, int64_t>> per_class;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      auto& [sum, count] = per_class[labels[j]];
+      sum += std::sqrt(dist[i * n + j]);
+      ++count;
+    }
+    auto own = per_class.find(labels[i]);
+    if (own == per_class.end() || own->second.second == 0) continue;
+    double a = own->second.first / own->second.second;
+    double b = 1e300;
+    for (auto& [label, sc] : per_class) {
+      if (label == labels[i] || sc.second == 0) continue;
+      b = std::min(b, sc.first / sc.second);
+    }
+    if (b >= 1e300) continue;
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / counted;
+}
+
+}  // namespace basm::analysis

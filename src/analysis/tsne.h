@@ -1,0 +1,48 @@
+#ifndef BASM_ANALYSIS_TSNE_H_
+#define BASM_ANALYSIS_TSNE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace basm::analysis {
+
+/// Exact t-SNE (van der Maaten & Hinton 2008) for the paper's Figs 10/11:
+/// embeds final-layer model representations into 2-D to inspect whether
+/// instances cluster by time-period / city. O(n^2) per iteration — intended
+/// for the ~1k-point samples the figures use.
+struct TsneConfig {
+  double perplexity = 30.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  /// Early exaggeration factor applied for the first quarter of iterations.
+  double exaggeration = 4.0;
+  uint64_t seed = 1;
+};
+
+class Tsne {
+ public:
+  explicit Tsne(TsneConfig config = {});
+
+  /// points: [n, d] -> [n, 2] embedding.
+  Tensor Embed(const Tensor& points) const;
+
+ private:
+  TsneConfig config_;
+};
+
+/// Quality score for a labeled 2-D embedding: ratio of mean between-class
+/// centroid distance to mean within-class spread. Higher = classes more
+/// separated (the paper's qualitative claim for BASM vs Base in Figs 10/11).
+double SeparationRatio(const Tensor& points,
+                       const std::vector<int32_t>& labels);
+
+/// Silhouette coefficient (mean over points, O(n^2)); in [-1, 1].
+double Silhouette(const Tensor& points, const std::vector<int32_t>& labels);
+
+}  // namespace basm::analysis
+
+#endif  // BASM_ANALYSIS_TSNE_H_

@@ -1,0 +1,112 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+namespace basm::autograd {
+
+Variable Variable::Leaf(Tensor value, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  return Variable(std::move(node));
+}
+
+const Tensor& Variable::value() const {
+  BASM_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  BASM_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::grad() {
+  BASM_CHECK(defined());
+  node_->EnsureGrad();
+  return node_->grad;
+}
+
+const Tensor& Variable::grad() const {
+  BASM_CHECK(defined());
+  node_->EnsureGrad();
+  return node_->grad;
+}
+
+bool Variable::requires_grad() const {
+  BASM_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  BASM_CHECK(defined());
+  node_->EnsureGrad();
+  node_->grad.SetZero();
+}
+
+namespace {
+
+/// Depth-first post-order over the parent DAG; result has parents before
+/// children, so reverse iteration visits each node only after all of its
+/// consumers have contributed gradient.
+void TopoSort(const std::shared_ptr<Node>& node,
+              std::unordered_set<Node*>& visited,
+              std::vector<std::shared_ptr<Node>>& order) {
+  if (node == nullptr || visited.count(node.get()) > 0) return;
+  visited.insert(node.get());
+  for (const auto& parent : node->parents) {
+    TopoSort(parent, visited, order);
+  }
+  order.push_back(node);
+}
+
+}  // namespace
+
+int64_t GraphTensorBytes(const Variable& root) {
+  BASM_CHECK(root.defined());
+  std::unordered_set<Node*> visited;
+  std::vector<std::shared_ptr<Node>> order;
+  TopoSort(root.node(), visited, order);
+  int64_t bytes = 0;
+  for (const auto& node : order) {
+    bytes += node->value.numel() * 4;
+    bytes += node->grad.numel() * 4;
+  }
+  return bytes;
+}
+
+int64_t GraphNodeCount(const Variable& root) {
+  BASM_CHECK(root.defined());
+  std::unordered_set<Node*> visited;
+  std::vector<std::shared_ptr<Node>> order;
+  TopoSort(root.node(), visited, order);
+  return static_cast<int64_t>(order.size());
+}
+
+void Backward(const Variable& root, const Tensor& seed) {
+  BASM_CHECK(root.defined());
+  BASM_CHECK(root.node()->value.SameShape(seed))
+      << "seed shape mismatch: " << ShapeToString(seed.shape());
+  std::unordered_set<Node*> visited;
+  std::vector<std::shared_ptr<Node>> order;
+  TopoSort(root.node(), visited, order);
+
+  root.node()->EnsureGrad();
+  root.node()->grad.AddInPlace(seed);
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node& node = **it;
+    if (!node.requires_grad || !node.backward_fn) continue;
+    node.EnsureGrad();
+    node.backward_fn(node);
+  }
+}
+
+void Backward(const Variable& root) {
+  BASM_CHECK(root.defined());
+  BASM_CHECK_EQ(root.numel(), 1)
+      << "Backward() without a seed requires a scalar root";
+  Backward(root, Tensor::Ones(root.shape()));
+}
+
+}  // namespace basm::autograd

@@ -1,0 +1,86 @@
+#ifndef BASM_AUTOGRAD_VARIABLE_H_
+#define BASM_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace basm::autograd {
+
+/// One node in the dynamically-built computation graph. Users interact with
+/// Variable; Node is an implementation detail shared between ops.cc and the
+/// backward pass.
+class Node {
+ public:
+  Tensor value;
+  /// Lazily allocated gradient of the same shape as `value`.
+  Tensor grad;
+  bool requires_grad = false;
+  /// Parents in the forward graph (inputs of the op that produced `value`).
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this node's grad into the parents' grads. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+
+  /// Allocates `grad` (zero-filled) on first use.
+  void EnsureGrad() {
+    if (grad.numel() != value.numel()) {
+      grad = Tensor(value.shape());
+    }
+  }
+};
+
+/// Handle to a graph node. Cheap to copy; graphs are built per forward pass
+/// and freed when the last handle to the root goes away. Parameters are
+/// long-lived leaf Variables whose gradients accumulate across a step until
+/// the optimizer zeroes them.
+class Variable {
+ public:
+  Variable() = default;
+  explicit Variable(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  /// A leaf that participates in training (gradient is accumulated).
+  static Variable Leaf(Tensor value, bool requires_grad);
+  /// A non-trainable input (labels, masks, raw features).
+  static Variable Constant(Tensor value) {
+    return Leaf(std::move(value), false);
+  }
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  /// Mutable access for optimizer updates; only valid on leaves.
+  Tensor& mutable_value();
+  /// Gradient tensor (allocated on demand).
+  Tensor& grad();
+  const Tensor& grad() const;
+
+  bool requires_grad() const;
+  void ZeroGrad();
+
+  const std::vector<int64_t>& shape() const { return value().shape(); }
+  int64_t numel() const { return value().numel(); }
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+/// Total bytes held by the value (and, when allocated, gradient) tensors of
+/// every node reachable from `root`. Used by the efficiency profiler to
+/// estimate per-step activation memory (Table VI of the paper).
+int64_t GraphTensorBytes(const Variable& root);
+
+/// Number of nodes reachable from `root` (graph-size introspection).
+int64_t GraphNodeCount(const Variable& root);
+
+/// Runs reverse-mode accumulation from `root`, which must be a scalar
+/// (numel == 1) unless `seed` is supplied with a matching shape.
+void Backward(const Variable& root);
+void Backward(const Variable& root, const Tensor& seed);
+
+}  // namespace basm::autograd
+
+#endif  // BASM_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,23 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace basm {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string(v);
+}
+
+bool FastMode() { return EnvInt("BASM_FAST", 0) != 0; }
+
+}  // namespace basm

@@ -1,0 +1,22 @@
+#ifndef BASM_COMMON_ENV_H_
+#define BASM_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace basm {
+
+/// Reads an integer environment variable, returning `fallback` when unset or
+/// unparsable. Used by benches to scale workloads (BASM_FAST, BASM_SEED).
+int64_t EnvInt(const char* name, int64_t fallback);
+
+/// Reads a string environment variable with a fallback.
+std::string EnvString(const char* name, const std::string& fallback);
+
+/// True when BASM_FAST is set to a nonzero value: benches shrink their
+/// workloads roughly 10x for smoke runs.
+bool FastMode();
+
+}  // namespace basm
+
+#endif  // BASM_COMMON_ENV_H_

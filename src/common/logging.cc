@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace basm {
+
+LogSeverity MinLogSeverity() {
+  static const LogSeverity severity = [] {
+    const char* env = std::getenv("BASM_LOG_LEVEL");
+    if (env == nullptr) return LogSeverity::kInfo;
+    int v = std::atoi(env);
+    if (v < 0) v = 0;
+    if (v > 3) v = 3;
+    return static_cast<LogSeverity>(v);
+  }();
+  return severity;
+}
+
+namespace internal {
+
+namespace {
+const char* SeverityTag(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line,
+                       bool fatal)
+    : severity_(severity), fatal_(fatal) {
+  stream_ << "[" << SeverityTag(severity) << " " << Basename(file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  if (fatal_) {
+    std::cerr.flush();
+    std::abort();
+  }
+  (void)severity_;
+}
+
+}  // namespace internal
+}  // namespace basm

@@ -1,0 +1,75 @@
+#ifndef BASM_COMMON_LOGGING_H_
+#define BASM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace basm {
+
+/// Severity for log statements emitted through BASM_LOG.
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum severity; messages below it are dropped.
+/// Controlled by the BASM_LOG_LEVEL environment variable (0..3, default 1).
+LogSeverity MinLogSeverity();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+/// If `fatal` is true, the destructor aborts the process after flushing,
+/// which is how CHECK failures terminate.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line,
+             bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when the log statement is disabled.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace basm
+
+#define BASM_LOG(severity)                                              \
+  (::basm::LogSeverity::k##severity < ::basm::MinLogSeverity())         \
+      ? (void)0                                                         \
+      : ::basm::internal::LogMessageVoidify() &                         \
+            ::basm::internal::LogMessage(::basm::LogSeverity::k##severity, \
+                                         __FILE__, __LINE__)            \
+                .stream()
+
+/// Aborts with a message when `cond` is false. Used for programmer errors
+/// (shape mismatches, out-of-range indices) throughout the library.
+#define BASM_CHECK(cond)                                                     \
+  (cond) ? (void)0                                                          \
+         : ::basm::internal::LogMessageVoidify() &                          \
+               ::basm::internal::LogMessage(::basm::LogSeverity::kError,    \
+                                            __FILE__, __LINE__, true)       \
+                       .stream()                                            \
+                   << "Check failed: " #cond " "
+
+#define BASM_CHECK_BINOP(a, b, op)                                \
+  BASM_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define BASM_CHECK_EQ(a, b) BASM_CHECK_BINOP(a, b, ==)
+#define BASM_CHECK_NE(a, b) BASM_CHECK_BINOP(a, b, !=)
+#define BASM_CHECK_LT(a, b) BASM_CHECK_BINOP(a, b, <)
+#define BASM_CHECK_LE(a, b) BASM_CHECK_BINOP(a, b, <=)
+#define BASM_CHECK_GT(a, b) BASM_CHECK_BINOP(a, b, >)
+#define BASM_CHECK_GE(a, b) BASM_CHECK_BINOP(a, b, >=)
+
+#endif  // BASM_COMMON_LOGGING_H_

@@ -1,0 +1,126 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace basm {
+
+uint64_t Rng::NextUint64() {
+  // SplitMix64 (Steele, Lea, Flood 2014).
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  BASM_CHECK_GT(n, 0u);
+  // Rejection sampling to remove modulo bias.
+  uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  BASM_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::Uniform() {
+  // 53-bit mantissa for a uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  double u2 = Uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  BASM_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    BASM_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  BASM_CHECK_GT(total, 0.0);
+  double target = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+std::vector<int32_t> Rng::Permutation(int64_t n) {
+  std::vector<int32_t> perm(n);
+  for (int64_t i = 0; i < n; ++i) perm[i] = static_cast<int32_t>(i);
+  for (int64_t i = n - 1; i > 0; --i) {
+    int64_t j = static_cast<int64_t>(NextUint64(static_cast<uint64_t>(i + 1)));
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+Rng Rng::Fork(uint64_t tag) const {
+  // Hash (state, tag) into a fresh seed so child streams do not overlap.
+  uint64_t z = state_ ^ (tag * 0xD6E8FEB86659FD93ULL + 0xA5A5A5A5A5A5A5A5ULL);
+  z = (z ^ (z >> 32)) * 0xD6E8FEB86659FD93ULL;
+  z = (z ^ (z >> 32)) * 0xD6E8FEB86659FD93ULL;
+  return Rng(z ^ (z >> 32));
+}
+
+ZipfTable::ZipfTable(int64_t n, double s) {
+  BASM_CHECK_GT(n, 0);
+  BASM_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (int64_t i = 0; i < n; ++i) cdf_[i] /= acc;
+}
+
+int64_t ZipfTable::Sample(Rng& rng) const {
+  double u = rng.Uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<int64_t>(cdf_.size()) - 1;
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+double ZipfTable::Probability(int64_t i) const {
+  BASM_CHECK_GE(i, 0);
+  BASM_CHECK_LT(i, size());
+  double lo = (i == 0) ? 0.0 : cdf_[i - 1];
+  return cdf_[i] - lo;
+}
+
+}  // namespace basm

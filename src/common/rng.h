@@ -1,0 +1,79 @@
+#ifndef BASM_COMMON_RNG_H_
+#define BASM_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace basm {
+
+/// Deterministic, seedable pseudo-random generator used everywhere in the
+/// library (data synthesis, weight init, sampling). Core is SplitMix64:
+/// fast, passes BigCrush-lite, and trivially reproducible across platforms,
+/// which matters for the experiment harness (fixed seeds => fixed tables).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double Normal();
+
+  /// Normal with mean/stddev.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent s (s >= 0). Uses an
+  /// inverted-CDF table supplied by ZipfTable for O(log n) draws.
+  /// Index 0 is the most probable element.
+
+  /// Samples an index from unnormalized non-negative weights.
+  int64_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of [0, n) indices.
+  std::vector<int32_t> Permutation(int64_t n);
+
+  /// Derives an independent child generator; children with distinct tags are
+  /// statistically independent streams of the parent seed.
+  Rng Fork(uint64_t tag) const;
+
+ private:
+  uint64_t state_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Precomputed cumulative Zipf distribution over [0, n) with exponent s.
+/// Draws are O(log n) via binary search; used for user/item/city popularity.
+class ZipfTable {
+ public:
+  ZipfTable(int64_t n, double s);
+
+  int64_t Sample(Rng& rng) const;
+  int64_t size() const { return static_cast<int64_t>(cdf_.size()); }
+
+  /// Probability of index i.
+  double Probability(int64_t i) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace basm
+
+#endif  // BASM_COMMON_RNG_H_

@@ -1,0 +1,96 @@
+#ifndef BASM_COMMON_STATUS_H_
+#define BASM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace basm {
+
+/// Error category for recoverable failures (I/O, parsing, configuration).
+/// Programmer errors use BASM_CHECK instead and abort.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+  kUnavailable,
+};
+
+/// Lightweight status object in the style of absl::Status / rocksdb::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" form for logs and error reports.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error result, used on recoverable paths that produce a value.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    BASM_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    BASM_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    BASM_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    BASM_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace basm
+
+#define BASM_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::basm::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#endif  // BASM_COMMON_STATUS_H_

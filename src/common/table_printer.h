@@ -1,0 +1,34 @@
+#ifndef BASM_COMMON_TABLE_PRINTER_H_
+#define BASM_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace basm {
+
+/// Renders aligned ASCII tables for the bench harness, matching the row /
+/// column layout of the paper's tables so outputs are directly comparable.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 4);
+
+  /// Renders the table with a separator under the header.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace basm
+
+#endif  // BASM_COMMON_TABLE_PRINTER_H_

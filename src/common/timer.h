@@ -1,0 +1,28 @@
+#ifndef BASM_COMMON_TIMER_H_
+#define BASM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace basm {
+
+/// Wall-clock stopwatch used by the efficiency profiler and benches.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace basm
+
+#endif  // BASM_COMMON_TIMER_H_

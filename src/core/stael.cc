@@ -1,0 +1,41 @@
+#include "core/stael.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace basm::core {
+
+namespace ag = ::basm::autograd;
+
+StAEL::StAEL(std::vector<int64_t> field_dims, int64_t ctx_dim, Rng& rng,
+             float gate_scale)
+    : gate_scale_(gate_scale) {
+  BASM_CHECK(!field_dims.empty());
+  BASM_CHECK_GT(gate_scale_, 0.0f);
+  for (size_t j = 0; j < field_dims.size(); ++j) {
+    gates_.push_back(
+        std::make_unique<nn::Linear>(field_dims[j] + ctx_dim, 1, rng));
+    RegisterModule("gate" + std::to_string(j), gates_.back().get());
+  }
+}
+
+std::vector<ag::Variable> StAEL::Forward(
+    const std::vector<ag::Variable>& fields, const ag::Variable& ctx) {
+  BASM_CHECK_EQ(fields.size(), gates_.size());
+  int64_t batch = ctx.value().rows();
+  last_alphas_ = Tensor({batch, num_fields()});
+
+  std::vector<ag::Variable> out;
+  out.reserve(fields.size());
+  for (size_t j = 0; j < fields.size(); ++j) {
+    ag::Variable gate_in = ag::ConcatCols({fields[j], ctx});
+    ag::Variable alpha = ag::Scale(
+        ag::Sigmoid(gates_[j]->Forward(gate_in)), gate_scale_);  // [B,1]
+    for (int64_t i = 0; i < batch; ++i) {
+      last_alphas_.at(i, static_cast<int64_t>(j)) = alpha.value()[i];
+    }
+    out.push_back(ag::MulColBroadcast(fields[j], alpha));
+  }
+  return out;
+}
+
+}  // namespace basm::core

@@ -1,0 +1,94 @@
+#include "data/geohash.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace basm::data {
+
+namespace {
+constexpr char kBase32[] = "0123456789bcdefghjkmnpqrstuvwxyz";
+}  // namespace
+
+uint64_t Geohash::Encode(double lat, double lon, int bits) {
+  BASM_CHECK_EQ(bits % 2, 0);
+  BASM_CHECK_LE(bits, 60);
+  BASM_CHECK_GT(bits, 0);
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  uint64_t cell = 0;
+  for (int i = 0; i < bits; ++i) {
+    if (i % 2 == 0) {  // even bit: longitude
+      double mid = (lon_lo + lon_hi) / 2.0;
+      if (lon >= mid) {
+        cell = (cell << 1) | 1;
+        lon_lo = mid;
+      } else {
+        cell <<= 1;
+        lon_hi = mid;
+      }
+    } else {  // odd bit: latitude
+      double mid = (lat_lo + lat_hi) / 2.0;
+      if (lat >= mid) {
+        cell = (cell << 1) | 1;
+        lat_lo = mid;
+      } else {
+        cell <<= 1;
+        lat_hi = mid;
+      }
+    }
+  }
+  return cell;
+}
+
+void Geohash::DecodeCenter(uint64_t cell, int bits, double* lat, double* lon) {
+  BASM_CHECK_EQ(bits % 2, 0);
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  for (int i = 0; i < bits; ++i) {
+    uint64_t bit = (cell >> (bits - 1 - i)) & 1;
+    if (i % 2 == 0) {
+      double mid = (lon_lo + lon_hi) / 2.0;
+      if (bit != 0u) {
+        lon_lo = mid;
+      } else {
+        lon_hi = mid;
+      }
+    } else {
+      double mid = (lat_lo + lat_hi) / 2.0;
+      if (bit != 0u) {
+        lat_lo = mid;
+      } else {
+        lat_hi = mid;
+      }
+    }
+  }
+  *lat = (lat_lo + lat_hi) / 2.0;
+  *lon = (lon_lo + lon_hi) / 2.0;
+}
+
+uint64_t Geohash::Parent(uint64_t cell, int bits, int parent_bits) {
+  BASM_CHECK_LE(parent_bits, bits);
+  return cell >> (bits - parent_bits);
+}
+
+std::string Geohash::ToString(uint64_t cell, int bits) {
+  // Pad to a multiple of 5 bits for base32 rendering.
+  int padded = ((bits + 4) / 5) * 5;
+  cell <<= (padded - bits);
+  std::string out;
+  for (int i = padded - 5; i >= 0; i -= 5) {
+    out += kBase32[(cell >> i) & 31];
+  }
+  return out;
+}
+
+double Geohash::CenterDistance(uint64_t a, uint64_t b, int bits) {
+  double la, lo, lb, lob;
+  DecodeCenter(a, bits, &la, &lo);
+  DecodeCenter(b, bits, &lb, &lob);
+  double dlat = la - lb, dlon = lo - lob;
+  return std::sqrt(dlat * dlat + dlon * dlon);
+}
+
+}  // namespace basm::data

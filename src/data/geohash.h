@@ -1,0 +1,36 @@
+#ifndef BASM_DATA_GEOHASH_H_
+#define BASM_DATA_GEOHASH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace basm::data {
+
+/// Integer geohash: interleaves quantized latitude/longitude bits into a
+/// single cell id, the standard Z-order construction behind textual
+/// geohashes. The paper uses geohash cells both as a context feature and to
+/// filter user behaviors by location (StSTL); the serving recall index uses
+/// cell prefixes for location-based candidate retrieval.
+class Geohash {
+ public:
+  /// Encodes to a cell id with `bits` total bits (even split between lat and
+  /// lon; `bits` must be even and <= 60). Larger `bits` = finer cells.
+  static uint64_t Encode(double lat, double lon, int bits);
+
+  /// Decodes a cell id back to its center point.
+  static void DecodeCenter(uint64_t cell, int bits, double* lat, double* lon);
+
+  /// Parent cell at a coarser precision (drops trailing bits).
+  static uint64_t Parent(uint64_t cell, int bits, int parent_bits);
+
+  /// Base32 text form (standard geohash alphabet), for logs/debugging.
+  static std::string ToString(uint64_t cell, int bits);
+
+  /// Great-circle-free approximate distance in degrees between cell centers;
+  /// adequate for same-city comparisons in the simulator.
+  static double CenterDistance(uint64_t a, uint64_t b, int bits);
+};
+
+}  // namespace basm::data
+
+#endif  // BASM_DATA_GEOHASH_H_

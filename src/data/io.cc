@@ -1,0 +1,200 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace basm::data {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'A', 'S', 'M', 'D', 'A', 'T', 'A'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool Write(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool Read(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+bool WriteString(std::FILE* f, const std::string& s) {
+  uint32_t len = static_cast<uint32_t>(s.size());
+  return Write(f, len) && std::fwrite(s.data(), 1, len, f) == len;
+}
+
+bool ReadString(std::FILE* f, std::string* s) {
+  uint32_t len = 0;
+  if (!Read(f, &len) || len > (1u << 20)) return false;
+  s->resize(len);
+  return std::fread(s->data(), 1, len, f) == len;
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic) ||
+      !Write(f.get(), kVersion) || !WriteString(f.get(), dataset.name) ||
+      !Write(f.get(), dataset.test_day) ||
+      !Write(f.get(), dataset.schema)) {
+    return Status::Internal("write failed on dataset header");
+  }
+  uint64_t count = dataset.examples.size();
+  if (!Write(f.get(), count)) return Status::Internal("write failed");
+  for (const Example& e : dataset.examples) {
+    // Fixed-size portion of the example, serialized field by field (the
+    // struct holds a vector member, so a raw struct dump is not portable).
+    const int32_t ints[] = {e.user_id,       e.gender,
+                            e.age_bucket,    e.spend_bucket,
+                            e.item_id,       e.category,
+                            e.brand,         e.price_bucket,
+                            e.position,      e.hour,
+                            e.time_period,   e.city,
+                            e.geohash,       e.weekday,
+                            e.cross_spend_price, e.cross_age_category,
+                            e.day,           e.request_id};
+    const float floats[] = {e.user_ctr, e.user_orders, e.user_clicks,
+                            e.item_ctr, e.item_pop,    e.shop_score,
+                            e.label,    e.gt_prob};
+    if (std::fwrite(ints, sizeof(int32_t), std::size(ints), f.get()) !=
+            std::size(ints) ||
+        std::fwrite(floats, sizeof(float), std::size(floats), f.get()) !=
+            std::size(floats)) {
+      return Status::Internal("write failed on example");
+    }
+    uint32_t seq_len = static_cast<uint32_t>(e.behaviors.size());
+    if (!Write(f.get(), seq_len)) return Status::Internal("write failed");
+    for (const BehaviorEvent& ev : e.behaviors) {
+      if (std::fwrite(&ev, sizeof(BehaviorEvent), 1, f.get()) != 1) {
+        return Status::Internal("write failed on behavior");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::NotFound("dataset not found: " + path);
+  char magic[8];
+  uint32_t version = 0;
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a BASM dataset: " + path);
+  }
+  if (!Read(f.get(), &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported dataset version");
+  }
+  Dataset ds;
+  if (!ReadString(f.get(), &ds.name) || !Read(f.get(), &ds.test_day) ||
+      !Read(f.get(), &ds.schema)) {
+    return Status::Internal("truncated dataset header");
+  }
+  uint64_t count = 0;
+  if (!Read(f.get(), &count)) return Status::Internal("truncated dataset");
+  ds.examples.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t ints[18];
+    float floats[8];
+    if (std::fread(ints, sizeof(int32_t), std::size(ints), f.get()) !=
+            std::size(ints) ||
+        std::fread(floats, sizeof(float), std::size(floats), f.get()) !=
+            std::size(floats)) {
+      return Status::Internal("truncated example " + std::to_string(i));
+    }
+    Example e;
+    int k = 0;
+    e.user_id = ints[k++];
+    e.gender = ints[k++];
+    e.age_bucket = ints[k++];
+    e.spend_bucket = ints[k++];
+    e.item_id = ints[k++];
+    e.category = ints[k++];
+    e.brand = ints[k++];
+    e.price_bucket = ints[k++];
+    e.position = ints[k++];
+    e.hour = ints[k++];
+    e.time_period = ints[k++];
+    e.city = ints[k++];
+    e.geohash = ints[k++];
+    e.weekday = ints[k++];
+    e.cross_spend_price = ints[k++];
+    e.cross_age_category = ints[k++];
+    e.day = ints[k++];
+    e.request_id = ints[k++];
+    e.user_ctr = floats[0];
+    e.user_orders = floats[1];
+    e.user_clicks = floats[2];
+    e.item_ctr = floats[3];
+    e.item_pop = floats[4];
+    e.shop_score = floats[5];
+    e.label = floats[6];
+    e.gt_prob = floats[7];
+    uint32_t seq_len = 0;
+    if (!Read(f.get(), &seq_len) || seq_len > (1u << 16)) {
+      return Status::Internal("corrupt sequence length");
+    }
+    e.behaviors.resize(seq_len);
+    for (uint32_t j = 0; j < seq_len; ++j) {
+      if (std::fread(&e.behaviors[j], sizeof(BehaviorEvent), 1, f.get()) !=
+          1) {
+        return Status::Internal("truncated behavior sequence");
+      }
+    }
+    ds.examples.push_back(std::move(e));
+  }
+  return ds;
+}
+
+Status ExportCsv(const Dataset& dataset, const std::string& path,
+                 int64_t max_rows) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  std::fputs(
+      "user_id,gender,age_bucket,spend_bucket,user_ctr,user_orders,"
+      "user_clicks,item_id,category,brand,price_bucket,position,item_ctr,"
+      "item_pop,shop_score,hour,time_period,city,geohash,weekday,"
+      "cross_spend_price,cross_age_category,seq_categories,label,day,"
+      "request_id,gt_prob\n",
+      f.get());
+  int64_t rows = 0;
+  for (const Example& e : dataset.examples) {
+    if (max_rows >= 0 && rows >= max_rows) break;
+    std::string seq;
+    for (size_t j = 0; j < e.behaviors.size(); ++j) {
+      if (j > 0) seq += ' ';
+      seq += std::to_string(e.behaviors[j].category);
+    }
+    std::fprintf(
+        f.get(),
+        "%d,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d,%.4f,%.4f,%.4f,%d,%d,%d,"
+        "%d,%d,%d,%d,%s,%.0f,%d,%d,%.4f\n",
+        e.user_id, e.gender, e.age_bucket, e.spend_bucket, e.user_ctr,
+        e.user_orders, e.user_clicks, e.item_id, e.category, e.brand,
+        e.price_bucket, e.position, e.item_ctr, e.item_pop, e.shop_score,
+        e.hour, e.time_period, e.city, e.geohash, e.weekday,
+        e.cross_spend_price, e.cross_age_category, seq.c_str(), e.label,
+        e.day, e.request_id, e.gt_prob);
+    ++rows;
+  }
+  return Status::Ok();
+}
+
+}  // namespace basm::data

@@ -1,0 +1,49 @@
+#include "data/schema.h"
+
+#include "common/logging.h"
+
+namespace basm::data {
+
+TimePeriod TimePeriodOfHour(int32_t hour) {
+  BASM_CHECK_GE(hour, 0);
+  BASM_CHECK_LT(hour, 24);
+  if (hour >= 5 && hour <= 9) return TimePeriod::kBreakfast;
+  if (hour >= 10 && hour <= 13) return TimePeriod::kLunch;
+  if (hour >= 14 && hour <= 16) return TimePeriod::kAfternoonTea;
+  if (hour >= 17 && hour <= 20) return TimePeriod::kDinner;
+  return TimePeriod::kNight;
+}
+
+const char* TimePeriodName(TimePeriod tp) {
+  switch (tp) {
+    case TimePeriod::kBreakfast:
+      return "breakfast";
+    case TimePeriod::kLunch:
+      return "lunch";
+    case TimePeriod::kAfternoonTea:
+      return "afternoon_tea";
+    case TimePeriod::kDinner:
+      return "dinner";
+    case TimePeriod::kNight:
+      return "night";
+  }
+  return "unknown";
+}
+
+std::vector<const Example*> Dataset::TrainExamples() const {
+  std::vector<const Example*> out;
+  for (const Example& e : examples) {
+    if (e.day < test_day) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const Example*> Dataset::TestExamples() const {
+  std::vector<const Example*> out;
+  for (const Example& e : examples) {
+    if (e.day >= test_day) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace basm::data

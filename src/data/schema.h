@@ -1,0 +1,137 @@
+#ifndef BASM_DATA_SCHEMA_H_
+#define BASM_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace basm::data {
+
+/// Time-periods used throughout the paper: scenario split for STAR, grouping
+/// key for TAUC, and the filter key of StSTL.
+enum class TimePeriod : int32_t {
+  kBreakfast = 0,  // 05-09
+  kLunch = 1,      // 10-13
+  kAfternoonTea = 2,  // 14-16
+  kDinner = 3,     // 17-20
+  kNight = 4,      // 21-04
+};
+
+inline constexpr int32_t kNumTimePeriods = 5;
+
+/// Maps an hour of day (0-23) to its meal period.
+TimePeriod TimePeriodOfHour(int32_t hour);
+
+/// Display name ("breakfast", ...).
+const char* TimePeriodName(TimePeriod tp);
+
+/// Vocabulary sizes and sequence geometry of one dataset. Models size their
+/// embedding tables from this; the generator fills it in.
+struct Schema {
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_cities = 0;
+  int64_t num_geohash = 0;   // geohash cell vocabulary
+  int64_t num_categories = 0;
+  int64_t num_brands = 0;
+  int64_t num_price_buckets = 10;
+  int64_t num_positions = 10;
+  int64_t num_genders = 3;
+  int64_t num_age_buckets = 8;
+  int64_t num_spend_buckets = 5;
+  int64_t num_hours = 24;
+  int64_t num_time_periods = kNumTimePeriods;
+  int64_t num_weekdays = 7;
+  /// Hand-selected cross features (paper's "Combine Feature" field).
+  int64_t num_cross_spend_price = 0;   // spend_bucket x price_bucket
+  int64_t num_cross_age_category = 0;  // age_bucket x category
+  /// Max behavior-sequence length (shorter histories are mask-padded).
+  int64_t seq_len = 0;
+  /// Dense (statistics) feature widths per field.
+  int64_t user_dense_dim = 3;
+  int64_t item_dense_dim = 3;
+
+  /// Total distinct categorical feature values (paper's "#Feature" in
+  /// Table III counts feature columns; we report both in the bench).
+  int64_t TotalVocab() const {
+    return num_users + num_items + num_cities + num_geohash + num_categories +
+           num_brands + num_price_buckets + num_positions + num_genders +
+           num_age_buckets + num_spend_buckets + num_hours +
+           num_time_periods + num_weekdays + num_cross_spend_price +
+           num_cross_age_category;
+  }
+
+  /// Number of feature columns across all fields (Table I inventory).
+  int64_t NumFeatureColumns() const {
+    // user: id, gender, age, spend + 3 dense; item: id, cat, brand, price,
+    // position + 3 dense; context: hour, tp, city, geohash, weekday;
+    // combine: 2 crosses; sequence: 6 per event.
+    return 4 + 3 + 5 + 3 + 5 + 2 + 6;
+  }
+};
+
+/// One event in a user's behavior history.
+struct BehaviorEvent {
+  int32_t item_id = 0;
+  int32_t category = 0;
+  int32_t brand = 0;
+  int32_t hour = 0;
+  int32_t time_period = 0;
+  int32_t city = 0;
+  int32_t geohash = 0;
+};
+
+/// One impression (candidate item shown to a user in a spatiotemporal
+/// context). This is the row format of both synthetic datasets.
+struct Example {
+  // -- user field --
+  int32_t user_id = 0;
+  int32_t gender = 0;
+  int32_t age_bucket = 0;
+  int32_t spend_bucket = 0;
+  float user_ctr = 0.0f;     // smoothed historical CTR
+  float user_orders = 0.0f;  // normalized 90-day order count
+  float user_clicks = 0.0f;  // normalized 1-day click count
+  // -- candidate item field --
+  int32_t item_id = 0;
+  int32_t category = 0;
+  int32_t brand = 0;
+  int32_t price_bucket = 0;
+  int32_t position = 0;  // rank slot within the request
+  float item_ctr = 0.0f;
+  float item_pop = 0.0f;    // normalized popularity
+  float shop_score = 0.0f;  // rating-like score
+  // -- spatiotemporal context field --
+  int32_t hour = 0;
+  int32_t time_period = 0;
+  int32_t city = 0;
+  int32_t geohash = 0;
+  int32_t weekday = 0;
+  // -- combine field --
+  int32_t cross_spend_price = 0;
+  int32_t cross_age_category = 0;
+  // -- behavior sequence (most recent first) --
+  std::vector<BehaviorEvent> behaviors;
+  // -- label & bookkeeping --
+  float label = 0.0f;
+  int32_t day = 0;
+  int32_t request_id = 0;  // impressions of one request share this
+  float gt_prob = 0.0f;    // planted ground-truth click probability
+};
+
+/// A full dataset with its schema and a train/test split boundary
+/// (`test_day`: examples with day >= test_day are the held-out day, matching
+/// the paper's last-day-test protocol).
+struct Dataset {
+  Schema schema;
+  std::vector<Example> examples;
+  int32_t test_day = 0;
+  std::string name;
+
+  std::vector<const Example*> TrainExamples() const;
+  std::vector<const Example*> TestExamples() const;
+};
+
+}  // namespace basm::data
+
+#endif  // BASM_DATA_SCHEMA_H_

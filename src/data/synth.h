@@ -1,0 +1,188 @@
+#ifndef BASM_DATA_SYNTH_H_
+#define BASM_DATA_SYNTH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/schema.h"
+
+namespace basm::data {
+
+/// Configuration of the synthetic spatiotemporal world. Two presets mirror
+/// the paper's datasets at laptop scale: Eleme() (dense clicks, strong
+/// spatiotemporal structure, rich features) and Public() (sparse clicks,
+/// weaker structure), preserving the qualitative contrasts of Table III.
+struct SynthConfig {
+  std::string name = "eleme-synth";
+  uint64_t seed = 20220801;
+
+  // -- entity counts --
+  int64_t num_users = 4000;
+  int64_t num_items = 1600;
+  int64_t num_cities = 10;
+  int64_t num_categories = 30;
+  int64_t num_brands = 100;
+  int64_t num_taste_clusters = 8;
+  int geohash_bits = 16;  // cell precision for entity locations
+
+  // -- traffic --
+  int64_t days = 8;
+  int32_t test_day = 7;  // last day held out, as in the paper
+  int64_t requests_per_day = 1100;
+  int32_t candidates_per_request = 8;
+  int64_t seq_len = 12;
+
+  // -- planted ground-truth effect sizes (log-odds units) --
+  float base_logit = -4.2f;       // overall CTR level
+  float hour_bias_scale = 0.55f;  // CTR drift across hours (Fig 2a)
+  float city_bias_scale = 0.5f;   // CTR drift across cities (Fig 2b / 6)
+  float affinity_scale = 1.0f;    // user-taste x item-category match
+  float seq_scale = 0.7f;         // candidate matches recent behaviors
+  float price_scale = 0.7f;       // spend-bucket x price-bucket fit
+  float pop_scale = 0.6f;         // item popularity
+  float position_scale = 0.45f;   // rank-slot bias within a request
+  float noise_scale = 0.5f;       // irreducible per-impression noise
+
+  /// Amplitude of time-period / city modulation of the effect weights —
+  /// the "spatiotemporal data distribution" the paper is about. Zero makes
+  /// every context identical (used in ablation benches).
+  float tp_modulation = 0.9f;
+  float city_modulation = 0.7f;
+
+  /// Fraction of requests where the user is traveling (context city differs
+  /// from home city).
+  float travel_prob = 0.05f;
+
+  static SynthConfig Eleme();
+  static SynthConfig Public();
+
+  /// Shrinks traffic ~10x for smoke runs.
+  SynthConfig Fast() const;
+};
+
+/// The generative world: entity tables, planted preference structure, and
+/// the ground-truth click model. The offline dataset generator and the
+/// online A/B simulator both sample from one World so offline training and
+/// online evaluation are mutually consistent (as in a real platform).
+class World {
+ public:
+  explicit World(const SynthConfig& config);
+
+  struct UserProfile {
+    int32_t city = 0;
+    int32_t gender = 0;
+    int32_t age_bucket = 0;
+    int32_t spend_bucket = 0;
+    int32_t taste = 0;       // latent taste cluster
+    float activity = 0.0f;   // [0,1] engagement level
+    double lat = 0.0, lon = 0.0;
+    int32_t geohash = 0;
+    float ctr_stat = 0.0f;     // dense features exposed to models
+    float orders_stat = 0.0f;
+    float clicks_stat = 0.0f;
+  };
+
+  struct ItemProfile {
+    int32_t city = 0;
+    int32_t category = 0;
+    int32_t brand = 0;
+    int32_t price_bucket = 0;
+    float popularity = 0.0f;  // [0,1]
+    double lat = 0.0, lon = 0.0;
+    int32_t geohash = 0;
+    float ctr_stat = 0.0f;
+    float shop_score = 0.0f;
+  };
+
+  const SynthConfig& config() const { return config_; }
+  const Schema& schema() const { return schema_; }
+
+  const UserProfile& user(int64_t id) const { return users_[id]; }
+  const ItemProfile& item(int64_t id) const { return items_[id]; }
+  const std::vector<int32_t>& CityItems(int32_t city) const {
+    return city_items_[city];
+  }
+
+  /// Relative exposure weight of each hour (meal-time peaked; Fig 2a).
+  const std::array<double, 24>& hour_exposure() const {
+    return hour_exposure_;
+  }
+  /// Relative traffic weight per city (Zipf; Fig 2b).
+  const std::vector<double>& city_exposure() const { return city_exposure_; }
+
+  /// Planted CTR bias surfaces (Fig 6).
+  float HourBias(int32_t hour) const { return hour_bias_[hour]; }
+  float CityBias(int32_t city) const { return city_bias_[city]; }
+
+  /// Whether `category` is in the preferred set of taste cluster `taste`
+  /// during `tp` — the planted user-interest structure.
+  bool IsPreferredCategory(int32_t taste, TimePeriod tp,
+                           int32_t category) const;
+
+  /// Ground-truth click log-odds for a fully-specified impression. `noise`
+  /// should be a standard normal draw (0 for the expectation).
+  float ClickLogit(int32_t user_id, int32_t item_id, int32_t hour,
+                   int32_t position, int32_t context_city,
+                   const std::vector<BehaviorEvent>& recent_behaviors,
+                   float noise = 0.0f) const;
+
+  /// sigmoid(ClickLogit).
+  float ClickProbability(int32_t user_id, int32_t item_id, int32_t hour,
+                         int32_t position, int32_t context_city,
+                         const std::vector<BehaviorEvent>& recent_behaviors,
+                         float noise = 0.0f) const;
+
+  /// Samples a behavior history of `len` events consistent with the user's
+  /// planted preferences.
+  std::vector<BehaviorEvent> SampleHistory(int32_t user_id, int64_t len,
+                                           Rng& rng) const;
+
+  /// Samples an hour from the exposure curve.
+  int32_t SampleHour(Rng& rng) const;
+  /// Samples a user id (activity-weighted).
+  int32_t SampleUser(Rng& rng) const;
+  /// Samples `k` distinct candidate items from a city's pool, biased toward
+  /// the user's preferred categories (mimicking a recall stage).
+  std::vector<int32_t> SampleCandidates(int32_t user_id, int32_t city,
+                                        TimePeriod tp, int32_t k,
+                                        Rng& rng) const;
+
+  /// Builds a complete Example row (features + ground-truth prob + sampled
+  /// label) for one candidate impression.
+  Example MakeExample(int32_t user_id, int32_t item_id, int32_t hour,
+                      int32_t weekday, int32_t position, int32_t context_city,
+                      int32_t day, int32_t request_id,
+                      const std::vector<BehaviorEvent>& behaviors,
+                      Rng& rng) const;
+
+  /// Planted effect weights for introspection benches (Figs 8/9): the
+  /// time-period multiplier applied to user-side vs item-side effects.
+  float UserSideWeight(TimePeriod tp, int32_t city) const;
+  float ItemSideWeight(TimePeriod tp, int32_t city) const;
+
+ private:
+  SynthConfig config_;
+  Schema schema_;
+  std::vector<UserProfile> users_;
+  std::vector<ItemProfile> items_;
+  std::vector<std::vector<int32_t>> city_items_;
+  std::array<double, 24> hour_exposure_{};
+  std::vector<double> city_exposure_;
+  std::vector<float> hour_bias_;
+  std::vector<float> city_bias_;
+  std::vector<float> position_bias_;
+  std::vector<double> user_sample_weights_;
+  /// City activity tier in [0,1]; tier 0 cities are the largest.
+  std::vector<float> city_activity_;
+};
+
+/// Generates a full offline dataset (train days + one test day) by replaying
+/// `requests_per_day * days` requests through the world.
+Dataset GenerateDataset(const SynthConfig& config);
+
+}  // namespace basm::data
+
+#endif  // BASM_DATA_SYNTH_H_

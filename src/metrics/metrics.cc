@@ -1,0 +1,200 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace basm::metrics {
+
+double Auc(const std::vector<float>& scores,
+           const std::vector<float>& labels) {
+  BASM_CHECK_EQ(scores.size(), labels.size());
+  int64_t n = static_cast<int64_t>(scores.size());
+  if (n == 0) return 0.5;
+
+  std::vector<int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Midranks over ties, then the Mann-Whitney statistic.
+  double pos_rank_sum = 0.0;
+  int64_t num_pos = 0;
+  int64_t i = 0;
+  while (i < n) {
+    int64_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    double midrank = 0.5 * static_cast<double>(i + j - 1) + 1.0;  // 1-based
+    for (int64_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        pos_rank_sum += midrank;
+        ++num_pos;
+      }
+    }
+    i = j;
+  }
+  int64_t num_neg = n - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  double u = pos_rank_sum - static_cast<double>(num_pos) * (num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+double GroupedAuc(const std::vector<float>& scores,
+                  const std::vector<float>& labels,
+                  const std::vector<int32_t>& groups) {
+  BASM_CHECK_EQ(scores.size(), labels.size());
+  BASM_CHECK_EQ(scores.size(), groups.size());
+  std::map<int32_t, std::pair<std::vector<float>, std::vector<float>>> split;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    auto& bucket = split[groups[i]];
+    bucket.first.push_back(scores[i]);
+    bucket.second.push_back(labels[i]);
+  }
+  double weighted = 0.0;
+  double total = 0.0;
+  for (auto& [g, bucket] : split) {
+    const auto& s = bucket.first;
+    const auto& l = bucket.second;
+    bool has_pos = false, has_neg = false;
+    for (float y : l) {
+      if (y > 0.5f) has_pos = true;
+      else has_neg = true;
+    }
+    if (!has_pos || !has_neg) continue;  // AUC undefined in this group
+    double w = static_cast<double>(s.size());
+    weighted += w * Auc(s, l);
+    total += w;
+  }
+  return total == 0.0 ? 0.5 : weighted / total;
+}
+
+double NdcgAtK(const std::vector<float>& scores,
+               const std::vector<float>& labels,
+               const std::vector<int32_t>& request_ids, int k) {
+  BASM_CHECK_EQ(scores.size(), labels.size());
+  BASM_CHECK_EQ(scores.size(), request_ids.size());
+  BASM_CHECK_GT(k, 0);
+
+  std::map<int32_t, std::vector<std::pair<float, float>>> requests;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    requests[request_ids[i]].emplace_back(scores[i], labels[i]);
+  }
+
+  double total = 0.0;
+  int64_t counted = 0;
+  for (auto& [rid, items] : requests) {
+    double ideal = 0.0;
+    {
+      std::vector<float> gains;
+      for (auto& [s, y] : items) gains.push_back(y);
+      std::sort(gains.begin(), gains.end(), std::greater<float>());
+      for (int i = 0; i < std::min<int>(k, gains.size()); ++i) {
+        ideal += gains[i] / std::log2(static_cast<double>(i) + 2.0);
+      }
+    }
+    if (ideal <= 0.0) continue;  // no positive in the request
+    std::stable_sort(items.begin(), items.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    double dcg = 0.0;
+    for (int i = 0; i < std::min<int>(k, items.size()); ++i) {
+      dcg += items[i].second / std::log2(static_cast<double>(i) + 2.0);
+    }
+    total += dcg / ideal;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double LogLoss(const std::vector<float>& probs,
+               const std::vector<float>& labels) {
+  BASM_CHECK_EQ(probs.size(), labels.size());
+  BASM_CHECK(!probs.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    double p = std::clamp(static_cast<double>(probs[i]), 1e-7, 1.0 - 1e-7);
+    acc += labels[i] > 0.5f ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return acc / static_cast<double>(probs.size());
+}
+
+double Ctr(const std::vector<float>& labels) {
+  if (labels.empty()) return 0.0;
+  double acc = 0.0;
+  for (float y : labels) acc += y;
+  return acc / static_cast<double>(labels.size());
+}
+
+std::map<int32_t, GroupStats> GroupCtr(const std::vector<float>& labels,
+                                       const std::vector<int32_t>& groups) {
+  BASM_CHECK_EQ(labels.size(), groups.size());
+  std::map<int32_t, GroupStats> out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    GroupStats& gs = out[groups[i]];
+    ++gs.impressions;
+    if (labels[i] > 0.5f) ++gs.clicks;
+  }
+  return out;
+}
+
+std::vector<CalibrationBucket> CalibrationTable(
+    const std::vector<float>& probs, const std::vector<float>& labels,
+    int num_buckets) {
+  BASM_CHECK_EQ(probs.size(), labels.size());
+  BASM_CHECK_GT(num_buckets, 0);
+  std::vector<double> pred_sum(num_buckets, 0.0);
+  std::vector<double> label_sum(num_buckets, 0.0);
+  std::vector<int64_t> counts(num_buckets, 0);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    int b = std::min(num_buckets - 1,
+                     static_cast<int>(probs[i] * num_buckets));
+    b = std::max(b, 0);
+    pred_sum[b] += probs[i];
+    label_sum[b] += labels[i];
+    counts[b]++;
+  }
+  std::vector<CalibrationBucket> out;
+  for (int b = 0; b < num_buckets; ++b) {
+    if (counts[b] == 0) continue;
+    CalibrationBucket bucket;
+    bucket.count = counts[b];
+    bucket.mean_predicted = pred_sum[b] / counts[b];
+    bucket.observed_ctr = label_sum[b] / counts[b];
+    out.push_back(bucket);
+  }
+  return out;
+}
+
+double ExpectedCalibrationError(const std::vector<float>& probs,
+                                const std::vector<float>& labels,
+                                int num_buckets) {
+  auto table = CalibrationTable(probs, labels, num_buckets);
+  if (probs.empty()) return 0.0;
+  double weighted = 0.0;
+  for (const auto& bucket : table) {
+    weighted += static_cast<double>(bucket.count) *
+                std::abs(bucket.mean_predicted - bucket.observed_ctr);
+  }
+  return weighted / static_cast<double>(probs.size());
+}
+
+EvalSummary Evaluate(const std::vector<float>& probs,
+                     const std::vector<float>& labels,
+                     const std::vector<int32_t>& time_periods,
+                     const std::vector<int32_t>& cities,
+                     const std::vector<int32_t>& request_ids) {
+  EvalSummary s;
+  s.auc = Auc(probs, labels);
+  s.tauc = GroupedAuc(probs, labels, time_periods);
+  s.cauc = GroupedAuc(probs, labels, cities);
+  s.ndcg3 = NdcgAtK(probs, labels, request_ids, 3);
+  s.ndcg10 = NdcgAtK(probs, labels, request_ids, 10);
+  s.logloss = LogLoss(probs, labels);
+  return s;
+}
+
+}  // namespace basm::metrics

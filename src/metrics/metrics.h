@@ -1,0 +1,87 @@
+#ifndef BASM_METRICS_METRICS_H_
+#define BASM_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace basm::metrics {
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) estimator with
+/// midrank tie handling. Returns 0.5 when one class is absent.
+double Auc(const std::vector<float>& scores, const std::vector<float>& labels);
+
+/// Impression-weighted grouped AUC (Eq. 20/21 of the paper):
+///   GAUC = sum_g |g| * AUC_g / sum_g |g|
+/// over groups with both classes present. With `group = time_period` this is
+/// TAUC; with `group = city` it is CAUC.
+double GroupedAuc(const std::vector<float>& scores,
+                  const std::vector<float>& labels,
+                  const std::vector<int32_t>& groups);
+
+/// Mean NDCG@k over requests: items sharing a request_id form one ranked
+/// list; gains are the binary click labels. Requests with no positive item
+/// are skipped (their DCG is undefined), matching common practice.
+double NdcgAtK(const std::vector<float>& scores,
+               const std::vector<float>& labels,
+               const std::vector<int32_t>& request_ids, int k);
+
+/// Mean binary cross-entropy of probability predictions (clamped away from
+/// 0/1 for stability).
+double LogLoss(const std::vector<float>& probs,
+               const std::vector<float>& labels);
+
+/// Observed CTR (mean label).
+double Ctr(const std::vector<float>& labels);
+
+/// Per-group impression counts and CTRs, used by the distribution figures.
+struct GroupStats {
+  int64_t impressions = 0;
+  int64_t clicks = 0;
+  double ctr() const {
+    return impressions == 0 ? 0.0
+                            : static_cast<double>(clicks) / impressions;
+  }
+};
+std::map<int32_t, GroupStats> GroupCtr(const std::vector<float>& labels,
+                                       const std::vector<int32_t>& groups);
+
+/// One probability bucket of a calibration table.
+struct CalibrationBucket {
+  double mean_predicted = 0.0;
+  double observed_ctr = 0.0;
+  int64_t count = 0;
+};
+
+/// Equal-width calibration buckets over [0, 1]; empty buckets are omitted.
+/// CTR models serve their scores as probabilities downstream (ad pricing,
+/// ranking blends), so calibration matters alongside ranking quality.
+std::vector<CalibrationBucket> CalibrationTable(
+    const std::vector<float>& probs, const std::vector<float>& labels,
+    int num_buckets = 10);
+
+/// Expected calibration error: count-weighted mean |predicted - observed|.
+double ExpectedCalibrationError(const std::vector<float>& probs,
+                                const std::vector<float>& labels,
+                                int num_buckets = 10);
+
+/// Bundle of every offline metric in Table IV.
+struct EvalSummary {
+  double auc = 0.0;
+  double tauc = 0.0;
+  double cauc = 0.0;
+  double ndcg3 = 0.0;
+  double ndcg10 = 0.0;
+  double logloss = 0.0;
+};
+
+/// Computes the full Table IV metric set in one pass.
+EvalSummary Evaluate(const std::vector<float>& probs,
+                     const std::vector<float>& labels,
+                     const std::vector<int32_t>& time_periods,
+                     const std::vector<int32_t>& cities,
+                     const std::vector<int32_t>& request_ids);
+
+}  // namespace basm::metrics
+
+#endif  // BASM_METRICS_METRICS_H_

@@ -1,0 +1,58 @@
+#include "models/apg.h"
+
+namespace basm::models {
+
+namespace ag = ::basm::autograd;
+
+Apg::Apg(const data::Schema& schema, int64_t embed_dim,
+         std::vector<int64_t> hidden, int64_t rank, Rng& rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(schema, embed_dim, rng);
+  RegisterModule("encoder", encoder_.get());
+  attention_ = std::make_unique<nn::TargetAttention>(encoder_->seq_dim(),
+                                                     /*hidden=*/32, rng);
+  RegisterModule("attention", attention_.get());
+
+  const int64_t cond_dim = 16;
+  condition_ =
+      std::make_unique<nn::Linear>(encoder_->concat_dim(), cond_dim, rng);
+  RegisterModule("condition", condition_.get());
+
+  std::vector<int64_t> dims = {encoder_->concat_dim()};
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  BASM_CHECK_GE(dims.size(), 2u);
+  first_layer_ =
+      std::make_unique<nn::MetaLinear>(cond_dim, dims[0], dims[1], rng);
+  RegisterModule("apg_fc0_full", first_layer_.get());
+  for (size_t l = 1; l + 1 < dims.size(); ++l) {
+    layers_.push_back(std::make_unique<nn::LowRankMetaLinear>(
+        cond_dim, dims[l], dims[l + 1], rank, rng));
+    RegisterModule("apg_fc" + std::to_string(l), layers_.back().get());
+  }
+  out_ = std::make_unique<nn::Linear>(dims.back(), 1, rng);
+  RegisterModule("out", out_.get());
+}
+
+ag::Variable Apg::Hidden(const data::Batch& batch) {
+  FeatureEncoder::FieldEmbeddings f = encoder_->Encode(batch);
+  ag::Variable interest = attention_->Forward(f.query, f.seq, batch.seq_mask);
+  ag::Variable x =
+      ag::ConcatCols({f.user, interest, f.item, f.context, f.combine});
+  ag::Variable z =
+      nn::Apply(nn::Activation::kLeakyRelu, condition_->Forward(x));
+  ag::Variable h =
+      nn::Apply(nn::Activation::kLeakyRelu, first_layer_->Forward(x, z));
+  for (auto& layer : layers_) {
+    h = nn::Apply(nn::Activation::kLeakyRelu, layer->Forward(h, z));
+  }
+  return h;
+}
+
+ag::Variable Apg::ForwardLogits(const data::Batch& batch) {
+  return ag::Reshape(out_->Forward(Hidden(batch)), {batch.size});
+}
+
+ag::Variable Apg::FinalRepresentation(const data::Batch& batch) {
+  return Hidden(batch);
+}
+
+}  // namespace basm::models

@@ -1,0 +1,43 @@
+#ifndef BASM_MODELS_APG_H_
+#define BASM_MODELS_APG_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/ctr_model.h"
+#include "models/feature_encoder.h"
+#include "nn/attention.h"
+#include "nn/dynamic.h"
+#include "nn/linear.h"
+
+namespace basm::models {
+
+/// APG (Yan et al. 2022): adaptive parameter generation. The first tower
+/// layer's weight matrix is generated per-instance in full (the costly
+/// configuration the BASM paper profiles in Table VI, where APG is the most
+/// expensive comparison model); deeper layers use the low-rank decomposition
+/// W = U S(z) V. Self-wise conditioning: z is a compressed view of the
+/// instance's own input embedding.
+class Apg : public CtrModel {
+ public:
+  Apg(const data::Schema& schema, int64_t embed_dim,
+      std::vector<int64_t> hidden, int64_t rank, Rng& rng);
+
+  autograd::Variable ForwardLogits(const data::Batch& batch) override;
+  autograd::Variable FinalRepresentation(const data::Batch& batch) override;
+  std::string name() const override { return "APG"; }
+
+ private:
+  autograd::Variable Hidden(const data::Batch& batch);
+
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::TargetAttention> attention_;
+  std::unique_ptr<nn::Linear> condition_;  // input -> condition z
+  std::unique_ptr<nn::MetaLinear> first_layer_;  // full generation
+  std::vector<std::unique_ptr<nn::LowRankMetaLinear>> layers_;
+  std::unique_ptr<nn::Linear> out_;
+};
+
+}  // namespace basm::models
+
+#endif  // BASM_MODELS_APG_H_

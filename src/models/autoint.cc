@@ -1,0 +1,68 @@
+#include "models/autoint.h"
+
+namespace basm::models {
+
+namespace ag = ::basm::autograd;
+
+AutoInt::AutoInt(const data::Schema& schema, int64_t embed_dim,
+                 int64_t token_dim, int64_t num_layers, int64_t num_heads,
+                 Rng& rng)
+    : token_dim_(token_dim) {
+  encoder_ = std::make_unique<FeatureEncoder>(schema, embed_dim, rng);
+  RegisterModule("encoder", encoder_.get());
+
+  std::vector<int64_t> field_dims = {
+      encoder_->user_dim(), encoder_->seq_dim(), encoder_->item_dim(),
+      encoder_->context_dim(), encoder_->combine_dim()};
+  for (size_t i = 0; i < field_dims.size(); ++i) {
+    field_proj_.push_back(
+        std::make_unique<nn::Linear>(field_dims[i], token_dim, rng));
+    RegisterModule("proj" + std::to_string(i), field_proj_.back().get());
+  }
+
+  BASM_CHECK_EQ(token_dim % num_heads, 0);
+  int64_t head_dim = token_dim / num_heads;
+  int64_t dim = token_dim;
+  for (int64_t l = 0; l < num_layers; ++l) {
+    layers_.push_back(std::make_unique<nn::MultiHeadSelfAttention>(
+        dim, num_heads, head_dim, rng));
+    RegisterModule("mhsa" + std::to_string(l), layers_.back().get());
+    dim = layers_.back()->out_dim();
+  }
+  out_ = std::make_unique<nn::Linear>(
+      FeatureEncoder::kNumFields * dim, 1, rng);
+  RegisterModule("out", out_.get());
+}
+
+ag::Variable AutoInt::Tokens(const data::Batch& batch) {
+  FeatureEncoder::FieldEmbeddings f = encoder_->Encode(batch);
+  std::vector<ag::Variable> fields = {f.user, f.seq_pooled, f.item, f.context,
+                                      f.combine};
+  std::vector<ag::Variable> tokens;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    tokens.push_back(field_proj_[i]->Forward(fields[i]));  // [B, token_dim]
+  }
+  // Interleave to [B, F, token_dim]: concat gives [B, F*token], reshape works
+  // because fields are concatenated in token order.
+  ag::Variable x = ag::Reshape(ag::ConcatCols(tokens),
+                               {batch.size, FeatureEncoder::kNumFields,
+                                token_dim_});
+  for (auto& layer : layers_) {
+    x = layer->Forward(x);
+  }
+  return x;
+}
+
+ag::Variable AutoInt::ForwardLogits(const data::Batch& batch) {
+  ag::Variable x = Tokens(batch);
+  ag::Variable flat =
+      ag::Reshape(x, {batch.size, x.value().dim(1) * x.value().dim(2)});
+  return ag::Reshape(out_->Forward(flat), {batch.size});
+}
+
+ag::Variable AutoInt::FinalRepresentation(const data::Batch& batch) {
+  ag::Variable x = Tokens(batch);
+  return ag::Reshape(x, {batch.size, x.value().dim(1) * x.value().dim(2)});
+}
+
+}  // namespace basm::models

@@ -1,0 +1,38 @@
+#ifndef BASM_MODELS_AUTOINT_H_
+#define BASM_MODELS_AUTOINT_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/ctr_model.h"
+#include "models/feature_encoder.h"
+#include "nn/attention.h"
+#include "nn/linear.h"
+
+namespace basm::models {
+
+/// AutoInt (Song et al. 2019): each field is projected into a common token
+/// space and stacked multi-head self-attention layers learn high-order field
+/// interactions; the flattened tokens feed the output unit.
+class AutoInt : public CtrModel {
+ public:
+  AutoInt(const data::Schema& schema, int64_t embed_dim, int64_t token_dim,
+          int64_t num_layers, int64_t num_heads, Rng& rng);
+
+  autograd::Variable ForwardLogits(const data::Batch& batch) override;
+  autograd::Variable FinalRepresentation(const data::Batch& batch) override;
+  std::string name() const override { return "AutoInt"; }
+
+ private:
+  autograd::Variable Tokens(const data::Batch& batch);
+
+  int64_t token_dim_;
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::vector<std::unique_ptr<nn::Linear>> field_proj_;  // one per field
+  std::vector<std::unique_ptr<nn::MultiHeadSelfAttention>> layers_;
+  std::unique_ptr<nn::Linear> out_;
+};
+
+}  // namespace basm::models
+
+#endif  // BASM_MODELS_AUTOINT_H_

@@ -1,0 +1,67 @@
+#include "models/base_din.h"
+
+#include <algorithm>
+
+namespace basm::models {
+
+namespace ag = ::basm::autograd;
+
+BaseDin::BaseDin(const data::Schema& schema, int64_t embed_dim,
+                 std::vector<int64_t> hidden, Rng& rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(schema, embed_dim, rng);
+  RegisterModule("encoder", encoder_.get());
+  long_attn_ = std::make_unique<nn::TargetAttention>(encoder_->seq_dim(),
+                                                     /*hidden=*/32, rng);
+  short_attn_ = std::make_unique<nn::TargetAttention>(encoder_->seq_dim(),
+                                                      /*hidden=*/32, rng);
+  realtime_attn_ = std::make_unique<nn::TargetAttention>(encoder_->seq_dim(),
+                                                         /*hidden=*/32, rng);
+  RegisterModule("long_attn", long_attn_.get());
+  RegisterModule("short_attn", short_attn_.get());
+  RegisterModule("realtime_attn", realtime_attn_.get());
+
+  // Three pooled interests replace the single one.
+  int64_t concat = encoder_->user_dim() + 3 * encoder_->seq_dim() +
+                   encoder_->item_dim() + encoder_->context_dim() +
+                   encoder_->combine_dim();
+  std::vector<int64_t> dims = {concat};
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  tower_ = std::make_unique<nn::Mlp>(dims, nn::Activation::kLeakyRelu, rng);
+  RegisterModule("tower", tower_.get());
+  out_ = std::make_unique<nn::Linear>(dims.back(), 1, rng);
+  RegisterModule("out", out_.get());
+}
+
+Tensor BaseDin::TruncateMask(const Tensor& mask, int64_t keep) {
+  Tensor out = mask;
+  int64_t b = mask.dim(0), t = mask.dim(1);
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = keep; j < t; ++j) out[i * t + j] = 0.0f;
+  }
+  return out;
+}
+
+ag::Variable BaseDin::Hidden(const data::Batch& batch) {
+  FeatureEncoder::FieldEmbeddings f = encoder_->Encode(batch);
+  int64_t t = batch.seq_len;
+  Tensor short_mask = TruncateMask(batch.seq_mask, std::max<int64_t>(1, t / 2));
+  Tensor realtime_mask = TruncateMask(batch.seq_mask, 2);
+
+  ag::Variable long_i = long_attn_->Forward(f.query, f.seq, batch.seq_mask);
+  ag::Variable short_i = short_attn_->Forward(f.query, f.seq, short_mask);
+  ag::Variable rt_i = realtime_attn_->Forward(f.query, f.seq, realtime_mask);
+
+  ag::Variable x = ag::ConcatCols(
+      {f.user, long_i, short_i, rt_i, f.item, f.context, f.combine});
+  return nn::Apply(nn::Activation::kLeakyRelu, tower_->Forward(x));
+}
+
+ag::Variable BaseDin::ForwardLogits(const data::Batch& batch) {
+  return ag::Reshape(out_->Forward(Hidden(batch)), {batch.size});
+}
+
+ag::Variable BaseDin::FinalRepresentation(const data::Batch& batch) {
+  return Hidden(batch);
+}
+
+}  // namespace basm::models

@@ -1,0 +1,43 @@
+#ifndef BASM_MODELS_BASE_DIN_H_
+#define BASM_MODELS_BASE_DIN_H_
+
+#include <memory>
+
+#include "models/ctr_model.h"
+#include "models/feature_encoder.h"
+#include "nn/attention.h"
+#include "nn/mlp.h"
+
+namespace basm::models {
+
+/// The paper's online base model: "a variation of DIN, mainly consisting of
+/// three Multi-head Target Attention modules on the user's long / short /
+/// realtime historical behavior sequences". Here the long view is the whole
+/// history, the short view the most recent half, and the realtime view the
+/// most recent two events; each gets its own target attention and the three
+/// pooled interests join the tower.
+class BaseDin : public CtrModel {
+ public:
+  BaseDin(const data::Schema& schema, int64_t embed_dim,
+          std::vector<int64_t> hidden, Rng& rng);
+
+  autograd::Variable ForwardLogits(const data::Batch& batch) override;
+  autograd::Variable FinalRepresentation(const data::Batch& batch) override;
+  std::string name() const override { return "Base(DIN-variant)"; }
+
+ private:
+  autograd::Variable Hidden(const data::Batch& batch);
+  /// Masks positions >= `keep` (behaviors are most-recent-first).
+  static Tensor TruncateMask(const Tensor& mask, int64_t keep);
+
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::TargetAttention> long_attn_;
+  std::unique_ptr<nn::TargetAttention> short_attn_;
+  std::unique_ptr<nn::TargetAttention> realtime_attn_;
+  std::unique_ptr<nn::Mlp> tower_;
+  std::unique_ptr<nn::Linear> out_;
+};
+
+}  // namespace basm::models
+
+#endif  // BASM_MODELS_BASE_DIN_H_

@@ -1,0 +1,17 @@
+#include "models/ctr_model.h"
+
+#include <cmath>
+
+namespace basm::models {
+
+std::vector<float> CtrModel::PredictProbs(const data::Batch& batch) {
+  autograd::Variable logits = ForwardLogits(batch);
+  const Tensor& z = logits.value();
+  std::vector<float> probs(z.numel());
+  for (int64_t i = 0; i < z.numel(); ++i) {
+    probs[i] = 1.0f / (1.0f + std::exp(-z[i]));
+  }
+  return probs;
+}
+
+}  // namespace basm::models

@@ -1,0 +1,42 @@
+#ifndef BASM_MODELS_CTR_MODEL_H_
+#define BASM_MODELS_CTR_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "data/batch.h"
+#include "nn/module.h"
+
+namespace basm::models {
+
+/// Interface shared by every CTR model in the zoo (the six baselines of
+/// Table IV, the online base model, and BASM itself). Trainers consume this
+/// interface only, so offline comparisons and the A/B simulator are
+/// model-agnostic.
+class CtrModel : public nn::Module {
+ public:
+  ~CtrModel() override = default;
+
+  /// Click log-odds for each impression in the batch: [B].
+  virtual autograd::Variable ForwardLogits(const data::Batch& batch) = 0;
+
+  /// Human-readable model name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Convenience for evaluation/serving: sigmoid(logits) as raw floats.
+  /// Leaves training mode untouched; callers set eval mode beforehand.
+  std::vector<float> PredictProbs(const data::Batch& batch);
+
+  /// Final hidden representation used for the t-SNE visualizations
+  /// (Figs 10/11). Models override to expose their last hidden layer; the
+  /// default returns an empty Variable.
+  virtual autograd::Variable FinalRepresentation(const data::Batch& batch) {
+    (void)batch;
+    return autograd::Variable();
+  }
+};
+
+}  // namespace basm::models
+
+#endif  // BASM_MODELS_CTR_MODEL_H_

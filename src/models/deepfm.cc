@@ -1,0 +1,83 @@
+#include "models/deepfm.h"
+
+namespace basm::models {
+
+namespace ag = ::basm::autograd;
+
+DeepFm::DeepFm(const data::Schema& schema, int64_t embed_dim,
+               std::vector<int64_t> hidden, Rng& rng)
+    : embed_dim_(embed_dim) {
+  encoder_ = std::make_unique<FeatureEncoder>(schema, embed_dim, rng);
+  RegisterModule("encoder", encoder_.get());
+  first_order_ = std::make_unique<nn::Linear>(encoder_->concat_dim(), 1, rng);
+  RegisterModule("first_order", first_order_.get());
+  std::vector<int64_t> dims = {encoder_->concat_dim()};
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  deep_ = std::make_unique<nn::Mlp>(dims, nn::Activation::kLeakyRelu, rng);
+  RegisterModule("deep", deep_.get());
+  deep_out_ = std::make_unique<nn::Linear>(dims.back(), 1, rng);
+  RegisterModule("deep_out", deep_out_.get());
+}
+
+std::vector<ag::Variable> DeepFm::FeatureVectors(
+    const FeatureEncoder::FieldEmbeddings& f) const {
+  const int64_t d = embed_dim_;
+  std::vector<ag::Variable> out;
+  // user field layout: 4 embeddings then 3 dense columns.
+  for (int64_t k = 0; k < 4; ++k) {
+    out.push_back(ag::SliceCols(f.user, k * d, d));
+  }
+  // item field: 5 embeddings then 3 dense columns.
+  for (int64_t k = 0; k < 5; ++k) {
+    out.push_back(ag::SliceCols(f.item, k * d, d));
+  }
+  // context field: 5 embeddings.
+  for (int64_t k = 0; k < 5; ++k) {
+    out.push_back(ag::SliceCols(f.context, k * d, d));
+  }
+  // combine field: 2 embeddings.
+  for (int64_t k = 0; k < 2; ++k) {
+    out.push_back(ag::SliceCols(f.combine, k * d, d));
+  }
+  // behavior summary: the mask-pooled sequence is 5 stacked embeddings.
+  for (int64_t k = 0; k < 5; ++k) {
+    out.push_back(ag::SliceCols(f.seq_pooled, k * d, d));
+  }
+  return out;
+}
+
+ag::Variable DeepFm::ForwardLogits(const data::Batch& batch) {
+  FeatureEncoder::FieldEmbeddings f = encoder_->Encode(batch);
+  ag::Variable x =
+      ag::ConcatCols({f.user, f.seq_pooled, f.item, f.context, f.combine});
+
+  // First-order term.
+  ag::Variable first = first_order_->Forward(x);  // [B,1]
+
+  // Second-order FM: 0.5 * sum_d ((sum_i v_id)^2 - sum_i v_id^2).
+  std::vector<ag::Variable> features = FeatureVectors(f);
+  ag::Variable sum_v = features[0];
+  ag::Variable sum_sq = ag::Mul(features[0], features[0]);
+  for (size_t i = 1; i < features.size(); ++i) {
+    sum_v = ag::Add(sum_v, features[i]);
+    sum_sq = ag::Add(sum_sq, ag::Mul(features[i], features[i]));
+  }
+  ag::Variable fm =
+      ag::Scale(ag::RowSum(ag::Sub(ag::Mul(sum_v, sum_v), sum_sq)), 0.5f);
+
+  // Deep term.
+  ag::Variable hidden =
+      nn::Apply(nn::Activation::kLeakyRelu, deep_->Forward(x));
+  ag::Variable deep = deep_out_->Forward(hidden);
+
+  return ag::Reshape(ag::Add(ag::Add(first, fm), deep), {batch.size});
+}
+
+ag::Variable DeepFm::FinalRepresentation(const data::Batch& batch) {
+  FeatureEncoder::FieldEmbeddings f = encoder_->Encode(batch);
+  ag::Variable x =
+      ag::ConcatCols({f.user, f.seq_pooled, f.item, f.context, f.combine});
+  return nn::Apply(nn::Activation::kLeakyRelu, deep_->Forward(x));
+}
+
+}  // namespace basm::models

@@ -1,0 +1,43 @@
+#ifndef BASM_MODELS_DEEPFM_H_
+#define BASM_MODELS_DEEPFM_H_
+
+#include <memory>
+
+#include "models/ctr_model.h"
+#include "models/feature_encoder.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace basm::models {
+
+/// DeepFM (Guo et al. 2017), discussed in the paper's related work: replaces
+/// Wide&Deep's manual cross features with a factorization machine over the
+/// per-feature embeddings (second-order interactions via the
+/// 0.5 * ((sum v)^2 - sum v^2) identity), sharing embeddings with a deep MLP.
+/// Included as an extension baseline beyond the paper's Table IV set.
+class DeepFm : public CtrModel {
+ public:
+  DeepFm(const data::Schema& schema, int64_t embed_dim,
+         std::vector<int64_t> hidden, Rng& rng);
+
+  autograd::Variable ForwardLogits(const data::Batch& batch) override;
+  autograd::Variable FinalRepresentation(const data::Batch& batch) override;
+  std::string name() const override { return "DeepFM"; }
+
+ private:
+  /// Splits the field embeddings into the individual D-wide feature vectors
+  /// the FM term interacts (categorical features only; dense stats feed the
+  /// deep part and first-order term).
+  std::vector<autograd::Variable> FeatureVectors(
+      const FeatureEncoder::FieldEmbeddings& f) const;
+
+  int64_t embed_dim_;
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::Linear> first_order_;
+  std::unique_ptr<nn::Mlp> deep_;
+  std::unique_ptr<nn::Linear> deep_out_;
+};
+
+}  // namespace basm::models
+
+#endif  // BASM_MODELS_DEEPFM_H_

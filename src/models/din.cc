@@ -1,0 +1,38 @@
+#include "models/din.h"
+
+namespace basm::models {
+
+namespace ag = ::basm::autograd;
+
+Din::Din(const data::Schema& schema, int64_t embed_dim,
+         std::vector<int64_t> hidden, Rng& rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(schema, embed_dim, rng);
+  RegisterModule("encoder", encoder_.get());
+  attention_ = std::make_unique<nn::TargetAttention>(encoder_->seq_dim(),
+                                                     /*hidden=*/32, rng);
+  RegisterModule("attention", attention_.get());
+  std::vector<int64_t> dims = {encoder_->concat_dim()};
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  tower_ = std::make_unique<nn::Mlp>(dims, nn::Activation::kLeakyRelu, rng);
+  RegisterModule("tower", tower_.get());
+  out_ = std::make_unique<nn::Linear>(dims.back(), 1, rng);
+  RegisterModule("out", out_.get());
+}
+
+ag::Variable Din::Hidden(const data::Batch& batch) {
+  FeatureEncoder::FieldEmbeddings f = encoder_->Encode(batch);
+  ag::Variable interest = attention_->Forward(f.query, f.seq, batch.seq_mask);
+  ag::Variable x =
+      ag::ConcatCols({f.user, interest, f.item, f.context, f.combine});
+  return nn::Apply(nn::Activation::kLeakyRelu, tower_->Forward(x));
+}
+
+ag::Variable Din::ForwardLogits(const data::Batch& batch) {
+  return ag::Reshape(out_->Forward(Hidden(batch)), {batch.size});
+}
+
+ag::Variable Din::FinalRepresentation(const data::Batch& batch) {
+  return Hidden(batch);
+}
+
+}  // namespace basm::models

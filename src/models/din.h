@@ -1,0 +1,36 @@
+#ifndef BASM_MODELS_DIN_H_
+#define BASM_MODELS_DIN_H_
+
+#include <memory>
+
+#include "models/ctr_model.h"
+#include "models/feature_encoder.h"
+#include "nn/attention.h"
+#include "nn/mlp.h"
+
+namespace basm::models {
+
+/// DIN (Zhou et al. 2018): target attention extracts the candidate-relevant
+/// part of the behavior sequence; the pooled interest joins the other fields
+/// in an MLP tower.
+class Din : public CtrModel {
+ public:
+  Din(const data::Schema& schema, int64_t embed_dim,
+      std::vector<int64_t> hidden, Rng& rng);
+
+  autograd::Variable ForwardLogits(const data::Batch& batch) override;
+  autograd::Variable FinalRepresentation(const data::Batch& batch) override;
+  std::string name() const override { return "DIN"; }
+
+ private:
+  autograd::Variable Hidden(const data::Batch& batch);
+
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::TargetAttention> attention_;
+  std::unique_ptr<nn::Mlp> tower_;     // concat -> last hidden
+  std::unique_ptr<nn::Linear> out_;    // last hidden -> 1
+};
+
+}  // namespace basm::models
+
+#endif  // BASM_MODELS_DIN_H_

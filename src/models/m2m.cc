@@ -1,0 +1,53 @@
+#include "models/m2m.h"
+
+namespace basm::models {
+
+namespace ag = ::basm::autograd;
+
+M2m::M2m(const data::Schema& schema, int64_t embed_dim,
+         std::vector<int64_t> hidden, Rng& rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(schema, embed_dim, rng);
+  RegisterModule("encoder", encoder_.get());
+  attention_ = std::make_unique<nn::TargetAttention>(encoder_->seq_dim(),
+                                                     /*hidden=*/32, rng);
+  RegisterModule("attention", attention_.get());
+
+  std::vector<int64_t> dims = {encoder_->concat_dim()};
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  backbone_ =
+      std::make_unique<nn::Mlp>(dims, nn::Activation::kLeakyRelu, rng);
+  RegisterModule("backbone", backbone_.get());
+  hidden_dim_ = dims.back();
+
+  meta_tower_ = std::make_unique<nn::MetaLinear>(
+      encoder_->context_dim(), hidden_dim_, hidden_dim_, rng);
+  RegisterModule("meta_tower", meta_tower_.get());
+  meta_out_ = std::make_unique<nn::MetaLinear>(encoder_->context_dim(),
+                                               hidden_dim_, 1, rng);
+  RegisterModule("meta_out", meta_out_.get());
+}
+
+ag::Variable M2m::Hidden(const data::Batch& batch) {
+  FeatureEncoder::FieldEmbeddings f = encoder_->Encode(batch);
+  ag::Variable interest = attention_->Forward(f.query, f.seq, batch.seq_mask);
+  ag::Variable x =
+      ag::ConcatCols({f.user, interest, f.item, f.context, f.combine});
+  ag::Variable expert =
+      nn::Apply(nn::Activation::kLeakyRelu, backbone_->Forward(x));
+  // Meta tower with residual: h = LeakyReLU(MetaFC(h|scenario)) + h.
+  ag::Variable adapted = nn::Apply(nn::Activation::kLeakyRelu,
+                                   meta_tower_->Forward(expert, f.context));
+  return ag::Add(adapted, expert);
+}
+
+ag::Variable M2m::ForwardLogits(const data::Batch& batch) {
+  FeatureEncoder::FieldEmbeddings f = encoder_->Encode(batch);
+  ag::Variable h = Hidden(batch);
+  return ag::Reshape(meta_out_->Forward(h, f.context), {batch.size});
+}
+
+ag::Variable M2m::FinalRepresentation(const data::Batch& batch) {
+  return Hidden(batch);
+}
+
+}  // namespace basm::models

@@ -1,0 +1,42 @@
+#ifndef BASM_MODELS_M2M_H_
+#define BASM_MODELS_M2M_H_
+
+#include <memory>
+
+#include "models/ctr_model.h"
+#include "models/feature_encoder.h"
+#include "nn/attention.h"
+#include "nn/dynamic.h"
+#include "nn/mlp.h"
+
+namespace basm::models {
+
+/// M2M (Zhang et al. 2022): meta units generate the tower parameters from a
+/// scenario representation. Following the paper's comparison setup, the
+/// scenario input of the meta unit is the spatiotemporal context embedding;
+/// a backbone MLP produces the expert representation and two meta-generated
+/// layers (meta tower + meta output) adapt it per scenario with a residual
+/// connection.
+class M2m : public CtrModel {
+ public:
+  M2m(const data::Schema& schema, int64_t embed_dim,
+      std::vector<int64_t> hidden, Rng& rng);
+
+  autograd::Variable ForwardLogits(const data::Batch& batch) override;
+  autograd::Variable FinalRepresentation(const data::Batch& batch) override;
+  std::string name() const override { return "M2M"; }
+
+ private:
+  autograd::Variable Hidden(const data::Batch& batch);
+
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::TargetAttention> attention_;
+  std::unique_ptr<nn::Mlp> backbone_;
+  std::unique_ptr<nn::MetaLinear> meta_tower_;
+  std::unique_ptr<nn::MetaLinear> meta_out_;
+  int64_t hidden_dim_;
+};
+
+}  // namespace basm::models
+
+#endif  // BASM_MODELS_M2M_H_

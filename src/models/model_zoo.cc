@@ -1,0 +1,85 @@
+#include "models/model_zoo.h"
+
+#include "core/basm_model.h"
+#include "models/apg.h"
+#include "models/autoint.h"
+#include "models/base_din.h"
+#include "models/deepfm.h"
+#include "models/din.h"
+#include "models/m2m.h"
+#include "models/star.h"
+#include "models/wide_deep.h"
+
+namespace basm::models {
+
+namespace {
+const std::vector<int64_t> kHidden = {64, 32};
+constexpr int64_t kEmbedDim = 8;
+}  // namespace
+
+std::vector<ModelKind> TableFourModels() {
+  return {ModelKind::kWideDeep, ModelKind::kDin,  ModelKind::kAutoInt,
+          ModelKind::kStar,     ModelKind::kM2m,  ModelKind::kApg,
+          ModelKind::kBasm};
+}
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kWideDeep:
+      return "Wide&Deep";
+    case ModelKind::kDin:
+      return "DIN";
+    case ModelKind::kAutoInt:
+      return "AutoInt";
+    case ModelKind::kStar:
+      return "STAR";
+    case ModelKind::kM2m:
+      return "M2M";
+    case ModelKind::kApg:
+      return "APG";
+    case ModelKind::kBasm:
+      return "BASM";
+    case ModelKind::kBaseDin:
+      return "Base(DIN-variant)";
+    case ModelKind::kDeepFm:
+      return "DeepFM";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<CtrModel> CreateModel(ModelKind kind,
+                                      const data::Schema& schema,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case ModelKind::kWideDeep:
+      return std::make_unique<WideDeep>(schema, kEmbedDim, kHidden, rng);
+    case ModelKind::kDin:
+      return std::make_unique<Din>(schema, kEmbedDim, kHidden, rng);
+    case ModelKind::kAutoInt:
+      return std::make_unique<AutoInt>(schema, kEmbedDim, /*token_dim=*/16,
+                                       /*num_layers=*/2, /*num_heads=*/2,
+                                       rng);
+    case ModelKind::kStar:
+      return std::make_unique<Star>(schema, kEmbedDim, kHidden, rng);
+    case ModelKind::kM2m:
+      return std::make_unique<M2m>(schema, kEmbedDim, kHidden, rng);
+    case ModelKind::kApg:
+      return std::make_unique<Apg>(schema, kEmbedDim, kHidden, /*rank=*/8,
+                                   rng);
+    case ModelKind::kBasm: {
+      core::BasmConfig config;
+      config.embed_dim = kEmbedDim;
+      config.tower_hidden = kHidden;
+      return std::make_unique<core::Basm>(schema, config, rng);
+    }
+    case ModelKind::kBaseDin:
+      return std::make_unique<BaseDin>(schema, kEmbedDim, kHidden, rng);
+    case ModelKind::kDeepFm:
+      return std::make_unique<DeepFm>(schema, kEmbedDim, kHidden, rng);
+  }
+  BASM_CHECK(false) << "unknown model kind";
+  return nullptr;
+}
+
+}  // namespace basm::models

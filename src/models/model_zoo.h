@@ -1,0 +1,40 @@
+#ifndef BASM_MODELS_MODEL_ZOO_H_
+#define BASM_MODELS_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "models/ctr_model.h"
+
+namespace basm::models {
+
+/// Model identifiers as they appear in Table IV, plus the online base model.
+enum class ModelKind {
+  kWideDeep,
+  kDin,
+  kAutoInt,
+  kStar,
+  kM2m,
+  kApg,
+  kBasm,
+  kBaseDin,
+  /// Extension baseline beyond the paper's Table IV (related-work model).
+  kDeepFm,
+};
+
+/// The seven offline-comparison models in the paper's row order.
+std::vector<ModelKind> TableFourModels();
+
+const char* ModelKindName(ModelKind kind);
+
+/// Builds a model with the zoo's shared hyperparameters (embed_dim 8,
+/// hidden {64, 32}) so Table IV compares architectures, not budgets.
+std::unique_ptr<CtrModel> CreateModel(ModelKind kind,
+                                      const data::Schema& schema,
+                                      uint64_t seed);
+
+}  // namespace basm::models
+
+#endif  // BASM_MODELS_MODEL_ZOO_H_

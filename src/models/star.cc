@@ -1,0 +1,95 @@
+#include "models/star.h"
+
+#include "nn/init.h"
+
+namespace basm::models {
+
+namespace ag = ::basm::autograd;
+
+Star::Star(const data::Schema& schema, int64_t embed_dim,
+           std::vector<int64_t> hidden, Rng& rng)
+    : num_domains_(schema.num_time_periods) {
+  encoder_ = std::make_unique<FeatureEncoder>(schema, embed_dim, rng);
+  RegisterModule("encoder", encoder_.get());
+  attention_ = std::make_unique<nn::TargetAttention>(encoder_->seq_dim(),
+                                                     /*hidden=*/32, rng);
+  RegisterModule("attention", attention_.get());
+
+  dims_ = {encoder_->concat_dim()};
+  dims_.insert(dims_.end(), hidden.begin(), hidden.end());
+  for (size_t l = 0; l + 1 < dims_.size(); ++l) {
+    StarLayer layer;
+    layer.shared_w = RegisterParameter(
+        "shared_w" + std::to_string(l),
+        nn::XavierUniform(dims_[l], dims_[l + 1], rng));
+    layer.shared_b = RegisterParameter("shared_b" + std::to_string(l),
+                                       Tensor({1, dims_[l + 1]}));
+    for (int64_t d = 0; d < num_domains_; ++d) {
+      // Domain factors start at ~1 so the initial effective weight is the
+      // shared one (the paper's recommended initialization).
+      Tensor ones = Tensor::Ones({dims_[l], dims_[l + 1]});
+      Tensor jitter = Tensor::Normal({dims_[l], dims_[l + 1]}, 0.0f, 0.01f,
+                                     rng);
+      ones.AddInPlace(jitter);
+      layer.domain_w.push_back(RegisterParameter(
+          "domain_w" + std::to_string(l) + "_" + std::to_string(d),
+          std::move(ones)));
+      layer.domain_b.push_back(RegisterParameter(
+          "domain_b" + std::to_string(l) + "_" + std::to_string(d),
+          Tensor({1, dims_[l + 1]})));
+    }
+    layers_.push_back(std::move(layer));
+  }
+  out_ = std::make_unique<nn::Linear>(dims_.back(), 1, rng);
+  RegisterModule("out", out_.get());
+  aux_ = std::make_unique<nn::Linear>(embed_dim, 1, rng);
+  RegisterModule("aux", aux_.get());
+}
+
+ag::Variable Star::Hidden(const data::Batch& batch) {
+  FeatureEncoder::FieldEmbeddings f = encoder_->Encode(batch);
+  ag::Variable interest = attention_->Forward(f.query, f.seq, batch.seq_mask);
+  ag::Variable h =
+      ag::ConcatCols({f.user, interest, f.item, f.context, f.combine});
+
+  // Domain routing masks: one [B,1] column per time-period.
+  std::vector<Tensor> masks(num_domains_, Tensor({batch.size, 1}));
+  for (int64_t i = 0; i < batch.size; ++i) {
+    masks[batch.time_period[i]][i] = 1.0f;
+  }
+
+  for (auto& layer : layers_) {
+    std::vector<ag::Variable> routed;
+    for (int64_t d = 0; d < num_domains_; ++d) {
+      // Effective weight = shared ⊙ domain; bias = shared + domain.
+      ag::Variable w = ag::Mul(layer.shared_w, layer.domain_w[d]);
+      ag::Variable b = ag::Add(layer.shared_b, layer.domain_b[d]);
+      ag::Variable y = ag::AddRowBroadcast(ag::MatMul(h, w), b);
+      routed.push_back(
+          ag::MulColBroadcast(y, ag::Variable::Constant(masks[d])));
+    }
+    ag::Variable combined = routed[0];
+    for (int64_t d = 1; d < num_domains_; ++d) {
+      combined = ag::Add(combined, routed[d]);
+    }
+    h = ag::LeakyRelu(combined, 0.01f);
+  }
+  return h;
+}
+
+ag::Variable Star::ForwardLogits(const data::Batch& batch) {
+  ag::Variable h = Hidden(batch);
+  ag::Variable main = out_->Forward(h);
+  // Auxiliary logit from the time-period embedding alone (STAR's aux net).
+  FeatureEncoder::FieldEmbeddings f = encoder_->Encode(batch);
+  ag::Variable tp_emb =
+      ag::SliceCols(f.context, encoder_->embed_dim(), encoder_->embed_dim());
+  ag::Variable aux = aux_->Forward(tp_emb);
+  return ag::Reshape(ag::Add(main, aux), {batch.size});
+}
+
+ag::Variable Star::FinalRepresentation(const data::Batch& batch) {
+  return Hidden(batch);
+}
+
+}  // namespace basm::models

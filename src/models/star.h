@@ -1,0 +1,51 @@
+#ifndef BASM_MODELS_STAR_H_
+#define BASM_MODELS_STAR_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/ctr_model.h"
+#include "models/feature_encoder.h"
+#include "nn/attention.h"
+#include "nn/linear.h"
+
+namespace basm::models {
+
+/// STAR (Sheng et al. 2021): star-topology tower for multi-domain CTR. Each
+/// fully-connected layer holds one shared weight matrix and one per-domain
+/// matrix; the effective weight of domain d is the Hadamard product
+/// W_shared ⊙ W_d (biases add). Following the paper's experimental setup,
+/// domains are the five time-periods. An auxiliary network conditioned on
+/// the domain indicator adds a per-domain logit offset.
+class Star : public CtrModel {
+ public:
+  Star(const data::Schema& schema, int64_t embed_dim,
+       std::vector<int64_t> hidden, Rng& rng);
+
+  autograd::Variable ForwardLogits(const data::Batch& batch) override;
+  autograd::Variable FinalRepresentation(const data::Batch& batch) override;
+  std::string name() const override { return "STAR"; }
+
+ private:
+  /// One star-topology FC layer.
+  struct StarLayer {
+    autograd::Variable shared_w;              // [in, out]
+    autograd::Variable shared_b;              // [1, out]
+    std::vector<autograd::Variable> domain_w; // per domain [in, out]
+    std::vector<autograd::Variable> domain_b; // per domain [1, out]
+  };
+
+  autograd::Variable Hidden(const data::Batch& batch);
+
+  int64_t num_domains_;
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::TargetAttention> attention_;
+  std::vector<StarLayer> layers_;
+  std::vector<int64_t> dims_;
+  std::unique_ptr<nn::Linear> out_;
+  std::unique_ptr<nn::Linear> aux_;  // domain indicator -> logit offset
+};
+
+}  // namespace basm::models
+
+#endif  // BASM_MODELS_STAR_H_

@@ -1,0 +1,41 @@
+#include "models/wide_deep.h"
+
+namespace basm::models {
+
+namespace ag = ::basm::autograd;
+
+WideDeep::WideDeep(const data::Schema& schema, int64_t embed_dim,
+                   std::vector<int64_t> hidden, Rng& rng) {
+  encoder_ = std::make_unique<FeatureEncoder>(schema, embed_dim, rng);
+  RegisterModule("encoder", encoder_.get());
+  wide_ = std::make_unique<nn::Linear>(encoder_->concat_dim(), 1, rng);
+  RegisterModule("wide", wide_.get());
+  std::vector<int64_t> dims = {encoder_->concat_dim()};
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  deep_hidden_ =
+      std::make_unique<nn::Mlp>(dims, nn::Activation::kLeakyRelu, rng);
+  RegisterModule("deep_hidden", deep_hidden_.get());
+  deep_out_ = std::make_unique<nn::Linear>(dims.back(), 1, rng);
+  RegisterModule("deep_out", deep_out_.get());
+}
+
+ag::Variable WideDeep::ConcatInput(const data::Batch& batch) {
+  FeatureEncoder::FieldEmbeddings f = encoder_->Encode(batch);
+  return ag::ConcatCols({f.user, f.seq_pooled, f.item, f.context, f.combine});
+}
+
+ag::Variable WideDeep::ForwardLogits(const data::Batch& batch) {
+  ag::Variable x = ConcatInput(batch);
+  ag::Variable wide = wide_->Forward(x);
+  ag::Variable hidden =
+      nn::Apply(nn::Activation::kLeakyRelu, deep_hidden_->Forward(x));
+  ag::Variable deep = deep_out_->Forward(hidden);
+  return ag::Reshape(ag::Add(wide, deep), {batch.size});
+}
+
+ag::Variable WideDeep::FinalRepresentation(const data::Batch& batch) {
+  return nn::Apply(nn::Activation::kLeakyRelu,
+                   deep_hidden_->Forward(ConcatInput(batch)));
+}
+
+}  // namespace basm::models

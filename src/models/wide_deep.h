@@ -1,0 +1,36 @@
+#ifndef BASM_MODELS_WIDE_DEEP_H_
+#define BASM_MODELS_WIDE_DEEP_H_
+
+#include <memory>
+
+#include "models/ctr_model.h"
+#include "models/feature_encoder.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+namespace basm::models {
+
+/// Wide&Deep (Cheng et al. 2016): a wide linear memorization path over the
+/// concatenated embeddings (including the hand-crossed combine field) plus a
+/// deep MLP generalization path; logit = wide + deep.
+class WideDeep : public CtrModel {
+ public:
+  WideDeep(const data::Schema& schema, int64_t embed_dim,
+           std::vector<int64_t> hidden, Rng& rng);
+
+  autograd::Variable ForwardLogits(const data::Batch& batch) override;
+  autograd::Variable FinalRepresentation(const data::Batch& batch) override;
+  std::string name() const override { return "Wide&Deep"; }
+
+ private:
+  autograd::Variable ConcatInput(const data::Batch& batch);
+
+  std::unique_ptr<FeatureEncoder> encoder_;
+  std::unique_ptr<nn::Linear> wide_;
+  std::unique_ptr<nn::Mlp> deep_hidden_;  // concat -> last hidden
+  std::unique_ptr<nn::Linear> deep_out_;  // last hidden -> 1
+};
+
+}  // namespace basm::models
+
+#endif  // BASM_MODELS_WIDE_DEEP_H_

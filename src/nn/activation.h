@@ -1,0 +1,38 @@
+#ifndef BASM_NN_ACTIVATION_H_
+#define BASM_NN_ACTIVATION_H_
+
+#include "autograd/ops.h"
+
+namespace basm::nn {
+
+/// Activation choice shared by MLP-style layers. The paper uses LeakyReLU
+/// throughout its towers; Sigmoid appears in gates and the output unit.
+enum class Activation {
+  kNone,
+  kRelu,
+  kLeakyRelu,
+  kSigmoid,
+  kTanh,
+};
+
+/// Applies the chosen nonlinearity (kLeakyRelu uses slope 0.01 like the
+/// TensorFlow default the paper relies on).
+inline autograd::Variable Apply(Activation act, const autograd::Variable& x) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return autograd::Relu(x);
+    case Activation::kLeakyRelu:
+      return autograd::LeakyRelu(x, 0.01f);
+    case Activation::kSigmoid:
+      return autograd::Sigmoid(x);
+    case Activation::kTanh:
+      return autograd::Tanh(x);
+  }
+  return x;
+}
+
+}  // namespace basm::nn
+
+#endif  // BASM_NN_ACTIVATION_H_

@@ -1,0 +1,102 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace basm::nn {
+
+namespace ag = ::basm::autograd;
+
+TargetAttention::TargetAttention(int64_t dim, int64_t hidden, Rng& rng)
+    : dim_(dim) {
+  score_net_ = std::make_unique<Mlp>(
+      std::vector<int64_t>{4 * dim, hidden, 1}, Activation::kLeakyRelu, rng);
+  RegisterModule("score_net", score_net_.get());
+}
+
+ag::Variable TargetAttention::Forward(const ag::Variable& query,
+                                      const ag::Variable& keys,
+                                      const Tensor& mask) {
+  BASM_CHECK_EQ(query.value().rank(), 2);
+  BASM_CHECK_EQ(keys.value().rank(), 3);
+  int64_t batch = query.value().rows();
+  int64_t t = keys.value().dim(1);
+  BASM_CHECK_EQ(keys.value().dim(0), batch);
+  BASM_CHECK_EQ(keys.value().dim(2), dim_);
+  BASM_CHECK_EQ(mask.rank(), 2);
+  BASM_CHECK_EQ(mask.dim(0), batch);
+  BASM_CHECK_EQ(mask.dim(1), t);
+
+  // Flatten keys to [B*T, D] and repeat the query per position.
+  ag::Variable keys_flat = ag::Reshape(keys, {batch * t, dim_});
+  ag::Variable q_rep = ag::RepeatInterleaveRows(query, t);
+  ag::Variable feats = ag::ConcatCols(
+      {q_rep, keys_flat, ag::Sub(q_rep, keys_flat), ag::Mul(q_rep, keys_flat)});
+  ag::Variable scores = score_net_->Forward(feats);     // [B*T, 1]
+  ag::Variable logits = ag::Reshape(scores, {batch, t});  // [B, T]
+
+  // Mask invalid positions with a large negative bias before softmax.
+  Tensor mask_bias({batch, t});
+  for (int64_t i = 0; i < batch * t; ++i) {
+    mask_bias[i] = mask[i] > 0.5f ? 0.0f : -1e9f;
+  }
+  logits = ag::Add(logits, ag::Variable::Constant(mask_bias));
+  ag::Variable weights = ag::RowSoftmax(logits);  // [B, T]
+  last_weights_ = weights.value();
+
+  // Weighted pooling: [B,1,T] x [B,T,D] -> [B,1,D] -> [B,D].
+  ag::Variable w3 = ag::Reshape(weights, {batch, 1, t});
+  ag::Variable pooled = ag::BatchedMatMul(w3, keys);
+  return ag::Reshape(pooled, {batch, dim_});
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int64_t num_heads,
+                                               int64_t head_dim, Rng& rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(head_dim) {
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    q_proj_.push_back(std::make_unique<Linear>(dim, head_dim, rng, false));
+    k_proj_.push_back(std::make_unique<Linear>(dim, head_dim, rng, false));
+    v_proj_.push_back(std::make_unique<Linear>(dim, head_dim, rng, false));
+    RegisterModule("q" + std::to_string(h), q_proj_.back().get());
+    RegisterModule("k" + std::to_string(h), k_proj_.back().get());
+    RegisterModule("v" + std::to_string(h), v_proj_.back().get());
+  }
+  res_proj_ =
+      std::make_unique<Linear>(dim, num_heads * head_dim, rng, false);
+  RegisterModule("res", res_proj_.get());
+}
+
+ag::Variable MultiHeadSelfAttention::Forward(const ag::Variable& x) {
+  BASM_CHECK_EQ(x.value().rank(), 3);
+  int64_t batch = x.value().dim(0);
+  int64_t f = x.value().dim(1);
+  BASM_CHECK_EQ(x.value().dim(2), dim_);
+
+  ag::Variable x_flat = ag::Reshape(x, {batch * f, dim_});
+  float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  std::vector<ag::Variable> head_outputs;  // each [B*F, head_dim]
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    ag::Variable q =
+        ag::Reshape(q_proj_[h]->Forward(x_flat), {batch, f, head_dim_});
+    ag::Variable k =
+        ag::Reshape(k_proj_[h]->Forward(x_flat), {batch, f, head_dim_});
+    ag::Variable v =
+        ag::Reshape(v_proj_[h]->Forward(x_flat), {batch, f, head_dim_});
+
+    // scores[b] = Q K^T / sqrt(d): [B,F,F].
+    ag::Variable scores = ag::Scale(ag::BatchedMatMulTransB(q, k), scale);
+    ag::Variable attn = ag::Reshape(
+        ag::RowSoftmax(ag::Reshape(scores, {batch * f, f})), {batch, f, f});
+    ag::Variable pooled = ag::BatchedMatMul(attn, v);  // [B,F,hd]
+    head_outputs.push_back(ag::Reshape(pooled, {batch * f, head_dim_}));
+  }
+
+  ag::Variable heads = ag::ConcatCols(head_outputs);  // [B*F, H*hd]
+  ag::Variable residual = res_proj_->Forward(x_flat);
+  ag::Variable out = ag::Relu(ag::Add(heads, residual));
+  return ag::Reshape(out, {batch, f, num_heads_ * head_dim_});
+}
+
+}  // namespace basm::nn

@@ -1,0 +1,22 @@
+#include "nn/dropout.h"
+
+namespace basm::nn {
+
+namespace ag = ::basm::autograd;
+
+Dropout::Dropout(float rate, uint64_t seed) : rate_(rate), rng_(seed) {
+  BASM_CHECK_GE(rate_, 0.0f);
+  BASM_CHECK_LT(rate_, 1.0f);
+}
+
+ag::Variable Dropout::Forward(const ag::Variable& x) {
+  if (!training() || rate_ == 0.0f) return x;
+  Tensor mask(x.value().shape());
+  float keep_scale = 1.0f / (1.0f - rate_);
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask[i] = rng_.Bernoulli(rate_) ? 0.0f : keep_scale;
+  }
+  return ag::Mul(x, ag::Variable::Constant(std::move(mask)));
+}
+
+}  // namespace basm::nn

@@ -1,0 +1,29 @@
+#ifndef BASM_NN_DROPOUT_H_
+#define BASM_NN_DROPOUT_H_
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace basm::nn {
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate), so evaluation
+/// mode is the identity. The mask is sampled from the module's own RNG
+/// stream so training runs stay reproducible under a fixed seed.
+class Dropout : public Module {
+ public:
+  explicit Dropout(float rate, uint64_t seed = 0x0D0D0D);
+
+  autograd::Variable Forward(const autograd::Variable& x);
+
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng rng_;
+};
+
+}  // namespace basm::nn
+
+#endif  // BASM_NN_DROPOUT_H_

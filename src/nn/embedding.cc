@@ -1,0 +1,16 @@
+#include "nn/embedding.h"
+
+#include "nn/init.h"
+
+namespace basm::nn {
+
+Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng& rng)
+    : vocab_size_(vocab_size), dim_(dim) {
+  table_ = RegisterParameter("table", EmbeddingInit(vocab_size, dim, rng));
+}
+
+autograd::Variable Embedding::Forward(const std::vector<int32_t>& ids) const {
+  return autograd::EmbeddingLookup(table_, ids);
+}
+
+}  // namespace basm::nn

@@ -1,0 +1,32 @@
+#ifndef BASM_NN_EMBEDDING_H_
+#define BASM_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace basm::nn {
+
+/// Learnable lookup table mapping sparse ids to dense vectors (Eq. 3-4 of
+/// the paper). Gradients scatter-add into the table rows touched by a batch.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, Rng& rng);
+
+  /// ids.size() rows of the table: [ids.size(), dim]. Ids are bounds-checked.
+  autograd::Variable Forward(const std::vector<int32_t>& ids) const;
+
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t dim() const { return dim_; }
+  const autograd::Variable& table() const { return table_; }
+
+ private:
+  int64_t vocab_size_;
+  int64_t dim_;
+  autograd::Variable table_;  // [vocab, dim]
+};
+
+}  // namespace basm::nn
+
+#endif  // BASM_NN_EMBEDDING_H_

@@ -1,0 +1,33 @@
+#include "nn/hashed_embedding.h"
+
+namespace basm::nn {
+
+HashedEmbedding::HashedEmbedding(int64_t num_buckets, int64_t dim, Rng& rng,
+                                 uint64_t salt)
+    : num_buckets_(num_buckets), dim_(dim), salt_(salt) {
+  BASM_CHECK_GT(num_buckets_, 0);
+  table_ = std::make_unique<Embedding>(num_buckets, dim, rng);
+  RegisterModule("table", table_.get());
+}
+
+int64_t HashedEmbedding::Bucket(int64_t id) const {
+  // SplitMix64 finalizer over (id, salt): avalanche so that sequential ids
+  // spread across buckets.
+  uint64_t z = static_cast<uint64_t>(id) + salt_ * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<int64_t>(z % static_cast<uint64_t>(num_buckets_));
+}
+
+autograd::Variable HashedEmbedding::Forward(
+    const std::vector<int64_t>& ids) const {
+  std::vector<int32_t> buckets;
+  buckets.reserve(ids.size());
+  for (int64_t id : ids) {
+    buckets.push_back(static_cast<int32_t>(Bucket(id)));
+  }
+  return table_->Forward(buckets);
+}
+
+}  // namespace basm::nn

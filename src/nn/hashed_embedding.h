@@ -1,0 +1,43 @@
+#ifndef BASM_NN_HASHED_EMBEDDING_H_
+#define BASM_NN_HASHED_EMBEDDING_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/embedding.h"
+#include "nn/module.h"
+
+namespace basm::nn {
+
+/// Feature-hashing embedding: ids of an unbounded (or unknown-at-training)
+/// vocabulary are hashed into a fixed number of buckets before lookup. This
+/// is how production CTR systems absorb brand-new users/items between model
+/// refreshes without retraining the table; collisions trade a little
+/// accuracy for a bounded parameter budget.
+class HashedEmbedding : public Module {
+ public:
+  /// `num_buckets` rows of width `dim`; `salt` decorrelates multiple hashed
+  /// features that share an id space.
+  HashedEmbedding(int64_t num_buckets, int64_t dim, Rng& rng,
+                  uint64_t salt = 0);
+
+  /// Looks up hash(id) for each id; ids may be any int64 (negative ids and
+  /// ids beyond any training-time vocabulary are valid).
+  autograd::Variable Forward(const std::vector<int64_t>& ids) const;
+
+  /// The bucket an id maps to (exposed for tests and collision analysis).
+  int64_t Bucket(int64_t id) const;
+
+  int64_t num_buckets() const { return num_buckets_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t num_buckets_;
+  int64_t dim_;
+  uint64_t salt_;
+  std::unique_ptr<Embedding> table_;
+};
+
+}  // namespace basm::nn
+
+#endif  // BASM_NN_HASHED_EMBEDDING_H_

@@ -1,0 +1,21 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace basm::nn {
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform({fan_in, fan_out}, -limit, limit, rng);
+}
+
+Tensor HeNormal(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Normal({fan_in, fan_out}, 0.0f, stddev, rng);
+}
+
+Tensor EmbeddingInit(int64_t vocab, int64_t dim, Rng& rng, float stddev) {
+  return Tensor::Normal({vocab, dim}, 0.0f, stddev, rng);
+}
+
+}  // namespace basm::nn

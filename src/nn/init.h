@@ -1,0 +1,21 @@
+#ifndef BASM_NN_INIT_H_
+#define BASM_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace basm::nn {
+
+/// Xavier/Glorot uniform init for a [fan_in, fan_out] weight matrix.
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// He/Kaiming normal init (for ReLU-family activations).
+Tensor HeNormal(int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// Small-scale normal used for embedding tables.
+Tensor EmbeddingInit(int64_t vocab, int64_t dim, Rng& rng,
+                     float stddev = 0.05f);
+
+}  // namespace basm::nn
+
+#endif  // BASM_NN_INIT_H_

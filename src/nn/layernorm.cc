@@ -1,0 +1,27 @@
+#include "nn/layernorm.h"
+
+namespace basm::nn {
+
+namespace ag = ::basm::autograd;
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : features_(features), eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({1, features}));
+  beta_ = RegisterParameter("beta", Tensor({1, features}));
+}
+
+ag::Variable LayerNorm::Forward(const ag::Variable& x) const {
+  BASM_CHECK_EQ(x.value().rank(), 2);
+  BASM_CHECK_EQ(x.value().cols(), features_);
+  // Per-row statistics: mu, var are [B, 1] and broadcast over columns.
+  ag::Variable mu =
+      ag::Scale(ag::RowSum(x), 1.0f / static_cast<float>(features_));
+  ag::Variable centered = ag::AddColBroadcast(x, ag::Neg(mu));
+  ag::Variable var = ag::Scale(ag::RowSum(ag::Mul(centered, centered)),
+                               1.0f / static_cast<float>(features_));
+  ag::Variable inv = ag::Rsqrt(var, eps_);  // [B, 1]
+  ag::Variable normalized = ag::MulColBroadcast(centered, inv);
+  return ag::AddRowBroadcast(ag::MulRowBroadcast(normalized, gamma_), beta_);
+}
+
+}  // namespace basm::nn

@@ -1,0 +1,31 @@
+#ifndef BASM_NN_LAYERNORM_H_
+#define BASM_NN_LAYERNORM_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace basm::nn {
+
+/// Layer normalization over the feature dimension of [B, H] activations:
+/// per-row mean/variance normalization with a learned affine transform.
+/// Unlike BatchNorm it needs no running statistics and behaves identically
+/// at train and serve time — the usual choice when serving batches are tiny
+/// (single-request scoring in the RTP path).
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  int64_t features() const { return features_; }
+
+ private:
+  int64_t features_;
+  float eps_;
+  autograd::Variable gamma_;  // [1, H]
+  autograd::Variable beta_;   // [1, H]
+};
+
+}  // namespace basm::nn
+
+#endif  // BASM_NN_LAYERNORM_H_

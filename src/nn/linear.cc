@@ -1,0 +1,27 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace basm::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               bool use_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      use_bias_(use_bias) {
+  weight_ =
+      RegisterParameter("weight", XavierUniform(in_features, out_features, rng));
+  if (use_bias_) {
+    bias_ = RegisterParameter("bias", Tensor({1, out_features}));
+  }
+}
+
+autograd::Variable Linear::Forward(const autograd::Variable& x) const {
+  autograd::Variable out = autograd::MatMul(x, weight_);
+  if (use_bias_) {
+    out = autograd::AddRowBroadcast(out, bias_);
+  }
+  return out;
+}
+
+}  // namespace basm::nn

@@ -1,0 +1,34 @@
+#ifndef BASM_NN_LINEAR_H_
+#define BASM_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace basm::nn {
+
+/// Fully-connected layer y = x W + b with Xavier-initialized weights.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool use_bias = true);
+
+  /// x: [batch, in_features] -> [batch, out_features].
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  const autograd::Variable& weight() const { return weight_; }
+  const autograd::Variable& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool use_bias_;
+  autograd::Variable weight_;  // [in, out]
+  autograd::Variable bias_;    // [1, out]
+};
+
+}  // namespace basm::nn
+
+#endif  // BASM_NN_LINEAR_H_

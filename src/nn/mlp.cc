@@ -1,0 +1,34 @@
+#include "nn/mlp.h"
+
+namespace basm::nn {
+
+namespace ag = ::basm::autograd;
+
+Mlp::Mlp(std::vector<int64_t> dims, Activation act, Rng& rng, bool batch_norm)
+    : act_(act), batch_norm_(batch_norm) {
+  BASM_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule("fc" + std::to_string(i), layers_.back().get());
+    bool is_last = (i + 2 == dims.size());
+    if (batch_norm_ && !is_last) {
+      norms_.push_back(std::make_unique<BatchNorm1d>(dims[i + 1]));
+      RegisterModule("bn" + std::to_string(i), norms_.back().get());
+    }
+  }
+}
+
+ag::Variable Mlp::Forward(const ag::Variable& x) {
+  ag::Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    bool is_last = (i + 1 == layers_.size());
+    if (!is_last) {
+      if (batch_norm_) h = norms_[i]->Forward(h);
+      h = Apply(act_, h);
+    }
+  }
+  return h;
+}
+
+}  // namespace basm::nn

@@ -1,0 +1,68 @@
+#include "nn/module.h"
+
+#include "common/logging.h"
+
+namespace basm::nn {
+
+std::vector<autograd::Variable> Module::Parameters() const {
+  std::vector<autograd::Variable> out;
+  for (const auto& [name, p] : NamedParameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<std::pair<std::string, autograd::Variable>>
+Module::NamedParameters() const {
+  std::vector<std::pair<std::string, autograd::Variable>> out;
+  for (const auto& [name, p] : params_) out.emplace_back(name, p);
+  for (const auto& [name, sub] : submodules_) {
+    for (const auto& [child_name, p] : sub->NamedParameters()) {
+      out.emplace_back(name + "." + child_name, p);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor*>> Module::NamedBuffers() const {
+  std::vector<std::pair<std::string, Tensor*>> out;
+  for (const auto& [name, b] : buffers_) out.emplace_back(name, b);
+  for (const auto& [name, sub] : submodules_) {
+    for (const auto& [child_name, b] : sub->NamedBuffers()) {
+      out.emplace_back(name + "." + child_name, b);
+    }
+  }
+  return out;
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t total = 0;
+  for (const auto& p : Parameters()) total += p.numel();
+  return total;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, sub] : submodules_) sub->SetTraining(training);
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+autograd::Variable Module::RegisterParameter(std::string name, Tensor init) {
+  autograd::Variable p =
+      autograd::Variable::Leaf(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), p);
+  return p;
+}
+
+void Module::RegisterBuffer(std::string name, Tensor* buffer) {
+  BASM_CHECK(buffer != nullptr);
+  buffers_.emplace_back(std::move(name), buffer);
+}
+
+void Module::RegisterModule(std::string name, Module* submodule) {
+  BASM_CHECK(submodule != nullptr);
+  submodules_.emplace_back(std::move(name), submodule);
+}
+
+}  // namespace basm::nn

@@ -1,0 +1,67 @@
+#ifndef BASM_NN_MODULE_H_
+#define BASM_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace basm::nn {
+
+/// Base class for trainable components. Owns a registry of named parameter
+/// Variables and (non-owning) pointers to submodules, so optimizers can reach
+/// every trainable tensor via Parameters() on the root model.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its registered submodules.
+  std::vector<autograd::Variable> Parameters() const;
+
+  /// (name, parameter) pairs, prefixed with submodule paths.
+  std::vector<std::pair<std::string, autograd::Variable>> NamedParameters()
+      const;
+
+  /// (name, buffer) pairs for non-trainable state that must survive
+  /// checkpointing (batch-norm running statistics).
+  std::vector<std::pair<std::string, Tensor*>> NamedBuffers() const;
+
+  /// Total number of scalar parameters.
+  int64_t ParameterCount() const;
+
+  /// Approximate parameter memory in bytes (float32).
+  int64_t ParameterBytes() const { return ParameterCount() * 4; }
+
+  /// Switches train/eval behaviour (batch-norm statistics) recursively.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+ protected:
+  /// Creates a trainable leaf from an initial value and registers it.
+  autograd::Variable RegisterParameter(std::string name, Tensor init);
+
+  /// Registers non-trainable persistent state; `buffer` must point at a
+  /// member tensor of this module (it is not owned).
+  void RegisterBuffer(std::string name, Tensor* buffer);
+
+  /// Registers a child; the caller keeps ownership (usually a member).
+  void RegisterModule(std::string name, Module* submodule);
+
+ private:
+  std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<std::pair<std::string, Tensor*>> buffers_;
+  std::vector<std::pair<std::string, Module*>> submodules_;
+  bool training_ = true;
+};
+
+}  // namespace basm::nn
+
+#endif  // BASM_NN_MODULE_H_

@@ -1,0 +1,164 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace basm::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'A', 'S', 'M', 'C', 'K', 'P', 'T'};
+// v2 appends non-trainable buffers (batch-norm running statistics) after
+// the parameter section.
+constexpr uint32_t kVersion = 2;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+Status WriteNamedTensor(std::FILE* f, const std::string& name,
+                        const Tensor& t) {
+  uint32_t name_len = static_cast<uint32_t>(name.size());
+  uint32_t rank = static_cast<uint32_t>(t.rank());
+  if (!WriteBytes(f, &name_len, sizeof(name_len)) ||
+      !WriteBytes(f, name.data(), name_len) ||
+      !WriteBytes(f, &rank, sizeof(rank))) {
+    return Status::Internal("write failed on tensor header: " + name);
+  }
+  for (int i = 0; i < t.rank(); ++i) {
+    int64_t d = t.dim(i);
+    if (!WriteBytes(f, &d, sizeof(d))) {
+      return Status::Internal("write failed on shape: " + name);
+    }
+  }
+  if (!WriteBytes(f, t.data(),
+                  static_cast<size_t>(t.numel()) * sizeof(float))) {
+    return Status::Internal("write failed on payload: " + name);
+  }
+  return Status::Ok();
+}
+
+Status ReadNamedTensor(std::FILE* f, const std::string& expected_name,
+                       Tensor* t) {
+  uint32_t name_len = 0;
+  if (!ReadBytes(f, &name_len, sizeof(name_len)) || name_len > 4096) {
+    return Status::Internal("corrupt tensor name length");
+  }
+  std::string name(name_len, '\0');
+  uint32_t rank = 0;
+  if (!ReadBytes(f, name.data(), name_len) ||
+      !ReadBytes(f, &rank, sizeof(rank)) || rank > 8) {
+    return Status::Internal("corrupt tensor header");
+  }
+  if (name != expected_name) {
+    return Status::InvalidArgument("tensor order mismatch: expected " +
+                                   expected_name + ", found " + name);
+  }
+  std::vector<int64_t> shape(rank);
+  for (uint32_t i = 0; i < rank; ++i) {
+    if (!ReadBytes(f, &shape[i], sizeof(int64_t)) || shape[i] < 0) {
+      return Status::Internal("corrupt shape for " + name);
+    }
+  }
+  if (shape != t->shape()) {
+    return Status::InvalidArgument("shape mismatch for " + name + ": " +
+                                   ShapeToString(shape) + " vs " +
+                                   ShapeToString(t->shape()));
+  }
+  if (!ReadBytes(f, t->data(),
+                 static_cast<size_t>(t->numel()) * sizeof(float))) {
+    return Status::Internal("truncated payload for " + name);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  auto named = module.NamedParameters();
+  uint64_t count = named.size();
+  if (!WriteBytes(f.get(), kMagic, sizeof(kMagic)) ||
+      !WriteBytes(f.get(), &kVersion, sizeof(kVersion)) ||
+      !WriteBytes(f.get(), &count, sizeof(count))) {
+    return Status::Internal("write failed on header");
+  }
+  for (const auto& [name, param] : named) {
+    BASM_RETURN_IF_ERROR(WriteNamedTensor(f.get(), name, param.value()));
+  }
+  auto buffers = module.NamedBuffers();
+  uint64_t buffer_count = buffers.size();
+  if (!WriteBytes(f.get(), &buffer_count, sizeof(buffer_count))) {
+    return Status::Internal("write failed on buffer count");
+  }
+  for (const auto& [name, buffer] : buffers) {
+    BASM_RETURN_IF_ERROR(WriteNamedTensor(f.get(), name, *buffer));
+  }
+  return Status::Ok();
+}
+
+Status LoadParameters(Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::NotFound("checkpoint not found: " + path);
+  }
+  char magic[8];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadBytes(f.get(), magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a BASM checkpoint: " + path);
+  }
+  if (!ReadBytes(f.get(), &version, sizeof(version)) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ReadBytes(f.get(), &count, sizeof(count))) {
+    return Status::Internal("truncated checkpoint header");
+  }
+
+  auto named = module.NamedParameters();
+  if (count != named.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: checkpoint has " + std::to_string(count) +
+        ", module has " + std::to_string(named.size()));
+  }
+  for (auto& [expected_name, param] : named) {
+    autograd::Variable var = param;
+    BASM_RETURN_IF_ERROR(
+        ReadNamedTensor(f.get(), expected_name, &var.mutable_value()));
+  }
+
+  auto buffers = module.NamedBuffers();
+  uint64_t buffer_count = 0;
+  if (!ReadBytes(f.get(), &buffer_count, sizeof(buffer_count))) {
+    return Status::Internal("truncated buffer section");
+  }
+  if (buffer_count != buffers.size()) {
+    return Status::InvalidArgument(
+        "buffer count mismatch: checkpoint has " +
+        std::to_string(buffer_count) + ", module has " +
+        std::to_string(buffers.size()));
+  }
+  for (auto& [expected_name, buffer] : buffers) {
+    BASM_RETURN_IF_ERROR(ReadNamedTensor(f.get(), expected_name, buffer));
+  }
+  return Status::Ok();
+}
+
+}  // namespace basm::nn

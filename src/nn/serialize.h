@@ -1,0 +1,24 @@
+#ifndef BASM_NN_SERIALIZE_H_
+#define BASM_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace basm::nn {
+
+/// Writes every named parameter of `module` to a binary checkpoint. The
+/// format is self-describing: a magic header, then per parameter its name,
+/// shape and float32 payload. This is the hand-off artifact between offline
+/// training and the serving stack (the paper's AOP -> RTP deployment step).
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Restores parameters by name into an identically-structured module.
+/// Fails with InvalidArgument on name or shape mismatch, NotFound when the
+/// file is missing, and Internal on a corrupt payload.
+Status LoadParameters(Module& module, const std::string& path);
+
+}  // namespace basm::nn
+
+#endif  // BASM_NN_SERIALIZE_H_

@@ -1,0 +1,120 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace basm::optim {
+
+Optimizer::Optimizer(std::vector<autograd::Variable> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (const auto& p : params_) {
+    BASM_CHECK(p.defined());
+    BASM_CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::Step() {
+  if (clip_norm_ > 0.0f) {
+    double sq = 0.0;
+    for (auto& p : params_) {
+      const Tensor& g = p.grad();
+      for (int64_t i = 0; i < g.numel(); ++i) {
+        sq += static_cast<double>(g[i]) * g[i];
+      }
+    }
+    double norm = std::sqrt(sq);
+    if (norm > clip_norm_) {
+      float scale = static_cast<float>(clip_norm_ / norm);
+      for (auto& p : params_) p.grad().ScaleInPlace(scale);
+    }
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Update(i, params_[i].mutable_value(), params_[i].grad());
+  }
+  ZeroGrad();
+  ++step_count_;
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) velocity_.emplace_back(p.value().shape());
+  }
+}
+
+void Sgd::Update(size_t i, Tensor& value, const Tensor& grad) {
+  if (momentum_ > 0.0f) {
+    Tensor& v = velocity_[i];
+    v.ScaleInPlace(momentum_);
+    v.AddInPlace(grad);
+    value.AddScaledInPlace(v, -lr_);
+  } else {
+    value.AddScaledInPlace(grad, -lr_);
+  }
+}
+
+Adagrad::Adagrad(std::vector<autograd::Variable> params, float lr, float decay,
+                 float eps)
+    : Optimizer(std::move(params), lr), decay_(decay), eps_(eps) {
+  BASM_CHECK_GT(decay_, 0.0f);
+  BASM_CHECK_LE(decay_, 1.0f);
+  accum_.reserve(params_.size());
+  for (const auto& p : params_) accum_.emplace_back(p.value().shape());
+}
+
+void Adagrad::Update(size_t i, Tensor& value, const Tensor& grad) {
+  Tensor& acc = accum_[i];
+  for (int64_t j = 0; j < value.numel(); ++j) {
+    acc[j] = decay_ * acc[j] + grad[j] * grad[j];
+    value[j] -= lr_ * grad[j] / (std::sqrt(acc[j]) + eps_);
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
+           float beta2, float eps)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+    t_.push_back(0);
+  }
+}
+
+void Adam::Update(size_t i, Tensor& value, const Tensor& grad) {
+  Tensor& m = m_[i];
+  Tensor& v = v_[i];
+  int64_t t = ++t_[i];
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t));
+  for (int64_t j = 0; j < value.numel(); ++j) {
+    m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+    v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+    float mhat = m[j] / bc1;
+    float vhat = v[j] / bc2;
+    value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+LinearWarmup::LinearWarmup(float base, float peak, int64_t warmup_steps)
+    : base_(base), peak_(peak), warmup_steps_(warmup_steps) {
+  BASM_CHECK_GT(warmup_steps_, 0);
+}
+
+float LinearWarmup::LearningRate(int64_t step) const {
+  if (step >= warmup_steps_) return peak_;
+  float frac = static_cast<float>(step) / static_cast<float>(warmup_steps_);
+  return base_ + (peak_ - base_) * frac;
+}
+
+}  // namespace basm::optim

@@ -1,0 +1,110 @@
+#ifndef BASM_OPTIM_OPTIMIZER_H_
+#define BASM_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace basm::optim {
+
+/// Base class for first-order optimizers over a fixed parameter list.
+/// Workflow per step: model forward/backward accumulates into param grads,
+/// then Step() applies the update and the caller (or Step) zeroes grads.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params, float lr);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the currently accumulated gradients, then
+  /// clears them. Applies global-norm clipping first when configured.
+  void Step();
+
+  void ZeroGrad();
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+  /// Global-norm gradient clipping threshold; <= 0 disables (default).
+  void set_clip_norm(float clip_norm) { clip_norm_ = clip_norm; }
+
+  int64_t step_count() const { return step_count_; }
+
+ protected:
+  /// Applies the rule to a single parameter (index i is stable across steps
+  /// so implementations can keep per-parameter state slots).
+  virtual void Update(size_t i, Tensor& value, const Tensor& grad) = 0;
+
+  std::vector<autograd::Variable> params_;
+  float lr_;
+
+ private:
+  float clip_norm_ = 0.0f;
+  int64_t step_count_ = 0;
+};
+
+/// Plain stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, float lr, float momentum = 0.0f);
+
+ protected:
+  void Update(size_t i, Tensor& value, const Tensor& grad) override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adagrad with an optional accumulator decay; decay = 1 is classic Adagrad
+/// (Duchi et al.), decay slightly below 1 reproduces the "AdagradDecay"
+/// optimizer the paper trains with, which forgets stale curvature and keeps
+/// long runs from stalling.
+class Adagrad : public Optimizer {
+ public:
+  Adagrad(std::vector<autograd::Variable> params, float lr,
+          float decay = 1.0f, float eps = 1e-8f);
+
+ protected:
+  void Update(size_t i, Tensor& value, const Tensor& grad) override;
+
+ private:
+  float decay_;
+  float eps_;
+  std::vector<Tensor> accum_;
+};
+
+/// Adam (Kingma & Ba) for baseline comparisons and tests.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+ protected:
+  void Update(size_t i, Tensor& value, const Tensor& grad) override;
+
+ private:
+  float beta1_, beta2_, eps_;
+  std::vector<Tensor> m_, v_;
+  std::vector<int64_t> t_;
+};
+
+/// Linear warmup schedule as in the paper: the learning rate starts at
+/// `base` and rises linearly to `peak` over `warmup_steps`, then stays flat.
+class LinearWarmup {
+ public:
+  LinearWarmup(float base, float peak, int64_t warmup_steps);
+
+  float LearningRate(int64_t step) const;
+
+ private:
+  float base_;
+  float peak_;
+  int64_t warmup_steps_;
+};
+
+}  // namespace basm::optim
+
+#endif  // BASM_OPTIM_OPTIMIZER_H_

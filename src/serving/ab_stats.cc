@@ -1,0 +1,50 @@
+#include "serving/ab_stats.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace basm::serving {
+
+namespace {
+
+/// Standard normal CDF via erfc.
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+SignificanceResult TwoProportionZTest(int64_t base_clicks,
+                                      int64_t base_exposures,
+                                      int64_t treatment_clicks,
+                                      int64_t treatment_exposures) {
+  BASM_CHECK_GE(base_clicks, 0);
+  BASM_CHECK_GE(treatment_clicks, 0);
+  BASM_CHECK_LE(base_clicks, base_exposures);
+  BASM_CHECK_LE(treatment_clicks, treatment_exposures);
+
+  SignificanceResult out;
+  if (base_exposures == 0 || treatment_exposures == 0) return out;
+
+  double p1 = static_cast<double>(base_clicks) / base_exposures;
+  double p2 = static_cast<double>(treatment_clicks) / treatment_exposures;
+  double pooled =
+      static_cast<double>(base_clicks + treatment_clicks) /
+      static_cast<double>(base_exposures + treatment_exposures);
+  double se = std::sqrt(pooled * (1.0 - pooled) *
+                        (1.0 / base_exposures + 1.0 / treatment_exposures));
+  if (se <= 0.0) return out;
+
+  out.z = (p2 - p1) / se;
+  out.p_value = 2.0 * (1.0 - NormalCdf(std::abs(out.z)));
+  out.significant_at_05 = out.p_value < 0.05;
+  out.lift = p1 > 0.0 ? (p2 - p1) / p1 : 0.0;
+  return out;
+}
+
+SignificanceResult Significance(const AbTestResult& result) {
+  return TwoProportionZTest(
+      result.base.total.clicks, result.base.total.exposures,
+      result.treatment.total.clicks, result.treatment.total.exposures);
+}
+
+}  // namespace basm::serving

@@ -1,0 +1,31 @@
+#ifndef BASM_SERVING_AB_STATS_H_
+#define BASM_SERVING_AB_STATS_H_
+
+#include <cstdint>
+
+#include "serving/simulator.h"
+
+namespace basm::serving {
+
+/// Result of a two-proportion z-test between the arms of an A/B test.
+struct SignificanceResult {
+  double z = 0.0;        // signed z statistic (positive = treatment higher)
+  double p_value = 1.0;  // two-sided
+  bool significant_at_05 = false;
+  double lift = 0.0;     // relative CTR improvement of treatment over base
+};
+
+/// Two-proportion z-test on click counts: the standard readout used to
+/// decide whether an online CTR experiment's lift is real before shipping
+/// (the paper reports a week of "strictly online A/B experiments").
+SignificanceResult TwoProportionZTest(int64_t base_clicks,
+                                      int64_t base_exposures,
+                                      int64_t treatment_clicks,
+                                      int64_t treatment_exposures);
+
+/// Convenience overload over a finished experiment.
+SignificanceResult Significance(const AbTestResult& result);
+
+}  // namespace basm::serving
+
+#endif  // BASM_SERVING_AB_STATS_H_

@@ -1,0 +1,43 @@
+#ifndef BASM_SERVING_FEATURE_SERVER_H_
+#define BASM_SERVING_FEATURE_SERVER_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synth.h"
+
+namespace basm::serving {
+
+/// Analogue of the Alibaba Basic Feature Server (ABFS, Fig 13): when a user
+/// opens the app, returns their profile features and recent behavior
+/// sequence. Maintains per-user rolling histories that grow as the online
+/// loop records new clicks, so the serving stack is closed-loop like the
+/// production system.
+class FeatureServer {
+ public:
+  /// Histories are bootstrapped from the world's generative process.
+  FeatureServer(const data::World& world, int64_t history_len, uint64_t seed);
+
+  struct UserFeatures {
+    int32_t user_id = 0;
+    /// Most-recent-first behavior window of at most history_len events.
+    std::vector<data::BehaviorEvent> behaviors;
+  };
+
+  UserFeatures GetUserFeatures(int32_t user_id) const;
+
+  /// Appends a clicked item to the user's history (most recent first).
+  void RecordClick(int32_t user_id, const data::BehaviorEvent& event);
+
+  int64_t history_len() const { return history_len_; }
+
+ private:
+  const data::World& world_;
+  int64_t history_len_;
+  std::vector<std::deque<data::BehaviorEvent>> histories_;
+};
+
+}  // namespace basm::serving
+
+#endif  // BASM_SERVING_FEATURE_SERVER_H_

@@ -1,0 +1,75 @@
+#include "serving/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace basm::serving {
+
+Pipeline::Pipeline(const data::World& world, FeatureServer* feature_server,
+                   const RecallIndex* recall, models::CtrModel* model,
+                   int32_t recall_size, int32_t expose_k)
+    : world_(world),
+      feature_server_(feature_server),
+      recall_(recall),
+      model_(model),
+      recall_size_(recall_size),
+      expose_k_(expose_k) {
+  BASM_CHECK(feature_server_ != nullptr);
+  BASM_CHECK(recall_ != nullptr);
+  BASM_CHECK(model_ != nullptr);
+  BASM_CHECK_GE(recall_size_, expose_k_);
+}
+
+std::vector<RankedItem> Pipeline::Serve(const Request& request, Rng& rng) {
+  std::vector<int32_t> candidates =
+      recall_->RecallByCity(request.city, recall_size_, rng);
+  return RankCandidates(request, candidates);
+}
+
+std::vector<RankedItem> Pipeline::RankCandidates(
+    const Request& request, const std::vector<int32_t>& candidates) {
+  BASM_CHECK(!candidates.empty());
+  FeatureServer::UserFeatures uf =
+      feature_server_->GetUserFeatures(request.user_id);
+
+  // Build one Example per candidate. Position is unknown pre-ranking; the
+  // production system scores with a default slot (here: middle slot) and
+  // assigns real positions after ordering.
+  const int32_t kScoringPosition = 4;
+  std::vector<data::Example> examples;
+  examples.reserve(candidates.size());
+  for (int32_t item : candidates) {
+    examples.push_back(world_.MakeExample(
+        request.user_id, item, request.hour, request.weekday,
+        kScoringPosition, request.city, request.day, request.request_id,
+        uf.behaviors, scratch_rng_));
+  }
+  std::vector<const data::Example*> ptrs;
+  ptrs.reserve(examples.size());
+  for (const auto& e : examples) ptrs.push_back(&e);
+  data::Batch batch = data::MakeBatch(ptrs, world_.schema());
+  std::vector<float> scores = model_->PredictProbs(batch);
+
+  std::vector<int32_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<RankedItem> slate;
+  int32_t k = std::min<int32_t>(expose_k_,
+                                static_cast<int32_t>(candidates.size()));
+  slate.reserve(k);
+  for (int32_t pos = 0; pos < k; ++pos) {
+    RankedItem ri;
+    ri.item_id = candidates[order[pos]];
+    ri.score = scores[order[pos]];
+    ri.position = pos;
+    slate.push_back(ri);
+  }
+  return slate;
+}
+
+}  // namespace basm::serving

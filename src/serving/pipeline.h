@@ -1,0 +1,63 @@
+#ifndef BASM_SERVING_PIPELINE_H_
+#define BASM_SERVING_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/batch.h"
+#include "models/ctr_model.h"
+#include "serving/feature_server.h"
+#include "serving/recall.h"
+
+namespace basm::serving {
+
+/// One ranking request flowing through the TPP pipeline.
+struct Request {
+  int32_t user_id = 0;
+  int32_t hour = 0;
+  int32_t weekday = 0;
+  int32_t city = 0;
+  int32_t day = 0;
+  int32_t request_id = 0;
+};
+
+/// One exposed slate entry.
+struct RankedItem {
+  int32_t item_id = 0;
+  float score = 0.0f;
+  int32_t position = 0;
+};
+
+/// Analogue of the Personalization Platform (TPP) orchestration in Fig 13:
+/// fetch user features (ABFS), recall candidates by location (LBS), score
+/// with the model (RTP), and return the top-k slate for exposure.
+class Pipeline {
+ public:
+  /// All dependencies are borrowed; the model must outlive the pipeline.
+  Pipeline(const data::World& world, FeatureServer* feature_server,
+           const RecallIndex* recall, models::CtrModel* model,
+           int32_t recall_size, int32_t expose_k);
+
+  /// Runs the full serve path; `rng` drives the recall sampling.
+  std::vector<RankedItem> Serve(const Request& request, Rng& rng);
+
+  /// Scores a given candidate list without recall (used by the simulator to
+  /// feed both A/B arms identical candidates).
+  std::vector<RankedItem> RankCandidates(
+      const Request& request, const std::vector<int32_t>& candidates);
+
+  int32_t expose_k() const { return expose_k_; }
+
+ private:
+  const data::World& world_;
+  FeatureServer* feature_server_;
+  const RecallIndex* recall_;
+  models::CtrModel* model_;
+  int32_t recall_size_;
+  int32_t expose_k_;
+  Rng scratch_rng_{0xFEED};
+};
+
+}  // namespace basm::serving
+
+#endif  // BASM_SERVING_PIPELINE_H_

@@ -1,0 +1,74 @@
+#include "serving/recall.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace basm::serving {
+
+RecallIndex::RecallIndex(const data::World& world) : world_(world) {
+  int64_t num_cities = world.config().num_cities;
+  by_city_.resize(num_cities);
+  city_weights_.resize(num_cities);
+  for (int64_t c = 0; c < num_cities; ++c) {
+    for (int32_t item : world.CityItems(static_cast<int32_t>(c))) {
+      by_city_[c].push_back(item);
+      city_weights_[c].push_back(0.2 + world.item(item).popularity);
+      int64_t key = c * (1LL << 32) + world.item(item).geohash;
+      by_cell_[key].push_back(item);
+    }
+  }
+}
+
+std::vector<int32_t> RecallIndex::RecallByCity(int32_t city, int32_t k,
+                                               Rng& rng) const {
+  BASM_CHECK_GE(city, 0);
+  BASM_CHECK_LT(city, static_cast<int64_t>(by_city_.size()));
+  const auto& pool = by_city_[city];
+  const auto& weights = city_weights_[city];
+  std::vector<int32_t> out;
+  std::unordered_set<int32_t> seen;
+  int64_t guard = 0;
+  while (static_cast<int32_t>(out.size()) < k &&
+         guard < 50LL * k) {
+    ++guard;
+    int32_t cand = pool[rng.Categorical(weights)];
+    if (seen.insert(cand).second) out.push_back(cand);
+  }
+  // Small pools: allow duplicates-free exhaustion to fall short gracefully.
+  if (static_cast<int32_t>(out.size()) < k &&
+      static_cast<int32_t>(pool.size()) <= k) {
+    out.assign(pool.begin(), pool.end());
+  }
+  return out;
+}
+
+std::vector<int32_t> RecallIndex::RecallByGeohash(int32_t city,
+                                                  int32_t geohash, int32_t k,
+                                                  Rng& rng) const {
+  int64_t key = static_cast<int64_t>(city) * (1LL << 32) + geohash;
+  auto it = by_cell_.find(key);
+  if (it == by_cell_.end() ||
+      static_cast<int32_t>(it->second.size()) < k / 2) {
+    return RecallByCity(city, k, rng);
+  }
+  const auto& pool = it->second;
+  std::vector<int32_t> out;
+  std::unordered_set<int32_t> seen;
+  int64_t guard = 0;
+  while (static_cast<int32_t>(out.size()) < k && guard < 50LL * k) {
+    ++guard;
+    int32_t cand = pool[rng.NextUint64(pool.size())];
+    if (seen.insert(cand).second) out.push_back(cand);
+  }
+  if (static_cast<int32_t>(out.size()) < k) {
+    auto extra = RecallByCity(city, k, rng);
+    for (int32_t cand : extra) {
+      if (static_cast<int32_t>(out.size()) >= k) break;
+      if (seen.insert(cand).second) out.push_back(cand);
+    }
+  }
+  return out;
+}
+
+}  // namespace basm::serving

@@ -1,0 +1,115 @@
+#include "serving/simulator.h"
+
+#include "common/logging.h"
+#include "data/schema.h"
+
+namespace basm::serving {
+
+OnlineSimulator::OnlineSimulator(const data::World& world,
+                                 const AbTestConfig& config)
+    : world_(world), config_(config) {}
+
+AbTestResult OnlineSimulator::Run(models::CtrModel& base_model,
+                                  models::CtrModel& treatment_model) {
+  base_model.SetTraining(false);
+  treatment_model.SetTraining(false);
+
+  RecallIndex recall(world_);
+  FeatureServer base_features(world_, world_.config().seq_len,
+                              config_.seed ^ 0xA);
+  FeatureServer treat_features(world_, world_.config().seq_len,
+                               config_.seed ^ 0xA);  // identical bootstrap
+  Pipeline base_pipeline(world_, &base_features, &recall, &base_model,
+                         config_.recall_size, config_.expose_k);
+  Pipeline treat_pipeline(world_, &treat_features, &recall, &treatment_model,
+                          config_.recall_size, config_.expose_k);
+
+  AbTestResult result;
+  result.base.model_name = base_model.name();
+  result.treatment.model_name = treatment_model.name();
+  result.base.daily.resize(config_.days);
+  result.treatment.daily.resize(config_.days);
+
+  Rng traffic_rng(config_.seed);
+  Rng noise_rng(config_.seed ^ 0x5EED);
+
+  int32_t request_id = 0;
+  for (int32_t day = 0; day < config_.days; ++day) {
+    for (int64_t r = 0; r < config_.requests_per_day; ++r) {
+      Request req;
+      req.user_id = world_.SampleUser(traffic_rng);
+      req.hour = world_.SampleHour(traffic_rng);
+      req.weekday = day % 7;
+      req.city = world_.user(req.user_id).city;
+      req.day = day;
+      req.request_id = request_id++;
+      int32_t tp =
+          static_cast<int32_t>(data::TimePeriodOfHour(req.hour));
+
+      // Both arms see the same recalled slate.
+      std::vector<int32_t> candidates =
+          recall.RecallByCity(req.city, config_.recall_size, traffic_rng);
+
+      // Common random numbers for click decisions: one uniform threshold
+      // per candidate slot, shared across arms to reduce variance.
+      std::vector<double> thresholds(config_.expose_k);
+      for (auto& t : thresholds) t = traffic_rng.Uniform();
+      // Shared ground-truth noise per candidate item.
+      std::map<int32_t, float> item_noise;
+      for (int32_t item : candidates) {
+        item_noise[item] = static_cast<float>(noise_rng.Normal(0.0, 1.0));
+      }
+
+      auto run_arm = [&](Pipeline& pipeline, FeatureServer& features,
+                         ArmResult& arm) {
+        std::vector<RankedItem> slate =
+            pipeline.RankCandidates(req, candidates);
+        FeatureServer::UserFeatures uf =
+            features.GetUserFeatures(req.user_id);
+        for (const RankedItem& ri : slate) {
+          float p = world_.ClickProbability(req.user_id, ri.item_id, req.hour,
+                                            ri.position, req.city,
+                                            uf.behaviors,
+                                            item_noise[ri.item_id]);
+          bool click = thresholds[ri.position] < p;
+          arm.daily[day].exposures++;
+          arm.by_time_period[tp].exposures++;
+          arm.by_city[req.city].exposures++;
+          arm.total.exposures++;
+          if (click) {
+            arm.daily[day].clicks++;
+            arm.by_time_period[tp].clicks++;
+            arm.by_city[req.city].clicks++;
+            arm.total.clicks++;
+            const auto& item = world_.item(ri.item_id);
+            data::BehaviorEvent ev;
+            ev.item_id = ri.item_id;
+            ev.category = item.category;
+            ev.brand = item.brand;
+            ev.hour = req.hour;
+            ev.time_period = tp;
+            ev.city = item.city;
+            ev.geohash = item.geohash;
+            features.RecordClick(req.user_id, ev);
+          }
+        }
+      };
+      run_arm(base_pipeline, base_features, result.base);
+      run_arm(treat_pipeline, treat_features, result.treatment);
+    }
+  }
+
+  for (int32_t day = 0; day < config_.days; ++day) {
+    double base_ctr = result.base.daily[day].ctr();
+    double treat_ctr = result.treatment.daily[day].ctr();
+    result.daily_improvement.push_back(
+        base_ctr > 0 ? (treat_ctr - base_ctr) / base_ctr : 0.0);
+  }
+  double base_total = result.base.total.ctr();
+  result.average_improvement =
+      base_total > 0 ? (result.treatment.total.ctr() - base_total) / base_total
+                     : 0.0;
+  return result;
+}
+
+}  // namespace basm::serving

@@ -1,0 +1,69 @@
+#ifndef BASM_SERVING_SIMULATOR_H_
+#define BASM_SERVING_SIMULATOR_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serving/pipeline.h"
+
+namespace basm::serving {
+
+/// Configuration of the online A/B experiment (Section III-E / Table VII).
+struct AbTestConfig {
+  int32_t days = 7;
+  int64_t requests_per_day = 800;
+  int32_t recall_size = 24;
+  int32_t expose_k = 8;
+  uint64_t seed = 20220808;
+};
+
+/// Aggregated exposure/click counters.
+struct TrafficStats {
+  int64_t exposures = 0;
+  int64_t clicks = 0;
+  double ctr() const {
+    return exposures == 0 ? 0.0
+                          : static_cast<double>(clicks) / exposures;
+  }
+};
+
+/// Full A/B log of one arm.
+struct ArmResult {
+  std::string model_name;
+  std::vector<TrafficStats> daily;              // [days]
+  std::map<int32_t, TrafficStats> by_time_period;
+  std::map<int32_t, TrafficStats> by_city;
+  TrafficStats total;
+};
+
+/// Outcome of the paired experiment.
+struct AbTestResult {
+  ArmResult base;
+  ArmResult treatment;
+  /// Per-day relative CTR improvement of treatment over base (Table VII).
+  std::vector<double> daily_improvement;
+  double average_improvement = 0.0;
+};
+
+/// Replays identical traffic (same users, times, candidate slates, and
+/// click-threshold randomness) through two model arms and compares CTR —
+/// the strict counterpart of the paper's "strictly online A/B experiments".
+/// Each arm has its own FeatureServer so its click history feedback loop is
+/// independent, like separate serving buckets in production.
+class OnlineSimulator {
+ public:
+  OnlineSimulator(const data::World& world, const AbTestConfig& config);
+
+  AbTestResult Run(models::CtrModel& base_model,
+                   models::CtrModel& treatment_model);
+
+ private:
+  const data::World& world_;
+  AbTestConfig config_;
+};
+
+}  // namespace basm::serving
+
+#endif  // BASM_SERVING_SIMULATOR_H_

@@ -1,0 +1,205 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+namespace basm {
+
+int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    BASM_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const std::vector<int64_t>& shape) {
+  if (shape.empty()) return "<scalar>";
+  std::string out;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out += "x";
+    out += std::to_string(shape[i]);
+  }
+  return out;
+}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(ShapeNumel(shape_)), 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  BASM_CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(data_.size()))
+      << "shape " << ShapeToString(shape_) << " vs values";
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int64_t> shape, float lo, float hi,
+                       Rng& rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Normal(std::vector<int64_t> shape, float mean, float stddev,
+                      Rng& rng) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  return Tensor({static_cast<int64_t>(values.size())}, values);
+}
+
+int64_t Tensor::dim(int i) const {
+  BASM_CHECK_GE(i, 0);
+  BASM_CHECK_LT(i, rank());
+  return shape_[static_cast<size_t>(i)];
+}
+
+int64_t Tensor::rows() const {
+  BASM_CHECK_EQ(rank(), 2) << ShapeToString(shape_);
+  return shape_[0];
+}
+
+int64_t Tensor::cols() const {
+  BASM_CHECK_EQ(rank(), 2) << ShapeToString(shape_);
+  return shape_[1];
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  int64_t known = 1;
+  int infer_at = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      BASM_CHECK_EQ(infer_at, -1) << "multiple -1 dims";
+      infer_at = static_cast<int>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_at >= 0) {
+    BASM_CHECK_GT(known, 0);
+    BASM_CHECK_EQ(numel() % known, 0);
+    new_shape[static_cast<size_t>(infer_at)] = numel() / known;
+  }
+  BASM_CHECK_EQ(ShapeNumel(new_shape), numel())
+      << ShapeToString(shape_) << " -> " << ShapeToString(new_shape);
+  Tensor out = *this;
+  out.shape_ = std::move(new_shape);
+  return out;
+}
+
+float& Tensor::at(int64_t r, int64_t c) {
+  BASM_CHECK_EQ(rank(), 2);
+  BASM_CHECK_GE(r, 0);
+  BASM_CHECK_LT(r, shape_[0]);
+  BASM_CHECK_GE(c, 0);
+  BASM_CHECK_LT(c, shape_[1]);
+  return data_[static_cast<size_t>(r * shape_[1] + c)];
+}
+
+float Tensor::at(int64_t r, int64_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  BASM_CHECK_EQ(rank(), 3);
+  BASM_CHECK_GE(i, 0);
+  BASM_CHECK_LT(i, shape_[0]);
+  BASM_CHECK_GE(j, 0);
+  BASM_CHECK_LT(j, shape_[1]);
+  BASM_CHECK_GE(k, 0);
+  BASM_CHECK_LT(k, shape_[2]);
+  return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+}
+
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  BASM_CHECK(SameShape(other))
+      << ShapeToString(shape_) << " vs " << ShapeToString(other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::AddScaledInPlace(const Tensor& other, float scale) {
+  BASM_CHECK(SameShape(other))
+      << ShapeToString(shape_) << " vs " << ShapeToString(other.shape_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Tensor::ScaleInPlace(float scale) {
+  for (float& v : data_) v *= scale;
+}
+
+float Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::Mean() const {
+  BASM_CHECK_GT(numel(), 0);
+  return Sum() / static_cast<float>(numel());
+}
+
+float Tensor::Min() const {
+  BASM_CHECK_GT(numel(), 0);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Max() const {
+  BASM_CHECK_GT(numel(), 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+bool Tensor::HasNonFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+std::string Tensor::DebugString() const {
+  char buf[128];
+  if (numel() == 0) {
+    std::snprintf(buf, sizeof(buf), "Tensor[%s] <empty>",
+                  ShapeToString(shape_).c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "Tensor[%s] mean=%.4g min=%.4g max=%.4g",
+                  ShapeToString(shape_).c_str(), Mean(), Min(), Max());
+  }
+  return buf;
+}
+
+}  // namespace basm

@@ -1,0 +1,116 @@
+#ifndef BASM_TENSOR_TENSOR_H_
+#define BASM_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace basm {
+
+/// Dense row-major float32 tensor with value semantics. This is the numeric
+/// workhorse under the autograd engine and the layer library. Shapes are
+/// arbitrary-rank but the library mostly uses rank 1-3:
+///   [n]        vectors (labels, per-row scalars)
+///   [m, n]     matrices (activations, weights)
+///   [b, t, d]  batched sequences (behavior histories, attention tokens)
+class Tensor {
+ public:
+  /// Empty scalar-less tensor; numel() == 0.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Tensor with explicit contents; `values.size()` must match the shape.
+  Tensor(std::vector<int64_t> shape, std::vector<float> values);
+
+  /// -- Factories ------------------------------------------------------
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  /// Uniform in [lo, hi).
+  static Tensor Uniform(std::vector<int64_t> shape, float lo, float hi,
+                        Rng& rng);
+  /// Normal(mean, stddev).
+  static Tensor Normal(std::vector<int64_t> shape, float mean, float stddev,
+                       Rng& rng);
+  /// 1-D tensor from values.
+  static Tensor FromVector(const std::vector<float>& values);
+
+  /// -- Shape ----------------------------------------------------------
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const;
+  int rank() const { return static_cast<int>(shape_.size()); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  /// Rows/cols of a rank-2 tensor (checked).
+  int64_t rows() const;
+  int64_t cols() const;
+
+  /// Returns a copy with a new shape of identical numel. A dimension of -1
+  /// is inferred.
+  Tensor Reshape(std::vector<int64_t> new_shape) const;
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// -- Element access --------------------------------------------------
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// Checked 2-D accessors.
+  float& at(int64_t r, int64_t c);
+  float at(int64_t r, int64_t c) const;
+
+  /// Checked 3-D accessors.
+  float& at(int64_t i, int64_t j, int64_t k);
+  float at(int64_t i, int64_t j, int64_t k) const;
+
+  /// -- In-place helpers -------------------------------------------------
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  /// this += other (same shape).
+  void AddInPlace(const Tensor& other);
+  /// this += scale * other (same shape).
+  void AddScaledInPlace(const Tensor& other, float scale);
+  /// this *= scale.
+  void ScaleInPlace(float scale);
+
+  /// -- Introspection ----------------------------------------------------
+
+  /// Sum / mean / min / max over all elements.
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+  /// True if any element is NaN or Inf.
+  bool HasNonFinite() const;
+
+  /// Short debug form, e.g. "Tensor[4x8] mean=0.01".
+  std::string DebugString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape.
+int64_t ShapeNumel(const std::vector<int64_t>& shape);
+
+/// "4x8x16" rendering for error messages.
+std::string ShapeToString(const std::vector<int64_t>& shape);
+
+}  // namespace basm
+
+#endif  // BASM_TENSOR_TENSOR_H_

@@ -1,0 +1,383 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace basm::ops {
+
+namespace {
+
+/// Inner kernel: C(m,n) += A(m,k) * B(k,n) over raw pointers, i-k-j order so
+/// the innermost loop streams both B and C rows.
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  BASM_CHECK(a.SameShape(b)) << op << ": " << ShapeToString(a.shape())
+                             << " vs " << ShapeToString(b.shape());
+}
+
+/// Broadcast vector length check: b may be [n] or [1,n].
+int64_t BroadcastLen(const Tensor& b) {
+  if (b.rank() == 1) return b.dim(0);
+  BASM_CHECK_EQ(b.rank(), 2);
+  BASM_CHECK_EQ(b.dim(0), 1);
+  return b.dim(1);
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  BASM_CHECK_EQ(b.rank(), 2);
+  BASM_CHECK_EQ(a.cols(), b.rows())
+      << ShapeToString(a.shape()) << " x " << ShapeToString(b.shape());
+  Tensor c({a.rows(), b.cols()});
+  GemmAccumulate(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  BASM_CHECK_EQ(b.rank(), 2);
+  BASM_CHECK_EQ(a.rows(), b.rows());
+  int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c({k, n});
+  // C(k,n) += A^T(k,m) * B(m,n): iterate rows of A/B together.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.data() + i * k;
+    const float* b_row = b.data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      float av = a_row[p];
+      if (av == 0.0f) continue;
+      float* c_row = c.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  BASM_CHECK_EQ(b.rank(), 2);
+  BASM_CHECK_EQ(a.cols(), b.cols());
+  int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor c({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a.data() + i * k;
+    float* c_row = c.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b.data() + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 3);
+  BASM_CHECK_EQ(b.rank(), 3);
+  BASM_CHECK_EQ(a.dim(0), b.dim(0));
+  BASM_CHECK_EQ(a.dim(2), b.dim(1));
+  int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  Tensor c({bs, m, n});
+  for (int64_t i = 0; i < bs; ++i) {
+    GemmAccumulate(a.data() + i * m * k, b.data() + i * k * n,
+                   c.data() + i * m * n, m, k, n);
+  }
+  return c;
+}
+
+Tensor BatchedMatMulTransA(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 3);
+  BASM_CHECK_EQ(b.rank(), 3);
+  BASM_CHECK_EQ(a.dim(0), b.dim(0));
+  BASM_CHECK_EQ(a.dim(1), b.dim(1));
+  int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  Tensor c({bs, k, n});
+  for (int64_t bi = 0; bi < bs; ++bi) {
+    const float* ab = a.data() + bi * m * k;
+    const float* bb = b.data() + bi * m * n;
+    float* cb = c.data() + bi * k * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        float av = ab[i * k + p];
+        if (av == 0.0f) continue;
+        for (int64_t j = 0; j < n; ++j) cb[p * n + j] += av * bb[i * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor BatchedMatMulTransB(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 3);
+  BASM_CHECK_EQ(b.rank(), 3);
+  BASM_CHECK_EQ(a.dim(0), b.dim(0));
+  BASM_CHECK_EQ(a.dim(2), b.dim(2));
+  int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
+  Tensor c({bs, m, n});
+  for (int64_t bi = 0; bi < bs; ++bi) {
+    const float* ab = a.data() + bi * m * k;
+    const float* bb = b.data() + bi * n * k;
+    float* cb = c.data() + bi * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += ab[i * k + p] * bb[j * k + p];
+        cb[i * n + j] = acc;
+      }
+    }
+  }
+  return c;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor c = a;
+  c.AddInPlace(b);
+  return c;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor c = a;
+  c.AddScaledInPlace(b, -1.0f);
+  return c;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor c = a;
+  for (int64_t i = 0; i < c.numel(); ++i) c[i] *= b[i];
+  return c;
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Div");
+  Tensor c = a;
+  for (int64_t i = 0; i < c.numel(); ++i) c[i] /= b[i];
+  return c;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor c = a;
+  c.ScaleInPlace(s);
+  return c;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor c = a;
+  for (int64_t i = 0; i < c.numel(); ++i) c[i] += s;
+  return c;
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor c = a;
+  for (int64_t i = 0; i < c.numel(); ++i) c[i] = fn(c[i]);
+  return c;
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  int64_t n = BroadcastLen(b);
+  BASM_CHECK_EQ(a.cols(), n);
+  Tensor c = a;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float* row = c.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) row[j] += b[j];
+  }
+  return c;
+}
+
+Tensor MulRowBroadcast(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  int64_t n = BroadcastLen(b);
+  BASM_CHECK_EQ(a.cols(), n);
+  Tensor c = a;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float* row = c.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) row[j] *= b[j];
+  }
+  return c;
+}
+
+Tensor AddColBroadcast(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  int64_t m = (b.rank() == 1) ? b.dim(0) : b.dim(0) * b.dim(1);
+  BASM_CHECK_EQ(a.rows(), m);
+  Tensor c = a;
+  int64_t n = a.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = c.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) row[j] += b[i];
+  }
+  return c;
+}
+
+Tensor MulColBroadcast(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  int64_t m = (b.rank() == 1) ? b.dim(0) : b.dim(0) * b.dim(1);
+  BASM_CHECK_EQ(a.rows(), m);
+  Tensor c = a;
+  int64_t n = a.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    float* row = c.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) row[j] *= b[i];
+  }
+  return c;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Map(a, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Map(a, [](float v) { return std::tanh(v); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return Map(a, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float alpha) {
+  return Map(a, [alpha](float v) { return v > 0.0f ? v : alpha * v; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return Map(a, [](float v) { return std::exp(v); });
+}
+
+Tensor Log(const Tensor& a, float floor) {
+  return Map(a, [floor](float v) { return std::log(std::max(v, floor)); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return Map(a, [](float v) { return std::sqrt(v); });
+}
+
+Tensor SumAll(const Tensor& a) { return Tensor({1}, {a.Sum()}); }
+
+Tensor RowSum(const Tensor& a) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  Tensor c({a.rows(), 1});
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    const float* row = a.data() + i * a.cols();
+    for (int64_t j = 0; j < a.cols(); ++j) acc += row[j];
+    c[i] = static_cast<float>(acc);
+  }
+  return c;
+}
+
+Tensor ColSum(const Tensor& a) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  Tensor c({1, a.cols()});
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.data() + i * a.cols();
+    for (int64_t j = 0; j < a.cols(); ++j) c[j] += row[j];
+  }
+  return c;
+}
+
+Tensor ColMean(const Tensor& a) {
+  BASM_CHECK_GT(a.rows(), 0);
+  Tensor c = ColSum(a);
+  c.ScaleInPlace(1.0f / static_cast<float>(a.rows()));
+  return c;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  BASM_CHECK(!parts.empty());
+  int64_t rows = parts[0].rows();
+  int64_t total_cols = 0;
+  for (const Tensor& p : parts) {
+    BASM_CHECK_EQ(p.rank(), 2);
+    BASM_CHECK_EQ(p.rows(), rows);
+    total_cols += p.cols();
+  }
+  Tensor c({rows, total_cols});
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    for (int64_t i = 0; i < rows; ++i) {
+      std::copy(p.data() + i * p.cols(), p.data() + (i + 1) * p.cols(),
+                c.data() + i * total_cols + offset);
+    }
+    offset += p.cols();
+  }
+  return c;
+}
+
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t len) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  BASM_CHECK_GE(start, 0);
+  BASM_CHECK_GE(len, 0);
+  BASM_CHECK_LE(start + len, a.cols());
+  Tensor c({a.rows(), len});
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    std::copy(a.data() + i * a.cols() + start,
+              a.data() + i * a.cols() + start + len, c.data() + i * len);
+  }
+  return c;
+}
+
+Tensor Transpose(const Tensor& a) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  Tensor c({a.cols(), a.rows()});
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      c.at(j, i) = a.at(i, j);
+    }
+  }
+  return c;
+}
+
+Tensor RowSoftmax(const Tensor& a) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  Tensor c = a;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float* row = c.data() + i * a.cols();
+    float mx = row[0];
+    for (int64_t j = 1; j < a.cols(); ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      denom += row[j];
+    }
+    float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < a.cols(); ++j) row[j] *= inv;
+  }
+  return c;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "MaxAbsDiff");
+  float mx = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    mx = std::max(mx, std::abs(a[i] - b[i]));
+  }
+  return mx;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (!a.SameShape(b)) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (std::abs(a[i] - b[i]) > atol + rtol * std::abs(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace basm::ops

@@ -1,0 +1,265 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "data/batch.h"
+#include "optim/optimizer.h"
+
+namespace basm::train {
+
+namespace ag = ::basm::autograd;
+
+TrainResult Fit(models::CtrModel& model, const data::Dataset& dataset,
+                const TrainConfig& config) {
+  return FitExamples(model, dataset.TrainExamples(), dataset.schema, config);
+}
+
+TrainResult FitExamples(models::CtrModel& model,
+                        const std::vector<const data::Example*>& examples,
+                        const data::Schema& schema,
+                        const TrainConfig& config) {
+  const auto& train_examples = examples;
+  BASM_CHECK(!train_examples.empty());
+  data::Batcher batcher(train_examples, schema, config.batch_size,
+                        config.shuffle_seed);
+
+  optim::Adagrad opt(model.Parameters(), config.lr_base,
+                     config.adagrad_decay);
+  opt.set_clip_norm(config.clip_norm);
+  optim::LinearWarmup warmup(config.lr_base, config.lr_peak,
+                             config.warmup_steps);
+
+  model.SetTraining(true);
+  WallTimer timer;
+  TrainResult result;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    batcher.Reset();
+    data::Batch batch;
+    double epoch_loss = 0.0;
+    int64_t epoch_batches = 0;
+    while (batcher.Next(&batch)) {
+      opt.set_learning_rate(warmup.LearningRate(result.steps));
+      ag::Variable logits = model.ForwardLogits(batch);
+      ag::Variable loss = ag::BceWithLogits(logits, batch.labels);
+      BASM_CHECK(!loss.value().HasNonFinite())
+          << model.name() << " produced non-finite loss at step "
+          << result.steps;
+      ag::Backward(loss);
+      opt.Step();
+      result.final_loss = loss.value()[0];
+      epoch_loss += result.final_loss;
+      ++epoch_batches;
+      ++result.steps;
+      if (config.verbose && result.steps % 50 == 0) {
+        BASM_LOG(Info) << model.name() << " step " << result.steps
+                       << " loss " << result.final_loss;
+      }
+    }
+    result.epoch_losses.push_back(
+        static_cast<float>(epoch_loss / std::max<int64_t>(1, epoch_batches)));
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+namespace {
+
+/// AUC of `model` over an explicit example list (eval mode, then restores
+/// training mode).
+double AucOnExamples(models::CtrModel& model,
+                     const std::vector<const data::Example*>& examples,
+                     const data::Schema& schema) {
+  model.SetTraining(false);
+  std::vector<float> probs, labels;
+  for (size_t start = 0; start < examples.size(); start += 512) {
+    size_t end = std::min(examples.size(), start + 512);
+    std::vector<const data::Example*> slice(examples.begin() + start,
+                                            examples.begin() + end);
+    data::Batch batch = data::MakeBatch(slice, schema);
+    std::vector<float> p = model.PredictProbs(batch);
+    probs.insert(probs.end(), p.begin(), p.end());
+    for (const auto* e : slice) labels.push_back(e->label);
+  }
+  model.SetTraining(true);
+  return metrics::Auc(probs, labels);
+}
+
+/// Snapshot / restore of all parameter values and buffers.
+struct ModelSnapshot {
+  std::vector<Tensor> params;
+  std::vector<Tensor> buffers;
+
+  static ModelSnapshot Take(models::CtrModel& model) {
+    ModelSnapshot snap;
+    for (auto& p : model.Parameters()) snap.params.push_back(p.value());
+    for (auto& [name, b] : model.NamedBuffers()) snap.buffers.push_back(*b);
+    return snap;
+  }
+
+  void Restore(models::CtrModel& model) const {
+    auto params = model.Parameters();
+    BASM_CHECK_EQ(params.size(), this->params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].mutable_value() = this->params[i];
+    }
+    auto buffers = model.NamedBuffers();
+    BASM_CHECK_EQ(buffers.size(), this->buffers.size());
+    for (size_t i = 0; i < buffers.size(); ++i) {
+      *buffers[i].second = this->buffers[i];
+    }
+  }
+};
+
+}  // namespace
+
+ValidatedTrainResult FitWithValidation(models::CtrModel& model,
+                                       const data::Dataset& dataset,
+                                       const TrainConfig& config,
+                                       int64_t patience,
+                                       int64_t holdout_every) {
+  BASM_CHECK_GT(patience, 0);
+  BASM_CHECK_GT(holdout_every, 1);
+  auto all_train = dataset.TrainExamples();
+  BASM_CHECK(!all_train.empty());
+  std::vector<const data::Example*> train_split, valid_split;
+  for (const data::Example* e : all_train) {
+    if (e->request_id % holdout_every == 0) {
+      valid_split.push_back(e);
+    } else {
+      train_split.push_back(e);
+    }
+  }
+  BASM_CHECK(!train_split.empty());
+  BASM_CHECK(!valid_split.empty());
+
+  data::Batcher batcher(train_split, dataset.schema, config.batch_size,
+                        config.shuffle_seed);
+  optim::Adagrad opt(model.Parameters(), config.lr_base,
+                     config.adagrad_decay);
+  opt.set_clip_norm(config.clip_norm);
+  optim::LinearWarmup warmup(config.lr_base, config.lr_peak,
+                             config.warmup_steps);
+
+  model.SetTraining(true);
+  WallTimer timer;
+  ValidatedTrainResult result;
+  ModelSnapshot best;
+  int64_t epochs_without_improvement = 0;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    batcher.Reset();
+    data::Batch batch;
+    double epoch_loss = 0.0;
+    int64_t epoch_batches = 0;
+    while (batcher.Next(&batch)) {
+      opt.set_learning_rate(warmup.LearningRate(result.train.steps));
+      ag::Variable loss =
+          ag::BceWithLogits(model.ForwardLogits(batch), batch.labels);
+      ag::Backward(loss);
+      opt.Step();
+      result.train.final_loss = loss.value()[0];
+      epoch_loss += result.train.final_loss;
+      ++epoch_batches;
+      ++result.train.steps;
+    }
+    result.train.epoch_losses.push_back(static_cast<float>(
+        epoch_loss / std::max<int64_t>(1, epoch_batches)));
+
+    double val_auc = AucOnExamples(model, valid_split, dataset.schema);
+    result.epoch_val_aucs.push_back(val_auc);
+    if (config.verbose) {
+      BASM_LOG(Info) << model.name() << " epoch " << epoch << " val AUC "
+                     << val_auc;
+    }
+    if (val_auc > result.best_val_auc) {
+      result.best_val_auc = val_auc;
+      result.best_epoch = epoch;
+      best = ModelSnapshot::Take(model);
+      epochs_without_improvement = 0;
+    } else if (++epochs_without_improvement >= patience) {
+      result.early_stopped = true;
+      break;
+    }
+  }
+  if (result.best_epoch >= 0 &&
+      result.best_epoch + 1 !=
+          static_cast<int64_t>(result.epoch_val_aucs.size())) {
+    best.Restore(model);
+  }
+  result.train.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+EvalResult EvaluateOnTest(models::CtrModel& model,
+                          const data::Dataset& dataset, int64_t batch_size) {
+  auto test_examples = dataset.TestExamples();
+  BASM_CHECK(!test_examples.empty());
+  model.SetTraining(false);
+
+  EvalResult result;
+  for (size_t start = 0; start < test_examples.size();
+       start += static_cast<size_t>(batch_size)) {
+    size_t end = std::min(test_examples.size(),
+                          start + static_cast<size_t>(batch_size));
+    std::vector<const data::Example*> slice(test_examples.begin() + start,
+                                            test_examples.begin() + end);
+    data::Batch batch = data::MakeBatch(slice, dataset.schema);
+    std::vector<float> probs = model.PredictProbs(batch);
+    for (size_t i = 0; i < slice.size(); ++i) {
+      result.probs.push_back(probs[i]);
+      result.labels.push_back(slice[i]->label);
+      result.time_periods.push_back(slice[i]->time_period);
+      result.cities.push_back(slice[i]->city);
+      result.hours.push_back(slice[i]->hour);
+      result.request_ids.push_back(slice[i]->request_id);
+    }
+  }
+  result.summary =
+      metrics::Evaluate(result.probs, result.labels, result.time_periods,
+                        result.cities, result.request_ids);
+  model.SetTraining(true);
+  return result;
+}
+
+EfficiencyReport ProfileEfficiency(models::CtrModel& model,
+                                   const data::Dataset& dataset,
+                                   int64_t batch_size,
+                                   int64_t probe_batches) {
+  auto train_examples = dataset.TrainExamples();
+  BASM_CHECK(!train_examples.empty());
+  data::Batcher batcher(train_examples, dataset.schema, batch_size,
+                        /*shuffle_seed=*/99);
+
+  EfficiencyReport report;
+  report.parameter_count = model.ParameterCount();
+  report.parameter_bytes = model.ParameterBytes();
+
+  optim::Adagrad opt(model.Parameters(), 0.01f);
+  model.SetTraining(true);
+
+  data::Batch batch;
+  int64_t measured = 0;
+  WallTimer timer;
+  while (measured < probe_batches && batcher.Next(&batch)) {
+    ag::Variable logits = model.ForwardLogits(batch);
+    ag::Variable loss = ag::BceWithLogits(logits, batch.labels);
+    ag::Backward(loss);
+    if (measured == 0) {
+      report.activation_bytes = ag::GraphTensorBytes(loss);
+    }
+    opt.Step();
+    ++measured;
+  }
+  double seconds = timer.ElapsedSeconds();
+  double per_batch = measured > 0 ? seconds / measured : 0.0;
+  int64_t batches_per_epoch =
+      (static_cast<int64_t>(train_examples.size()) + batch_size - 1) /
+      batch_size;
+  report.seconds_per_epoch = per_batch * static_cast<double>(batches_per_epoch);
+  // Adagrad keeps one accumulator per parameter.
+  report.total_bytes = report.parameter_bytes * 2 + report.activation_bytes;
+  return report;
+}
+
+}  // namespace basm::train

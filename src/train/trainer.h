@@ -1,0 +1,110 @@
+#ifndef BASM_TRAIN_TRAINER_H_
+#define BASM_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+#include "metrics/metrics.h"
+#include "models/ctr_model.h"
+
+namespace basm::train {
+
+/// Training hyperparameters; defaults mirror the paper's recipe scaled to
+/// the synthetic workload (AdagradDecay + linear LR warmup, batch 256).
+struct TrainConfig {
+  int64_t epochs = 2;
+  int64_t batch_size = 256;
+  float lr_base = 0.01f;
+  float lr_peak = 0.05f;
+  int64_t warmup_steps = 100;
+  float adagrad_decay = 0.9999f;
+  float clip_norm = 10.0f;
+  uint64_t shuffle_seed = 777;
+  bool verbose = false;
+
+  TrainConfig WithEpochs(int64_t e) const {
+    TrainConfig c = *this;
+    c.epochs = e;
+    return c;
+  }
+};
+
+/// Outcome of a training run.
+struct TrainResult {
+  double seconds = 0.0;
+  int64_t steps = 0;
+  float final_loss = 0.0f;
+  std::vector<float> epoch_losses;  // mean loss per epoch
+};
+
+/// Trains a model on the dataset's train split (days before test_day).
+TrainResult Fit(models::CtrModel& model, const data::Dataset& dataset,
+                const TrainConfig& config);
+
+/// Trains on an explicit example list (used for incremental / online
+/// updates in the style of the paper's AOP deployment: warm-start from the
+/// current weights and fit only the newly-logged day).
+TrainResult FitExamples(models::CtrModel& model,
+                        const std::vector<const data::Example*>& examples,
+                        const data::Schema& schema, const TrainConfig& config);
+
+/// Result of validation-driven training.
+struct ValidatedTrainResult {
+  TrainResult train;
+  std::vector<double> epoch_val_aucs;
+  double best_val_auc = 0.0;
+  int64_t best_epoch = -1;
+  bool early_stopped = false;
+};
+
+/// Trains with a held-out validation slice (one request in `holdout_every`
+/// from the train split, grouped by request to avoid leakage), evaluates
+/// validation AUC after each epoch, stops after `patience` epochs without
+/// improvement, and restores the best epoch's weights. This is the guarded
+/// training loop a production refresh pipeline runs before promoting a
+/// model to serving.
+ValidatedTrainResult FitWithValidation(models::CtrModel& model,
+                                       const data::Dataset& dataset,
+                                       const TrainConfig& config,
+                                       int64_t patience = 2,
+                                       int64_t holdout_every = 10);
+
+/// Full evaluation output: the Table IV metric bundle plus the raw
+/// per-impression vectors the figure benches aggregate.
+struct EvalResult {
+  metrics::EvalSummary summary;
+  std::vector<float> probs;
+  std::vector<float> labels;
+  std::vector<int32_t> time_periods;
+  std::vector<int32_t> cities;
+  std::vector<int32_t> hours;
+  std::vector<int32_t> request_ids;
+};
+
+/// Scores the dataset's test split (eval mode: BN running statistics).
+EvalResult EvaluateOnTest(models::CtrModel& model,
+                          const data::Dataset& dataset,
+                          int64_t batch_size = 512);
+
+/// Table VI profile of one model on one dataset.
+struct EfficiencyReport {
+  double seconds_per_epoch = 0.0;
+  int64_t parameter_count = 0;
+  int64_t parameter_bytes = 0;
+  /// Bytes of the forward/backward graph of one batch (activations+grads).
+  int64_t activation_bytes = 0;
+  /// parameters + optimizer state (Adagrad accumulator) + activations.
+  int64_t total_bytes = 0;
+};
+
+/// Measures wall-time per epoch (extrapolated from `probe_batches` training
+/// steps) and memory footprint.
+EfficiencyReport ProfileEfficiency(models::CtrModel& model,
+                                   const data::Dataset& dataset,
+                                   int64_t batch_size = 256,
+                                   int64_t probe_batches = 20);
+
+}  // namespace basm::train
+
+#endif  // BASM_TRAIN_TRAINER_H_

@@ -1,0 +1,67 @@
+#include "serving/ab_stats.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace basm::serving {
+namespace {
+
+TEST(TwoProportionZTest, ClearLiftIsSignificant) {
+  // 4.0% -> 5.0% CTR on 100k exposures each: overwhelmingly significant.
+  auto r = TwoProportionZTest(4000, 100000, 5000, 100000);
+  EXPECT_GT(r.z, 5.0);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_TRUE(r.significant_at_05);
+  EXPECT_NEAR(r.lift, 0.25, 1e-9);
+}
+
+TEST(TwoProportionZTest, TinySampleNotSignificant) {
+  // Same rates on 100 exposures: cannot distinguish.
+  auto r = TwoProportionZTest(4, 100, 5, 100);
+  EXPECT_FALSE(r.significant_at_05);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(TwoProportionZTest, IdenticalArmsZeroZ) {
+  auto r = TwoProportionZTest(500, 10000, 500, 10000);
+  EXPECT_NEAR(r.z, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-9);
+  EXPECT_FALSE(r.significant_at_05);
+}
+
+TEST(TwoProportionZTest, SignMatchesDirection) {
+  auto up = TwoProportionZTest(400, 10000, 500, 10000);
+  auto down = TwoProportionZTest(500, 10000, 400, 10000);
+  EXPECT_GT(up.z, 0.0);
+  EXPECT_LT(down.z, 0.0);
+  EXPECT_NEAR(up.z, -down.z, 1e-9);
+}
+
+TEST(TwoProportionZTest, KnownValue) {
+  // p1 = 0.10 (100/1000), p2 = 0.13 (130/1000); pooled = 0.115.
+  // se = sqrt(0.115*0.885*(2/1000)) = 0.014273..., z = 0.03/se = 2.1018...
+  auto r = TwoProportionZTest(100, 1000, 130, 1000);
+  EXPECT_NEAR(r.z, 2.1018, 1e-3);
+  EXPECT_TRUE(r.significant_at_05);
+}
+
+TEST(TwoProportionZTest, EmptyArmsHandled) {
+  auto r = TwoProportionZTest(0, 0, 0, 0);
+  EXPECT_EQ(r.z, 0.0);
+  EXPECT_FALSE(r.significant_at_05);
+}
+
+TEST(SignificanceTest, WrapsAbTestResult) {
+  AbTestResult result;
+  result.base.total.clicks = 461;
+  result.base.total.exposures = 10000;
+  result.treatment.total.clicks = 491;
+  result.treatment.total.exposures = 10000;
+  auto r = Significance(result);
+  EXPECT_GT(r.z, 0.0);
+  EXPECT_NEAR(r.lift, (0.0491 - 0.0461) / 0.0461, 1e-6);
+}
+
+}  // namespace
+}  // namespace basm::serving

@@ -1,0 +1,118 @@
+#include <cmath>
+
+#include "analysis/ascii_chart.h"
+#include "analysis/tsne.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace basm::analysis {
+namespace {
+
+/// Two well-separated Gaussian blobs in 10-D.
+Tensor TwoBlobs(int64_t per_class, Rng& rng, float separation = 6.0f) {
+  Tensor x({2 * per_class, 10});
+  for (int64_t i = 0; i < 2 * per_class; ++i) {
+    float center = i < per_class ? 0.0f : separation;
+    for (int64_t k = 0; k < 10; ++k) {
+      x.at(i, k) = center + static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+  }
+  return x;
+}
+
+std::vector<int32_t> BlobLabels(int64_t per_class) {
+  std::vector<int32_t> labels(2 * per_class);
+  for (int64_t i = per_class; i < 2 * per_class; ++i) labels[i] = 1;
+  return labels;
+}
+
+TEST(TsneTest, OutputShapeAndFinite) {
+  Rng rng(1);
+  Tensor x = TwoBlobs(20, rng);
+  TsneConfig config;
+  config.iterations = 120;
+  config.perplexity = 10.0;
+  Tensor y = Tsne(config).Embed(x);
+  EXPECT_EQ(y.dim(0), 40);
+  EXPECT_EQ(y.dim(1), 2);
+  EXPECT_FALSE(y.HasNonFinite());
+}
+
+TEST(TsneTest, SeparatedBlobsStaySeparated) {
+  Rng rng(2);
+  const int64_t per_class = 30;
+  Tensor x = TwoBlobs(per_class, rng, 8.0f);
+  TsneConfig config;
+  config.iterations = 250;
+  config.perplexity = 12.0;
+  Tensor y = Tsne(config).Embed(x);
+  double sep = SeparationRatio(y, BlobLabels(per_class));
+  // Well-separated input classes must remain clearly separated in 2-D.
+  EXPECT_GT(sep, 1.5);
+}
+
+TEST(TsneTest, DeterministicUnderSeed) {
+  Rng rng(3);
+  Tensor x = TwoBlobs(10, rng);
+  TsneConfig config;
+  config.iterations = 60;
+  config.perplexity = 5.0;
+  Tensor y1 = Tsne(config).Embed(x);
+  Tensor y2 = Tsne(config).Embed(x);
+  for (int64_t i = 0; i < y1.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y1[i], y2[i]);
+  }
+}
+
+TEST(SeparationRatioTest, HigherForMoreSeparatedClasses) {
+  Rng rng(4);
+  const int64_t per_class = 40;
+  Tensor near = TwoBlobs(per_class, rng, 1.0f);
+  Tensor far = TwoBlobs(per_class, rng, 10.0f);
+  auto labels = BlobLabels(per_class);
+  EXPECT_GT(SeparationRatio(far, labels), SeparationRatio(near, labels));
+}
+
+TEST(SilhouetteTest, RangeAndOrdering) {
+  Rng rng(5);
+  const int64_t per_class = 30;
+  auto labels = BlobLabels(per_class);
+  double s_far = Silhouette(TwoBlobs(per_class, rng, 10.0f), labels);
+  double s_near = Silhouette(TwoBlobs(per_class, rng, 0.5f), labels);
+  EXPECT_GE(s_far, -1.0);
+  EXPECT_LE(s_far, 1.0);
+  EXPECT_GT(s_far, 0.5);   // clearly separated
+  EXPECT_GT(s_far, s_near);
+}
+
+TEST(BarChartTest, RendersBarsProportionally) {
+  std::string chart = BarChart({"a", "bb"}, {1.0, 2.0}, 10);
+  // The larger value fills the width; the smaller about half.
+  EXPECT_NE(chart.find("bb |##########|"), std::string::npos);
+  EXPECT_NE(chart.find("a  |#####     |"), std::string::npos);
+}
+
+TEST(BarChartTest, ZeroValuesHandled) {
+  std::string chart = BarChart({"x"}, {0.0}, 5);
+  EXPECT_NE(chart.find("|     |"), std::string::npos);
+}
+
+TEST(HeatmapTest, ContainsLabelsAndValues) {
+  std::string hm = Heatmap({"row1"}, {"c1", "c2"}, {{0.1, 0.9}});
+  EXPECT_NE(hm.find("row1"), std::string::npos);
+  EXPECT_NE(hm.find("c1"), std::string::npos);
+  EXPECT_NE(hm.find("0.100"), std::string::npos);
+  EXPECT_NE(hm.find("0.900"), std::string::npos);
+}
+
+TEST(ScatterPlotTest, PlacesPointsInGrid) {
+  std::string plot =
+      ScatterPlot({0.0, 1.0}, {0.0, 1.0}, {0, 1}, /*width=*/20, /*height=*/10);
+  EXPECT_NE(plot.find('0'), std::string::npos);
+  EXPECT_NE(plot.find('1'), std::string::npos);
+  // Frame present.
+  EXPECT_EQ(plot.find("+--"), 0u);
+}
+
+}  // namespace
+}  // namespace basm::analysis

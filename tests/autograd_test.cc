@@ -1,0 +1,282 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include "autograd/variable.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor_ops.h"
+#include "tests/test_util.h"
+
+namespace basm::autograd {
+namespace {
+
+using ::basm::testing::CheckGradients;
+
+Variable RandLeaf(std::vector<int64_t> shape, Rng& rng, float scale = 1.0f) {
+  return Variable::Leaf(Tensor::Normal(std::move(shape), 0.0f, scale, rng),
+                        /*requires_grad=*/true);
+}
+
+TEST(VariableTest, LeafBasics) {
+  Variable v = Variable::Leaf(Tensor({2}, {1, 2}), true);
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.numel(), 2);
+  v.grad()[0] = 5.0f;
+  v.ZeroGrad();
+  EXPECT_EQ(v.grad()[0], 0.0f);
+}
+
+TEST(VariableTest, ConstantHasNoGradPath) {
+  Variable c = Variable::Constant(Tensor({2}, {1, 2}));
+  EXPECT_FALSE(c.requires_grad());
+  Variable s = SumAll(c);
+  EXPECT_FALSE(s.requires_grad());
+}
+
+TEST(BackwardTest, SimpleChain) {
+  // loss = sum(2 * x) => dloss/dx = 2.
+  Variable x = Variable::Leaf(Tensor({3}, {1, 2, 3}), true);
+  Variable loss = SumAll(Scale(x, 2.0f));
+  Backward(loss);
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 2.0f);
+}
+
+TEST(BackwardTest, SharedSubexpressionAccumulates) {
+  // loss = sum(x + x) => dloss/dx = 2.
+  Variable x = Variable::Leaf(Tensor({2}, {1, 1}), true);
+  Variable loss = SumAll(Add(x, x));
+  Backward(loss);
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 2.0f);
+}
+
+TEST(BackwardTest, GradAccumulatesAcrossCalls) {
+  Variable x = Variable::Leaf(Tensor({1}, {3}), true);
+  Backward(SumAll(x));
+  Backward(SumAll(x));
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(GradCheck, MatMul) {
+  Rng rng(1);
+  std::vector<Variable> leaves = {RandLeaf({3, 4}, rng), RandLeaf({4, 2}, rng)};
+  CheckGradients(leaves,
+                 [&] { return SumAll(MatMul(leaves[0], leaves[1])); });
+}
+
+TEST(GradCheck, MatMulNonUniformSeed) {
+  // Weighted sum gives a non-constant upstream gradient through MatMul.
+  Rng rng(2);
+  std::vector<Variable> leaves = {RandLeaf({2, 3}, rng), RandLeaf({3, 3}, rng)};
+  Variable w = Variable::Constant(Tensor::Normal({2, 3}, 0.0f, 1.0f, rng));
+  CheckGradients(
+      leaves, [&] { return SumAll(Mul(MatMul(leaves[0], leaves[1]), w)); });
+}
+
+TEST(GradCheck, BatchedMatMul) {
+  Rng rng(3);
+  std::vector<Variable> leaves = {RandLeaf({2, 3, 4}, rng),
+                                  RandLeaf({2, 4, 2}, rng)};
+  CheckGradients(leaves,
+                 [&] { return SumAll(BatchedMatMul(leaves[0], leaves[1])); });
+}
+
+TEST(GradCheck, ElementwiseOps) {
+  Rng rng(4);
+  std::vector<Variable> leaves = {RandLeaf({2, 3}, rng), RandLeaf({2, 3}, rng)};
+  CheckGradients(leaves, [&] {
+    Variable prod = Mul(leaves[0], leaves[1]);
+    Variable diff = Sub(leaves[0], leaves[1]);
+    return SumAll(Add(prod, diff));
+  });
+}
+
+TEST(GradCheck, Div) {
+  Rng rng(5);
+  Variable a = RandLeaf({2, 2}, rng);
+  // Keep denominator away from zero.
+  Variable b = Variable::Leaf(
+      Tensor({2, 2}, {1.5f, 2.0f, -1.8f, 2.5f}), true);
+  std::vector<Variable> leaves = {a, b};
+  CheckGradients(leaves, [&] { return SumAll(Div(leaves[0], leaves[1])); });
+}
+
+TEST(GradCheck, RowBroadcasts) {
+  Rng rng(6);
+  std::vector<Variable> leaves = {RandLeaf({3, 4}, rng), RandLeaf({1, 4}, rng)};
+  CheckGradients(leaves, [&] {
+    return SumAll(Mul(AddRowBroadcast(leaves[0], leaves[1]),
+                      MulRowBroadcast(leaves[0], leaves[1])));
+  });
+}
+
+TEST(GradCheck, ColBroadcasts) {
+  Rng rng(7);
+  std::vector<Variable> leaves = {RandLeaf({3, 4}, rng), RandLeaf({3, 1}, rng)};
+  CheckGradients(leaves, [&] {
+    return SumAll(Mul(AddColBroadcast(leaves[0], leaves[1]),
+                      MulColBroadcast(leaves[0], leaves[1])));
+  });
+}
+
+TEST(GradCheck, Activations) {
+  Rng rng(8);
+  std::vector<Variable> leaves = {RandLeaf({2, 5}, rng)};
+  CheckGradients(leaves, [&] { return SumAll(Sigmoid(leaves[0])); });
+  CheckGradients(leaves, [&] { return SumAll(Tanh(leaves[0])); });
+  CheckGradients(leaves, [&] { return SumAll(Exp(leaves[0])); });
+}
+
+TEST(GradCheck, LeakyReluAwayFromKink) {
+  // Values chosen away from 0 so finite differences are valid.
+  Variable x =
+      Variable::Leaf(Tensor({4}, {-2.0f, -0.7f, 0.9f, 1.8f}), true);
+  std::vector<Variable> leaves = {x};
+  CheckGradients(leaves,
+                 [&] { return SumAll(LeakyRelu(leaves[0], 0.1f)); });
+  CheckGradients(leaves, [&] { return SumAll(Relu(leaves[0])); });
+}
+
+TEST(GradCheck, LogPositiveInputs) {
+  Variable x = Variable::Leaf(Tensor({3}, {0.5f, 1.0f, 2.0f}), true);
+  std::vector<Variable> leaves = {x};
+  CheckGradients(leaves, [&] { return SumAll(Log(leaves[0])); });
+}
+
+TEST(GradCheck, RsqrtPositiveInputs) {
+  Variable x = Variable::Leaf(Tensor({3}, {0.5f, 1.0f, 2.0f}), true);
+  std::vector<Variable> leaves = {x};
+  CheckGradients(leaves, [&] { return SumAll(Rsqrt(leaves[0], 1e-5f)); });
+}
+
+TEST(GradCheck, Reductions) {
+  Rng rng(9);
+  std::vector<Variable> leaves = {RandLeaf({3, 4}, rng)};
+  Variable w = Variable::Constant(Tensor::Normal({3, 1}, 0.0f, 1.0f, rng));
+  CheckGradients(leaves,
+                 [&] { return SumAll(Mul(RowSum(leaves[0]), w)); });
+  Variable w2 = Variable::Constant(Tensor::Normal({1, 4}, 0.0f, 1.0f, rng));
+  CheckGradients(leaves,
+                 [&] { return SumAll(Mul(ColMean(leaves[0]), w2)); });
+  CheckGradients(leaves, [&] { return MeanAll(leaves[0]); });
+}
+
+TEST(GradCheck, ConcatSliceReshape) {
+  Rng rng(10);
+  std::vector<Variable> leaves = {RandLeaf({2, 3}, rng), RandLeaf({2, 2}, rng)};
+  CheckGradients(leaves, [&] {
+    Variable cat = ConcatCols({leaves[0], leaves[1]});
+    Variable mid = SliceCols(cat, 1, 3);
+    Variable flat = Reshape(mid, {6});
+    return SumAll(Mul(flat, flat));
+  });
+}
+
+TEST(GradCheck, RowSoftmax) {
+  Rng rng(11);
+  std::vector<Variable> leaves = {RandLeaf({3, 4}, rng)};
+  Variable w = Variable::Constant(Tensor::Normal({3, 4}, 0.0f, 1.0f, rng));
+  CheckGradients(leaves,
+                 [&] { return SumAll(Mul(RowSoftmax(leaves[0]), w)); });
+}
+
+TEST(GradCheck, EmbeddingLookup) {
+  Rng rng(12);
+  std::vector<Variable> leaves = {RandLeaf({5, 3}, rng)};
+  std::vector<int32_t> indices = {0, 2, 2, 4};
+  Variable w = Variable::Constant(Tensor::Normal({4, 3}, 0.0f, 1.0f, rng));
+  CheckGradients(leaves, [&] {
+    return SumAll(Mul(EmbeddingLookup(leaves[0], indices), w));
+  });
+}
+
+TEST(EmbeddingLookupTest, RepeatedIndexAccumulates) {
+  Variable table = Variable::Leaf(Tensor({2, 1}, {1.0f, 2.0f}), true);
+  std::vector<int32_t> indices = {1, 1, 1};
+  Variable out = EmbeddingLookup(table, indices);
+  Backward(SumAll(out));
+  EXPECT_FLOAT_EQ(table.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(table.grad()[1], 3.0f);
+}
+
+TEST(GradCheck, BceWithLogits) {
+  Rng rng(13);
+  std::vector<Variable> leaves = {RandLeaf({6}, rng, 2.0f)};
+  Tensor labels({6}, {1, 0, 1, 1, 0, 0});
+  CheckGradients(leaves,
+                 [&] { return BceWithLogits(leaves[0], labels); });
+}
+
+TEST(BceWithLogitsTest, MatchesNaiveFormula) {
+  Variable z = Variable::Leaf(Tensor({2}, {0.3f, -1.2f}), true);
+  Tensor y({2}, {1.0f, 0.0f});
+  float loss = BceWithLogits(z, y).value()[0];
+  auto naive = [](float zi, float yi) {
+    float p = 1.0f / (1.0f + std::exp(-zi));
+    return -yi * std::log(p) - (1 - yi) * std::log(1 - p);
+  };
+  EXPECT_NEAR(loss, (naive(0.3f, 1.0f) + naive(-1.2f, 0.0f)) / 2.0f, 1e-5f);
+}
+
+TEST(BceWithLogitsTest, ExtremeLogitsStayFinite) {
+  Variable z = Variable::Leaf(Tensor({2}, {80.0f, -80.0f}), true);
+  Tensor y({2}, {0.0f, 1.0f});
+  Variable loss = BceWithLogits(z, y);
+  EXPECT_FALSE(loss.value().HasNonFinite());
+  Backward(loss);
+  EXPECT_FALSE(z.grad().HasNonFinite());
+}
+
+TEST(GradCheck, MseLoss) {
+  Rng rng(14);
+  std::vector<Variable> leaves = {RandLeaf({4}, rng)};
+  Tensor target({4}, {0.5f, -0.5f, 1.0f, 0.0f});
+  CheckGradients(leaves, [&] { return MseLoss(leaves[0], target); });
+}
+
+TEST(GradCheck, ComposedMlpLikeGraph) {
+  // End-to-end: two linear layers with activations, like a tiny MLP.
+  Rng rng(15);
+  std::vector<Variable> leaves = {
+      RandLeaf({4, 3}, rng, 0.5f),   // x
+      RandLeaf({3, 5}, rng, 0.5f),   // W1
+      RandLeaf({1, 5}, rng, 0.5f),   // b1
+      RandLeaf({5, 1}, rng, 0.5f),   // W2
+  };
+  Tensor labels({4}, {1, 0, 0, 1});
+  CheckGradients(leaves, [&] {
+    Variable h = Tanh(AddRowBroadcast(MatMul(leaves[0], leaves[1]), leaves[2]));
+    Variable logits = Reshape(MatMul(h, leaves[3]), {4});
+    return BceWithLogits(logits, labels);
+  });
+}
+
+TEST(GradCheck, InstanceLinearViaBatchedMatMul) {
+  // Per-sample dynamic linear: y[b] = W[b] x[b], with W generated per-sample.
+  Rng rng(16);
+  const int64_t kBatch = 3, kIn = 4, kOut = 2;
+  std::vector<Variable> leaves = {
+      RandLeaf({kBatch, kOut * kIn}, rng, 0.5f),  // per-sample weights (flat)
+      RandLeaf({kBatch, kIn}, rng, 0.5f),         // inputs
+  };
+  CheckGradients(leaves, [&] {
+    Variable w3 = Reshape(leaves[0], {kBatch, kOut, kIn});
+    Variable x3 = Reshape(leaves[1], {kBatch, kIn, 1});
+    Variable y = Reshape(BatchedMatMul(w3, x3), {kBatch, kOut});
+    return SumAll(Mul(y, y));
+  });
+}
+
+TEST(BackwardTest, SeededBackwardMatchesScaledLoss) {
+  Variable x = Variable::Leaf(Tensor({2}, {1.0f, 2.0f}), true);
+  Variable y = Mul(x, x);
+  Backward(y, Tensor({2}, {2.0f, 2.0f}));
+  // d(sum 2*x^2)/dx = 4x
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 8.0f);
+}
+
+}  // namespace
+}  // namespace basm::autograd

@@ -1,0 +1,186 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table_printer.h"
+#include "gtest/gtest.h"
+
+namespace basm {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatelyHalf) {
+  Rng rng(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.Uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> w = {1.0, 3.0};
+  int hits1 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits1 += rng.Categorical(w) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits1) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(29);
+  auto perm = rng.Permutation(100);
+  std::vector<int32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng parent(31);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(ZipfTest, HeadHeavierThanTail) {
+  ZipfTable table(100, 1.1);
+  EXPECT_GT(table.Probability(0), table.Probability(50));
+  EXPECT_GT(table.Probability(50), table.Probability(99));
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfTable table(50, 0.9);
+  double total = 0.0;
+  for (int64_t i = 0; i < table.size(); ++i) total += table.Probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SampleFrequencyMatchesProbability) {
+  ZipfTable table(10, 1.0);
+  Rng rng(37);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[table.Sample(rng)]++;
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, table.Probability(i),
+                0.01);
+  }
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  ZipfTable table(4, 0.0);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(table.Probability(i), 0.25, 1e-9);
+  }
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::NotFound("user 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: user 42");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 5;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 5);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("bad");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EnvTest, FallbackWhenUnset) {
+  EXPECT_EQ(EnvInt("BASM_DOES_NOT_EXIST_XYZ", 7), 7);
+  EXPECT_EQ(EnvString("BASM_DOES_NOT_EXIST_XYZ", "d"), "d");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Model", "AUC"});
+  t.AddRow({"BASM", "0.7373"});
+  t.AddRow({"Wide&Deep", "0.7037"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| Model     | AUC    |"), std::string::npos);
+  EXPECT_NE(out.find("| BASM      | 0.7373 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(0.7373, 4), "0.7373");
+  EXPECT_EQ(TablePrinter::Num(12.0, 1), "12.0");
+}
+
+}  // namespace
+}  // namespace basm

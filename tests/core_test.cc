@@ -1,0 +1,250 @@
+#include <memory>
+
+#include "core/basm_model.h"
+#include "core/stabt.h"
+#include "core/stael.h"
+#include "core/ststl.h"
+#include "data/batch.h"
+#include "data/synth.h"
+#include "gtest/gtest.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+#include "tests/test_util.h"
+
+namespace basm::core {
+namespace {
+
+namespace ag = ::basm::autograd;
+
+TEST(StAELTest, AlphaRangeAndShape) {
+  Rng rng(1);
+  StAEL stael({6, 4}, /*ctx_dim=*/5, rng);
+  ag::Variable f0 = ag::Variable::Constant(Tensor::Normal({8, 6}, 0, 1, rng));
+  ag::Variable f1 = ag::Variable::Constant(Tensor::Normal({8, 4}, 0, 1, rng));
+  ag::Variable ctx = ag::Variable::Constant(Tensor::Normal({8, 5}, 0, 1, rng));
+  auto out = stael.Forward({f0, f1}, ctx);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].value().cols(), 6);
+  EXPECT_EQ(out[1].value().cols(), 4);
+  const Tensor& alphas = stael.last_alphas();
+  EXPECT_EQ(alphas.rows(), 8);
+  EXPECT_EQ(alphas.cols(), 2);
+  for (int64_t i = 0; i < alphas.numel(); ++i) {
+    EXPECT_GT(alphas[i], 0.0f);
+    EXPECT_LT(alphas[i], 2.0f);  // 2*sigmoid range (Eq. 6)
+  }
+}
+
+TEST(StAELTest, OutputIsAlphaTimesInput) {
+  Rng rng(2);
+  StAEL stael({3}, 2, rng);
+  Tensor field_t = Tensor::Normal({4, 3}, 0, 1, rng);
+  ag::Variable field = ag::Variable::Constant(field_t);
+  ag::Variable ctx = ag::Variable::Constant(Tensor::Normal({4, 2}, 0, 1, rng));
+  auto out = stael.Forward({field}, ctx);
+  const Tensor& alphas = stael.last_alphas();
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(out[0].value().at(i, j), alphas.at(i, 0) * field_t.at(i, j),
+                  1e-5f);
+    }
+  }
+}
+
+TEST(StAELTest, AlphaDependsOnContext) {
+  Rng rng(3);
+  StAEL stael({4}, 3, rng);
+  ag::Variable field = ag::Variable::Constant(Tensor::Normal({2, 4}, 0, 1, rng));
+  ag::Variable ctx1 = ag::Variable::Constant(Tensor::Normal({2, 3}, 0, 2, rng));
+  ag::Variable ctx2 = ag::Variable::Constant(Tensor::Normal({2, 3}, 0, 2, rng));
+  stael.Forward({field}, ctx1);
+  Tensor a1 = stael.last_alphas();
+  stael.Forward({field}, ctx2);
+  Tensor a2 = stael.last_alphas();
+  EXPECT_GT(ops::MaxAbsDiff(a1, a2), 1e-6f);
+}
+
+TEST(StAELTest, CustomGateScaleBoundsRange) {
+  Rng rng(4);
+  StAEL stael({4}, 3, rng, /*gate_scale=*/1.0f);
+  ag::Variable field =
+      ag::Variable::Constant(Tensor::Normal({16, 4}, 0, 3, rng));
+  ag::Variable ctx = ag::Variable::Constant(Tensor::Normal({16, 3}, 0, 3, rng));
+  stael.Forward({field}, ctx);
+  for (int64_t i = 0; i < stael.last_alphas().numel(); ++i) {
+    EXPECT_LT(stael.last_alphas()[i], 1.0f);
+  }
+}
+
+TEST(StAELTest, GradientsFlowThroughGates) {
+  Rng rng(5);
+  auto stael = std::make_shared<StAEL>(std::vector<int64_t>{3}, 2, rng);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Leaf(Tensor::Normal({3, 3}, 0, 0.5f, rng), true),
+      ag::Variable::Leaf(Tensor::Normal({3, 2}, 0, 0.5f, rng), true),
+  };
+  basm::testing::CheckGradients(leaves, [&] {
+    auto out = stael->Forward({leaves[0]}, leaves[1]);
+    return ag::SumAll(ag::Mul(out[0], out[0]));
+  });
+}
+
+TEST(StSTLTest, OutputShapeAndConditionSensitivity) {
+  Rng rng(6);
+  StSTL ststl(/*input=*/10, /*ctx=*/4, /*behavior=*/6, /*out=*/8, /*rank=*/3,
+              rng);
+  ag::Variable h = ag::Variable::Constant(Tensor::Normal({5, 10}, 0, 1, rng));
+  ag::Variable ctx1 = ag::Variable::Constant(Tensor::Normal({5, 4}, 0, 1, rng));
+  ag::Variable ctx2 = ag::Variable::Constant(Tensor::Normal({5, 4}, 0, 1, rng));
+  ag::Variable ui = ag::Variable::Constant(Tensor::Normal({5, 6}, 0, 1, rng));
+  Tensor y1 = ststl.Forward(h, ctx1, ui).value();
+  Tensor y2 = ststl.Forward(h, ctx2, ui).value();
+  EXPECT_EQ(y1.rows(), 5);
+  EXPECT_EQ(y1.cols(), 8);
+  // The dynamic parameters must change with the spatiotemporal condition.
+  EXPECT_GT(ops::MaxAbsDiff(y1, y2), 1e-6f);
+}
+
+TEST(StSTLTest, BehaviorInputMatters) {
+  Rng rng(7);
+  StSTL ststl(10, 4, 6, 8, 3, rng);
+  ag::Variable h = ag::Variable::Constant(Tensor::Normal({5, 10}, 0, 1, rng));
+  ag::Variable ctx = ag::Variable::Constant(Tensor::Normal({5, 4}, 0, 1, rng));
+  ag::Variable ui1 = ag::Variable::Constant(Tensor::Normal({5, 6}, 0, 1, rng));
+  ag::Variable ui2 = ag::Variable::Constant(Tensor::Normal({5, 6}, 0, 1, rng));
+  EXPECT_GT(ops::MaxAbsDiff(ststl.Forward(h, ctx, ui1).value(),
+                            ststl.Forward(h, ctx, ui2).value()),
+            1e-6f);
+}
+
+TEST(StABTTest, OutputShape) {
+  Rng rng(8);
+  StABT tower(12, {16, 8}, /*ctx_dim=*/5, rng, /*adaptive=*/true);
+  tower.SetTraining(true);
+  ag::Variable x = ag::Variable::Constant(Tensor::Normal({6, 12}, 0, 1, rng));
+  ag::Variable ctx = ag::Variable::Constant(Tensor::Normal({6, 5}, 0, 1, rng));
+  Tensor y = tower.Forward(x, ctx).value();
+  EXPECT_EQ(y.rows(), 6);
+  EXPECT_EQ(y.cols(), 8);
+  EXPECT_FALSE(y.HasNonFinite());
+}
+
+TEST(StABTTest, AdaptiveRespondsToContext) {
+  Rng rng(9);
+  StABT tower(12, {16, 8}, 5, rng, true);
+  tower.SetTraining(false);  // eval: no batch-stat coupling between rows
+  ag::Variable x = ag::Variable::Constant(Tensor::Normal({6, 12}, 0, 1, rng));
+  ag::Variable ctx1 = ag::Variable::Constant(Tensor::Normal({6, 5}, 0, 1, rng));
+  ag::Variable ctx2 = ag::Variable::Constant(Tensor::Normal({6, 5}, 0, 1, rng));
+  EXPECT_GT(ops::MaxAbsDiff(tower.Forward(x, ctx1).value(),
+                            tower.Forward(x, ctx2).value()),
+            1e-6f);
+}
+
+TEST(StABTTest, NonAdaptiveIgnoresContext) {
+  Rng rng(10);
+  StABT tower(12, {16, 8}, 5, rng, /*adaptive=*/false);
+  tower.SetTraining(false);
+  ag::Variable x = ag::Variable::Constant(Tensor::Normal({6, 12}, 0, 1, rng));
+  ag::Variable ctx1 = ag::Variable::Constant(Tensor::Normal({6, 5}, 0, 1, rng));
+  ag::Variable ctx2 = ag::Variable::Constant(Tensor::Normal({6, 5}, 0, 1, rng));
+  EXPECT_TRUE(ops::AllClose(tower.Forward(x, ctx1).value(),
+                            tower.Forward(x, ctx2).value()));
+}
+
+TEST(StABTTest, NonAdaptiveHasFewerParameters) {
+  Rng rng(11);
+  StABT adaptive(12, {16, 8}, 5, rng, true);
+  StABT plain(12, {16, 8}, 5, rng, false);
+  EXPECT_GT(adaptive.ParameterCount(), plain.ParameterCount());
+}
+
+class BasmModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthConfig c = data::SynthConfig::Eleme();
+    c.num_users = 150;
+    c.num_items = 120;
+    c.num_cities = 4;
+    c.requests_per_day = 25;
+    c.days = 2;
+    c.test_day = 1;
+    c.seq_len = 5;
+    dataset_ = new data::Dataset(data::GenerateDataset(c));
+    auto train = dataset_->TrainExamples();
+    std::vector<const data::Example*> slice(train.begin(),
+                                            train.begin() + 12);
+    batch_ = new data::Batch(data::MakeBatch(slice, dataset_->schema));
+  }
+  static void TearDownTestSuite() {
+    delete batch_;
+    delete dataset_;
+  }
+  static data::Dataset* dataset_;
+  static data::Batch* batch_;
+};
+
+data::Dataset* BasmModelTest::dataset_ = nullptr;
+data::Batch* BasmModelTest::batch_ = nullptr;
+
+TEST_F(BasmModelTest, FullModelForward) {
+  Rng rng(12);
+  Basm model(dataset_->schema, BasmConfig::Full(), rng);
+  EXPECT_EQ(model.name(), "BASM");
+  ag::Variable logits = model.ForwardLogits(*batch_);
+  EXPECT_EQ(logits.value().dim(0), batch_->size);
+  EXPECT_FALSE(logits.value().HasNonFinite());
+  EXPECT_EQ(model.last_alphas().rows(), batch_->size);
+  EXPECT_EQ(model.last_alphas().cols(), 5);
+}
+
+TEST_F(BasmModelTest, AblationNamesAndStructure) {
+  Rng rng(13);
+  Basm no_stael(dataset_->schema, BasmConfig::WithoutStAEL(), rng);
+  Basm no_ststl(dataset_->schema, BasmConfig::WithoutStSTL(), rng);
+  Basm no_stabt(dataset_->schema, BasmConfig::WithoutStABT(), rng);
+  EXPECT_EQ(no_stael.name(), "BASM w/o StAEL");
+  EXPECT_EQ(no_ststl.name(), "BASM w/o StSTL");
+  EXPECT_EQ(no_stabt.name(), "BASM w/o StABT");
+  // Removing a module removes its parameters.
+  Basm full(dataset_->schema, BasmConfig::Full(), rng);
+  EXPECT_LT(no_stael.ParameterCount(), full.ParameterCount());
+  EXPECT_LT(no_stabt.ParameterCount(), full.ParameterCount());
+}
+
+TEST_F(BasmModelTest, AblationsForwardFinite) {
+  for (auto config :
+       {BasmConfig::WithoutStAEL(), BasmConfig::WithoutStSTL(),
+        BasmConfig::WithoutStABT()}) {
+    Rng rng(14);
+    Basm model(dataset_->schema, config, rng);
+    ag::Variable logits = model.ForwardLogits(*batch_);
+    EXPECT_FALSE(logits.value().HasNonFinite()) << model.name();
+  }
+}
+
+TEST_F(BasmModelTest, AlphasEmptyWhenStaelAblated) {
+  Rng rng(15);
+  Basm model(dataset_->schema, BasmConfig::WithoutStAEL(), rng);
+  model.ForwardLogits(*batch_);
+  EXPECT_EQ(model.last_alphas().numel(), 0);
+}
+
+TEST_F(BasmModelTest, TrainingStepReducesLossOnFixedBatch) {
+  Rng rng(16);
+  Basm model(dataset_->schema, BasmConfig::Full(), rng);
+  optim::Adagrad opt(model.Parameters(), 0.05f);
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    ag::Variable loss =
+        ag::BceWithLogits(model.ForwardLogits(*batch_), batch_->labels);
+    if (step == 0) first_loss = loss.value()[0];
+    last_loss = loss.value()[0];
+    ag::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, first_loss);
+}
+
+}  // namespace
+}  // namespace basm::core

@@ -1,0 +1,115 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include "data/synth.h"
+#include "gtest/gtest.h"
+
+namespace basm::data {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Dataset TinyDataset() {
+  SynthConfig c = SynthConfig::Eleme();
+  c.num_users = 120;
+  c.num_items = 90;
+  c.num_cities = 3;
+  c.requests_per_day = 15;
+  c.days = 2;
+  c.test_day = 1;
+  c.seq_len = 4;
+  return GenerateDataset(c);
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  Dataset original = TinyDataset();
+  std::string path = TempPath("dataset.bin");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  StatusOr<Dataset> loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& ds = loaded.value();
+
+  EXPECT_EQ(ds.name, original.name);
+  EXPECT_EQ(ds.test_day, original.test_day);
+  EXPECT_EQ(ds.schema.num_users, original.schema.num_users);
+  EXPECT_EQ(ds.schema.seq_len, original.schema.seq_len);
+  ASSERT_EQ(ds.examples.size(), original.examples.size());
+  for (size_t i = 0; i < ds.examples.size(); i += 7) {
+    const Example& a = original.examples[i];
+    const Example& b = ds.examples[i];
+    EXPECT_EQ(a.user_id, b.user_id);
+    EXPECT_EQ(a.item_id, b.item_id);
+    EXPECT_EQ(a.hour, b.hour);
+    EXPECT_EQ(a.city, b.city);
+    EXPECT_EQ(a.cross_age_category, b.cross_age_category);
+    EXPECT_FLOAT_EQ(a.label, b.label);
+    EXPECT_FLOAT_EQ(a.gt_prob, b.gt_prob);
+    EXPECT_FLOAT_EQ(a.user_ctr, b.user_ctr);
+    ASSERT_EQ(a.behaviors.size(), b.behaviors.size());
+    for (size_t j = 0; j < a.behaviors.size(); ++j) {
+      EXPECT_EQ(a.behaviors[j].item_id, b.behaviors[j].item_id);
+      EXPECT_EQ(a.behaviors[j].time_period, b.behaviors[j].time_period);
+      EXPECT_EQ(a.behaviors[j].geohash, b.behaviors[j].geohash);
+    }
+  }
+}
+
+TEST(DatasetIoTest, MissingFileIsNotFound) {
+  StatusOr<Dataset> loaded = LoadDataset(TempPath("nope.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetIoTest, ForeignFileRejected) {
+  std::string path = TempPath("foreign.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("definitely not a dataset file at all", f);
+  std::fclose(f);
+  StatusOr<Dataset> loaded = LoadDataset(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetIoTest, TruncatedFileRejected) {
+  Dataset original = TinyDataset();
+  std::string full = TempPath("full.bin");
+  ASSERT_TRUE(SaveDataset(original, full).ok());
+  // Copy the first 60%.
+  std::FILE* in = std::fopen(full.c_str(), "rb");
+  std::fseek(in, 0, SEEK_END);
+  long size = std::ftell(in);
+  std::fseek(in, 0, SEEK_SET);
+  std::vector<char> buf(static_cast<size_t>(size * 6 / 10));
+  ASSERT_EQ(std::fread(buf.data(), 1, buf.size(), in), buf.size());
+  std::fclose(in);
+  std::string trunc = TempPath("trunc.bin");
+  std::FILE* out = std::fopen(trunc.c_str(), "wb");
+  ASSERT_EQ(std::fwrite(buf.data(), 1, buf.size(), out), buf.size());
+  std::fclose(out);
+
+  StatusOr<Dataset> loaded = LoadDataset(trunc);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+}
+
+TEST(DatasetIoTest, CsvExportHasHeaderAndRows) {
+  Dataset ds = TinyDataset();
+  std::string path = TempPath("dataset.csv");
+  ASSERT_TRUE(ExportCsv(ds, path, /*max_rows=*/10).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char line[4096];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_NE(std::string(line).find("user_id,gender"), std::string::npos);
+  int rows = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) ++rows;
+  std::fclose(f);
+  EXPECT_EQ(rows, 10);
+}
+
+}  // namespace
+}  // namespace basm::data

@@ -1,0 +1,234 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace basm::metrics {
+namespace {
+
+TEST(AucTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(Auc({0.1f, 0.4f, 0.8f, 0.9f}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(AucTest, InvertedRanking) {
+  EXPECT_DOUBLE_EQ(Auc({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(AucTest, RandomScoresNearHalf) {
+  Rng rng(1);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(static_cast<float>(rng.Uniform()));
+    labels.push_back(rng.Bernoulli(0.3) ? 1.0f : 0.0f);
+  }
+  EXPECT_NEAR(Auc(scores, labels), 0.5, 0.02);
+}
+
+TEST(AucTest, TiesGetMidrank) {
+  // Two ties across classes: AUC should be 0.5 for the tied pair portion.
+  double auc = Auc({0.5f, 0.5f}, {1, 0});
+  EXPECT_DOUBLE_EQ(auc, 0.5);
+}
+
+TEST(AucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0.2f, 0.8f}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({0.2f, 0.8f}, {0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({}, {}), 0.5);
+}
+
+TEST(AucTest, MatchesPairwiseCounting) {
+  Rng rng(2);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 200; ++i) {
+    scores.push_back(static_cast<float>(rng.Normal()));
+    labels.push_back(rng.Bernoulli(0.4) ? 1.0f : 0.0f);
+  }
+  // O(n^2) reference.
+  double wins = 0.0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] < 0.5f) continue;
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] > 0.5f) continue;
+      ++pairs;
+      if (scores[i] > scores[j]) wins += 1.0;
+      else if (scores[i] == scores[j]) wins += 0.5;
+    }
+  }
+  EXPECT_NEAR(Auc(scores, labels), wins / pairs, 1e-9);
+}
+
+TEST(GroupedAucTest, WeightsByImpressions) {
+  // Group 0: 4 samples with AUC 1.0; group 1: 2 samples with AUC 0.0.
+  std::vector<float> scores = {0.1f, 0.9f, 0.2f, 0.8f, 0.9f, 0.1f};
+  std::vector<float> labels = {0, 1, 0, 1, 0, 1};
+  std::vector<int32_t> groups = {0, 0, 0, 0, 1, 1};
+  EXPECT_NEAR(GroupedAuc(scores, labels, groups), (4.0 * 1.0 + 2.0 * 0.0) / 6.0,
+              1e-9);
+}
+
+TEST(GroupedAucTest, SkipsSingleClassGroups) {
+  std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.6f};
+  std::vector<float> labels = {0, 1, 1, 1};  // group 1 all-positive
+  std::vector<int32_t> groups = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(GroupedAuc(scores, labels, groups), 1.0);
+}
+
+TEST(GroupedAucTest, CanExceedGlobalAucUnderSimpsonStructure) {
+  // Classic: per-group ranking is perfect but group base rates differ so
+  // the pooled AUC is lower — the reason TAUC/CAUC are worth reporting.
+  std::vector<float> scores = {0.3f, 0.4f, 0.8f, 0.9f};
+  std::vector<float> labels = {0, 1, 0, 1};
+  std::vector<int32_t> groups = {0, 0, 1, 1};
+  double global = Auc(scores, labels);
+  double grouped = GroupedAuc(scores, labels, groups);
+  EXPECT_DOUBLE_EQ(grouped, 1.0);
+  EXPECT_LT(global, grouped);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  std::vector<float> scores = {0.9f, 0.5f, 0.1f};
+  std::vector<float> labels = {1, 0, 0};
+  std::vector<int32_t> req = {7, 7, 7};
+  EXPECT_NEAR(NdcgAtK(scores, labels, req, 3), 1.0, 1e-9);
+}
+
+TEST(NdcgTest, WorstRankingPenalized) {
+  std::vector<float> scores = {0.1f, 0.5f, 0.9f};
+  std::vector<float> labels = {1, 0, 0};
+  std::vector<int32_t> req = {7, 7, 7};
+  // positive at rank 3: DCG = 1/log2(4) = 0.5.
+  EXPECT_NEAR(NdcgAtK(scores, labels, req, 3), 0.5, 1e-9);
+}
+
+TEST(NdcgTest, CutoffKRespected) {
+  std::vector<float> scores = {0.9f, 0.8f, 0.7f, 0.1f};
+  std::vector<float> labels = {0, 0, 0, 1};
+  std::vector<int32_t> req = {1, 1, 1, 1};
+  // Positive below the top-3 cut: NDCG3 = 0, NDCG10 > 0.
+  EXPECT_NEAR(NdcgAtK(scores, labels, req, 3), 0.0, 1e-9);
+  EXPECT_GT(NdcgAtK(scores, labels, req, 10), 0.0);
+}
+
+TEST(NdcgTest, AveragesOverRequestsAndSkipsNoPositive) {
+  std::vector<float> scores = {0.9f, 0.1f, 0.5f, 0.6f, 0.3f, 0.2f};
+  std::vector<float> labels = {1, 0, 0, 0, 1, 0};
+  std::vector<int32_t> req = {1, 1, 2, 2, 3, 3};
+  // req1 NDCG=1, req2 skipped (no positive), req3 NDCG=1.
+  EXPECT_NEAR(NdcgAtK(scores, labels, req, 3), 1.0, 1e-9);
+}
+
+TEST(LogLossTest, MatchesClosedForm) {
+  double ll = LogLoss({0.8f, 0.3f}, {1, 0});
+  EXPECT_NEAR(ll, (-std::log(0.8) - std::log(0.7)) / 2.0, 1e-6);
+}
+
+TEST(LogLossTest, ClampsExtremeProbs) {
+  double ll = LogLoss({1.0f, 0.0f}, {0, 1});
+  EXPECT_TRUE(std::isfinite(ll));
+  EXPECT_GT(ll, 10.0);
+}
+
+TEST(CtrTest, MeanLabel) {
+  EXPECT_DOUBLE_EQ(Ctr({1, 0, 0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Ctr({}), 0.0);
+}
+
+TEST(GroupCtrTest, CountsPerGroup) {
+  auto stats = GroupCtr({1, 0, 1, 1}, {0, 0, 1, 1});
+  EXPECT_EQ(stats[0].impressions, 2);
+  EXPECT_EQ(stats[0].clicks, 1);
+  EXPECT_DOUBLE_EQ(stats[1].ctr(), 1.0);
+}
+
+TEST(CalibrationTest, PerfectlyCalibratedScoresLowEce) {
+  Rng rng(4);
+  std::vector<float> probs, labels;
+  for (int i = 0; i < 50000; ++i) {
+    float p = static_cast<float>(rng.Uniform());
+    probs.push_back(p);
+    labels.push_back(rng.Bernoulli(p) ? 1.0f : 0.0f);
+  }
+  EXPECT_LT(ExpectedCalibrationError(probs, labels), 0.01);
+}
+
+TEST(CalibrationTest, MiscalibratedScoresHighEce) {
+  Rng rng(5);
+  std::vector<float> probs, labels;
+  for (int i = 0; i < 20000; ++i) {
+    probs.push_back(0.9f);  // predicts 90%...
+    labels.push_back(rng.Bernoulli(0.1) ? 1.0f : 0.0f);  // ...reality is 10%
+  }
+  EXPECT_GT(ExpectedCalibrationError(probs, labels), 0.7);
+}
+
+TEST(CalibrationTest, TableBucketsCoverInputs) {
+  std::vector<float> probs = {0.05f, 0.15f, 0.95f, 0.92f};
+  std::vector<float> labels = {0, 0, 1, 1};
+  auto table = CalibrationTable(probs, labels, 10);
+  int64_t total = 0;
+  for (const auto& b : table) total += b.count;
+  EXPECT_EQ(total, 4);
+  // Highest bucket observed CTR is 1.
+  EXPECT_DOUBLE_EQ(table.back().observed_ctr, 1.0);
+  EXPECT_NEAR(table.back().mean_predicted, 0.935, 1e-6);
+}
+
+TEST(CalibrationTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(ExpectedCalibrationError({}, {}), 0.0);
+}
+
+TEST(AucTest, InvariantUnderMonotoneTransform) {
+  // AUC is a ranking metric: any strictly increasing transform of the
+  // scores must leave it unchanged.
+  Rng rng(6);
+  std::vector<float> scores, labels;
+  for (int i = 0; i < 500; ++i) {
+    scores.push_back(static_cast<float>(rng.Normal()));
+    labels.push_back(rng.Bernoulli(0.4) ? 1.0f : 0.0f);
+  }
+  std::vector<float> transformed;
+  for (float s : scores) {
+    transformed.push_back(1.0f / (1.0f + std::exp(-3.0f * s)) + 5.0f);
+  }
+  EXPECT_NEAR(Auc(scores, labels), Auc(transformed, labels), 1e-12);
+}
+
+TEST(AucTest, ComplementSymmetry) {
+  // Negating scores flips AUC to 1 - AUC.
+  Rng rng(7);
+  std::vector<float> scores, neg, labels;
+  for (int i = 0; i < 300; ++i) {
+    float s = static_cast<float>(rng.Normal());
+    scores.push_back(s);
+    neg.push_back(-s);
+    labels.push_back(rng.Bernoulli(0.5) ? 1.0f : 0.0f);
+  }
+  EXPECT_NEAR(Auc(scores, labels) + Auc(neg, labels), 1.0, 1e-9);
+}
+
+TEST(EvaluateTest, FillsAllFields) {
+  Rng rng(3);
+  std::vector<float> probs, labels;
+  std::vector<int32_t> tp, city, req;
+  for (int i = 0; i < 500; ++i) {
+    float p = static_cast<float>(rng.Uniform());
+    probs.push_back(p);
+    labels.push_back(rng.Bernoulli(p) ? 1.0f : 0.0f);  // informative scores
+    tp.push_back(i % 5);
+    city.push_back(i % 3);
+    req.push_back(i / 10);
+  }
+  EvalSummary s = Evaluate(probs, labels, tp, city, req);
+  EXPECT_GT(s.auc, 0.6);
+  EXPECT_GT(s.tauc, 0.6);
+  EXPECT_GT(s.cauc, 0.6);
+  EXPECT_GT(s.ndcg3, 0.3);
+  EXPECT_GE(s.ndcg10, s.ndcg3);
+  EXPECT_GT(s.logloss, 0.0);
+}
+
+}  // namespace
+}  // namespace basm::metrics

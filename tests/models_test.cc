@@ -1,0 +1,182 @@
+#include <memory>
+
+#include "data/batch.h"
+#include "data/synth.h"
+#include "gtest/gtest.h"
+#include "models/feature_encoder.h"
+#include "models/model_zoo.h"
+#include "tensor/tensor_ops.h"
+
+namespace basm::models {
+namespace {
+
+namespace ag = ::basm::autograd;
+
+class ModelsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthConfig c = data::SynthConfig::Eleme();
+    c.num_users = 200;
+    c.num_items = 150;
+    c.num_cities = 4;
+    c.requests_per_day = 30;
+    c.days = 2;
+    c.test_day = 1;
+    c.seq_len = 6;
+    dataset_ = new data::Dataset(data::GenerateDataset(c));
+    auto train = dataset_->TrainExamples();
+    std::vector<const data::Example*> slice(train.begin(),
+                                            train.begin() + 16);
+    batch_ = new data::Batch(data::MakeBatch(slice, dataset_->schema));
+  }
+  static void TearDownTestSuite() {
+    delete batch_;
+    delete dataset_;
+    batch_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static data::Batch* batch_;
+};
+
+data::Dataset* ModelsTest::dataset_ = nullptr;
+data::Batch* ModelsTest::batch_ = nullptr;
+
+TEST_F(ModelsTest, FeatureEncoderShapes) {
+  Rng rng(1);
+  FeatureEncoder enc(dataset_->schema, 8, rng);
+  auto f = enc.Encode(*batch_);
+  EXPECT_EQ(f.user.value().cols(), enc.user_dim());
+  EXPECT_EQ(f.item.value().cols(), enc.item_dim());
+  EXPECT_EQ(f.context.value().cols(), enc.context_dim());
+  EXPECT_EQ(f.combine.value().cols(), enc.combine_dim());
+  EXPECT_EQ(f.seq.value().dim(2), enc.seq_dim());
+  EXPECT_EQ(f.seq_pooled.value().cols(), enc.seq_dim());
+  EXPECT_EQ(f.query.value().cols(), enc.seq_dim());
+  EXPECT_EQ(enc.concat_dim(), enc.user_dim() + enc.seq_dim() +
+                                  enc.item_dim() + enc.context_dim() +
+                                  enc.combine_dim());
+}
+
+TEST_F(ModelsTest, FeatureEncoderPooledRespectsMask) {
+  Rng rng(2);
+  FeatureEncoder enc(dataset_->schema, 4, rng);
+  auto f = enc.Encode(*batch_);
+  // filtered pooled is zero where the filter mask has no valid position.
+  for (int64_t i = 0; i < batch_->size; ++i) {
+    float filter_count = 0;
+    for (int64_t j = 0; j < batch_->seq_len; ++j) {
+      filter_count += batch_->seq_filter_mask.at(i, j);
+    }
+    if (filter_count == 0.0f) {
+      for (int64_t j = 0; j < enc.seq_dim(); ++j) {
+        EXPECT_EQ(f.seq_filtered_pooled.value().at(i, j), 0.0f);
+      }
+    }
+  }
+}
+
+// Every zoo model: correct output shape, finite values, gradient reaches
+// parameters, and deterministic under a fixed seed.
+class ZooModelTest : public ModelsTest,
+                     public ::testing::WithParamInterface<ModelKind> {};
+
+TEST_P(ZooModelTest, ForwardShapeAndFinite) {
+  auto model = CreateModel(GetParam(), dataset_->schema, 11);
+  ag::Variable logits = model->ForwardLogits(*batch_);
+  ASSERT_EQ(logits.value().rank(), 1);
+  EXPECT_EQ(logits.value().dim(0), batch_->size);
+  EXPECT_FALSE(logits.value().HasNonFinite());
+}
+
+TEST_P(ZooModelTest, GradientsReachSomeParameters) {
+  auto model = CreateModel(GetParam(), dataset_->schema, 12);
+  ag::Variable logits = model->ForwardLogits(*batch_);
+  ag::Variable loss = ag::BceWithLogits(logits, batch_->labels);
+  ag::Backward(loss);
+  int64_t nonzero = 0;
+  for (auto& p : model->Parameters()) {
+    for (int64_t i = 0; i < p.grad().numel(); ++i) {
+      if (p.grad()[i] != 0.0f) {
+        ++nonzero;
+        break;
+      }
+    }
+  }
+  // At least half of the parameter tensors get gradient from one batch.
+  EXPECT_GT(nonzero, static_cast<int64_t>(model->Parameters().size()) / 2);
+}
+
+TEST_P(ZooModelTest, DeterministicUnderSeed) {
+  auto m1 = CreateModel(GetParam(), dataset_->schema, 13);
+  auto m2 = CreateModel(GetParam(), dataset_->schema, 13);
+  m1->SetTraining(false);
+  m2->SetTraining(false);
+  ag::Variable l1 = m1->ForwardLogits(*batch_);
+  ag::Variable l2 = m2->ForwardLogits(*batch_);
+  EXPECT_TRUE(ops::AllClose(l1.value(), l2.value()));
+}
+
+TEST_P(ZooModelTest, DifferentSeedsDiffer) {
+  auto m1 = CreateModel(GetParam(), dataset_->schema, 14);
+  auto m2 = CreateModel(GetParam(), dataset_->schema, 15);
+  m1->SetTraining(false);
+  m2->SetTraining(false);
+  ag::Variable l1 = m1->ForwardLogits(*batch_);
+  ag::Variable l2 = m2->ForwardLogits(*batch_);
+  EXPECT_GT(ops::MaxAbsDiff(l1.value(), l2.value()), 1e-6f);
+}
+
+TEST_P(ZooModelTest, PredictProbsInUnitInterval) {
+  auto model = CreateModel(GetParam(), dataset_->schema, 16);
+  model->SetTraining(false);
+  std::vector<float> probs = model->PredictProbs(*batch_);
+  ASSERT_EQ(static_cast<int64_t>(probs.size()), batch_->size);
+  for (float p : probs) {
+    EXPECT_GT(p, 0.0f);
+    EXPECT_LT(p, 1.0f);
+  }
+}
+
+TEST_P(ZooModelTest, FinalRepresentationMatchesBatch) {
+  auto model = CreateModel(GetParam(), dataset_->schema, 17);
+  model->SetTraining(false);
+  ag::Variable rep = model->FinalRepresentation(*batch_);
+  ASSERT_TRUE(rep.defined());
+  EXPECT_EQ(rep.value().dim(0), batch_->size);
+  EXPECT_GT(rep.value().cols(), 1);
+  EXPECT_FALSE(rep.value().HasNonFinite());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooModelTest,
+    ::testing::Values(ModelKind::kWideDeep, ModelKind::kDin,
+                      ModelKind::kAutoInt, ModelKind::kStar, ModelKind::kM2m,
+                      ModelKind::kApg, ModelKind::kBasm, ModelKind::kBaseDin,
+                      ModelKind::kDeepFm),
+    [](const ::testing::TestParamInfo<ModelKind>& info) {
+      std::string name = ModelKindName(info.param);
+      std::string out;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) != 0) out += c;
+      }
+      return out;
+    });
+
+TEST_F(ModelsTest, TableFourOrder) {
+  auto kinds = TableFourModels();
+  ASSERT_EQ(kinds.size(), 7u);
+  EXPECT_EQ(kinds.front(), ModelKind::kWideDeep);
+  EXPECT_EQ(kinds.back(), ModelKind::kBasm);
+}
+
+TEST_F(ModelsTest, StarUsesMoreParametersThanDin) {
+  auto din = CreateModel(ModelKind::kDin, dataset_->schema, 18);
+  auto star = CreateModel(ModelKind::kStar, dataset_->schema, 18);
+  // STAR keeps per-domain copies of tower weights.
+  EXPECT_GT(star->ParameterCount(), din->ParameterCount());
+}
+
+}  // namespace
+}  // namespace basm::models

@@ -1,0 +1,155 @@
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "nn/dropout.h"
+#include "nn/hashed_embedding.h"
+#include "nn/layernorm.h"
+#include "tensor/tensor_ops.h"
+#include "tests/test_util.h"
+
+namespace basm::nn {
+namespace {
+
+namespace ag = ::basm::autograd;
+
+TEST(LayerNormTest, NormalizesEachRow) {
+  Rng rng(1);
+  LayerNorm ln(6);
+  ag::Variable x =
+      ag::Variable::Constant(Tensor::Normal({4, 6}, 5.0f, 3.0f, rng));
+  Tensor y = ln.Forward(x).value();
+  for (int64_t i = 0; i < 4; ++i) {
+    double mean = 0.0, sq = 0.0;
+    for (int64_t j = 0; j < 6; ++j) mean += y.at(i, j);
+    mean /= 6.0;
+    for (int64_t j = 0; j < 6; ++j) {
+      sq += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 6.0, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, IdenticalInTrainAndEval) {
+  Rng rng(2);
+  LayerNorm ln(4);
+  ag::Variable x =
+      ag::Variable::Constant(Tensor::Normal({3, 4}, 0, 1, rng));
+  ln.SetTraining(true);
+  Tensor train_out = ln.Forward(x).value();
+  ln.SetTraining(false);
+  Tensor eval_out = ln.Forward(x).value();
+  EXPECT_TRUE(ops::AllClose(train_out, eval_out, 0.0f, 0.0f));
+}
+
+TEST(LayerNormTest, GradCheck) {
+  Rng rng(3);
+  auto ln = std::make_shared<LayerNorm>(5);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Leaf(Tensor::Normal({3, 5}, 0, 1, rng), true)};
+  Tensor w = Tensor::Normal({3, 5}, 0, 1, rng);
+  basm::testing::CheckGradients(leaves, [&] {
+    return ag::SumAll(
+        ag::Mul(ln->Forward(leaves[0]), ag::Variable::Constant(w)));
+  });
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(4);
+  Dropout drop(0.5f);
+  drop.SetTraining(false);
+  ag::Variable x =
+      ag::Variable::Constant(Tensor::Normal({4, 4}, 0, 1, rng));
+  EXPECT_TRUE(ops::AllClose(drop.Forward(x).value(), x.value(), 0.0f, 0.0f));
+}
+
+TEST(DropoutTest, TrainModeZeroesApproximatelyRateFraction) {
+  Dropout drop(0.3f);
+  drop.SetTraining(true);
+  ag::Variable x = ag::Variable::Constant(Tensor::Ones({100, 100}));
+  Tensor y = drop.Forward(x).value();
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y[i], 1.0f / 0.7f, 1e-5f);  // inverted scaling
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.numel(), 0.3, 0.02);
+}
+
+TEST(DropoutTest, ExpectationPreserved) {
+  Dropout drop(0.4f);
+  drop.SetTraining(true);
+  ag::Variable x = ag::Variable::Constant(Tensor::Ones({200, 200}));
+  Tensor y = drop.Forward(x).value();
+  EXPECT_NEAR(y.Mean(), 1.0f, 0.02f);
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityEvenInTraining) {
+  Rng rng(5);
+  Dropout drop(0.0f);
+  drop.SetTraining(true);
+  ag::Variable x =
+      ag::Variable::Constant(Tensor::Normal({4, 4}, 0, 1, rng));
+  EXPECT_TRUE(ops::AllClose(drop.Forward(x).value(), x.value(), 0.0f, 0.0f));
+}
+
+TEST(HashedEmbeddingTest, AcceptsArbitraryIds) {
+  Rng rng(6);
+  HashedEmbedding emb(64, 8, rng);
+  Tensor out =
+      emb.Forward({-5, 0, 1'000'000'000'000LL, 42}).value();
+  EXPECT_EQ(out.rows(), 4);
+  EXPECT_EQ(out.cols(), 8);
+  EXPECT_FALSE(out.HasNonFinite());
+}
+
+TEST(HashedEmbeddingTest, DeterministicBuckets) {
+  Rng rng(7);
+  HashedEmbedding emb(128, 4, rng);
+  for (int64_t id : {0LL, 17LL, -3LL, 999999LL}) {
+    EXPECT_EQ(emb.Bucket(id), emb.Bucket(id));
+    EXPECT_GE(emb.Bucket(id), 0);
+    EXPECT_LT(emb.Bucket(id), 128);
+  }
+}
+
+TEST(HashedEmbeddingTest, SequentialIdsSpreadAcrossBuckets) {
+  Rng rng(8);
+  HashedEmbedding emb(1024, 4, rng);
+  std::set<int64_t> buckets;
+  for (int64_t id = 0; id < 256; ++id) buckets.insert(emb.Bucket(id));
+  // With 1024 buckets and 256 sequential ids, expect >200 distinct buckets
+  // (heavy clustering would indicate a broken hash).
+  EXPECT_GT(buckets.size(), 200u);
+}
+
+TEST(HashedEmbeddingTest, SaltDecorrelatesFeatures) {
+  Rng rng(9);
+  HashedEmbedding a(256, 4, rng, /*salt=*/1);
+  HashedEmbedding b(256, 4, rng, /*salt=*/2);
+  int same = 0;
+  for (int64_t id = 0; id < 100; ++id) {
+    if (a.Bucket(id) == b.Bucket(id)) ++same;
+  }
+  EXPECT_LT(same, 10);  // ~100/256 expected by chance
+}
+
+TEST(HashedEmbeddingTest, TrainableThroughLookup) {
+  Rng rng(10);
+  HashedEmbedding emb(32, 4, rng);
+  ag::Backward(ag::SumAll(emb.Forward({7, 7, 9})));
+  auto params = emb.Parameters();
+  ASSERT_EQ(params.size(), 1u);
+  float bucket7_grad = params[0].grad()[emb.Bucket(7) * 4];
+  float bucket9_grad = params[0].grad()[emb.Bucket(9) * 4];
+  EXPECT_FLOAT_EQ(bucket7_grad, 2.0f);  // id 7 looked up twice
+  EXPECT_FLOAT_EQ(bucket9_grad, 1.0f);
+}
+
+}  // namespace
+}  // namespace basm::nn

@@ -1,0 +1,363 @@
+#include <cmath>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "nn/attention.h"
+#include "nn/batchnorm.h"
+#include "nn/dynamic.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+#include "tests/test_util.h"
+
+namespace basm::nn {
+namespace {
+
+namespace ag = ::basm::autograd;
+
+TEST(ModuleTest, ParameterRegistry) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  auto params = layer.Parameters();
+  ASSERT_EQ(params.size(), 2u);  // weight + bias
+  EXPECT_EQ(layer.ParameterCount(), 4 * 3 + 3);
+  EXPECT_EQ(layer.ParameterBytes(), (4 * 3 + 3) * 4);
+}
+
+TEST(ModuleTest, NamedParametersNested) {
+  Rng rng(2);
+  Mlp mlp({4, 8, 1}, Activation::kRelu, rng);
+  auto named = mlp.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "fc0.weight");
+  EXPECT_EQ(named[3].first, "fc1.bias");
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(3);
+  Linear layer(2, 2, rng);
+  ag::Variable x = ag::Variable::Constant(Tensor({3, 2}, {1, 2, 3, 4, 5, 6}));
+  ag::Backward(ag::SumAll(layer.Forward(x)));
+  bool any_nonzero = false;
+  for (auto& p : layer.Parameters()) {
+    for (int64_t i = 0; i < p.grad().numel(); ++i) {
+      any_nonzero = any_nonzero || p.grad()[i] != 0.0f;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  layer.ZeroGrad();
+  for (auto& p : layer.Parameters()) {
+    for (int64_t i = 0; i < p.grad().numel(); ++i) {
+      EXPECT_EQ(p.grad()[i], 0.0f);
+    }
+  }
+}
+
+TEST(LinearTest, ForwardShapeAndValue) {
+  Rng rng(4);
+  Linear layer(2, 3, rng);
+  // Overwrite weights to known values.
+  ag::Variable w = layer.weight();
+  w.mutable_value() = Tensor({2, 3}, {1, 0, 2, 0, 1, 1});
+  ag::Variable b = layer.bias();
+  b.mutable_value() = Tensor({1, 3}, {0.5f, -0.5f, 0});
+  ag::Variable x = ag::Variable::Constant(Tensor({1, 2}, {2, 3}));
+  Tensor y = layer.Forward(x).value();
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 7.0f);
+}
+
+TEST(MlpTest, OutputShape) {
+  Rng rng(5);
+  Mlp mlp({6, 8, 4, 1}, Activation::kLeakyRelu, rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Normal({5, 6}, 0, 1, rng));
+  Tensor y = mlp.Forward(x).value();
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 1);
+}
+
+TEST(MlpTest, TrainsOnXor) {
+  // Small nonlinear task: XOR must be solvable with a hidden layer.
+  Rng rng(6);
+  Mlp mlp({2, 8, 1}, Activation::kTanh, rng);
+  Tensor x({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor y({4}, {0, 1, 1, 0});
+  optim::Adam opt(mlp.Parameters(), 0.05f);
+  float last_loss = 0.0f;
+  for (int step = 0; step < 400; ++step) {
+    ag::Variable logits =
+        ag::Reshape(mlp.Forward(ag::Variable::Constant(x)), {4});
+    ag::Variable loss = ag::BceWithLogits(logits, y);
+    last_loss = loss.value()[0];
+    ag::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, 0.1f);
+}
+
+TEST(BatchNormTest, NormalizesTrainBatch) {
+  BatchNorm1d bn(3);
+  bn.SetTraining(true);
+  Rng rng(7);
+  ag::Variable x =
+      ag::Variable::Constant(Tensor::Normal({64, 3}, 5.0f, 2.0f, rng));
+  Tensor y = bn.Forward(x).value();
+  Tensor mean = ops::ColMean(y);
+  for (int64_t j = 0; j < 3; ++j) EXPECT_NEAR(mean[j], 0.0f, 1e-4f);
+  // Per-column variance should be ~1.
+  Tensor sq = ops::ColMean(ops::Mul(y, y));
+  for (int64_t j = 0; j < 3; ++j) EXPECT_NEAR(sq[j], 1.0f, 1e-2f);
+}
+
+TEST(BatchNormTest, RunningStatsConvergeAndEvalUsesThem) {
+  BatchNorm1d bn(2, /*momentum=*/0.5f);
+  bn.SetTraining(true);
+  Rng rng(8);
+  for (int i = 0; i < 30; ++i) {
+    ag::Variable x =
+        ag::Variable::Constant(Tensor::Normal({256, 2}, 3.0f, 1.0f, rng));
+    bn.Forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0f, 0.2f);
+  EXPECT_NEAR(bn.running_var()[0], 1.0f, 0.2f);
+
+  bn.SetTraining(false);
+  // A constant eval input equal to the running mean maps to ~0.
+  Tensor x_eval({1, 2});
+  x_eval[0] = bn.running_mean()[0];
+  x_eval[1] = bn.running_mean()[1];
+  Tensor y = bn.Forward(ag::Variable::Constant(x_eval)).value();
+  EXPECT_NEAR(y[0], 0.0f, 1e-3f);
+}
+
+TEST(BatchNormTest, GradientsFlowThroughBatchStats) {
+  Rng rng(9);
+  auto bn = std::make_shared<BatchNorm1d>(3);
+  bn->SetTraining(true);
+  std::vector<ag::Variable> leaves = {ag::Variable::Leaf(
+      Tensor::Normal({6, 3}, 0.0f, 1.0f, rng), true)};
+  Tensor w = Tensor::Normal({6, 3}, 0.0f, 1.0f, rng);
+  basm::testing::CheckGradients(leaves, [&] {
+    return ag::SumAll(
+        ag::Mul(bn->Forward(leaves[0]), ag::Variable::Constant(w)));
+  });
+}
+
+TEST(EmbeddingTest, LookupShape) {
+  Rng rng(10);
+  Embedding emb(100, 8, rng);
+  std::vector<int32_t> ids = {3, 7, 3};
+  Tensor out = emb.Forward(ids).value();
+  EXPECT_EQ(out.rows(), 3);
+  EXPECT_EQ(out.cols(), 8);
+  // Same id -> same row.
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(out.at(0, j), out.at(2, j));
+  }
+}
+
+TEST(EmbeddingTest, TrainableViaOptimizer) {
+  Rng rng(11);
+  Embedding emb(10, 4, rng);
+  optim::Sgd opt(emb.Parameters(), 0.5f);
+  std::vector<int32_t> ids = {2};
+  Tensor before = emb.Forward(ids).value();
+  ag::Backward(ag::SumAll(emb.Forward(ids)));
+  opt.Step();
+  Tensor after = emb.Forward(ids).value();
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(after[j], before[j] - 0.5f, 1e-5f);
+  }
+}
+
+TEST(TargetAttentionTest, MaskedPositionsIgnored) {
+  Rng rng(12);
+  TargetAttention attn(4, 8, rng);
+  int64_t batch = 2, t = 3;
+  ag::Variable query =
+      ag::Variable::Constant(Tensor::Normal({batch, 4}, 0, 1, rng));
+  Tensor keys_t = Tensor::Normal({batch, t, 4}, 0, 1, rng);
+  // Poison masked positions with huge values: they must not leak.
+  for (int64_t j = 0; j < 4; ++j) keys_t.at(0, 2, j) = 1e6f;
+  ag::Variable keys = ag::Variable::Constant(keys_t);
+  Tensor mask({batch, t}, {1, 1, 0, 1, 1, 1});
+  Tensor out = attn.Forward(query, keys, mask).value();
+  EXPECT_FALSE(out.HasNonFinite());
+  EXPECT_LT(std::abs(out.at(0, 0)), 100.0f);
+  // Attention weights on masked slot are ~0.
+  EXPECT_LT(attn.last_weights().at(0, 2), 1e-6f);
+}
+
+TEST(TargetAttentionTest, WeightsSumToOne) {
+  Rng rng(13);
+  TargetAttention attn(4, 8, rng);
+  ag::Variable query = ag::Variable::Constant(Tensor::Normal({3, 4}, 0, 1, rng));
+  ag::Variable keys =
+      ag::Variable::Constant(Tensor::Normal({3, 5, 4}, 0, 1, rng));
+  Tensor mask = Tensor::Ones({3, 5});
+  attn.Forward(query, keys, mask);
+  for (int64_t i = 0; i < 3; ++i) {
+    double total = 0.0;
+    for (int64_t j = 0; j < 5; ++j) total += attn.last_weights().at(i, j);
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(TargetAttentionTest, GradientsFlow) {
+  Rng rng(14);
+  auto attn = std::make_shared<TargetAttention>(3, 4, rng);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Leaf(Tensor::Normal({2, 3}, 0, 0.5f, rng), true),
+      ag::Variable::Leaf(Tensor::Normal({2, 4, 3}, 0, 0.5f, rng), true),
+  };
+  Tensor mask = Tensor::Ones({2, 4});
+  basm::testing::CheckGradients(leaves, [&] {
+    ag::Variable out = attn->Forward(leaves[0], leaves[1], mask);
+    return ag::SumAll(ag::Mul(out, out));
+  });
+}
+
+TEST(MultiHeadSelfAttentionTest, ShapeAndFinite) {
+  Rng rng(15);
+  MultiHeadSelfAttention mhsa(8, 2, 4, rng);
+  ag::Variable x =
+      ag::Variable::Constant(Tensor::Normal({3, 5, 8}, 0, 1, rng));
+  Tensor y = mhsa.Forward(x).value();
+  EXPECT_EQ(y.dim(0), 3);
+  EXPECT_EQ(y.dim(1), 5);
+  EXPECT_EQ(y.dim(2), 8);  // 2 heads * 4
+  EXPECT_FALSE(y.HasNonFinite());
+}
+
+TEST(MultiHeadSelfAttentionTest, GradientsFlowToParams) {
+  Rng rng(16);
+  MultiHeadSelfAttention mhsa(4, 2, 2, rng);
+  ag::Variable x =
+      ag::Variable::Constant(Tensor::Normal({2, 3, 4}, 0, 1, rng));
+  ag::Backward(ag::SumAll(mhsa.Forward(x)));
+  int64_t touched = 0;
+  for (auto& p : mhsa.Parameters()) {
+    for (int64_t i = 0; i < p.grad().numel(); ++i) {
+      if (p.grad()[i] != 0.0f) ++touched;
+    }
+  }
+  EXPECT_GT(touched, 0);
+}
+
+TEST(MetaLinearTest, ShapeAndConditionSensitivity) {
+  Rng rng(17);
+  MetaLinear meta(5, 6, 3, rng);
+  ag::Variable x = ag::Variable::Constant(Tensor::Normal({4, 6}, 0, 1, rng));
+  ag::Variable cond1 =
+      ag::Variable::Constant(Tensor::Normal({4, 5}, 0, 1, rng));
+  ag::Variable cond2 =
+      ag::Variable::Constant(Tensor::Normal({4, 5}, 0, 1, rng));
+  Tensor y1 = meta.Forward(x, cond1).value();
+  Tensor y2 = meta.Forward(x, cond2).value();
+  EXPECT_EQ(y1.rows(), 4);
+  EXPECT_EQ(y1.cols(), 3);
+  // Different conditions must produce different mappings of the same input.
+  EXPECT_GT(ops::MaxAbsDiff(y1, y2), 1e-6f);
+}
+
+TEST(MetaLinearTest, GradCheckThroughGenerator) {
+  Rng rng(18);
+  auto meta = std::make_shared<MetaLinear>(3, 4, 2, rng);
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Leaf(Tensor::Normal({3, 4}, 0, 0.5f, rng), true),
+      ag::Variable::Leaf(Tensor::Normal({3, 3}, 0, 0.5f, rng), true),
+  };
+  basm::testing::CheckGradients(leaves, [&] {
+    ag::Variable y = meta->Forward(leaves[0], leaves[1]);
+    return ag::SumAll(ag::Mul(y, y));
+  });
+}
+
+TEST(LowRankMetaLinearTest, ShapeAndParamCountSmallerThanFull) {
+  Rng rng(19);
+  const int64_t cond = 16, in = 64, out = 64;
+  MetaLinear full(cond, in, out, rng);
+  LowRankMetaLinear lowrank(cond, in, out, /*rank=*/8, rng);
+  EXPECT_LT(lowrank.ParameterCount(), full.ParameterCount() / 4);
+
+  ag::Variable x = ag::Variable::Constant(Tensor::Normal({2, in}, 0, 1, rng));
+  ag::Variable c = ag::Variable::Constant(Tensor::Normal({2, cond}, 0, 1, rng));
+  Tensor y = lowrank.Forward(x, c).value();
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), out);
+}
+
+TEST(OptimizerTest, SgdStepDirection) {
+  ag::Variable p = ag::Variable::Leaf(Tensor({1}, {1.0f}), true);
+  optim::Sgd opt({p}, 0.1f);
+  // loss = p^2 => grad = 2p = 2; p' = 1 - 0.1*2 = 0.8.
+  ag::Backward(ag::SumAll(ag::Mul(p, p)));
+  opt.Step();
+  EXPECT_NEAR(p.value()[0], 0.8f, 1e-6f);
+  // Step zeroes the gradient.
+  EXPECT_EQ(p.grad()[0], 0.0f);
+}
+
+TEST(OptimizerTest, AdagradConvergesOnQuadratic) {
+  ag::Variable p = ag::Variable::Leaf(Tensor({2}, {3.0f, -2.0f}), true);
+  optim::Adagrad opt({p}, 0.5f);
+  for (int i = 0; i < 300; ++i) {
+    ag::Backward(ag::SumAll(ag::Mul(p, p)));
+    opt.Step();
+  }
+  EXPECT_NEAR(p.value()[0], 0.0f, 0.05f);
+  EXPECT_NEAR(p.value()[1], 0.0f, 0.05f);
+}
+
+TEST(OptimizerTest, AdagradDecayKeepsAdapting) {
+  // With decay < 1 the accumulator forgets, so late steps stay larger than
+  // classic Adagrad's on the same schedule.
+  ag::Variable p1 = ag::Variable::Leaf(Tensor({1}, {1.0f}), true);
+  ag::Variable p2 = ag::Variable::Leaf(Tensor({1}, {1.0f}), true);
+  optim::Adagrad classic({p1}, 0.1f, /*decay=*/1.0f);
+  optim::Adagrad decayed({p2}, 0.1f, /*decay=*/0.9f);
+  for (int i = 0; i < 200; ++i) {
+    p1.grad()[0] = 1.0f;
+    classic.Step();
+    p2.grad()[0] = 1.0f;
+    decayed.Step();
+  }
+  // Decayed variant travels farther under a constant gradient.
+  EXPECT_LT(p2.value()[0], p1.value()[0]);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  ag::Variable p = ag::Variable::Leaf(Tensor({1}, {4.0f}), true);
+  optim::Adam opt({p}, 0.2f);
+  for (int i = 0; i < 200; ++i) {
+    ag::Backward(ag::SumAll(ag::Mul(p, p)));
+    opt.Step();
+  }
+  EXPECT_NEAR(p.value()[0], 0.0f, 0.05f);
+}
+
+TEST(OptimizerTest, GradClippingBoundsNorm) {
+  ag::Variable p = ag::Variable::Leaf(Tensor({2}, {0.0f, 0.0f}), true);
+  optim::Sgd opt({p}, 1.0f);
+  opt.set_clip_norm(1.0f);
+  p.grad()[0] = 30.0f;
+  p.grad()[1] = 40.0f;  // norm 50 -> scaled to 1
+  opt.Step();
+  EXPECT_NEAR(p.value()[0], -0.6f, 1e-5f);
+  EXPECT_NEAR(p.value()[1], -0.8f, 1e-5f);
+}
+
+TEST(OptimizerTest, LinearWarmupSchedule) {
+  optim::LinearWarmup sched(0.001f, 0.012f, 100);
+  EXPECT_NEAR(sched.LearningRate(0), 0.001f, 1e-7f);
+  EXPECT_NEAR(sched.LearningRate(50), 0.0065f, 1e-6f);
+  EXPECT_NEAR(sched.LearningRate(100), 0.012f, 1e-7f);
+  EXPECT_NEAR(sched.LearningRate(1000), 0.012f, 1e-7f);
+}
+
+}  // namespace
+}  // namespace basm::nn

@@ -1,0 +1,172 @@
+// Property-based sweeps: algebraic identities of the tensor kernels,
+// gradient checks across randomized graph shapes, generator invariants
+// across seeds, and metric laws. Parameterized over seeds so each property
+// is exercised on several independent random instances.
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "data/synth.h"
+#include "gtest/gtest.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+#include "tests/test_util.h"
+
+namespace basm {
+namespace {
+
+namespace ag = ::basm::autograd;
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99991u));
+
+TEST_P(SeededProperty, MatMulAssociativity) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Normal({4, 5}, 0, 1, rng);
+  Tensor b = Tensor::Normal({5, 6}, 0, 1, rng);
+  Tensor c = Tensor::Normal({6, 3}, 0, 1, rng);
+  Tensor left = ops::MatMul(ops::MatMul(a, b), c);
+  Tensor right = ops::MatMul(a, ops::MatMul(b, c));
+  EXPECT_TRUE(ops::AllClose(left, right, 1e-4f, 1e-5f));
+}
+
+TEST_P(SeededProperty, MatMulDistributesOverAdd) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Normal({3, 4}, 0, 1, rng);
+  Tensor b = Tensor::Normal({4, 5}, 0, 1, rng);
+  Tensor c = Tensor::Normal({4, 5}, 0, 1, rng);
+  Tensor left = ops::MatMul(a, ops::Add(b, c));
+  Tensor right = ops::Add(ops::MatMul(a, b), ops::MatMul(a, c));
+  EXPECT_TRUE(ops::AllClose(left, right, 1e-4f, 1e-5f));
+}
+
+TEST_P(SeededProperty, TransposeReversesMatMul) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Normal({4, 6}, 0, 1, rng);
+  Tensor b = Tensor::Normal({6, 3}, 0, 1, rng);
+  Tensor left = ops::Transpose(ops::MatMul(a, b));
+  Tensor right = ops::MatMul(ops::Transpose(b), ops::Transpose(a));
+  EXPECT_TRUE(ops::AllClose(left, right, 1e-4f, 1e-5f));
+}
+
+TEST_P(SeededProperty, SoftmaxShiftInvariance) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Normal({5, 7}, 0, 2, rng);
+  Tensor shifted = ops::AddScalar(a, 123.0f);
+  EXPECT_TRUE(ops::AllClose(ops::RowSoftmax(a), ops::RowSoftmax(shifted),
+                            1e-4f, 1e-6f));
+}
+
+TEST_P(SeededProperty, ReductionConsistency) {
+  Rng rng(GetParam());
+  Tensor a = Tensor::Normal({6, 9}, 0, 1, rng);
+  // Summing row sums == summing column sums == summing everything.
+  EXPECT_NEAR(ops::RowSum(a).Sum(), a.Sum(), 1e-3f);
+  EXPECT_NEAR(ops::ColSum(a).Sum(), a.Sum(), 1e-3f);
+  EXPECT_NEAR(ops::SumAll(a)[0], a.Sum(), 1e-3f);
+}
+
+TEST_P(SeededProperty, GradCheckRandomizedComposite) {
+  // Randomly-shaped composite graph hitting matmul, broadcast, activation,
+  // softmax and reduction in one pass.
+  Rng rng(GetParam());
+  int64_t m = 2 + static_cast<int64_t>(rng.NextUint64(3));
+  int64_t k = 2 + static_cast<int64_t>(rng.NextUint64(3));
+  int64_t n = 2 + static_cast<int64_t>(rng.NextUint64(3));
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Leaf(Tensor::Normal({m, k}, 0, 0.5f, rng), true),
+      ag::Variable::Leaf(Tensor::Normal({k, n}, 0, 0.5f, rng), true),
+      ag::Variable::Leaf(Tensor::Normal({1, n}, 0, 0.5f, rng), true),
+  };
+  basm::testing::CheckGradients(leaves, [&] {
+    ag::Variable h = ag::Tanh(
+        ag::AddRowBroadcast(ag::MatMul(leaves[0], leaves[1]), leaves[2]));
+    ag::Variable attn = ag::RowSoftmax(h);
+    return ag::SumAll(ag::Mul(attn, h));
+  });
+}
+
+TEST_P(SeededProperty, GradCheckGatedBroadcastComposite) {
+  // The StAEL-style pattern: per-row scalar gates scaling a field.
+  Rng rng(GetParam());
+  std::vector<ag::Variable> leaves = {
+      ag::Variable::Leaf(Tensor::Normal({4, 6}, 0, 0.5f, rng), true),
+      ag::Variable::Leaf(Tensor::Normal({6, 1}, 0, 0.5f, rng), true),
+  };
+  basm::testing::CheckGradients(leaves, [&] {
+    ag::Variable gate =
+        ag::Scale(ag::Sigmoid(ag::MatMul(leaves[0], leaves[1])), 2.0f);
+    ag::Variable gated = ag::MulColBroadcast(leaves[0], gate);
+    return ag::SumAll(ag::Mul(gated, gated));
+  });
+}
+
+TEST_P(SeededProperty, BackwardMatchesSplitGraphs) {
+  // Gradient of f+g equals grad f + grad g computed separately.
+  Rng rng(GetParam());
+  Tensor init = Tensor::Normal({3, 3}, 0, 1, rng);
+  ag::Variable joint = ag::Variable::Leaf(init, true);
+  ag::Backward(ag::Add(ag::SumAll(ag::Mul(joint, joint)),
+                       ag::SumAll(ag::Sigmoid(joint))));
+
+  ag::Variable split = ag::Variable::Leaf(init, true);
+  ag::Backward(ag::SumAll(ag::Mul(split, split)));
+  ag::Backward(ag::SumAll(ag::Sigmoid(split)));
+
+  EXPECT_TRUE(ops::AllClose(joint.grad(), split.grad(), 1e-4f, 1e-5f));
+}
+
+TEST_P(SeededProperty, GroupedAucSingleGroupEqualsAuc) {
+  Rng rng(GetParam());
+  std::vector<float> scores, labels;
+  std::vector<int32_t> groups;
+  for (int i = 0; i < 400; ++i) {
+    scores.push_back(static_cast<float>(rng.Normal()));
+    labels.push_back(rng.Bernoulli(0.3) ? 1.0f : 0.0f);
+    groups.push_back(0);
+  }
+  EXPECT_NEAR(metrics::GroupedAuc(scores, labels, groups),
+              metrics::Auc(scores, labels), 1e-12);
+}
+
+TEST_P(SeededProperty, DatasetInvariantsAcrossSeeds) {
+  data::SynthConfig c = data::SynthConfig::Eleme();
+  c.seed = GetParam() * 7919 + 13;
+  c.num_users = 250;
+  c.num_items = 150;
+  c.num_cities = 4;
+  c.requests_per_day = 40;
+  c.days = 2;
+  c.test_day = 1;
+  c.seq_len = 5;
+  data::Dataset ds = data::GenerateDataset(c);
+  ASSERT_EQ(static_cast<int64_t>(ds.examples.size()),
+            c.days * c.requests_per_day * c.candidates_per_request);
+  double ctr = 0.0;
+  for (const auto& e : ds.examples) {
+    ASSERT_GE(e.gt_prob, 0.0f);
+    ASSERT_LE(e.gt_prob, 1.0f);
+    ASSERT_EQ(e.time_period,
+              static_cast<int32_t>(data::TimePeriodOfHour(e.hour)));
+    ctr += e.label;
+  }
+  ctr /= static_cast<double>(ds.examples.size());
+  // Click rate stays in a sane band for every seed.
+  EXPECT_GT(ctr, 0.02);
+  EXPECT_LT(ctr, 0.45);
+}
+
+TEST_P(SeededProperty, ZipfMonotoneForAnyExponent) {
+  Rng rng(GetParam());
+  double s = rng.Uniform(0.2, 2.0);
+  ZipfTable table(64, s);
+  for (int64_t i = 1; i < table.size(); ++i) {
+    EXPECT_GE(table.Probability(i - 1), table.Probability(i));
+  }
+}
+
+}  // namespace
+}  // namespace basm

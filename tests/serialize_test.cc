@@ -1,0 +1,158 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <string>
+
+#include "core/basm_model.h"
+#include "data/batch.h"
+#include "data/synth.h"
+#include "gtest/gtest.h"
+#include "nn/mlp.h"
+#include "tensor/tensor_ops.h"
+
+namespace basm::nn {
+namespace {
+
+namespace ag = ::basm::autograd;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripMlp) {
+  Rng rng(1);
+  Mlp a({4, 8, 2}, Activation::kRelu, rng);
+  Mlp b({4, 8, 2}, Activation::kRelu, rng);  // different init
+  std::string path = TempPath("mlp.ckpt");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  ASSERT_TRUE(LoadParameters(b, path).ok());
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(ops::AllClose(pa[i].value(), pb[i].value(), 0.0f, 0.0f));
+  }
+}
+
+TEST(SerializeTest, LoadedModelPredictsIdentically) {
+  data::SynthConfig c = data::SynthConfig::Eleme();
+  c.num_users = 100;
+  c.num_items = 80;
+  c.num_cities = 3;
+  c.requests_per_day = 10;
+  c.days = 2;
+  c.test_day = 1;
+  c.seq_len = 4;
+  data::Dataset ds = data::GenerateDataset(c);
+  auto test = ds.TestExamples();
+  std::vector<const data::Example*> slice(test.begin(), test.begin() + 8);
+  data::Batch batch = data::MakeBatch(slice, ds.schema);
+
+  Rng r1(7), r2(8);
+  core::Basm m1(ds.schema, core::BasmConfig::Full(), r1);
+  core::Basm m2(ds.schema, core::BasmConfig::Full(), r2);
+  m1.SetTraining(false);
+  m2.SetTraining(false);
+
+  std::string path = TempPath("basm.ckpt");
+  ASSERT_TRUE(SaveParameters(m1, path).ok());
+  ASSERT_TRUE(LoadParameters(m2, path).ok());
+  EXPECT_TRUE(ops::AllClose(m1.ForwardLogits(batch).value(),
+                            m2.ForwardLogits(batch).value()));
+}
+
+TEST(SerializeTest, BatchNormRunningStatsRoundTrip) {
+  // Regression test: running statistics are buffers, not parameters, and a
+  // checkpoint that drops them makes eval-mode predictions diverge.
+  Rng rng(11);
+  Mlp a({4, 8, 2}, Activation::kRelu, rng, /*batch_norm=*/true);
+  a.SetTraining(true);
+  for (int i = 0; i < 10; ++i) {
+    Tensor x = Tensor::Normal({32, 4}, 3.0f, 2.0f, rng);
+    a.Forward(ag::Variable::Constant(x));
+  }
+  std::string path = TempPath("bn.ckpt");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+
+  Mlp b({4, 8, 2}, Activation::kRelu, rng, /*batch_norm=*/true);
+  ASSERT_TRUE(LoadParameters(b, path).ok());
+  a.SetTraining(false);
+  b.SetTraining(false);
+  Tensor x = Tensor::Normal({8, 4}, 3.0f, 2.0f, rng);
+  EXPECT_TRUE(ops::AllClose(a.Forward(ag::Variable::Constant(x)).value(),
+                            b.Forward(ag::Variable::Constant(x)).value(),
+                            0.0f, 0.0f));
+}
+
+TEST(ModuleBufferTest, NamedBuffersNested) {
+  Rng rng(12);
+  Mlp mlp({4, 8, 6, 2}, Activation::kRelu, rng, /*batch_norm=*/true);
+  auto buffers = mlp.NamedBuffers();
+  ASSERT_EQ(buffers.size(), 4u);  // 2 BN layers x (mean, var)
+  EXPECT_EQ(buffers[0].first, "bn0.running_mean");
+  EXPECT_EQ(buffers[3].first, "bn1.running_var");
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  Rng rng(2);
+  Mlp m({2, 2}, Activation::kNone, rng);
+  Status s = LoadParameters(m, TempPath("does_not_exist.ckpt"));
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, GarbageFileRejected) {
+  std::string path = TempPath("garbage.ckpt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a checkpoint", f);
+  std::fclose(f);
+  Rng rng(3);
+  Mlp m({2, 2}, Activation::kNone, rng);
+  Status s = LoadParameters(m, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, StructureMismatchRejected) {
+  Rng rng(4);
+  Mlp small({4, 2}, Activation::kNone, rng);
+  Mlp large({4, 8, 2}, Activation::kNone, rng);
+  std::string path = TempPath("small.ckpt");
+  ASSERT_TRUE(SaveParameters(small, path).ok());
+  Status s = LoadParameters(large, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(5);
+  Mlp a({4, 8}, Activation::kNone, rng);
+  Mlp b({4, 9}, Activation::kNone, rng);  // same names, different shapes
+  std::string path = TempPath("shape.ckpt");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  Status s = LoadParameters(b, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  Rng rng(6);
+  Mlp a({16, 16}, Activation::kNone, rng);
+  std::string path = TempPath("trunc.ckpt");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  // Truncate the payload.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  std::string truncated = TempPath("trunc2.ckpt");
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  std::FILE* out = std::fopen(truncated.c_str(), "wb");
+  std::vector<char> buf(static_cast<size_t>(size) / 2);
+  ASSERT_EQ(std::fread(buf.data(), 1, buf.size(), in), buf.size());
+  ASSERT_EQ(std::fwrite(buf.data(), 1, buf.size(), out), buf.size());
+  std::fclose(in);
+  std::fclose(out);
+  Mlp b({16, 16}, Activation::kNone, rng);
+  Status s = LoadParameters(b, truncated);
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace basm::nn

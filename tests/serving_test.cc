@@ -1,0 +1,208 @@
+#include <memory>
+#include <set>
+
+#include "data/synth.h"
+#include "gtest/gtest.h"
+#include "models/model_zoo.h"
+#include "serving/feature_server.h"
+#include "serving/pipeline.h"
+#include "serving/recall.h"
+#include "serving/simulator.h"
+
+namespace basm::serving {
+namespace {
+
+data::SynthConfig TinyConfig() {
+  data::SynthConfig c = data::SynthConfig::Eleme();
+  c.num_users = 200;
+  c.num_items = 180;
+  c.num_cities = 4;
+  c.seq_len = 6;
+  return c;
+}
+
+class ServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { world_ = new data::World(TinyConfig()); }
+  static void TearDownTestSuite() { delete world_; }
+  static data::World* world_;
+};
+
+data::World* ServingTest::world_ = nullptr;
+
+TEST_F(ServingTest, FeatureServerBootstrapsHistories) {
+  FeatureServer fs(*world_, 6, /*seed=*/1);
+  auto uf = fs.GetUserFeatures(3);
+  EXPECT_EQ(uf.user_id, 3);
+  EXPECT_EQ(uf.behaviors.size(), 6u);
+}
+
+TEST_F(ServingTest, FeatureServerRecordsClicksMostRecentFirst) {
+  FeatureServer fs(*world_, 4, 2);
+  data::BehaviorEvent ev;
+  ev.item_id = 42;
+  ev.category = 7;
+  fs.RecordClick(0, ev);
+  auto uf = fs.GetUserFeatures(0);
+  EXPECT_EQ(uf.behaviors.size(), 4u);  // capped at history_len
+  EXPECT_EQ(uf.behaviors.front().item_id, 42);
+}
+
+TEST_F(ServingTest, RecallByCityReturnsDistinctCityItems) {
+  RecallIndex recall(*world_);
+  Rng rng(3);
+  auto items = recall.RecallByCity(1, 12, rng);
+  EXPECT_GE(items.size(), 1u);
+  std::set<int32_t> unique(items.begin(), items.end());
+  EXPECT_EQ(unique.size(), items.size());
+  for (int32_t item : items) {
+    EXPECT_EQ(world_->item(item).city, 1);
+  }
+}
+
+TEST_F(ServingTest, RecallByGeohashFallsBackGracefully) {
+  RecallIndex recall(*world_);
+  Rng rng(4);
+  // A geohash that likely has no items: falls back to city recall.
+  auto items = recall.RecallByGeohash(0, 12345, 8, rng);
+  EXPECT_GE(items.size(), 1u);
+  for (int32_t item : items) {
+    EXPECT_EQ(world_->item(item).city, 0);
+  }
+  EXPECT_GT(recall.NumCells(), 0);
+}
+
+TEST_F(ServingTest, PipelineServesRankedSlate) {
+  FeatureServer fs(*world_, 6, 5);
+  RecallIndex recall(*world_);
+  auto model =
+      models::CreateModel(models::ModelKind::kDin, world_->schema(), 7);
+  model->SetTraining(false);
+  Pipeline pipeline(*world_, &fs, &recall, model.get(), /*recall_size=*/16,
+                    /*expose_k=*/6);
+
+  Request req;
+  req.user_id = 10;
+  req.hour = 12;
+  req.weekday = 2;
+  req.city = world_->user(10).city;
+  Rng rng(8);
+  auto slate = pipeline.Serve(req, rng);
+  ASSERT_LE(slate.size(), 6u);
+  ASSERT_GE(slate.size(), 1u);
+  // Scores are sorted descending and positions sequential.
+  for (size_t i = 0; i < slate.size(); ++i) {
+    EXPECT_EQ(slate[i].position, static_cast<int32_t>(i));
+    if (i > 0) EXPECT_LE(slate[i].score, slate[i - 1].score);
+  }
+}
+
+TEST_F(ServingTest, PipelineRankingIsModelDriven) {
+  FeatureServer fs(*world_, 6, 5);
+  RecallIndex recall(*world_);
+  auto m1 = models::CreateModel(models::ModelKind::kDin, world_->schema(), 1);
+  auto m2 = models::CreateModel(models::ModelKind::kDin, world_->schema(), 2);
+  m1->SetTraining(false);
+  m2->SetTraining(false);
+  Pipeline p1(*world_, &fs, &recall, m1.get(), 16, 8);
+  Pipeline p2(*world_, &fs, &recall, m2.get(), 16, 8);
+
+  Request req;
+  req.user_id = 4;
+  req.hour = 19;
+  req.city = world_->user(4).city;
+  Rng rng(9);
+  auto candidates = recall.RecallByCity(req.city, 16, rng);
+  auto s1 = p1.RankCandidates(req, candidates);
+  auto s2 = p2.RankCandidates(req, candidates);
+  // Different random models order slates differently (with high prob.).
+  bool differs = false;
+  for (size_t i = 0; i < std::min(s1.size(), s2.size()); ++i) {
+    if (s1[i].item_id != s2[i].item_id) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(ServingTest, SimulatorProducesConsistentCounts) {
+  AbTestConfig config;
+  config.days = 2;
+  config.requests_per_day = 40;
+  config.recall_size = 12;
+  config.expose_k = 6;
+  auto base =
+      models::CreateModel(models::ModelKind::kBaseDin, world_->schema(), 3);
+  auto treat = models::CreateModel(models::ModelKind::kBasm, world_->schema(), 3);
+  OnlineSimulator sim(*world_, config);
+  AbTestResult result = sim.Run(*base, *treat);
+
+  ASSERT_EQ(result.base.daily.size(), 2u);
+  ASSERT_EQ(result.daily_improvement.size(), 2u);
+  // Both arms expose the same traffic volume (identical requests).
+  EXPECT_EQ(result.base.total.exposures, result.treatment.total.exposures);
+  EXPECT_EQ(result.base.total.exposures,
+            2 * config.requests_per_day * config.expose_k);
+  // Per-group counts add up to the total.
+  int64_t tp_sum = 0;
+  for (auto& [tp, st] : result.base.by_time_period) tp_sum += st.exposures;
+  EXPECT_EQ(tp_sum, result.base.total.exposures);
+  int64_t city_sum = 0;
+  for (auto& [c, st] : result.base.by_city) city_sum += st.exposures;
+  EXPECT_EQ(city_sum, result.base.total.exposures);
+  // CTRs are sane.
+  EXPECT_GT(result.base.total.ctr(), 0.0);
+  EXPECT_LT(result.base.total.ctr(), 1.0);
+}
+
+TEST_F(ServingTest, RecallByGeohashUsesPopulatedCell) {
+  RecallIndex recall(*world_);
+  Rng rng(21);
+  // Use a cell that is guaranteed populated: an item's own cell.
+  int32_t item0 = world_->CityItems(0)[0];
+  int32_t cell = world_->item(item0).geohash;
+  auto items = recall.RecallByGeohash(0, cell, 4, rng);
+  EXPECT_GE(items.size(), 1u);
+  for (int32_t item : items) EXPECT_EQ(world_->item(item).city, 0);
+}
+
+TEST_F(ServingTest, PipelineRejectsRecallSmallerThanExposure) {
+  FeatureServer fs(*world_, 4, 22);
+  RecallIndex recall(*world_);
+  auto model =
+      models::CreateModel(models::ModelKind::kDin, world_->schema(), 23);
+  EXPECT_DEATH(Pipeline(*world_, &fs, &recall, model.get(),
+                        /*recall_size=*/4, /*expose_k=*/8),
+               "Check failed");
+}
+
+TEST_F(ServingTest, ClickFeedbackChangesSubsequentFeatures) {
+  // Closed loop: a recorded click must appear in the next feature fetch.
+  FeatureServer fs(*world_, 6, 24);
+  auto before = fs.GetUserFeatures(1);
+  data::BehaviorEvent ev;
+  ev.item_id = 777 % static_cast<int32_t>(world_->config().num_items);
+  ev.category = 3;
+  ev.time_period = 1;
+  fs.RecordClick(1, ev);
+  auto after = fs.GetUserFeatures(1);
+  EXPECT_EQ(after.behaviors.front().item_id, ev.item_id);
+  EXPECT_NE(before.behaviors.front().item_id, ev.item_id);
+}
+
+TEST_F(ServingTest, SimulatorIdenticalModelsTie) {
+  AbTestConfig config;
+  config.days = 1;
+  config.requests_per_day = 30;
+  config.recall_size = 10;
+  config.expose_k = 5;
+  // The same model object in both arms must earn identical CTR because the
+  // traffic, candidates and click thresholds are shared.
+  auto model =
+      models::CreateModel(models::ModelKind::kDin, world_->schema(), 4);
+  OnlineSimulator sim(*world_, config);
+  AbTestResult result = sim.Run(*model, *model);
+  EXPECT_EQ(result.base.total.clicks, result.treatment.total.clicks);
+  EXPECT_NEAR(result.average_improvement, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace basm::serving

@@ -1,0 +1,256 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor_ops.h"
+
+namespace basm {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FromValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ThreeDimAccess) {
+  Tensor t({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(t.at(1, 0, 1), 5.0f);
+  EXPECT_EQ(t.at(0, 1, 0), 2.0f);
+}
+
+TEST(TensorTest, ReshapeInference) {
+  Tensor t({2, 6});
+  Tensor r = t.Reshape({3, -1});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.dim(1), 4);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  Tensor r = t.Reshape({4});
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(r[i], static_cast<float>(i + 1));
+}
+
+TEST(TensorTest, FillAndStats) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  EXPECT_FLOAT_EQ(t.Sum(), 10.0f);
+  EXPECT_FLOAT_EQ(t.Mean(), 2.5f);
+  EXPECT_FLOAT_EQ(t.Min(), 2.5f);
+  EXPECT_FLOAT_EQ(t.Max(), 2.5f);
+}
+
+TEST(TensorTest, UniformFactoryRange) {
+  Rng rng(1);
+  Tensor t = Tensor::Uniform({1000}, -0.5f, 0.5f, rng);
+  EXPECT_GE(t.Min(), -0.5f);
+  EXPECT_LT(t.Max(), 0.5f);
+  EXPECT_NEAR(t.Mean(), 0.0f, 0.05f);
+}
+
+TEST(TensorTest, NormalFactoryMoments) {
+  Rng rng(2);
+  Tensor t = Tensor::Normal({10000}, 1.0f, 2.0f, rng);
+  EXPECT_NEAR(t.Mean(), 1.0f, 0.1f);
+}
+
+TEST(TensorTest, HasNonFinite) {
+  Tensor t({2}, {1.0f, 2.0f});
+  EXPECT_FALSE(t.HasNonFinite());
+  t[1] = std::nanf("");
+  EXPECT_TRUE(t.HasNonFinite());
+  t[1] = INFINITY;
+  EXPECT_TRUE(t.HasNonFinite());
+}
+
+TEST(TensorTest, AddScaledInPlace) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.AddScaledInPlace(b, 0.1f);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  EXPECT_FLOAT_EQ(a[2], 6.0f);
+}
+
+TEST(TensorOpsTest, MatMulSmall) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = ops::MatMul(a, b);
+  // [1 2 3; 4 5 6] * [7 8; 9 10; 11 12] = [58 64; 139 154]
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(TensorOpsTest, MatMulIdentity) {
+  Rng rng(3);
+  Tensor a = Tensor::Normal({4, 4}, 0.0f, 1.0f, rng);
+  Tensor eye({4, 4});
+  for (int i = 0; i < 4; ++i) eye.at(i, i) = 1.0f;
+  EXPECT_TRUE(ops::AllClose(ops::MatMul(a, eye), a));
+  EXPECT_TRUE(ops::AllClose(ops::MatMul(eye, a), a));
+}
+
+TEST(TensorOpsTest, MatMulTransVariantsAgree) {
+  Rng rng(4);
+  Tensor a = Tensor::Normal({5, 3}, 0.0f, 1.0f, rng);
+  Tensor b = Tensor::Normal({5, 4}, 0.0f, 1.0f, rng);
+  // A^T B via explicit transpose should equal MatMulTransA.
+  Tensor expected = ops::MatMul(ops::Transpose(a), b);
+  EXPECT_TRUE(ops::AllClose(ops::MatMulTransA(a, b), expected, 1e-4f, 1e-5f));
+
+  Tensor c = Tensor::Normal({4, 3}, 0.0f, 1.0f, rng);
+  Tensor expected2 = ops::MatMul(a, ops::Transpose(c));
+  EXPECT_TRUE(ops::AllClose(ops::MatMulTransB(a, c), expected2, 1e-4f, 1e-5f));
+}
+
+TEST(TensorOpsTest, BatchedMatMulMatchesPerSlice) {
+  Rng rng(5);
+  Tensor a = Tensor::Normal({3, 2, 4}, 0.0f, 1.0f, rng);
+  Tensor b = Tensor::Normal({3, 4, 5}, 0.0f, 1.0f, rng);
+  Tensor c = ops::BatchedMatMul(a, b);
+  EXPECT_EQ(c.dim(0), 3);
+  EXPECT_EQ(c.dim(1), 2);
+  EXPECT_EQ(c.dim(2), 5);
+  for (int64_t i = 0; i < 3; ++i) {
+    Tensor ai({2, 4});
+    Tensor bi({4, 5});
+    std::copy(a.data() + i * 8, a.data() + (i + 1) * 8, ai.data());
+    std::copy(b.data() + i * 20, b.data() + (i + 1) * 20, bi.data());
+    Tensor ci = ops::MatMul(ai, bi);
+    for (int64_t j = 0; j < 10; ++j) {
+      EXPECT_NEAR(c[i * 10 + j], ci[j], 1e-5f);
+    }
+  }
+}
+
+TEST(TensorOpsTest, BatchedTransVariantsAgree) {
+  Rng rng(6);
+  Tensor a = Tensor::Normal({2, 3, 4}, 0.0f, 1.0f, rng);
+  Tensor b = Tensor::Normal({2, 3, 5}, 0.0f, 1.0f, rng);
+  Tensor c = ops::BatchedMatMulTransA(a, b);  // [2,4,5]
+  EXPECT_EQ(c.dim(1), 4);
+  EXPECT_EQ(c.dim(2), 5);
+
+  Tensor d = Tensor::Normal({2, 6, 4}, 0.0f, 1.0f, rng);
+  Tensor e = ops::BatchedMatMulTransB(a, d);  // [2,3,6]
+  EXPECT_EQ(e.dim(1), 3);
+  EXPECT_EQ(e.dim(2), 6);
+}
+
+TEST(TensorOpsTest, ElementwiseBasics) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  EXPECT_TRUE(ops::AllClose(ops::Add(a, b), Tensor({3}, {5, 7, 9})));
+  EXPECT_TRUE(ops::AllClose(ops::Sub(a, b), Tensor({3}, {-3, -3, -3})));
+  EXPECT_TRUE(ops::AllClose(ops::Mul(a, b), Tensor({3}, {4, 10, 18})));
+  EXPECT_TRUE(
+      ops::AllClose(ops::Div(a, b), Tensor({3}, {0.25f, 0.4f, 0.5f})));
+  EXPECT_TRUE(ops::AllClose(ops::Scale(a, 2.0f), Tensor({3}, {2, 4, 6})));
+}
+
+TEST(TensorOpsTest, RowBroadcast) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({1, 3}, {10, 20, 30});
+  Tensor c = ops::AddRowBroadcast(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 36.0f);
+  Tensor d = ops::MulRowBroadcast(a, b);
+  EXPECT_FLOAT_EQ(d.at(1, 0), 40.0f);
+}
+
+TEST(TensorOpsTest, ColBroadcast) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({2, 1}, {10, 100});
+  Tensor c = ops::AddColBroadcast(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 2), 13.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 104.0f);
+  Tensor d = ops::MulColBroadcast(a, b);
+  EXPECT_FLOAT_EQ(d.at(1, 1), 500.0f);
+}
+
+TEST(TensorOpsTest, Activations) {
+  Tensor a({4}, {-2, -0.5f, 0, 3});
+  Tensor s = ops::Sigmoid(a);
+  EXPECT_NEAR(s[0], 0.1192f, 1e-4f);
+  EXPECT_NEAR(s[2], 0.5f, 1e-6f);
+  Tensor r = ops::Relu(a);
+  EXPECT_FLOAT_EQ(r[0], 0.0f);
+  EXPECT_FLOAT_EQ(r[3], 3.0f);
+  Tensor lr = ops::LeakyRelu(a, 0.1f);
+  EXPECT_FLOAT_EQ(lr[0], -0.2f);
+  EXPECT_FLOAT_EQ(lr[3], 3.0f);
+}
+
+TEST(TensorOpsTest, Reductions) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(ops::SumAll(a)[0], 21.0f);
+  Tensor rs = ops::RowSum(a);
+  EXPECT_FLOAT_EQ(rs[0], 6.0f);
+  EXPECT_FLOAT_EQ(rs[1], 15.0f);
+  Tensor cs = ops::ColSum(a);
+  EXPECT_FLOAT_EQ(cs[0], 5.0f);
+  EXPECT_FLOAT_EQ(cs[2], 9.0f);
+  Tensor cm = ops::ColMean(a);
+  EXPECT_FLOAT_EQ(cm[1], 3.5f);
+}
+
+TEST(TensorOpsTest, ConcatAndSlice) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 1}, {5, 6});
+  Tensor c = ops::ConcatCols({a, b});
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_FLOAT_EQ(c.at(0, 2), 5.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 6.0f);
+  Tensor s = ops::SliceCols(c, 1, 2);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 6.0f);
+}
+
+TEST(TensorOpsTest, SliceConcatRoundTrip) {
+  Rng rng(8);
+  Tensor a = Tensor::Normal({3, 7}, 0.0f, 1.0f, rng);
+  Tensor left = ops::SliceCols(a, 0, 3);
+  Tensor right = ops::SliceCols(a, 3, 4);
+  EXPECT_TRUE(ops::AllClose(ops::ConcatCols({left, right}), a));
+}
+
+TEST(TensorOpsTest, RowSoftmaxSumsToOne) {
+  Rng rng(9);
+  Tensor a = Tensor::Normal({5, 8}, 0.0f, 3.0f, rng);
+  Tensor s = ops::RowSoftmax(a);
+  for (int64_t i = 0; i < 5; ++i) {
+    double total = 0.0;
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_GT(s.at(i, j), 0.0f);
+      total += s.at(i, j);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(TensorOpsTest, RowSoftmaxLargeLogitsStable) {
+  Tensor a({1, 3}, {1000.0f, 1001.0f, 999.0f});
+  Tensor s = ops::RowSoftmax(a);
+  EXPECT_FALSE(s.HasNonFinite());
+  EXPECT_GT(s[1], s[0]);
+  EXPECT_GT(s[0], s[2]);
+}
+
+TEST(TensorOpsTest, TransposeTwiceIsIdentity) {
+  Rng rng(10);
+  Tensor a = Tensor::Normal({3, 5}, 0.0f, 1.0f, rng);
+  EXPECT_TRUE(ops::AllClose(ops::Transpose(ops::Transpose(a)), a));
+}
+
+}  // namespace
+}  // namespace basm

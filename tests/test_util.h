@@ -1,0 +1,50 @@
+#ifndef BASM_TESTS_TEST_UTIL_H_
+#define BASM_TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace basm::testing {
+
+/// Numerically verifies the analytic gradient of a scalar-valued graph.
+///
+/// `build` must construct a fresh graph from the current values of `leaves`
+/// and return a scalar Variable. The check perturbs each leaf element with
+/// central differences and compares against the backward-pass gradient.
+inline void CheckGradients(
+    std::vector<autograd::Variable>& leaves,
+    const std::function<autograd::Variable()>& build, float eps = 1e-3f,
+    float tol = 2e-2f) {
+  autograd::Variable loss = build();
+  ASSERT_EQ(loss.numel(), 1);
+  for (auto& leaf : leaves) leaf.ZeroGrad();
+  autograd::Backward(loss);
+
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    autograd::Variable& leaf = leaves[li];
+    Tensor analytic = leaf.grad();
+    Tensor& v = leaf.mutable_value();
+    for (int64_t i = 0; i < v.numel(); ++i) {
+      float saved = v[i];
+      v[i] = saved + eps;
+      float up = build().value()[0];
+      v[i] = saved - eps;
+      float down = build().value()[0];
+      v[i] = saved;
+      float numeric = (up - down) / (2.0f * eps);
+      float denom = std::max({1.0f, std::abs(numeric), std::abs(analytic[i])});
+      EXPECT_NEAR(analytic[i] / denom, numeric / denom, tol)
+          << "leaf " << li << " element " << i << " analytic=" << analytic[i]
+          << " numeric=" << numeric;
+    }
+  }
+}
+
+}  // namespace basm::testing
+
+#endif  // BASM_TESTS_TEST_UTIL_H_
