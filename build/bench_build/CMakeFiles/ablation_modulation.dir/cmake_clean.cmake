@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_modulation"
+  "../bench/ablation_modulation.pdb"
+  "CMakeFiles/ablation_modulation.dir/ablation_modulation.cc.o"
+  "CMakeFiles/ablation_modulation.dir/ablation_modulation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

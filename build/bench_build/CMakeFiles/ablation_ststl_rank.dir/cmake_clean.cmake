@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ststl_rank"
+  "../bench/ablation_ststl_rank.pdb"
+  "CMakeFiles/ablation_ststl_rank.dir/ablation_ststl_rank.cc.o"
+  "CMakeFiles/ablation_ststl_rank.dir/ablation_ststl_rank.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ststl_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

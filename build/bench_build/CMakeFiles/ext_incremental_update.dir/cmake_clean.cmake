@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_incremental_update"
+  "../bench/ext_incremental_update.pdb"
+  "CMakeFiles/ext_incremental_update.dir/ext_incremental_update.cc.o"
+  "CMakeFiles/ext_incremental_update.dir/ext_incremental_update.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_incremental_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_tsne_timeperiod"
+  "../bench/fig10_tsne_timeperiod.pdb"
+  "CMakeFiles/fig10_tsne_timeperiod.dir/fig10_tsne_timeperiod.cc.o"
+  "CMakeFiles/fig10_tsne_timeperiod.dir/fig10_tsne_timeperiod.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tsne_timeperiod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

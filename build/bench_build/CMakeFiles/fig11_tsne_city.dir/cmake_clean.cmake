@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_tsne_city"
+  "../bench/fig11_tsne_city.pdb"
+  "CMakeFiles/fig11_tsne_city.dir/fig11_tsne_city.cc.o"
+  "CMakeFiles/fig11_tsne_city.dir/fig11_tsne_city.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tsne_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

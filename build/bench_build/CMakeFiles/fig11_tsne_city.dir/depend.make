@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_tsne_city.
+# This may be replaced when dependencies are built.

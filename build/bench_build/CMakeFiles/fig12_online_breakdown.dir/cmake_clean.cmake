@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_online_breakdown"
+  "../bench/fig12_online_breakdown.pdb"
+  "CMakeFiles/fig12_online_breakdown.dir/fig12_online_breakdown.cc.o"
+  "CMakeFiles/fig12_online_breakdown.dir/fig12_online_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_online_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

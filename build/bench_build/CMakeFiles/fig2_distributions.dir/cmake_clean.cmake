@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_distributions"
+  "../bench/fig2_distributions.pdb"
+  "CMakeFiles/fig2_distributions.dir/fig2_distributions.cc.o"
+  "CMakeFiles/fig2_distributions.dir/fig2_distributions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_spatiotemporal_bias"
+  "../bench/fig6_spatiotemporal_bias.pdb"
+  "CMakeFiles/fig6_spatiotemporal_bias.dir/fig6_spatiotemporal_bias.cc.o"
+  "CMakeFiles/fig6_spatiotemporal_bias.dir/fig6_spatiotemporal_bias.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_spatiotemporal_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

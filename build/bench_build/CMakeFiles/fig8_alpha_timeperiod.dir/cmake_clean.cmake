@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_alpha_timeperiod"
+  "../bench/fig8_alpha_timeperiod.pdb"
+  "CMakeFiles/fig8_alpha_timeperiod.dir/fig8_alpha_timeperiod.cc.o"
+  "CMakeFiles/fig8_alpha_timeperiod.dir/fig8_alpha_timeperiod.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_alpha_timeperiod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_alpha_city"
+  "../bench/fig9_alpha_city.pdb"
+  "CMakeFiles/fig9_alpha_city.dir/fig9_alpha_city.cc.o"
+  "CMakeFiles/fig9_alpha_city.dir/fig9_alpha_city.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_alpha_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

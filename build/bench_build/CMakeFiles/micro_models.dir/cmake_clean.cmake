@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_models"
+  "../bench/micro_models.pdb"
+  "CMakeFiles/micro_models.dir/micro_models.cc.o"
+  "CMakeFiles/micro_models.dir/micro_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_ops"
+  "../bench/micro_ops.pdb"
+  "CMakeFiles/micro_ops.dir/micro_ops.cc.o"
+  "CMakeFiles/micro_ops.dir/micro_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_serving"
+  "../bench/micro_serving.pdb"
+  "CMakeFiles/micro_serving.dir/micro_serving.cc.o"
+  "CMakeFiles/micro_serving.dir/micro_serving.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

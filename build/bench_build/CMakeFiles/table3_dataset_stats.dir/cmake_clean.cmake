@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_dataset_stats"
+  "../bench/table3_dataset_stats.pdb"
+  "CMakeFiles/table3_dataset_stats.dir/table3_dataset_stats.cc.o"
+  "CMakeFiles/table3_dataset_stats.dir/table3_dataset_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_offline_comparison"
+  "../bench/table4_offline_comparison.pdb"
+  "CMakeFiles/table4_offline_comparison.dir/table4_offline_comparison.cc.o"
+  "CMakeFiles/table4_offline_comparison.dir/table4_offline_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_offline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_ablation"
+  "../bench/table5_ablation.pdb"
+  "CMakeFiles/table5_ablation.dir/table5_ablation.cc.o"
+  "CMakeFiles/table5_ablation.dir/table5_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_efficiency"
+  "../bench/table6_efficiency.pdb"
+  "CMakeFiles/table6_efficiency.dir/table6_efficiency.cc.o"
+  "CMakeFiles/table6_efficiency.dir/table6_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_online_ab"
+  "../bench/table7_online_ab.pdb"
+  "CMakeFiles/table7_online_ab.dir/table7_online_ab.cc.o"
+  "CMakeFiles/table7_online_ab.dir/table7_online_ab.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_online_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

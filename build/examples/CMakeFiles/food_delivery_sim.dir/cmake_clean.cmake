@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/food_delivery_sim.dir/food_delivery_sim.cc.o"
+  "CMakeFiles/food_delivery_sim.dir/food_delivery_sim.cc.o.d"
+  "food_delivery_sim"
+  "food_delivery_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/food_delivery_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

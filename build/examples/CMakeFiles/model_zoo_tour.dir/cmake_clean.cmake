@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_zoo_tour.dir/model_zoo_tour.cc.o"
+  "CMakeFiles/model_zoo_tour.dir/model_zoo_tour.cc.o.d"
+  "model_zoo_tour"
+  "model_zoo_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_zoo_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatiotemporal_analysis.dir/spatiotemporal_analysis.cc.o"
+  "CMakeFiles/spatiotemporal_analysis.dir/spatiotemporal_analysis.cc.o.d"
+  "spatiotemporal_analysis"
+  "spatiotemporal_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatiotemporal_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

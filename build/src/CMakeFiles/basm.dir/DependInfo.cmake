@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ascii_chart.cc" "src/CMakeFiles/basm.dir/analysis/ascii_chart.cc.o" "gcc" "src/CMakeFiles/basm.dir/analysis/ascii_chart.cc.o.d"
+  "/root/repo/src/analysis/tsne.cc" "src/CMakeFiles/basm.dir/analysis/tsne.cc.o" "gcc" "src/CMakeFiles/basm.dir/analysis/tsne.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/basm.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/basm.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/basm.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/basm.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/CMakeFiles/basm.dir/common/env.cc.o" "gcc" "src/CMakeFiles/basm.dir/common/env.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/basm.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/basm.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/basm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/basm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/basm.dir/common/status.cc.o" "gcc" "src/CMakeFiles/basm.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/basm.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/basm.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/core/basm_model.cc" "src/CMakeFiles/basm.dir/core/basm_model.cc.o" "gcc" "src/CMakeFiles/basm.dir/core/basm_model.cc.o.d"
+  "/root/repo/src/core/stabt.cc" "src/CMakeFiles/basm.dir/core/stabt.cc.o" "gcc" "src/CMakeFiles/basm.dir/core/stabt.cc.o.d"
+  "/root/repo/src/core/stael.cc" "src/CMakeFiles/basm.dir/core/stael.cc.o" "gcc" "src/CMakeFiles/basm.dir/core/stael.cc.o.d"
+  "/root/repo/src/core/ststl.cc" "src/CMakeFiles/basm.dir/core/ststl.cc.o" "gcc" "src/CMakeFiles/basm.dir/core/ststl.cc.o.d"
+  "/root/repo/src/data/batch.cc" "src/CMakeFiles/basm.dir/data/batch.cc.o" "gcc" "src/CMakeFiles/basm.dir/data/batch.cc.o.d"
+  "/root/repo/src/data/geohash.cc" "src/CMakeFiles/basm.dir/data/geohash.cc.o" "gcc" "src/CMakeFiles/basm.dir/data/geohash.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/CMakeFiles/basm.dir/data/io.cc.o" "gcc" "src/CMakeFiles/basm.dir/data/io.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/basm.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/basm.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/synth.cc" "src/CMakeFiles/basm.dir/data/synth.cc.o" "gcc" "src/CMakeFiles/basm.dir/data/synth.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/basm.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/basm.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/models/apg.cc" "src/CMakeFiles/basm.dir/models/apg.cc.o" "gcc" "src/CMakeFiles/basm.dir/models/apg.cc.o.d"
+  "/root/repo/src/models/autoint.cc" "src/CMakeFiles/basm.dir/models/autoint.cc.o" "gcc" "src/CMakeFiles/basm.dir/models/autoint.cc.o.d"
+  "/root/repo/src/models/base_din.cc" "src/CMakeFiles/basm.dir/models/base_din.cc.o" "gcc" "src/CMakeFiles/basm.dir/models/base_din.cc.o.d"
+  "/root/repo/src/models/ctr_model.cc" "src/CMakeFiles/basm.dir/models/ctr_model.cc.o" "gcc" "src/CMakeFiles/basm.dir/models/ctr_model.cc.o.d"
+  "/root/repo/src/models/deepfm.cc" "src/CMakeFiles/basm.dir/models/deepfm.cc.o" "gcc" "src/CMakeFiles/basm.dir/models/deepfm.cc.o.d"
+  "/root/repo/src/models/din.cc" "src/CMakeFiles/basm.dir/models/din.cc.o" "gcc" "src/CMakeFiles/basm.dir/models/din.cc.o.d"
+  "/root/repo/src/models/feature_encoder.cc" "src/CMakeFiles/basm.dir/models/feature_encoder.cc.o" "gcc" "src/CMakeFiles/basm.dir/models/feature_encoder.cc.o.d"
+  "/root/repo/src/models/m2m.cc" "src/CMakeFiles/basm.dir/models/m2m.cc.o" "gcc" "src/CMakeFiles/basm.dir/models/m2m.cc.o.d"
+  "/root/repo/src/models/model_zoo.cc" "src/CMakeFiles/basm.dir/models/model_zoo.cc.o" "gcc" "src/CMakeFiles/basm.dir/models/model_zoo.cc.o.d"
+  "/root/repo/src/models/star.cc" "src/CMakeFiles/basm.dir/models/star.cc.o" "gcc" "src/CMakeFiles/basm.dir/models/star.cc.o.d"
+  "/root/repo/src/models/wide_deep.cc" "src/CMakeFiles/basm.dir/models/wide_deep.cc.o" "gcc" "src/CMakeFiles/basm.dir/models/wide_deep.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/basm.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/CMakeFiles/basm.dir/nn/batchnorm.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/batchnorm.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/basm.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/dynamic.cc" "src/CMakeFiles/basm.dir/nn/dynamic.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/dynamic.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/basm.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/hashed_embedding.cc" "src/CMakeFiles/basm.dir/nn/hashed_embedding.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/hashed_embedding.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/basm.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layernorm.cc" "src/CMakeFiles/basm.dir/nn/layernorm.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/layernorm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/basm.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/basm.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/basm.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/basm.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/basm.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/basm.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/basm.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/serving/ab_stats.cc" "src/CMakeFiles/basm.dir/serving/ab_stats.cc.o" "gcc" "src/CMakeFiles/basm.dir/serving/ab_stats.cc.o.d"
+  "/root/repo/src/serving/feature_server.cc" "src/CMakeFiles/basm.dir/serving/feature_server.cc.o" "gcc" "src/CMakeFiles/basm.dir/serving/feature_server.cc.o.d"
+  "/root/repo/src/serving/pipeline.cc" "src/CMakeFiles/basm.dir/serving/pipeline.cc.o" "gcc" "src/CMakeFiles/basm.dir/serving/pipeline.cc.o.d"
+  "/root/repo/src/serving/recall.cc" "src/CMakeFiles/basm.dir/serving/recall.cc.o" "gcc" "src/CMakeFiles/basm.dir/serving/recall.cc.o.d"
+  "/root/repo/src/serving/simulator.cc" "src/CMakeFiles/basm.dir/serving/simulator.cc.o" "gcc" "src/CMakeFiles/basm.dir/serving/simulator.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/basm.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/basm.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/tensor_ops.cc" "src/CMakeFiles/basm.dir/tensor/tensor_ops.cc.o" "gcc" "src/CMakeFiles/basm.dir/tensor/tensor_ops.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/basm.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/basm.dir/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ab_stats_test.cc" "tests/CMakeFiles/basm_tests.dir/ab_stats_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/ab_stats_test.cc.o.d"
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/basm_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/basm_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/basm_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/contract_death_test.cc" "tests/CMakeFiles/basm_tests.dir/contract_death_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/contract_death_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/basm_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/basm_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/basm_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/basm_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/basm_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/nn_extras_test.cc" "tests/CMakeFiles/basm_tests.dir/nn_extras_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/nn_extras_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/basm_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/basm_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/basm_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/serving_test.cc" "tests/CMakeFiles/basm_tests.dir/serving_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/serving_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/basm_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/train_test.cc" "tests/CMakeFiles/basm_tests.dir/train_test.cc.o" "gcc" "tests/CMakeFiles/basm_tests.dir/train_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/basm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
