@@ -16,6 +16,12 @@ Variable MakeNode(std::vector<Variable> parents, Tensor value,
                   std::function<void(Node&)> backward_fn) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
+  if (!GradEnabled()) {
+    // Inference mode: detached node. Dropping the parent edges lets each
+    // intermediate tensor free as soon as its last consumer runs, so large
+    // serving batches stay cache-resident.
+    return Variable(std::move(node));
+  }
   for (const Variable& p : parents) {
     BASM_CHECK(p.defined());
     node->parents.push_back(p.node());

@@ -4,6 +4,15 @@
 
 namespace basm::autograd {
 
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+bool GradEnabled() { return g_grad_enabled; }
+
 Variable Variable::Leaf(Tensor value, bool requires_grad) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);

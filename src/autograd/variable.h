@@ -68,6 +68,27 @@ class Variable {
   std::shared_ptr<Node> node_;
 };
 
+/// Thread-local inference switch. While a NoGradGuard is alive on a thread,
+/// ops built on that thread produce detached nodes: no parent edges, no
+/// backward_fn. Intermediate tensors are then freed as soon as the last op
+/// consuming them finishes, which keeps the working set cache-sized for
+/// large serving batches and skips per-op closure allocations. Forward
+/// values are bit-identical with and without the guard; Backward() through a
+/// graph built under the guard stops at the detached nodes.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True unless a NoGradGuard is alive on the calling thread.
+bool GradEnabled();
+
 /// Total bytes held by the value (and, when allocated, gradient) tensors of
 /// every node reachable from `root`. Used by the efficiency profiler to
 /// estimate per-step activation memory (Table VI of the paper).

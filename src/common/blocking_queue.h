@@ -1,0 +1,127 @@
+#ifndef BASM_COMMON_BLOCKING_QUEUE_H_
+#define BASM_COMMON_BLOCKING_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace basm {
+
+/// Bounded multi-producer/multi-consumer queue with backpressure and
+/// shutdown-drain semantics, the request buffer of the serving engine:
+///
+///  - TryPush rejects (returns false) when the queue is at capacity or has
+///    been shut down, so overload turns into fast failures instead of
+///    unbounded memory growth — the reject-on-full policy of a production
+///    ranking frontend.
+///  - Pop blocks until an item is available; after Shutdown() the remaining
+///    items drain in FIFO order and further pops return nullopt, which lets
+///    workers finish in-flight requests before exiting.
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(size_t capacity) : capacity_(capacity) {
+    BASM_CHECK_GT(capacity_, 0u);
+  }
+
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Non-blocking push; false when full or shut down. Takes an rvalue
+  /// reference so a rejected item is NOT consumed — the caller keeps it and
+  /// can fail the request it represents.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking push; waits while full, returns false once shut down (the
+  /// item is then left with the caller).
+  bool Push(T&& item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return shutdown_ || items_.size() < capacity_; });
+      if (shutdown_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; nullopt once shut down and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return shutdown_ || !items_.empty(); });
+    return PopLocked();
+  }
+
+  /// Pop with a timeout; nullopt on timeout or shutdown-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return shutdown_ || !items_.empty(); });
+    return PopLocked();
+  }
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    return PopLocked();
+  }
+
+  /// Stops accepting pushes and wakes every waiter. Queued items remain
+  /// poppable until the queue is empty (drain semantics).
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool shut_down() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// Requires mu_ held. Pops the head if present; notifies a producer.
+  std::optional<T> PopLocked() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool shutdown_ = false;
+};
+
+}  // namespace basm
+
+#endif  // BASM_COMMON_BLOCKING_QUEUE_H_

@@ -17,6 +17,8 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnavailable,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Lightweight status object in the style of absl::Status / rocksdb::Status.
@@ -41,6 +43,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,44 @@
+#include "common/thread_pool.h"
+
+#include <exception>
+
+#include "common/logging.h"
+
+namespace basm {
+
+ThreadPool::ThreadPool(int32_t num_threads, size_t queue_capacity)
+    : tasks_(queue_capacity) {
+  BASM_CHECK_GT(num_threads, 0);
+  threads_.reserve(num_threads);
+  for (int32_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  BASM_CHECK(task != nullptr);
+  return tasks_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  tasks_.Shutdown();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = tasks_.Pop()) {
+    try {
+      (*task)();
+    } catch (const std::exception& e) {
+      BASM_LOG(Error) << "ThreadPool task threw: " << e.what();
+    } catch (...) {
+      BASM_LOG(Error) << "ThreadPool task threw a non-std exception";
+    }
+  }
+}
+
+}  // namespace basm

@@ -1,0 +1,49 @@
+#ifndef BASM_COMMON_THREAD_POOL_H_
+#define BASM_COMMON_THREAD_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+
+namespace basm {
+
+/// Fixed-size worker pool over a bounded BlockingQueue. Tasks are plain
+/// closures; a task that throws is logged and swallowed so one bad request
+/// can never take a serving worker down with it.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. `queue_capacity` bounds the backlog;
+  /// Submit blocks when it is full (engine-level backpressure lives in the
+  /// engine's own request queue, not here).
+  explicit ThreadPool(int32_t num_threads, size_t queue_capacity = 1024);
+
+  /// Joins all workers; queued tasks finish first (drain semantics).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; blocks while the backlog is full. Returns false once
+  /// the pool is shut down.
+  bool Submit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the backlog, joins all workers.
+  /// Idempotent.
+  void Shutdown();
+
+  int32_t num_threads() const {
+    return static_cast<int32_t>(threads_.size());
+  }
+
+ private:
+  void WorkerLoop();
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace basm
+
+#endif  // BASM_COMMON_THREAD_POOL_H_

@@ -22,7 +22,10 @@ std::vector<ag::Variable> StAEL::Forward(
     const std::vector<ag::Variable>& fields, const ag::Variable& ctx) {
   BASM_CHECK_EQ(fields.size(), gates_.size());
   int64_t batch = ctx.value().rows();
-  last_alphas_ = Tensor({batch, num_fields()});
+  // The alpha cache is introspection state shared across callers; skip it in
+  // inference mode so concurrent serving workers never write shared members.
+  const bool record = ag::GradEnabled();
+  if (record) last_alphas_ = Tensor({batch, num_fields()});
 
   std::vector<ag::Variable> out;
   out.reserve(fields.size());
@@ -30,8 +33,10 @@ std::vector<ag::Variable> StAEL::Forward(
     ag::Variable gate_in = ag::ConcatCols({fields[j], ctx});
     ag::Variable alpha = ag::Scale(
         ag::Sigmoid(gates_[j]->Forward(gate_in)), gate_scale_);  // [B,1]
-    for (int64_t i = 0; i < batch; ++i) {
-      last_alphas_.at(i, static_cast<int64_t>(j)) = alpha.value()[i];
+    if (record) {
+      for (int64_t i = 0; i < batch; ++i) {
+        last_alphas_.at(i, static_cast<int64_t>(j)) = alpha.value()[i];
+      }
     }
     out.push_back(ag::MulColBroadcast(fields[j], alpha));
   }

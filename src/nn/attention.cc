@@ -43,7 +43,9 @@ ag::Variable TargetAttention::Forward(const ag::Variable& query,
   }
   logits = ag::Add(logits, ag::Variable::Constant(mask_bias));
   ag::Variable weights = ag::RowSoftmax(logits);  // [B, T]
-  last_weights_ = weights.value();
+  // Introspection cache; skipped in inference mode so concurrent scoring
+  // through a shared model stays write-free.
+  if (ag::GradEnabled()) last_weights_ = weights.value();
 
   // Weighted pooling: [B,1,T] x [B,T,D] -> [B,1,D] -> [B,D].
   ag::Variable w3 = ag::Reshape(weights, {batch, 1, t});

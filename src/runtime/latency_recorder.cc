@@ -1,0 +1,158 @@
+#include "runtime/latency_recorder.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace basm::runtime {
+
+namespace {
+/// Round-robin shard assignment; each thread keeps its first pick so its
+/// counters stay cache-resident.
+std::atomic<uint32_t> g_next_shard{0};
+}  // namespace
+
+LatencyRecorder::Shard& LatencyRecorder::LocalShard() {
+  thread_local uint32_t idx =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) %
+      static_cast<uint32_t>(kShards);
+  return shards_[idx];
+}
+
+int64_t LatencyRecorder::BucketOf(int64_t micros) {
+  if (micros < 4) return std::max<int64_t>(micros, 0);
+  // Quarter-octave log scale: 4 sub-buckets per power of two, indexed by the
+  // exponent and the two bits after the leading one. Values 0..7 land on
+  // exact buckets 0..7, then resolution degrades geometrically (~12%).
+  uint64_t v = static_cast<uint64_t>(micros);
+  int64_t exp = std::bit_width(v) - 1;            // >= 2
+  int64_t sub = static_cast<int64_t>((v >> (exp - 2)) & 3);
+  return std::min<int64_t>(exp * 4 + sub - 4, kLatencyBuckets - 1);
+}
+
+double LatencyRecorder::BucketValue(int64_t bucket) {
+  // Buckets 0..7 each hold exactly one integer latency.
+  if (bucket < 8) return static_cast<double>(bucket);
+  int64_t exp = (bucket + 4) / 4;
+  int64_t sub = (bucket + 4) % 4;
+  double lo = std::ldexp(1.0 + 0.25 * static_cast<double>(sub), exp);
+  // Arithmetic bucket midpoint: bucket width is 2^(exp-2).
+  return lo + std::ldexp(1.0, static_cast<int>(exp) - 3);
+}
+
+void LatencyRecorder::RecordLatency(int64_t micros) {
+  Shard& s = LocalShard();
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum_micros.fetch_add(std::max<int64_t>(micros, 0),
+                         std::memory_order_relaxed);
+  s.latency_hist[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void LatencyRecorder::RecordBatchSize(int64_t size) {
+  int64_t idx = std::clamp<int64_t>(size, 0, kMaxTrackedBatch);
+  LocalShard().batch_hist[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+void LatencyRecorder::RecordReject() {
+  LocalShard().rejects.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LatencyRecorder::RecordTimeout() {
+  LocalShard().timeouts.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+/// Latency at quantile `q` from a merged histogram via bucket interpolation.
+double Percentile(const std::array<int64_t, LatencyRecorder::kLatencyBuckets>&
+                      hist,
+                  int64_t total, double q) {
+  if (total <= 0) return 0.0;
+  double target = q * static_cast<double>(total);
+  int64_t seen = 0;
+  for (int64_t b = 0; b < LatencyRecorder::kLatencyBuckets; ++b) {
+    seen += hist[b];
+    if (static_cast<double>(seen) >= target) {
+      return LatencyRecorder::BucketValue(b);
+    }
+  }
+  return LatencyRecorder::BucketValue(LatencyRecorder::kLatencyBuckets - 1);
+}
+}  // namespace
+
+LatencySnapshot LatencyRecorder::Snapshot() const {
+  LatencySnapshot snap;
+  snap.elapsed_seconds = timer_.ElapsedSeconds();
+
+  std::array<int64_t, kLatencyBuckets> lat{};
+  std::array<int64_t, kMaxTrackedBatch + 1> batch{};
+  int64_t sum_micros = 0;
+  for (const Shard& s : shards_) {
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.rejects += s.rejects.load(std::memory_order_relaxed);
+    snap.timeouts += s.timeouts.load(std::memory_order_relaxed);
+    sum_micros += s.sum_micros.load(std::memory_order_relaxed);
+    for (int64_t b = 0; b < kLatencyBuckets; ++b) {
+      lat[b] += s.latency_hist[b].load(std::memory_order_relaxed);
+    }
+    for (int64_t b = 0; b <= kMaxTrackedBatch; ++b) {
+      batch[b] += s.batch_hist[b].load(std::memory_order_relaxed);
+    }
+  }
+
+  if (snap.count > 0) {
+    snap.mean_micros =
+        static_cast<double>(sum_micros) / static_cast<double>(snap.count);
+  }
+  if (snap.elapsed_seconds > 0.0) {
+    snap.qps = static_cast<double>(snap.count) / snap.elapsed_seconds;
+  }
+  snap.p50_micros = Percentile(lat, snap.count, 0.50);
+  snap.p95_micros = Percentile(lat, snap.count, 0.95);
+  snap.p99_micros = Percentile(lat, snap.count, 0.99);
+
+  int64_t batches = 0, batch_sum = 0;
+  for (int64_t b = 0; b <= kMaxTrackedBatch; ++b) {
+    if (batch[b] > 0) {
+      snap.batch_histogram.emplace_back(b, batch[b]);
+      batches += batch[b];
+      batch_sum += b * batch[b];
+    }
+  }
+  if (batches > 0) {
+    snap.mean_batch_size =
+        static_cast<double>(batch_sum) / static_cast<double>(batches);
+  }
+  return snap;
+}
+
+std::string LatencySnapshot::ToString() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "requests %lld  qps %.1f  rejects %lld  timeouts %lld\n",
+                static_cast<long long>(count), qps,
+                static_cast<long long>(rejects),
+                static_cast<long long>(timeouts));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "latency micros: mean %.0f  p50 %.0f  p95 %.0f  p99 %.0f\n",
+                mean_micros, p50_micros, p95_micros, p99_micros);
+  out += line;
+  if (!batch_histogram.empty()) {
+    std::snprintf(line, sizeof(line), "batch size: mean %.2f  dist ",
+                  mean_batch_size);
+    out += line;
+    for (const auto& [size, n] : batch_histogram) {
+      std::snprintf(line, sizeof(line), "%lldx%lld ",
+                    static_cast<long long>(size), static_cast<long long>(n));
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace basm::runtime

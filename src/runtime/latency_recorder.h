@@ -1,0 +1,86 @@
+#ifndef BASM_RUNTIME_LATENCY_RECORDER_H_
+#define BASM_RUNTIME_LATENCY_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace basm::runtime {
+
+/// Aggregated view of a LatencyRecorder at one instant.
+struct LatencySnapshot {
+  int64_t count = 0;     ///< completed requests
+  int64_t rejects = 0;   ///< queue-full rejections
+  int64_t timeouts = 0;  ///< deadline-exceeded drops
+  double elapsed_seconds = 0.0;
+  double qps = 0.0;
+  double mean_micros = 0.0;
+  double p50_micros = 0.0;
+  double p95_micros = 0.0;
+  double p99_micros = 0.0;
+  /// (batch size, occurrences) for every batch size seen, ascending.
+  std::vector<std::pair<int64_t, int64_t>> batch_histogram;
+  double mean_batch_size = 0.0;
+
+  /// Multi-line human-readable report for benches and examples.
+  std::string ToString() const;
+};
+
+/// Wait-free serving metrics: per-thread-sharded atomic counters plus a
+/// log-scale latency histogram (quarter-octave buckets, ~12% resolution),
+/// the qps/p50/p95/p99 surface a production RTP node exports. Recording is a
+/// handful of relaxed atomic increments on a thread-private shard, so the
+/// hot path never serializes workers; Snapshot() merges shards.
+class LatencyRecorder {
+ public:
+  LatencyRecorder() = default;
+
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
+
+  void RecordLatency(int64_t micros);
+  void RecordBatchSize(int64_t size);
+  void RecordReject();
+  void RecordTimeout();
+
+  /// Merges every shard into one consistent-enough view (individual counters
+  /// are exact; cross-counter skew is bounded by in-flight recordings).
+  LatencySnapshot Snapshot() const;
+
+  /// Restarts the qps clock without clearing counters (used after warmup).
+  void ResetClock() { timer_.Reset(); }
+
+  static constexpr int64_t kLatencyBuckets = 128;
+  static constexpr int64_t kMaxTrackedBatch = 256;
+
+  /// Quarter-octave bucket index for a latency in micros (public for tests).
+  static int64_t BucketOf(int64_t micros);
+  /// Representative (geometric-midpoint) latency of a bucket.
+  static double BucketValue(int64_t bucket);
+
+ private:
+  static constexpr int64_t kShards = 16;
+
+  /// One cache line per shard so workers never false-share counters.
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    std::atomic<int64_t> sum_micros{0};
+    std::atomic<int64_t> rejects{0};
+    std::atomic<int64_t> timeouts{0};
+    std::array<std::atomic<int64_t>, kLatencyBuckets> latency_hist{};
+    std::array<std::atomic<int64_t>, kMaxTrackedBatch + 1> batch_hist{};
+  };
+
+  Shard& LocalShard();
+
+  std::array<Shard, kShards> shards_{};
+  WallTimer timer_;
+};
+
+}  // namespace basm::runtime
+
+#endif  // BASM_RUNTIME_LATENCY_RECORDER_H_

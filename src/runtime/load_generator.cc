@@ -1,0 +1,107 @@
+#include "runtime/load_generator.h"
+
+#include <cstdio>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace basm::runtime {
+
+LoadGenerator::LoadGenerator(const data::World& world, LoadConfig config)
+    : world_(world), config_(config), traffic_rng_(config.seed) {
+  BASM_CHECK_GT(config_.num_requests, 0);
+  BASM_CHECK_GT(config_.concurrency, 0);
+}
+
+serving::Request LoadGenerator::MakeRequest(int64_t i) {
+  // Fork per request id so the stream does not depend on how many requests
+  // were generated before (replayable across serial/engine runs).
+  Rng rng = traffic_rng_.Fork(static_cast<uint64_t>(i));
+  serving::Request req;
+  req.user_id = world_.SampleUser(rng);
+  req.hour = world_.SampleHour(rng);
+  req.weekday = static_cast<int32_t>(i) % 7;
+  req.city = world_.user(req.user_id).city;
+  req.day = 0;
+  req.request_id = static_cast<int32_t>(i);
+  return req;
+}
+
+LoadReport LoadGenerator::Run(ServingEngine& engine) {
+  LoadReport report;
+  WallTimer timer;
+  std::deque<std::future<SlateResult>> inflight;
+
+  auto settle = [&](std::future<SlateResult> future) {
+    SlateResult result = future.get();
+    switch (result.status.code()) {
+      case StatusCode::kOk:
+        ++report.ok;
+        break;
+      case StatusCode::kUnavailable:
+        ++report.rejected;
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++report.timed_out;
+        break;
+      default:
+        ++report.cancelled;
+        break;
+    }
+  };
+
+  for (int64_t i = 0; i < config_.num_requests; ++i) {
+    if (static_cast<int32_t>(inflight.size()) >= config_.concurrency) {
+      settle(std::move(inflight.front()));
+      inflight.pop_front();
+    }
+    inflight.push_back(
+        engine.Submit(MakeRequest(i), {}, config_.deadline_micros));
+  }
+  while (!inflight.empty()) {
+    settle(std::move(inflight.front()));
+    inflight.pop_front();
+  }
+
+  report.wall_seconds = timer.ElapsedSeconds();
+  if (report.wall_seconds > 0.0) {
+    report.qps =
+        static_cast<double>(config_.num_requests) / report.wall_seconds;
+  }
+  return report;
+}
+
+LoadReport LoadGenerator::RunSerial(const serving::Pipeline& pipeline) {
+  LoadReport report;
+  WallTimer timer;
+  Rng recall_rng(config_.seed ^ 0x5E1A1);
+  for (int64_t i = 0; i < config_.num_requests; ++i) {
+    serving::Request req = MakeRequest(i);
+    volatile size_t sink = pipeline.Serve(req, recall_rng).size();
+    (void)sink;
+    ++report.ok;
+  }
+  report.wall_seconds = timer.ElapsedSeconds();
+  if (report.wall_seconds > 0.0) {
+    report.qps =
+        static_cast<double>(config_.num_requests) / report.wall_seconds;
+  }
+  return report;
+}
+
+std::string LoadReport::ToString() const {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%lld requests in %.2fs (%.1f qps): %lld ok, %lld rejected, "
+                "%lld timed out, %lld cancelled",
+                static_cast<long long>(ok + rejected + timed_out + cancelled),
+                wall_seconds, qps, static_cast<long long>(ok),
+                static_cast<long long>(rejected),
+                static_cast<long long>(timed_out),
+                static_cast<long long>(cancelled));
+  return line;
+}
+
+}  // namespace basm::runtime

@@ -1,0 +1,62 @@
+#ifndef BASM_RUNTIME_LOAD_GENERATOR_H_
+#define BASM_RUNTIME_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "data/synth.h"
+#include "runtime/serving_engine.h"
+#include "serving/pipeline.h"
+
+namespace basm::runtime {
+
+struct LoadConfig {
+  int64_t num_requests = 1000;
+  /// Outstanding requests kept in flight (closed loop): each completion
+  /// immediately triggers the next submission.
+  int32_t concurrency = 16;
+  /// Per-request deadline passed to the engine.
+  int64_t deadline_micros = 1000000;
+  uint64_t seed = 17;
+};
+
+/// Outcome counts of one load run.
+struct LoadReport {
+  int64_t ok = 0;
+  int64_t rejected = 0;
+  int64_t timed_out = 0;
+  int64_t cancelled = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Deterministic closed-loop traffic driver over a World's request
+/// distribution (activity-weighted users, the paper's hour-of-day exposure
+/// curve). Shared by the engine tests, the throughput bench, and the
+/// example, so all three exercise the same traffic shape.
+class LoadGenerator {
+ public:
+  LoadGenerator(const data::World& world, LoadConfig config);
+
+  /// The i-th request of the deterministic traffic stream.
+  serving::Request MakeRequest(int64_t i);
+
+  /// Drives the engine closed-loop until num_requests complete.
+  LoadReport Run(ServingEngine& engine);
+
+  /// Single-thread baseline: the same traffic served by blocking
+  /// Pipeline::Serve calls. Returns the report for speedup comparisons.
+  LoadReport RunSerial(const serving::Pipeline& pipeline);
+
+ private:
+  const data::World& world_;
+  LoadConfig config_;
+  Rng traffic_rng_;
+};
+
+}  // namespace basm::runtime
+
+#endif  // BASM_RUNTIME_LOAD_GENERATOR_H_

@@ -1,0 +1,75 @@
+#ifndef BASM_RUNTIME_MICRO_BATCHER_H_
+#define BASM_RUNTIME_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/logging.h"
+
+namespace basm::runtime {
+
+/// When a worker closes a micro-batch: at `max_batch_size` items, or
+/// `max_wait_micros` after the first item arrived, whichever comes first —
+/// the classic throughput/latency knob of an online scoring service. A
+/// max_batch_size of 1 (or max_wait_micros of 0 with an idle queue)
+/// degenerates to one-request-at-a-time serving.
+struct BatchPolicy {
+  int64_t max_batch_size = 4;
+  int64_t max_wait_micros = 200;
+};
+
+/// Coalesces items from a shared BlockingQueue into micro-batches. Several
+/// workers may call NextBatch() on one MicroBatcher concurrently; the
+/// batcher itself is stateless between calls, so batches never interleave a
+/// single item twice and shutdown drains cleanly.
+template <typename T>
+class MicroBatcher {
+ public:
+  /// The queue is borrowed and must outlive the batcher.
+  MicroBatcher(BlockingQueue<T>* queue, BatchPolicy policy)
+      : queue_(queue), policy_(policy) {
+    BASM_CHECK(queue_ != nullptr);
+    BASM_CHECK_GT(policy_.max_batch_size, 0);
+    BASM_CHECK_GE(policy_.max_wait_micros, 0);
+  }
+
+  /// Blocks for the first item, then coalesces follow-ups under the policy.
+  /// An empty result means the queue has shut down and drained; partial
+  /// batches (deadline hit, or shutdown mid-collection) are returned as-is.
+  std::vector<T> NextBatch() {
+    std::vector<T> batch;
+    auto first = queue_->Pop();
+    if (!first.has_value()) return batch;
+    batch.reserve(policy_.max_batch_size);
+    batch.push_back(std::move(*first));
+
+    auto close_at = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(policy_.max_wait_micros);
+    while (static_cast<int64_t>(batch.size()) < policy_.max_batch_size) {
+      auto remaining = close_at - std::chrono::steady_clock::now();
+      if (remaining <= std::chrono::steady_clock::duration::zero()) {
+        // Deadline passed: still sweep whatever is already queued so a
+        // zero-wait policy batches ready work instead of thrashing.
+        auto item = queue_->TryPop();
+        if (!item.has_value()) break;
+        batch.push_back(std::move(*item));
+        continue;
+      }
+      auto item = queue_->PopFor(remaining);
+      if (!item.has_value()) break;  // timed out, or shutdown and drained
+      batch.push_back(std::move(*item));
+    }
+    return batch;
+  }
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  BlockingQueue<T>* queue_;
+  BatchPolicy policy_;
+};
+
+}  // namespace basm::runtime
+
+#endif  // BASM_RUNTIME_MICRO_BATCHER_H_

@@ -1,0 +1,157 @@
+#include "runtime/serving_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "autograd/variable.h"
+#include "common/logging.h"
+#include "data/batch.h"
+
+namespace basm::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+ServingEngine::ServingEngine(const serving::Pipeline* pipeline,
+                             EngineConfig config)
+    : pipeline_(pipeline),
+      config_(config),
+      queue_(config.queue_capacity),
+      batcher_(&queue_,
+               BatchPolicy{config.max_batch_requests, config.max_wait_micros}),
+      recall_rng_root_(config.seed),
+      workers_(config.num_workers,
+               /*queue_capacity=*/static_cast<size_t>(config.num_workers)) {
+  BASM_CHECK(pipeline_ != nullptr);
+  BASM_CHECK_GT(config_.num_workers, 0);
+  BASM_CHECK(!pipeline_->model()->training())
+      << "ServingEngine requires the model in eval mode";
+  for (int32_t i = 0; i < config_.num_workers; ++i) {
+    workers_.Submit([this] { WorkerLoop(); });
+  }
+}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+void ServingEngine::Shutdown() {
+  queue_.Shutdown();   // workers drain the backlog, then NextBatch empties
+  workers_.Shutdown();  // join
+}
+
+std::future<SlateResult> ServingEngine::Submit(
+    const serving::Request& request) {
+  return Submit(request, {}, config_.default_deadline_micros);
+}
+
+std::future<SlateResult> ServingEngine::Submit(
+    const serving::Request& request, std::vector<int32_t> candidates) {
+  return Submit(request, std::move(candidates),
+                config_.default_deadline_micros);
+}
+
+std::future<SlateResult> ServingEngine::Submit(
+    const serving::Request& request, std::vector<int32_t> candidates,
+    int64_t deadline_micros) {
+  auto job = std::make_unique<Job>();
+  job->request = request;
+  job->candidates = std::move(candidates);
+  job->enqueue_time = Clock::now();
+  job->deadline =
+      job->enqueue_time + std::chrono::microseconds(deadline_micros);
+  std::future<SlateResult> future = job->promise.get_future();
+
+  if (!queue_.TryPush(std::move(job))) {
+    // A rejected push leaves the job with us (TryPush takes an rvalue
+    // reference and only moves on success), so the promise is still live.
+    SlateResult result;
+    if (queue_.shut_down()) {
+      result.status = Status::Cancelled("serving engine is shut down");
+    } else {
+      recorder_.RecordReject();
+      result.status = Status::Unavailable("request queue full");
+    }
+    job->promise.set_value(std::move(result));
+  }
+  return future;
+}
+
+void ServingEngine::WorkerLoop() {
+  while (true) {
+    std::vector<std::unique_ptr<Job>> jobs = batcher_.NextBatch();
+    if (jobs.empty()) return;  // shutdown and drained
+    ProcessBatch(std::move(jobs));
+  }
+}
+
+void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
+  Clock::time_point now = Clock::now();
+
+  // Shed doomed work before paying for the forward pass.
+  std::vector<std::unique_ptr<Job>> live;
+  live.reserve(jobs.size());
+  for (auto& job : jobs) {
+    if (job->deadline <= now) {
+      recorder_.RecordTimeout();
+      SlateResult result;
+      result.status =
+          Status::DeadlineExceeded("deadline passed before scoring");
+      job->promise.set_value(std::move(result));
+    } else {
+      live.push_back(std::move(job));
+    }
+  }
+  if (live.empty()) return;
+  recorder_.RecordBatchSize(static_cast<int64_t>(live.size()));
+
+  // Inference mode for the whole scoring section: detached autograd nodes
+  // (cache-sized working set) and no introspection-cache writes, which is
+  // what makes the shared model safe across workers.
+  autograd::NoGradGuard no_grad;
+
+  // Per-request recall where needed; each request gets an independent
+  // deterministic RNG stream, so results do not depend on which worker or
+  // batch the request landed in.
+  for (auto& job : live) {
+    if (job->candidates.empty()) {
+      Rng rng = recall_rng_root_.Fork(
+          static_cast<uint64_t>(job->request.request_id));
+      job->candidates = pipeline_->Recall(job->request, rng);
+    }
+  }
+
+  // One model forward over the concatenated candidate lists. Example
+  // features and eval-mode scores are row-independent, so each request's
+  // scores are bit-identical to a serial RankCandidates call.
+  std::vector<data::Example> examples;
+  std::vector<size_t> offsets;  // per-job start index into `examples`
+  offsets.reserve(live.size() + 1);
+  for (auto& job : live) {
+    offsets.push_back(examples.size());
+    std::vector<data::Example> ex =
+        pipeline_->BuildExamples(job->request, job->candidates);
+    std::move(ex.begin(), ex.end(), std::back_inserter(examples));
+  }
+  offsets.push_back(examples.size());
+
+  std::vector<const data::Example*> ptrs;
+  ptrs.reserve(examples.size());
+  for (const auto& e : examples) ptrs.push_back(&e);
+  data::Batch batch = data::MakeBatch(ptrs, pipeline_->schema());
+  std::vector<float> scores = pipeline_->model()->PredictProbs(batch);
+
+  Clock::time_point done = Clock::now();
+  for (size_t j = 0; j < live.size(); ++j) {
+    std::vector<float> slice(scores.begin() + offsets[j],
+                             scores.begin() + offsets[j + 1]);
+    SlateResult result;
+    result.slate = serving::Pipeline::MakeSlate(live[j]->candidates, slice,
+                                                pipeline_->expose_k());
+    // Record before resolving the future so a caller that joins on the
+    // result immediately sees this request in Stats().
+    recorder_.RecordLatency(std::chrono::duration_cast<std::chrono::microseconds>(
+                                done - live[j]->enqueue_time)
+                                .count());
+    live[j]->promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace basm::runtime

@@ -1,0 +1,115 @@
+#ifndef BASM_RUNTIME_SERVING_ENGINE_H_
+#define BASM_RUNTIME_SERVING_ENGINE_H_
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "runtime/latency_recorder.h"
+#include "runtime/micro_batcher.h"
+#include "serving/pipeline.h"
+
+namespace basm::runtime {
+
+struct EngineConfig {
+  /// Scoring worker threads pulling micro-batches off the request queue.
+  int32_t num_workers = 4;
+  /// Bounded request backlog; submissions beyond it are rejected.
+  size_t queue_capacity = 256;
+  /// Requests coalesced into one model forward (see BatchPolicy).
+  int64_t max_batch_requests = 4;
+  int64_t max_wait_micros = 200;
+  /// Deadline applied when Submit is called without one. A request whose
+  /// deadline passes before a worker picks it up is dropped with
+  /// DEADLINE_EXCEEDED (doomed work is shed, not scored).
+  int64_t default_deadline_micros = 100000;
+  /// Base seed for per-request recall sampling streams.
+  uint64_t seed = 0xE57E;
+};
+
+/// Outcome of one engine request: an OK status with the ranked slate, or a
+/// reject/timeout/shutdown status with an empty slate.
+struct SlateResult {
+  Status status;
+  std::vector<serving::RankedItem> slate;
+};
+
+/// Concurrent front door for serving::Pipeline — the RTP tier of the
+/// paper's Fig 13 deployment: a bounded request queue with reject-on-full
+/// backpressure, N scoring workers, dynamic micro-batching that coalesces
+/// concurrent requests into one model forward (PredictProbs is already
+/// batch-oriented), and wait-free latency/qps accounting.
+///
+/// Workers score under autograd inference mode (NoGradGuard), which is both
+/// faster and what makes a shared model safe: eval-mode forwards are pure
+/// reads, and introspection caches are skipped. Slates are bit-identical to
+/// serial Pipeline::RankCandidates on the same candidates.
+class ServingEngine {
+ public:
+  /// The pipeline is borrowed and must outlive the engine; its model must
+  /// already be in eval mode.
+  ServingEngine(const serving::Pipeline* pipeline, EngineConfig config);
+
+  /// Drains and stops (equivalent to Shutdown()).
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Submits a request; the engine runs recall itself from a per-request
+  /// deterministic RNG stream. Never blocks: a full queue resolves the
+  /// future immediately with UNAVAILABLE.
+  std::future<SlateResult> Submit(const serving::Request& request);
+
+  /// Submits with an explicit candidate list (no recall) — the path the
+  /// simulator and the bit-identity tests use.
+  std::future<SlateResult> Submit(const serving::Request& request,
+                                  std::vector<int32_t> candidates);
+
+  /// Full form: explicit candidates (empty = recall inside) and deadline.
+  std::future<SlateResult> Submit(const serving::Request& request,
+                                  std::vector<int32_t> candidates,
+                                  int64_t deadline_micros);
+
+  /// Stops accepting requests, lets workers drain the backlog, joins them.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Live metrics since construction (or the last ResetStatsClock()).
+  LatencySnapshot Stats() const { return recorder_.Snapshot(); }
+  /// Restarts the qps clock after warmup without losing histograms.
+  void ResetStatsClock() { recorder_.ResetClock(); }
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct Job {
+    serving::Request request;
+    std::vector<int32_t> candidates;  // empty = recall inside the worker
+    std::chrono::steady_clock::time_point enqueue_time;
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<SlateResult> promise;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<std::unique_ptr<Job>> jobs);
+
+  const serving::Pipeline* pipeline_;
+  EngineConfig config_;
+  BlockingQueue<std::unique_ptr<Job>> queue_;
+  MicroBatcher<std::unique_ptr<Job>> batcher_;
+  LatencyRecorder recorder_;
+  Rng recall_rng_root_;
+  /// Declared last: workers start in the constructor after every other
+  /// member is live, and ThreadPool's destructor joins them first.
+  ThreadPool workers_;
+};
+
+}  // namespace basm::runtime
+
+#endif  // BASM_RUNTIME_SERVING_ENGINE_H_

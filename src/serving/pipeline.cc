@@ -7,6 +7,15 @@
 
 namespace basm::serving {
 
+namespace {
+/// Seed of the per-call example RNG. World::MakeExample consumes randomness
+/// only for the ground-truth noise and sampled label, neither of which feeds
+/// the model's features, so a fixed per-call stream keeps scores
+/// deterministic while making the serve path re-entrant (the former
+/// `scratch_rng_` member was a latent data race under concurrent scoring).
+constexpr uint64_t kExampleRngSeed = 0xFEED;
+}  // namespace
+
 Pipeline::Pipeline(const data::World& world, FeatureServer* feature_server,
                    const RecallIndex* recall, models::CtrModel* model,
                    int32_t recall_size, int32_t expose_k)
@@ -22,14 +31,17 @@ Pipeline::Pipeline(const data::World& world, FeatureServer* feature_server,
   BASM_CHECK_GE(recall_size_, expose_k_);
 }
 
-std::vector<RankedItem> Pipeline::Serve(const Request& request, Rng& rng) {
-  std::vector<int32_t> candidates =
-      recall_->RecallByCity(request.city, recall_size_, rng);
-  return RankCandidates(request, candidates);
+std::vector<RankedItem> Pipeline::Serve(const Request& request,
+                                        Rng& rng) const {
+  return RankCandidates(request, Recall(request, rng));
 }
 
-std::vector<RankedItem> Pipeline::RankCandidates(
-    const Request& request, const std::vector<int32_t>& candidates) {
+std::vector<int32_t> Pipeline::Recall(const Request& request, Rng& rng) const {
+  return recall_->RecallByCity(request.city, recall_size_, rng);
+}
+
+std::vector<data::Example> Pipeline::BuildExamples(
+    const Request& request, const std::vector<int32_t>& candidates) const {
   BASM_CHECK(!candidates.empty());
   FeatureServer::UserFeatures uf =
       feature_server_->GetUserFeatures(request.user_id);
@@ -38,20 +50,22 @@ std::vector<RankedItem> Pipeline::RankCandidates(
   // production system scores with a default slot (here: middle slot) and
   // assigns real positions after ordering.
   const int32_t kScoringPosition = 4;
+  Rng example_rng(kExampleRngSeed);
   std::vector<data::Example> examples;
   examples.reserve(candidates.size());
   for (int32_t item : candidates) {
     examples.push_back(world_.MakeExample(
         request.user_id, item, request.hour, request.weekday,
         kScoringPosition, request.city, request.day, request.request_id,
-        uf.behaviors, scratch_rng_));
+        uf.behaviors, example_rng));
   }
-  std::vector<const data::Example*> ptrs;
-  ptrs.reserve(examples.size());
-  for (const auto& e : examples) ptrs.push_back(&e);
-  data::Batch batch = data::MakeBatch(ptrs, world_.schema());
-  std::vector<float> scores = model_->PredictProbs(batch);
+  return examples;
+}
 
+std::vector<RankedItem> Pipeline::MakeSlate(
+    const std::vector<int32_t>& candidates, const std::vector<float>& scores,
+    int32_t expose_k) {
+  BASM_CHECK_EQ(candidates.size(), scores.size());
   std::vector<int32_t> order(candidates.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
@@ -59,7 +73,7 @@ std::vector<RankedItem> Pipeline::RankCandidates(
   });
 
   std::vector<RankedItem> slate;
-  int32_t k = std::min<int32_t>(expose_k_,
+  int32_t k = std::min<int32_t>(expose_k,
                                 static_cast<int32_t>(candidates.size()));
   slate.reserve(k);
   for (int32_t pos = 0; pos < k; ++pos) {
@@ -70,6 +84,17 @@ std::vector<RankedItem> Pipeline::RankCandidates(
     slate.push_back(ri);
   }
   return slate;
+}
+
+std::vector<RankedItem> Pipeline::RankCandidates(
+    const Request& request, const std::vector<int32_t>& candidates) const {
+  std::vector<data::Example> examples = BuildExamples(request, candidates);
+  std::vector<const data::Example*> ptrs;
+  ptrs.reserve(examples.size());
+  for (const auto& e : examples) ptrs.push_back(&e);
+  data::Batch batch = data::MakeBatch(ptrs, world_.schema());
+  std::vector<float> scores = model_->PredictProbs(batch);
+  return MakeSlate(candidates, scores, expose_k_);
 }
 
 }  // namespace basm::serving

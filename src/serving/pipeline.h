@@ -31,6 +31,10 @@ struct RankedItem {
 /// Analogue of the Personalization Platform (TPP) orchestration in Fig 13:
 /// fetch user features (ABFS), recall candidates by location (LBS), score
 /// with the model (RTP), and return the top-k slate for exposure.
+///
+/// Every serve-path method is const and re-entrant: concurrent calls through
+/// one Pipeline from runtime::ServingEngine workers are safe as long as the
+/// model is in eval mode and no one mutates the FeatureServer concurrently.
 class Pipeline {
  public:
   /// All dependencies are borrowed; the model must outlive the pipeline.
@@ -39,13 +43,33 @@ class Pipeline {
            int32_t recall_size, int32_t expose_k);
 
   /// Runs the full serve path; `rng` drives the recall sampling.
-  std::vector<RankedItem> Serve(const Request& request, Rng& rng);
+  std::vector<RankedItem> Serve(const Request& request, Rng& rng) const;
 
   /// Scores a given candidate list without recall (used by the simulator to
   /// feed both A/B arms identical candidates).
   std::vector<RankedItem> RankCandidates(
-      const Request& request, const std::vector<int32_t>& candidates);
+      const Request& request, const std::vector<int32_t>& candidates) const;
 
+  /// The recall stage alone; `rng` drives the popularity-weighted sampling.
+  std::vector<int32_t> Recall(const Request& request, Rng& rng) const;
+
+  /// Builds the scoring examples for one request's candidate list. Exposed
+  /// so the serving engine can coalesce several requests into one model
+  /// batch; scores are independent of batch composition, so engine slates
+  /// stay bit-identical to RankCandidates.
+  std::vector<data::Example> BuildExamples(
+      const Request& request, const std::vector<int32_t>& candidates) const;
+
+  /// Orders candidates by score (stable, descending) and cuts the top-k
+  /// slate. Shared between the serial path and the micro-batched engine so
+  /// tie-breaking is identical in both.
+  static std::vector<RankedItem> MakeSlate(
+      const std::vector<int32_t>& candidates, const std::vector<float>& scores,
+      int32_t expose_k);
+
+  models::CtrModel* model() const { return model_; }
+  const data::Schema& schema() const { return world_.schema(); }
+  int32_t recall_size() const { return recall_size_; }
   int32_t expose_k() const { return expose_k_; }
 
  private:
@@ -55,7 +79,6 @@ class Pipeline {
   models::CtrModel* model_;
   int32_t recall_size_;
   int32_t expose_k_;
-  Rng scratch_rng_{0xFEED};
 };
 
 }  // namespace basm::serving
