@@ -10,6 +10,8 @@
 // benchmark's stat framework would only obscure.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -96,7 +98,9 @@ int main() {
                 static_cast<long long>(snap.timeouts));
   }
 
-  // Full detail for the headline configuration.
+  // Full detail for the headline configuration, with per-window JSON
+  // stats sampled from the interval recorder while the load runs — the
+  // shape of a production node's periodic metrics export.
   {
     runtime::EngineConfig ec;
     ec.num_workers = 4;
@@ -104,10 +108,24 @@ int main() {
     ec.max_wait_micros = 200;
     runtime::ServingEngine engine(&pipeline, ec);
     runtime::LoadGenerator generator(world, load);
-    runtime::LoadReport report = generator.Run(engine);
-    std::printf("\nheadline config (4 workers, batch<=4, wait 200us)\n%s%s",
-                report.ToString().c_str(), "\n");
-    std::printf("%s", engine.Stats().ToString().c_str());
+    std::printf("\nheadline config (4 workers, batch<=4, wait 200us)\n");
+    runtime::LoadReport report;
+    std::thread driver([&] { report = generator.Run(engine); });
+    std::atomic<bool> done{false};
+    std::thread sampler([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        runtime::LatencySnapshot window = engine.IntervalStats();
+        if (window.count > 0) {
+          std::printf("window %s\n", window.ToJson().c_str());
+        }
+      }
+    });
+    driver.join();
+    done.store(true, std::memory_order_relaxed);
+    sampler.join();
+    std::printf("%s\n%s", report.ToString().c_str(),
+                engine.Stats().ToString().c_str());
   }
 
   // Backpressure demo: a queue sized far below the offered burst sheds load

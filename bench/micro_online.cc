@@ -1,0 +1,181 @@
+// Online-learning bench: the cost of keeping a serving fleet fresh. Three
+// measurements around the online/ subsystem:
+//
+//   1. checkpoint codec cost — serialize / verify / rebuild a full BASM,
+//      and the image size the registry stores per version;
+//   2. incremental publish cost — the train+serialize+publish+install cycle
+//      of OnlineTrainer::PublishNow over a fresh feedback buffer;
+//   3. hot-swap tax under load — the same closed-loop run twice against one
+//      engine configuration, first with a frozen model and then with a
+//      background publisher swapping versions mid-load. The delta in
+//      qps/tails is the serving-side cost of online learning (the design
+//      goal is ~zero: swaps must never reject or block a request).
+//
+// Plain main() (not google-benchmark) for the same reason as micro_engine:
+// each arm is one long closed-loop run with its own recorder.
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/timer.h"
+#include "data/synth.h"
+#include "models/model_zoo.h"
+#include "nn/serialize.h"
+#include "online/model_registry.h"
+#include "online/model_slot.h"
+#include "online/online_trainer.h"
+#include "runtime/load_generator.h"
+#include "runtime/serving_engine.h"
+#include "serving/feature_server.h"
+#include "serving/pipeline.h"
+#include "serving/recall.h"
+
+namespace {
+
+using namespace basm;
+
+/// Deterministic click-feedback rows: one user's exposure stream in its
+/// home city, positions cycling within the schema's slot cardinality.
+std::vector<data::Example> MakeFeedback(const data::World& world,
+                                        serving::FeatureServer& features,
+                                        int32_t user, size_t n,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  auto behaviors = features.GetUserFeatures(user).behaviors;
+  int32_t city = world.user(user).city;
+  const std::vector<int32_t>& items = world.CityItems(city);
+  std::vector<data::Example> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(world.MakeExample(user, items[i % items.size()],
+                                    /*hour=*/18, /*weekday=*/3,
+                                    static_cast<int32_t>(i % 8), city,
+                                    /*day=*/0, static_cast<int32_t>(i),
+                                    behaviors, rng));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  data::SynthConfig config = data::SynthConfig::Eleme();
+  config.num_users = 2000;
+  config.num_items = 1500;
+  config.num_cities = 8;
+  data::World world(config);
+  serving::FeatureServer features(world, world.config().seq_len, 3);
+  serving::RecallIndex recall(world);
+
+  const bool fast = basm::FastMode();
+  const int64_t requests =
+      basm::EnvInt("BASM_ONLINE_REQUESTS", fast ? 200 : 1000);
+  const int publishes = fast ? 3 : 5;
+  const size_t feedback_per_publish = fast ? 64 : 256;
+
+  // ---- 1. checkpoint codec cost ---------------------------------------
+  auto model =
+      models::CreateModel(models::ModelKind::kBasm, world.schema(), 42);
+  model->SetTraining(false);
+
+  WallTimer timer;
+  std::string image = nn::SerializeParameters(*model);
+  double serialize_ms = timer.ElapsedMillis();
+  timer.Reset();
+  Status verify = nn::VerifyCheckpointImage(image);
+  double verify_ms = timer.ElapsedMillis();
+  timer.Reset();
+  auto rebuilt =
+      models::CreateModel(models::ModelKind::kBasm, world.schema(), 7);
+  Status load = nn::DeserializeParameters(*rebuilt, image);
+  double rebuild_ms = timer.ElapsedMillis();
+  std::printf("checkpoint codec (%s, %.2f MiB/version)\n",
+              model->name().c_str(),
+              static_cast<double>(image.size()) / (1024.0 * 1024.0));
+  std::printf("  serialize %.2f ms  verify %.2f ms (%s)  rebuild %.2f ms "
+              "(%s)\n",
+              serialize_ms, verify_ms, verify.ok() ? "ok" : "FAIL",
+              rebuild_ms, load.ok() ? "ok" : "FAIL");
+
+  // ---- 2. incremental publish cost ------------------------------------
+  online::ModelRegistry registry(/*keep_last=*/4);
+  online::ModelSlot slot;
+  online::OnlineTrainerConfig trainer_config;
+  trainer_config.model_kind = models::ModelKind::kBasm;
+  trainer_config.model_seed = 42;
+  online::OnlineTrainer trainer(world.schema(), &registry, &slot,
+                                trainer_config);
+  Status bootstrap = trainer.PublishModel(*model, "bootstrap");
+  BASM_CHECK(bootstrap.ok()) << bootstrap.message();
+
+  std::printf("\nincremental publish (%zu feedback examples/update)\n",
+              feedback_per_publish);
+  for (int p = 0; p < publishes; ++p) {
+    for (data::Example& e : MakeFeedback(world, features, /*user=*/p + 1,
+                                         feedback_per_publish,
+                                         /*seed=*/100 + p)) {
+      trainer.SubmitFeedback(std::move(e));
+    }
+    Status published = trainer.PublishNow("bench-" + std::to_string(p));
+    BASM_CHECK(published.ok()) << published.message();
+    online::OnlineTrainerStats stats = trainer.stats();
+    std::printf("  v%llu: %.1f ms end-to-end (train+serialize+publish+"
+                "install)\n",
+                static_cast<unsigned long long>(stats.last_version),
+                stats.last_update_seconds * 1e3);
+  }
+  std::printf("  registry retains %zu versions (keep_last 4), head v%llu\n",
+              registry.size(),
+              static_cast<unsigned long long>(registry.head_version()));
+
+  // ---- 3. hot-swap tax under load -------------------------------------
+  serving::Pipeline pipeline(world, &features, &recall, &slot,
+                             /*recall_size=*/24, /*expose_k=*/8);
+  runtime::LoadConfig load_config;
+  load_config.num_requests = requests;
+  load_config.concurrency = 16;
+
+  std::printf("\nhot-swap tax (4 workers, batch<=4, %lld requests)\n",
+              static_cast<long long>(requests));
+  std::printf("%-16s %-9s %-9s %-9s %-9s %-7s %s\n", "arm", "qps", "p50_us",
+              "p95_us", "p99_us", "rej", "swaps");
+  for (bool swapping : {false, true}) {
+    runtime::EngineConfig ec;
+    ec.num_workers = 4;
+    ec.max_batch_requests = 4;
+    ec.max_wait_micros = 200;
+    runtime::ServingEngine engine(&pipeline, ec);
+    runtime::LoadGenerator generator(world, load_config);
+
+    int64_t swaps_before = slot.swap_count();
+    runtime::LoadReport report;
+    std::thread driver([&] { report = generator.Run(engine); });
+    if (swapping) {
+      for (int p = 0; p < publishes; ++p) {
+        for (data::Example& e : MakeFeedback(world, features,
+                                             /*user=*/50 + p,
+                                             feedback_per_publish,
+                                             /*seed=*/300 + p)) {
+          trainer.SubmitFeedback(std::move(e));
+        }
+        Status published = trainer.PublishNow("load-" + std::to_string(p));
+        BASM_CHECK(published.ok()) << published.message();
+      }
+    }
+    driver.join();
+    runtime::LatencySnapshot snap = engine.Stats();
+    std::printf("%-16s %-9.1f %-9.0f %-9.0f %-9.0f %-7lld %lld\n",
+                swapping ? "publishing" : "frozen model", report.qps,
+                snap.p50_micros, snap.p95_micros, snap.p99_micros,
+                static_cast<long long>(report.rejected),
+                static_cast<long long>(slot.swap_count() - swaps_before));
+  }
+  std::printf("\nserving head: v%llu (\"%s\")\n",
+              static_cast<unsigned long long>(slot.current_version()),
+              registry.Head() != nullptr ? registry.Head()->note.c_str()
+                                         : "none");
+  return 0;
+}

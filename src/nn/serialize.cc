@@ -1,66 +1,84 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 namespace basm::nn {
 
 namespace {
 
 constexpr char kMagic[8] = {'B', 'A', 'S', 'M', 'C', 'K', 'P', 'T'};
-// v2 appends non-trainable buffers (batch-norm running statistics) after
-// the parameter section.
-constexpr uint32_t kVersion = 2;
+// v2: parameters + non-trainable buffers (batch-norm running statistics).
+// v3: same body, header gains a 64-bit payload checksum. v2 files load
+// without integrity verification for backward compatibility.
+constexpr uint32_t kOldestSupportedVersion = 2;
+// Header layout: magic, version, then (v3 only) the body checksum.
+constexpr size_t kVersionOffset = sizeof(kMagic);
+constexpr size_t kChecksumOffset = kVersionOffset + sizeof(uint32_t);
+constexpr size_t kV3BodyOffset = kChecksumOffset + sizeof(uint64_t);
+constexpr size_t kV2BodyOffset = kChecksumOffset;
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
+/// FNV-1a 64-bit over the body bytes; cheap, endian-stable, and sensitive
+/// to single-bit flips anywhere in the payload.
+uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001b3ULL;
   }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-bool WriteBytes(std::FILE* f, const void* data, size_t n) {
-  return std::fwrite(data, 1, n, f) == n;
+  return hash;
 }
 
-bool ReadBytes(std::FILE* f, void* data, size_t n) {
-  return std::fread(data, 1, n, f) == n;
+void AppendBytes(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
 }
 
-Status WriteNamedTensor(std::FILE* f, const std::string& name,
-                        const Tensor& t) {
+void AppendNamedTensor(std::string* out, const std::string& name,
+                       const Tensor& t) {
   uint32_t name_len = static_cast<uint32_t>(name.size());
   uint32_t rank = static_cast<uint32_t>(t.rank());
-  if (!WriteBytes(f, &name_len, sizeof(name_len)) ||
-      !WriteBytes(f, name.data(), name_len) ||
-      !WriteBytes(f, &rank, sizeof(rank))) {
-    return Status::Internal("write failed on tensor header: " + name);
-  }
+  AppendBytes(out, &name_len, sizeof(name_len));
+  AppendBytes(out, name.data(), name_len);
+  AppendBytes(out, &rank, sizeof(rank));
   for (int i = 0; i < t.rank(); ++i) {
     int64_t d = t.dim(i);
-    if (!WriteBytes(f, &d, sizeof(d))) {
-      return Status::Internal("write failed on shape: " + name);
-    }
+    AppendBytes(out, &d, sizeof(d));
   }
-  if (!WriteBytes(f, t.data(),
-                  static_cast<size_t>(t.numel()) * sizeof(float))) {
-    return Status::Internal("write failed on payload: " + name);
-  }
-  return Status::Ok();
+  AppendBytes(out, t.data(), static_cast<size_t>(t.numel()) * sizeof(float));
 }
 
-Status ReadNamedTensor(std::FILE* f, const std::string& expected_name,
+/// Sequential reader over an image's body with truncation checking.
+class ByteReader {
+ public:
+  ByteReader(const std::string& bytes, size_t offset)
+      : bytes_(bytes), pos_(offset) {}
+
+  bool Read(void* data, size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(data, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_;
+};
+
+Status ReadNamedTensor(ByteReader* r, const std::string& expected_name,
                        Tensor* t) {
   uint32_t name_len = 0;
-  if (!ReadBytes(f, &name_len, sizeof(name_len)) || name_len > 4096) {
+  if (!r->Read(&name_len, sizeof(name_len)) || name_len > 4096) {
     return Status::Internal("corrupt tensor name length");
   }
   std::string name(name_len, '\0');
   uint32_t rank = 0;
-  if (!ReadBytes(f, name.data(), name_len) ||
-      !ReadBytes(f, &rank, sizeof(rank)) || rank > 8) {
+  if (!r->Read(name.data(), name_len) || !r->Read(&rank, sizeof(rank)) ||
+      rank > 8) {
     return Status::Internal("corrupt tensor header");
   }
   if (name != expected_name) {
@@ -69,7 +87,7 @@ Status ReadNamedTensor(std::FILE* f, const std::string& expected_name,
   }
   std::vector<int64_t> shape(rank);
   for (uint32_t i = 0; i < rank; ++i) {
-    if (!ReadBytes(f, &shape[i], sizeof(int64_t)) || shape[i] < 0) {
+    if (!r->Read(&shape[i], sizeof(int64_t)) || shape[i] < 0) {
       return Status::Internal("corrupt shape for " + name);
     }
   }
@@ -78,60 +96,86 @@ Status ReadNamedTensor(std::FILE* f, const std::string& expected_name,
                                    ShapeToString(shape) + " vs " +
                                    ShapeToString(t->shape()));
   }
-  if (!ReadBytes(f, t->data(),
-                 static_cast<size_t>(t->numel()) * sizeof(float))) {
+  if (!r->Read(t->data(), static_cast<size_t>(t->numel()) * sizeof(float))) {
     return Status::Internal("truncated payload for " + name);
   }
   return Status::Ok();
 }
 
-}  // namespace
-
-Status SaveParameters(const Module& module, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::Unavailable("cannot open " + path + " for writing");
+/// Parses the header; on success sets `body_offset` to where the tensor
+/// sections start and verifies the v3 checksum.
+Status CheckHeader(const std::string& bytes, size_t* body_offset) {
+  uint32_t version = 0;
+  if (bytes.size() < kChecksumOffset ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a BASM checkpoint image");
   }
-  auto named = module.NamedParameters();
-  uint64_t count = named.size();
-  if (!WriteBytes(f.get(), kMagic, sizeof(kMagic)) ||
-      !WriteBytes(f.get(), &kVersion, sizeof(kVersion)) ||
-      !WriteBytes(f.get(), &count, sizeof(count))) {
-    return Status::Internal("write failed on header");
+  std::memcpy(&version, bytes.data() + kVersionOffset, sizeof(version));
+  if (version < kOldestSupportedVersion || version > kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
   }
-  for (const auto& [name, param] : named) {
-    BASM_RETURN_IF_ERROR(WriteNamedTensor(f.get(), name, param.value()));
+  if (version == 2) {
+    *body_offset = kV2BodyOffset;
+    return Status::Ok();
   }
-  auto buffers = module.NamedBuffers();
-  uint64_t buffer_count = buffers.size();
-  if (!WriteBytes(f.get(), &buffer_count, sizeof(buffer_count))) {
-    return Status::Internal("write failed on buffer count");
+  uint64_t recorded = 0;
+  if (bytes.size() < kV3BodyOffset) {
+    return Status::Internal("truncated checkpoint header");
   }
-  for (const auto& [name, buffer] : buffers) {
-    BASM_RETURN_IF_ERROR(WriteNamedTensor(f.get(), name, *buffer));
+  std::memcpy(&recorded, bytes.data() + kChecksumOffset, sizeof(recorded));
+  uint64_t actual =
+      Fnv1a64(bytes.data() + kV3BodyOffset, bytes.size() - kV3BodyOffset);
+  if (recorded != actual) {
+    return Status::Internal("checkpoint checksum mismatch: payload corrupt");
   }
+  *body_offset = kV3BodyOffset;
   return Status::Ok();
 }
 
-Status LoadParameters(Module& module, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) {
-    return Status::NotFound("checkpoint not found: " + path);
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
   }
-  char magic[8];
-  uint32_t version = 0;
-  uint64_t count = 0;
-  if (!ReadBytes(f.get(), magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a BASM checkpoint: " + path);
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+std::string SerializeParameters(const Module& module) {
+  std::string body;
+  auto named = module.NamedParameters();
+  uint64_t count = named.size();
+  AppendBytes(&body, &count, sizeof(count));
+  for (const auto& [name, param] : named) {
+    AppendNamedTensor(&body, name, param.value());
   }
-  if (!ReadBytes(f.get(), &version, sizeof(version)) || version != kVersion) {
-    return Status::InvalidArgument("unsupported checkpoint version");
-  }
-  if (!ReadBytes(f.get(), &count, sizeof(count))) {
-    return Status::Internal("truncated checkpoint header");
+  auto buffers = module.NamedBuffers();
+  uint64_t buffer_count = buffers.size();
+  AppendBytes(&body, &buffer_count, sizeof(buffer_count));
+  for (const auto& [name, buffer] : buffers) {
+    AppendNamedTensor(&body, name, *buffer);
   }
 
+  std::string image;
+  image.reserve(kV3BodyOffset + body.size());
+  AppendBytes(&image, kMagic, sizeof(kMagic));
+  AppendBytes(&image, &kCheckpointVersion, sizeof(kCheckpointVersion));
+  uint64_t checksum = Fnv1a64(body.data(), body.size());
+  AppendBytes(&image, &checksum, sizeof(checksum));
+  image += body;
+  return image;
+}
+
+Status DeserializeParameters(Module& module, const std::string& bytes) {
+  size_t body_offset = 0;
+  BASM_RETURN_IF_ERROR(CheckHeader(bytes, &body_offset));
+  ByteReader reader(bytes, body_offset);
+
+  uint64_t count = 0;
+  if (!reader.Read(&count, sizeof(count))) {
+    return Status::Internal("truncated checkpoint header");
+  }
   auto named = module.NamedParameters();
   if (count != named.size()) {
     return Status::InvalidArgument(
@@ -141,12 +185,12 @@ Status LoadParameters(Module& module, const std::string& path) {
   for (auto& [expected_name, param] : named) {
     autograd::Variable var = param;
     BASM_RETURN_IF_ERROR(
-        ReadNamedTensor(f.get(), expected_name, &var.mutable_value()));
+        ReadNamedTensor(&reader, expected_name, &var.mutable_value()));
   }
 
   auto buffers = module.NamedBuffers();
   uint64_t buffer_count = 0;
-  if (!ReadBytes(f.get(), &buffer_count, sizeof(buffer_count))) {
+  if (!reader.Read(&buffer_count, sizeof(buffer_count))) {
     return Status::Internal("truncated buffer section");
   }
   if (buffer_count != buffers.size()) {
@@ -156,9 +200,61 @@ Status LoadParameters(Module& module, const std::string& path) {
         std::to_string(buffers.size()));
   }
   for (auto& [expected_name, buffer] : buffers) {
-    BASM_RETURN_IF_ERROR(ReadNamedTensor(f.get(), expected_name, buffer));
+    BASM_RETURN_IF_ERROR(ReadNamedTensor(&reader, expected_name, buffer));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Internal("trailing bytes after checkpoint body");
   }
   return Status::Ok();
+}
+
+Status VerifyCheckpointImage(const std::string& bytes) {
+  size_t body_offset = 0;
+  return CheckHeader(bytes, &body_offset);
+}
+
+uint64_t CheckpointImageChecksum(const std::string& bytes) {
+  if (bytes.size() < kV3BodyOffset) return 0;
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + kVersionOffset, sizeof(version));
+  if (version != kCheckpointVersion) return 0;
+  uint64_t checksum = 0;
+  std::memcpy(&checksum, bytes.data() + kChecksumOffset, sizeof(checksum));
+  return checksum;
+}
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::string image = SerializeParameters(module);
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open " + path + " for writing");
+  }
+  if (std::fwrite(image.data(), 1, image.size(), f.get()) != image.size()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status LoadParameters(Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::NotFound("checkpoint not found: " + path);
+  }
+  std::string bytes;
+  char chunk[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f.get())) > 0) {
+    bytes.append(chunk, n);
+  }
+  if (std::ferror(f.get())) {
+    return Status::Internal("read failed: " + path);
+  }
+  Status s = DeserializeParameters(module, bytes);
+  if (!s.ok() && s.code() == StatusCode::kInvalidArgument &&
+      s.message() == "not a BASM checkpoint image") {
+    return Status::InvalidArgument("not a BASM checkpoint: " + path);
+  }
+  return s;
 }
 
 }  // namespace basm::nn

@@ -1,6 +1,7 @@
 #ifndef BASM_NN_SERIALIZE_H_
 #define BASM_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -8,15 +9,37 @@
 
 namespace basm::nn {
 
-/// Writes every named parameter of `module` to a binary checkpoint. The
-/// format is self-describing: a magic header, then per parameter its name,
-/// shape and float32 payload. This is the hand-off artifact between offline
-/// training and the serving stack (the paper's AOP -> RTP deployment step).
+/// Current checkpoint format version. v3 adds a payload checksum to the
+/// header; v2 (no checksum) checkpoints still load.
+inline constexpr uint32_t kCheckpointVersion = 3;
+
+/// Encodes every named parameter and buffer of `module` into an in-memory
+/// checkpoint image: magic, format version, payload checksum, then per
+/// tensor its name, shape and float32 payload. The image is the hand-off
+/// artifact between the training side and the serving stack (the paper's
+/// AOP -> RTP deployment step); online::ModelRegistry stores these images
+/// as immutable versioned snapshots, and SaveParameters writes the same
+/// bytes to disk.
+std::string SerializeParameters(const Module& module);
+
+/// Restores parameters and buffers by name from a checkpoint image into an
+/// identically-structured module. Fails with InvalidArgument on magic /
+/// version / name / shape mismatch and Internal on a truncated or
+/// checksum-corrupted payload.
+Status DeserializeParameters(Module& module, const std::string& bytes);
+
+/// Validates an image's magic, version and payload checksum without
+/// touching a module — the registry's publish-time integrity gate.
+Status VerifyCheckpointImage(const std::string& bytes);
+
+/// Payload checksum recorded in a (valid v3) image's header; 0 for v2.
+uint64_t CheckpointImageChecksum(const std::string& bytes);
+
+/// Writes the checkpoint image of `module` to a binary file.
 Status SaveParameters(const Module& module, const std::string& path);
 
-/// Restores parameters by name into an identically-structured module.
-/// Fails with InvalidArgument on name or shape mismatch, NotFound when the
-/// file is missing, and Internal on a corrupt payload.
+/// Reads a checkpoint file and restores it via DeserializeParameters.
+/// Fails with NotFound when the file is missing.
 Status LoadParameters(Module& module, const std::string& path);
 
 }  // namespace basm::nn

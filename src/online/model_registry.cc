@@ -1,0 +1,106 @@
+#include "online/model_registry.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "nn/serialize.h"
+
+namespace basm::online {
+
+ModelRegistry::ModelRegistry(size_t keep_last) : keep_last_(keep_last) {
+  BASM_CHECK_GT(keep_last_, 0u);
+}
+
+StatusOr<uint64_t> ModelRegistry::Publish(std::string bytes,
+                                          std::string note) {
+  BASM_RETURN_IF_ERROR(nn::VerifyCheckpointImage(bytes));
+  auto snapshot = std::make_shared<RegistrySnapshot>();
+  snapshot->checksum = nn::CheckpointImageChecksum(bytes);
+  snapshot->bytes = std::move(bytes);
+  snapshot->note = std::move(note);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot->version = next_version_++;
+  uint64_t version = snapshot->version;
+  entries_[version] = Entry{std::move(snapshot), /*pinned=*/false};
+  GarbageCollectLocked();
+  return version;
+}
+
+std::shared_ptr<const RegistrySnapshot> ModelRegistry::Head() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return nullptr;
+  return entries_.rbegin()->second.snapshot;
+}
+
+std::shared_ptr<const RegistrySnapshot> ModelRegistry::Get(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(version);
+  return it == entries_.end() ? nullptr : it->second.snapshot;
+}
+
+Status ModelRegistry::Pin(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(version);
+  if (it == entries_.end()) {
+    return Status::NotFound("version " + std::to_string(version) +
+                            " not in registry");
+  }
+  it->second.pinned = true;
+  return Status::Ok();
+}
+
+Status ModelRegistry::Unpin(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(version);
+  if (it == entries_.end()) {
+    return Status::NotFound("version " + std::to_string(version) +
+                            " not in registry");
+  }
+  it->second.pinned = false;
+  return Status::Ok();
+}
+
+size_t ModelRegistry::GarbageCollect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GarbageCollectLocked();
+}
+
+size_t ModelRegistry::GarbageCollectLocked() {
+  if (entries_.size() <= keep_last_) return 0;
+  // Walk oldest-first, dropping unpinned versions until only keep_last
+  // remain. The newest entry (head) is always inside the keep window.
+  size_t dropped = 0;
+  size_t excess = entries_.size() - keep_last_;
+  for (auto it = entries_.begin(); it != entries_.end() && excess > 0;) {
+    if (it->second.pinned) {
+      ++it;
+      continue;
+    }
+    it = entries_.erase(it);
+    --excess;
+    ++dropped;
+  }
+  return dropped;
+}
+
+std::vector<uint64_t> ModelRegistry::Versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> versions;
+  versions.reserve(entries_.size());
+  for (const auto& [version, entry] : entries_) versions.push_back(version);
+  return versions;
+}
+
+uint64_t ModelRegistry::head_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty() ? 0 : entries_.rbegin()->first;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace basm::online

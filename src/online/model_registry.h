@@ -1,0 +1,87 @@
+#ifndef BASM_ONLINE_MODEL_REGISTRY_H_
+#define BASM_ONLINE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace basm::online {
+
+/// One immutable published model version: the serialized checkpoint image
+/// (nn::SerializeParameters format: magic, format version, payload
+/// checksum, tensors) plus registry metadata. Handed out as
+/// shared_ptr<const>, so a snapshot stays readable even after it is
+/// garbage-collected from the registry index.
+struct RegistrySnapshot {
+  uint64_t version = 0;
+  std::string bytes;     ///< self-describing checkpoint image
+  uint64_t checksum = 0; ///< payload checksum from the image header
+  std::string note;      ///< provenance tag ("bootstrap", "online-7", ...)
+};
+
+/// Thread-safe store of versioned model snapshots — the repo's analogue of
+/// the AOP model bank that feeds the RTP scoring tier. Publishing assigns
+/// a monotonically increasing version and verifies the image's checksum,
+/// so a corrupt artifact can never become the serving head. Pinning
+/// exempts a version from garbage collection (e.g. a rollback target);
+/// collection otherwise keeps the newest `keep_last` versions.
+class ModelRegistry {
+ public:
+  /// `keep_last` bounds the unpinned history retained by GarbageCollect
+  /// (and by the auto-collection run after each publish).
+  explicit ModelRegistry(size_t keep_last = 8);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Validates and stores a checkpoint image; returns the new version id.
+  /// InvalidArgument/Internal when the image fails verification.
+  StatusOr<uint64_t> Publish(std::string bytes, std::string note = "");
+
+  /// Newest published snapshot; null when the registry is empty.
+  std::shared_ptr<const RegistrySnapshot> Head() const;
+
+  /// A specific version; null when unknown or already collected.
+  std::shared_ptr<const RegistrySnapshot> Get(uint64_t version) const;
+
+  /// Pin/unpin a version against garbage collection. NotFound when the
+  /// version is not (or no longer) in the registry.
+  Status Pin(uint64_t version);
+  Status Unpin(uint64_t version);
+
+  /// Drops versions oldest-first until at most `keep_last` remain. Pinned
+  /// versions count toward the bound but are never dropped (so retention
+  /// can exceed it only when pins force it); the head is never collected.
+  /// Returns how many versions were dropped.
+  size_t GarbageCollect();
+
+  /// Versions currently retained, ascending.
+  std::vector<uint64_t> Versions() const;
+
+  uint64_t head_version() const;
+  size_t size() const;
+  size_t keep_last() const { return keep_last_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const RegistrySnapshot> snapshot;
+    bool pinned = false;
+  };
+
+  /// Requires mu_ held.
+  size_t GarbageCollectLocked();
+
+  const size_t keep_last_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> entries_;
+  uint64_t next_version_ = 1;
+};
+
+}  // namespace basm::online
+
+#endif  // BASM_ONLINE_MODEL_REGISTRY_H_

@@ -1,0 +1,59 @@
+#include "online/model_slot.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace basm::online {
+
+std::shared_ptr<const ServableModel> MakeServable(
+    uint64_t version, std::unique_ptr<models::CtrModel> model) {
+  BASM_CHECK(model != nullptr);
+  BASM_CHECK(!model->training()) << "servable models must be in eval mode";
+  auto servable = std::make_shared<ServableModel>();
+  servable->version = version;
+  servable->owned = std::move(model);
+  servable->model = servable->owned.get();
+  return servable;
+}
+
+std::shared_ptr<const ServableModel> BorrowServable(models::CtrModel* model) {
+  BASM_CHECK(model != nullptr);
+  BASM_CHECK(!model->training()) << "servable models must be in eval mode";
+  auto servable = std::make_shared<ServableModel>();
+  servable->version = 0;
+  servable->model = model;
+  return servable;
+}
+
+ModelSlot::ModelSlot(std::shared_ptr<const ServableModel> initial) {
+  if (initial != nullptr) Install(std::move(initial));
+}
+
+std::shared_ptr<const ServableModel> ModelSlot::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+void ModelSlot::Install(std::shared_ptr<const ServableModel> next) {
+  BASM_CHECK(next != nullptr);
+  BASM_CHECK(next->model != nullptr);
+  BASM_CHECK(!next->model->training())
+      << "cannot install a training-mode model into a serving slot";
+  std::shared_ptr<const ServableModel> previous;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    previous = std::move(current_);
+    current_ = std::move(next);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  // `previous` destroyed outside the lock (possibly the model's last ref):
+  // tearing down a large model must not stall concurrent Acquire calls.
+}
+
+uint64_t ModelSlot::current_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->version;
+}
+
+}  // namespace basm::online

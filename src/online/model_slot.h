@@ -1,0 +1,73 @@
+#ifndef BASM_ONLINE_MODEL_SLOT_H_
+#define BASM_ONLINE_MODEL_SLOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "models/ctr_model.h"
+
+namespace basm::online {
+
+/// One servable model instance plus its registry version. Immutable once
+/// installed: scoring threads only ever read through it, and the slot's
+/// shared_ptr keeps it alive until the last in-flight micro-batch releases
+/// it — the mechanism that makes a swap zero-downtime.
+struct ServableModel {
+  uint64_t version = 0;
+  /// Always valid; points at `owned` when the servable owns its model, or
+  /// at a caller-owned model for the static (no-online-learning) case.
+  models::CtrModel* model = nullptr;
+  std::unique_ptr<models::CtrModel> owned;
+};
+
+/// Wraps a freshly-built model (must be in eval mode) as version `version`.
+std::shared_ptr<const ServableModel> MakeServable(
+    uint64_t version, std::unique_ptr<models::CtrModel> model);
+
+/// Non-owning servable around a long-lived eval-mode model; version 0
+/// means "static model, never swapped".
+std::shared_ptr<const ServableModel> BorrowServable(models::CtrModel* model);
+
+/// The hot-swap handle between the online trainer and the serving engine.
+/// Workers Acquire() a snapshot of the current model once per micro-batch;
+/// Install() atomically redirects future acquisitions to a new version.
+/// In-flight batches finish on the model they acquired (their shared_ptr
+/// pins it), new batches pick up the new version, and no request is ever
+/// dropped or blocked by a swap.
+class ModelSlot {
+ public:
+  ModelSlot() = default;
+  /// Convenience: a slot born holding `initial`.
+  explicit ModelSlot(std::shared_ptr<const ServableModel> initial);
+
+  ModelSlot(const ModelSlot&) = delete;
+  ModelSlot& operator=(const ModelSlot&) = delete;
+
+  /// Snapshot of the current servable; null until the first Install. A
+  /// mutex-protected shared_ptr copy — a handful of nanoseconds, paid once
+  /// per micro-batch rather than per request.
+  std::shared_ptr<const ServableModel> Acquire() const;
+
+  /// Publishes `next` to all future Acquire() calls. The previous servable
+  /// is released here but destroyed only when its last acquirer finishes.
+  void Install(std::shared_ptr<const ServableModel> next);
+
+  /// Version of the currently-installed servable (0 when empty).
+  uint64_t current_version() const;
+
+  /// Number of Install() calls so far.
+  int64_t swap_count() const {
+    return swaps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServableModel> current_;
+  std::atomic<int64_t> swaps_{0};
+};
+
+}  // namespace basm::online
+
+#endif  // BASM_ONLINE_MODEL_SLOT_H_

@@ -1,0 +1,170 @@
+#include "online/online_trainer.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "nn/serialize.h"
+
+namespace basm::online {
+
+train::TrainConfig DefaultIncrementalRecipe() {
+  train::TrainConfig recipe;
+  recipe.epochs = 1;
+  recipe.lr_peak = 0.02f;  // gentler fine-tuning steps than cold training
+  recipe.warmup_steps = 1;
+  return recipe;
+}
+
+OnlineTrainer::OnlineTrainer(const data::Schema& schema,
+                             ModelRegistry* registry, ModelSlot* slot,
+                             OnlineTrainerConfig config)
+    : schema_(schema),
+      registry_(registry),
+      slot_(slot),
+      config_(std::move(config)),
+      feedback_(config_.feedback_capacity) {
+  BASM_CHECK(registry_ != nullptr);
+  BASM_CHECK_GT(config_.publish_every, 0);
+}
+
+OnlineTrainer::~OnlineTrainer() { Stop(); }
+
+Status OnlineTrainer::PublishModel(const models::CtrModel& model,
+                                   std::string note) {
+  BASM_CHECK(!model.training())
+      << "publish models in eval mode (running statistics finalized)";
+  std::string bytes = nn::SerializeParameters(model);
+  StatusOr<uint64_t> version = registry_->Publish(bytes, std::move(note));
+  if (!version.ok()) return version.status();
+  if (slot_ != nullptr) {
+    StatusOr<std::unique_ptr<models::CtrModel>> servable = BuildModel(bytes);
+    if (!servable.ok()) return servable.status();
+    slot_->Install(
+        MakeServable(version.value(), std::move(servable).value()));
+  }
+  last_version_.store(version.value(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void OnlineTrainer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  BASM_CHECK(!started_) << "OnlineTrainer started twice";
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void OnlineTrainer::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  feedback_.Shutdown();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool OnlineTrainer::SubmitFeedback(data::Example example) {
+  if (!feedback_.TryPush(std::move(example))) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void OnlineTrainer::Loop() {
+  while (true) {
+    std::optional<data::Example> item = feedback_.Pop();
+    if (!item.has_value()) return;  // stream shut down and drained
+    std::lock_guard<std::mutex> lock(update_mu_);
+    buffer_.push_back(std::move(*item));
+    consumed_.fetch_add(1, std::memory_order_relaxed);
+    buffered_.store(static_cast<int64_t>(buffer_.size()),
+                    std::memory_order_relaxed);
+    if (static_cast<int64_t>(buffer_.size()) >= config_.publish_every) {
+      Status s = UpdateLocked(config_.note_prefix + "-" +
+                              std::to_string(published_.load() + 1));
+      if (!s.ok()) {
+        BASM_LOG(Warning) << "online update failed: " << s.ToString();
+      }
+    }
+  }
+}
+
+Status OnlineTrainer::PublishNow(std::string note) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  while (std::optional<data::Example> item = feedback_.TryPop()) {
+    buffer_.push_back(std::move(*item));
+    consumed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  buffered_.store(static_cast<int64_t>(buffer_.size()),
+                  std::memory_order_relaxed);
+  if (buffer_.empty()) {
+    return Status::InvalidArgument("no click feedback buffered");
+  }
+  if (note.empty()) {
+    note = config_.note_prefix + "-" + std::to_string(published_.load() + 1);
+  }
+  return UpdateLocked(note);
+}
+
+Status OnlineTrainer::UpdateLocked(const std::string& note) {
+  std::shared_ptr<const RegistrySnapshot> head = registry_->Head();
+  if (head == nullptr) {
+    return Status::InvalidArgument(
+        "registry is empty: PublishModel a bootstrap version first");
+  }
+  WallTimer timer;
+
+  // Warm start: materialize the head snapshot, then fine-tune on the
+  // buffered feedback with the incremental recipe.
+  StatusOr<std::unique_ptr<models::CtrModel>> model_or =
+      BuildModel(head->bytes);
+  if (!model_or.ok()) return model_or.status();
+  std::unique_ptr<models::CtrModel> model = std::move(model_or).value();
+
+  std::vector<const data::Example*> examples;
+  examples.reserve(buffer_.size());
+  for (const data::Example& e : buffer_) examples.push_back(&e);
+  train::FitExamples(*model, examples, schema_, config_.recipe);
+  model->SetTraining(false);
+
+  std::string bytes = nn::SerializeParameters(*model);
+  StatusOr<uint64_t> version = registry_->Publish(std::move(bytes), note);
+  if (!version.ok()) return version.status();
+
+  // Install the very instance that was serialized, so the serving scores
+  // are bit-identical to an offline load of the published snapshot.
+  if (slot_ != nullptr) {
+    slot_->Install(MakeServable(version.value(), std::move(model)));
+  }
+
+  buffer_.clear();
+  buffered_.store(0, std::memory_order_relaxed);
+  published_.fetch_add(1, std::memory_order_relaxed);
+  last_version_.store(version.value(), std::memory_order_relaxed);
+  last_update_seconds_.store(timer.ElapsedSeconds(),
+                             std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<models::CtrModel>> OnlineTrainer::BuildModel(
+    const std::string& bytes) const {
+  std::unique_ptr<models::CtrModel> model =
+      models::CreateModel(config_.model_kind, schema_, config_.model_seed);
+  BASM_RETURN_IF_ERROR(nn::DeserializeParameters(*model, bytes));
+  model->SetTraining(false);
+  return model;
+}
+
+OnlineTrainerStats OnlineTrainer::stats() const {
+  OnlineTrainerStats s;
+  s.consumed = consumed_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.buffered = buffered_.load(std::memory_order_relaxed);
+  s.published = published_.load(std::memory_order_relaxed);
+  s.last_version = last_version_.load(std::memory_order_relaxed);
+  s.last_update_seconds =
+      last_update_seconds_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace basm::online

@@ -1,0 +1,133 @@
+#ifndef BASM_ONLINE_ONLINE_TRAINER_H_
+#define BASM_ONLINE_ONLINE_TRAINER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/status.h"
+#include "data/schema.h"
+#include "models/model_zoo.h"
+#include "online/model_registry.h"
+#include "online/model_slot.h"
+#include "train/trainer.h"
+
+namespace basm::online {
+
+/// The warm-start recipe of bench/ext_incremental_update's daily arm: one
+/// gentle pass over the fresh feedback, no LR warmup ramp.
+train::TrainConfig DefaultIncrementalRecipe();
+
+struct OnlineTrainerConfig {
+  /// Architecture skeleton used to materialize registry snapshots; must
+  /// match the architecture of every published checkpoint.
+  models::ModelKind model_kind = models::ModelKind::kBasm;
+  uint64_t model_seed = 42;
+  /// Bounded click-feedback stream; submissions beyond it are dropped and
+  /// counted (feedback is sampled telemetry, losing some under overload is
+  /// the correct production behavior).
+  size_t feedback_capacity = 4096;
+  /// Buffered feedback examples that trigger an incremental update.
+  int64_t publish_every = 512;
+  train::TrainConfig recipe = DefaultIncrementalRecipe();
+  /// Provenance prefix for registry notes ("<prefix>-<n>").
+  std::string note_prefix = "online";
+};
+
+/// Counters of one OnlineTrainer (all monotone since construction).
+struct OnlineTrainerStats {
+  int64_t consumed = 0;   ///< feedback examples accepted off the stream
+  int64_t dropped = 0;    ///< feedback rejected by the full queue
+  int64_t buffered = 0;   ///< accepted but not yet trained on
+  int64_t published = 0;  ///< incremental versions published
+  uint64_t last_version = 0;
+  double last_update_seconds = 0.0;  ///< train+serialize+publish+install
+};
+
+/// The online-learning loop of the paper's AOP platform: consumes a
+/// bounded stream of click feedback on a background thread, warm-starts
+/// from the registry head, fine-tunes with the existing train::Trainer /
+/// AdagradDecay recipe, publishes the result as a new immutable registry
+/// version, and hot-swaps it into the serving slot. Serving never pauses:
+/// the ModelSlot install is the only contact point with the engine.
+class OnlineTrainer {
+ public:
+  /// `schema` and `registry` (and `slot`, when given) must outlive the
+  /// trainer. `slot == nullptr` publishes to the registry only.
+  OnlineTrainer(const data::Schema& schema, ModelRegistry* registry,
+                ModelSlot* slot, OnlineTrainerConfig config);
+
+  /// Stops the background thread (without a final publish).
+  ~OnlineTrainer();
+
+  OnlineTrainer(const OnlineTrainer&) = delete;
+  OnlineTrainer& operator=(const OnlineTrainer&) = delete;
+
+  /// Serializes a caller-trained eval-mode model, publishes it, and
+  /// installs it into the slot — the bootstrap step that seeds the
+  /// registry before incremental updates begin.
+  Status PublishModel(const models::CtrModel& model, std::string note);
+
+  /// Starts the background consume/train/publish thread. Idempotent-safe
+  /// to call once; CHECKs on a second start.
+  void Start();
+
+  /// Shuts the feedback stream, lets the thread finish any in-progress
+  /// update, and joins it. Buffered-but-untrained feedback is kept (a
+  /// later PublishNow can still train on it). Idempotent.
+  void Stop();
+
+  /// Enqueues one click-feedback example; false (and counted as dropped)
+  /// when the stream is full or stopped. Never blocks the caller — this
+  /// sits on the serving path.
+  bool SubmitFeedback(data::Example example);
+
+  /// Synchronously drains the stream into the buffer and runs one
+  /// incremental update now (tests and benches use this for deterministic
+  /// publish points). InvalidArgument when there is nothing buffered.
+  Status PublishNow(std::string note = "");
+
+  OnlineTrainerStats stats() const;
+
+  const OnlineTrainerConfig& config() const { return config_; }
+
+ private:
+  void Loop();
+  /// Requires update_mu_ held: warm-start from head, fit the buffer,
+  /// publish, install.
+  Status UpdateLocked(const std::string& note);
+  /// Materializes an owned eval-mode model from a checkpoint image.
+  StatusOr<std::unique_ptr<models::CtrModel>> BuildModel(
+      const std::string& bytes) const;
+
+  const data::Schema& schema_;
+  ModelRegistry* registry_;
+  ModelSlot* slot_;
+  OnlineTrainerConfig config_;
+
+  BlockingQueue<data::Example> feedback_;
+  /// Serializes updates (background loop vs PublishNow) and guards buffer_.
+  std::mutex update_mu_;
+  std::vector<data::Example> buffer_;
+
+  std::atomic<int64_t> consumed_{0};
+  std::atomic<int64_t> dropped_{0};
+  std::atomic<int64_t> buffered_{0};
+  std::atomic<int64_t> published_{0};
+  std::atomic<uint64_t> last_version_{0};
+  std::atomic<double> last_update_seconds_{0.0};
+
+  std::mutex lifecycle_mu_;
+  std::thread thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace basm::online
+
+#endif  // BASM_ONLINE_ONLINE_TRAINER_H_

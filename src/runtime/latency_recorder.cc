@@ -82,43 +82,47 @@ double Percentile(const std::array<int64_t, LatencyRecorder::kLatencyBuckets>&
 }
 }  // namespace
 
-LatencySnapshot LatencyRecorder::Snapshot() const {
-  LatencySnapshot snap;
-  snap.elapsed_seconds = timer_.ElapsedSeconds();
-
-  std::array<int64_t, kLatencyBuckets> lat{};
-  std::array<int64_t, kMaxTrackedBatch + 1> batch{};
-  int64_t sum_micros = 0;
+LatencyRecorder::Totals LatencyRecorder::MergeShards() const {
+  Totals totals;
   for (const Shard& s : shards_) {
-    snap.count += s.count.load(std::memory_order_relaxed);
-    snap.rejects += s.rejects.load(std::memory_order_relaxed);
-    snap.timeouts += s.timeouts.load(std::memory_order_relaxed);
-    sum_micros += s.sum_micros.load(std::memory_order_relaxed);
+    totals.count += s.count.load(std::memory_order_relaxed);
+    totals.rejects += s.rejects.load(std::memory_order_relaxed);
+    totals.timeouts += s.timeouts.load(std::memory_order_relaxed);
+    totals.sum_micros += s.sum_micros.load(std::memory_order_relaxed);
     for (int64_t b = 0; b < kLatencyBuckets; ++b) {
-      lat[b] += s.latency_hist[b].load(std::memory_order_relaxed);
+      totals.latency_hist[b] += s.latency_hist[b].load(std::memory_order_relaxed);
     }
     for (int64_t b = 0; b <= kMaxTrackedBatch; ++b) {
-      batch[b] += s.batch_hist[b].load(std::memory_order_relaxed);
+      totals.batch_hist[b] += s.batch_hist[b].load(std::memory_order_relaxed);
     }
   }
+  return totals;
+}
 
+LatencySnapshot LatencyRecorder::BuildSnapshot(const Totals& totals,
+                                               double elapsed_seconds) {
+  LatencySnapshot snap;
+  snap.elapsed_seconds = elapsed_seconds;
+  snap.count = totals.count;
+  snap.rejects = totals.rejects;
+  snap.timeouts = totals.timeouts;
   if (snap.count > 0) {
-    snap.mean_micros =
-        static_cast<double>(sum_micros) / static_cast<double>(snap.count);
+    snap.mean_micros = static_cast<double>(totals.sum_micros) /
+                       static_cast<double>(snap.count);
   }
   if (snap.elapsed_seconds > 0.0) {
     snap.qps = static_cast<double>(snap.count) / snap.elapsed_seconds;
   }
-  snap.p50_micros = Percentile(lat, snap.count, 0.50);
-  snap.p95_micros = Percentile(lat, snap.count, 0.95);
-  snap.p99_micros = Percentile(lat, snap.count, 0.99);
+  snap.p50_micros = Percentile(totals.latency_hist, snap.count, 0.50);
+  snap.p95_micros = Percentile(totals.latency_hist, snap.count, 0.95);
+  snap.p99_micros = Percentile(totals.latency_hist, snap.count, 0.99);
 
   int64_t batches = 0, batch_sum = 0;
   for (int64_t b = 0; b <= kMaxTrackedBatch; ++b) {
-    if (batch[b] > 0) {
-      snap.batch_histogram.emplace_back(b, batch[b]);
-      batches += batch[b];
-      batch_sum += b * batch[b];
+    if (totals.batch_hist[b] > 0) {
+      snap.batch_histogram.emplace_back(b, totals.batch_hist[b]);
+      batches += totals.batch_hist[b];
+      batch_sum += b * totals.batch_hist[b];
     }
   }
   if (batches > 0) {
@@ -126,6 +130,31 @@ LatencySnapshot LatencyRecorder::Snapshot() const {
         static_cast<double>(batch_sum) / static_cast<double>(batches);
   }
   return snap;
+}
+
+LatencySnapshot LatencyRecorder::Snapshot() const {
+  return BuildSnapshot(MergeShards(), timer_.ElapsedSeconds());
+}
+
+LatencySnapshot LatencyRecorder::IntervalSnapshot() {
+  std::lock_guard<std::mutex> lock(interval_mu_);
+  Totals now = MergeShards();
+  Totals delta;
+  delta.count = now.count - interval_base_.count;
+  delta.rejects = now.rejects - interval_base_.rejects;
+  delta.timeouts = now.timeouts - interval_base_.timeouts;
+  delta.sum_micros = now.sum_micros - interval_base_.sum_micros;
+  for (int64_t b = 0; b < kLatencyBuckets; ++b) {
+    delta.latency_hist[b] =
+        now.latency_hist[b] - interval_base_.latency_hist[b];
+  }
+  for (int64_t b = 0; b <= kMaxTrackedBatch; ++b) {
+    delta.batch_hist[b] = now.batch_hist[b] - interval_base_.batch_hist[b];
+  }
+  double window_seconds = interval_timer_.ElapsedSeconds();
+  interval_base_ = now;
+  interval_timer_.Reset();
+  return BuildSnapshot(delta, window_seconds);
 }
 
 std::string LatencySnapshot::ToString() const {
@@ -153,6 +182,20 @@ std::string LatencySnapshot::ToString() const {
     out += '\n';
   }
   return out;
+}
+
+std::string LatencySnapshot::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"count\":%lld,\"rejects\":%lld,\"timeouts\":%lld,"
+      "\"elapsed_seconds\":%.3f,\"qps\":%.1f,\"mean_micros\":%.1f,"
+      "\"p50_micros\":%.1f,\"p95_micros\":%.1f,\"p99_micros\":%.1f,"
+      "\"mean_batch_size\":%.2f}",
+      static_cast<long long>(count), static_cast<long long>(rejects),
+      static_cast<long long>(timeouts), elapsed_seconds, qps, mean_micros,
+      p50_micros, p95_micros, p99_micros, mean_batch_size);
+  return buf;
 }
 
 }  // namespace basm::runtime

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,11 @@ struct LatencySnapshot {
 
   /// Multi-line human-readable report for benches and examples.
   std::string ToString() const;
+
+  /// One-line JSON object (counts, qps, percentiles, mean batch size) for
+  /// machine-readable per-window logging — what the online trainer and the
+  /// benches emit between hot-swaps.
+  std::string ToJson() const;
 };
 
 /// Wait-free serving metrics: per-thread-sharded atomic counters plus a
@@ -50,6 +56,13 @@ class LatencyRecorder {
   /// Merges every shard into one consistent-enough view (individual counters
   /// are exact; cross-counter skew is bounded by in-flight recordings).
   LatencySnapshot Snapshot() const;
+
+  /// Per-window view: everything recorded since the previous
+  /// IntervalSnapshot call (or construction), with qps over the window's
+  /// wall time. Recording stays wait-free — the interval state is a
+  /// subtraction baseline, shards are never reset. Concurrent callers get
+  /// disjoint windows.
+  LatencySnapshot IntervalSnapshot();
 
   /// Restarts the qps clock without clearing counters (used after warmup).
   void ResetClock() { timer_.Reset(); }
@@ -75,10 +88,28 @@ class LatencyRecorder {
     std::array<std::atomic<int64_t>, kMaxTrackedBatch + 1> batch_hist{};
   };
 
+  /// Exact merged counters across shards at one instant.
+  struct Totals {
+    int64_t count = 0;
+    int64_t rejects = 0;
+    int64_t timeouts = 0;
+    int64_t sum_micros = 0;
+    std::array<int64_t, kLatencyBuckets> latency_hist{};
+    std::array<int64_t, kMaxTrackedBatch + 1> batch_hist{};
+  };
+
   Shard& LocalShard();
+  Totals MergeShards() const;
+  static LatencySnapshot BuildSnapshot(const Totals& totals,
+                                       double elapsed_seconds);
 
   std::array<Shard, kShards> shards_{};
   WallTimer timer_;
+
+  /// Baseline of the current interval window (guarded by interval_mu_).
+  std::mutex interval_mu_;
+  Totals interval_base_;
+  WallTimer interval_timer_;
 };
 
 }  // namespace basm::runtime

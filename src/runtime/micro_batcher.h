@@ -14,9 +14,34 @@ namespace basm::runtime {
 /// the classic throughput/latency knob of an online scoring service. A
 /// max_batch_size of 1 (or max_wait_micros of 0 with an idle queue)
 /// degenerates to one-request-at-a-time serving.
+///
+/// Adaptive widening (the ROADMAP's queue-pressure policy): when
+/// `pressure_depth > 0`, the wait deadline scales with the queue backlog
+/// observed at batch-open time — from `max_wait_micros` on an idle queue
+/// linearly up to `pressured_wait_micros` once the backlog reaches
+/// `pressure_depth`. Under pressure a longer collection window amortizes
+/// one model forward over more requests (throughput recovers exactly when
+/// it is needed), while an idle queue keeps the tight latency bound.
 struct BatchPolicy {
   int64_t max_batch_size = 4;
   int64_t max_wait_micros = 200;
+  /// Backlog depth at which the widened wait fully applies; 0 disables
+  /// adaptive widening.
+  int64_t pressure_depth = 0;
+  /// Wait applied at/above `pressure_depth`; must be >= max_wait_micros.
+  int64_t pressured_wait_micros = 0;
+
+  /// Collection wait for a batch opened with `queue_depth` items backed up.
+  int64_t EffectiveWaitMicros(size_t queue_depth) const {
+    if (pressure_depth <= 0) return max_wait_micros;
+    if (static_cast<int64_t>(queue_depth) >= pressure_depth) {
+      return pressured_wait_micros;
+    }
+    // Linear ramp between the idle and fully-pressured waits.
+    return max_wait_micros + (pressured_wait_micros - max_wait_micros) *
+                                 static_cast<int64_t>(queue_depth) /
+                                 pressure_depth;
+  }
 };
 
 /// Coalesces items from a shared BlockingQueue into micro-batches. Several
@@ -32,6 +57,10 @@ class MicroBatcher {
     BASM_CHECK(queue_ != nullptr);
     BASM_CHECK_GT(policy_.max_batch_size, 0);
     BASM_CHECK_GE(policy_.max_wait_micros, 0);
+    if (policy_.pressure_depth > 0) {
+      BASM_CHECK_GE(policy_.pressured_wait_micros, policy_.max_wait_micros)
+          << "adaptive widening must not shrink the batching window";
+    }
   }
 
   /// Blocks for the first item, then coalesces follow-ups under the policy.
@@ -44,8 +73,11 @@ class MicroBatcher {
     batch.reserve(policy_.max_batch_size);
     batch.push_back(std::move(*first));
 
+    // Backlog observed as the batch opens decides the collection window
+    // (adaptive widening under queue pressure; see BatchPolicy).
     auto close_at = std::chrono::steady_clock::now() +
-                    std::chrono::microseconds(policy_.max_wait_micros);
+                    std::chrono::microseconds(
+                        policy_.EffectiveWaitMicros(queue_->size()));
     while (static_cast<int64_t>(batch.size()) < policy_.max_batch_size) {
       auto remaining = close_at - std::chrono::steady_clock::now();
       if (remaining <= std::chrono::steady_clock::duration::zero()) {

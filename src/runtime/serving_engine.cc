@@ -17,13 +17,15 @@ ServingEngine::ServingEngine(const serving::Pipeline* pipeline,
       config_(config),
       queue_(config.queue_capacity),
       batcher_(&queue_,
-               BatchPolicy{config.max_batch_requests, config.max_wait_micros}),
+               BatchPolicy{config.max_batch_requests, config.max_wait_micros,
+                           config.adaptive_pressure_depth,
+                           config.adaptive_wait_micros}),
       recall_rng_root_(config.seed),
       workers_(config.num_workers,
                /*queue_capacity=*/static_cast<size_t>(config.num_workers)) {
   BASM_CHECK(pipeline_ != nullptr);
   BASM_CHECK_GT(config_.num_workers, 0);
-  BASM_CHECK(!pipeline_->model()->training())
+  BASM_CHECK(!pipeline_->AcquireServable()->model->training())
       << "ServingEngine requires the model in eval mode";
   for (int32_t i = 0; i < config_.num_workers; ++i) {
     workers_.Submit([this] { WorkerLoop(); });
@@ -118,6 +120,13 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
     }
   }
 
+  // One servable snapshot for the whole micro-batch: every request in it
+  // scores on the same model version, and the shared_ptr keeps that
+  // version alive even if the online trainer swaps in a newer one
+  // mid-forward.
+  std::shared_ptr<const online::ServableModel> servable =
+      pipeline_->AcquireServable();
+
   // One model forward over the concatenated candidate lists. Example
   // features and eval-mode scores are row-independent, so each request's
   // scores are bit-identical to a serial RankCandidates call.
@@ -136,13 +145,14 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
   ptrs.reserve(examples.size());
   for (const auto& e : examples) ptrs.push_back(&e);
   data::Batch batch = data::MakeBatch(ptrs, pipeline_->schema());
-  std::vector<float> scores = pipeline_->model()->PredictProbs(batch);
+  std::vector<float> scores = servable->model->PredictProbs(batch);
 
   Clock::time_point done = Clock::now();
   for (size_t j = 0; j < live.size(); ++j) {
     std::vector<float> slice(scores.begin() + offsets[j],
                              scores.begin() + offsets[j + 1]);
     SlateResult result;
+    result.model_version = servable->version;
     result.slate = serving::Pipeline::MakeSlate(live[j]->candidates, slice,
                                                 pipeline_->expose_k());
     // Record before resolving the future so a caller that joins on the

@@ -24,6 +24,11 @@ struct EngineConfig {
   /// Requests coalesced into one model forward (see BatchPolicy).
   int64_t max_batch_requests = 4;
   int64_t max_wait_micros = 200;
+  /// Adaptive batching (see BatchPolicy): queue backlog at which the
+  /// batching window widens to `adaptive_wait_micros`. 0 keeps the fixed
+  /// `max_wait_micros` window regardless of pressure.
+  int64_t adaptive_pressure_depth = 0;
+  int64_t adaptive_wait_micros = 0;
   /// Deadline applied when Submit is called without one. A request whose
   /// deadline passes before a worker picks it up is dropped with
   /// DEADLINE_EXCEEDED (doomed work is shed, not scored).
@@ -37,6 +42,10 @@ struct EngineConfig {
 struct SlateResult {
   Status status;
   std::vector<serving::RankedItem> slate;
+  /// Registry version of the model that scored this slate (0 when the
+  /// pipeline serves a static model, or on non-OK results). Under online
+  /// learning this is the staleness audit trail of every impression.
+  uint64_t model_version = 0;
 };
 
 /// Concurrent front door for serving::Pipeline — the RTP tier of the
@@ -49,10 +58,18 @@ struct SlateResult {
 /// faster and what makes a shared model safe: eval-mode forwards are pure
 /// reads, and introspection caches are skipped. Slates are bit-identical to
 /// serial Pipeline::RankCandidates on the same candidates.
+///
+/// Hot-swap: each micro-batch acquires the pipeline's current servable
+/// (Pipeline::AcquireServable) once and scores the whole batch on it.
+/// When the pipeline is backed by an online::ModelSlot, an OnlineTrainer
+/// can therefore publish new versions mid-load: in-flight batches finish
+/// on the version they acquired, later batches pick up the new one, and no
+/// request is dropped or blocked by the swap.
 class ServingEngine {
  public:
   /// The pipeline is borrowed and must outlive the engine; its model must
-  /// already be in eval mode.
+  /// already be in eval mode (for a slot-backed pipeline, a model must
+  /// already be installed).
   ServingEngine(const serving::Pipeline* pipeline, EngineConfig config);
 
   /// Drains and stops (equivalent to Shutdown()).
@@ -82,6 +99,9 @@ class ServingEngine {
 
   /// Live metrics since construction (or the last ResetStatsClock()).
   LatencySnapshot Stats() const { return recorder_.Snapshot(); }
+  /// Metrics since the previous IntervalStats() call — the per-window
+  /// qps/percentile feed for periodic logging alongside hot-swaps.
+  LatencySnapshot IntervalStats() { return recorder_.IntervalSnapshot(); }
   /// Restarts the qps clock after warmup without losing histograms.
   void ResetStatsClock() { recorder_.ResetClock(); }
 

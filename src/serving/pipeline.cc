@@ -23,12 +23,43 @@ Pipeline::Pipeline(const data::World& world, FeatureServer* feature_server,
       feature_server_(feature_server),
       recall_(recall),
       model_(model),
+      slot_(nullptr),
       recall_size_(recall_size),
       expose_k_(expose_k) {
   BASM_CHECK(feature_server_ != nullptr);
   BASM_CHECK(recall_ != nullptr);
   BASM_CHECK(model_ != nullptr);
   BASM_CHECK_GE(recall_size_, expose_k_);
+  // Wrapped without an eval-mode check: callers may flip train/eval on the
+  // static model between serving phases (the A/B simulator's daily loop).
+  auto servable = std::make_shared<online::ServableModel>();
+  servable->model = model_;
+  static_servable_ = std::move(servable);
+}
+
+Pipeline::Pipeline(const data::World& world, FeatureServer* feature_server,
+                   const RecallIndex* recall, const online::ModelSlot* slot,
+                   int32_t recall_size, int32_t expose_k)
+    : world_(world),
+      feature_server_(feature_server),
+      recall_(recall),
+      model_(nullptr),
+      slot_(slot),
+      recall_size_(recall_size),
+      expose_k_(expose_k) {
+  BASM_CHECK(feature_server_ != nullptr);
+  BASM_CHECK(recall_ != nullptr);
+  BASM_CHECK(slot_ != nullptr);
+  BASM_CHECK_GE(recall_size_, expose_k_);
+}
+
+std::shared_ptr<const online::ServableModel> Pipeline::AcquireServable()
+    const {
+  if (slot_ == nullptr) return static_servable_;
+  std::shared_ptr<const online::ServableModel> servable = slot_->Acquire();
+  BASM_CHECK(servable != nullptr)
+      << "slot-backed pipeline scored before a model was installed";
+  return servable;
 }
 
 std::vector<RankedItem> Pipeline::Serve(const Request& request,
@@ -93,7 +124,9 @@ std::vector<RankedItem> Pipeline::RankCandidates(
   ptrs.reserve(examples.size());
   for (const auto& e : examples) ptrs.push_back(&e);
   data::Batch batch = data::MakeBatch(ptrs, world_.schema());
-  std::vector<float> scores = model_->PredictProbs(batch);
+  // Held across the forward so a concurrent hot-swap cannot free the model.
+  std::shared_ptr<const online::ServableModel> servable = AcquireServable();
+  std::vector<float> scores = servable->model->PredictProbs(batch);
   return MakeSlate(candidates, scores, expose_k_);
 }
 

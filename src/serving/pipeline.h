@@ -6,6 +6,7 @@
 
 #include "data/batch.h"
 #include "models/ctr_model.h"
+#include "online/model_slot.h"
 #include "serving/feature_server.h"
 #include "serving/recall.h"
 
@@ -38,8 +39,17 @@ struct RankedItem {
 class Pipeline {
  public:
   /// All dependencies are borrowed; the model must outlive the pipeline.
+  /// The model is wrapped in a static (version-0, never swapped) servable.
   Pipeline(const data::World& world, FeatureServer* feature_server,
            const RecallIndex* recall, models::CtrModel* model,
+           int32_t recall_size, int32_t expose_k);
+
+  /// Hot-swap form: the scoring model is whatever ServableModel the slot
+  /// currently holds, so an online::OnlineTrainer can publish new versions
+  /// while this pipeline serves. The slot is borrowed and must outlive the
+  /// pipeline; it must hold a model before the first scoring call.
+  Pipeline(const data::World& world, FeatureServer* feature_server,
+           const RecallIndex* recall, const online::ModelSlot* slot,
            int32_t recall_size, int32_t expose_k);
 
   /// Runs the full serve path; `rng` drives the recall sampling.
@@ -67,7 +77,17 @@ class Pipeline {
       const std::vector<int32_t>& candidates, const std::vector<float>& scores,
       int32_t expose_k);
 
+  /// Snapshot of the model to score with: the slot's current servable when
+  /// slot-backed, else the static wrap of the constructor model. Callers
+  /// (RankCandidates, the engine's ProcessBatch) acquire once per batch and
+  /// hold the shared_ptr across the forward, so a concurrent hot-swap can
+  /// never free a model mid-score. CHECK-fails if no model is installed.
+  std::shared_ptr<const online::ServableModel> AcquireServable() const;
+
+  /// The static constructor model; null when the pipeline is slot-backed.
   models::CtrModel* model() const { return model_; }
+  /// The hot-swap slot; null when the pipeline serves a static model.
+  const online::ModelSlot* slot() const { return slot_; }
   const data::Schema& schema() const { return world_.schema(); }
   int32_t recall_size() const { return recall_size_; }
   int32_t expose_k() const { return expose_k_; }
@@ -77,6 +97,9 @@ class Pipeline {
   FeatureServer* feature_server_;
   const RecallIndex* recall_;
   models::CtrModel* model_;
+  const online::ModelSlot* slot_;
+  /// Version-0 wrap of `model_` handed out by AcquireServable.
+  std::shared_ptr<const online::ServableModel> static_servable_;
   int32_t recall_size_;
   int32_t expose_k_;
 };

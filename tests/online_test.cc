@@ -1,0 +1,451 @@
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/batch.h"
+#include "data/synth.h"
+#include "gtest/gtest.h"
+#include "models/model_zoo.h"
+#include "nn/mlp.h"
+#include "nn/serialize.h"
+#include "online/model_registry.h"
+#include "online/model_slot.h"
+#include "online/online_trainer.h"
+#include "runtime/load_generator.h"
+#include "runtime/serving_engine.h"
+#include "serving/feature_server.h"
+#include "serving/pipeline.h"
+#include "serving/recall.h"
+
+namespace basm::online {
+namespace {
+
+/// A valid checkpoint image with weights seeded by `seed`.
+std::string TestImage(uint64_t seed) {
+  Rng rng(seed);
+  nn::Mlp mlp({4, 8, 2}, nn::Activation::kRelu, rng);
+  return nn::SerializeParameters(mlp);
+}
+
+// ---------------------------------------------------------- registry ----
+
+TEST(ModelRegistryTest, PublishAssignsMonotoneVersions) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.head_version(), 0u);
+  EXPECT_EQ(registry.Head(), nullptr);
+
+  for (uint64_t i = 1; i <= 3; ++i) {
+    auto version = registry.Publish(TestImage(i), "v" + std::to_string(i));
+    ASSERT_TRUE(version.ok());
+    EXPECT_EQ(version.value(), i);
+  }
+  EXPECT_EQ(registry.head_version(), 3u);
+  EXPECT_EQ(registry.size(), 3u);
+  ASSERT_NE(registry.Head(), nullptr);
+  EXPECT_EQ(registry.Head()->note, "v3");
+
+  auto snap = registry.Get(2);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, 2u);
+  EXPECT_EQ(snap->checksum, nn::CheckpointImageChecksum(snap->bytes));
+}
+
+TEST(ModelRegistryTest, CorruptImageNeverBecomesHead) {
+  ModelRegistry registry;
+  std::string image = TestImage(7);
+  image[image.size() - 3] ^= 0x40;  // payload bit flip
+  auto version = registry.Publish(std::move(image), "corrupt");
+  EXPECT_FALSE(version.ok());
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.head_version(), 0u);
+
+  auto garbage = registry.Publish("definitely not a checkpoint");
+  EXPECT_FALSE(garbage.ok());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ModelRegistryTest, GarbageCollectionRespectsPinsAndKeepLast) {
+  ModelRegistry registry(/*keep_last=*/2);
+  ASSERT_TRUE(registry.Publish(TestImage(1), "v1").ok());
+  ASSERT_TRUE(registry.Pin(1).ok());
+  for (uint64_t i = 2; i <= 4; ++i) {
+    ASSERT_TRUE(registry.Publish(TestImage(i)).ok());
+  }
+  // Auto-collection after each publish bounds total retention at
+  // keep_last; the pinned rollback target survives while its unpinned
+  // contemporaries are dropped oldest-first.
+  EXPECT_EQ(registry.Versions(), (std::vector<uint64_t>{1, 4}));
+  EXPECT_EQ(registry.Get(2), nullptr);
+  EXPECT_EQ(registry.Get(3), nullptr);
+
+  // Within the retention bound nothing is collected even once unpinned...
+  ASSERT_TRUE(registry.Unpin(1).ok());
+  EXPECT_EQ(registry.GarbageCollect(), 0u);
+  EXPECT_EQ(registry.Versions(), (std::vector<uint64_t>{1, 4}));
+  // ...but the next publish evicts the now-unpinned oldest version.
+  ASSERT_TRUE(registry.Publish(TestImage(5)).ok());
+  EXPECT_EQ(registry.Versions(), (std::vector<uint64_t>{4, 5}));
+
+  EXPECT_EQ(registry.Pin(99).code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Unpin(2).code(), StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, CollectedSnapshotStaysReadableWhileHeld) {
+  ModelRegistry registry(/*keep_last=*/1);
+  ASSERT_TRUE(registry.Publish(TestImage(1)).ok());
+  std::shared_ptr<const RegistrySnapshot> held = registry.Get(1);
+  ASSERT_NE(held, nullptr);
+  ASSERT_TRUE(registry.Publish(TestImage(2)).ok());  // auto-GC drops v1
+  EXPECT_EQ(registry.Get(1), nullptr);
+  // Snapshots are immutable shared state: the held pointer outlives the
+  // registry index entry.
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_FALSE(held->bytes.empty());
+}
+
+// -------------------------------------------------------------- slot ----
+
+data::SynthConfig SmallWorldConfig() {
+  data::SynthConfig c = data::SynthConfig::Eleme();
+  c.num_users = 200;
+  c.num_items = 180;
+  c.num_cities = 4;
+  c.seq_len = 6;
+  return c;
+}
+
+std::unique_ptr<models::CtrModel> SmallModel(const data::Schema& schema,
+                                             uint64_t seed) {
+  auto model = models::CreateModel(models::ModelKind::kDin, schema, seed);
+  model->SetTraining(false);
+  return model;
+}
+
+TEST(ModelSlotTest, InstallRedirectsAcquire) {
+  data::World world(SmallWorldConfig());
+  ModelSlot slot;
+  EXPECT_EQ(slot.Acquire(), nullptr);
+  EXPECT_EQ(slot.current_version(), 0u);
+
+  slot.Install(MakeServable(1, SmallModel(world.schema(), 5)));
+  auto first = slot.Acquire();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->version, 1u);
+  EXPECT_EQ(slot.current_version(), 1u);
+  EXPECT_EQ(slot.swap_count(), 1);
+
+  slot.Install(MakeServable(2, SmallModel(world.schema(), 6)));
+  EXPECT_EQ(slot.current_version(), 2u);
+  EXPECT_EQ(slot.Acquire()->version, 2u);
+  EXPECT_EQ(slot.swap_count(), 2);
+  // The pre-swap acquisition still pins the old servable: in-flight
+  // micro-batches finish on the version they started with.
+  EXPECT_EQ(first->version, 1u);
+  ASSERT_NE(first->model, nullptr);
+  EXPECT_FALSE(first->model->training());
+}
+
+// ----------------------------------------------------------- trainer ----
+
+/// Shared fixture for trainer and hot-swap tests: a small world, its
+/// feature/recall services, and helpers to mint click feedback.
+class OnlineTrainerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new data::World(SmallWorldConfig());
+    features_ = new serving::FeatureServer(*world_, 6, 11);
+    recall_ = new serving::RecallIndex(*world_);
+  }
+
+  static void TearDownTestSuite() {
+    delete recall_;
+    delete features_;
+    delete world_;
+  }
+
+  static OnlineTrainerConfig TrainerConfig() {
+    OnlineTrainerConfig config;
+    config.model_kind = models::ModelKind::kDin;
+    config.model_seed = 13;
+    return config;
+  }
+
+  /// Deterministic click-feedback rows for user `user` in its home city.
+  static std::vector<data::Example> Feedback(int32_t user, size_t n,
+                                             uint64_t seed) {
+    Rng rng(seed);
+    auto behaviors = features_->GetUserFeatures(user).behaviors;
+    int32_t city = world_->user(user).city;
+    std::vector<data::Example> out;
+    const std::vector<int32_t>& items = world_->CityItems(city);
+    for (size_t i = 0; i < n; ++i) {
+      int32_t item = items[i % items.size()];
+      // Position cycles within the schema's exposure-slot cardinality.
+      out.push_back(world_->MakeExample(user, item, /*hour=*/12,
+                                        /*weekday=*/2,
+                                        /*position=*/static_cast<int32_t>(i % 8),
+                                        city, /*day=*/0,
+                                        /*request_id=*/static_cast<int32_t>(i),
+                                        behaviors, rng));
+    }
+    return out;
+  }
+
+  static data::World* world_;
+  static serving::FeatureServer* features_;
+  static serving::RecallIndex* recall_;
+};
+
+data::World* OnlineTrainerTest::world_ = nullptr;
+serving::FeatureServer* OnlineTrainerTest::features_ = nullptr;
+serving::RecallIndex* OnlineTrainerTest::recall_ = nullptr;
+
+TEST_F(OnlineTrainerTest, BootstrapPublishSeedsRegistryAndSlot) {
+  ModelRegistry registry;
+  ModelSlot slot;
+  OnlineTrainer trainer(world_->schema(), &registry, &slot, TrainerConfig());
+
+  auto model = SmallModel(world_->schema(), 13);
+  ASSERT_TRUE(trainer.PublishModel(*model, "bootstrap").ok());
+  EXPECT_EQ(registry.head_version(), 1u);
+  EXPECT_EQ(registry.Head()->note, "bootstrap");
+  EXPECT_EQ(slot.current_version(), 1u);
+  ASSERT_NE(slot.Acquire(), nullptr);
+  EXPECT_FALSE(slot.Acquire()->model->training());
+}
+
+TEST_F(OnlineTrainerTest, PublishNowWarmStartsAndServesBitIdentically) {
+  ModelRegistry registry;
+  ModelSlot slot;
+  OnlineTrainer trainer(world_->schema(), &registry, &slot, TrainerConfig());
+  ASSERT_TRUE(trainer.PublishModel(*SmallModel(world_->schema(), 13),
+                                   "bootstrap")
+                  .ok());
+
+  std::vector<data::Example> clicks = Feedback(/*user=*/3, 8, /*seed=*/91);
+  for (data::Example& e : clicks) {
+    EXPECT_TRUE(trainer.SubmitFeedback(e));
+  }
+  ASSERT_TRUE(trainer.PublishNow("manual-1").ok());
+
+  OnlineTrainerStats stats = trainer.stats();
+  EXPECT_EQ(stats.consumed, 8);
+  EXPECT_EQ(stats.dropped, 0);
+  EXPECT_EQ(stats.buffered, 0);  // consumed by the update
+  EXPECT_EQ(stats.published, 1);
+  EXPECT_EQ(stats.last_version, 2u);
+  EXPECT_EQ(registry.head_version(), 2u);
+  EXPECT_EQ(slot.current_version(), 2u);
+
+  // The slot's model and an offline rebuild of the published checkpoint
+  // must score bit-identically (the swap changes provenance, not math).
+  auto snap = registry.Get(2);
+  ASSERT_NE(snap, nullptr);
+  auto offline = models::CreateModel(models::ModelKind::kDin, world_->schema(),
+                                     /*seed=*/999);  // init is overwritten
+  ASSERT_TRUE(nn::DeserializeParameters(*offline, snap->bytes).ok());
+  offline->SetTraining(false);
+
+  std::vector<data::Example> probe = Feedback(/*user=*/5, 8, /*seed=*/17);
+  std::vector<const data::Example*> ptrs;
+  for (const data::Example& e : probe) ptrs.push_back(&e);
+  data::Batch batch = data::MakeBatch(ptrs, world_->schema());
+  std::vector<float> served = slot.Acquire()->model->PredictProbs(batch);
+  std::vector<float> rebuilt = offline->PredictProbs(batch);
+  ASSERT_EQ(served.size(), rebuilt.size());
+  for (size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i], rebuilt[i]) << "prob " << i << " diverged";
+  }
+}
+
+TEST_F(OnlineTrainerTest, PublishNowWithoutFeedbackIsInvalidArgument) {
+  ModelRegistry registry;
+  ModelSlot slot;
+  OnlineTrainer trainer(world_->schema(), &registry, &slot, TrainerConfig());
+  ASSERT_TRUE(trainer.PublishModel(*SmallModel(world_->schema(), 13),
+                                   "bootstrap")
+                  .ok());
+  EXPECT_EQ(trainer.PublishNow().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.head_version(), 1u);
+}
+
+TEST_F(OnlineTrainerTest, BackgroundLoopPublishesAsFeedbackArrives) {
+  ModelRegistry registry;
+  ModelSlot slot;
+  OnlineTrainerConfig config = TrainerConfig();
+  config.publish_every = 16;
+  OnlineTrainer trainer(world_->schema(), &registry, &slot, config);
+  ASSERT_TRUE(trainer.PublishModel(*SmallModel(world_->schema(), 13),
+                                   "bootstrap")
+                  .ok());
+
+  trainer.Start();
+  std::vector<data::Example> clicks = Feedback(/*user=*/2, 40, /*seed=*/31);
+  for (data::Example& e : clicks) {
+    // The bounded stream may momentarily fill while the loop trains; retry
+    // rather than drop so the publish count below is deterministic.
+    while (!trainer.SubmitFeedback(e)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (trainer.stats().published < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  trainer.Stop();
+
+  OnlineTrainerStats stats = trainer.stats();
+  EXPECT_GE(stats.published, 2);
+  EXPECT_GE(registry.head_version(), 3u);  // bootstrap + >=2 incremental
+  EXPECT_EQ(slot.current_version(), registry.head_version());
+  EXPECT_GT(stats.last_update_seconds, 0.0);
+}
+
+TEST_F(OnlineTrainerTest, FullStreamDropsFeedbackWithoutBlocking) {
+  ModelRegistry registry;
+  OnlineTrainerConfig config = TrainerConfig();
+  config.feedback_capacity = 4;
+  // No slot: registry-only publishing is allowed.
+  OnlineTrainer trainer(world_->schema(), &registry, nullptr, config);
+
+  std::vector<data::Example> clicks = Feedback(/*user=*/1, 6, /*seed=*/77);
+  int accepted = 0;
+  for (data::Example& e : clicks) {
+    accepted += trainer.SubmitFeedback(e) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(trainer.stats().dropped, 2);
+}
+
+// ---------------------------------------------------------- hot swap ----
+
+using HotSwapTest = OnlineTrainerTest;
+
+/// ISSUE acceptance: a closed-loop load runs while the trainer publishes 5
+/// new versions; every request succeeds, none is rejected or blocked by a
+/// swap, and the engine ends up serving the final version.
+TEST_F(HotSwapTest, ServingContinuesAcrossPublishes) {
+  ModelRegistry registry;
+  ModelSlot slot;
+  OnlineTrainer trainer(world_->schema(), &registry, &slot, TrainerConfig());
+  ASSERT_TRUE(trainer.PublishModel(*SmallModel(world_->schema(), 13),
+                                   "bootstrap")
+                  .ok());
+
+  serving::Pipeline pipeline(*world_, features_, recall_, &slot,
+                             /*recall_size=*/16, /*expose_k=*/5);
+  runtime::EngineConfig ec;
+  ec.num_workers = 4;
+  ec.max_batch_requests = 4;
+  ec.max_wait_micros = 100;
+  ec.queue_capacity = 256;
+  runtime::ServingEngine engine(&pipeline, ec);
+
+  runtime::LoadConfig load;
+  load.num_requests = 240;
+  load.concurrency = 8;
+  load.deadline_micros = 30000000;  // sanitizer headroom: never shed load
+  runtime::LoadGenerator generator(*world_, load);
+
+  constexpr int kPublishes = 5;
+  runtime::LoadReport report;
+  std::thread driver([&] { report = generator.Run(engine); });
+  std::thread publisher([&] {
+    for (int p = 0; p < kPublishes; ++p) {
+      std::vector<data::Example> clicks =
+          Feedback(/*user=*/p + 1, 12, /*seed=*/100 + p);
+      for (data::Example& e : clicks) trainer.SubmitFeedback(e);
+      ASSERT_TRUE(trainer.PublishNow("swap-" + std::to_string(p)).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  driver.join();
+  publisher.join();
+
+  EXPECT_EQ(report.ok, load.num_requests);
+  EXPECT_EQ(report.rejected, 0);
+  EXPECT_EQ(report.timed_out, 0);
+  EXPECT_EQ(report.cancelled, 0);
+  EXPECT_EQ(slot.current_version(), 1u + kPublishes);
+  EXPECT_EQ(slot.swap_count(), 1 + kPublishes);
+  EXPECT_EQ(trainer.stats().published, kPublishes);
+}
+
+/// ISSUE acceptance: after each swap the engine's scores are bit-identical
+/// to loading the same registry checkpoint offline and scoring serially.
+TEST_F(HotSwapTest, SwappedScoresBitIdenticalToOfflineLoad) {
+  ModelRegistry registry;
+  ModelSlot slot;
+  OnlineTrainer trainer(world_->schema(), &registry, &slot, TrainerConfig());
+  ASSERT_TRUE(trainer.PublishModel(*SmallModel(world_->schema(), 13),
+                                   "bootstrap")
+                  .ok());
+  for (int p = 0; p < 2; ++p) {
+    std::vector<data::Example> clicks =
+        Feedback(/*user=*/p + 4, 10, /*seed=*/200 + p);
+    for (data::Example& e : clicks) trainer.SubmitFeedback(e);
+    ASSERT_TRUE(trainer.PublishNow().ok());
+  }
+  ASSERT_EQ(registry.Versions().size(), 3u);
+
+  serving::Pipeline pipeline(*world_, features_, recall_, &slot,
+                             /*recall_size=*/16, /*expose_k=*/5);
+  runtime::EngineConfig ec;
+  ec.num_workers = 2;
+  ec.max_batch_requests = 1;
+  runtime::ServingEngine engine(&pipeline, ec);
+
+  serving::Request request{/*user_id=*/7, /*hour=*/18, /*weekday=*/4,
+                           world_->user(7).city, /*day=*/0,
+                           /*request_id=*/0};
+  const std::vector<int32_t>& city_items = world_->CityItems(request.city);
+  std::vector<int32_t> candidates(
+      city_items.begin(),
+      city_items.begin() + std::min<size_t>(city_items.size(), 12));
+
+  for (uint64_t version : registry.Versions()) {
+    auto snap = registry.Get(version);
+    ASSERT_NE(snap, nullptr);
+    auto offline = models::CreateModel(models::ModelKind::kDin,
+                                       world_->schema(), /*seed=*/500);
+    ASSERT_TRUE(nn::DeserializeParameters(*offline, snap->bytes).ok());
+    offline->SetTraining(false);
+
+    // Roll the slot to this version the same way the trainer does, then
+    // score through the live engine.
+    auto rebuilt = models::CreateModel(models::ModelKind::kDin,
+                                       world_->schema(), /*seed=*/501);
+    ASSERT_TRUE(nn::DeserializeParameters(*rebuilt, snap->bytes).ok());
+    rebuilt->SetTraining(false);
+    slot.Install(MakeServable(version, std::move(rebuilt)));
+
+    runtime::SlateResult result =
+        engine.Submit(request, candidates).get();
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_EQ(result.model_version, version);
+
+    std::vector<data::Example> examples =
+        pipeline.BuildExamples(request, candidates);
+    std::vector<const data::Example*> ptrs;
+    for (const data::Example& e : examples) ptrs.push_back(&e);
+    data::Batch batch = data::MakeBatch(ptrs, world_->schema());
+    std::vector<serving::RankedItem> expected = serving::Pipeline::MakeSlate(
+        candidates, offline->PredictProbs(batch), pipeline.expose_k());
+
+    ASSERT_EQ(result.slate.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(result.slate[i].item_id, expected[i].item_id);
+      EXPECT_EQ(result.slate[i].score, expected[i].score)
+          << "version " << version << " slot " << i;
+      EXPECT_EQ(result.slate[i].position, expected[i].position);
+    }
+  }
+  EXPECT_EQ(slot.current_version(), registry.head_version());
+}
+
+}  // namespace
+}  // namespace basm::online

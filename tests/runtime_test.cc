@@ -155,6 +155,48 @@ TEST(MicroBatcherTest, ZeroWaitStillSweepsReadyItems) {
   EXPECT_EQ(batcher.NextBatch().size(), 3u);
 }
 
+TEST(MicroBatcherTest, EffectiveWaitRampsWithQueueDepth) {
+  BatchPolicy fixed{4, 200, 0, 0};
+  EXPECT_EQ(fixed.EffectiveWaitMicros(0), 200);
+  EXPECT_EQ(fixed.EffectiveWaitMicros(100), 200);  // disabled: never widens
+
+  BatchPolicy adaptive{4, 200, 8, 1000};
+  EXPECT_EQ(adaptive.EffectiveWaitMicros(0), 200);   // idle: tight window
+  EXPECT_EQ(adaptive.EffectiveWaitMicros(4), 600);   // halfway up the ramp
+  EXPECT_EQ(adaptive.EffectiveWaitMicros(8), 1000);  // fully pressured
+  EXPECT_EQ(adaptive.EffectiveWaitMicros(64), 1000);  // clamped
+}
+
+TEST(MicroBatcherTest, AdaptiveWidensBatchesUnderPressure) {
+  // Nine queued items: the first pop opens the batch with a backlog of 8,
+  // which meets pressure_depth, so the zero idle-wait widens enough to
+  // also collect the stragglers a producer delivers shortly after.
+  BlockingQueue<int> q(64);
+  for (int i = 0; i < 9; ++i) q.TryPush(std::move(i));
+  MicroBatcher<int> batcher(&q, BatchPolicy{16, 0, 8, 5000000});
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    for (int i = 9; i < 16; ++i) q.TryPush(std::move(i));
+  });
+  std::vector<int> batch = batcher.NextBatch();
+  producer.join();
+  EXPECT_EQ(batch.size(), 16u);  // closed by size, not by the widened wait
+}
+
+TEST(MicroBatcherTest, AdaptiveKeepsIdleLatencyUnchanged) {
+  // Same adaptive policy, but an idle queue: depth 0 keeps the base
+  // zero-wait window, so the single request is served immediately instead
+  // of stalling for the pressured 5s window.
+  BlockingQueue<int> q(64);
+  q.TryPush(1);
+  MicroBatcher<int> batcher(&q, BatchPolicy{16, 0, 8, 5000000});
+  auto start = std::chrono::steady_clock::now();
+  std::vector<int> batch = batcher.NextBatch();
+  auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_LT(waited, std::chrono::seconds(1));
+}
+
 TEST(MicroBatcherTest, EmptyAfterShutdownDrain) {
   BlockingQueue<int> q(32);
   q.TryPush(7);
@@ -201,6 +243,45 @@ TEST(LatencyRecorderTest, CountsAndPercentiles) {
   ASSERT_EQ(snap.batch_histogram.size(), 2u);
   EXPECT_EQ(snap.batch_histogram[0], (std::pair<int64_t, int64_t>{2, 1}));
   EXPECT_EQ(snap.batch_histogram[1], (std::pair<int64_t, int64_t>{4, 2}));
+}
+
+TEST(LatencyRecorderTest, IntervalSnapshotsAreDisjointWindows) {
+  LatencyRecorder rec;
+  for (int i = 0; i < 10; ++i) rec.RecordLatency(100);
+  LatencySnapshot w1 = rec.IntervalSnapshot();
+  EXPECT_EQ(w1.count, 10);
+  EXPECT_NEAR(w1.mean_micros, 100.0, 1e-9);
+
+  for (int i = 0; i < 5; ++i) rec.RecordLatency(400);
+  rec.RecordReject();
+  LatencySnapshot w2 = rec.IntervalSnapshot();
+  EXPECT_EQ(w2.count, 5);  // only this window's requests
+  EXPECT_EQ(w2.rejects, 1);
+  EXPECT_NEAR(w2.mean_micros, 400.0, 1e-9);
+  EXPECT_NEAR(w2.p50_micros, 400.0, 60.0);
+
+  // The cumulative view is untouched by interval reads.
+  LatencySnapshot total = rec.Snapshot();
+  EXPECT_EQ(total.count, 15);
+  EXPECT_EQ(total.rejects, 1);
+
+  LatencySnapshot w3 = rec.IntervalSnapshot();
+  EXPECT_EQ(w3.count, 0);  // nothing recorded since w2
+}
+
+TEST(LatencyRecorderTest, JsonExportCarriesTheWindow) {
+  LatencyRecorder rec;
+  rec.RecordLatency(100);
+  rec.RecordLatency(100);
+  rec.RecordLatency(100);
+  rec.RecordBatchSize(3);
+  std::string json = rec.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"qps\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_micros\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean_batch_size\":3.00"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
 }
 
 TEST(LatencyRecorderTest, ConcurrentRecordingLosesNothing) {

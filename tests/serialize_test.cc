@@ -1,6 +1,7 @@
 #include "nn/serialize.h"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "core/basm_model.h"
@@ -91,6 +92,114 @@ TEST(ModuleBufferTest, NamedBuffersNested) {
   ASSERT_EQ(buffers.size(), 4u);  // 2 BN layers x (mean, var)
   EXPECT_EQ(buffers[0].first, "bn0.running_mean");
   EXPECT_EQ(buffers[3].first, "bn1.running_var");
+}
+
+// ------------------------------------------------- byte codec & format --
+
+// Image layout constants mirrored from serialize.cc for surgery below:
+// magic [0,8), format version [8,12), payload checksum [12,20), body [20..).
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kChecksumOffset = 12;
+constexpr size_t kBodyOffset = 20;
+
+TEST(SerializeBytesTest, InMemoryRoundTrip) {
+  Rng rng(21);
+  Mlp a({4, 8, 2}, Activation::kRelu, rng);
+  Mlp b({4, 8, 2}, Activation::kRelu, rng);  // different init
+  std::string image = SerializeParameters(a);
+  ASSERT_TRUE(VerifyCheckpointImage(image).ok());
+  ASSERT_TRUE(DeserializeParameters(b, image).ok());
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(ops::AllClose(pa[i].value(), pb[i].value(), 0.0f, 0.0f));
+  }
+}
+
+TEST(SerializeBytesTest, ChecksumExposedAndStable) {
+  Rng rng(22);
+  Mlp a({4, 8, 2}, Activation::kRelu, rng);
+  std::string image = SerializeParameters(a);
+  uint64_t checksum = CheckpointImageChecksum(image);
+  EXPECT_NE(checksum, 0u);
+  // Same weights serialize to the same image, hence the same checksum.
+  EXPECT_EQ(CheckpointImageChecksum(SerializeParameters(a)), checksum);
+}
+
+TEST(SerializeBytesTest, SingleFlippedPayloadByteIsCaught) {
+  Rng rng(23);
+  Mlp a({8, 8}, Activation::kNone, rng);
+  std::string image = SerializeParameters(a);
+  // Flip one bit deep inside a tensor payload; the structure still parses,
+  // only the checksum can catch it.
+  image[image.size() - 5] ^= 0x01;
+  Status s = VerifyCheckpointImage(image);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  Mlp b({8, 8}, Activation::kNone, rng);
+  EXPECT_EQ(DeserializeParameters(b, image).code(), StatusCode::kInternal);
+}
+
+TEST(SerializeBytesTest, WrongVersionRejected) {
+  Rng rng(24);
+  Mlp a({4, 4}, Activation::kNone, rng);
+  std::string image = SerializeParameters(a);
+  uint32_t bogus = 99;
+  std::memcpy(image.data() + kVersionOffset, &bogus, sizeof(bogus));
+  Status s = VerifyCheckpointImage(image);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeBytesTest, TruncatedImageRejected) {
+  Rng rng(25);
+  Mlp a({16, 16}, Activation::kNone, rng);
+  std::string image = SerializeParameters(a);
+  Mlp b({16, 16}, Activation::kNone, rng);
+  // Any truncation point must fail cleanly: header-only, mid-body, or one
+  // byte short.
+  for (size_t keep : {size_t{4}, kBodyOffset, image.size() / 2,
+                      image.size() - 1}) {
+    Status s = DeserializeParameters(b, image.substr(0, keep));
+    EXPECT_FALSE(s.ok()) << "truncation at " << keep << " slipped through";
+  }
+}
+
+TEST(SerializeBytesTest, LegacyV2ImageStillLoads) {
+  Rng rng(26);
+  Mlp a({4, 8, 2}, Activation::kRelu, rng);
+  std::string v3 = SerializeParameters(a);
+  // Rewrite the image as format v2: same body, version field 2, and no
+  // checksum word — the on-disk layout this repo shipped before v3.
+  std::string v2 = v3.substr(0, kChecksumOffset) + v3.substr(kBodyOffset);
+  uint32_t two = 2;
+  std::memcpy(v2.data() + kVersionOffset, &two, sizeof(two));
+
+  ASSERT_TRUE(VerifyCheckpointImage(v2).ok());
+  EXPECT_EQ(CheckpointImageChecksum(v2), 0u);  // v2 records no checksum
+  Mlp b({4, 8, 2}, Activation::kRelu, rng);
+  ASSERT_TRUE(DeserializeParameters(b, v2).ok());
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(ops::AllClose(pa[i].value(), pb[i].value(), 0.0f, 0.0f));
+  }
+}
+
+TEST(SerializeBytesTest, SavedFileIsExactlyTheImage) {
+  Rng rng(27);
+  Mlp a({4, 4}, Activation::kNone, rng);
+  std::string path = TempPath("image.ckpt");
+  ASSERT_TRUE(SaveParameters(a, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string from_disk;
+  char chunk[4096];
+  size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    from_disk.append(chunk, n);
+  }
+  std::fclose(f);
+  EXPECT_EQ(from_disk, SerializeParameters(a));
 }
 
 TEST(SerializeTest, MissingFileIsNotFound) {
