@@ -1,0 +1,118 @@
+// Fault-tolerance overhead bench: what does arming the fault path cost
+// when nothing is failing? Two closed-loop engine runs over identical
+// traffic — plain engine vs fault-tolerant engine with a zero-fault
+// injector — plus tight-loop costs of the breaker and injector
+// primitives. The acceptance bar is happy-path overhead under 2%.
+//
+// Plain main() like micro_engine: each arm is one long closed-loop run
+// with its own recorder, and the headline number is a ratio of two such
+// runs, which google-benchmark's stat framework would only obscure.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/circuit_breaker.h"
+#include "common/env.h"
+#include "common/fault.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "data/synth.h"
+#include "models/model_zoo.h"
+#include "runtime/load_generator.h"
+#include "runtime/serving_engine.h"
+#include "serving/feature_server.h"
+#include "serving/pipeline.h"
+#include "serving/recall.h"
+
+namespace {
+
+using namespace basm;
+
+/// ns/op of a primitive exercised `iters` times.
+template <typename Fn>
+double NanosPerOp(int64_t iters, Fn&& fn) {
+  WallTimer timer;
+  for (int64_t i = 0; i < iters; ++i) fn();
+  return timer.ElapsedSeconds() * 1e9 / static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main() {
+  const int64_t prim_iters = FastMode() ? 200000 : 2000000;
+
+  // Primitive costs: what one request pays per fetch on the happy path.
+  {
+    CircuitBreaker breaker;
+    double breaker_ns = NanosPerOp(prim_iters, [&] {
+      if (breaker.Allow()) breaker.RecordSuccess();
+    });
+    FaultInjector injector(42);
+    injector.Configure(serving::kFeatureFetchFaultSite, FaultSiteConfig{});
+    double injector_ns = NanosPerOp(prim_iters, [&] {
+      (void)injector.Evaluate(serving::kFeatureFetchFaultSite);
+    });
+    RetryPolicy policy;
+    Rng rng(7);
+    double backoff_ns = NanosPerOp(
+        prim_iters, [&] { (void)policy.BackoffMicros(1, rng); });
+    std::printf("primitives (%lld iters)\n", (long long)prim_iters);
+    std::printf("  breaker allow+success   %8.1f ns/op\n", breaker_ns);
+    std::printf("  injector evaluate       %8.1f ns/op\n", injector_ns);
+    std::printf("  retry backoff compute   %8.1f ns/op\n", backoff_ns);
+  }
+
+  // Closed-loop arms: identical world, traffic, and engine config; the
+  // only difference is whether the fault path is armed.
+  data::SynthConfig config = data::SynthConfig::Eleme();
+  config.num_users = 2000;
+  config.num_items = 1500;
+  config.num_cities = 8;
+  data::World world(config);
+  serving::RecallIndex recall(world);
+  auto model =
+      models::CreateModel(models::ModelKind::kBasm, world.schema(), 42);
+  model->SetTraining(false);
+
+  runtime::LoadConfig load;
+  load.num_requests =
+      EnvInt("BASM_FAULT_BENCH_REQUESTS", FastMode() ? 300 : 3000);
+  load.concurrency = 32;
+
+  runtime::EngineConfig ec;
+  ec.num_workers = 4;
+  ec.max_batch_requests = 4;
+  ec.max_wait_micros = 200;
+
+  auto run_arm = [&](bool armed) {
+    serving::FeatureServer features(world, world.config().seq_len, 3);
+    serving::Pipeline pipeline(world, &features, &recall, model.get(),
+                               /*recall_size=*/24, /*expose_k=*/8);
+    FaultInjector injector(42);  // zero-fault process
+    CircuitBreaker breaker;
+    if (armed) {
+      features.SetFaultInjector(&injector);
+      serving::FeatureFaultPolicy policy;
+      policy.breaker = &breaker;
+      pipeline.EnableFaultTolerance(policy);
+    } else {
+      features.SetFaultInjector(nullptr);
+    }
+    runtime::ServingEngine engine(&pipeline, ec);
+    runtime::LoadGenerator generator(world, load);
+    return generator.Run(engine);
+  };
+
+  std::printf("\nclosed loop: %lld requests, 32 in flight, 4 workers\n",
+              (long long)load.num_requests);
+  run_arm(false);  // warmup (page-in, allocator steady state)
+  runtime::LoadReport plain = run_arm(false);
+  runtime::LoadReport armed = run_arm(true);
+  double overhead = (plain.qps - armed.qps) / plain.qps * 100.0;
+  std::printf("  plain engine            %10.1f qps\n", plain.qps);
+  std::printf("  fault-tolerant, 0 faults%10.1f qps\n", armed.qps);
+  std::printf("  happy-path overhead     %10.2f %%  (target < 2%%)\n",
+              overhead);
+  return 0;
+}

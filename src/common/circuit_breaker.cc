@@ -1,0 +1,117 @@
+#include "common/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace basm {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config) {
+  BASM_CHECK_GT(config_.failure_threshold, 0);
+  BASM_CHECK_GE(config_.open_micros, 0);
+  BASM_CHECK_GT(config_.half_open_probes, 0);
+  BASM_CHECK_GT(config_.close_after_successes, 0);
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Clock::now() < open_until_) {
+        ++counters_.short_circuits;
+        return false;
+      }
+      // Open window elapsed: move to half-open and admit the first probe.
+      state_ = State::kHalfOpen;
+      ++counters_.half_opens;
+      half_open_inflight_ = 1;
+      half_open_successes_ = 0;
+      return true;
+    case State::kHalfOpen:
+      if (half_open_inflight_ < config_.half_open_probes) {
+        ++half_open_inflight_;
+        return true;
+      }
+      ++counters_.short_circuits;
+      return false;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kOpen:
+      // A straggler admitted before the trip; the open timer decides.
+      break;
+    case State::kHalfOpen:
+      half_open_inflight_ = std::max(0, half_open_inflight_ - 1);
+      if (++half_open_successes_ >= config_.close_after_successes) {
+        state_ = State::kClosed;
+        ++counters_.closes;
+        consecutive_failures_ = 0;
+        half_open_successes_ = 0;
+      }
+      break;
+  }
+}
+
+bool CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        state_ = State::kOpen;
+        ++counters_.opens;
+        open_until_ =
+            Clock::now() + std::chrono::microseconds(config_.open_micros);
+        return true;
+      }
+      return false;
+    case State::kOpen:
+      return false;
+    case State::kHalfOpen:
+      // A failed probe: the dependency is still down, reopen immediately.
+      state_ = State::kOpen;
+      ++counters_.opens;
+      half_open_inflight_ = 0;
+      half_open_successes_ = 0;
+      open_until_ =
+          Clock::now() + std::chrono::microseconds(config_.open_micros);
+      return true;
+  }
+  return false;  // unreachable
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = counters_;
+  s.state = state_;
+  s.consecutive_failures = consecutive_failures_;
+  return s;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace basm

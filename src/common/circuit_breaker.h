@@ -1,0 +1,83 @@
+#ifndef BASM_COMMON_CIRCUIT_BREAKER_H_
+#define BASM_COMMON_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace basm {
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures that trip the breaker closed -> open.
+  int32_t failure_threshold = 5;
+  /// How long the breaker stays open before admitting half-open probes.
+  int64_t open_micros = 20000;
+  /// Probe calls admitted per half-open round; further calls short-circuit
+  /// until the probes report back.
+  int32_t half_open_probes = 1;
+  /// Consecutive half-open successes that close the breaker.
+  int32_t close_after_successes = 2;
+};
+
+/// Classic three-state circuit breaker guarding a fallible dependency
+/// (here: the feature-fetch path). Closed passes every call through and
+/// counts consecutive failures; after `failure_threshold` of them it opens
+/// and fails fast — a dead dependency stops burning retry budget and
+/// request deadline. After `open_micros` it admits a bounded number of
+/// half-open probe calls: enough consecutive successes close it, any
+/// failure reopens it. Thread-safe; Allow/Record are a mutex acquisition
+/// plus integer math, far below the cost of the calls they guard.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {});
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Admission check before calling the dependency. False means
+  /// short-circuit: skip the call and take the degraded path. May perform
+  /// the open -> half-open transition when the open window has elapsed.
+  bool Allow();
+
+  /// Reports an admitted call's outcome. RecordFailure returns true when
+  /// this failure tripped the breaker (closed/half-open -> open) — the
+  /// caller's hook for a "breaker opened" metric.
+  void RecordSuccess();
+  bool RecordFailure();
+
+  /// Counters and current state (state is sampled without forcing the
+  /// open -> half-open transition; Allow does that).
+  struct Stats {
+    State state = State::kClosed;
+    int32_t consecutive_failures = 0;
+    int64_t opens = 0;           ///< closed/half-open -> open transitions
+    int64_t half_opens = 0;      ///< open -> half-open transitions
+    int64_t closes = 0;          ///< half-open -> closed transitions
+    int64_t short_circuits = 0;  ///< calls rejected by Allow
+  };
+  Stats stats() const;
+  State state() const;
+
+  const CircuitBreakerConfig& config() const { return config_; }
+
+  static const char* StateName(State state);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int32_t consecutive_failures_ = 0;
+  int32_t half_open_inflight_ = 0;
+  int32_t half_open_successes_ = 0;
+  Clock::time_point open_until_{};
+  Stats counters_;
+};
+
+}  // namespace basm
+
+#endif  // BASM_COMMON_CIRCUIT_BREAKER_H_

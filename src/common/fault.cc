@@ -1,0 +1,103 @@
+#include "common/fault.h"
+
+#include <utility>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace basm {
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {}
+
+void FaultInjector::Configure(const std::string& site,
+                              FaultSiteConfig config) {
+  BASM_CHECK_GE(config.error_probability, 0.0);
+  BASM_CHECK_LE(config.error_probability, 1.0);
+  BASM_CHECK_GE(config.spike_probability, 0.0);
+  BASM_CHECK_LE(config.spike_probability, 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  s.config = std::move(config);
+  // Re-fork with a fresh tag so reconfiguring mid-run yields a stream that
+  // does not depend on how many calls the old configuration consumed.
+  s.rng = Rng(seed_).Fork(next_site_tag_++);
+  s.stats = FaultSiteStats{};
+}
+
+void FaultInjector::SetDefaultConfig(FaultSiteConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_default_ = true;
+  default_config_ = std::move(config);
+}
+
+FaultDecision FaultInjector::Evaluate(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    if (!has_default_) return FaultDecision{};
+    Site& fresh = sites_[site];
+    fresh.config = default_config_;
+    fresh.rng = Rng(seed_).Fork(next_site_tag_++);
+    it = sites_.find(site);
+  }
+  Site& s = it->second;
+  int64_t call = s.stats.calls++;
+
+  FaultDecision decision;
+  const FaultSiteConfig& c = s.config;
+  if (c.outage_start_call >= 0 && call >= c.outage_start_call &&
+      call < c.outage_start_call + c.outage_calls) {
+    ++s.stats.outages;
+    ++s.stats.errors;
+    decision.delay_micros = c.outage_stall_micros;
+    decision.status = Status(c.error_code, c.error_message + " (outage)");
+    return decision;
+  }
+  // One draw per fault kind keeps the per-site stream aligned across
+  // configs with the same probabilities (determinism contract).
+  bool error = c.error_probability > 0.0 && s.rng.Bernoulli(c.error_probability);
+  bool spike = c.spike_probability > 0.0 && s.rng.Bernoulli(c.spike_probability);
+  if (spike) {
+    ++s.stats.spikes;
+    decision.delay_micros = c.spike_micros;
+  }
+  if (error) {
+    ++s.stats.errors;
+    decision.status = Status(c.error_code, c.error_message);
+  }
+  return decision;
+}
+
+FaultSiteStats FaultInjector::SiteStats(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? FaultSiteStats{} : it->second.stats;
+}
+
+namespace {
+
+FaultInjector* FromEnvImpl() {
+  int64_t rate_percent = EnvInt("BASM_FAULT_RATE", 0);
+  if (rate_percent <= 0) return nullptr;
+  if (rate_percent > 100) rate_percent = 100;
+  uint64_t seed = static_cast<uint64_t>(EnvInt("BASM_FAULT_SEED", 42));
+  auto* injector = new FaultInjector(seed);
+  FaultSiteConfig config;
+  config.error_probability = static_cast<double>(rate_percent) / 100.0;
+  config.spike_probability = static_cast<double>(rate_percent) / 100.0;
+  config.spike_micros = 1000;
+  injector->SetDefaultConfig(config);
+  BASM_LOG(Info) << "fault injection from env: rate " << rate_percent
+                 << "%, seed " << seed;
+  return injector;
+}
+
+}  // namespace
+
+FaultInjector* FaultInjector::FromEnv() {
+  // Leaked singleton: alive for the process, safe during static teardown.
+  static FaultInjector* global = FromEnvImpl();
+  return global;
+}
+
+}  // namespace basm

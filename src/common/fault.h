@@ -1,0 +1,108 @@
+#ifndef BASM_COMMON_FAULT_H_
+#define BASM_COMMON_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace basm {
+
+/// Per-site fault process: probabilistic errors and latency spikes drawn
+/// from a deterministic per-site RNG stream, plus an optional sustained
+/// outage window addressed by call index (calls
+/// [outage_start_call, outage_start_call + outage_calls) all fail). Call
+/// indexing makes the outage reproducible regardless of thread timing.
+struct FaultSiteConfig {
+  /// Probability a call fails with `error_code`/`error_message`.
+  double error_probability = 0.0;
+  /// Probability a (non-failing) call is delayed by `spike_micros`.
+  double spike_probability = 0.0;
+  int64_t spike_micros = 2000;
+  /// Delay applied to every call inside the outage window (a stalled
+  /// dependency: slow *and* failing). 0 makes the outage fail fast.
+  int64_t outage_stall_micros = 0;
+  StatusCode error_code = StatusCode::kUnavailable;
+  std::string error_message = "injected fault";
+  /// First call index of the sustained outage; -1 disables the window.
+  int64_t outage_start_call = -1;
+  int64_t outage_calls = 0;
+};
+
+/// What the injector decided for one call: an optional delay (latency
+/// spike / stall) followed by an optional error. The caller is responsible
+/// for sleeping `delay_micros` — the injector itself never blocks, so it
+/// can be evaluated under locks.
+struct FaultDecision {
+  Status status;  ///< OK, or the injected error
+  int64_t delay_micros = 0;
+};
+
+/// Counters of one fault site since configuration.
+struct FaultSiteStats {
+  int64_t calls = 0;
+  int64_t errors = 0;   ///< injected errors (probabilistic + outage)
+  int64_t spikes = 0;   ///< injected latency spikes
+  int64_t outages = 0;  ///< calls that fell inside the outage window
+};
+
+/// Deterministic, seedable fault-injection harness for chaos testing: each
+/// named site gets an independent RNG stream forked from the injector seed,
+/// so a given (seed, config, call sequence) always injects the same faults.
+/// Thread-safe; Configure may be called mid-run to start or clear faults
+/// (the example uses this to kill and revive the feature path under load).
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs (or replaces) a site's fault process. Replacing resets the
+  /// site's call counter and re-forks its RNG stream, so reconfiguration
+  /// is itself deterministic.
+  void Configure(const std::string& site, FaultSiteConfig config);
+
+  /// Advances the site's fault process by one call and returns what to
+  /// inject. Unconfigured sites return a clean decision, unless a default
+  /// config is set (see SetDefaultConfig) — then they are configured from
+  /// it on first evaluation.
+  FaultDecision Evaluate(const std::string& site);
+
+  /// Fault process applied to any site evaluated before being configured
+  /// explicitly — how the env-driven injector reaches every fault point
+  /// without knowing their names.
+  void SetDefaultConfig(FaultSiteConfig config);
+
+  FaultSiteStats SiteStats(const std::string& site) const;
+
+  uint64_t seed() const { return seed_; }
+
+  /// Process-wide injector configured from the environment, or nullptr
+  /// when BASM_FAULT_RATE is unset/zero: BASM_FAULT_RATE is an error and
+  /// spike percentage applied to every site evaluated through it, and
+  /// BASM_FAULT_SEED (default 42) seeds the streams. This is the hook the
+  /// CI chaos job uses to run the ordinary suites under injected faults.
+  static FaultInjector* FromEnv();
+
+ private:
+  struct Site {
+    FaultSiteConfig config;
+    Rng rng{0};
+    FaultSiteStats stats;
+  };
+
+  const uint64_t seed_;
+  mutable std::mutex mu_;
+  std::map<std::string, Site> sites_;
+  uint64_t next_site_tag_ = 1;
+  bool has_default_ = false;
+  FaultSiteConfig default_config_;
+};
+
+}  // namespace basm
+
+#endif  // BASM_COMMON_FAULT_H_

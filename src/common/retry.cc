@@ -1,0 +1,21 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace basm {
+
+int64_t RetryPolicy::BackoffMicros(int32_t attempt, Rng& rng) const {
+  BASM_CHECK_GE(attempt, 1);
+  double base = static_cast<double>(initial_backoff_micros) *
+                std::pow(backoff_multiplier, attempt - 1);
+  base = std::min(base, static_cast<double>(max_backoff_micros));
+  if (jitter > 0.0) {
+    base *= rng.Uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::max<int64_t>(0, static_cast<int64_t>(base));
+}
+
+}  // namespace basm

@@ -1,0 +1,35 @@
+#ifndef BASM_COMMON_RETRY_H_
+#define BASM_COMMON_RETRY_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace basm {
+
+/// Bounded-retry policy with exponential backoff and jitter — the knob set
+/// of every RPC client in the paper's Fig 13 deployment. A policy only
+/// *computes* waits; the caller owns the loop, so it can interleave
+/// deadline checks and circuit-breaker probes between attempts.
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retrying.
+  int32_t max_attempts = 3;
+  /// Backoff before retry k (k >= 1) grows as
+  /// initial_backoff_micros * multiplier^(k-1), capped at
+  /// max_backoff_micros, then jittered.
+  int64_t initial_backoff_micros = 200;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 5000;
+  /// Uniform multiplicative jitter in [1 - jitter, 1 + jitter]; spreads
+  /// synchronized retry storms. 0 disables.
+  double jitter = 0.2;
+
+  /// Backoff before retry `attempt` (1-based: the wait between try k and
+  /// try k+1). `rng` supplies the jitter draw, so a forked per-request
+  /// stream makes retry timing deterministic too.
+  int64_t BackoffMicros(int32_t attempt, Rng& rng) const;
+};
+
+}  // namespace basm
+
+#endif  // BASM_COMMON_RETRY_H_

@@ -1,5 +1,8 @@
 #include "online/model_registry.h"
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <utility>
 
 #include "common/logging.h"
@@ -83,6 +86,56 @@ size_t ModelRegistry::GarbageCollectLocked() {
     ++dropped;
   }
   return dropped;
+}
+
+Status ModelRegistry::SaveHead(const std::string& path) const {
+  std::shared_ptr<const RegistrySnapshot> head = Head();
+  if (head == nullptr) {
+    return Status::NotFound("registry is empty: nothing to save");
+  }
+  // Atomic publish: a reader of `path` sees either the previous complete
+  // file or the new complete file, never a partial write.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open " + tmp + " for writing");
+    }
+    out.write(head->bytes.data(),
+              static_cast<std::streamsize>(head->bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::Internal("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> ModelRegistry::LoadHead(const std::string& path,
+                                           std::string note) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("registry file " + path + " not found");
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::Internal("read error on " + path);
+  }
+  // Publish runs the codec's magic/version/checksum verification, so a
+  // corrupt file surfaces its own Status and never enters the registry.
+  StatusOr<uint64_t> version = Publish(std::move(bytes), std::move(note));
+  if (!version.ok()) {
+    return Status(version.status().code(),
+                  "registry file " + path +
+                      " rejected: " + version.status().message());
+  }
+  return version;
 }
 
 std::vector<uint64_t> ModelRegistry::Versions() const {

@@ -60,6 +60,22 @@ class ModelRegistry {
   /// Returns how many versions were dropped.
   size_t GarbageCollect();
 
+  /// Persists the head snapshot's checkpoint image to `path` atomically
+  /// (write to `path`.tmp, fsync-free rename into place), so a crash
+  /// mid-save can never leave a torn file where a good one was. The image
+  /// is the self-describing v3 codec — its own header checksum is the
+  /// on-disk integrity record. NotFound when the registry is empty,
+  /// Internal on I/O failure.
+  Status SaveHead(const std::string& path) const;
+
+  /// Restores a SaveHead file as a new published version (the process-
+  /// restart path: the version counter restarts, provenance lives in
+  /// `note`). The image is checksum-verified by Publish, so a corrupt or
+  /// truncated file is rejected with a clear Status and the registry is
+  /// left untouched. NotFound when the file is missing.
+  StatusOr<uint64_t> LoadHead(const std::string& path,
+                              std::string note = "restored");
+
   /// Versions currently retained, ascending.
   std::vector<uint64_t> Versions() const;
 

@@ -127,6 +127,21 @@ Status OnlineTrainer::UpdateLocked(const std::string& note) {
   train::FitExamples(*model, examples, schema_, config_.recipe);
   model->SetTraining(false);
 
+  // Publish gate: a candidate that fails validation never reaches the
+  // registry or the slot — the pinned head keeps serving, and the buffer
+  // that produced the bad update is discarded rather than retrained (a
+  // poisoned batch would fail the gate forever).
+  if (config_.publish_gate) {
+    Status gate = config_.publish_gate(*model);
+    if (!gate.ok()) {
+      buffer_.clear();
+      buffered_.store(0, std::memory_order_relaxed);
+      rejected_publishes_.fetch_add(1, std::memory_order_relaxed);
+      return Status(gate.code(),
+                    "publish rejected by gate: " + gate.message());
+    }
+  }
+
   std::string bytes = nn::SerializeParameters(*model);
   StatusOr<uint64_t> version = registry_->Publish(std::move(bytes), note);
   if (!version.ok()) return version.status();
@@ -155,12 +170,21 @@ StatusOr<std::unique_ptr<models::CtrModel>> OnlineTrainer::BuildModel(
   return model;
 }
 
+void OnlineTrainer::SetPublishGate(
+    std::function<Status(const models::CtrModel&)> gate) {
+  // update_mu_ serializes against UpdateLocked's read of the gate.
+  std::lock_guard<std::mutex> lock(update_mu_);
+  config_.publish_gate = std::move(gate);
+}
+
 OnlineTrainerStats OnlineTrainer::stats() const {
   OnlineTrainerStats s;
   s.consumed = consumed_.load(std::memory_order_relaxed);
   s.dropped = dropped_.load(std::memory_order_relaxed);
   s.buffered = buffered_.load(std::memory_order_relaxed);
   s.published = published_.load(std::memory_order_relaxed);
+  s.rejected_publishes =
+      rejected_publishes_.load(std::memory_order_relaxed);
   s.last_version = last_version_.load(std::memory_order_relaxed);
   s.last_update_seconds =
       last_update_seconds_.load(std::memory_order_relaxed);

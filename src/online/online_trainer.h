@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,6 +38,12 @@ struct OnlineTrainerConfig {
   train::TrainConfig recipe = DefaultIncrementalRecipe();
   /// Provenance prefix for registry notes ("<prefix>-<n>").
   std::string note_prefix = "online";
+  /// Publish gate: validates a freshly fine-tuned candidate (eval mode)
+  /// before it can reach the registry/slot — typically a holdout-metric
+  /// check. A non-OK return rejects the publish: the poisoned buffer is
+  /// discarded, the pinned serving version keeps serving, and the
+  /// rejection is counted. Null disables gating.
+  std::function<Status(const models::CtrModel& candidate)> publish_gate;
 };
 
 /// Counters of one OnlineTrainer (all monotone since construction).
@@ -45,6 +52,7 @@ struct OnlineTrainerStats {
   int64_t dropped = 0;    ///< feedback rejected by the full queue
   int64_t buffered = 0;   ///< accepted but not yet trained on
   int64_t published = 0;  ///< incremental versions published
+  int64_t rejected_publishes = 0;  ///< candidates failed by the gate
   uint64_t last_version = 0;
   double last_update_seconds = 0.0;  ///< train+serialize+publish+install
 };
@@ -94,6 +102,11 @@ class OnlineTrainer {
 
   OnlineTrainerStats stats() const;
 
+  /// Replaces the publish gate (see OnlineTrainerConfig::publish_gate).
+  /// Safe to call while the background loop runs.
+  void SetPublishGate(
+      std::function<Status(const models::CtrModel&)> gate);
+
   const OnlineTrainerConfig& config() const { return config_; }
 
  private:
@@ -119,6 +132,7 @@ class OnlineTrainer {
   std::atomic<int64_t> dropped_{0};
   std::atomic<int64_t> buffered_{0};
   std::atomic<int64_t> published_{0};
+  std::atomic<int64_t> rejected_publishes_{0};
   std::atomic<uint64_t> last_version_{0};
   std::atomic<double> last_update_seconds_{0.0};
 

@@ -64,6 +64,19 @@ void LatencyRecorder::RecordTimeout() {
   LocalShard().timeouts.fetch_add(1, std::memory_order_relaxed);
 }
 
+void LatencyRecorder::RecordRetries(int64_t n) {
+  if (n <= 0) return;
+  LocalShard().retries.fetch_add(n, std::memory_order_relaxed);
+}
+
+void LatencyRecorder::RecordDegraded() {
+  LocalShard().degraded.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LatencyRecorder::RecordBreakerOpen() {
+  LocalShard().breaker_opens.fetch_add(1, std::memory_order_relaxed);
+}
+
 namespace {
 /// Latency at quantile `q` from a merged histogram via bucket interpolation.
 double Percentile(const std::array<int64_t, LatencyRecorder::kLatencyBuckets>&
@@ -88,6 +101,9 @@ LatencyRecorder::Totals LatencyRecorder::MergeShards() const {
     totals.count += s.count.load(std::memory_order_relaxed);
     totals.rejects += s.rejects.load(std::memory_order_relaxed);
     totals.timeouts += s.timeouts.load(std::memory_order_relaxed);
+    totals.retries += s.retries.load(std::memory_order_relaxed);
+    totals.degraded += s.degraded.load(std::memory_order_relaxed);
+    totals.breaker_opens += s.breaker_opens.load(std::memory_order_relaxed);
     totals.sum_micros += s.sum_micros.load(std::memory_order_relaxed);
     for (int64_t b = 0; b < kLatencyBuckets; ++b) {
       totals.latency_hist[b] += s.latency_hist[b].load(std::memory_order_relaxed);
@@ -106,6 +122,10 @@ LatencySnapshot LatencyRecorder::BuildSnapshot(const Totals& totals,
   snap.count = totals.count;
   snap.rejects = totals.rejects;
   snap.timeouts = totals.timeouts;
+  snap.shed = totals.rejects + totals.timeouts;
+  snap.retries = totals.retries;
+  snap.degraded = totals.degraded;
+  snap.breaker_opens = totals.breaker_opens;
   if (snap.count > 0) {
     snap.mean_micros = static_cast<double>(totals.sum_micros) /
                        static_cast<double>(snap.count);
@@ -143,6 +163,9 @@ LatencySnapshot LatencyRecorder::IntervalSnapshot() {
   delta.count = now.count - interval_base_.count;
   delta.rejects = now.rejects - interval_base_.rejects;
   delta.timeouts = now.timeouts - interval_base_.timeouts;
+  delta.retries = now.retries - interval_base_.retries;
+  delta.degraded = now.degraded - interval_base_.degraded;
+  delta.breaker_opens = now.breaker_opens - interval_base_.breaker_opens;
   delta.sum_micros = now.sum_micros - interval_base_.sum_micros;
   for (int64_t b = 0; b < kLatencyBuckets; ++b) {
     delta.latency_hist[b] =
@@ -166,6 +189,16 @@ std::string LatencySnapshot::ToString() const {
                 static_cast<long long>(rejects),
                 static_cast<long long>(timeouts));
   out += line;
+  if (retries > 0 || degraded > 0 || breaker_opens > 0) {
+    std::snprintf(line, sizeof(line),
+                  "faults: retries %lld  degraded %lld  breaker opens %lld  "
+                  "shed %lld\n",
+                  static_cast<long long>(retries),
+                  static_cast<long long>(degraded),
+                  static_cast<long long>(breaker_opens),
+                  static_cast<long long>(shed));
+    out += line;
+  }
   std::snprintf(line, sizeof(line),
                 "latency micros: mean %.0f  p50 %.0f  p95 %.0f  p99 %.0f\n",
                 mean_micros, p50_micros, p95_micros, p99_micros);
@@ -185,16 +218,20 @@ std::string LatencySnapshot::ToString() const {
 }
 
 std::string LatencySnapshot::ToJson() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "{\"count\":%lld,\"rejects\":%lld,\"timeouts\":%lld,"
+      "\"shed\":%lld,\"retries\":%lld,\"degraded\":%lld,"
+      "\"breaker_opens\":%lld,"
       "\"elapsed_seconds\":%.3f,\"qps\":%.1f,\"mean_micros\":%.1f,"
       "\"p50_micros\":%.1f,\"p95_micros\":%.1f,\"p99_micros\":%.1f,"
       "\"mean_batch_size\":%.2f}",
       static_cast<long long>(count), static_cast<long long>(rejects),
-      static_cast<long long>(timeouts), elapsed_seconds, qps, mean_micros,
-      p50_micros, p95_micros, p99_micros, mean_batch_size);
+      static_cast<long long>(timeouts), static_cast<long long>(shed),
+      static_cast<long long>(retries), static_cast<long long>(degraded),
+      static_cast<long long>(breaker_opens), elapsed_seconds, qps,
+      mean_micros, p50_micros, p95_micros, p99_micros, mean_batch_size);
   return buf;
 }
 

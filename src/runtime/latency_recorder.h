@@ -17,6 +17,11 @@ struct LatencySnapshot {
   int64_t count = 0;     ///< completed requests
   int64_t rejects = 0;   ///< queue-full rejections
   int64_t timeouts = 0;  ///< deadline-exceeded drops
+  /// Requests dropped without scoring — rejects + timeouts (derived).
+  int64_t shed = 0;
+  int64_t retries = 0;        ///< feature-fetch retry attempts
+  int64_t degraded = 0;       ///< slates served with a degraded window
+  int64_t breaker_opens = 0;  ///< circuit-breaker trips observed
   double elapsed_seconds = 0.0;
   double qps = 0.0;
   double mean_micros = 0.0;
@@ -52,6 +57,11 @@ class LatencyRecorder {
   void RecordBatchSize(int64_t size);
   void RecordReject();
   void RecordTimeout();
+  /// Fault-tolerance counters: feature-fetch retries spent on one request,
+  /// a slate served degraded, a breaker trip observed by a worker.
+  void RecordRetries(int64_t n);
+  void RecordDegraded();
+  void RecordBreakerOpen();
 
   /// Merges every shard into one consistent-enough view (individual counters
   /// are exact; cross-counter skew is bounded by in-flight recordings).
@@ -84,6 +94,9 @@ class LatencyRecorder {
     std::atomic<int64_t> sum_micros{0};
     std::atomic<int64_t> rejects{0};
     std::atomic<int64_t> timeouts{0};
+    std::atomic<int64_t> retries{0};
+    std::atomic<int64_t> degraded{0};
+    std::atomic<int64_t> breaker_opens{0};
     std::array<std::atomic<int64_t>, kLatencyBuckets> latency_hist{};
     std::array<std::atomic<int64_t>, kMaxTrackedBatch + 1> batch_hist{};
   };
@@ -93,6 +106,9 @@ class LatencyRecorder {
     int64_t count = 0;
     int64_t rejects = 0;
     int64_t timeouts = 0;
+    int64_t retries = 0;
+    int64_t degraded = 0;
+    int64_t breaker_opens = 0;
     int64_t sum_micros = 0;
     std::array<int64_t, kLatencyBuckets> latency_hist{};
     std::array<int64_t, kMaxTrackedBatch + 1> batch_hist{};

@@ -39,6 +39,7 @@ LoadReport LoadGenerator::Run(ServingEngine& engine) {
     switch (result.status.code()) {
       case StatusCode::kOk:
         ++report.ok;
+        if (result.degraded) ++report.degraded;
         break;
       case StatusCode::kUnavailable:
         ++report.rejected;
@@ -92,12 +93,13 @@ LoadReport LoadGenerator::RunSerial(const serving::Pipeline& pipeline) {
 }
 
 std::string LoadReport::ToString() const {
-  char line[160];
+  char line[192];
   std::snprintf(line, sizeof(line),
-                "%lld requests in %.2fs (%.1f qps): %lld ok, %lld rejected, "
-                "%lld timed out, %lld cancelled",
+                "%lld requests in %.2fs (%.1f qps): %lld ok (%lld degraded), "
+                "%lld rejected, %lld timed out, %lld cancelled",
                 static_cast<long long>(ok + rejected + timed_out + cancelled),
                 wall_seconds, qps, static_cast<long long>(ok),
+                static_cast<long long>(degraded),
                 static_cast<long long>(rejected),
                 static_cast<long long>(timed_out),
                 static_cast<long long>(cancelled));

@@ -24,6 +24,9 @@ struct LoadConfig {
 /// Outcome counts of one load run.
 struct LoadReport {
   int64_t ok = 0;
+  /// Subset of `ok` served with a degraded (empty/stale) behavior window
+  /// — the graceful-degradation path under feature faults.
+  int64_t degraded = 0;
   int64_t rejected = 0;
   int64_t timed_out = 0;
   int64_t cancelled = 0;

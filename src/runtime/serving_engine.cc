@@ -129,14 +129,31 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
 
   // One model forward over the concatenated candidate lists. Example
   // features and eval-mode scores are row-independent, so each request's
-  // scores are bit-identical to a serial RankCandidates call.
+  // scores are bit-identical to a serial RankCandidates call. On the
+  // fault-tolerant path the feature fetch runs under the pipeline's retry
+  // + breaker policy with the request's own deadline as the budget; a
+  // failed fetch degrades the request (empty behavior window) instead of
+  // failing it.
+  const bool fault_tolerant = pipeline_->fault_tolerant();
   std::vector<data::Example> examples;
   std::vector<size_t> offsets;  // per-job start index into `examples`
+  std::vector<bool> degraded(live.size(), false);
   offsets.reserve(live.size() + 1);
-  for (auto& job : live) {
+  for (size_t j = 0; j < live.size(); ++j) {
+    auto& job = live[j];
     offsets.push_back(examples.size());
-    std::vector<data::Example> ex =
-        pipeline_->BuildExamples(job->request, job->candidates);
+    std::vector<data::Example> ex;
+    if (fault_tolerant) {
+      serving::FeatureFetchOutcome outcome;
+      ex = pipeline_->BuildExamplesFallible(job->request, job->candidates,
+                                            job->deadline, &outcome);
+      degraded[j] = outcome.degraded;
+      recorder_.RecordRetries(outcome.retries);
+      if (outcome.degraded) recorder_.RecordDegraded();
+      if (outcome.breaker_opened) recorder_.RecordBreakerOpen();
+    } else {
+      ex = pipeline_->BuildExamples(job->request, job->candidates);
+    }
     std::move(ex.begin(), ex.end(), std::back_inserter(examples));
   }
   offsets.push_back(examples.size());
@@ -153,6 +170,7 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
                              scores.begin() + offsets[j + 1]);
     SlateResult result;
     result.model_version = servable->version;
+    result.degraded = degraded[j];
     result.slate = serving::Pipeline::MakeSlate(live[j]->candidates, slice,
                                                 pipeline_->expose_k());
     // Record before resolving the future so a caller that joins on the

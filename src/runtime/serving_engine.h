@@ -46,6 +46,10 @@ struct SlateResult {
   /// pipeline serves a static model, or on non-OK results). Under online
   /// learning this is the staleness audit trail of every impression.
   uint64_t model_version = 0;
+  /// True when the slate was scored with an empty/stale behavior window
+  /// because the feature fetch failed or was short-circuited (graceful
+  /// degradation: status is still OK, the slate still renders).
+  bool degraded = false;
 };
 
 /// Concurrent front door for serving::Pipeline — the RTP tier of the

@@ -1,12 +1,17 @@
 #include "serving/feature_server.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/logging.h"
 
 namespace basm::serving {
 
 FeatureServer::FeatureServer(const data::World& world, int64_t history_len,
                              uint64_t seed)
-    : world_(world), history_len_(history_len) {
+    : world_(world),
+      history_len_(history_len),
+      fault_injector_(FaultInjector::FromEnv()) {
   Rng rng(seed);
   int64_t num_users = world.config().num_users;
   histories_.resize(num_users);
@@ -26,6 +31,24 @@ FeatureServer::UserFeatures FeatureServer::GetUserFeatures(
   out.behaviors.assign(histories_[user_id].begin(),
                        histories_[user_id].end());
   return out;
+}
+
+StatusOr<FeatureServer::UserFeatures> FeatureServer::FetchUserFeatures(
+    int32_t user_id) const {
+  if (fault_injector_ != nullptr) {
+    FaultDecision decision =
+        fault_injector_->Evaluate(kFeatureFetchFaultSite);
+    if (decision.delay_micros > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(decision.delay_micros));
+    }
+    if (!decision.status.ok()) return decision.status;
+  }
+  if (user_id < 0 || user_id >= static_cast<int64_t>(histories_.size())) {
+    return Status::InvalidArgument("unknown user id " +
+                                   std::to_string(user_id));
+  }
+  return GetUserFeatures(user_id);
 }
 
 void FeatureServer::RecordClick(int32_t user_id,

@@ -2,18 +2,31 @@
 #define BASM_SERVING_FEATURE_SERVER_H_
 
 #include <deque>
+#include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "data/synth.h"
 
 namespace basm::serving {
+
+/// Fault site name the feature fetch path evaluates on every fallible
+/// fetch (see FaultInjector).
+inline constexpr char kFeatureFetchFaultSite[] = "feature_server.fetch";
 
 /// Analogue of the Alibaba Basic Feature Server (ABFS, Fig 13): when a user
 /// opens the app, returns their profile features and recent behavior
 /// sequence. Maintains per-user rolling histories that grow as the online
 /// loop records new clicks, so the serving stack is closed-loop like the
 /// production system.
+///
+/// Two read paths: GetUserFeatures models the in-process lookup and CHECKs
+/// on bad ids (programmer error), while FetchUserFeatures models the *RPC*
+/// to ABFS — it returns Status for recoverable failures and routes through
+/// an optional FaultInjector, which is where chaos tests make the
+/// dependency fail, spike, or go down entirely.
 class FeatureServer {
  public:
   /// Histories are bootstrapped from the world's generative process.
@@ -27,8 +40,23 @@ class FeatureServer {
 
   UserFeatures GetUserFeatures(int32_t user_id) const;
 
+  /// The fallible fetch: applies the injector's decision for
+  /// kFeatureFetchFaultSite (sleeping injected latency, surfacing injected
+  /// errors verbatim), then validates the user id (InvalidArgument instead
+  /// of CHECK) and performs the lookup. With no injector configured this
+  /// is GetUserFeatures plus one pointer test.
+  StatusOr<UserFeatures> FetchUserFeatures(int32_t user_id) const;
+
   /// Appends a clicked item to the user's history (most recent first).
   void RecordClick(int32_t user_id, const data::BehaviorEvent& event);
+
+  /// Routes FetchUserFeatures through `injector` (borrowed; nullptr
+  /// restores the clean path). Defaults to FaultInjector::FromEnv(), so
+  /// setting BASM_FAULT_RATE injects faults with no code changes.
+  void SetFaultInjector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
 
   int64_t history_len() const { return history_len_; }
 
@@ -36,6 +64,7 @@ class FeatureServer {
   const data::World& world_;
   int64_t history_len_;
   std::vector<std::deque<data::BehaviorEvent>> histories_;
+  FaultInjector* fault_injector_;
 };
 
 }  // namespace basm::serving

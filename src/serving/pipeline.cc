@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <thread>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -71,12 +73,10 @@ std::vector<int32_t> Pipeline::Recall(const Request& request, Rng& rng) const {
   return recall_->RecallByCity(request.city, recall_size_, rng);
 }
 
-std::vector<data::Example> Pipeline::BuildExamples(
-    const Request& request, const std::vector<int32_t>& candidates) const {
+std::vector<data::Example> Pipeline::BuildExamplesWithBehaviors(
+    const Request& request, const std::vector<int32_t>& candidates,
+    const std::vector<data::BehaviorEvent>& behaviors) const {
   BASM_CHECK(!candidates.empty());
-  FeatureServer::UserFeatures uf =
-      feature_server_->GetUserFeatures(request.user_id);
-
   // Build one Example per candidate. Position is unknown pre-ranking; the
   // production system scores with a default slot (here: middle slot) and
   // assigns real positions after ordering.
@@ -88,9 +88,81 @@ std::vector<data::Example> Pipeline::BuildExamples(
     examples.push_back(world_.MakeExample(
         request.user_id, item, request.hour, request.weekday,
         kScoringPosition, request.city, request.day, request.request_id,
-        uf.behaviors, example_rng));
+        behaviors, example_rng));
   }
   return examples;
+}
+
+std::vector<data::Example> Pipeline::BuildExamples(
+    const Request& request, const std::vector<int32_t>& candidates) const {
+  FeatureServer::UserFeatures uf =
+      feature_server_->GetUserFeatures(request.user_id);
+  return BuildExamplesWithBehaviors(request, candidates, uf.behaviors);
+}
+
+void Pipeline::EnableFaultTolerance(FeatureFaultPolicy policy) {
+  BASM_CHECK_GE(policy.retry.max_attempts, 1);
+  fault_policy_ = policy;
+  fault_tolerant_ = true;
+}
+
+std::vector<data::Example> Pipeline::BuildExamplesFallible(
+    const Request& request, const std::vector<int32_t>& candidates,
+    std::chrono::steady_clock::time_point deadline,
+    FeatureFetchOutcome* outcome) const {
+  BASM_CHECK(outcome != nullptr);
+  *outcome = FeatureFetchOutcome{};
+  if (!fault_tolerant_) {
+    // Policy not armed: identical to the infallible path.
+    return BuildExamples(request, candidates);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  CircuitBreaker* breaker = fault_policy_.breaker;
+  const RetryPolicy& retry = fault_policy_.retry;
+  FeatureServer::UserFeatures uf;
+  uf.user_id = request.user_id;
+  outcome->degraded = true;  // cleared on a successful fetch
+
+  if (breaker != nullptr && !breaker->Allow()) {
+    // Dependency is known-dead: fail fast into the degraded slate without
+    // spending any of the request's remaining budget.
+    outcome->short_circuited = true;
+  } else {
+    // Jitter stream forked per request: retry timing is deterministic and
+    // independent of which worker runs the request.
+    Rng jitter_rng = Rng(fault_policy_.jitter_seed)
+                         .Fork(static_cast<uint64_t>(request.request_id));
+    for (int32_t attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+      StatusOr<FeatureServer::UserFeatures> fetched =
+          feature_server_->FetchUserFeatures(request.user_id);
+      if (fetched.ok()) {
+        uf = std::move(fetched).value();
+        outcome->degraded = false;
+        if (breaker != nullptr) breaker->RecordSuccess();
+        break;
+      }
+      outcome->last_error = fetched.status();
+      if (breaker != nullptr) {
+        outcome->breaker_opened |= breaker->RecordFailure();
+        // The breaker tripping mid-loop means stop probing a dead
+        // dependency; later attempts would be short-circuited anyway.
+        if (outcome->breaker_opened) break;
+      }
+      if (attempt == retry.max_attempts) break;
+      // Deadline propagation: back off only while the request still has
+      // budget for the wait plus another attempt.
+      int64_t backoff = retry.BackoffMicros(attempt, jitter_rng);
+      if (Clock::now() + std::chrono::microseconds(backoff) >= deadline) {
+        break;
+      }
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      }
+      ++outcome->retries;
+    }
+  }
+  return BuildExamplesWithBehaviors(request, candidates, uf.behaviors);
 }
 
 std::vector<RankedItem> Pipeline::MakeSlate(

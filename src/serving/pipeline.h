@@ -1,9 +1,12 @@
 #ifndef BASM_SERVING_PIPELINE_H_
 #define BASM_SERVING_PIPELINE_H_
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
+#include "common/circuit_breaker.h"
+#include "common/retry.h"
 #include "data/batch.h"
 #include "models/ctr_model.h"
 #include "online/model_slot.h"
@@ -27,6 +30,34 @@ struct RankedItem {
   int32_t item_id = 0;
   float score = 0.0f;
   int32_t position = 0;
+};
+
+/// Fault-handling policy of the pipeline's feature-fetch stage.
+struct FeatureFaultPolicy {
+  /// Bounded retries with backoff around FeatureServer::FetchUserFeatures.
+  RetryPolicy retry;
+  /// Optional breaker guarding the fetch (borrowed; must outlive the
+  /// pipeline). When open, fetches are skipped entirely and the request
+  /// degrades immediately instead of burning its deadline on retries.
+  CircuitBreaker* breaker = nullptr;
+  /// Base seed of the per-request jitter streams.
+  uint64_t jitter_seed = 0xFA117;
+};
+
+/// What happened on one request's feature-fetch stage (feeds the engine's
+/// LatencyRecorder counters and SlateResult::degraded).
+struct FeatureFetchOutcome {
+  /// True when the request is served with an empty behavior window
+  /// because the fetch failed, timed out, or was short-circuited.
+  bool degraded = false;
+  /// Fetch attempts beyond the first.
+  int32_t retries = 0;
+  /// This request's failure tripped the breaker open.
+  bool breaker_opened = false;
+  /// The breaker was open: the fetch was skipped without any attempt.
+  bool short_circuited = false;
+  /// Last fetch error (OK when the fetch succeeded or was skipped).
+  Status last_error;
 };
 
 /// Analogue of the Personalization Platform (TPP) orchestration in Fig 13:
@@ -70,6 +101,27 @@ class Pipeline {
   std::vector<data::Example> BuildExamples(
       const Request& request, const std::vector<int32_t>& candidates) const;
 
+  /// Arms the fault-tolerant feature path: BuildExamplesFallible (and the
+  /// engine through it) retries fetches under `policy`, consults the
+  /// breaker, and degrades instead of failing. Call before serving starts;
+  /// serve-path methods stay const and re-entrant afterwards (the breaker
+  /// is internally synchronized, the policy immutable).
+  void EnableFaultTolerance(FeatureFaultPolicy policy);
+  bool fault_tolerant() const { return fault_tolerant_; }
+  CircuitBreaker* feature_breaker() const { return fault_policy_.breaker; }
+
+  /// Fault-tolerant example construction — the graceful-degradation stage.
+  /// Fetches the user's behavior window through the breaker + retry loop,
+  /// never exceeding `deadline`; on failure it builds examples with an
+  /// empty behavior window instead of failing the request (the paper's
+  /// slate must render even when ABFS is down — a cold-start-quality slate
+  /// beats an error page). Reports what happened through `outcome`.
+  /// On the happy path the examples are bit-identical to BuildExamples.
+  std::vector<data::Example> BuildExamplesFallible(
+      const Request& request, const std::vector<int32_t>& candidates,
+      std::chrono::steady_clock::time_point deadline,
+      FeatureFetchOutcome* outcome) const;
+
   /// Orders candidates by score (stable, descending) and cuts the top-k
   /// slate. Shared between the serial path and the micro-batched engine so
   /// tie-breaking is identical in both.
@@ -102,6 +154,14 @@ class Pipeline {
   std::shared_ptr<const online::ServableModel> static_servable_;
   int32_t recall_size_;
   int32_t expose_k_;
+  bool fault_tolerant_ = false;
+  FeatureFaultPolicy fault_policy_;
+
+  /// Shared example-construction tail of BuildExamples and its fallible
+  /// twin: one Example per candidate from the given behavior window.
+  std::vector<data::Example> BuildExamplesWithBehaviors(
+      const Request& request, const std::vector<int32_t>& candidates,
+      const std::vector<data::BehaviorEvent>& behaviors) const;
 };
 
 }  // namespace basm::serving

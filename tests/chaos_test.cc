@@ -1,0 +1,177 @@
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/circuit_breaker.h"
+#include "common/fault.h"
+#include "data/synth.h"
+#include "gtest/gtest.h"
+#include "models/model_zoo.h"
+#include "runtime/load_generator.h"
+#include "runtime/serving_engine.h"
+#include "serving/feature_server.h"
+#include "serving/pipeline.h"
+#include "serving/recall.h"
+
+namespace basm::runtime {
+namespace {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::strtoll(value, nullptr, 10);
+}
+
+data::SynthConfig ChaosWorldConfig() {
+  data::SynthConfig c = data::SynthConfig::Eleme();
+  c.num_users = 120;
+  c.num_items = 100;
+  c.num_cities = 3;
+  c.seq_len = 6;
+  return c;
+}
+
+/// The headline robustness acceptance test: a closed-loop load with 5%
+/// injected feature errors + latency spikes, plus one sustained feature
+/// outage mid-run. The engine must keep serving — every completed request
+/// is OK (some degraded), the breaker is observed opening — and after the
+/// fault clears, the breaker closes again and serving fully recovers.
+/// The chaos CI job re-runs this under BASM_FAULT_SEED / BASM_FAULT_RATE
+/// for different fault processes; the assertions hold for any seed.
+TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
+  const uint64_t seed =
+      static_cast<uint64_t>(EnvInt("BASM_FAULT_SEED", 42));
+  const double rate = EnvInt("BASM_FAULT_RATE", 5) / 100.0;
+
+  data::World world(ChaosWorldConfig());
+  serving::FeatureServer features(world, world.config().seq_len, 3);
+  serving::RecallIndex recall(world);
+  auto model =
+      models::CreateModel(models::ModelKind::kBasm, world.schema(), 13);
+  model->SetTraining(false);
+  serving::Pipeline pipeline(world, &features, &recall, model.get(),
+                             /*recall_size=*/12, /*expose_k=*/5);
+
+  // Fault process: `rate` random errors + spikes, and a sustained outage
+  // starting at fetch call 150 that only a config change (the "dependency
+  // came back" event below) clears.
+  FaultInjector injector(seed);
+  FaultSiteConfig faults;
+  faults.error_probability = rate;
+  faults.spike_probability = rate;
+  faults.spike_micros = 500;
+  faults.outage_start_call = 150;
+  faults.outage_calls = 1 << 20;
+  injector.Configure(serving::kFeatureFetchFaultSite, faults);
+  features.SetFaultInjector(&injector);
+
+  CircuitBreakerConfig breaker_config;
+  breaker_config.failure_threshold = 5;
+  breaker_config.open_micros = 5000;
+  breaker_config.close_after_successes = 2;
+  CircuitBreaker breaker(breaker_config);
+
+  serving::FeatureFaultPolicy policy;
+  policy.retry.max_attempts = 3;
+  policy.retry.initial_backoff_micros = 100;
+  policy.retry.max_backoff_micros = 1000;
+  policy.breaker = &breaker;
+  pipeline.EnableFaultTolerance(policy);
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 4;
+  engine_config.queue_capacity = 256;
+  ServingEngine engine(&pipeline, engine_config);
+
+  LoadConfig load;
+  load.num_requests = 600;
+  load.concurrency = 8;
+  load.deadline_micros = 1000000;
+  load.seed = seed;
+  LoadGenerator generator(world, load);
+  LoadReport report = generator.Run(engine);
+
+  // >= 99% of traffic must complete OK-or-degraded under the fault storm.
+  EXPECT_GE(report.ok, (99 * load.num_requests) / 100)
+      << report.ToString();
+  EXPECT_EQ(report.ok + report.rejected + report.timed_out +
+                report.cancelled,
+            load.num_requests);
+  EXPECT_GT(report.degraded, 0) << "outage produced no degraded slates";
+
+  LatencySnapshot storm = engine.IntervalStats();
+  EXPECT_GT(storm.degraded, 0);
+  EXPECT_GT(storm.retries, 0) << "random errors produced no retries";
+  EXPECT_GE(storm.breaker_opens, 1)
+      << "sustained outage never tripped the breaker";
+  CircuitBreaker::Stats tripped = breaker.stats();
+  EXPECT_GE(tripped.opens, 1);
+  EXPECT_GT(tripped.short_circuits, 0)
+      << "open breaker never shed a fetch";
+
+  // The dependency comes back: clear every fault and drive fresh traffic.
+  // Half-open probes now succeed, the breaker closes, and serving returns
+  // to the healthy path (no new degraded slates).
+  injector.Configure(serving::kFeatureFetchFaultSite, FaultSiteConfig{});
+  LoadConfig recovery_load = load;
+  recovery_load.num_requests = 150;
+  recovery_load.seed = seed + 1;
+  LoadGenerator recovery(world, recovery_load);
+  LoadReport recovered = recovery.Run(engine);
+
+  EXPECT_EQ(recovered.ok, recovery_load.num_requests)
+      << recovered.ToString();
+  CircuitBreaker::Stats healed = breaker.stats();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed)
+      << CircuitBreaker::StateName(breaker.state());
+  EXPECT_GE(healed.half_opens, 1);
+  EXPECT_GE(healed.closes, 1);
+
+  LatencySnapshot after = engine.IntervalStats();
+  // The tail of the recovery window is fault-free; at most the first few
+  // requests (breaker probes racing the config change) may degrade.
+  EXPECT_LT(after.degraded, recovery_load.num_requests / 2);
+
+  engine.Shutdown();
+  LatencySnapshot total = engine.Stats();
+  EXPECT_EQ(total.count + total.shed,
+            load.num_requests + recovery_load.num_requests);
+}
+
+/// With fault tolerance armed but a zero-fault process, the engine must
+/// behave exactly like the plain engine: no degraded slates, no retries,
+/// no breaker activity — the happy path stays the happy path.
+TEST(ChaosTest, ArmedButFaultFreeServesClean) {
+  data::World world(ChaosWorldConfig());
+  serving::FeatureServer features(world, world.config().seq_len, 3);
+  serving::RecallIndex recall(world);
+  auto model =
+      models::CreateModel(models::ModelKind::kDin, world.schema(), 17);
+  model->SetTraining(false);
+  serving::Pipeline pipeline(world, &features, &recall, model.get(), 12, 5);
+
+  FaultInjector injector(1);  // configured with no faults anywhere
+  features.SetFaultInjector(&injector);
+  CircuitBreaker breaker;
+  serving::FeatureFaultPolicy policy;
+  policy.breaker = &breaker;
+  pipeline.EnableFaultTolerance(policy);
+
+  ServingEngine engine(&pipeline, EngineConfig{});
+  LoadConfig load;
+  load.num_requests = 200;
+  load.concurrency = 8;
+  LoadGenerator generator(world, load);
+  LoadReport report = generator.Run(engine);
+
+  EXPECT_EQ(report.ok, load.num_requests);
+  EXPECT_EQ(report.degraded, 0);
+  LatencySnapshot snapshot = engine.Stats();
+  EXPECT_EQ(snapshot.degraded, 0);
+  EXPECT_EQ(snapshot.retries, 0);
+  EXPECT_EQ(snapshot.breaker_opens, 0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.stats().opens, 0);
+}
+
+}  // namespace
+}  // namespace basm::runtime

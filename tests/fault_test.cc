@@ -1,0 +1,423 @@
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/circuit_breaker.h"
+#include "common/fault.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/batch.h"
+#include "data/synth.h"
+#include "gtest/gtest.h"
+#include "models/model_zoo.h"
+#include "serving/feature_server.h"
+#include "serving/pipeline.h"
+#include "serving/recall.h"
+
+namespace basm {
+namespace {
+
+// --------------------------------------------------------- injector -----
+
+TEST(FaultInjectorTest, UnconfiguredSiteIsClean) {
+  FaultInjector injector(1);
+  for (int i = 0; i < 100; ++i) {
+    FaultDecision d = injector.Evaluate("nobody.configured.me");
+    EXPECT_TRUE(d.status.ok());
+    EXPECT_EQ(d.delay_micros, 0);
+  }
+  EXPECT_EQ(injector.SiteStats("nobody.configured.me").calls, 0);
+}
+
+TEST(FaultInjectorTest, DeterministicGivenSeedAndConfig) {
+  auto run = [](uint64_t seed) {
+    FaultInjector injector(seed);
+    FaultSiteConfig config;
+    config.error_probability = 0.3;
+    config.spike_probability = 0.2;
+    config.spike_micros = 123;
+    injector.Configure("site", config);
+    std::vector<std::pair<bool, int64_t>> decisions;
+    for (int i = 0; i < 200; ++i) {
+      FaultDecision d = injector.Evaluate("site");
+      decisions.emplace_back(d.status.ok(), d.delay_micros);
+    }
+    return decisions;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(FaultInjectorTest, RatesApproximatelyHonored) {
+  FaultInjector injector(7);
+  FaultSiteConfig config;
+  config.error_probability = 0.25;
+  config.spike_probability = 0.10;
+  injector.Configure("site", config);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) injector.Evaluate("site");
+  FaultSiteStats stats = injector.SiteStats("site");
+  EXPECT_EQ(stats.calls, n);
+  EXPECT_NEAR(static_cast<double>(stats.errors) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(stats.spikes) / n, 0.10, 0.02);
+}
+
+TEST(FaultInjectorTest, OutageWindowIsExactByCallIndex) {
+  FaultInjector injector(9);
+  FaultSiteConfig config;
+  config.outage_start_call = 10;
+  config.outage_calls = 5;
+  injector.Configure("site", config);
+  int errors = 0;
+  for (int i = 0; i < 30; ++i) {
+    FaultDecision d = injector.Evaluate("site");
+    bool in_window = i >= 10 && i < 15;
+    EXPECT_EQ(!d.status.ok(), in_window) << "call " << i;
+    if (!d.status.ok()) ++errors;
+  }
+  EXPECT_EQ(errors, 5);
+  EXPECT_EQ(injector.SiteStats("site").outages, 5);
+}
+
+TEST(FaultInjectorTest, ReconfigureResetsTheSite) {
+  FaultInjector injector(11);
+  FaultSiteConfig kill;
+  kill.error_probability = 1.0;
+  injector.Configure("site", kill);
+  EXPECT_FALSE(injector.Evaluate("site").status.ok());
+
+  injector.Configure("site", FaultSiteConfig{});  // fault cleared
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(injector.Evaluate("site").status.ok());
+  }
+  EXPECT_EQ(injector.SiteStats("site").calls, 50);  // counter reset too
+}
+
+TEST(FaultInjectorTest, DefaultConfigReachesUnknownSites) {
+  FaultInjector injector(13);
+  FaultSiteConfig config;
+  config.error_probability = 1.0;
+  injector.SetDefaultConfig(config);
+  EXPECT_FALSE(injector.Evaluate("never.named.before").status.ok());
+  // An explicit Configure still overrides the default.
+  injector.Configure("never.named.before", FaultSiteConfig{});
+  EXPECT_TRUE(injector.Evaluate("never.named.before").status.ok());
+}
+
+// ------------------------------------------------------------ retry -----
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndClamps) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_micros = 500;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(policy.BackoffMicros(1, rng), 100);
+  EXPECT_EQ(policy.BackoffMicros(2, rng), 200);
+  EXPECT_EQ(policy.BackoffMicros(3, rng), 400);
+  EXPECT_EQ(policy.BackoffMicros(4, rng), 500);  // clamped
+  EXPECT_EQ(policy.BackoffMicros(10, rng), 500);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinBandAndIsDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 1000;
+  policy.jitter = 0.2;
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) {
+    int64_t wait_a = policy.BackoffMicros(1, a);
+    EXPECT_GE(wait_a, 800);
+    EXPECT_LE(wait_a, 1200);
+    EXPECT_EQ(wait_a, policy.BackoffMicros(1, b));  // same stream, same wait
+  }
+}
+
+// ---------------------------------------------------------- breaker -----
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresAndShortCircuits) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  config.open_micros = 60 * 1000 * 1000;  // never half-opens in this test
+  CircuitBreaker breaker(config);
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.RecordFailure());
+  // A success resets the consecutive count: two more failures don't trip.
+  breaker.RecordSuccess();
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_TRUE(breaker.RecordFailure());  // third consecutive: trips
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+
+  CircuitBreaker::Stats stats = breaker.stats();
+  EXPECT_EQ(stats.opens, 1);
+  EXPECT_EQ(stats.short_circuits, 2);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbesCloseAfterSuccesses) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_micros = 2000;  // 2ms open window
+  config.half_open_probes = 1;
+  config.close_after_successes = 2;
+  CircuitBreaker breaker(config);
+
+  EXPECT_TRUE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.Allow());  // still open
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  EXPECT_TRUE(breaker.Allow());  // open window elapsed: probe admitted
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow());  // probe budget spent until it reports
+  breaker.RecordSuccess();
+  EXPECT_TRUE(breaker.Allow());  // second probe
+  breaker.RecordSuccess();       // two successes: closed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  CircuitBreaker::Stats stats = breaker.stats();
+  EXPECT_EQ(stats.opens, 1);
+  EXPECT_EQ(stats.half_opens, 1);
+  EXPECT_EQ(stats.closes, 1);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_micros = 1000;
+  CircuitBreaker breaker(config);
+
+  EXPECT_TRUE(breaker.RecordFailure());
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_TRUE(breaker.Allow());                      // half-open probe
+  EXPECT_TRUE(breaker.RecordFailure());              // probe failed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.stats().opens, 2);
+}
+
+// --------------------------------------- status through feature path ----
+
+serving::FeatureServer MakeFeatureServer(const data::World& world) {
+  return serving::FeatureServer(world, world.config().seq_len, 3);
+}
+
+data::SynthConfig TinyWorldConfig() {
+  data::SynthConfig c = data::SynthConfig::Eleme();
+  c.num_users = 40;
+  c.num_items = 40;
+  c.num_cities = 2;
+  c.seq_len = 4;
+  return c;
+}
+
+TEST(FeatureServerFaultTest, InjectedStatusRoundTripsCodeAndMessage) {
+  data::World world(TinyWorldConfig());
+  serving::FeatureServer features = MakeFeatureServer(world);
+
+  FaultInjector injector(21);
+  FaultSiteConfig config;
+  config.error_probability = 1.0;
+  config.error_code = StatusCode::kDeadlineExceeded;
+  config.error_message = "abfs lookup timed out";
+  injector.Configure(serving::kFeatureFetchFaultSite, config);
+  features.SetFaultInjector(&injector);
+
+  auto fetched = features.FetchUserFeatures(0);
+  ASSERT_FALSE(fetched.ok());
+  // The injected Status's code and message must survive the fallible path
+  // verbatim — what callers branch and log on.
+  EXPECT_EQ(fetched.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(fetched.status().message(), "abfs lookup timed out");
+  EXPECT_EQ(fetched.status().ToString(),
+            "DEADLINE_EXCEEDED: abfs lookup timed out");
+
+  features.SetFaultInjector(nullptr);
+  auto clean = features.FetchUserFeatures(0);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value().user_id, 0);
+  EXPECT_EQ(clean.value().behaviors.size(),
+            features.GetUserFeatures(0).behaviors.size());
+}
+
+TEST(FeatureServerFaultTest, BadUserIdIsRecoverableNotFatal) {
+  data::World world(TinyWorldConfig());
+  serving::FeatureServer features = MakeFeatureServer(world);
+  features.SetFaultInjector(nullptr);
+  auto fetched = features.FetchUserFeatures(-1);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(fetched.status().message().find("-1"), std::string::npos);
+}
+
+TEST(FeatureServerFaultTest, InjectedSpikeDelaysTheFetch) {
+  data::World world(TinyWorldConfig());
+  serving::FeatureServer features = MakeFeatureServer(world);
+
+  FaultInjector injector(23);
+  FaultSiteConfig config;
+  config.spike_probability = 1.0;
+  config.spike_micros = 20000;  // 20ms
+  injector.Configure(serving::kFeatureFetchFaultSite, config);
+  features.SetFaultInjector(&injector);
+
+  auto start = std::chrono::steady_clock::now();
+  auto fetched = features.FetchUserFeatures(1);
+  auto waited = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(fetched.ok());  // slow but successful
+  EXPECT_GE(waited, std::chrono::milliseconds(15));
+}
+
+// ------------------------------------------- pipeline degradation -------
+
+class PipelineFaultTest : public ::testing::Test {
+ protected:
+  PipelineFaultTest()
+      : world_(TinyWorldConfig()),
+        features_(world_, world_.config().seq_len, 3),
+        recall_(world_),
+        injector_(31),
+        model_(models::CreateModel(models::ModelKind::kDin, world_.schema(),
+                                   13)),
+        pipeline_(world_, &features_, &recall_, model_.get(),
+                  /*recall_size=*/8, /*expose_k=*/4) {
+    model_->SetTraining(false);
+    features_.SetFaultInjector(&injector_);
+    request_.user_id = 1;
+    request_.hour = 12;
+    request_.city = world_.user(1).city;
+    request_.request_id = 9;
+    Rng rng(5);
+    candidates_ = recall_.RecallByCity(request_.city, 8, rng);
+  }
+
+  std::chrono::steady_clock::time_point DeadlineIn(int64_t micros) {
+    return std::chrono::steady_clock::now() +
+           std::chrono::microseconds(micros);
+  }
+
+  data::World world_;
+  serving::FeatureServer features_;
+  serving::RecallIndex recall_;
+  FaultInjector injector_;
+  std::unique_ptr<models::CtrModel> model_;
+  serving::Pipeline pipeline_;
+  serving::Request request_;
+  std::vector<int32_t> candidates_;
+};
+
+TEST_F(PipelineFaultTest, HappyPathIsBitIdenticalToInfalliblePath) {
+  serving::FeatureFaultPolicy policy;
+  pipeline_.EnableFaultTolerance(policy);
+
+  serving::FeatureFetchOutcome outcome;
+  std::vector<data::Example> fallible = pipeline_.BuildExamplesFallible(
+      request_, candidates_, DeadlineIn(1000000), &outcome);
+  EXPECT_FALSE(outcome.degraded);
+  EXPECT_EQ(outcome.retries, 0);
+
+  std::vector<data::Example> plain =
+      pipeline_.BuildExamples(request_, candidates_);
+  ASSERT_EQ(fallible.size(), plain.size());
+  // Same scores => same examples where it matters.
+  auto score = [&](const std::vector<data::Example>& examples) {
+    std::vector<const data::Example*> ptrs;
+    for (const auto& e : examples) ptrs.push_back(&e);
+    return model_->PredictProbs(data::MakeBatch(ptrs, world_.schema()));
+  };
+  std::vector<float> a = score(fallible), b = score(plain);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_F(PipelineFaultTest, FetchFailureDegradesInsteadOfFailing) {
+  FaultSiteConfig kill;
+  kill.error_probability = 1.0;
+  injector_.Configure(serving::kFeatureFetchFaultSite, kill);
+
+  serving::FeatureFaultPolicy policy;
+  policy.retry.max_attempts = 3;
+  policy.retry.initial_backoff_micros = 50;
+  pipeline_.EnableFaultTolerance(policy);
+
+  serving::FeatureFetchOutcome outcome;
+  std::vector<data::Example> examples = pipeline_.BuildExamplesFallible(
+      request_, candidates_, DeadlineIn(1000000), &outcome);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_EQ(outcome.retries, 2);  // three attempts, two retries
+  EXPECT_FALSE(outcome.last_error.ok());
+  // The degraded request still produces a scoreable slate.
+  ASSERT_EQ(examples.size(), candidates_.size());
+  std::vector<const data::Example*> ptrs;
+  for (const auto& e : examples) ptrs.push_back(&e);
+  std::vector<float> scores =
+      model_->PredictProbs(data::MakeBatch(ptrs, world_.schema()));
+  auto slate =
+      serving::Pipeline::MakeSlate(candidates_, scores, /*expose_k=*/4);
+  EXPECT_EQ(slate.size(), 4u);
+}
+
+TEST_F(PipelineFaultTest, DeadlineBudgetStopsRetrying) {
+  FaultSiteConfig kill;
+  kill.error_probability = 1.0;
+  injector_.Configure(serving::kFeatureFetchFaultSite, kill);
+
+  serving::FeatureFaultPolicy policy;
+  policy.retry.max_attempts = 10;
+  policy.retry.initial_backoff_micros = 50000;  // 50ms per backoff
+  policy.retry.jitter = 0.0;
+  pipeline_.EnableFaultTolerance(policy);
+
+  serving::FeatureFetchOutcome outcome;
+  auto start = std::chrono::steady_clock::now();
+  // 5ms budget < one backoff: the loop must give up after the first try.
+  pipeline_.BuildExamplesFallible(request_, candidates_, DeadlineIn(5000),
+                                  &outcome);
+  auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_EQ(outcome.retries, 0);
+  EXPECT_LT(waited, std::chrono::milliseconds(40));
+}
+
+TEST_F(PipelineFaultTest, OpenBreakerShortCircuitsTheFetch) {
+  FaultSiteConfig kill;
+  kill.error_probability = 1.0;
+  injector_.Configure(serving::kFeatureFetchFaultSite, kill);
+
+  CircuitBreakerConfig breaker_config;
+  breaker_config.failure_threshold = 2;
+  breaker_config.open_micros = 60 * 1000 * 1000;
+  CircuitBreaker breaker(breaker_config);
+
+  serving::FeatureFaultPolicy policy;
+  policy.retry.max_attempts = 5;
+  policy.retry.initial_backoff_micros = 10;
+  policy.breaker = &breaker;
+  pipeline_.EnableFaultTolerance(policy);
+
+  // First request: fails, trips the breaker mid-retry-loop.
+  serving::FeatureFetchOutcome outcome;
+  pipeline_.BuildExamplesFallible(request_, candidates_, DeadlineIn(1000000),
+                                  &outcome);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_TRUE(outcome.breaker_opened);
+  int64_t calls_after_first =
+      injector_.SiteStats(serving::kFeatureFetchFaultSite).calls;
+  EXPECT_EQ(calls_after_first, 2);  // stopped at the trip, not max_attempts
+
+  // Second request: short-circuited, zero fetch attempts.
+  pipeline_.BuildExamplesFallible(request_, candidates_, DeadlineIn(1000000),
+                                  &outcome);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_TRUE(outcome.short_circuited);
+  EXPECT_EQ(injector_.SiteStats(serving::kFeatureFetchFaultSite).calls,
+            calls_after_first);
+}
+
+}  // namespace
+}  // namespace basm

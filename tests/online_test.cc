@@ -1,5 +1,7 @@
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -104,6 +106,63 @@ TEST(ModelRegistryTest, CollectedSnapshotStaysReadableWhileHeld) {
   // registry index entry.
   EXPECT_EQ(held->version, 1u);
   EXPECT_FALSE(held->bytes.empty());
+}
+
+TEST(ModelRegistryTest, SaveHeadLoadHeadRoundTripsTheImage) {
+  const std::string path = ::testing::TempDir() + "basm_registry_head.bin";
+  std::remove(path.c_str());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish(TestImage(1), "v1").ok());
+  ASSERT_TRUE(registry.Publish(TestImage(2), "v2").ok());
+  ASSERT_TRUE(registry.SaveHead(path).ok());
+  // The atomic-rename protocol leaves no temp file behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  ModelRegistry restored;
+  auto version = restored.LoadHead(path, "restored");
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(version.value(), 1u);  // fresh process, fresh version counter
+  ASSERT_NE(restored.Head(), nullptr);
+  EXPECT_EQ(restored.Head()->note, "restored");
+  // Byte-for-byte the head that was saved: same image, same checksum.
+  EXPECT_EQ(restored.Head()->bytes, registry.Head()->bytes);
+  EXPECT_EQ(restored.Head()->checksum, registry.Head()->checksum);
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistryTest, LoadHeadRejectsCorruptFileAndLeavesRegistryAlone) {
+  const std::string path = ::testing::TempDir() + "basm_registry_bad.bin";
+  {
+    std::string image = TestImage(3);
+    image[image.size() / 2] ^= 0x01;  // payload bit flip
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish(TestImage(4), "good").ok());
+  auto version = registry.LoadHead(path);
+  ASSERT_FALSE(version.ok());
+  // The Status names the offending file and carries the codec's reason.
+  EXPECT_NE(version.status().message().find(path), std::string::npos);
+  EXPECT_NE(version.status().message().find("rejected"), std::string::npos);
+  // The good head is untouched.
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Head()->note, "good");
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistryTest, PersistenceEdgeCases) {
+  const std::string missing =
+      ::testing::TempDir() + "basm_registry_never_written.bin";
+  std::remove(missing.c_str());
+  ModelRegistry registry;
+  // Empty registry: nothing to save.
+  EXPECT_EQ(registry.SaveHead(missing).code(), StatusCode::kNotFound);
+  // Missing file: clean NotFound, not a crash or a corrupt-image error.
+  EXPECT_EQ(registry.LoadHead(missing).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.size(), 0u);
 }
 
 // -------------------------------------------------------------- slot ----
@@ -319,6 +378,57 @@ TEST_F(OnlineTrainerTest, FullStreamDropsFeedbackWithoutBlocking) {
   }
   EXPECT_EQ(accepted, 4);
   EXPECT_EQ(trainer.stats().dropped, 2);
+}
+
+/// Satellite acceptance: a poisoned update is rejected by the publish gate
+/// — the pinned version keeps serving, the rejection is counted, and a
+/// later healthy update still publishes.
+TEST_F(OnlineTrainerTest, PublishGateRejectsPoisonedUpdate) {
+  ModelRegistry registry;
+  ModelSlot slot;
+  OnlineTrainer trainer(world_->schema(), &registry, &slot, TrainerConfig());
+  ASSERT_TRUE(trainer.PublishModel(*SmallModel(world_->schema(), 13),
+                                   "bootstrap")
+                  .ok());
+
+  // The gate: a holdout-metric stand-in that fails while `poisoned` is up.
+  std::atomic<bool> poisoned{true};
+  trainer.SetPublishGate([&](const models::CtrModel& candidate) {
+    EXPECT_FALSE(candidate.training());  // gate sees the eval-mode model
+    if (poisoned.load()) {
+      return Status::OutOfRange("holdout AUC below floor");
+    }
+    return Status::Ok();
+  });
+
+  std::vector<data::Example> clicks = Feedback(/*user=*/6, 8, /*seed=*/55);
+  for (data::Example& e : clicks) ASSERT_TRUE(trainer.SubmitFeedback(e));
+  Status rejected = trainer.PublishNow("poisoned");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(rejected.message().find("holdout AUC below floor"),
+            std::string::npos);
+
+  // Nothing moved: registry head and serving slot still the bootstrap.
+  OnlineTrainerStats stats = trainer.stats();
+  EXPECT_EQ(stats.rejected_publishes, 1);
+  EXPECT_EQ(stats.published, 0);
+  EXPECT_EQ(registry.head_version(), 1u);
+  EXPECT_EQ(slot.current_version(), 1u);
+  // The poisoned buffer was discarded, not kept for a doomed retrain.
+  EXPECT_EQ(stats.buffered, 0);
+  EXPECT_EQ(trainer.PublishNow().code(), StatusCode::kInvalidArgument);
+
+  // Healthy data with the gate passing publishes normally again.
+  poisoned.store(false);
+  std::vector<data::Example> good = Feedback(/*user=*/7, 8, /*seed=*/56);
+  for (data::Example& e : good) ASSERT_TRUE(trainer.SubmitFeedback(e));
+  ASSERT_TRUE(trainer.PublishNow("healthy").ok());
+  stats = trainer.stats();
+  EXPECT_EQ(stats.published, 1);
+  EXPECT_EQ(stats.rejected_publishes, 1);
+  EXPECT_EQ(registry.head_version(), 2u);
+  EXPECT_EQ(slot.current_version(), 2u);
 }
 
 // ---------------------------------------------------------- hot swap ----

@@ -162,8 +162,10 @@ TEST(MicroBatcherTest, EffectiveWaitRampsWithQueueDepth) {
 
   BatchPolicy adaptive{4, 200, 8, 1000};
   EXPECT_EQ(adaptive.EffectiveWaitMicros(0), 200);   // idle: tight window
+  EXPECT_EQ(adaptive.EffectiveWaitMicros(1), 300);   // first step of the ramp
   EXPECT_EQ(adaptive.EffectiveWaitMicros(4), 600);   // halfway up the ramp
-  EXPECT_EQ(adaptive.EffectiveWaitMicros(8), 1000);  // fully pressured
+  EXPECT_EQ(adaptive.EffectiveWaitMicros(7), 900);   // just below saturation
+  EXPECT_EQ(adaptive.EffectiveWaitMicros(8), 1000);  // exactly at pressure depth
   EXPECT_EQ(adaptive.EffectiveWaitMicros(64), 1000);  // clamped
 }
 
