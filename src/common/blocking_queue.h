@@ -2,13 +2,12 @@
 #define BASM_COMMON_BLOCKING_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "common/logging.h"
+#include "common/synchronization.h"
 
 namespace basm {
 
@@ -35,91 +34,93 @@ class BlockingQueue {
   /// Non-blocking push; false when full or shut down. Takes an rvalue
   /// reference so a rejected item is NOT consumed — the caller keeps it and
   /// can fail the request it represents.
-  bool TryPush(T&& item) {
+  bool TryPush(T&& item) BASM_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (shutdown_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.Signal();
     return true;
   }
 
   /// Blocking push; waits while full, returns false once shut down (the
   /// item is then left with the caller).
-  bool Push(T&& item) {
+  bool Push(T&& item) BASM_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock,
-                     [&] { return shutdown_ || items_.size() < capacity_; });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && items_.size() >= capacity_) not_full_.Wait(mu_);
       if (shutdown_) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.Signal();
     return true;
   }
 
   /// Blocks until an item is available; nullopt once shut down and drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return shutdown_ || !items_.empty(); });
+  std::optional<T> Pop() BASM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (!shutdown_ && items_.empty()) not_empty_.Wait(mu_);
     return PopLocked();
   }
 
   /// Pop with a timeout; nullopt on timeout or shutdown-and-drained.
   template <typename Rep, typename Period>
-  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait_for(lock, timeout,
-                        [&] { return shutdown_ || !items_.empty(); });
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout)
+      BASM_EXCLUDES(mu_) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(&mu_);
+    while (!shutdown_ && items_.empty()) {
+      if (!not_empty_.WaitUntil(mu_, deadline) && items_.empty()) break;
+    }
     return PopLocked();
   }
 
   /// Non-blocking pop; nullopt when empty.
-  std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lock(mu_);
+  std::optional<T> TryPop() BASM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return PopLocked();
   }
 
   /// Stops accepting pushes and wakes every waiter. Queued items remain
   /// poppable until the queue is empty (drain semantics).
-  void Shutdown() {
+  void Shutdown() BASM_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       shutdown_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.SignalAll();
+    not_full_.SignalAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const BASM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
-  bool shut_down() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool shut_down() const BASM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return shutdown_;
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
-  /// Requires mu_ held. Pops the head if present; notifies a producer.
-  std::optional<T> PopLocked() {
+  /// Pops the head if present; notifies a producer.
+  std::optional<T> PopLocked() BASM_REQUIRES(mu_) {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.Signal();
     return item;
   }
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ BASM_GUARDED_BY(mu_);
+  bool shutdown_ BASM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace basm

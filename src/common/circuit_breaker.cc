@@ -15,7 +15,7 @@ CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
 }
 
 bool CircuitBreaker::Allow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -42,7 +42,7 @@ bool CircuitBreaker::Allow() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   switch (state_) {
     case State::kClosed:
       consecutive_failures_ = 0;
@@ -63,7 +63,7 @@ void CircuitBreaker::RecordSuccess() {
 }
 
 bool CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   switch (state_) {
     case State::kClosed:
       if (++consecutive_failures_ >= config_.failure_threshold) {
@@ -90,7 +90,7 @@ bool CircuitBreaker::RecordFailure() {
 }
 
 CircuitBreaker::Stats CircuitBreaker::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Stats s = counters_;
   s.state = state_;
   s.consecutive_failures = consecutive_failures_;
@@ -98,7 +98,7 @@ CircuitBreaker::Stats CircuitBreaker::stats() const {
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return state_;
 }
 

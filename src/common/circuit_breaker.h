@@ -3,8 +3,9 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
+
+#include "common/synchronization.h"
 
 namespace basm {
 
@@ -40,13 +41,13 @@ class CircuitBreaker {
   /// Admission check before calling the dependency. False means
   /// short-circuit: skip the call and take the degraded path. May perform
   /// the open -> half-open transition when the open window has elapsed.
-  bool Allow();
+  bool Allow() BASM_EXCLUDES(mu_);
 
   /// Reports an admitted call's outcome. RecordFailure returns true when
   /// this failure tripped the breaker (closed/half-open -> open) — the
   /// caller's hook for a "breaker opened" metric.
-  void RecordSuccess();
-  bool RecordFailure();
+  void RecordSuccess() BASM_EXCLUDES(mu_);
+  bool RecordFailure() BASM_EXCLUDES(mu_);
 
   /// Counters and current state (state is sampled without forcing the
   /// open -> half-open transition; Allow does that).
@@ -58,8 +59,8 @@ class CircuitBreaker {
     int64_t closes = 0;          ///< half-open -> closed transitions
     int64_t short_circuits = 0;  ///< calls rejected by Allow
   };
-  Stats stats() const;
-  State state() const;
+  Stats stats() const BASM_EXCLUDES(mu_);
+  State state() const BASM_EXCLUDES(mu_);
 
   const CircuitBreakerConfig& config() const { return config_; }
 
@@ -69,13 +70,13 @@ class CircuitBreaker {
   using Clock = std::chrono::steady_clock;
 
   const CircuitBreakerConfig config_;
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
-  int32_t consecutive_failures_ = 0;
-  int32_t half_open_inflight_ = 0;
-  int32_t half_open_successes_ = 0;
-  Clock::time_point open_until_{};
-  Stats counters_;
+  mutable Mutex mu_;
+  State state_ BASM_GUARDED_BY(mu_) = State::kClosed;
+  int32_t consecutive_failures_ BASM_GUARDED_BY(mu_) = 0;
+  int32_t half_open_inflight_ BASM_GUARDED_BY(mu_) = 0;
+  int32_t half_open_successes_ BASM_GUARDED_BY(mu_) = 0;
+  Clock::time_point open_until_ BASM_GUARDED_BY(mu_){};
+  Stats counters_ BASM_GUARDED_BY(mu_);
 };
 
 }  // namespace basm

@@ -15,7 +15,7 @@ void FaultInjector::Configure(const std::string& site,
   BASM_CHECK_LE(config.error_probability, 1.0);
   BASM_CHECK_GE(config.spike_probability, 0.0);
   BASM_CHECK_LE(config.spike_probability, 1.0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Site& s = sites_[site];
   s.config = std::move(config);
   // Re-fork with a fresh tag so reconfiguring mid-run yields a stream that
@@ -25,13 +25,13 @@ void FaultInjector::Configure(const std::string& site,
 }
 
 void FaultInjector::SetDefaultConfig(FaultSiteConfig config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   has_default_ = true;
   default_config_ = std::move(config);
 }
 
 FaultDecision FaultInjector::Evaluate(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) {
     if (!has_default_) return FaultDecision{};
@@ -69,7 +69,7 @@ FaultDecision FaultInjector::Evaluate(const std::string& site) {
 }
 
 FaultSiteStats FaultInjector::SiteStats(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? FaultSiteStats{} : it->second.stats;
 }

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 
 namespace basm {
 
@@ -64,20 +64,21 @@ class FaultInjector {
   /// Installs (or replaces) a site's fault process. Replacing resets the
   /// site's call counter and re-forks its RNG stream, so reconfiguration
   /// is itself deterministic.
-  void Configure(const std::string& site, FaultSiteConfig config);
+  void Configure(const std::string& site, FaultSiteConfig config)
+      BASM_EXCLUDES(mu_);
 
   /// Advances the site's fault process by one call and returns what to
   /// inject. Unconfigured sites return a clean decision, unless a default
   /// config is set (see SetDefaultConfig) — then they are configured from
   /// it on first evaluation.
-  FaultDecision Evaluate(const std::string& site);
+  FaultDecision Evaluate(const std::string& site) BASM_EXCLUDES(mu_);
 
   /// Fault process applied to any site evaluated before being configured
   /// explicitly — how the env-driven injector reaches every fault point
   /// without knowing their names.
-  void SetDefaultConfig(FaultSiteConfig config);
+  void SetDefaultConfig(FaultSiteConfig config) BASM_EXCLUDES(mu_);
 
-  FaultSiteStats SiteStats(const std::string& site) const;
+  FaultSiteStats SiteStats(const std::string& site) const BASM_EXCLUDES(mu_);
 
   uint64_t seed() const { return seed_; }
 
@@ -96,11 +97,11 @@ class FaultInjector {
   };
 
   const uint64_t seed_;
-  mutable std::mutex mu_;
-  std::map<std::string, Site> sites_;
-  uint64_t next_site_tag_ = 1;
-  bool has_default_ = false;
-  FaultSiteConfig default_config_;
+  mutable Mutex mu_;
+  std::map<std::string, Site> sites_ BASM_GUARDED_BY(mu_);
+  uint64_t next_site_tag_ BASM_GUARDED_BY(mu_) = 1;
+  bool has_default_ BASM_GUARDED_BY(mu_) = false;
+  FaultSiteConfig default_config_ BASM_GUARDED_BY(mu_);
 };
 
 }  // namespace basm

@@ -2,7 +2,7 @@
 #define BASM_COMMON_LOGGING_H_
 
 #include <cstdlib>
-#include <iostream>
+#include <ostream>
 #include <sstream>
 #include <string>
 

@@ -1,0 +1,146 @@
+#ifndef BASM_COMMON_SYNCHRONIZATION_H_
+#define BASM_COMMON_SYNCHRONIZATION_H_
+
+#include <chrono>
+#include <condition_variable>  // basm-lint: allow(raw-mutex)
+#include <mutex>               // basm-lint: allow(raw-mutex)
+
+namespace basm {
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety annotations (-Wthread-safety). Under Clang these make
+// the locking rules machine-checked at compile time: every shared field
+// declares the mutex that guards it (BASM_GUARDED_BY), every *Locked()
+// helper declares the mutex it expects held (BASM_REQUIRES), and the
+// analysis rejects any access path that does not prove the lock. Under
+// other compilers they expand to nothing. The project convention (enforced
+// by tools/basm_lint) is that all locking goes through basm::Mutex /
+// MutexLock / CondVar below, never raw std::mutex, so the annotations can
+// never be bypassed by an unannotated lock type.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#define BASM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BASM_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define BASM_CAPABILITY(x) BASM_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define BASM_SCOPED_CAPABILITY BASM_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be read/written with the given mutex held.
+#define BASM_GUARDED_BY(x) BASM_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be accessed with the given mutex held.
+#define BASM_PT_GUARDED_BY(x) BASM_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function may only be called with the given mutex(es) held.
+#define BASM_REQUIRES(...) \
+  BASM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the given mutex(es) and does not release them.
+#define BASM_ACQUIRE(...) \
+  BASM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the given mutex(es).
+#define BASM_RELEASE(...) \
+  BASM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the mutex(es) when it returns `ret`.
+#define BASM_TRY_ACQUIRE(ret, ...) \
+  BASM_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+/// Function may only be called with the given mutex(es) NOT held
+/// (deadlock-prevention: public entry points that lock internally).
+#define BASM_EXCLUDES(...) BASM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Runtime assertion to the analysis that the capability is held.
+#define BASM_ASSERT_CAPABILITY(x) \
+  BASM_THREAD_ANNOTATION(assert_capability(x))
+/// Annotates a function returning a reference to the given capability.
+#define BASM_RETURN_CAPABILITY(x) BASM_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: disables analysis inside one function (init/teardown
+/// paths that are single-threaded by construction).
+#define BASM_NO_THREAD_SAFETY_ANALYSIS \
+  BASM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+class CondVar;
+
+/// Annotated exclusive mutex — the only lock type the project uses (see
+/// tools/basm_lint rule `raw-mutex`). A thin wrapper over std::mutex whose
+/// Lock/Unlock carry acquire/release attributes, so Clang's thread-safety
+/// analysis can track it.
+class BASM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() BASM_ACQUIRE() { mu_.lock(); }
+  void Unlock() BASM_RELEASE() { mu_.unlock(); }
+  bool TryLock() BASM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis (not the runtime) that this mutex is held — for
+  /// callbacks invoked under a lock the analysis cannot see across.
+  void AssertHeld() const BASM_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for basm::Mutex. Scoped-capability annotated: the analysis
+/// treats construction as acquiring `mu` and scope exit as releasing it.
+class BASM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) BASM_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() BASM_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with basm::Mutex. Wait/WaitFor/WaitUntil
+/// require the mutex held (the annotation contract: the lock is held on
+/// entry and again on return, even though the wait releases it inside).
+/// There is no predicate overload on purpose — callers loop themselves,
+/// which keeps the lost-wakeup reasoning local to the call site.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken); `mu` must be held.
+  void Wait(Mutex& mu) BASM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Waits until `deadline`; false when the deadline passed without a
+  /// notification (callers re-check their predicate either way).
+  template <typename Clock, typename Duration>
+  bool WaitUntil(Mutex& mu,
+                 std::chrono::time_point<Clock, Duration> deadline)
+      BASM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status != std::cv_status::timeout;
+  }
+
+  /// Waits at most `timeout`; false on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      BASM_REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace basm
+
+#endif  // BASM_COMMON_SYNCHRONIZATION_H_

@@ -7,7 +7,7 @@
 namespace basm {
 
 ThreadPool::ThreadPool(int32_t num_threads, size_t queue_capacity)
-    : tasks_(queue_capacity) {
+    : num_threads_(num_threads), tasks_(queue_capacity) {
   BASM_CHECK_GT(num_threads, 0);
   threads_.reserve(num_threads);
   for (int32_t i = 0; i < num_threads; ++i) {
@@ -24,6 +24,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::Shutdown() {
   tasks_.Shutdown();
+  MutexLock lock(&mu_);
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }

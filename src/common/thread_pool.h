@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/synchronization.h"
 
 namespace basm {
 
@@ -30,18 +31,21 @@ class ThreadPool {
   bool Submit(std::function<void()> task);
 
   /// Stops accepting tasks, drains the backlog, joins all workers.
-  /// Idempotent.
-  void Shutdown();
+  /// Idempotent, and safe to call from several threads at once (the
+  /// lifecycle mutex makes exactly one caller perform each join).
+  void Shutdown() BASM_EXCLUDES(mu_);
 
-  int32_t num_threads() const {
-    return static_cast<int32_t>(threads_.size());
-  }
+  int32_t num_threads() const { return num_threads_; }
 
  private:
   void WorkerLoop();
 
+  const int32_t num_threads_;
   BlockingQueue<std::function<void()>> tasks_;
-  std::vector<std::thread> threads_;
+  /// Guards the joins: threads_ is written once in the constructor
+  /// (single-threaded by construction) and consumed by Shutdown.
+  Mutex mu_;
+  std::vector<std::thread> threads_ BASM_GUARDED_BY(mu_);
 };
 
 }  // namespace basm

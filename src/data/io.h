@@ -12,15 +12,15 @@ namespace basm::data {
 /// sequences) to a self-describing binary file, so expensive generation
 /// runs can be reused across bench invocations and shared between the
 /// offline trainer and the serving simulator.
-Status SaveDataset(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Status SaveDataset(const Dataset& dataset, const std::string& path);
 
 /// Loads a dataset written by SaveDataset. Fails with InvalidArgument on a
 /// foreign or version-mismatched file and Internal on truncation.
-StatusOr<Dataset> LoadDataset(const std::string& path);
+[[nodiscard]] StatusOr<Dataset> LoadDataset(const std::string& path);
 
 /// Writes the impression table as CSV (one row per impression, behavior
 /// sequence summarized as its category list) for external analysis tools.
-Status ExportCsv(const Dataset& dataset, const std::string& path,
+[[nodiscard]] Status ExportCsv(const Dataset& dataset, const std::string& path,
                  int64_t max_rows = -1);
 
 }  // namespace basm::data

@@ -26,21 +26,21 @@ std::string SerializeParameters(const Module& module);
 /// identically-structured module. Fails with InvalidArgument on magic /
 /// version / name / shape mismatch and Internal on a truncated or
 /// checksum-corrupted payload.
-Status DeserializeParameters(Module& module, const std::string& bytes);
+[[nodiscard]] Status DeserializeParameters(Module& module, const std::string& bytes);
 
 /// Validates an image's magic, version and payload checksum without
 /// touching a module — the registry's publish-time integrity gate.
-Status VerifyCheckpointImage(const std::string& bytes);
+[[nodiscard]] Status VerifyCheckpointImage(const std::string& bytes);
 
 /// Payload checksum recorded in a (valid v3) image's header; 0 for v2.
 uint64_t CheckpointImageChecksum(const std::string& bytes);
 
 /// Writes the checkpoint image of `module` to a binary file.
-Status SaveParameters(const Module& module, const std::string& path);
+[[nodiscard]] Status SaveParameters(const Module& module, const std::string& path);
 
 /// Reads a checkpoint file and restores it via DeserializeParameters.
 /// Fails with NotFound when the file is missing.
-Status LoadParameters(Module& module, const std::string& path);
+[[nodiscard]] Status LoadParameters(Module& module, const std::string& path);
 
 }  // namespace basm::nn
 

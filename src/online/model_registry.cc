@@ -22,7 +22,7 @@ StatusOr<uint64_t> ModelRegistry::Publish(std::string bytes,
   snapshot->bytes = std::move(bytes);
   snapshot->note = std::move(note);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snapshot->version = next_version_++;
   uint64_t version = snapshot->version;
   entries_[version] = Entry{std::move(snapshot), /*pinned=*/false};
@@ -31,20 +31,20 @@ StatusOr<uint64_t> ModelRegistry::Publish(std::string bytes,
 }
 
 std::shared_ptr<const RegistrySnapshot> ModelRegistry::Head() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (entries_.empty()) return nullptr;
   return entries_.rbegin()->second.snapshot;
 }
 
 std::shared_ptr<const RegistrySnapshot> ModelRegistry::Get(
     uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(version);
   return it == entries_.end() ? nullptr : it->second.snapshot;
 }
 
 Status ModelRegistry::Pin(uint64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(version);
   if (it == entries_.end()) {
     return Status::NotFound("version " + std::to_string(version) +
@@ -55,7 +55,7 @@ Status ModelRegistry::Pin(uint64_t version) {
 }
 
 Status ModelRegistry::Unpin(uint64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(version);
   if (it == entries_.end()) {
     return Status::NotFound("version " + std::to_string(version) +
@@ -66,7 +66,7 @@ Status ModelRegistry::Unpin(uint64_t version) {
 }
 
 size_t ModelRegistry::GarbageCollect() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return GarbageCollectLocked();
 }
 
@@ -139,7 +139,7 @@ StatusOr<uint64_t> ModelRegistry::LoadHead(const std::string& path,
 }
 
 std::vector<uint64_t> ModelRegistry::Versions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<uint64_t> versions;
   versions.reserve(entries_.size());
   for (const auto& [version, entry] : entries_) versions.push_back(version);
@@ -147,12 +147,12 @@ std::vector<uint64_t> ModelRegistry::Versions() const {
 }
 
 uint64_t ModelRegistry::head_version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.empty() ? 0 : entries_.rbegin()->first;
 }
 
 size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return entries_.size();
 }
 

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/synchronization.h"
 
 namespace basm::online {
 
@@ -41,18 +41,20 @@ class ModelRegistry {
 
   /// Validates and stores a checkpoint image; returns the new version id.
   /// InvalidArgument/Internal when the image fails verification.
-  StatusOr<uint64_t> Publish(std::string bytes, std::string note = "");
+  [[nodiscard]] StatusOr<uint64_t> Publish(std::string bytes,
+                                           std::string note = "");
 
   /// Newest published snapshot; null when the registry is empty.
-  std::shared_ptr<const RegistrySnapshot> Head() const;
+  std::shared_ptr<const RegistrySnapshot> Head() const BASM_EXCLUDES(mu_);
 
   /// A specific version; null when unknown or already collected.
-  std::shared_ptr<const RegistrySnapshot> Get(uint64_t version) const;
+  std::shared_ptr<const RegistrySnapshot> Get(uint64_t version) const
+      BASM_EXCLUDES(mu_);
 
   /// Pin/unpin a version against garbage collection. NotFound when the
   /// version is not (or no longer) in the registry.
-  Status Pin(uint64_t version);
-  Status Unpin(uint64_t version);
+  [[nodiscard]] Status Pin(uint64_t version);
+  [[nodiscard]] Status Unpin(uint64_t version);
 
   /// Drops versions oldest-first until at most `keep_last` remain. Pinned
   /// versions count toward the bound but are never dropped (so retention
@@ -66,15 +68,15 @@ class ModelRegistry {
   /// is the self-describing v3 codec — its own header checksum is the
   /// on-disk integrity record. NotFound when the registry is empty,
   /// Internal on I/O failure.
-  Status SaveHead(const std::string& path) const;
+  [[nodiscard]] Status SaveHead(const std::string& path) const;
 
   /// Restores a SaveHead file as a new published version (the process-
   /// restart path: the version counter restarts, provenance lives in
   /// `note`). The image is checksum-verified by Publish, so a corrupt or
   /// truncated file is rejected with a clear Status and the registry is
   /// left untouched. NotFound when the file is missing.
-  StatusOr<uint64_t> LoadHead(const std::string& path,
-                              std::string note = "restored");
+  [[nodiscard]] StatusOr<uint64_t> LoadHead(const std::string& path,
+                                            std::string note = "restored");
 
   /// Versions currently retained, ascending.
   std::vector<uint64_t> Versions() const;
@@ -89,13 +91,12 @@ class ModelRegistry {
     bool pinned = false;
   };
 
-  /// Requires mu_ held.
-  size_t GarbageCollectLocked();
+  size_t GarbageCollectLocked() BASM_REQUIRES(mu_);
 
   const size_t keep_last_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, Entry> entries_;
-  uint64_t next_version_ = 1;
+  mutable Mutex mu_;
+  std::map<uint64_t, Entry> entries_ BASM_GUARDED_BY(mu_);
+  uint64_t next_version_ BASM_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace basm::online

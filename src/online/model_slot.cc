@@ -31,7 +31,7 @@ ModelSlot::ModelSlot(std::shared_ptr<const ServableModel> initial) {
 }
 
 std::shared_ptr<const ServableModel> ModelSlot::Acquire() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return current_;
 }
 
@@ -42,7 +42,7 @@ void ModelSlot::Install(std::shared_ptr<const ServableModel> next) {
       << "cannot install a training-mode model into a serving slot";
   std::shared_ptr<const ServableModel> previous;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     previous = std::move(current_);
     current_ = std::move(next);
   }
@@ -52,7 +52,7 @@ void ModelSlot::Install(std::shared_ptr<const ServableModel> next) {
 }
 
 uint64_t ModelSlot::current_version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return current_ == nullptr ? 0 : current_->version;
 }
 

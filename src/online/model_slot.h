@@ -4,8 +4,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "common/synchronization.h"
 #include "models/ctr_model.h"
 
 namespace basm::online {
@@ -48,14 +48,14 @@ class ModelSlot {
   /// Snapshot of the current servable; null until the first Install. A
   /// mutex-protected shared_ptr copy — a handful of nanoseconds, paid once
   /// per micro-batch rather than per request.
-  std::shared_ptr<const ServableModel> Acquire() const;
+  std::shared_ptr<const ServableModel> Acquire() const BASM_EXCLUDES(mu_);
 
   /// Publishes `next` to all future Acquire() calls. The previous servable
   /// is released here but destroyed only when its last acquirer finishes.
-  void Install(std::shared_ptr<const ServableModel> next);
+  void Install(std::shared_ptr<const ServableModel> next) BASM_EXCLUDES(mu_);
 
   /// Version of the currently-installed servable (0 when empty).
-  uint64_t current_version() const;
+  uint64_t current_version() const BASM_EXCLUDES(mu_);
 
   /// Number of Install() calls so far.
   int64_t swap_count() const {
@@ -63,8 +63,8 @@ class ModelSlot {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const ServableModel> current_;
+  mutable Mutex mu_;
+  std::shared_ptr<const ServableModel> current_ BASM_GUARDED_BY(mu_);
   std::atomic<int64_t> swaps_{0};
 };
 

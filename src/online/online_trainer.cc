@@ -23,7 +23,8 @@ OnlineTrainer::OnlineTrainer(const data::Schema& schema,
       registry_(registry),
       slot_(slot),
       config_(std::move(config)),
-      feedback_(config_.feedback_capacity) {
+      feedback_(config_.feedback_capacity),
+      gate_(config_.publish_gate) {
   BASM_CHECK(registry_ != nullptr);
   BASM_CHECK_GT(config_.publish_every, 0);
 }
@@ -48,14 +49,14 @@ Status OnlineTrainer::PublishModel(const models::CtrModel& model,
 }
 
 void OnlineTrainer::Start() {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  MutexLock lock(&lifecycle_mu_);
   BASM_CHECK(!started_) << "OnlineTrainer started twice";
   started_ = true;
   thread_ = std::thread([this] { Loop(); });
 }
 
 void OnlineTrainer::Stop() {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  MutexLock lock(&lifecycle_mu_);
   if (stopped_) return;
   stopped_ = true;
   feedback_.Shutdown();
@@ -74,7 +75,7 @@ void OnlineTrainer::Loop() {
   while (true) {
     std::optional<data::Example> item = feedback_.Pop();
     if (!item.has_value()) return;  // stream shut down and drained
-    std::lock_guard<std::mutex> lock(update_mu_);
+    MutexLock lock(&update_mu_);
     buffer_.push_back(std::move(*item));
     consumed_.fetch_add(1, std::memory_order_relaxed);
     buffered_.store(static_cast<int64_t>(buffer_.size()),
@@ -90,7 +91,7 @@ void OnlineTrainer::Loop() {
 }
 
 Status OnlineTrainer::PublishNow(std::string note) {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  MutexLock lock(&update_mu_);
   while (std::optional<data::Example> item = feedback_.TryPop()) {
     buffer_.push_back(std::move(*item));
     consumed_.fetch_add(1, std::memory_order_relaxed);
@@ -131,8 +132,8 @@ Status OnlineTrainer::UpdateLocked(const std::string& note) {
   // registry or the slot — the pinned head keeps serving, and the buffer
   // that produced the bad update is discarded rather than retrained (a
   // poisoned batch would fail the gate forever).
-  if (config_.publish_gate) {
-    Status gate = config_.publish_gate(*model);
+  if (gate_) {
+    Status gate = gate_(*model);
     if (!gate.ok()) {
       buffer_.clear();
       buffered_.store(0, std::memory_order_relaxed);
@@ -173,8 +174,8 @@ StatusOr<std::unique_ptr<models::CtrModel>> OnlineTrainer::BuildModel(
 void OnlineTrainer::SetPublishGate(
     std::function<Status(const models::CtrModel&)> gate) {
   // update_mu_ serializes against UpdateLocked's read of the gate.
-  std::lock_guard<std::mutex> lock(update_mu_);
-  config_.publish_gate = std::move(gate);
+  MutexLock lock(&update_mu_);
+  gate_ = std::move(gate);
 }
 
 OnlineTrainerStats OnlineTrainer::stats() const {

@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/blocking_queue.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "data/schema.h"
 #include "models/model_zoo.h"
 #include "online/model_registry.h"
@@ -79,16 +79,17 @@ class OnlineTrainer {
   /// Serializes a caller-trained eval-mode model, publishes it, and
   /// installs it into the slot — the bootstrap step that seeds the
   /// registry before incremental updates begin.
-  Status PublishModel(const models::CtrModel& model, std::string note);
+  [[nodiscard]] Status PublishModel(const models::CtrModel& model,
+                                    std::string note);
 
   /// Starts the background consume/train/publish thread. Idempotent-safe
   /// to call once; CHECKs on a second start.
-  void Start();
+  void Start() BASM_EXCLUDES(lifecycle_mu_);
 
   /// Shuts the feedback stream, lets the thread finish any in-progress
   /// update, and joins it. Buffered-but-untrained feedback is kept (a
   /// later PublishNow can still train on it). Idempotent.
-  void Stop();
+  void Stop() BASM_EXCLUDES(lifecycle_mu_);
 
   /// Enqueues one click-feedback example; false (and counted as dropped)
   /// when the stream is full or stopped. Never blocks the caller — this
@@ -98,35 +99,45 @@ class OnlineTrainer {
   /// Synchronously drains the stream into the buffer and runs one
   /// incremental update now (tests and benches use this for deterministic
   /// publish points). InvalidArgument when there is nothing buffered.
-  Status PublishNow(std::string note = "");
+  [[nodiscard]] Status PublishNow(std::string note = "")
+      BASM_EXCLUDES(update_mu_);
 
   OnlineTrainerStats stats() const;
 
   /// Replaces the publish gate (see OnlineTrainerConfig::publish_gate).
-  /// Safe to call while the background loop runs.
-  void SetPublishGate(
-      std::function<Status(const models::CtrModel&)> gate);
+  /// Safe to call while the background loop runs: the live gate is kept
+  /// outside config_ under update_mu_, so swapping it never races with a
+  /// concurrent config() reader.
+  void SetPublishGate(std::function<Status(const models::CtrModel&)> gate)
+      BASM_EXCLUDES(update_mu_);
 
+  /// Immutable after construction (the mutable publish gate lives in
+  /// gate_, not here).
   const OnlineTrainerConfig& config() const { return config_; }
 
  private:
-  void Loop();
-  /// Requires update_mu_ held: warm-start from head, fit the buffer,
-  /// publish, install.
-  Status UpdateLocked(const std::string& note);
+  void Loop() BASM_EXCLUDES(update_mu_);
+  /// Warm-start from head, fit the buffer, publish, install.
+  [[nodiscard]] Status UpdateLocked(const std::string& note)
+      BASM_REQUIRES(update_mu_);
   /// Materializes an owned eval-mode model from a checkpoint image.
-  StatusOr<std::unique_ptr<models::CtrModel>> BuildModel(
+  [[nodiscard]] StatusOr<std::unique_ptr<models::CtrModel>> BuildModel(
       const std::string& bytes) const;
 
   const data::Schema& schema_;
   ModelRegistry* registry_;
   ModelSlot* slot_;
-  OnlineTrainerConfig config_;
+  const OnlineTrainerConfig config_;
 
   BlockingQueue<data::Example> feedback_;
-  /// Serializes updates (background loop vs PublishNow) and guards buffer_.
-  std::mutex update_mu_;
-  std::vector<data::Example> buffer_;
+  /// Serializes updates (background loop vs PublishNow) and guards the
+  /// feedback buffer and the live publish gate.
+  Mutex update_mu_;
+  std::vector<data::Example> buffer_ BASM_GUARDED_BY(update_mu_);
+  /// Live gate consulted by UpdateLocked; seeded from config_.publish_gate
+  /// and replaceable at runtime via SetPublishGate.
+  std::function<Status(const models::CtrModel&)> gate_
+      BASM_GUARDED_BY(update_mu_);
 
   std::atomic<int64_t> consumed_{0};
   std::atomic<int64_t> dropped_{0};
@@ -136,10 +147,10 @@ class OnlineTrainer {
   std::atomic<uint64_t> last_version_{0};
   std::atomic<double> last_update_seconds_{0.0};
 
-  std::mutex lifecycle_mu_;
-  std::thread thread_;
-  bool started_ = false;
-  bool stopped_ = false;
+  Mutex lifecycle_mu_;
+  std::thread thread_ BASM_GUARDED_BY(lifecycle_mu_);
+  bool started_ BASM_GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ BASM_GUARDED_BY(lifecycle_mu_) = false;
 };
 
 }  // namespace basm::online

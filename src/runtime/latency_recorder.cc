@@ -157,7 +157,7 @@ LatencySnapshot LatencyRecorder::Snapshot() const {
 }
 
 LatencySnapshot LatencyRecorder::IntervalSnapshot() {
-  std::lock_guard<std::mutex> lock(interval_mu_);
+  MutexLock lock(&interval_mu_);
   Totals now = MergeShards();
   Totals delta;
   delta.count = now.count - interval_base_.count;

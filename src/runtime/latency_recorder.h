@@ -4,10 +4,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/synchronization.h"
 #include "common/timer.h"
 
 namespace basm::runtime {
@@ -72,7 +72,7 @@ class LatencyRecorder {
   /// wall time. Recording stays wait-free — the interval state is a
   /// subtraction baseline, shards are never reset. Concurrent callers get
   /// disjoint windows.
-  LatencySnapshot IntervalSnapshot();
+  LatencySnapshot IntervalSnapshot() BASM_EXCLUDES(interval_mu_);
 
   /// Restarts the qps clock without clearing counters (used after warmup).
   void ResetClock() { timer_.Reset(); }
@@ -122,10 +122,10 @@ class LatencyRecorder {
   std::array<Shard, kShards> shards_{};
   WallTimer timer_;
 
-  /// Baseline of the current interval window (guarded by interval_mu_).
-  std::mutex interval_mu_;
-  Totals interval_base_;
-  WallTimer interval_timer_;
+  /// Baseline of the current interval window.
+  Mutex interval_mu_;
+  Totals interval_base_ BASM_GUARDED_BY(interval_mu_);
+  WallTimer interval_timer_ BASM_GUARDED_BY(interval_mu_);
 };
 
 }  // namespace basm::runtime

@@ -6,8 +6,15 @@
 
 #include "common/blocking_queue.h"
 #include "common/logging.h"
+#include "common/synchronization.h"
 
 namespace basm::runtime {
+
+/// Coalescing counters of one MicroBatcher (across all worker threads).
+struct MicroBatcherStats {
+  int64_t batches = 0;  ///< non-empty batches closed
+  int64_t items = 0;    ///< items coalesced into them
+};
 
 /// When a worker closes a micro-batch: at `max_batch_size` items, or
 /// `max_wait_micros` after the first item arrived, whichever comes first —
@@ -45,9 +52,9 @@ struct BatchPolicy {
 };
 
 /// Coalesces items from a shared BlockingQueue into micro-batches. Several
-/// workers may call NextBatch() on one MicroBatcher concurrently; the
-/// batcher itself is stateless between calls, so batches never interleave a
-/// single item twice and shutdown drains cleanly.
+/// workers may call NextBatch() on one MicroBatcher concurrently; batching
+/// keeps no state between calls (only counters), so batches never
+/// interleave a single item twice and shutdown drains cleanly.
 template <typename T>
 class MicroBatcher {
  public:
@@ -92,7 +99,18 @@ class MicroBatcher {
       if (!item.has_value()) break;  // timed out, or shutdown and drained
       batch.push_back(std::move(*item));
     }
+    if (!batch.empty()) {
+      MutexLock lock(&mu_);
+      ++stats_.batches;
+      stats_.items += static_cast<int64_t>(batch.size());
+    }
     return batch;
+  }
+
+  /// Batches closed / items coalesced so far (all workers combined).
+  MicroBatcherStats stats() const BASM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
   }
 
   const BatchPolicy& policy() const { return policy_; }
@@ -100,6 +118,8 @@ class MicroBatcher {
  private:
   BlockingQueue<T>* queue_;
   BatchPolicy policy_;
+  mutable Mutex mu_;
+  MicroBatcherStats stats_ BASM_GUARDED_BY(mu_);
 };
 
 }  // namespace basm::runtime

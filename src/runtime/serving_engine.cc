@@ -35,8 +35,13 @@ ServingEngine::ServingEngine(const serving::Pipeline* pipeline,
 ServingEngine::~ServingEngine() { Shutdown(); }
 
 void ServingEngine::Shutdown() {
+  // Held across the drain: a concurrent caller (e.g. the destructor) blocks
+  // until the workers are actually joined instead of returning early.
+  MutexLock lock(&shutdown_mu_);
+  if (shut_down_) return;
   queue_.Shutdown();   // workers drain the backlog, then NextBatch empties
   workers_.Shutdown();  // join
+  shut_down_ = true;
 }
 
 std::future<SlateResult> ServingEngine::Submit(

@@ -9,6 +9,7 @@
 #include "common/blocking_queue.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/synchronization.h"
 #include "common/thread_pool.h"
 #include "runtime/latency_recorder.h"
 #include "runtime/micro_batcher.h"
@@ -98,8 +99,8 @@ class ServingEngine {
                                   int64_t deadline_micros);
 
   /// Stops accepting requests, lets workers drain the backlog, joins them.
-  /// Idempotent; the destructor calls it.
-  void Shutdown();
+  /// Idempotent and safe under concurrent callers; the destructor calls it.
+  void Shutdown() BASM_EXCLUDES(shutdown_mu_);
 
   /// Live metrics since construction (or the last ResetStatsClock()).
   LatencySnapshot Stats() const { return recorder_.Snapshot(); }
@@ -128,7 +129,12 @@ class ServingEngine {
   BlockingQueue<std::unique_ptr<Job>> queue_;
   MicroBatcher<std::unique_ptr<Job>> batcher_;
   LatencyRecorder recorder_;
-  Rng recall_rng_root_;
+  /// Const: workers only Fork() per-request child streams from it, so
+  /// concurrent reads are safe without a lock.
+  const Rng recall_rng_root_;
+  /// Serializes Shutdown so concurrent callers cannot double-join workers.
+  Mutex shutdown_mu_;
+  bool shut_down_ BASM_GUARDED_BY(shutdown_mu_) = false;
   /// Declared last: workers start in the constructor after every other
   /// member is live, and ThreadPool's destructor joins them first.
   ThreadPool workers_;

@@ -45,7 +45,7 @@ class FeatureServer {
   /// errors verbatim), then validates the user id (InvalidArgument instead
   /// of CHECK) and performs the lookup. With no injector configured this
   /// is GetUserFeatures plus one pointer test.
-  StatusOr<UserFeatures> FetchUserFeatures(int32_t user_id) const;
+  [[nodiscard]] StatusOr<UserFeatures> FetchUserFeatures(int32_t user_id) const;
 
   /// Appends a clicked item to the user's history (most recent first).
   void RecordClick(int32_t user_id, const data::BehaviorEvent& event);

@@ -1,0 +1,41 @@
+// Fixture: zero findings expected. Exercises every rule's near-misses:
+// annotated declarations, qualified calls, callable types, comments,
+// string literals, and an inline suppression.
+#ifndef FIXTURE_CLEAN_H_
+#define FIXTURE_CLEAN_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+
+// std::mutex mentioned in a comment is not a finding.
+/* neither is rand() or .detach() inside a block comment */
+
+[[nodiscard]] basm::Status Annotated(const std::string& path);
+
+[[nodiscard]]
+basm::StatusOr<int> AnnotatedOnPreviousLine(const std::string& path);
+
+struct CleanFixture {
+  // Callable types and factory calls are not declarations.
+  std::function<basm::Status(int)> callback;
+  std::string banner = "calls std::rand() and time(nullptr) in a string";
+
+  [[nodiscard]] basm::Status Run() {
+    basm::MutexLock lock(&mu_);
+    return basm::Status::Ok();
+  }
+
+  mutable basm::Mutex mu_;
+  int guarded_value BASM_GUARDED_BY(mu_) = 0;
+};
+
+inline void Suppressed() {
+  std::random_device rd;  // basm-lint: allow(nondeterminism)
+  (void)rd;
+}
+
+#endif  // FIXTURE_CLEAN_H_

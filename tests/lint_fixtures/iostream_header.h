@@ -1,0 +1,5 @@
+// Fixture: iostream-in-header violation on line 3. Never compiled.
+#ifndef FIXTURE_IOSTREAM_HEADER_H_
+#include <iostream>
+#define FIXTURE_IOSTREAM_HEADER_H_
+#endif

@@ -1,0 +1,12 @@
+// Fixture: nodiscard-status violations on lines 8 (Status) and 10
+// (StatusOr with nested template args). Never compiled.
+#ifndef FIXTURE_NODISCARD_H_
+#define FIXTURE_NODISCARD_H_
+
+#include "common/status.h"
+
+basm::Status Flush(const std::string& path);
+
+basm::StatusOr<std::unique_ptr<int>> Load(const std::string& path);
+
+#endif  // FIXTURE_NODISCARD_H_

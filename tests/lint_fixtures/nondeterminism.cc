@@ -1,0 +1,9 @@
+// Fixture: nondeterminism violation on line 6 (rand) and line 7
+// (random_device). Never compiled.
+#include <cstdlib>
+
+int Fixture() {
+  int noise = rand();
+  std::random_device rd;
+  return noise + static_cast<int>(rd());
+}

@@ -1,0 +1,11 @@
+// Fixture: raw-mutex violation on line 6 (std::mutex member) and line 9
+// (std::lock_guard). Never compiled; scanned by tests/lint_test.cc.
+#include <string>
+
+struct Fixture {
+  std::mutex mu_;
+
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+};

@@ -1,0 +1,8 @@
+// Fixture: thread-detach violation on line 7. Never compiled.
+#include <thread>
+
+void Fixture() {
+  std::thread t([] {});
+  t.join();
+  std::thread([] {}).detach();
+}

@@ -93,7 +93,9 @@ TEST_F(ServingTest, PipelineServesRankedSlate) {
   // Scores are sorted descending and positions sequential.
   for (size_t i = 0; i < slate.size(); ++i) {
     EXPECT_EQ(slate[i].position, static_cast<int32_t>(i));
-    if (i > 0) EXPECT_LE(slate[i].score, slate[i - 1].score);
+    if (i > 0) {
+      EXPECT_LE(slate[i].score, slate[i - 1].score);
+    }
   }
 }
 

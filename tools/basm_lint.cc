@@ -1,0 +1,53 @@
+// basm_lint: the project's invariant checker. A self-contained token scan
+// (no libclang) that enforces the concurrency and determinism rules the
+// serving stack depends on; see tools/lint.cc for the catalog and DESIGN.md
+// §10 for the rationale. CI runs `basm_lint src tests bench` and fails the
+// build on any finding.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: basm_lint [--list-rules] <file-or-dir>...\n"
+          "Lints C++ sources against the project invariant catalog.\n"
+          "Exits nonzero when any finding is reported.\n"
+          "Suppress one line with: // basm-lint: allow(rule-id)\n");
+      return 0;
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+
+  if (list_rules) {
+    for (const basm::lint::RuleInfo& rule : basm::lint::Rules()) {
+      std::printf("%-20s %s\n", rule.id.c_str(), rule.rationale.c_str());
+    }
+    return 0;
+  }
+
+  if (paths.empty()) {
+    std::fprintf(stderr, "basm_lint: no paths given (try --help)\n");
+    return 2;
+  }
+
+  std::vector<basm::lint::Finding> findings = basm::lint::LintPaths(paths);
+  for (const basm::lint::Finding& finding : findings) {
+    std::printf("%s\n", basm::lint::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "basm_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef BASM_TOOLS_LINT_H_
+#define BASM_TOOLS_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace basm::lint {
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Catalog entry describing one lint rule (drives --list-rules and the
+/// DESIGN.md rule table).
+struct RuleInfo {
+  std::string id;
+  std::string rationale;
+};
+
+/// The project's invariant catalog, in evaluation order.
+std::vector<RuleInfo> Rules();
+
+/// Lints one file's contents. `path` decides which rules apply (header vs
+/// source, per-rule path allowlists). Pure: no filesystem access, so tests
+/// can feed synthetic content.
+std::vector<Finding> LintContent(const std::string& path,
+                                 const std::string& content);
+
+/// Reads and lints one file from disk.
+std::vector<Finding> LintFile(const std::string& path);
+
+/// Lints every C++ file (.h/.hpp/.cc/.cpp) under each path (file or
+/// directory). Directory walks skip build trees, VCS metadata, and
+/// `lint_fixtures` dirs (intentional-violation test data); explicitly named
+/// files are always linted. Results are sorted by file then line.
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths);
+
+/// `file:line: rule-id message` — the CI-greppable report line.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace basm::lint
+
+#endif  // BASM_TOOLS_LINT_H_
