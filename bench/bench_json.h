@@ -1,0 +1,97 @@
+#ifndef BASM_BENCH_BENCH_JSON_H_
+#define BASM_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+// Tiny helper the benches share to maintain BENCH_kernels.json: a flat JSON
+// object whose top-level keys are sections ("kernels", "engine"), each owned
+// by one bench binary. Rewriting only your own section lets micro_ops and
+// micro_engine update the same artifact without clobbering each other.
+
+namespace basm::bench {
+
+// Returns the end offset (one past) of the JSON value starting at `start`,
+// honoring nested braces/brackets and quoted strings. Values here are always
+// objects or arrays; anything else scans to the next top-level ',' or '}'.
+inline size_t JsonValueEnd(const std::string& text, size_t start) {
+  size_t i = start;
+  int depth = 0;
+  bool in_string = false;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (depth == 0) return i;  // closing brace of the enclosing object
+      if (--depth == 0) return i + 1;
+    } else if (c == ',' && depth == 0) {
+      return i;
+    }
+  }
+  return i;
+}
+
+// Reads `path` (treating a missing/invalid file as "{}"), replaces or
+// inserts `"section": value`, and rewrites the file atomically via a temp
+// file + rename. `value` must already be serialized JSON.
+inline bool UpdateBenchJsonSection(const std::string& path,
+                                   const std::string& section,
+                                   const std::string& value) {
+  std::string text = "{}";
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string existing = buf.str();
+      if (existing.find('{') != std::string::npos) text = existing;
+    }
+  }
+
+  const std::string key = "\"" + section + "\"";
+  size_t key_pos = text.find(key);
+  if (key_pos != std::string::npos) {
+    size_t colon = text.find(':', key_pos + key.size());
+    if (colon == std::string::npos) return false;
+    size_t value_start = colon + 1;
+    while (value_start < text.size() &&
+           (text[value_start] == ' ' || text[value_start] == '\n')) {
+      ++value_start;
+    }
+    size_t value_end = JsonValueEnd(text, value_start);
+    text.replace(value_start, value_end - value_start, value);
+  } else {
+    size_t close = text.rfind('}');
+    if (close == std::string::npos) return false;
+    // Non-empty object needs a separating comma before the new entry.
+    size_t open = text.find('{');
+    bool empty = text.find_first_not_of(" \n\t", open + 1) == close;
+    std::string entry = (empty ? "" : ",") + ("\n  " + key + ": " + value);
+    text.insert(close, entry + "\n");
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace basm::bench
+
+#endif  // BASM_BENCH_BENCH_JSON_H_

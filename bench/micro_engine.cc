@@ -14,10 +14,14 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/env.h"
+#include "tensor/arena.h"
 #include "data/synth.h"
 #include "models/model_zoo.h"
 #include "runtime/load_generator.h"
@@ -34,7 +38,15 @@ struct Cell {
   int32_t workers;
   int64_t max_batch;
   int64_t wait_micros;
+  /// Extra threads sharding each slate's scoring; 0 = serial per request.
+  int32_t scoring_threads;
 };
+
+void AppendJsonNumber(std::ostringstream& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out << buf;
+}
 
 }  // namespace
 
@@ -68,34 +80,86 @@ int main() {
   std::printf("\nserial pipeline baseline: %.1f qps (%.2fs)\n", serial.qps,
               serial.wall_seconds);
 
+  // The last rows turn on intra-batch parallel scoring (scoring_threads > 0,
+  // min shard 8 rows) at the large batch sizes where a worker otherwise
+  // serializes many 24-row forwards back to back.
   const std::vector<Cell> cells = {
-      {1, 1, 0},   {1, 4, 200}, {1, 8, 300},
-      {2, 1, 0},   {2, 4, 200}, {2, 8, 300},
-      {4, 1, 0},   {4, 4, 200}, {4, 8, 300},
+      {1, 1, 0, 0},    {1, 4, 200, 0},  {1, 8, 300, 0},
+      {2, 1, 0, 0},    {2, 4, 200, 0},  {2, 8, 300, 0},
+      {4, 1, 0, 0},    {4, 4, 200, 0},  {4, 8, 300, 0},
+      {2, 8, 300, 2},  {2, 16, 300, 2}, {4, 8, 300, 2},
+      {4, 16, 300, 0}, {4, 16, 300, 2},
   };
 
-  std::printf("\n%-8s %-10s %-10s %-9s %-8s %-9s %-9s %-9s %-9s %s\n",
-              "workers", "max_batch", "wait_us", "qps", "speedup", "p50_us",
-              "p95_us", "p99_us", "avg_batch", "rej/to");
+  std::printf("\n%-8s %-10s %-8s %-8s %-9s %-8s %-9s %-9s %-9s %-9s %-10s "
+              "%s\n",
+              "workers", "max_batch", "wait_us", "scoring", "qps", "speedup",
+              "p50_us", "p95_us", "p99_us", "avg_batch", "allocs/req",
+              "rej/to");
+  std::ostringstream engine_json;
+  engine_json << "[";
+  bool first_cell = true;
   for (const Cell& cell : cells) {
     runtime::EngineConfig ec;
     ec.num_workers = cell.workers;
     ec.max_batch_requests = cell.max_batch;
     ec.max_wait_micros = cell.wait_micros;
     ec.queue_capacity = 256;
+    ec.scoring_threads = cell.scoring_threads;
+    ec.min_rows_per_shard = 8;
     runtime::ServingEngine engine(&pipeline, ec);
 
+    const int64_t fresh_before = TensorArena::TotalFreshAllocs();
+    const int64_t reuse_before = TensorArena::TotalReuses();
     runtime::LoadGenerator generator(world, load);
     runtime::LoadReport report = generator.Run(engine);
     runtime::LatencySnapshot snap = engine.Stats();
-    std::printf("%-8d %-10lld %-10lld %-9.1f %-8.2f %-9.0f %-9.0f %-9.0f "
-                "%-9.2f %lld/%lld\n",
+    // Steady-state allocation cost of one request's forward: the arena keeps
+    // this O(1) (a handful of one-off shapes) instead of O(layers).
+    const double allocs_per_request =
+        static_cast<double>(TensorArena::TotalFreshAllocs() - fresh_before) /
+        static_cast<double>(load.num_requests);
+    const double reuses_per_request =
+        static_cast<double>(TensorArena::TotalReuses() - reuse_before) /
+        static_cast<double>(load.num_requests);
+    std::printf("%-8d %-10lld %-8lld %-8d %-9.1f %-8.2f %-9.0f %-9.0f "
+                "%-9.0f %-9.2f %-10.2f %lld/%lld\n",
                 cell.workers, static_cast<long long>(cell.max_batch),
-                static_cast<long long>(cell.wait_micros), report.qps,
-                report.qps / serial.qps, snap.p50_micros, snap.p95_micros,
-                snap.p99_micros, snap.mean_batch_size,
+                static_cast<long long>(cell.wait_micros),
+                cell.scoring_threads, report.qps, report.qps / serial.qps,
+                snap.p50_micros, snap.p95_micros, snap.p99_micros,
+                snap.mean_batch_size, allocs_per_request,
                 static_cast<long long>(snap.rejects),
                 static_cast<long long>(snap.timeouts));
+
+    if (!first_cell) engine_json << ",";
+    first_cell = false;
+    engine_json << "\n    {\"workers\": " << cell.workers
+                << ", \"max_batch\": " << cell.max_batch
+                << ", \"wait_micros\": " << cell.wait_micros
+                << ", \"scoring_threads\": " << cell.scoring_threads
+                << ", \"requests\": " << load.num_requests << ", \"qps\": ";
+    AppendJsonNumber(engine_json, report.qps);
+    engine_json << ", \"p50_micros\": ";
+    AppendJsonNumber(engine_json, snap.p50_micros);
+    engine_json << ", \"p95_micros\": ";
+    AppendJsonNumber(engine_json, snap.p95_micros);
+    engine_json << ", \"p99_micros\": ";
+    AppendJsonNumber(engine_json, snap.p99_micros);
+    engine_json << ", \"allocs_per_request\": ";
+    AppendJsonNumber(engine_json, allocs_per_request);
+    engine_json << ", \"reuses_per_request\": ";
+    AppendJsonNumber(engine_json, reuses_per_request);
+    engine_json << "}";
+  }
+  engine_json << "\n  ]";
+  const std::string json_path =
+      basm::EnvString("BASM_BENCH_JSON", "BENCH_kernels.json");
+  if (basm::bench::UpdateBenchJsonSection(json_path, "engine",
+                                          engine_json.str())) {
+    std::printf("\nwrote \"engine\" section of %s\n", json_path.c_str());
+  } else {
+    std::printf("\nFAILED to write %s\n", json_path.c_str());
   }
 
   // Full detail for the headline configuration, with per-window JSON

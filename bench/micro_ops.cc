@@ -1,12 +1,30 @@
 // Microbenchmarks of the tensor kernels and autograd ops that dominate
 // training time: GEMM variants, batched matmul (attention / instance-wise
 // dynamic layers), embedding gather/scatter, softmax and the BN pipeline.
+//
+// After the google-benchmark suites, a custom GEMM sweep times every compiled
+// kernel backend (reference / blocked / avx2) across the serving-relevant
+// shapes and writes GFLOP/s per shape to the "kernels" section of
+// BENCH_kernels.json (path override: BASM_BENCH_JSON). It also measures the
+// zero-skip delta: the old reference kernel's `av == 0.0f` branch on dense
+// vs ReLU-sparse activations, the motivation for dropping it.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "autograd/ops.h"
+#include "bench_json.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "nn/batchnorm.h"
+#include "tensor/kernels.h"
+#include "tensor/reference_ops.h"
 #include "tensor/tensor_ops.h"
 
 namespace {
@@ -123,6 +141,163 @@ void BM_BatchNormTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchNormTrainStep);
 
+// ------------------------------ kernel sweep -------------------------------
+
+namespace kernels = basm::ops::kernels;
+
+using GemmFn = void (*)(const float*, const float*, float*, int64_t, int64_t,
+                        int64_t);
+
+// Times `fn` on the given operands until `budget_seconds` elapses (at least
+// one timed call) and returns achieved GFLOP/s.
+double TimeGemm(GemmFn fn, const Tensor& a, const Tensor& b, Tensor& c,
+                int64_t m, int64_t k, int64_t n, double budget_seconds) {
+  using Clock = std::chrono::steady_clock;
+  fn(a.data(), b.data(), c.data(), m, k, n);  // warmup
+  int64_t iters = 0;
+  double elapsed = 0.0;
+  const Clock::time_point start = Clock::now();
+  do {
+    fn(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < budget_seconds);
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                       static_cast<double>(n) * static_cast<double>(iters);
+  return flops / elapsed / 1e9;
+}
+
+// Dispatched kernels::Gemm under a scoped backend, so the sweep times exactly
+// what ops::MatMul would run with that backend active.
+double TimeBackend(kernels::Backend backend, const Tensor& a, const Tensor& b,
+                   Tensor& c, int64_t m, int64_t k, int64_t n,
+                   double budget_seconds) {
+  kernels::ScopedBackend scoped(backend);
+  return TimeGemm(&kernels::Gemm, a, b, c, m, k, n, budget_seconds);
+}
+
+void AppendJsonNumber(std::ostringstream& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out << buf;
+}
+
+void RunKernelSweep() {
+  const double budget = basm::FastMode() ? 0.01 : 0.12;
+  std::vector<kernels::Backend> backends = {kernels::Backend::kReference,
+                                            kernels::Backend::kBlocked};
+  if (kernels::Avx2Available()) backends.push_back(kernels::Backend::kAvx2);
+
+  struct Shape {
+    int64_t k, n;
+  };
+  const int64_t ms[] = {1, 32, 256};
+  const Shape kns[] = {{64, 64}, {176, 64}, {256, 256}, {512, 512}};
+
+  std::printf("\nGEMM backend sweep (GFLOP/s, budget %.0f ms/cell)\n",
+              budget * 1e3);
+  std::printf("%-6s %-6s %-6s", "m", "k", "n");
+  for (kernels::Backend backend : backends) {
+    std::printf(" %-11s", kernels::BackendName(backend));
+  }
+  std::printf(" %s\n", "best/ref");
+
+  Rng rng(1234);
+  std::ostringstream gemm_json;
+  gemm_json << "[";
+  bool first_row = true;
+  for (int64_t m : ms) {
+    for (const Shape& s : kns) {
+      Tensor a = Tensor::Uniform({m, s.k}, -1.0f, 1.0f, rng);
+      Tensor b = Tensor::Uniform({s.k, s.n}, -1.0f, 1.0f, rng);
+      Tensor c = Tensor::Uninitialized({m, s.n});
+      std::printf("%-6lld %-6lld %-6lld", static_cast<long long>(m),
+                  static_cast<long long>(s.k), static_cast<long long>(s.n));
+      if (!first_row) gemm_json << ",";
+      first_row = false;
+      gemm_json << "\n    {\"m\": " << m << ", \"k\": " << s.k
+                << ", \"n\": " << s.n << ", \"gflops\": {";
+      double ref = 0.0, best = 0.0;
+      bool first_backend = true;
+      for (kernels::Backend backend : backends) {
+        double gflops = TimeBackend(backend, a, b, c, m, s.k, s.n, budget);
+        if (backend == kernels::Backend::kReference) ref = gflops;
+        best = std::max(best, gflops);
+        std::printf(" %-11.2f", gflops);
+        if (!first_backend) gemm_json << ", ";
+        first_backend = false;
+        gemm_json << "\"" << kernels::BackendName(backend) << "\": ";
+        AppendJsonNumber(gemm_json, gflops);
+      }
+      const double speedup = ref > 0.0 ? best / ref : 0.0;
+      std::printf(" %.2fx\n", speedup);
+      gemm_json << "}, \"best_over_reference\": ";
+      AppendJsonNumber(gemm_json, speedup);
+      gemm_json << "}";
+    }
+  }
+  gemm_json << "\n  ]";
+
+  // Zero-skip delta: the reference kernel's `av == 0.0f` continue helps only
+  // when A is genuinely sparse, and costs branch misprediction + lost
+  // vectorization when it is dense. Time both kernels on both inputs.
+  const int64_t zm = 64, zk = 176, zn = 64;
+  Tensor dense = Tensor::Uniform({zm, zk}, 0.1f, 1.0f, rng);
+  Tensor sparse = Tensor::Uniform({zm, zk}, -1.0f, 1.0f, rng);
+  for (int64_t i = 0; i < sparse.numel(); ++i) {
+    if (sparse[i] < 0.0f) sparse[i] = 0.0f;  // ReLU-style ~50% zeros
+  }
+  Tensor zb = Tensor::Uniform({zk, zn}, -1.0f, 1.0f, rng);
+  Tensor zc = Tensor::Uninitialized({zm, zn});
+  auto reference_gemm = [](const float* a, const float* b, float* c,
+                           int64_t m, int64_t k, int64_t n) {
+    std::fill(c, c + m * n, 0.0f);
+    basm::ops::reference::GemmAccumulate(a, b, c, m, k, n);
+  };
+  const double ref_dense =
+      TimeGemm(reference_gemm, dense, zb, zc, zm, zk, zn, budget);
+  const double ref_sparse =
+      TimeGemm(reference_gemm, sparse, zb, zc, zm, zk, zn, budget);
+  const double blk_dense =
+      TimeGemm(&kernels::GemmBlocked, dense, zb, zc, zm, zk, zn, budget);
+  const double blk_sparse =
+      TimeGemm(&kernels::GemmBlocked, sparse, zb, zc, zm, zk, zn, budget);
+  std::printf(
+      "\nzero-skip delta (%lldx%lldx%lld GFLOP/s): reference dense %.2f "
+      "sparse50 %.2f | blocked dense %.2f sparse50 %.2f\n",
+      static_cast<long long>(zm), static_cast<long long>(zk),
+      static_cast<long long>(zn), ref_dense, ref_sparse, blk_dense,
+      blk_sparse);
+
+  std::ostringstream section;
+  section << "{\n  \"gemm\": " << gemm_json.str()
+          << ",\n  \"zero_skip\": {\"m\": " << zm << ", \"k\": " << zk
+          << ", \"n\": " << zn << ", \"reference_dense\": ";
+  AppendJsonNumber(section, ref_dense);
+  section << ", \"reference_sparse50\": ";
+  AppendJsonNumber(section, ref_sparse);
+  section << ", \"blocked_dense\": ";
+  AppendJsonNumber(section, blk_dense);
+  section << ", \"blocked_sparse50\": ";
+  AppendJsonNumber(section, blk_sparse);
+  section << "}\n  }";
+
+  const std::string path =
+      basm::EnvString("BASM_BENCH_JSON", "BENCH_kernels.json");
+  if (basm::bench::UpdateBenchJsonSection(path, "kernels", section.str())) {
+    std::printf("wrote \"kernels\" section of %s\n", path.c_str());
+  } else {
+    std::printf("FAILED to write %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  RunKernelSweep();
+  return 0;
+}

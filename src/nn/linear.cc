@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include "nn/init.h"
+#include "tensor/tensor_ops.h"
 
 namespace basm::nn {
 
@@ -17,6 +18,13 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
 }
 
 autograd::Variable Linear::Forward(const autograd::Variable& x) const {
+  if (!autograd::GradEnabled()) {
+    // Inference: fused matmul+bias skips the intermediate tensor (and its
+    // allocation) while keeping the exact arithmetic order of the graph
+    // path, so guarded scores stay bit-identical to unguarded ones.
+    return autograd::Variable::Constant(ops::MatMulBias(
+        x.value(), weight_.value(), use_bias_ ? &bias_.value() : nullptr));
+  }
   autograd::Variable out = autograd::MatMul(x, weight_);
   if (use_bias_) {
     out = autograd::AddRowBroadcast(out, bias_);

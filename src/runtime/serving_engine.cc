@@ -6,6 +6,8 @@
 #include "autograd/variable.h"
 #include "common/logging.h"
 #include "data/batch.h"
+#include "serving/parallel_score.h"
+#include "tensor/arena.h"
 
 namespace basm::runtime {
 
@@ -25,8 +27,12 @@ ServingEngine::ServingEngine(const serving::Pipeline* pipeline,
                /*queue_capacity=*/static_cast<size_t>(config.num_workers)) {
   BASM_CHECK(pipeline_ != nullptr);
   BASM_CHECK_GT(config_.num_workers, 0);
+  BASM_CHECK_GE(config_.scoring_threads, 0);
   BASM_CHECK(!pipeline_->AcquireServable()->model->training())
       << "ServingEngine requires the model in eval mode";
+  if (config_.scoring_threads > 0) {
+    scoring_pool_ = std::make_unique<ThreadPool>(config_.scoring_threads);
+  }
   for (int32_t i = 0; i < config_.num_workers; ++i) {
     workers_.Submit([this] { WorkerLoop(); });
   }
@@ -41,6 +47,8 @@ void ServingEngine::Shutdown() {
   if (shut_down_) return;
   queue_.Shutdown();   // workers drain the backlog, then NextBatch empties
   workers_.Shutdown();  // join
+  // After the workers: no one submits shards once every batch has drained.
+  if (scoring_pool_ != nullptr) scoring_pool_->Shutdown();
   shut_down_ = true;
 }
 
@@ -111,8 +119,11 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
 
   // Inference mode for the whole scoring section: detached autograd nodes
   // (cache-sized working set) and no introspection-cache writes, which is
-  // what makes the shared model safe across workers.
+  // what makes the shared model safe across workers. The arena scope makes
+  // this worker's per-op scratch tensors reuse the freelist built up by its
+  // earlier batches, so steady-state scoring stops hitting the allocator.
   autograd::NoGradGuard no_grad;
+  ArenaScope arena_scope;
 
   // Per-request recall where needed; each request gets an independent
   // deterministic RNG stream, so results do not depend on which worker or
@@ -163,11 +174,11 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
   }
   offsets.push_back(examples.size());
 
-  std::vector<const data::Example*> ptrs;
-  ptrs.reserve(examples.size());
-  for (const auto& e : examples) ptrs.push_back(&e);
-  data::Batch batch = data::MakeBatch(ptrs, pipeline_->schema());
-  std::vector<float> scores = servable->model->PredictProbs(batch);
+  // Scores come back in example order whether the batch was scored whole on
+  // this worker or sharded across the scoring pool (large slates only).
+  std::vector<float> scores = serving::ScoreExamples(
+      servable->model, pipeline_->schema(), examples, scoring_pool_.get(),
+      config_.min_rows_per_shard);
 
   Clock::time_point done = Clock::now();
   for (size_t j = 0; j < live.size(); ++j) {

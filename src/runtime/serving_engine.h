@@ -36,6 +36,14 @@ struct EngineConfig {
   int64_t default_deadline_micros = 100000;
   /// Base seed for per-request recall sampling streams.
   uint64_t seed = 0xE57E;
+  /// Extra threads for intra-batch parallel scoring: a micro-batch's
+  /// concatenated candidate rows are split into contiguous shards scored on
+  /// these threads plus the owning worker. 0 (default) scores each batch on
+  /// its worker alone. Shard results land at fixed offsets, so slates stay
+  /// bit-identical to serial scoring either way.
+  int32_t scoring_threads = 0;
+  /// Minimum rows per shard; batches under twice this never split.
+  int64_t min_rows_per_shard = 64;
 };
 
 /// Outcome of one engine request: an OK status with the ranked slate, or a
@@ -135,6 +143,10 @@ class ServingEngine {
   /// Serializes Shutdown so concurrent callers cannot double-join workers.
   Mutex shutdown_mu_;
   bool shut_down_ BASM_GUARDED_BY(shutdown_mu_) = false;
+  /// Intra-batch scoring shard pool (null when scoring_threads == 0).
+  /// Declared before workers_ so shard threads outlive no worker that
+  /// submits to them during destruction.
+  std::unique_ptr<ThreadPool> scoring_pool_;
   /// Declared last: workers start in the constructor after every other
   /// member is live, and ThreadPool's destructor joins them first.
   ThreadPool workers_;

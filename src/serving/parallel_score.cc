@@ -1,0 +1,103 @@
+#include "serving/parallel_score.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <future>
+
+#include "autograd/variable.h"
+#include "common/logging.h"
+#include "tensor/arena.h"
+
+namespace basm::serving {
+
+namespace {
+
+/// Scores examples [begin, end) as one batch and writes the probabilities
+/// into out[begin..end). Runs under inference mode with an arena scope so
+/// every shard — pool thread or caller — reuses its scratch buffers.
+void ScoreRange(models::CtrModel* model, const data::Schema& schema,
+                const std::vector<data::Example>& examples, int64_t begin,
+                int64_t end, float* out) {
+  autograd::NoGradGuard no_grad;
+  ArenaScope arena_scope;
+  std::vector<const data::Example*> ptrs;
+  ptrs.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) ptrs.push_back(&examples[i]);
+  data::Batch batch = data::MakeBatch(ptrs, schema);
+  std::vector<float> scores = model->PredictProbs(batch);
+  BASM_CHECK_EQ(static_cast<int64_t>(scores.size()), end - begin);
+  std::memcpy(out + begin, scores.data(), scores.size() * sizeof(float));
+}
+
+}  // namespace
+
+std::vector<float> ScoreExamples(models::CtrModel* model,
+                                 const data::Schema& schema,
+                                 const std::vector<data::Example>& examples,
+                                 ThreadPool* pool,
+                                 int64_t min_rows_per_shard) {
+  BASM_CHECK(model != nullptr);
+  const int64_t n = static_cast<int64_t>(examples.size());
+  if (n == 0) return {};
+  BASM_CHECK_GE(min_rows_per_shard, 1);
+
+  int64_t shards = 1;
+  if (pool != nullptr && n >= 2 * min_rows_per_shard) {
+    shards = std::min<int64_t>(pool->num_threads() + 1, n / min_rows_per_shard);
+  }
+  std::vector<float> out(static_cast<size_t>(n));
+  if (shards < 2) {
+    ScoreRange(model, schema, examples, 0, n, out.data());
+    return out;
+  }
+
+  // Contiguous even split; each shard owns a disjoint slice of `out`, so the
+  // only synchronization needed is the per-shard completion promise. Result
+  // order is fixed by the slice offsets, never by completion order.
+  const int64_t base = n / shards;
+  const int64_t rem = n % shards;
+  std::vector<int64_t> bounds;
+  bounds.reserve(static_cast<size_t>(shards) + 1);
+  bounds.push_back(0);
+  for (int64_t s = 0; s < shards; ++s) {
+    bounds.push_back(bounds.back() + base + (s < rem ? 1 : 0));
+  }
+
+  // Shards 1..N-1 go to the pool; shard 0 runs on this thread, so the
+  // caller always contributes a core instead of blocking idle. A promise
+  // per task (set on every path) keeps a throwing or rejected shard from
+  // deadlocking the wait; the first shard exception is rethrown here.
+  std::vector<std::promise<void>> done(static_cast<size_t>(shards) - 1);
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(shards) - 1);
+  for (int64_t s = 1; s < shards; ++s) {
+    const int64_t begin = bounds[static_cast<size_t>(s)];
+    const int64_t end = bounds[static_cast<size_t>(s) + 1];
+    std::promise<void>* promise = &done[static_cast<size_t>(s) - 1];
+    std::exception_ptr* error = &errors[static_cast<size_t>(s) - 1];
+    float* out_ptr = out.data();
+    const bool submitted =
+        pool->Submit([model, &schema, &examples, begin, end, out_ptr, promise,
+                      error] {
+          try {
+            ScoreRange(model, schema, examples, begin, end, out_ptr);
+          } catch (...) {
+            *error = std::current_exception();
+          }
+          promise->set_value();
+        });
+    if (!submitted) {
+      // Pool shutting down: score the shard here rather than dropping it.
+      ScoreRange(model, schema, examples, begin, end, out.data());
+      promise->set_value();
+    }
+  }
+  ScoreRange(model, schema, examples, bounds[0], bounds[1], out.data());
+  for (auto& promise : done) promise.get_future().wait();
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return out;
+}
+
+}  // namespace basm::serving

@@ -1,0 +1,35 @@
+#ifndef BASM_SERVING_PARALLEL_SCORE_H_
+#define BASM_SERVING_PARALLEL_SCORE_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "data/batch.h"
+#include "models/ctr_model.h"
+
+namespace basm::serving {
+
+/// Scores `examples` with the model, optionally splitting the batch into
+/// contiguous shards scored concurrently on `pool` (plus the calling
+/// thread). Returns one probability per example, in example order.
+///
+/// Bit-identical to a single-batch PredictProbs call: eval-mode forwards are
+/// row-independent (per-row features, running-stat BatchNorm, per-row
+/// attention), so slicing the batch changes neither any row's arithmetic
+/// nor its result — a property the runtime tests assert exactly.
+///
+/// Sharding happens only when `pool` is non-null and the batch has at least
+/// `2 * min_rows_per_shard` rows; below that (or if the pool is shutting
+/// down) scoring stays on the calling thread. Shard tasks open their own
+/// autograd::NoGradGuard and ArenaScope, so pool threads score graph-free
+/// and allocation-recycled regardless of caller state. The model must be in
+/// eval mode (concurrent eval forwards are pure reads).
+std::vector<float> ScoreExamples(models::CtrModel* model,
+                                 const data::Schema& schema,
+                                 const std::vector<data::Example>& examples,
+                                 ThreadPool* pool,
+                                 int64_t min_rows_per_shard);
+
+}  // namespace basm::serving
+
+#endif  // BASM_SERVING_PARALLEL_SCORE_H_

@@ -7,6 +7,7 @@
 
 #include "common/circuit_breaker.h"
 #include "common/retry.h"
+#include "common/thread_pool.h"
 #include "data/batch.h"
 #include "models/ctr_model.h"
 #include "online/model_slot.h"
@@ -110,6 +111,15 @@ class Pipeline {
   bool fault_tolerant() const { return fault_tolerant_; }
   CircuitBreaker* feature_breaker() const { return fault_policy_.breaker; }
 
+  /// Arms intra-batch parallel scoring: RankCandidates splits slates of at
+  /// least 2*min_rows_per_shard candidates into contiguous shards scored on
+  /// `pool` (borrowed; must outlive the pipeline) plus the calling thread.
+  /// Scores and slates stay bit-identical to serial scoring — eval-mode
+  /// forwards are row-independent, and shard results land at fixed offsets.
+  /// Call before serving starts; serve-path methods stay const and
+  /// re-entrant afterwards.
+  void EnableParallelScoring(ThreadPool* pool, int64_t min_rows_per_shard = 64);
+
   /// Fault-tolerant example construction — the graceful-degradation stage.
   /// Fetches the user's behavior window through the breaker + retry loop,
   /// never exceeding `deadline`; on failure it builds examples with an
@@ -156,6 +166,9 @@ class Pipeline {
   int32_t expose_k_;
   bool fault_tolerant_ = false;
   FeatureFaultPolicy fault_policy_;
+  /// Armed by EnableParallelScoring; null keeps RankCandidates serial.
+  ThreadPool* scoring_pool_ = nullptr;
+  int64_t min_rows_per_shard_ = 64;
 
   /// Shared example-construction tail of BuildExamples and its fallible
   /// twin: one Example per candidate from the given behavior window.

@@ -1,0 +1,172 @@
+#include "tensor/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace basm {
+namespace {
+
+constexpr int64_t kAlignment = 64;
+// Per-thread cap on parked bytes. Serving forwards recycle a few MB of
+// recurring shapes; the cap only matters if something pathological (one huge
+// tensor per request, never the same size twice) flows through a scope.
+constexpr int64_t kMaxHeldBytes = 64ll << 20;
+
+std::atomic<int64_t> g_total_fresh_allocs{0};
+std::atomic<int64_t> g_total_reuses{0};
+
+int64_t AlignedBytes(int64_t numel) {
+  const int64_t bytes = numel * static_cast<int64_t>(sizeof(float));
+  return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+thread_local int g_arena_scope_depth = 0;
+
+}  // namespace
+
+float* AlignedAllocFloats(int64_t numel) {
+  if (numel <= 0) return nullptr;
+  void* ptr = std::aligned_alloc(kAlignment,
+                                 static_cast<size_t>(AlignedBytes(numel)));
+  BASM_CHECK(ptr != nullptr) << "aligned_alloc of " << numel << " floats";
+  g_total_fresh_allocs.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<float*>(ptr);
+}
+
+void AlignedFreeFloats(float* ptr) { std::free(ptr); }
+
+TensorArena& TensorArena::ThreadLocal() {
+  thread_local TensorArena arena;
+  return arena;
+}
+
+TensorArena* TensorArena::Active() {
+  return g_arena_scope_depth > 0 ? &ThreadLocal() : nullptr;
+}
+
+float* TensorArena::Allocate(int64_t numel) {
+  if (numel <= 0) return nullptr;
+  auto it = free_lists_.find(numel);
+  if (it != free_lists_.end() && !it->second.empty()) {
+    float* ptr = it->second.back();
+    it->second.pop_back();
+    stats_.reuses += 1;
+    stats_.held_blocks -= 1;
+    stats_.held_bytes -= AlignedBytes(numel);
+    g_total_reuses.fetch_add(1, std::memory_order_relaxed);
+    return ptr;
+  }
+  stats_.fresh_allocs += 1;
+  return AlignedAllocFloats(numel);
+}
+
+bool TensorArena::Recycle(float* ptr, int64_t numel) {
+  if (ptr == nullptr || numel <= 0) return false;
+  const int64_t bytes = AlignedBytes(numel);
+  if (stats_.held_bytes + bytes > kMaxHeldBytes) return false;
+  free_lists_[numel].push_back(ptr);
+  stats_.recycles += 1;
+  stats_.held_blocks += 1;
+  stats_.held_bytes += bytes;
+  return true;
+}
+
+void TensorArena::Trim() {
+  for (auto& [numel, blocks] : free_lists_) {
+    (void)numel;
+    for (float* ptr : blocks) AlignedFreeFloats(ptr);
+    blocks.clear();
+  }
+  free_lists_.clear();
+  stats_.held_blocks = 0;
+  stats_.held_bytes = 0;
+}
+
+TensorArena::~TensorArena() { Trim(); }
+
+int64_t TensorArena::TotalFreshAllocs() {
+  return g_total_fresh_allocs.load(std::memory_order_relaxed);
+}
+
+int64_t TensorArena::TotalReuses() {
+  return g_total_reuses.load(std::memory_order_relaxed);
+}
+
+ArenaScope::ArenaScope() { ++g_arena_scope_depth; }
+
+ArenaScope::~ArenaScope() { --g_arena_scope_depth; }
+
+AlignedBuffer::AlignedBuffer(int64_t n) {
+  Acquire(n);
+  if (data_ != nullptr) {
+    std::memset(data_, 0, static_cast<size_t>(n) * sizeof(float));
+  }
+}
+
+AlignedBuffer::AlignedBuffer(int64_t n, Uninit) { Acquire(n); }
+
+AlignedBuffer::AlignedBuffer(const AlignedBuffer& other) {
+  Acquire(other.size_);
+  if (data_ != nullptr) {
+    std::memcpy(data_, other.data_,
+                static_cast<size_t>(size_) * sizeof(float));
+  }
+}
+
+AlignedBuffer& AlignedBuffer::operator=(const AlignedBuffer& other) {
+  if (this == &other) return *this;
+  // Reuse in-place only on exact size match; otherwise release and reacquire
+  // (possibly from the arena freelist).
+  if (size_ != other.size_) {
+    ReleaseStorage();
+    Acquire(other.size_);
+  }
+  if (data_ != nullptr) {
+    std::memcpy(data_, other.data_,
+                static_cast<size_t>(size_) * sizeof(float));
+  }
+  return *this;
+}
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseStorage();
+  data_ = other.data_;
+  size_ = other.size_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+AlignedBuffer::~AlignedBuffer() { ReleaseStorage(); }
+
+void AlignedBuffer::Acquire(int64_t n) {
+  size_ = n > 0 ? n : 0;
+  if (size_ == 0) {
+    data_ = nullptr;
+    return;
+  }
+  TensorArena* arena = TensorArena::Active();
+  data_ = arena != nullptr ? arena->Allocate(size_) : AlignedAllocFloats(size_);
+}
+
+void AlignedBuffer::ReleaseStorage() {
+  if (data_ == nullptr) return;
+  TensorArena* arena = TensorArena::Active();
+  if (arena == nullptr || !arena->Recycle(data_, size_)) {
+    AlignedFreeFloats(data_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace basm

@@ -1,0 +1,129 @@
+#ifndef BASM_TENSOR_ARENA_H_
+#define BASM_TENSOR_ARENA_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace basm {
+
+/// Allocation counters of one thread's scratch arena. "fresh_allocs" are
+/// requests the freelist could not serve (they hit the heap); "reuses" are
+/// blocks handed back out of the freelist; "recycles" are blocks parked in
+/// the freelist on tensor destruction. At steady state a serving worker's
+/// fresh_allocs stops growing: every per-op scratch tensor of the forward
+/// pass is a reuse, so the allocator cost per request is O(1).
+struct ArenaStats {
+  int64_t fresh_allocs = 0;
+  int64_t reuses = 0;
+  int64_t recycles = 0;
+  int64_t held_blocks = 0;
+  int64_t held_bytes = 0;
+};
+
+/// 64-byte-aligned uninitialized float block; size is rounded up to a whole
+/// number of cache lines so SIMD loads never split one. Pair with
+/// AlignedFreeFloats. Every call is counted in TensorArena::TotalFreshAllocs
+/// (the process-wide tensor-allocation pressure gauge used by the benches).
+float* AlignedAllocFloats(int64_t numel);
+void AlignedFreeFloats(float* ptr);
+
+/// Per-thread scratch allocator behind Tensor storage. While an ArenaScope
+/// is open on a thread, tensor allocations on that thread are served from
+/// size-keyed freelists of previously released blocks, and tensors destroyed
+/// on that thread park their blocks back in the freelist instead of freeing
+/// them. Blocks are ordinary aligned heap memory, so a tensor may safely
+/// outlive the scope (its destructor then simply frees) or move to another
+/// thread (it recycles into — or frees on — whatever thread destroys it).
+///
+/// Arenas are inference-path machinery: training keeps graph tensors alive
+/// across the backward pass, so its allocation pattern gains little from
+/// recycling, and scopes are only opened on serving forwards (ProcessBatch,
+/// RankCandidates, parallel scoring shards). Nothing breaks if one is opened
+/// elsewhere — blocks only ever free or recycle on destruction — it is just
+/// not wired there.
+class TensorArena {
+ public:
+  /// The calling thread's arena (created on first use, lives until thread
+  /// exit). Freelists persist across scopes, which is what makes the second
+  /// and every later request on a serving worker allocation-free.
+  static TensorArena& ThreadLocal();
+
+  /// The calling thread's arena while an ArenaScope is open, else null.
+  static TensorArena* Active();
+
+  /// Pops a block of exactly `numel` floats off the freelist, or heap-
+  /// allocates one. Contents are unspecified.
+  float* Allocate(int64_t numel);
+
+  /// Takes `ptr` (a block of `numel` floats from AlignedAllocFloats or
+  /// Allocate) back into the freelist. Returns false when the arena declines
+  /// (held-bytes cap reached); the caller then owns the free.
+  bool Recycle(float* ptr, int64_t numel);
+
+  const ArenaStats& stats() const { return stats_; }
+
+  /// Frees every parked block (freelists empty afterwards).
+  void Trim();
+
+  /// Process-wide totals across all threads: heap allocations of tensor
+  /// storage, and freelist reuses. The benches report the delta per request.
+  static int64_t TotalFreshAllocs();
+  static int64_t TotalReuses();
+
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+  ~TensorArena();
+
+ private:
+  friend class ArenaScope;
+  TensorArena() = default;
+
+  /// Freelists keyed by exact block size in floats: forward passes allocate
+  /// recurring shapes, so exact matching hits ~100% with zero rounding waste.
+  std::unordered_map<int64_t, std::vector<float*>> free_lists_;
+  ArenaStats stats_;
+};
+
+/// Activates the calling thread's TensorArena for the scope's lifetime.
+/// Nestable; allocation behavior reverts when the outermost scope closes.
+class ArenaScope {
+ public:
+  ArenaScope();
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+};
+
+/// Value-semantic float storage backing Tensor: always 64-byte aligned, and
+/// routed through the thread's TensorArena while an ArenaScope is open.
+class AlignedBuffer {
+ public:
+  struct Uninit {};
+
+  AlignedBuffer() = default;
+  /// Zero-filled buffer of n floats.
+  explicit AlignedBuffer(int64_t n);
+  /// Uninitialized buffer — for kernel outputs that overwrite every element.
+  AlignedBuffer(int64_t n, Uninit);
+  AlignedBuffer(const AlignedBuffer& other);
+  AlignedBuffer& operator=(const AlignedBuffer& other);
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  ~AlignedBuffer();
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  int64_t size() const { return size_; }
+
+ private:
+  void Acquire(int64_t n);
+  void ReleaseStorage();
+
+  float* data_ = nullptr;
+  int64_t size_ = 0;
+};
+
+}  // namespace basm
+
+#endif  // BASM_TENSOR_ARENA_H_

@@ -1,0 +1,255 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "tensor/reference_ops.h"
+
+namespace basm::ops::kernels {
+namespace {
+
+/// K-panel depth: a 256-float panel of 4 A-rows plus the streamed B/C rows
+/// stays comfortably inside L1/L2, and panels bound the accumulation chain
+/// length so blocked and AVX2 backends see similar rounding behavior.
+constexpr int64_t kPanelK = 256;
+
+Backend ResolveDefaultBackend() {
+  const std::string env = EnvString("BASM_KERNEL", "");
+  if (env == "reference") return Backend::kReference;
+  if (env == "blocked") return Backend::kBlocked;
+  if (env == "avx2" && Avx2Available()) return Backend::kAvx2;
+  if (!env.empty() && env != "avx2") {
+    BASM_LOG(Warning) << "unknown BASM_KERNEL='" << env
+                      << "', using auto-detection";
+  }
+  return Avx2Available() ? Backend::kAvx2 : Backend::kBlocked;
+}
+
+std::atomic<Backend>& BackendVar() {
+  // Thread-safe lazy init; SetBackend stores over it afterwards.
+  static std::atomic<Backend> backend{ResolveDefaultBackend()};
+  return backend;
+}
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kReference:
+      return "reference";
+    case Backend::kBlocked:
+      return "blocked";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool Avx2Available() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool available =
+      Avx2Compiled() && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma");
+  return available;
+#else
+  return false;
+#endif
+}
+
+Backend ActiveBackend() {
+  return BackendVar().load(std::memory_order_relaxed);
+}
+
+void SetBackend(Backend backend) {
+  if (backend == Backend::kAvx2) {
+    BASM_CHECK(Avx2Available()) << "AVX2 backend requested but unavailable";
+  }
+  BackendVar().store(backend, std::memory_order_relaxed);
+}
+
+ScopedBackend::ScopedBackend(Backend backend) : previous_(ActiveBackend()) {
+  SetBackend(backend);
+}
+
+ScopedBackend::~ScopedBackend() { SetBackend(previous_); }
+
+/// -- Blocked portable kernels ---------------------------------------------
+///
+/// i-k-j order, four C rows per pass, k in panels. The inner j loop is a
+/// straight-line multiply-add over contiguous rows with no branches, which
+/// GCC/Clang vectorize for whatever SIMD width the target has.
+
+void GemmBlocked(const float* a, const float* b, float* c, int64_t m,
+                 int64_t k, int64_t n) {
+  if (m * n == 0) return;
+  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+  if (k == 0) return;
+  for (int64_t p0 = 0; p0 < k; p0 += kPanelK) {
+    const int64_t p1 = std::min(k, p0 + kPanelK);
+    int64_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = a + (i + 0) * k;
+      const float* a1 = a + (i + 1) * k;
+      const float* a2 = a + (i + 2) * k;
+      const float* a3 = a + (i + 3) * k;
+      float* c0 = c + (i + 0) * n;
+      float* c1 = c + (i + 1) * n;
+      float* c2 = c + (i + 2) * n;
+      float* c3 = c + (i + 3) * n;
+      for (int64_t p = p0; p < p1; ++p) {
+        const float av0 = a0[p];
+        const float av1 = a1[p];
+        const float av2 = a2[p];
+        const float av3 = a3[p];
+        const float* b_row = b + p * n;
+        for (int64_t j = 0; j < n; ++j) {
+          const float bv = b_row[j];
+          c0[j] += av0 * bv;
+          c1[j] += av1 * bv;
+          c2[j] += av2 * bv;
+          c3[j] += av3 * bv;
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (int64_t p = p0; p < p1; ++p) {
+        const float av = a_row[p];
+        const float* b_row = b + p * n;
+        for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+void GemmTransABlocked(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n) {
+  if (k * n == 0) return;
+  std::memset(c, 0, static_cast<size_t>(k * n) * sizeof(float));
+  if (m == 0) return;
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + (i + 0) * k;
+    const float* a1 = a + (i + 1) * k;
+    const float* a2 = a + (i + 2) * k;
+    const float* a3 = a + (i + 3) * k;
+    const float* b0 = b + (i + 0) * n;
+    const float* b1 = b + (i + 1) * n;
+    const float* b2 = b + (i + 2) * n;
+    const float* b3 = b + (i + 3) * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av0 = a0[p];
+      const float av1 = a1[p];
+      const float av2 = a2[p];
+      const float av3 = a3[p];
+      float* c_row = c + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += av0 * b0[j] + av1 * b1[j] + av2 * b2[j] + av3 * b3[j];
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      float* c_row = c + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void GemmTransBBlocked(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n) {
+  if (m * n == 0) return;
+  if (k == 0) {
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+    return;
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + (j + 0) * k;
+      const float* b1 = b + (j + 1) * k;
+      const float* b2 = b + (j + 2) * k;
+      const float* b3 = b + (j + 3) * k;
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = a_row[p];
+        s0 += av * b0[p];
+        s1 += av * b1[p];
+        s2 += av * b2[p];
+        s3 += av * b3[p];
+      }
+      c_row[j + 0] = s0;
+      c_row[j + 1] = s1;
+      c_row[j + 2] = s2;
+      c_row[j + 3] = s3;
+    }
+    for (; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] = acc;
+    }
+  }
+}
+
+/// -- Dispatch --------------------------------------------------------------
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n) {
+  switch (ActiveBackend()) {
+    case Backend::kReference:
+      if (m * n == 0) return;
+      std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+      reference::GemmAccumulate(a, b, c, m, k, n);
+      return;
+    case Backend::kAvx2:
+      GemmAvx2(a, b, c, m, k, n);
+      return;
+    case Backend::kBlocked:
+      break;
+  }
+  GemmBlocked(a, b, c, m, k, n);
+}
+
+void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  switch (ActiveBackend()) {
+    case Backend::kReference:
+      if (k * n == 0) return;
+      std::memset(c, 0, static_cast<size_t>(k * n) * sizeof(float));
+      reference::GemmTransAAccumulate(a, b, c, m, k, n);
+      return;
+    case Backend::kAvx2:
+      GemmTransAAvx2(a, b, c, m, k, n);
+      return;
+    case Backend::kBlocked:
+      break;
+  }
+  GemmTransABlocked(a, b, c, m, k, n);
+}
+
+void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  switch (ActiveBackend()) {
+    case Backend::kReference:
+      reference::GemmTransB(a, b, c, m, k, n);
+      return;
+    case Backend::kAvx2:
+      GemmTransBAvx2(a, b, c, m, k, n);
+      return;
+    case Backend::kBlocked:
+      break;
+  }
+  GemmTransBBlocked(a, b, c, m, k, n);
+}
+
+}  // namespace basm::ops::kernels

@@ -1,0 +1,95 @@
+#ifndef BASM_TENSOR_KERNELS_H_
+#define BASM_TENSOR_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+
+/// Optimized GEMM kernels behind ops::MatMul* — raw row-major float32
+/// pointer routines plus a process-wide backend selector.
+///
+/// Backends:
+///   kReference  the frozen naive loops (ops::reference::*), for A/B testing
+///   kBlocked    cache-blocked, 4-row-unrolled loops the compiler can
+///               auto-vectorize on any target (the portable default)
+///   kAvx2       hand-written AVX2+FMA microkernels, compiled into a
+///               separate translation unit with -mavx2 -mfma when the
+///               BASM_SIMD CMake option is ON, and selected at runtime only
+///               if the CPU reports AVX2 support
+///
+/// All backends compute C with identical shape semantics; results agree with
+/// the reference within float reassociation error (~1e-5 relative; the
+/// equivalence suites in tests/kernel_test.cc pin this down per shape).
+namespace basm::ops::kernels {
+
+enum class Backend {
+  kReference = 0,
+  kBlocked = 1,
+  kAvx2 = 2,
+};
+
+const char* BackendName(Backend backend);
+
+/// True when the AVX2 TU was compiled with real intrinsics AND the CPU
+/// supports AVX2 — i.e. kAvx2 may actually be dispatched to.
+bool Avx2Available();
+
+/// True when kernels_avx2.cc was built with -mavx2 -mfma (BASM_SIMD=ON on an
+/// x86-64 target); false means the kAvx2 entry points are traps.
+bool Avx2Compiled();
+
+/// The backend ops::MatMul* currently dispatches to. Resolved once on first
+/// use: BASM_KERNEL=reference|blocked|avx2 if set (an unavailable avx2
+/// request falls back to blocked), else kAvx2 when available, else kBlocked.
+Backend ActiveBackend();
+
+/// Overrides the active backend (kAvx2 requires Avx2Available()). Benches
+/// and tests use this; serving code should leave the default alone.
+void SetBackend(Backend backend);
+
+/// RAII backend override for equivalence tests and per-backend bench runs.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend backend);
+  ~ScopedBackend();
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  Backend previous_;
+};
+
+/// -- Raw kernels (row-major, fully overwrite C) ---------------------------
+///
+/// These dispatch on ActiveBackend(). Degenerate sizes (m, n or k of 0) are
+/// legal: k==0 zero-fills C, m*n==0 is a no-op.
+
+/// C(m,n) = A(m,k) * B(k,n).
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n);
+/// C(k,n) = A^T(k,m) * B(m,n); a is (m,k) row-major.
+void GemmTransA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n);
+/// C(m,n) = A(m,k) * B^T(n,k).
+void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n);
+
+/// -- Per-backend entry points (for the dispatcher and benches) ------------
+
+void GemmBlocked(const float* a, const float* b, float* c, int64_t m,
+                 int64_t k, int64_t n);
+void GemmTransABlocked(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n);
+void GemmTransBBlocked(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n);
+
+/// Defined in kernels_avx2.cc; traps via BASM_CHECK when !Avx2Compiled().
+void GemmAvx2(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n);
+void GemmTransAAvx2(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n);
+void GemmTransBAvx2(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n);
+
+}  // namespace basm::ops::kernels
+
+#endif  // BASM_TENSOR_KERNELS_H_

@@ -1,0 +1,284 @@
+// AVX2+FMA GEMM microkernels. This translation unit — and only this one — is
+// compiled with -mavx2 -mfma when the BASM_SIMD CMake option is ON on an
+// x86-64 target; everywhere else the entry points are traps and
+// Avx2Compiled() reports false, so the dispatcher never routes here. The
+// caller (kernels.cc) additionally checks the CPU at runtime, so building
+// with the flags on a non-AVX2 machine is still safe.
+
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace basm::ops::kernels {
+namespace {
+
+constexpr int64_t kPanelK = 256;
+
+/// Horizontal sum of an 8-lane float vector.
+float Sum8(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 0x55));
+  return _mm_cvtss_f32(sum);
+}
+
+}  // namespace
+
+bool Avx2Compiled() { return true; }
+
+void GemmAvx2(const float* a, const float* b, float* c, int64_t m, int64_t k,
+              int64_t n) {
+  if (m * n == 0) return;
+  std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+  if (k == 0) return;
+  // 4x16 register tile: 4 A-row broadcasts against two 8-wide B vectors,
+  // eight ymm accumulators live across the k panel. C is loaded/stored once
+  // per panel, B rows stream through L1.
+  for (int64_t p0 = 0; p0 < k; p0 += kPanelK) {
+    const int64_t p1 = std::min(k, p0 + kPanelK);
+    int64_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float* a0 = a + (i + 0) * k;
+      const float* a1 = a + (i + 1) * k;
+      const float* a2 = a + (i + 2) * k;
+      const float* a3 = a + (i + 3) * k;
+      float* c0 = c + (i + 0) * n;
+      float* c1 = c + (i + 1) * n;
+      float* c2 = c + (i + 2) * n;
+      float* c3 = c + (i + 3) * n;
+      int64_t j = 0;
+      for (; j + 16 <= n; j += 16) {
+        __m256 acc00 = _mm256_loadu_ps(c0 + j);
+        __m256 acc01 = _mm256_loadu_ps(c0 + j + 8);
+        __m256 acc10 = _mm256_loadu_ps(c1 + j);
+        __m256 acc11 = _mm256_loadu_ps(c1 + j + 8);
+        __m256 acc20 = _mm256_loadu_ps(c2 + j);
+        __m256 acc21 = _mm256_loadu_ps(c2 + j + 8);
+        __m256 acc30 = _mm256_loadu_ps(c3 + j);
+        __m256 acc31 = _mm256_loadu_ps(c3 + j + 8);
+        for (int64_t p = p0; p < p1; ++p) {
+          const __m256 vb0 = _mm256_loadu_ps(b + p * n + j);
+          const __m256 vb1 = _mm256_loadu_ps(b + p * n + j + 8);
+          __m256 va = _mm256_broadcast_ss(a0 + p);
+          acc00 = _mm256_fmadd_ps(va, vb0, acc00);
+          acc01 = _mm256_fmadd_ps(va, vb1, acc01);
+          va = _mm256_broadcast_ss(a1 + p);
+          acc10 = _mm256_fmadd_ps(va, vb0, acc10);
+          acc11 = _mm256_fmadd_ps(va, vb1, acc11);
+          va = _mm256_broadcast_ss(a2 + p);
+          acc20 = _mm256_fmadd_ps(va, vb0, acc20);
+          acc21 = _mm256_fmadd_ps(va, vb1, acc21);
+          va = _mm256_broadcast_ss(a3 + p);
+          acc30 = _mm256_fmadd_ps(va, vb0, acc30);
+          acc31 = _mm256_fmadd_ps(va, vb1, acc31);
+        }
+        _mm256_storeu_ps(c0 + j, acc00);
+        _mm256_storeu_ps(c0 + j + 8, acc01);
+        _mm256_storeu_ps(c1 + j, acc10);
+        _mm256_storeu_ps(c1 + j + 8, acc11);
+        _mm256_storeu_ps(c2 + j, acc20);
+        _mm256_storeu_ps(c2 + j + 8, acc21);
+        _mm256_storeu_ps(c3 + j, acc30);
+        _mm256_storeu_ps(c3 + j + 8, acc31);
+      }
+      for (; j + 8 <= n; j += 8) {
+        __m256 acc0 = _mm256_loadu_ps(c0 + j);
+        __m256 acc1 = _mm256_loadu_ps(c1 + j);
+        __m256 acc2 = _mm256_loadu_ps(c2 + j);
+        __m256 acc3 = _mm256_loadu_ps(c3 + j);
+        for (int64_t p = p0; p < p1; ++p) {
+          const __m256 vb = _mm256_loadu_ps(b + p * n + j);
+          acc0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + p), vb, acc0);
+          acc1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a1 + p), vb, acc1);
+          acc2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a2 + p), vb, acc2);
+          acc3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a3 + p), vb, acc3);
+        }
+        _mm256_storeu_ps(c0 + j, acc0);
+        _mm256_storeu_ps(c1 + j, acc1);
+        _mm256_storeu_ps(c2 + j, acc2);
+        _mm256_storeu_ps(c3 + j, acc3);
+      }
+      for (; j < n; ++j) {
+        float s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
+        for (int64_t p = p0; p < p1; ++p) {
+          const float bv = b[p * n + j];
+          s0 += a0[p] * bv;
+          s1 += a1[p] * bv;
+          s2 += a2[p] * bv;
+          s3 += a3[p] * bv;
+        }
+        c0[j] = s0;
+        c1[j] = s1;
+        c2[j] = s2;
+        c3[j] = s3;
+      }
+    }
+    for (; i < m; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        __m256 acc = _mm256_loadu_ps(c_row + j);
+        for (int64_t p = p0; p < p1; ++p) {
+          acc = _mm256_fmadd_ps(_mm256_broadcast_ss(a_row + p),
+                                _mm256_loadu_ps(b + p * n + j), acc);
+        }
+        _mm256_storeu_ps(c_row + j, acc);
+      }
+      for (; j < n; ++j) {
+        float s = c_row[j];
+        for (int64_t p = p0; p < p1; ++p) s += a_row[p] * b[p * n + j];
+        c_row[j] = s;
+      }
+    }
+  }
+}
+
+void GemmTransAAvx2(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  if (k * n == 0) return;
+  std::memset(c, 0, static_cast<size_t>(k * n) * sizeof(float));
+  if (m == 0) return;
+  // C(k,n) += A^T B: for each sample row i, rank-1 update of C. Four sample
+  // rows per pass so each C row is touched once per four updates.
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + (i + 0) * k;
+    const float* a1 = a + (i + 1) * k;
+    const float* a2 = a + (i + 2) * k;
+    const float* a3 = a + (i + 3) * k;
+    const float* b0 = b + (i + 0) * n;
+    const float* b1 = b + (i + 1) * n;
+    const float* b2 = b + (i + 2) * n;
+    const float* b3 = b + (i + 3) * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const __m256 va0 = _mm256_broadcast_ss(a0 + p);
+      const __m256 va1 = _mm256_broadcast_ss(a1 + p);
+      const __m256 va2 = _mm256_broadcast_ss(a2 + p);
+      const __m256 va3 = _mm256_broadcast_ss(a3 + p);
+      float* c_row = c + p * n;
+      int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        __m256 acc = _mm256_loadu_ps(c_row + j);
+        acc = _mm256_fmadd_ps(va0, _mm256_loadu_ps(b0 + j), acc);
+        acc = _mm256_fmadd_ps(va1, _mm256_loadu_ps(b1 + j), acc);
+        acc = _mm256_fmadd_ps(va2, _mm256_loadu_ps(b2 + j), acc);
+        acc = _mm256_fmadd_ps(va3, _mm256_loadu_ps(b3 + j), acc);
+        _mm256_storeu_ps(c_row + j, acc);
+      }
+      const float s0 = a0[p], s1 = a1[p], s2 = a2[p], s3 = a3[p];
+      for (; j < n; ++j) {
+        c_row[j] += s0 * b0[j] + s1 * b1[j] + s2 * b2[j] + s3 * b3[j];
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const __m256 va = _mm256_broadcast_ss(a_row + p);
+      float* c_row = c + p * n;
+      int64_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        __m256 acc = _mm256_loadu_ps(c_row + j);
+        acc = _mm256_fmadd_ps(va, _mm256_loadu_ps(b_row + j), acc);
+        _mm256_storeu_ps(c_row + j, acc);
+      }
+      const float av = a_row[p];
+      for (; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void GemmTransBAvx2(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  if (m * n == 0) return;
+  if (k == 0) {
+    std::memset(c, 0, static_cast<size_t>(m * n) * sizeof(float));
+    return;
+  }
+  // Dot-product form: both operands are row-major over k, so each output is
+  // one contiguous dot. Four B rows share each A-row load.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + (j + 0) * k;
+      const float* b1 = b + (j + 1) * k;
+      const float* b2 = b + (j + 2) * k;
+      const float* b3 = b + (j + 3) * k;
+      __m256 v0 = _mm256_setzero_ps();
+      __m256 v1 = _mm256_setzero_ps();
+      __m256 v2 = _mm256_setzero_ps();
+      __m256 v3 = _mm256_setzero_ps();
+      int64_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        const __m256 va = _mm256_loadu_ps(a_row + p);
+        v0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0 + p), v0);
+        v1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1 + p), v1);
+        v2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2 + p), v2);
+        v3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3 + p), v3);
+      }
+      float s0 = Sum8(v0), s1 = Sum8(v1), s2 = Sum8(v2), s3 = Sum8(v3);
+      for (; p < k; ++p) {
+        const float av = a_row[p];
+        s0 += av * b0[p];
+        s1 += av * b1[p];
+        s2 += av * b2[p];
+        s3 += av * b3[p];
+      }
+      c_row[j + 0] = s0;
+      c_row[j + 1] = s1;
+      c_row[j + 2] = s2;
+      c_row[j + 3] = s3;
+    }
+    for (; j < n; ++j) {
+      const float* b_row = b + j * k;
+      __m256 v = _mm256_setzero_ps();
+      int64_t p = 0;
+      for (; p + 8 <= k; p += 8) {
+        v = _mm256_fmadd_ps(_mm256_loadu_ps(a_row + p),
+                            _mm256_loadu_ps(b_row + p), v);
+      }
+      float s = Sum8(v);
+      for (; p < k; ++p) s += a_row[p] * b_row[p];
+      c_row[j] = s;
+    }
+  }
+}
+
+}  // namespace basm::ops::kernels
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace basm::ops::kernels {
+
+bool Avx2Compiled() { return false; }
+
+void GemmAvx2(const float*, const float*, float*, int64_t, int64_t, int64_t) {
+  BASM_CHECK(false) << "AVX2 kernels were not compiled into this binary";
+}
+
+void GemmTransAAvx2(const float*, const float*, float*, int64_t, int64_t,
+                    int64_t) {
+  BASM_CHECK(false) << "AVX2 kernels were not compiled into this binary";
+}
+
+void GemmTransBAvx2(const float*, const float*, float*, int64_t, int64_t,
+                    int64_t) {
+  BASM_CHECK(false) << "AVX2 kernels were not compiled into this binary";
+}
+
+}  // namespace basm::ops::kernels
+
+#endif  // __AVX2__ && __FMA__

@@ -1,0 +1,118 @@
+#include "tensor/reference_ops.h"
+
+namespace basm::ops::reference {
+
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void GemmTransAAccumulate(const float* a, const float* b, float* c, int64_t m,
+                          int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      float av = a_row[p];
+      if (av == 0.0f) continue;
+      float* c_row = c + p * n;
+      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] = acc;
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  BASM_CHECK_EQ(b.rank(), 2);
+  BASM_CHECK_EQ(a.cols(), b.rows())
+      << ShapeToString(a.shape()) << " x " << ShapeToString(b.shape());
+  Tensor c({a.rows(), b.cols()});
+  GemmAccumulate(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  BASM_CHECK_EQ(b.rank(), 2);
+  BASM_CHECK_EQ(a.rows(), b.rows());
+  Tensor c({a.cols(), b.cols()});
+  GemmTransAAccumulate(a.data(), b.data(), c.data(), a.rows(), a.cols(),
+                       b.cols());
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  BASM_CHECK_EQ(b.rank(), 2);
+  BASM_CHECK_EQ(a.cols(), b.cols());
+  Tensor c({a.rows(), b.rows()});
+  GemmTransB(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.rows());
+  return c;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 3);
+  BASM_CHECK_EQ(b.rank(), 3);
+  BASM_CHECK_EQ(a.dim(0), b.dim(0));
+  BASM_CHECK_EQ(a.dim(2), b.dim(1));
+  int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  Tensor c({bs, m, n});
+  for (int64_t i = 0; i < bs; ++i) {
+    GemmAccumulate(a.data() + i * m * k, b.data() + i * k * n,
+                   c.data() + i * m * n, m, k, n);
+  }
+  return c;
+}
+
+Tensor BatchedMatMulTransA(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 3);
+  BASM_CHECK_EQ(b.rank(), 3);
+  BASM_CHECK_EQ(a.dim(0), b.dim(0));
+  BASM_CHECK_EQ(a.dim(1), b.dim(1));
+  int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  Tensor c({bs, k, n});
+  for (int64_t bi = 0; bi < bs; ++bi) {
+    GemmTransAAccumulate(a.data() + bi * m * k, b.data() + bi * m * n,
+                         c.data() + bi * k * n, m, k, n);
+  }
+  return c;
+}
+
+Tensor BatchedMatMulTransB(const Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 3);
+  BASM_CHECK_EQ(b.rank(), 3);
+  BASM_CHECK_EQ(a.dim(0), b.dim(0));
+  BASM_CHECK_EQ(a.dim(2), b.dim(2));
+  int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
+  Tensor c({bs, m, n});
+  for (int64_t bi = 0; bi < bs; ++bi) {
+    GemmTransB(a.data() + bi * m * k, b.data() + bi * n * k,
+               c.data() + bi * m * n, m, k, n);
+  }
+  return c;
+}
+
+}  // namespace basm::ops::reference

@@ -1,0 +1,38 @@
+#ifndef BASM_TENSOR_REFERENCE_OPS_H_
+#define BASM_TENSOR_REFERENCE_OPS_H_
+
+#include "tensor/tensor.h"
+
+/// The pre-kernel-layer naive matmul family, frozen as a test oracle. Every
+/// optimized backend (blocked, AVX2) is equivalence-tested against these, so
+/// they must stay byte-for-byte the simple loops — do not optimize them.
+namespace basm::ops::reference {
+
+/// Raw kernels over row-major pointers. Accumulating forms add into C (the
+/// Tensor wrappers below hand them zeroed outputs).
+///
+/// The `av == 0.0f` skip is kept here deliberately: it documents the old
+/// behavior and is only profitable on genuinely sparse inputs (embedding-bag
+/// style rows); on dense activations it defeats vectorization, which is why
+/// the optimized kernels dropped it (see bench/micro_ops zero-skip delta).
+void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
+                    int64_t k, int64_t n);
+/// C(k,n) += A^T(k,m) * B(m,n), a is (m,k) row-major.
+void GemmTransAAccumulate(const float* a, const float* b, float* c, int64_t m,
+                          int64_t k, int64_t n);
+/// C(m,n) = A(m,k) * B^T(n,k); overwrites C.
+void GemmTransB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n);
+
+/// Tensor-level oracles, shape-checked like ops::MatMul* but always on the
+/// naive loops regardless of the active kernel backend.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b);
+Tensor BatchedMatMulTransA(const Tensor& a, const Tensor& b);
+Tensor BatchedMatMulTransB(const Tensor& a, const Tensor& b);
+
+}  // namespace basm::ops::reference
+
+#endif  // BASM_TENSOR_REFERENCE_OPS_H_

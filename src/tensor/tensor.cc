@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
@@ -28,17 +29,28 @@ std::string ShapeToString(const std::vector<int64_t>& shape) {
 }
 
 Tensor::Tensor(std::vector<int64_t> shape)
-    : shape_(std::move(shape)),
-      data_(static_cast<size_t>(ShapeNumel(shape_)), 0.0f) {}
+    : shape_(std::move(shape)), data_(ShapeNumel(shape_)) {}
 
-Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values)
-    : shape_(std::move(shape)), data_(std::move(values)) {
-  BASM_CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(data_.size()))
+Tensor::Tensor(std::vector<int64_t> shape, const std::vector<float>& values)
+    : shape_(std::move(shape)),
+      data_(static_cast<int64_t>(values.size()), AlignedBuffer::Uninit{}) {
+  BASM_CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(values.size()))
       << "shape " << ShapeToString(shape_) << " vs values";
+  if (!values.empty()) {
+    std::memcpy(data_.data(), values.data(), values.size() * sizeof(float));
+  }
 }
+
+Tensor::Tensor(std::vector<int64_t> shape, UninitTag)
+    : shape_(std::move(shape)),
+      data_(ShapeNumel(shape_), AlignedBuffer::Uninit{}) {}
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape) {
   return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Uninitialized(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape), UninitTag{});
 }
 
 Tensor Tensor::Ones(std::vector<int64_t> shape) {
@@ -118,7 +130,7 @@ float& Tensor::at(int64_t r, int64_t c) {
   BASM_CHECK_LT(r, shape_[0]);
   BASM_CHECK_GE(c, 0);
   BASM_CHECK_LT(c, shape_[1]);
-  return data_[static_cast<size_t>(r * shape_[1] + c)];
+  return data_.data()[r * shape_[1] + c];
 }
 
 float Tensor::at(int64_t r, int64_t c) const {
@@ -133,7 +145,7 @@ float& Tensor::at(int64_t i, int64_t j, int64_t k) {
   BASM_CHECK_LT(j, shape_[1]);
   BASM_CHECK_GE(k, 0);
   BASM_CHECK_LT(k, shape_[2]);
-  return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  return data_.data()[(i * shape_[1] + j) * shape_[2] + k];
 }
 
 float Tensor::at(int64_t i, int64_t j, int64_t k) const {
@@ -141,30 +153,38 @@ float Tensor::at(int64_t i, int64_t j, int64_t k) const {
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  std::fill(data_.data(), data_.data() + numel(), value);
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
   BASM_CHECK(SameShape(other))
       << ShapeToString(shape_) << " vs " << ShapeToString(other.shape_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* d = data_.data();
+  const float* o = other.data_.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) d[i] += o[i];
 }
 
 void Tensor::AddScaledInPlace(const Tensor& other, float scale) {
   BASM_CHECK(SameShape(other))
       << ShapeToString(shape_) << " vs " << ShapeToString(other.shape_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += scale * other.data_[i];
-  }
+  float* d = data_.data();
+  const float* o = other.data_.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) d[i] += scale * o[i];
 }
 
 void Tensor::ScaleInPlace(float scale) {
-  for (float& v : data_) v *= scale;
+  float* d = data_.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) d[i] *= scale;
 }
 
 float Tensor::Sum() const {
   double acc = 0.0;
-  for (float v : data_) acc += v;
+  const float* d = data_.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) acc += d[i];
   return static_cast<float>(acc);
 }
 
@@ -175,17 +195,19 @@ float Tensor::Mean() const {
 
 float Tensor::Min() const {
   BASM_CHECK_GT(numel(), 0);
-  return *std::min_element(data_.begin(), data_.end());
+  return *std::min_element(data_.data(), data_.data() + numel());
 }
 
 float Tensor::Max() const {
   BASM_CHECK_GT(numel(), 0);
-  return *std::max_element(data_.begin(), data_.end());
+  return *std::max_element(data_.data(), data_.data() + numel());
 }
 
 bool Tensor::HasNonFinite() const {
-  for (float v : data_) {
-    if (!std::isfinite(v)) return true;
+  const float* d = data_.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(d[i])) return true;
   }
   return false;
 }

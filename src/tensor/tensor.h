@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "tensor/arena.h"
 
 namespace basm {
 
@@ -26,11 +27,14 @@ class Tensor {
   explicit Tensor(std::vector<int64_t> shape);
 
   /// Tensor with explicit contents; `values.size()` must match the shape.
-  Tensor(std::vector<int64_t> shape, std::vector<float> values);
+  Tensor(std::vector<int64_t> shape, const std::vector<float>& values);
 
   /// -- Factories ------------------------------------------------------
 
   static Tensor Zeros(std::vector<int64_t> shape);
+  /// Uninitialized tensor — every element must be overwritten before it is
+  /// read. Kernel outputs use this to skip the zero-fill pass.
+  static Tensor Uninitialized(std::vector<int64_t> shape);
   static Tensor Ones(std::vector<int64_t> shape);
   static Tensor Full(std::vector<int64_t> shape, float value);
   /// Uniform in [lo, hi).
@@ -47,7 +51,7 @@ class Tensor {
   const std::vector<int64_t>& shape() const { return shape_; }
   int64_t dim(int i) const;
   int rank() const { return static_cast<int>(shape_.size()); }
-  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  int64_t numel() const { return data_.size(); }
 
   /// Rows/cols of a rank-2 tensor (checked).
   int64_t rows() const;
@@ -64,8 +68,8 @@ class Tensor {
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
-  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
-  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+  float& operator[](int64_t i) { return data_.data()[i]; }
+  float operator[](int64_t i) const { return data_.data()[i]; }
 
   /// Checked 2-D accessors.
   float& at(int64_t r, int64_t c);
@@ -101,8 +105,13 @@ class Tensor {
   std::string DebugString() const;
 
  private:
+  struct UninitTag {};
+  Tensor(std::vector<int64_t> shape, UninitTag);
+
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  /// 64-byte-aligned storage: SIMD kernels rely on rows never splitting a
+  /// cache line at offset 0, and the serving arena recycles these blocks.
+  AlignedBuffer data_;
 };
 
 /// Number of elements implied by a shape.

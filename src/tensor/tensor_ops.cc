@@ -3,25 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace basm::ops {
 
 namespace {
-
-/// Inner kernel: C(m,n) += A(m,k) * B(k,n) over raw pointers, i-k-j order so
-/// the innermost loop streams both B and C rows.
-void GemmAccumulate(const float* a, const float* b, float* c, int64_t m,
-                    int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      float av = a_row[p];
-      if (av == 0.0f) continue;
-      const float* b_row = b + p * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-    }
-  }
-}
 
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   BASM_CHECK(a.SameShape(b)) << op << ": " << ShapeToString(a.shape())
@@ -43,8 +29,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   BASM_CHECK_EQ(b.rank(), 2);
   BASM_CHECK_EQ(a.cols(), b.rows())
       << ShapeToString(a.shape()) << " x " << ShapeToString(b.shape());
-  Tensor c({a.rows(), b.cols()});
-  GemmAccumulate(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+  Tensor c = Tensor::Uninitialized({a.rows(), b.cols()});
+  kernels::Gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
   return c;
 }
 
@@ -52,19 +38,9 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   BASM_CHECK_EQ(a.rank(), 2);
   BASM_CHECK_EQ(b.rank(), 2);
   BASM_CHECK_EQ(a.rows(), b.rows());
-  int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  Tensor c({k, n});
-  // C(k,n) += A^T(k,m) * B(m,n): iterate rows of A/B together.
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a.data() + i * k;
-    const float* b_row = b.data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      float av = a_row[p];
-      if (av == 0.0f) continue;
-      float* c_row = c.data() + p * n;
-      for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-    }
-  }
+  Tensor c = Tensor::Uninitialized({a.cols(), b.cols()});
+  kernels::GemmTransA(a.data(), b.data(), c.data(), a.rows(), a.cols(),
+                      b.cols());
   return c;
 }
 
@@ -72,18 +48,9 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   BASM_CHECK_EQ(a.rank(), 2);
   BASM_CHECK_EQ(b.rank(), 2);
   BASM_CHECK_EQ(a.cols(), b.cols());
-  int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  Tensor c({m, n});
-  for (int64_t i = 0; i < m; ++i) {
-    const float* a_row = a.data() + i * k;
-    float* c_row = c.data() + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* b_row = b.data() + j * k;
-      float acc = 0.0f;
-      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      c_row[j] = acc;
-    }
-  }
+  Tensor c = Tensor::Uninitialized({a.rows(), b.rows()});
+  kernels::GemmTransB(a.data(), b.data(), c.data(), a.rows(), a.cols(),
+                      b.rows());
   return c;
 }
 
@@ -93,10 +60,10 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
   BASM_CHECK_EQ(a.dim(0), b.dim(0));
   BASM_CHECK_EQ(a.dim(2), b.dim(1));
   int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
-  Tensor c({bs, m, n});
+  Tensor c = Tensor::Uninitialized({bs, m, n});
   for (int64_t i = 0; i < bs; ++i) {
-    GemmAccumulate(a.data() + i * m * k, b.data() + i * k * n,
-                   c.data() + i * m * n, m, k, n);
+    kernels::Gemm(a.data() + i * m * k, b.data() + i * k * n,
+                  c.data() + i * m * n, m, k, n);
   }
   return c;
 }
@@ -107,18 +74,10 @@ Tensor BatchedMatMulTransA(const Tensor& a, const Tensor& b) {
   BASM_CHECK_EQ(a.dim(0), b.dim(0));
   BASM_CHECK_EQ(a.dim(1), b.dim(1));
   int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
-  Tensor c({bs, k, n});
+  Tensor c = Tensor::Uninitialized({bs, k, n});
   for (int64_t bi = 0; bi < bs; ++bi) {
-    const float* ab = a.data() + bi * m * k;
-    const float* bb = b.data() + bi * m * n;
-    float* cb = c.data() + bi * k * n;
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t p = 0; p < k; ++p) {
-        float av = ab[i * k + p];
-        if (av == 0.0f) continue;
-        for (int64_t j = 0; j < n; ++j) cb[p * n + j] += av * bb[i * n + j];
-      }
-    }
+    kernels::GemmTransA(a.data() + bi * m * k, b.data() + bi * m * n,
+                        c.data() + bi * k * n, m, k, n);
   }
   return c;
 }
@@ -129,20 +88,113 @@ Tensor BatchedMatMulTransB(const Tensor& a, const Tensor& b) {
   BASM_CHECK_EQ(a.dim(0), b.dim(0));
   BASM_CHECK_EQ(a.dim(2), b.dim(2));
   int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
-  Tensor c({bs, m, n});
+  Tensor c = Tensor::Uninitialized({bs, m, n});
   for (int64_t bi = 0; bi < bs; ++bi) {
-    const float* ab = a.data() + bi * m * k;
-    const float* bb = b.data() + bi * n * k;
-    float* cb = c.data() + bi * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += ab[i * k + p] * bb[j * k + p];
-        cb[i * n + j] = acc;
-      }
-    }
+    kernels::GemmTransB(a.data() + bi * m * k, b.data() + bi * n * k,
+                        c.data() + bi * m * n, m, k, n);
   }
   return c;
+}
+
+Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor* bias) {
+  Tensor c = MatMul(a, b);
+  if (bias != nullptr) AddRowBroadcastInPlace(c, *bias);
+  return c;
+}
+
+Tensor MatMulBiasAct(const Tensor& a, const Tensor& b, const Tensor* bias,
+                     Act act, float leaky_alpha) {
+  Tensor c = MatMulBias(a, b, bias);
+  ActivateInPlace(c, act, leaky_alpha);
+  return c;
+}
+
+void AddRowBroadcastInPlace(Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  const int64_t n = BroadcastLen(b);
+  BASM_CHECK_EQ(a.cols(), n);
+  const float* bv = b.data();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float* row = a.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) row[j] += bv[j];
+  }
+}
+
+void MulRowBroadcastInPlace(Tensor& a, const Tensor& b) {
+  BASM_CHECK_EQ(a.rank(), 2);
+  const int64_t n = BroadcastLen(b);
+  BASM_CHECK_EQ(a.cols(), n);
+  const float* bv = b.data();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float* row = a.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) row[j] *= bv[j];
+  }
+}
+
+void ActivateInPlace(Tensor& t, Act act, float leaky_alpha) {
+  float* d = t.data();
+  const int64_t n = t.numel();
+  switch (act) {
+    case Act::kNone:
+      return;
+    case Act::kRelu:
+      for (int64_t i = 0; i < n; ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+      return;
+    case Act::kLeakyRelu:
+      for (int64_t i = 0; i < n; ++i) {
+        d[i] = d[i] > 0.0f ? d[i] : leaky_alpha * d[i];
+      }
+      return;
+    case Act::kSigmoid:
+      for (int64_t i = 0; i < n; ++i) d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+      return;
+    case Act::kTanh:
+      for (int64_t i = 0; i < n; ++i) d[i] = std::tanh(d[i]);
+      return;
+  }
+}
+
+Tensor CenterScaleRows(const Tensor& x, const Tensor& neg_mean,
+                       const Tensor& inv) {
+  BASM_CHECK_EQ(x.rank(), 2);
+  const int64_t n = BroadcastLen(neg_mean);
+  BASM_CHECK_EQ(x.cols(), n);
+  BASM_CHECK_EQ(BroadcastLen(inv), n);
+  Tensor out = Tensor::Uninitialized(x.shape());
+  const float* nm = neg_mean.data();
+  const float* iv = inv.data();
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const float* xr = x.data() + i * n;
+    float* o = out.data() + i * n;
+    // Exactly the AddRowBroadcast-then-MulRowBroadcast chain, one pass.
+    for (int64_t j = 0; j < n; ++j) o[j] = (xr[j] + nm[j]) * iv[j];
+  }
+  return out;
+}
+
+Tensor BatchNormInference(const Tensor& x, const Tensor& neg_mean,
+                          const Tensor& inv, const Tensor& gamma,
+                          const Tensor& beta) {
+  BASM_CHECK_EQ(x.rank(), 2);
+  const int64_t n = BroadcastLen(neg_mean);
+  BASM_CHECK_EQ(x.cols(), n);
+  BASM_CHECK_EQ(BroadcastLen(inv), n);
+  BASM_CHECK_EQ(BroadcastLen(gamma), n);
+  BASM_CHECK_EQ(BroadcastLen(beta), n);
+  Tensor out = Tensor::Uninitialized(x.shape());
+  const float* nm = neg_mean.data();
+  const float* iv = inv.data();
+  const float* g = gamma.data();
+  const float* bt = beta.data();
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const float* xr = x.data() + i * n;
+    float* o = out.data() + i * n;
+    // center, scale, gamma, beta — the exact eval-mode op-chain order.
+    for (int64_t j = 0; j < n; ++j) {
+      o[j] = ((xr[j] + nm[j]) * iv[j]) * g[j] + bt[j];
+    }
+  }
+  return out;
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
@@ -241,32 +293,54 @@ Tensor MulColBroadcast(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+// The nonlinearities run direct loops rather than Map: a std::function call
+// per element costs more than the arithmetic at serving shapes.
+
 Tensor Sigmoid(const Tensor& a) {
-  return Map(a, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  Tensor c = a;
+  ActivateInPlace(c, Act::kSigmoid);
+  return c;
 }
 
 Tensor Tanh(const Tensor& a) {
-  return Map(a, [](float v) { return std::tanh(v); });
+  Tensor c = a;
+  ActivateInPlace(c, Act::kTanh);
+  return c;
 }
 
 Tensor Relu(const Tensor& a) {
-  return Map(a, [](float v) { return v > 0.0f ? v : 0.0f; });
+  Tensor c = a;
+  ActivateInPlace(c, Act::kRelu);
+  return c;
 }
 
 Tensor LeakyRelu(const Tensor& a, float alpha) {
-  return Map(a, [alpha](float v) { return v > 0.0f ? v : alpha * v; });
+  Tensor c = a;
+  ActivateInPlace(c, Act::kLeakyRelu, alpha);
+  return c;
 }
 
 Tensor Exp(const Tensor& a) {
-  return Map(a, [](float v) { return std::exp(v); });
+  Tensor c = a;
+  float* d = c.data();
+  for (int64_t i = 0; i < c.numel(); ++i) d[i] = std::exp(d[i]);
+  return c;
 }
 
 Tensor Log(const Tensor& a, float floor) {
-  return Map(a, [floor](float v) { return std::log(std::max(v, floor)); });
+  Tensor c = a;
+  float* d = c.data();
+  for (int64_t i = 0; i < c.numel(); ++i) {
+    d[i] = std::log(std::max(d[i], floor));
+  }
+  return c;
 }
 
 Tensor Sqrt(const Tensor& a) {
-  return Map(a, [](float v) { return std::sqrt(v); });
+  Tensor c = a;
+  float* d = c.data();
+  for (int64_t i = 0; i < c.numel(); ++i) d[i] = std::sqrt(d[i]);
+  return c;
 }
 
 Tensor SumAll(const Tensor& a) { return Tensor({1}, {a.Sum()}); }

@@ -8,8 +8,12 @@
 namespace basm::ops {
 
 /// -- Matrix products ----------------------------------------------------
+///
+/// All matmuls dispatch through ops::kernels (blocked SIMD-friendly loops,
+/// or AVX2 intrinsics when compiled in and the CPU supports them). The old
+/// naive loops live on in ops::reference as the equivalence-test oracle.
 
-/// C = A(m,k) * B(k,n). Blocked i-k-j loop for cache friendliness.
+/// C = A(m,k) * B(k,n).
 Tensor MatMul(const Tensor& a, const Tensor& b);
 /// C = A^T(m,k) * B(m,n) -> (k,n). Used by autograd for weight gradients.
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);
@@ -22,6 +26,40 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b);
 Tensor BatchedMatMulTransA(const Tensor& a, const Tensor& b);
 /// Batched C[b] = A[b] * B[b]^T; a is [B,m,k], b is [B,n,k] -> [B,m,n].
 Tensor BatchedMatMulTransB(const Tensor& a, const Tensor& b);
+
+/// -- Fused inference ops ---------------------------------------------------
+///
+/// Single-pass forms of the op chains the eval-mode layers run. They are
+/// arithmetic-order-identical to the chains they replace (same per-element
+/// operation sequence, and tensor_ops.cc is built with -ffp-contract=off so
+/// the compiler cannot re-fuse mul+add), which keeps guarded inference
+/// forwards bit-identical to the unguarded ones — a property the runtime
+/// tests assert.
+
+/// Elementwise activations the fused ops can apply in the output pass.
+enum class Act { kNone, kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+/// C = A * B (+ bias row, when bias != nullptr). bias is [n] or [1,n].
+Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor* bias);
+/// C = act(A * B + bias); bias may be null.
+Tensor MatMulBiasAct(const Tensor& a, const Tensor& b, const Tensor* bias,
+                     Act act, float leaky_alpha = 0.01f);
+
+/// a[i,:] += b / a[i,:] *= b, in place; b is [n] or [1,n].
+void AddRowBroadcastInPlace(Tensor& a, const Tensor& b);
+void MulRowBroadcastInPlace(Tensor& a, const Tensor& b);
+/// t = act(t) elementwise, in place.
+void ActivateInPlace(Tensor& t, Act act, float leaky_alpha = 0.01f);
+
+/// (x + neg_mean) * inv, rows broadcast — the eval-mode BatchNorm normalize
+/// chain in one pass. neg_mean/inv are [n] or [1,n].
+Tensor CenterScaleRows(const Tensor& x, const Tensor& neg_mean,
+                       const Tensor& inv);
+/// ((x + neg_mean) * inv) * gamma + beta — the full eval-mode BatchNorm
+/// forward in one pass.
+Tensor BatchNormInference(const Tensor& x, const Tensor& neg_mean,
+                          const Tensor& inv, const Tensor& gamma,
+                          const Tensor& beta);
 
 /// -- Elementwise (same shape) --------------------------------------------
 

@@ -17,8 +17,10 @@
 #include "runtime/micro_batcher.h"
 #include "runtime/serving_engine.h"
 #include "serving/feature_server.h"
+#include "serving/parallel_score.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
+#include "tensor/arena.h"
 
 namespace basm::runtime {
 namespace {
@@ -537,6 +539,149 @@ TEST_F(ServingEngineTest, LoadGeneratorClosedLoopCompletes) {
   EXPECT_EQ(snap.count, 60);
   EXPECT_GE(snap.mean_batch_size, 1.0);
   EXPECT_GT(snap.p99_micros, 0.0);
+}
+
+// ---------------------------------------------- intra-batch parallelism --
+
+/// Reuses the ServingEngineTest world/model/pipeline (gtest re-runs the
+/// static SetUpTestSuite for the derived suite). These are the TSan-covered
+/// determinism gates for intra-batch parallel scoring.
+class ParallelScoringTest : public ServingEngineTest {
+ protected:
+  /// A slate of every item in user 0's city, large enough to shard.
+  static std::vector<int32_t> BigSlate() {
+    return world_->CityItems(world_->user(0).city);
+  }
+  static serving::Request MakeRequest() {
+    serving::Request req;
+    req.user_id = 0;
+    req.hour = 12;
+    req.weekday = 2;
+    req.city = world_->user(0).city;
+    req.request_id = 900;
+    return req;
+  }
+};
+
+TEST_F(ParallelScoringTest, ShardedScoresBitIdenticalToSerial) {
+  const std::vector<int32_t> candidates = BigSlate();
+  ASSERT_GE(candidates.size(), 16u);
+  std::vector<data::Example> examples =
+      pipeline_->BuildExamples(MakeRequest(), candidates);
+
+  autograd::NoGradGuard guard;
+  const std::vector<float> serial = serving::ScoreExamples(
+      model_, world_->schema(), examples, /*pool=*/nullptr,
+      /*min_rows_per_shard=*/8);
+  ASSERT_EQ(serial.size(), examples.size());
+
+  ThreadPool pool(3);
+  // Several shard granularities, including one per pool thread and shards
+  // far smaller than the batch: all must reproduce the serial bits.
+  for (int64_t min_shard : {1, 4, 8, 16}) {
+    std::vector<float> sharded = serving::ScoreExamples(
+        model_, world_->schema(), examples, &pool, min_shard);
+    ASSERT_EQ(sharded.size(), serial.size()) << "min_shard=" << min_shard;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(sharded[i], serial[i])
+          << "row " << i << " min_shard=" << min_shard;
+    }
+  }
+  pool.Shutdown();
+}
+
+TEST_F(ParallelScoringTest, EngineParallelSlatesBitIdenticalToSerial) {
+  // Same acceptance gate as SlatesBitIdenticalToSerialPipeline, but with
+  // intra-batch sharding on: 4-request micro-batches of 16 candidates each
+  // cross the 2*min_rows_per_shard=16 threshold and split across the
+  // scoring pool.
+  EngineConfig config;
+  config.num_workers = 2;
+  config.max_batch_requests = 4;
+  config.max_wait_micros = 500;
+  config.scoring_threads = 2;
+  config.min_rows_per_shard = 8;
+  ServingEngine engine(pipeline_, config);
+
+  const int kRequests = 24;
+  Rng rng(78);
+  std::vector<serving::Request> requests(kRequests);
+  std::vector<std::vector<int32_t>> candidates(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    requests[i].user_id = static_cast<int32_t>(rng.UniformInt(0, 199));
+    requests[i].hour = static_cast<int32_t>(rng.UniformInt(0, 23));
+    requests[i].weekday = i % 7;
+    requests[i].city = world_->user(requests[i].user_id).city;
+    requests[i].request_id = i;
+    candidates[i] = recall_->RecallByCity(requests[i].city, 16, rng);
+  }
+
+  std::vector<std::future<SlateResult>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(engine.Submit(requests[i], candidates[i],
+                                    /*deadline_micros=*/60 * 1000 * 1000));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    SlateResult result = futures[i].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    auto serial = pipeline_->RankCandidates(requests[i], candidates[i]);
+    ASSERT_EQ(result.slate.size(), serial.size());
+    for (size_t p = 0; p < serial.size(); ++p) {
+      EXPECT_EQ(result.slate[p].item_id, serial[p].item_id);
+      EXPECT_EQ(result.slate[p].score, serial[p].score);  // bit-identical
+      EXPECT_EQ(result.slate[p].position, serial[p].position);
+    }
+  }
+}
+
+TEST_F(ParallelScoringTest, PipelineParallelRankMatchesSerial) {
+  // A parallel-armed pipeline must rank exactly like the serial one.
+  ThreadPool pool(2);
+  serving::Pipeline parallel_pipeline(*world_, features_, recall_, model_,
+                                      /*recall_size=*/16, /*expose_k=*/6);
+  parallel_pipeline.EnableParallelScoring(&pool, /*min_rows_per_shard=*/8);
+
+  const std::vector<int32_t> candidates = BigSlate();
+  const serving::Request req = MakeRequest();
+  auto serial = pipeline_->RankCandidates(req, candidates);
+  auto parallel = parallel_pipeline.RankCandidates(req, candidates);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t p = 0; p < serial.size(); ++p) {
+    EXPECT_EQ(parallel[p].item_id, serial[p].item_id);
+    EXPECT_EQ(parallel[p].score, serial[p].score);
+    EXPECT_EQ(parallel[p].position, serial[p].position);
+  }
+  pool.Shutdown();
+}
+
+TEST_F(ParallelScoringTest, EngineScoringReusesArenaBlocks) {
+  // Steady-state serving must stop allocating: after a warmup batch seeds
+  // each worker's freelist, later identical batches should be served almost
+  // entirely from recycled blocks.
+  EngineConfig config;
+  config.num_workers = 1;
+  config.max_batch_requests = 1;
+  ServingEngine engine(pipeline_, config);
+
+  serving::Request req = MakeRequest();
+  std::vector<int32_t> candidates = BigSlate();
+  (void)engine.Submit(req, candidates, /*deadline_micros=*/60 * 1000 * 1000)
+      .get();  // warmup seeds the worker's freelists
+
+  const int64_t fresh_before = TensorArena::TotalFreshAllocs();
+  const int64_t reuse_before = TensorArena::TotalReuses();
+  for (int i = 0; i < 4; ++i) {
+    SlateResult result =
+        engine.Submit(req, candidates, /*deadline_micros=*/60 * 1000 * 1000)
+            .get();
+    ASSERT_TRUE(result.status.ok());
+  }
+  const int64_t fresh = TensorArena::TotalFreshAllocs() - fresh_before;
+  const int64_t reuses = TensorArena::TotalReuses() - reuse_before;
+  // The forward pass allocates dozens of tensors per batch; with the arena
+  // warm, reuse must dominate fresh allocation by a wide margin.
+  EXPECT_GT(reuses, 4 * fresh) << "fresh=" << fresh << " reuses=" << reuses;
 }
 
 }  // namespace

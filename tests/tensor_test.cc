@@ -28,6 +28,23 @@ TEST(TensorTest, ThreeDimAccess) {
   EXPECT_EQ(t.at(0, 1, 0), 2.0f);
 }
 
+TEST(TensorTest, DataIs64ByteAligned) {
+  // The SIMD kernels and the serving arena both assume 64-byte storage; the
+  // guarantee must hold for heap-fresh and arena-recycled buffers alike.
+  for (const std::vector<int64_t>& shape :
+       {std::vector<int64_t>{1}, {7}, {3, 5}, {2, 3, 4}, {64, 176}}) {
+    Tensor t(shape);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(t.data()) % 64, 0u)
+        << ShapeToString(shape);
+  }
+  ArenaScope scope;
+  for (int round = 0; round < 2; ++round) {
+    Tensor t({9, 11});
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(t.data()) % 64, 0u)
+        << "arena round " << round;
+  }
+}
+
 TEST(TensorTest, ReshapeInference) {
   Tensor t({2, 6});
   Tensor r = t.Reshape({3, -1});
