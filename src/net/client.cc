@@ -1,0 +1,234 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace basm::net {
+
+StatusOr<RpcClient> RpcClient::Connect(const std::string& host,
+                                       uint16_t port) {
+  StatusOr<TcpConnection> connection = TcpConnection::Connect(host, port);
+  if (!connection.ok()) return connection.status();
+  return RpcClient(std::move(connection).value());
+}
+
+StatusOr<RpcResponse> RpcClient::Call(const RpcRequest& request) {
+  RpcRequest outgoing = request;
+  outgoing.sequence = next_sequence_++;
+  std::vector<uint8_t> frame = EncodeRequestFrame(outgoing);
+  BASM_RETURN_IF_ERROR(connection_.WriteAll(frame.data(), frame.size()));
+
+  uint8_t header_bytes[kFrameHeaderBytes];
+  BASM_RETURN_IF_ERROR(
+      connection_.ReadAll(header_bytes, kFrameHeaderBytes));
+  FrameHeader header;
+  BASM_RETURN_IF_ERROR(
+      DecodeFrameHeader(header_bytes, kFrameHeaderBytes, &header));
+  if (header.type != FrameType::kResponse) {
+    return Status::InvalidArgument("expected a response frame");
+  }
+  std::vector<uint8_t> payload(header.payload_size);
+  BASM_RETURN_IF_ERROR(connection_.ReadAll(payload.data(), payload.size()));
+  BASM_RETURN_IF_ERROR(VerifyPayload(header, payload.data(), payload.size()));
+  RpcResponse response;
+  BASM_RETURN_IF_ERROR(
+      DecodeResponsePayload(payload.data(), payload.size(), &response));
+  // Sequence 0 is the server's "decode failed before the sequence was
+  // known" escape hatch; anything else must echo ours.
+  if (response.sequence != 0 && response.sequence != outgoing.sequence) {
+    return Status::Internal("response sequence mismatch: sent " +
+                            std::to_string(outgoing.sequence) + ", got " +
+                            std::to_string(response.sequence));
+  }
+  return response;
+}
+
+ClientFleet::ClientFleet(const data::World& world, FleetConfig config)
+    : world_(world),
+      config_(config),
+      user_zipf_(world.config().num_users, config.zipf_exponent) {
+  BASM_CHECK_GT(config_.num_clients, 0);
+  BASM_CHECK_GT(config_.num_requests, 0);
+  MutexLock lock(&rehome_mu_);
+  user_replica_.assign(world.config().num_users, -1);
+}
+
+void ClientFleet::ClientLoop(const std::string& host, uint16_t port,
+                             int32_t client_id, int64_t begin, int64_t end,
+                             FleetReport* report,
+                             runtime::LatencyRecorder* recorder) {
+  StatusOr<RpcClient> client = RpcClient::Connect(host, port);
+  if (!client.ok()) {
+    report->transport_errors += end - begin;
+    return;
+  }
+  Rng rng = Rng(config_.seed).Fork(static_cast<uint64_t>(client_id));
+  int32_t consecutive_transport_failures = 0;
+
+  for (int64_t i = begin; i < end; ++i) {
+    RpcRequest request;
+    // Zipf-distributed users over the meal-time exposure curve: the traffic
+    // shape of the paper's Fig 2, offered to the router as-is.
+    request.request.user_id =
+        static_cast<int32_t>(user_zipf_.Sample(rng));
+    request.request.hour = world_.SampleHour(rng);
+    request.request.weekday = static_cast<int32_t>(i % 7);
+    request.request.city = world_.user(request.request.user_id).city;
+    request.request.day = 0;
+    request.request.request_id = static_cast<int32_t>(i);
+    request.deadline_micros = config_.deadline_micros;
+    if (config_.explicit_candidates > 0) {
+      const std::vector<int32_t>& pool =
+          world_.CityItems(request.request.city);
+      std::unordered_set<int32_t> picked;
+      int32_t want = std::min<int32_t>(config_.explicit_candidates,
+                                       static_cast<int32_t>(pool.size()));
+      while (static_cast<int32_t>(picked.size()) < want) {
+        picked.insert(pool[rng.NextUint64(pool.size())]);
+      }
+      request.candidates.assign(picked.begin(), picked.end());
+    }
+
+    ++report->sent;
+    WallTimer call_timer;
+    StatusOr<RpcResponse> called = client.value().Call(request);
+    if (!called.ok()) {
+      ++report->transport_errors;
+      if (++consecutive_transport_failures >=
+          config_.max_transport_failures) {
+        report->transport_errors += end - i - 1;  // abandoned remainder
+        return;
+      }
+      // The stream is broken (or the server closed on a malformed frame);
+      // reconnect and carry on with the next request.
+      client = RpcClient::Connect(host, port);
+      if (!client.ok()) {
+        report->transport_errors += end - i - 1;
+        return;
+      }
+      continue;
+    }
+    consecutive_transport_failures = 0;
+    const RpcResponse& response = called.value();
+    switch (response.code) {
+      case StatusCode::kOk: {
+        ++report->ok;
+        if (response.degraded) ++report->degraded;
+        recorder->RecordLatency(
+            static_cast<int64_t>(call_timer.ElapsedSeconds() * 1e6));
+        int32_t replica = static_cast<int32_t>(response.replica);
+        if (replica >= 0 &&
+            static_cast<size_t>(replica) < 1024 /* sane replica count */) {
+          if (static_cast<size_t>(replica) >=
+              report->per_replica_ok.size()) {
+            report->per_replica_ok.resize(replica + 1, 0);
+          }
+          ++report->per_replica_ok[replica];
+          MutexLock lock(&rehome_mu_);
+          int32_t& last = user_replica_[request.request.user_id];
+          if (last >= 0 && last != replica) ++report->rehomed_users;
+          last = replica;
+        }
+        break;
+      }
+      case StatusCode::kUnavailable:
+        ++report->shed;
+        break;
+      default:
+        ++report->failed;
+        break;
+    }
+  }
+}
+
+StatusOr<FleetReport> ClientFleet::Run(const std::string& host,
+                                       uint16_t port) {
+  FleetReport report;
+  runtime::LatencyRecorder recorder;
+  WallTimer timer;
+
+  const int64_t per_client = config_.num_requests / config_.num_clients;
+  const int64_t remainder = config_.num_requests % config_.num_clients;
+
+  std::vector<FleetReport> partials(config_.num_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(config_.num_clients);
+  int64_t next_begin = 0;
+  for (int32_t c = 0; c < config_.num_clients; ++c) {
+    int64_t begin = next_begin;
+    int64_t end = begin + per_client + (c < remainder ? 1 : 0);
+    next_begin = end;
+    clients.emplace_back([this, host, port, c, begin, end, &partials,
+                          &recorder] {
+      ClientLoop(host, port, c, begin, end, &partials[c], &recorder);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (const FleetReport& partial : partials) {
+    report.sent += partial.sent;
+    report.ok += partial.ok;
+    report.degraded += partial.degraded;
+    report.shed += partial.shed;
+    report.failed += partial.failed;
+    report.transport_errors += partial.transport_errors;
+    report.rehomed_users += partial.rehomed_users;
+    if (partial.per_replica_ok.size() > report.per_replica_ok.size()) {
+      report.per_replica_ok.resize(partial.per_replica_ok.size(), 0);
+    }
+    for (size_t r = 0; r < partial.per_replica_ok.size(); ++r) {
+      report.per_replica_ok[r] += partial.per_replica_ok[r];
+    }
+  }
+  if (report.sent > 0 && report.ok == 0 && report.transport_errors > 0 &&
+      report.shed == 0 && report.failed == 0) {
+    return Status::Unavailable("fleet could not reach " + host + ":" +
+                               std::to_string(port));
+  }
+
+  report.wall_seconds = timer.ElapsedSeconds();
+  if (report.wall_seconds > 0.0) {
+    report.qps = static_cast<double>(report.ok) / report.wall_seconds;
+  }
+  runtime::LatencySnapshot snap = recorder.Snapshot();
+  report.p50_micros = snap.p50_micros;
+  report.p99_micros = snap.p99_micros;
+  return report;
+}
+
+std::string FleetReport::ToString() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "sent %lld  ok %lld  degraded %lld  shed %lld  failed %lld  "
+                "transport errors %lld\n",
+                static_cast<long long>(sent), static_cast<long long>(ok),
+                static_cast<long long>(degraded),
+                static_cast<long long>(shed), static_cast<long long>(failed),
+                static_cast<long long>(transport_errors));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "goodput %.1f qps  p50 %.0f us  p99 %.0f us  "
+                "rehomed users %lld\n",
+                qps, p50_micros, p99_micros,
+                static_cast<long long>(rehomed_users));
+  out += line;
+  if (!per_replica_ok.empty()) {
+    out += "per-replica ok:";
+    for (size_t r = 0; r < per_replica_ok.size(); ++r) {
+      std::snprintf(line, sizeof(line), " r%zu=%lld", r,
+                    static_cast<long long>(per_replica_ok[r]));
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace basm::net

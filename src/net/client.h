@@ -1,0 +1,125 @@
+#ifndef BASM_NET_CLIENT_H_
+#define BASM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "data/synth.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "runtime/latency_recorder.h"
+
+namespace basm::net {
+
+/// Blocking RPC client over one TCP connection: one in-flight call at a
+/// time, sequence numbers assigned and verified per call. Move-only (owns
+/// the connection).
+class RpcClient {
+ public:
+  [[nodiscard]] static StatusOr<RpcClient> Connect(const std::string& host,
+                                                   uint16_t port);
+
+  /// Disconnected client (StatusOr default-constructibility); every use
+  /// goes through Connect().
+  RpcClient() = default;
+
+  RpcClient(RpcClient&&) = default;
+  RpcClient& operator=(RpcClient&&) = default;
+
+  /// Sends the request and blocks for the matching response. The returned
+  /// Status covers transport and framing only — an application-level error
+  /// (shed, unroutable, deadline) comes back as an OK Call whose
+  /// RpcResponse::code is not kOk, exactly as it crossed the wire.
+  [[nodiscard]] StatusOr<RpcResponse> Call(const RpcRequest& request);
+
+ private:
+  explicit RpcClient(TcpConnection connection)
+      : connection_(std::move(connection)) {}
+
+  TcpConnection connection_;
+  uint64_t next_sequence_ = 1;
+};
+
+/// The closed-loop client fleet driving the networked tier: `num_clients`
+/// connections, each submitting its next request the moment the previous
+/// one completes. Traffic follows the paper's serving context — users drawn
+/// Zipf-distributed (a head of heavy orderers, a long tail), request hours
+/// drawn from the World's meal-time diurnal exposure curve, the context
+/// city the user's home city — so the loopback benchmark exercises the
+/// same skew the router's consistent hashing has to absorb.
+struct FleetConfig {
+  int32_t num_clients = 8;
+  /// Total requests across the fleet.
+  int64_t num_requests = 2000;
+  /// Zipf exponent of the user draw (0 = uniform users).
+  double zipf_exponent = 1.1;
+  int64_t deadline_micros = 1000000;
+  /// Per-request explicit candidate count; 0 lets the replica run recall.
+  int32_t explicit_candidates = 0;
+  /// Consecutive transport failures after which a client gives up (the
+  /// server is gone, not a replica).
+  int32_t max_transport_failures = 3;
+  uint64_t seed = 0xF1EE7ULL;
+};
+
+/// Aggregate outcome of one fleet run.
+struct FleetReport {
+  int64_t sent = 0;
+  int64_t ok = 0;
+  /// Subset of `ok` served with a degraded behavior window.
+  int64_t degraded = 0;
+  /// UNAVAILABLE responses: admission-shed, queue-full, or unroutable.
+  int64_t shed = 0;
+  /// Other non-OK responses (deadline exceeded, cancelled, ...).
+  int64_t failed = 0;
+  /// Broken connections / framing errors seen by clients.
+  int64_t transport_errors = 0;
+  /// Users whose answering replica changed mid-run — zero under stable
+  /// replicas (the consistent-hash pin), positive only across a failover.
+  int64_t rehomed_users = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_micros = 0.0;
+  double p99_micros = 0.0;
+  /// OK responses answered by each replica id (kNoReplica excluded).
+  std::vector<int64_t> per_replica_ok;
+
+  std::string ToString() const;
+};
+
+class ClientFleet {
+ public:
+  ClientFleet(const data::World& world, FleetConfig config);
+
+  ClientFleet(const ClientFleet&) = delete;
+  ClientFleet& operator=(const ClientFleet&) = delete;
+
+  /// Runs the whole fleet against host:port and blocks until every client
+  /// finishes. May be called repeatedly (phases of one scenario: baseline,
+  /// kill, recovery); counters accumulate per call, not across calls.
+  [[nodiscard]] StatusOr<FleetReport> Run(const std::string& host,
+                                          uint16_t port);
+
+ private:
+  /// One client's closed loop (requests [begin, end) of the run).
+  void ClientLoop(const std::string& host, uint16_t port, int32_t client_id,
+                  int64_t begin, int64_t end, FleetReport* report,
+                  runtime::LatencyRecorder* recorder);
+
+  const data::World& world_;
+  const FleetConfig config_;
+  const ZipfTable user_zipf_;
+  /// Last replica observed answering each user, across Run() calls; -1
+  /// until first observed. Guarded by rehome_mu_ (cold path: one update
+  /// per response).
+  Mutex rehome_mu_;
+  std::vector<int32_t> user_replica_ BASM_GUARDED_BY(rehome_mu_);
+};
+
+}  // namespace basm::net
+
+#endif  // BASM_NET_CLIENT_H_

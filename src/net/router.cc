@@ -1,0 +1,123 @@
+#include "net/router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace basm::net {
+
+uint64_t Router::HashKey(uint64_t key, uint64_t seed) {
+  // SplitMix64 finalizer over the seeded key: cheap, well-mixed, and stable
+  // across platforms (the ring layout is part of the protocol's behavior).
+  uint64_t z = key + seed * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Router::Router(int32_t num_replicas, RouterConfig config)
+    : config_(config) {
+  BASM_CHECK_GT(num_replicas, 0);
+  BASM_CHECK_GT(config_.virtual_nodes, 0);
+  replicas_.reserve(num_replicas);
+  ring_.reserve(static_cast<size_t>(num_replicas) * config_.virtual_nodes);
+  for (int32_t r = 0; r < num_replicas; ++r) {
+    replicas_.push_back(std::make_unique<Replica>(config_.breaker));
+    for (int32_t v = 0; v < config_.virtual_nodes; ++v) {
+      // Distinct stream per (replica, vnode); the replica id is folded in
+      // before hashing so adjacent replicas land on unrelated arcs.
+      uint64_t key = (static_cast<uint64_t>(r) << 32) |
+                     static_cast<uint64_t>(v);
+      ring_.push_back(Point{HashKey(key, config_.hash_seed ^ 0x5EEDULL), r});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash < b.hash || (a.hash == b.hash && a.replica < b.replica);
+  });
+}
+
+void Router::WalkOrder(int32_t user_id, std::vector<int32_t>* order) const {
+  order->clear();
+  uint64_t h = HashKey(static_cast<uint64_t>(static_cast<uint32_t>(user_id)),
+                       config_.hash_seed);
+  size_t start = std::lower_bound(ring_.begin(), ring_.end(), h,
+                                  [](const Point& p, uint64_t value) {
+                                    return p.hash < value;
+                                  }) -
+                 ring_.begin();
+  std::vector<bool> seen(replicas_.size(), false);
+  for (size_t i = 0; i < ring_.size() &&
+                     order->size() < replicas_.size();
+       ++i) {
+    const Point& p = ring_[(start + i) % ring_.size()];
+    if (!seen[p.replica]) {
+      seen[p.replica] = true;
+      order->push_back(p.replica);
+    }
+  }
+}
+
+int32_t Router::HomeReplica(int32_t user_id) const {
+  std::vector<int32_t> order;
+  WalkOrder(user_id, &order);
+  return order.front();
+}
+
+StatusOr<int32_t> Router::Route(int32_t user_id) {
+  std::vector<int32_t> order;
+  WalkOrder(user_id, &order);
+  for (size_t i = 0; i < order.size(); ++i) {
+    int32_t r = order[i];
+    Replica& replica = *replicas_[r];
+    if (replica.down.load(std::memory_order_relaxed)) continue;
+    // Allow() is the breaker's admission gate: open replicas are skipped
+    // (their users fail over), half-open replicas admit bounded probes so
+    // a revived replica wins its shard back.
+    if (!replica.breaker.Allow()) continue;
+    replica.routed.fetch_add(1, std::memory_order_relaxed);
+    routed_.fetch_add(1, std::memory_order_relaxed);
+    if (i > 0) failovers_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+  }
+  unroutable_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Unavailable("no admissible replica for user " +
+                             std::to_string(user_id));
+}
+
+void Router::ReportSuccess(int32_t replica) {
+  replicas_.at(replica)->breaker.RecordSuccess();
+}
+
+bool Router::ReportFailure(int32_t replica) {
+  return replicas_.at(replica)->breaker.RecordFailure();
+}
+
+void Router::MarkDown(int32_t replica) {
+  replicas_.at(replica)->down.store(true, std::memory_order_relaxed);
+}
+
+void Router::MarkUp(int32_t replica) {
+  replicas_.at(replica)->down.store(false, std::memory_order_relaxed);
+}
+
+bool Router::IsDown(int32_t replica) const {
+  return replicas_.at(replica)->down.load(std::memory_order_relaxed);
+}
+
+CircuitBreaker::Stats Router::BreakerStats(int32_t replica) const {
+  return replicas_.at(replica)->breaker.stats();
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.routed = routed_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.unroutable = unroutable_.load(std::memory_order_relaxed);
+  s.per_replica.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    s.per_replica.push_back(replica->routed.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+}  // namespace basm::net

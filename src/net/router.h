@@ -1,0 +1,114 @@
+#ifndef BASM_NET_ROUTER_H_
+#define BASM_NET_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/circuit_breaker.h"
+#include "common/status.h"
+
+namespace basm::net {
+
+struct RouterConfig {
+  /// Ring points per replica. More virtual nodes flatten the shard-size
+  /// distribution (64 keeps the max/min user share within ~2x).
+  int32_t virtual_nodes = 64;
+  /// Salt of the ring and user hashes; changing it reshuffles every shard,
+  /// so it is part of the deployment's identity, not a tuning knob.
+  uint64_t hash_seed = 0xBA53ULL;
+  /// Per-replica breaker: consecutive engine failures trip the replica out
+  /// of the ring walk until its open window elapses and probes succeed.
+  CircuitBreakerConfig breaker;
+};
+
+/// Counters of one router since construction (all monotonic).
+struct RouterStats {
+  int64_t routed = 0;      ///< successful Route() calls
+  int64_t failovers = 0;   ///< routed away from the home replica
+  int64_t unroutable = 0;  ///< every replica down or short-circuited
+  std::vector<int64_t> per_replica;  ///< routed count per replica
+};
+
+/// Consistent-hash user sharding across N serving replicas, the routing
+/// brain of the RPC frontend. Each replica owns `virtual_nodes` points on a
+/// hash ring; a user maps to the first point at or after hash(user), so
+/// every user is pinned to one home replica (cache locality, per-user
+/// feature affinity) and adding or removing a replica only re-homes the
+/// users of the affected arc — not the whole population.
+///
+/// Health is folded into the walk: a replica that is marked down (admin
+/// kill) or whose circuit breaker refuses admission is skipped, and the
+/// user's requests fail over to the next distinct replica on the ring.
+/// Users of healthy replicas keep their pins during a failover — only the
+/// dead replica's arc moves, which is the property the end-to-end test
+/// asserts. Thread-safe: Route/Report are lock-free reads over the
+/// immutable ring plus the breaker's own mutex.
+class Router {
+ public:
+  Router(int32_t num_replicas, RouterConfig config);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// The replica this user hashes to when every replica is healthy — the
+  /// sharding contract, independent of current health.
+  int32_t HomeReplica(int32_t user_id) const;
+
+  /// Health-aware pick for one request. Walks the ring from the user's
+  /// point, skipping down/short-circuited replicas; UNAVAILABLE when no
+  /// replica is admissible.
+  [[nodiscard]] StatusOr<int32_t> Route(int32_t user_id);
+
+  /// Outcome report for a routed call: feeds the replica's breaker.
+  void ReportSuccess(int32_t replica);
+  /// Returns true when this failure tripped the replica's breaker open.
+  bool ReportFailure(int32_t replica);
+
+  /// Administrative kill switch, independent of the breaker (the example
+  /// uses it; the chaos path trips breakers organically).
+  void MarkDown(int32_t replica);
+  void MarkUp(int32_t replica);
+  bool IsDown(int32_t replica) const;
+
+  CircuitBreaker::Stats BreakerStats(int32_t replica) const;
+  RouterStats stats() const;
+
+  int32_t num_replicas() const {
+    return static_cast<int32_t>(replicas_.size());
+  }
+
+  /// The user hash (SplitMix64 finalizer over user_id and the seed);
+  /// exposed so tests can reason about ring placement.
+  static uint64_t HashKey(uint64_t key, uint64_t seed);
+
+ private:
+  struct Replica {
+    explicit Replica(const CircuitBreakerConfig& config) : breaker(config) {}
+    CircuitBreaker breaker;
+    std::atomic<bool> down{false};
+    std::atomic<int64_t> routed{0};
+  };
+
+  /// Ring point: hash position -> replica index, sorted by hash.
+  struct Point {
+    uint64_t hash;
+    int32_t replica;
+  };
+
+  /// First distinct replicas on the ring at or after hash(user), in walk
+  /// order (size == num_replicas).
+  void WalkOrder(int32_t user_id, std::vector<int32_t>* order) const;
+
+  const RouterConfig config_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<Point> ring_;  ///< immutable after construction
+  std::atomic<int64_t> routed_{0};
+  std::atomic<int64_t> failovers_{0};
+  std::atomic<int64_t> unroutable_{0};
+};
+
+}  // namespace basm::net
+
+#endif  // BASM_NET_ROUTER_H_

@@ -1,0 +1,254 @@
+#include "net/server.h"
+
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace basm::net {
+
+RpcServer::RpcServer(std::vector<runtime::ServingEngine*> replicas,
+                     Router* router, ServerConfig config)
+    : replicas_(std::move(replicas)), router_(router), config_(config) {
+  BASM_CHECK(!replicas_.empty());
+  BASM_CHECK(router_ != nullptr);
+  BASM_CHECK_EQ(router_->num_replicas(),
+                static_cast<int32_t>(replicas_.size()));
+  BASM_CHECK_GT(config_.io_threads, 0);
+  BASM_CHECK_GE(config_.max_failovers, 0);
+  for (runtime::ServingEngine* engine : replicas_) {
+    BASM_CHECK(engine != nullptr);
+  }
+  per_replica_.reserve(replicas_.size());
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    per_replica_.push_back(std::make_unique<PerReplica>());
+  }
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+Status RpcServer::Start() {
+  MutexLock lock(&lifecycle_mu_);
+  BASM_CHECK(!started_) << "RpcServer started twice";
+  StatusOr<TcpListener> listener = TcpListener::Bind(config_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  handlers_ = std::make_unique<ThreadPool>(config_.io_threads);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void RpcServer::Stop() {
+  MutexLock lock(&lifecycle_mu_);
+  if (!started_ || stopped_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  // Handler loops poll the stop flag between frames and exit within one
+  // poll interval; the pool drain joins them all.
+  if (acceptor_.joinable()) acceptor_.join();
+  handlers_->Shutdown();
+  stopped_ = true;
+}
+
+void RpcServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    StatusOr<bool> ready = listener_.WaitAcceptable(config_.poll_interval_ms);
+    if (!ready.ok()) {
+      BASM_LOG(Warning) << "acceptor poll failed: "
+                        << ready.status().ToString();
+      return;
+    }
+    if (!ready.value()) continue;  // timeout: re-check the stop flag
+    StatusOr<TcpConnection> accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      BASM_LOG(Warning) << "accept failed: " << accepted.status().ToString();
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    // shared_ptr because std::function requires a copyable closure.
+    auto connection =
+        std::make_shared<TcpConnection>(std::move(accepted).value());
+    handlers_->Submit([this, connection] { HandleConnection(connection); });
+  }
+}
+
+void RpcServer::HandleConnection(std::shared_ptr<TcpConnection> connection) {
+  std::vector<uint8_t> payload;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    StatusOr<bool> readable =
+        connection->WaitReadable(config_.poll_interval_ms);
+    if (!readable.ok()) return;
+    if (!readable.value()) continue;  // timeout: re-check the stop flag
+
+    uint8_t header_bytes[kFrameHeaderBytes];
+    Status read = connection->ReadAll(header_bytes, kFrameHeaderBytes);
+    if (!read.ok()) return;  // clean close or broken stream: drop quietly
+
+    FrameHeader header;
+    Status decoded = DecodeFrameHeader(header_bytes, kFrameHeaderBytes,
+                                       &header);
+    RpcRequest request;
+    Status frame_ok = decoded;
+    if (decoded.ok()) {
+      if (header.type != FrameType::kRequest) {
+        frame_ok = Status::InvalidArgument("expected a request frame");
+      } else {
+        payload.resize(header.payload_size);
+        read = connection->ReadAll(payload.data(), payload.size());
+        if (!read.ok()) return;
+        frames_received_.fetch_add(1, std::memory_order_relaxed);
+        frame_ok = VerifyPayload(header, payload.data(), payload.size());
+        if (frame_ok.ok()) {
+          frame_ok =
+              DecodeRequestPayload(payload.data(), payload.size(), &request);
+        }
+      }
+    }
+
+    if (!frame_ok.ok()) {
+      // Malformed frame: best-effort error response (the peer may be a
+      // buggy client rather than garbage traffic), then close — the byte
+      // stream can no longer be trusted to be frame-aligned.
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      RpcResponse error;
+      error.sequence = request.sequence;  // 0 unless decode got that far
+      error.replica = kNoReplica;
+      error.code = frame_ok.code();
+      error.message = frame_ok.message();
+      std::vector<uint8_t> frame = EncodeResponseFrame(error);
+      (void)connection->WriteAll(frame.data(), frame.size());
+      return;
+    }
+
+    RpcResponse response = HandleRequest(request);
+    std::vector<uint8_t> frame = EncodeResponseFrame(response);
+    Status written = connection->WriteAll(frame.data(), frame.size());
+    if (!written.ok()) return;
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+RpcResponse RpcServer::HandleRequest(const RpcRequest& request) {
+  RpcResponse response;
+  response.sequence = request.sequence;
+  response.replica = kNoReplica;
+
+  int32_t failovers_left = config_.max_failovers;
+  while (true) {
+    StatusOr<int32_t> routed = router_->Route(request.request.user_id);
+    if (!routed.ok()) {
+      unroutable_.fetch_add(1, std::memory_order_relaxed);
+      response.code = StatusCode::kUnavailable;
+      response.message = routed.status().message();
+      return response;
+    }
+    const int32_t r = routed.value();
+    runtime::ServingEngine* engine = replicas_[r];
+    response.replica = static_cast<uint32_t>(r);
+
+    // Admission control: shed while the replica's backlog is saturated
+    // instead of letting the request join a queue it will time out in.
+    // Deliberately no breaker report — overload is backpressure, not
+    // death, and must not re-home the user's shard.
+    const double capacity = static_cast<double>(engine->queue_capacity());
+    if (config_.shed_queue_fraction < 1.0 &&
+        static_cast<double>(engine->QueueDepth()) >=
+            config_.shed_queue_fraction * capacity) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      response.code = StatusCode::kUnavailable;
+      response.message = "replica " + std::to_string(r) + " saturated";
+      return response;
+    }
+
+    std::future<runtime::SlateResult> future =
+        request.deadline_micros > 0
+            ? engine->Submit(request.request, request.candidates,
+                             request.deadline_micros)
+            : engine->Submit(request.request, request.candidates);
+    runtime::SlateResult result = future.get();
+
+    if (result.status.ok()) {
+      router_->ReportSuccess(r);
+      per_replica_[r]->ok.fetch_add(1, std::memory_order_relaxed);
+      response.code = StatusCode::kOk;
+      response.model_version = result.model_version;
+      response.degraded = result.degraded;
+      response.slate = std::move(result.slate);
+      return response;
+    }
+
+    if (result.status.code() == StatusCode::kCancelled) {
+      // The engine is shut down — this replica is dead. Feed its breaker
+      // (consecutive failures open it, removing the replica from the ring
+      // walk) and transparently fail the request over to a survivor.
+      router_->ReportFailure(r);
+      per_replica_[r]->failed.fetch_add(1, std::memory_order_relaxed);
+      if (failovers_left > 0) {
+        --failovers_left;
+        failover_retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    } else if (result.status.code() == StatusCode::kUnavailable) {
+      // Queue-full reject from a live replica: counted as shed, breaker
+      // untouched (same reasoning as the admission check above).
+      shed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Deadline-exceeded and other per-request failures: the replica
+      // answered, so it is alive; report nothing to the breaker.
+      per_replica_[r]->failed.fetch_add(1, std::memory_order_relaxed);
+    }
+    response.code = result.status.code();
+    response.message = result.status.message();
+    return response;
+  }
+}
+
+ServerStats RpcServer::stats() const {
+  ServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.unroutable = unroutable_.load(std::memory_order_relaxed);
+  s.failover_retries = failover_retries_.load(std::memory_order_relaxed);
+  s.per_replica_ok.reserve(per_replica_.size());
+  s.per_replica_failed.reserve(per_replica_.size());
+  for (const auto& pr : per_replica_) {
+    s.per_replica_ok.push_back(pr->ok.load(std::memory_order_relaxed));
+    s.per_replica_failed.push_back(
+        pr->failed.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+std::string ServerStats::ToString() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "connections %lld  frames %lld  responses %lld  "
+                "decode errors %lld\n",
+                static_cast<long long>(connections_accepted),
+                static_cast<long long>(frames_received),
+                static_cast<long long>(responses_sent),
+                static_cast<long long>(decode_errors));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "shed %lld  unroutable %lld  failover retries %lld\n",
+                static_cast<long long>(shed),
+                static_cast<long long>(unroutable),
+                static_cast<long long>(failover_retries));
+  out += line;
+  for (size_t r = 0; r < per_replica_ok.size(); ++r) {
+    std::snprintf(line, sizeof(line), "replica %zu: ok %lld  failed %lld\n",
+                  r, static_cast<long long>(per_replica_ok[r]),
+                  static_cast<long long>(per_replica_failed[r]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace basm::net

@@ -1,0 +1,143 @@
+#ifndef BASM_NET_SERVER_H_
+#define BASM_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "common/thread_pool.h"
+#include "net/router.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "runtime/serving_engine.h"
+
+namespace basm::net {
+
+/// Replica field of a response that never reached any replica.
+inline constexpr uint32_t kNoReplica = 0xFFFFFFFFu;
+
+struct ServerConfig {
+  /// 0 binds an ephemeral port; read it back with port() after Start().
+  uint16_t port = 0;
+  /// Connection-handler threads (thread-per-connection): the frontend
+  /// serves at most this many concurrent connections; further accepts
+  /// queue on the pool.
+  int32_t io_threads = 8;
+  /// Admission control: a request whose target replica's backlog is at or
+  /// above this fraction of its queue capacity is shed with UNAVAILABLE
+  /// before submission — the proactive layer on top of the engine's own
+  /// reject-on-full. >= 1.0 disables proactive shedding (the engine's
+  /// bounded queue still rejects at capacity).
+  double shed_queue_fraction = 0.9;
+  /// Dead-replica failover budget: a submit that fails because the replica
+  /// is gone (CANCELLED) is re-routed (breaker now open or counting) at
+  /// most this many extra times before the error goes back to the client.
+  int32_t max_failovers = 2;
+  /// Stop-flag poll cadence of the acceptor and handler loops.
+  int32_t poll_interval_ms = 20;
+};
+
+/// Counters of one server since Start() (all monotonic; snapshot is
+/// internally consistent only per-counter, like the latency recorder).
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t frames_received = 0;
+  int64_t responses_sent = 0;
+  /// Malformed frames (bad magic/version/checksum/bounds): answered with an
+  /// error response where possible, and the connection is closed — framing
+  /// cannot be trusted after a corrupt frame.
+  int64_t decode_errors = 0;
+  /// Requests shed by admission control or the replica's full queue.
+  int64_t shed = 0;
+  /// Requests with no admissible replica (all down / breakers open).
+  int64_t unroutable = 0;
+  /// Dead-replica submits transparently retried on a survivor.
+  int64_t failover_retries = 0;
+  std::vector<int64_t> per_replica_ok;
+  std::vector<int64_t> per_replica_failed;
+
+  std::string ToString() const;
+};
+
+/// TCP frontend of the multi-replica serving tier: a loopback/LAN acceptor
+/// (thread-per-connection on common::ThreadPool) speaking the length-
+/// prefixed binary protocol of net/wire.h, fronting N independent
+/// ServingEngine replicas behind a consistent-hash Router.
+///
+/// Request path per frame: decode -> Route (consistent hash + breaker
+/// health) -> admission control against the replica's live queue depth ->
+/// ServingEngine::Submit -> encode the slate (or the error) back. A submit
+/// that fails because the replica is dead (engine shut down) feeds the
+/// replica's breaker and fails over to the next ring replica within
+/// `max_failovers`; queue-full rejects are shed *without* touching the
+/// breaker — overload is not death, and collapsing the two would let a
+/// traffic spike evict a healthy replica's shard.
+///
+/// The engines and router are borrowed and must outlive Stop(). Connections
+/// are handled synchronously (one in-flight request per connection), which
+/// matches the closed-loop client fleet; concurrency comes from many
+/// connections, micro-batching inside each engine from concurrent arrivals.
+class RpcServer {
+ public:
+  RpcServer(std::vector<runtime::ServingEngine*> replicas, Router* router,
+            ServerConfig config);
+  /// Stops and joins (equivalent to Stop()).
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds the listener and starts the acceptor + handler pool. Call once.
+  [[nodiscard]] Status Start() BASM_EXCLUDES(lifecycle_mu_);
+
+  /// Stops accepting, drains handler loops, joins everything. Idempotent.
+  void Stop() BASM_EXCLUDES(lifecycle_mu_);
+
+  /// Bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(std::shared_ptr<TcpConnection> connection);
+  /// Routes and scores one decoded request (the failover loop lives here).
+  RpcResponse HandleRequest(const RpcRequest& request);
+
+  const std::vector<runtime::ServingEngine*> replicas_;
+  Router* router_;
+  const ServerConfig config_;
+
+  TcpListener listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  /// Handler pool plus the acceptor thread; both live between Start/Stop.
+  std::unique_ptr<ThreadPool> handlers_;
+  Mutex lifecycle_mu_;
+  bool started_ BASM_GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ BASM_GUARDED_BY(lifecycle_mu_) = false;
+  std::thread acceptor_ BASM_GUARDED_BY(lifecycle_mu_);
+
+  struct PerReplica {
+    std::atomic<int64_t> ok{0};
+    std::atomic<int64_t> failed{0};
+  };
+  std::vector<std::unique_ptr<PerReplica>> per_replica_;
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> frames_received_{0};
+  std::atomic<int64_t> responses_sent_{0};
+  std::atomic<int64_t> decode_errors_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> unroutable_{0};
+  std::atomic<int64_t> failover_retries_{0};
+};
+
+}  // namespace basm::net
+
+#endif  // BASM_NET_SERVER_H_

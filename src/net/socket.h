@@ -1,0 +1,105 @@
+#ifndef BASM_NET_SOCKET_H_
+#define BASM_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace basm::net {
+
+/// Move-only RAII owner of a POSIX socket descriptor. All failures surface
+/// as Status (never errno leaks past this layer); EINTR is retried inside.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Closes the descriptor (idempotent).
+  void Close();
+
+  /// Half-closes both directions, waking any thread blocked on this socket
+  /// in read/accept with an error — the shutdown hook of the server's
+  /// connection handlers. The descriptor itself stays owned until Close().
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Blocking full-buffer transfers over a connected TCP socket, the framing
+/// substrate of the wire protocol (a frame is one WriteAll of header +
+/// payload, one ReadAll of the header, one ReadAll of the payload).
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Connects to host:port (dotted-quad host, e.g. loopback "127.0.0.1").
+  /// TCP_NODELAY is set: frames are small and latency-bound.
+  [[nodiscard]] static StatusOr<TcpConnection> Connect(
+      const std::string& host, uint16_t port);
+
+  bool valid() const { return socket_.valid(); }
+
+  /// Writes exactly `size` bytes or fails. A peer reset surfaces as
+  /// UNAVAILABLE.
+  [[nodiscard]] Status WriteAll(const void* data, size_t size);
+
+  /// Reads exactly `size` bytes or fails. A clean peer close before the
+  /// first byte is CANCELLED ("connection closed"); mid-buffer EOF is
+  /// UNAVAILABLE (truncated stream).
+  [[nodiscard]] Status ReadAll(void* data, size_t size);
+
+  /// Blocks up to `timeout_ms` for readability. Returns true when a read
+  /// would not block (data or EOF pending), false on timeout. Lets handler
+  /// loops poll a stop flag instead of parking forever in ReadAll.
+  [[nodiscard]] StatusOr<bool> WaitReadable(int timeout_ms);
+
+  /// Wakes any blocked reader/writer with an error (see Socket).
+  void Shutdown() { socket_.ShutdownBoth(); }
+
+ private:
+  Socket socket_;
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 binds an ephemeral port;
+/// `port()` reports the one actually bound (how the tests and the loopback
+/// bench avoid port collisions).
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  [[nodiscard]] static StatusOr<TcpListener> Bind(uint16_t port,
+                                                  int backlog = 128);
+
+  bool valid() const { return socket_.valid(); }
+  uint16_t port() const { return port_; }
+
+  /// Blocks up to `timeout_ms` for a pending connection; nullopt-like
+  /// false on timeout (the acceptor loop's stop-flag poll point).
+  [[nodiscard]] StatusOr<bool> WaitAcceptable(int timeout_ms);
+
+  /// Accepts one pending connection (blocking; pair with WaitAcceptable).
+  [[nodiscard]] StatusOr<TcpConnection> Accept();
+
+ private:
+  TcpListener(Socket socket, uint16_t port)
+      : socket_(std::move(socket)), port_(port) {}
+
+  Socket socket_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace basm::net
+
+#endif  // BASM_NET_SOCKET_H_

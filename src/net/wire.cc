@@ -1,0 +1,349 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace basm::net {
+
+namespace {
+
+/// Wire image of StatusCode. The enum is part of the protocol, so decode
+/// validates the range instead of trusting the peer's byte.
+constexpr uint8_t kMaxWireStatusCode =
+    static_cast<uint8_t>(StatusCode::kCancelled);
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void StoreU32(uint32_t v, uint8_t* p) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+uint32_t WireChecksum(const uint8_t* data, size_t size) {
+  uint32_t hash = 2166136261u;  // FNV-1a 32-bit offset basis
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 16777619u;  // FNV prime
+  }
+  return hash;
+}
+
+void EncodeFrameHeader(const FrameHeader& header, uint8_t* out) {
+  StoreU32(kWireMagic, out);
+  out[4] = header.version;
+  out[5] = static_cast<uint8_t>(header.type);
+  out[6] = 0;  // reserved flags
+  out[7] = 0;
+  StoreU32(header.payload_size, out + 8);
+  StoreU32(header.checksum, out + 12);
+}
+
+Status DecodeFrameHeader(const uint8_t* data, size_t size, FrameHeader* out) {
+  BASM_CHECK(out != nullptr);
+  if (size < kFrameHeaderBytes) {
+    return Status::OutOfRange("frame header truncated: " +
+                              std::to_string(size) + " of " +
+                              std::to_string(kFrameHeaderBytes) + " bytes");
+  }
+  uint32_t magic = LoadU32(data);
+  if (magic != kWireMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (data[4] != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(data[4]) + " (expected " +
+                                   std::to_string(kWireVersion) + ")");
+  }
+  uint8_t type = data[5];
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse)) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  if (data[6] != 0 || data[7] != 0) {
+    return Status::InvalidArgument("nonzero reserved frame flags");
+  }
+  uint32_t payload_size = LoadU32(data + 8);
+  if (payload_size > kMaxPayloadBytes) {
+    return Status::OutOfRange("payload size " + std::to_string(payload_size) +
+                              " exceeds cap " +
+                              std::to_string(kMaxPayloadBytes));
+  }
+  out->version = data[4];
+  out->type = static_cast<FrameType>(type);
+  out->payload_size = payload_size;
+  out->checksum = LoadU32(data + 12);
+  return Status::Ok();
+}
+
+Status VerifyPayload(const FrameHeader& header, const uint8_t* payload,
+                     size_t size) {
+  if (size != header.payload_size) {
+    return Status::OutOfRange(
+        "payload size mismatch: got " + std::to_string(size) + ", header " +
+        std::to_string(header.payload_size));
+  }
+  uint32_t checksum = WireChecksum(payload, size);
+  if (checksum != header.checksum) {
+    return Status::InvalidArgument("payload checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+// --- WireWriter -------------------------------------------------------------
+
+void WireWriter::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::PutU32(uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buf_.push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buf_.push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::PutF32(float v) { PutU32(std::bit_cast<uint32_t>(v)); }
+
+void WireWriter::PutBytes(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+// --- WireReader -------------------------------------------------------------
+
+Status WireReader::Take(size_t n, const uint8_t** out) {
+  if (n > size_ - pos_) {
+    return Status::OutOfRange("payload truncated: need " + std::to_string(n) +
+                              " bytes, have " + std::to_string(size_ - pos_));
+  }
+  *out = data_ + pos_;
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status WireReader::ReadU8(uint8_t* out) {
+  const uint8_t* p = nullptr;
+  BASM_RETURN_IF_ERROR(Take(1, &p));
+  *out = p[0];
+  return Status::Ok();
+}
+
+Status WireReader::ReadU16(uint16_t* out) {
+  const uint8_t* p = nullptr;
+  BASM_RETURN_IF_ERROR(Take(2, &p));
+  *out = static_cast<uint16_t>(p[0] | (p[1] << 8));
+  return Status::Ok();
+}
+
+Status WireReader::ReadU32(uint32_t* out) {
+  const uint8_t* p = nullptr;
+  BASM_RETURN_IF_ERROR(Take(4, &p));
+  *out = LoadU32(p);
+  return Status::Ok();
+}
+
+Status WireReader::ReadU64(uint64_t* out) {
+  const uint8_t* p = nullptr;
+  BASM_RETURN_IF_ERROR(Take(8, &p));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  *out = v;
+  return Status::Ok();
+}
+
+Status WireReader::ReadI32(int32_t* out) {
+  uint32_t v = 0;
+  BASM_RETURN_IF_ERROR(ReadU32(&v));
+  *out = static_cast<int32_t>(v);
+  return Status::Ok();
+}
+
+Status WireReader::ReadI64(int64_t* out) {
+  uint64_t v = 0;
+  BASM_RETURN_IF_ERROR(ReadU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::Ok();
+}
+
+Status WireReader::ReadF32(float* out) {
+  uint32_t v = 0;
+  BASM_RETURN_IF_ERROR(ReadU32(&v));
+  *out = std::bit_cast<float>(v);
+  return Status::Ok();
+}
+
+Status WireReader::ReadBytes(size_t n, std::string* out) {
+  const uint8_t* p = nullptr;
+  BASM_RETURN_IF_ERROR(Take(n, &p));
+  out->assign(reinterpret_cast<const char*>(p), n);
+  return Status::Ok();
+}
+
+// --- request / response payloads -------------------------------------------
+
+namespace {
+
+std::vector<uint8_t> FinishFrame(FrameType type, WireWriter payload) {
+  std::vector<uint8_t> body = payload.Release();
+  FrameHeader header;
+  header.type = type;
+  header.payload_size = static_cast<uint32_t>(body.size());
+  header.checksum = WireChecksum(body.data(), body.size());
+
+  std::vector<uint8_t> frame(kFrameHeaderBytes + body.size());
+  EncodeFrameHeader(header, frame.data());
+  std::memcpy(frame.data() + kFrameHeaderBytes, body.data(), body.size());
+  return frame;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRequestFrame(const RpcRequest& request) {
+  BASM_CHECK_LE(request.candidates.size(),
+                static_cast<size_t>(kMaxWireCandidates));
+  WireWriter w;
+  w.PutU64(request.sequence);
+  w.PutI32(request.request.user_id);
+  w.PutI32(request.request.hour);
+  w.PutI32(request.request.weekday);
+  w.PutI32(request.request.city);
+  w.PutI32(request.request.day);
+  w.PutI32(request.request.request_id);
+  w.PutI64(request.deadline_micros);
+  w.PutU32(static_cast<uint32_t>(request.candidates.size()));
+  for (int32_t candidate : request.candidates) w.PutI32(candidate);
+  return FinishFrame(FrameType::kRequest, std::move(w));
+}
+
+std::vector<uint8_t> EncodeResponseFrame(const RpcResponse& response) {
+  BASM_CHECK_LE(response.slate.size(), static_cast<size_t>(kMaxWireSlate));
+  WireWriter w;
+  w.PutU64(response.sequence);
+  w.PutU8(static_cast<uint8_t>(response.code));
+  w.PutU8(response.degraded ? 1 : 0);
+  w.PutU32(response.replica);
+  w.PutU64(response.model_version);
+  // Status message, truncated to the wire cap (diagnostic, not data).
+  size_t msg_len = std::min<size_t>(response.message.size(),
+                                    kMaxWireMessageBytes);
+  w.PutU16(static_cast<uint16_t>(msg_len));
+  w.PutBytes(response.message.data(), msg_len);
+  w.PutU32(static_cast<uint32_t>(response.slate.size()));
+  for (const serving::RankedItem& item : response.slate) {
+    w.PutI32(item.item_id);
+    w.PutF32(item.score);
+    w.PutI32(item.position);
+  }
+  return FinishFrame(FrameType::kResponse, std::move(w));
+}
+
+Status DecodeRequestPayload(const uint8_t* payload, size_t size,
+                            RpcRequest* out) {
+  BASM_CHECK(out != nullptr);
+  WireReader r(payload, size);
+  BASM_RETURN_IF_ERROR(r.ReadU64(&out->sequence));
+  BASM_RETURN_IF_ERROR(r.ReadI32(&out->request.user_id));
+  BASM_RETURN_IF_ERROR(r.ReadI32(&out->request.hour));
+  BASM_RETURN_IF_ERROR(r.ReadI32(&out->request.weekday));
+  BASM_RETURN_IF_ERROR(r.ReadI32(&out->request.city));
+  BASM_RETURN_IF_ERROR(r.ReadI32(&out->request.day));
+  BASM_RETURN_IF_ERROR(r.ReadI32(&out->request.request_id));
+  BASM_RETURN_IF_ERROR(r.ReadI64(&out->deadline_micros));
+  uint32_t num_candidates = 0;
+  BASM_RETURN_IF_ERROR(r.ReadU32(&num_candidates));
+  if (num_candidates > kMaxWireCandidates) {
+    return Status::OutOfRange("candidate count " +
+                              std::to_string(num_candidates) +
+                              " exceeds cap " +
+                              std::to_string(kMaxWireCandidates));
+  }
+  // The count is validated against the bytes actually present before any
+  // allocation sized from it.
+  if (r.remaining() < static_cast<size_t>(num_candidates) * 4) {
+    return Status::OutOfRange("candidate list truncated");
+  }
+  out->candidates.clear();
+  out->candidates.reserve(num_candidates);
+  for (uint32_t i = 0; i < num_candidates; ++i) {
+    int32_t candidate = 0;
+    BASM_RETURN_IF_ERROR(r.ReadI32(&candidate));
+    out->candidates.push_back(candidate);
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "trailing bytes after request payload: " +
+        std::to_string(r.remaining()));
+  }
+  return Status::Ok();
+}
+
+Status DecodeResponsePayload(const uint8_t* payload, size_t size,
+                             RpcResponse* out) {
+  BASM_CHECK(out != nullptr);
+  WireReader r(payload, size);
+  BASM_RETURN_IF_ERROR(r.ReadU64(&out->sequence));
+  uint8_t code = 0;
+  BASM_RETURN_IF_ERROR(r.ReadU8(&code));
+  if (code > kMaxWireStatusCode) {
+    return Status::InvalidArgument("unknown wire status code " +
+                                   std::to_string(code));
+  }
+  out->code = static_cast<StatusCode>(code);
+  uint8_t degraded = 0;
+  BASM_RETURN_IF_ERROR(r.ReadU8(&degraded));
+  if (degraded > 1) {
+    return Status::InvalidArgument("degraded flag must be 0 or 1");
+  }
+  out->degraded = degraded == 1;
+  BASM_RETURN_IF_ERROR(r.ReadU32(&out->replica));
+  BASM_RETURN_IF_ERROR(r.ReadU64(&out->model_version));
+  uint16_t msg_len = 0;
+  BASM_RETURN_IF_ERROR(r.ReadU16(&msg_len));
+  if (msg_len > kMaxWireMessageBytes) {
+    return Status::OutOfRange("status message length " +
+                              std::to_string(msg_len) + " exceeds cap " +
+                              std::to_string(kMaxWireMessageBytes));
+  }
+  BASM_RETURN_IF_ERROR(r.ReadBytes(msg_len, &out->message));
+  uint32_t num_items = 0;
+  BASM_RETURN_IF_ERROR(r.ReadU32(&num_items));
+  if (num_items > kMaxWireSlate) {
+    return Status::OutOfRange("slate size " + std::to_string(num_items) +
+                              " exceeds cap " + std::to_string(kMaxWireSlate));
+  }
+  if (r.remaining() < static_cast<size_t>(num_items) * 12) {
+    return Status::OutOfRange("slate truncated");
+  }
+  out->slate.clear();
+  out->slate.reserve(num_items);
+  for (uint32_t i = 0; i < num_items; ++i) {
+    serving::RankedItem item;
+    BASM_RETURN_IF_ERROR(r.ReadI32(&item.item_id));
+    BASM_RETURN_IF_ERROR(r.ReadF32(&item.score));
+    BASM_RETURN_IF_ERROR(r.ReadI32(&item.position));
+    out->slate.push_back(item);
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "trailing bytes after response payload: " +
+        std::to_string(r.remaining()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace basm::net

@@ -1,0 +1,153 @@
+#ifndef BASM_NET_WIRE_H_
+#define BASM_NET_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serving/pipeline.h"
+
+namespace basm::net {
+
+/// Length-prefixed binary wire protocol of the serving tier. Every frame is
+/// a fixed 16-byte header followed by `payload_size` payload bytes:
+///
+///   offset  size  field
+///   0       4     magic (0x4D534142; the bytes read "BASM" on the wire)
+///   4       1     protocol version (kWireVersion)
+///   5       1     frame type (FrameType)
+///   6       2     flags (reserved; must be zero in version 1)
+///   8       4     payload size in bytes (<= kMaxPayloadBytes)
+///   12      4     FNV-1a checksum of the payload bytes
+///
+/// All integers are little-endian and encoded byte-by-byte (no struct
+/// punning), so the codec is alignment- and endianness-portable. Decoding is
+/// strict by contract: a truncated buffer, an oversized length, a corrupt
+/// checksum, an unknown version/type, nonzero reserved flags, or trailing
+/// payload bytes each yield a Status error — never a crash or an over-read
+/// (tests/net_test.cc holds a malformed-frame corpus to that bar).
+inline constexpr uint32_t kWireMagic = 0x4D534142u;
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+/// Hard payload cap: bounds per-connection buffering no matter what the
+/// peer claims in the length field.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+/// Element-count caps inside payloads, so a hostile count field cannot
+/// drive a huge allocation before the truncation check catches it.
+inline constexpr uint32_t kMaxWireCandidates = 4096;
+inline constexpr uint32_t kMaxWireSlate = 1024;
+inline constexpr uint32_t kMaxWireMessageBytes = 1024;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  FrameType type = FrameType::kRequest;
+  uint32_t payload_size = 0;
+  uint32_t checksum = 0;
+};
+
+/// FNV-1a over the payload — cheap, dependency-free end-to-end integrity
+/// check (the same family the model registry uses for checkpoints).
+uint32_t WireChecksum(const uint8_t* data, size_t size);
+
+/// Serializes `header` into exactly kFrameHeaderBytes at `out`.
+void EncodeFrameHeader(const FrameHeader& header, uint8_t* out);
+
+/// Validates and decodes a frame header. `size` may exceed
+/// kFrameHeaderBytes; only the first 16 bytes are read.
+[[nodiscard]] Status DecodeFrameHeader(const uint8_t* data, size_t size,
+                                       FrameHeader* out);
+
+/// Verifies a received payload against its header (size + checksum).
+[[nodiscard]] Status VerifyPayload(const FrameHeader& header,
+                                   const uint8_t* payload, size_t size);
+
+/// One routed scoring call: the serving::Request plus the transport-level
+/// fields (client correlation id, deadline budget, optional explicit
+/// candidates — empty means the replica runs recall itself).
+struct RpcRequest {
+  uint64_t sequence = 0;
+  serving::Request request;
+  int64_t deadline_micros = 0;
+  std::vector<int32_t> candidates;
+};
+
+/// The reply: a wire Status, the ranked slate, and the serving metadata the
+/// client fleet and the routing tests key on (which replica answered, which
+/// model version scored, whether the slate was served degraded).
+struct RpcResponse {
+  uint64_t sequence = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  uint32_t replica = 0;
+  uint64_t model_version = 0;
+  bool degraded = false;
+  std::vector<serving::RankedItem> slate;
+};
+
+/// Encodes a complete frame (header + payload) ready to write to a socket.
+std::vector<uint8_t> EncodeRequestFrame(const RpcRequest& request);
+std::vector<uint8_t> EncodeResponseFrame(const RpcResponse& response);
+
+/// Decodes a payload previously verified by VerifyPayload. Strict: every
+/// field bounds-checked, counts capped, and the payload must be consumed
+/// exactly (trailing bytes are an error).
+[[nodiscard]] Status DecodeRequestPayload(const uint8_t* payload, size_t size,
+                                          RpcRequest* out);
+[[nodiscard]] Status DecodeResponsePayload(const uint8_t* payload, size_t size,
+                                           RpcResponse* out);
+
+/// Bounds-checked little-endian cursor over a received payload. Every read
+/// fails with OUT_OF_RANGE instead of walking past `size`.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] Status ReadU8(uint8_t* out);
+  [[nodiscard]] Status ReadU16(uint16_t* out);
+  [[nodiscard]] Status ReadU32(uint32_t* out);
+  [[nodiscard]] Status ReadU64(uint64_t* out);
+  [[nodiscard]] Status ReadI32(int32_t* out);
+  [[nodiscard]] Status ReadI64(int64_t* out);
+  [[nodiscard]] Status ReadF32(float* out);
+  [[nodiscard]] Status ReadBytes(size_t n, std::string* out);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  [[nodiscard]] Status Take(size_t n, const uint8_t** out);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Append-only little-endian builder for payloads.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutF32(float v);
+  void PutBytes(const void* data, size_t n);
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace basm::net
+
+#endif  // BASM_NET_WIRE_H_

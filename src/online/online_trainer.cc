@@ -1,5 +1,7 @@
 #include "online/online_trainer.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -38,13 +40,37 @@ Status OnlineTrainer::PublishModel(const models::CtrModel& model,
   std::string bytes = nn::SerializeParameters(model);
   StatusOr<uint64_t> version = registry_->Publish(bytes, std::move(note));
   if (!version.ok()) return version.status();
+  last_version_.store(version.value(), std::memory_order_relaxed);
   if (slot_ != nullptr) {
     StatusOr<std::unique_ptr<models::CtrModel>> servable = BuildModel(bytes);
     if (!servable.ok()) return servable.status();
-    slot_->Install(
-        MakeServable(version.value(), std::move(servable).value()));
+    BASM_RETURN_IF_ERROR(
+        InstallServable(version.value(), std::move(servable).value()));
   }
-  last_version_.store(version.value(), std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status OnlineTrainer::InstallServable(
+    uint64_t version, std::unique_ptr<models::CtrModel> model) {
+  if (fault_injector_ != nullptr) {
+    FaultDecision decision =
+        fault_injector_->Evaluate(kModelSlotInstallFaultSite);
+    if (decision.delay_micros > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(decision.delay_micros));
+    }
+    if (!decision.status.ok()) {
+      // The model push to the serving node failed: the registry publish
+      // stands, the previously-installed version keeps serving, and a
+      // later successful publish heals the skew.
+      failed_installs_.fetch_add(1, std::memory_order_relaxed);
+      return Status(decision.status.code(),
+                    "published v" + std::to_string(version) +
+                        " but slot install failed: " +
+                        decision.status.message());
+    }
+  }
+  slot_->Install(MakeServable(version, std::move(model)));
   return Status::Ok();
 }
 
@@ -147,18 +173,20 @@ Status OnlineTrainer::UpdateLocked(const std::string& note) {
   StatusOr<uint64_t> version = registry_->Publish(std::move(bytes), note);
   if (!version.ok()) return version.status();
 
-  // Install the very instance that was serialized, so the serving scores
-  // are bit-identical to an offline load of the published snapshot.
-  if (slot_ != nullptr) {
-    slot_->Install(MakeServable(version.value(), std::move(model)));
-  }
-
   buffer_.clear();
   buffered_.store(0, std::memory_order_relaxed);
   published_.fetch_add(1, std::memory_order_relaxed);
   last_version_.store(version.value(), std::memory_order_relaxed);
   last_update_seconds_.store(timer.ElapsedSeconds(),
                              std::memory_order_relaxed);
+
+  // Install the very instance that was serialized, so the serving scores
+  // are bit-identical to an offline load of the published snapshot. The
+  // publish above is already final: an injected install fault surfaces as
+  // an error without unwinding it (the old version keeps serving).
+  if (slot_ != nullptr) {
+    BASM_RETURN_IF_ERROR(InstallServable(version.value(), std::move(model)));
+  }
   return Status::Ok();
 }
 
@@ -186,6 +214,7 @@ OnlineTrainerStats OnlineTrainer::stats() const {
   s.published = published_.load(std::memory_order_relaxed);
   s.rejected_publishes =
       rejected_publishes_.load(std::memory_order_relaxed);
+  s.failed_installs = failed_installs_.load(std::memory_order_relaxed);
   s.last_version = last_version_.load(std::memory_order_relaxed);
   s.last_update_seconds =
       last_update_seconds_.load(std::memory_order_relaxed);

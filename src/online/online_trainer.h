@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/fault.h"
 #include "common/status.h"
 #include "common/synchronization.h"
 #include "data/schema.h"
@@ -19,6 +20,14 @@
 #include "train/trainer.h"
 
 namespace basm::online {
+
+/// Fault site name evaluated before every ModelSlot install (see
+/// FaultInjector): stands in for the model push to the serving nodes — in
+/// production an RPC that can fail or stall independently of the registry
+/// write. Explicit opt-in via SetFaultInjector (not FromEnv): an env-driven
+/// install fault would silently break the publish/install bit-identity
+/// contract every online suite relies on.
+inline constexpr char kModelSlotInstallFaultSite[] = "model_slot.install";
 
 /// The warm-start recipe of bench/ext_incremental_update's daily arm: one
 /// gentle pass over the fresh feedback, no LR warmup ramp.
@@ -53,6 +62,9 @@ struct OnlineTrainerStats {
   int64_t buffered = 0;   ///< accepted but not yet trained on
   int64_t published = 0;  ///< incremental versions published
   int64_t rejected_publishes = 0;  ///< candidates failed by the gate
+  /// Publishes whose slot install failed (injected fault): the version is
+  /// in the registry but the previously-installed model keeps serving.
+  int64_t failed_installs = 0;
   uint64_t last_version = 0;
   double last_update_seconds = 0.0;  ///< train+serialize+publish+install
 };
@@ -104,6 +116,16 @@ class OnlineTrainer {
 
   OnlineTrainerStats stats() const;
 
+  /// Routes slot installs through `injector` (borrowed; nullptr restores
+  /// the clean path): kModelSlotInstallFaultSite is evaluated before every
+  /// install, an injected delay stalls the swap, and an injected error
+  /// skips it — the registry publish stands, the old version keeps
+  /// serving, and the failure is counted in stats().failed_installs. Call
+  /// before Start(); not synchronized against a running update loop.
+  void SetFaultInjector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
   /// Replaces the publish gate (see OnlineTrainerConfig::publish_gate).
   /// Safe to call while the background loop runs: the live gate is kept
   /// outside config_ under update_mu_, so swapping it never races with a
@@ -124,9 +146,15 @@ class OnlineTrainer {
   [[nodiscard]] StatusOr<std::unique_ptr<models::CtrModel>> BuildModel(
       const std::string& bytes) const;
 
+  /// Applies the injector's decision for kModelSlotInstallFaultSite and
+  /// performs the install when it allows; OK with no injector configured.
+  [[nodiscard]] Status InstallServable(uint64_t version,
+                                       std::unique_ptr<models::CtrModel> model);
+
   const data::Schema& schema_;
   ModelRegistry* registry_;
   ModelSlot* slot_;
+  FaultInjector* fault_injector_ = nullptr;
   const OnlineTrainerConfig config_;
 
   BlockingQueue<data::Example> feedback_;
@@ -144,6 +172,7 @@ class OnlineTrainer {
   std::atomic<int64_t> buffered_{0};
   std::atomic<int64_t> published_{0};
   std::atomic<int64_t> rejected_publishes_{0};
+  std::atomic<int64_t> failed_installs_{0};
   std::atomic<uint64_t> last_version_{0};
   std::atomic<double> last_update_seconds_{0.0};
 

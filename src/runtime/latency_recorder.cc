@@ -199,6 +199,16 @@ std::string LatencySnapshot::ToString() const {
                   static_cast<long long>(shed));
     out += line;
   }
+  if (has_breaker) {
+    std::snprintf(line, sizeof(line),
+                  "breaker: state %s  opens %lld  closes %lld  "
+                  "short-circuits %lld\n",
+                  breaker_state.c_str(),
+                  static_cast<long long>(breaker_open_count),
+                  static_cast<long long>(breaker_close_count),
+                  static_cast<long long>(breaker_short_circuits));
+    out += line;
+  }
   std::snprintf(line, sizeof(line),
                 "latency micros: mean %.0f  p50 %.0f  p95 %.0f  p99 %.0f\n",
                 mean_micros, p50_micros, p95_micros, p99_micros);
@@ -218,7 +228,7 @@ std::string LatencySnapshot::ToString() const {
 }
 
 std::string LatencySnapshot::ToJson() const {
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"count\":%lld,\"rejects\":%lld,\"timeouts\":%lld,"
@@ -226,13 +236,26 @@ std::string LatencySnapshot::ToJson() const {
       "\"breaker_opens\":%lld,"
       "\"elapsed_seconds\":%.3f,\"qps\":%.1f,\"mean_micros\":%.1f,"
       "\"p50_micros\":%.1f,\"p95_micros\":%.1f,\"p99_micros\":%.1f,"
-      "\"mean_batch_size\":%.2f}",
+      "\"mean_batch_size\":%.2f",
       static_cast<long long>(count), static_cast<long long>(rejects),
       static_cast<long long>(timeouts), static_cast<long long>(shed),
       static_cast<long long>(retries), static_cast<long long>(degraded),
       static_cast<long long>(breaker_opens), elapsed_seconds, qps,
       mean_micros, p50_micros, p95_micros, p99_micros, mean_batch_size);
-  return buf;
+  std::string out = buf;
+  if (has_breaker) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"breaker_state\":\"%s\",\"breaker_open_count\":%lld,"
+                  "\"breaker_close_count\":%lld,"
+                  "\"breaker_short_circuits\":%lld",
+                  breaker_state.c_str(),
+                  static_cast<long long>(breaker_open_count),
+                  static_cast<long long>(breaker_close_count),
+                  static_cast<long long>(breaker_short_circuits));
+    out += buf;
+  }
+  out += '}';
+  return out;
 }
 
 }  // namespace basm::runtime

@@ -32,6 +32,17 @@ struct LatencySnapshot {
   std::vector<std::pair<int64_t, int64_t>> batch_histogram;
   double mean_batch_size = 0.0;
 
+  /// Circuit-breaker telemetry, attached by the owner of the breaker (the
+  /// serving engine folds its pipeline's feature breaker in; the recorder
+  /// itself never sees the breaker). Unlike the wait-free `breaker_opens`
+  /// counter above — trips observed by workers within the window — these
+  /// are the breaker's own lifetime state and transition counts.
+  bool has_breaker = false;
+  std::string breaker_state;          ///< "closed" / "open" / "half-open"
+  int64_t breaker_open_count = 0;     ///< closed/half-open -> open total
+  int64_t breaker_close_count = 0;    ///< half-open -> closed total
+  int64_t breaker_short_circuits = 0; ///< calls rejected while open
+
   /// Multi-line human-readable report for benches and examples.
   std::string ToString() const;
 

@@ -89,6 +89,17 @@ std::future<SlateResult> ServingEngine::Submit(
   return future;
 }
 
+void ServingEngine::AttachBreakerStats(LatencySnapshot* snap) const {
+  const CircuitBreaker* breaker = pipeline_->feature_breaker();
+  if (breaker == nullptr) return;
+  CircuitBreaker::Stats stats = breaker->stats();
+  snap->has_breaker = true;
+  snap->breaker_state = CircuitBreaker::StateName(stats.state);
+  snap->breaker_open_count = stats.opens;
+  snap->breaker_close_count = stats.closes;
+  snap->breaker_short_circuits = stats.short_circuits;
+}
+
 void ServingEngine::WorkerLoop() {
   while (true) {
     std::vector<std::unique_ptr<Job>> jobs = batcher_.NextBatch();
@@ -127,12 +138,24 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
 
   // Per-request recall where needed; each request gets an independent
   // deterministic RNG stream, so results do not depend on which worker or
-  // batch the request landed in.
-  for (auto& job : live) {
+  // batch the request landed in. On the fault-tolerant path recall runs
+  // through the injector and a failed recall degrades the request (city-
+  // head fallback candidates) instead of failing it.
+  const bool fault_tolerant = pipeline_->fault_tolerant();
+  std::vector<bool> degraded(live.size(), false);
+  for (size_t j = 0; j < live.size(); ++j) {
+    auto& job = live[j];
     if (job->candidates.empty()) {
       Rng rng = recall_rng_root_.Fork(
           static_cast<uint64_t>(job->request.request_id));
-      job->candidates = pipeline_->Recall(job->request, rng);
+      if (fault_tolerant) {
+        bool recall_degraded = false;
+        job->candidates =
+            pipeline_->RecallFallible(job->request, rng, &recall_degraded);
+        if (recall_degraded) degraded[j] = true;
+      } else {
+        job->candidates = pipeline_->Recall(job->request, rng);
+      }
     }
   }
 
@@ -150,10 +173,8 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
   // + breaker policy with the request's own deadline as the budget; a
   // failed fetch degrades the request (empty behavior window) instead of
   // failing it.
-  const bool fault_tolerant = pipeline_->fault_tolerant();
   std::vector<data::Example> examples;
   std::vector<size_t> offsets;  // per-job start index into `examples`
-  std::vector<bool> degraded(live.size(), false);
   offsets.reserve(live.size() + 1);
   for (size_t j = 0; j < live.size(); ++j) {
     auto& job = live[j];
@@ -163,9 +184,8 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
       serving::FeatureFetchOutcome outcome;
       ex = pipeline_->BuildExamplesFallible(job->request, job->candidates,
                                             job->deadline, &outcome);
-      degraded[j] = outcome.degraded;
+      if (outcome.degraded) degraded[j] = true;
       recorder_.RecordRetries(outcome.retries);
-      if (outcome.degraded) recorder_.RecordDegraded();
       if (outcome.breaker_opened) recorder_.RecordBreakerOpen();
     } else {
       ex = pipeline_->BuildExamples(job->request, job->candidates);
@@ -187,6 +207,7 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
     SlateResult result;
     result.model_version = servable->version;
     result.degraded = degraded[j];
+    if (degraded[j]) recorder_.RecordDegraded();
     result.slate = serving::Pipeline::MakeSlate(live[j]->candidates, slice,
                                                 pipeline_->expose_k());
     // Record before resolving the future so a caller that joins on the

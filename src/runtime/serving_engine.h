@@ -111,10 +111,26 @@ class ServingEngine {
   void Shutdown() BASM_EXCLUDES(shutdown_mu_);
 
   /// Live metrics since construction (or the last ResetStatsClock()).
-  LatencySnapshot Stats() const { return recorder_.Snapshot(); }
+  /// When the pipeline has a feature breaker armed, the snapshot carries
+  /// its current state and transition counters (see LatencySnapshot).
+  LatencySnapshot Stats() const {
+    LatencySnapshot snap = recorder_.Snapshot();
+    AttachBreakerStats(&snap);
+    return snap;
+  }
   /// Metrics since the previous IntervalStats() call — the per-window
   /// qps/percentile feed for periodic logging alongside hot-swaps.
-  LatencySnapshot IntervalStats() { return recorder_.IntervalSnapshot(); }
+  LatencySnapshot IntervalStats() {
+    LatencySnapshot snap = recorder_.IntervalSnapshot();
+    AttachBreakerStats(&snap);
+    return snap;
+  }
+
+  /// Pending request backlog right now — the admission-control signal the
+  /// networked tier's router reads to shed load before a submit can even
+  /// reach the bounded queue's reject path.
+  size_t QueueDepth() const { return queue_.size(); }
+  size_t queue_capacity() const { return queue_.capacity(); }
   /// Restarts the qps clock after warmup without losing histograms.
   void ResetStatsClock() { recorder_.ResetClock(); }
 
@@ -131,6 +147,9 @@ class ServingEngine {
 
   void WorkerLoop();
   void ProcessBatch(std::vector<std::unique_ptr<Job>> jobs);
+  /// Folds the pipeline's feature-breaker state/counters into `snap` (a
+  /// no-op when no breaker is armed).
+  void AttachBreakerStats(LatencySnapshot* snap) const;
 
   const serving::Pipeline* pipeline_;
   EngineConfig config_;

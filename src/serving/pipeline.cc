@@ -28,7 +28,8 @@ Pipeline::Pipeline(const data::World& world, FeatureServer* feature_server,
       model_(model),
       slot_(nullptr),
       recall_size_(recall_size),
-      expose_k_(expose_k) {
+      expose_k_(expose_k),
+      fault_injector_(FaultInjector::FromEnv()) {
   BASM_CHECK(feature_server_ != nullptr);
   BASM_CHECK(recall_ != nullptr);
   BASM_CHECK(model_ != nullptr);
@@ -49,7 +50,8 @@ Pipeline::Pipeline(const data::World& world, FeatureServer* feature_server,
       model_(nullptr),
       slot_(slot),
       recall_size_(recall_size),
-      expose_k_(expose_k) {
+      expose_k_(expose_k),
+      fault_injector_(FaultInjector::FromEnv()) {
   BASM_CHECK(feature_server_ != nullptr);
   BASM_CHECK(recall_ != nullptr);
   BASM_CHECK(slot_ != nullptr);
@@ -72,6 +74,28 @@ std::vector<RankedItem> Pipeline::Serve(const Request& request,
 
 std::vector<int32_t> Pipeline::Recall(const Request& request, Rng& rng) const {
   return recall_->RecallByCity(request.city, recall_size_, rng);
+}
+
+std::vector<int32_t> Pipeline::RecallFallible(const Request& request,
+                                              Rng& rng,
+                                              bool* degraded) const {
+  if (fault_injector_ != nullptr) {
+    FaultDecision decision = fault_injector_->Evaluate(kRecallFaultSite);
+    if (decision.delay_micros > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(decision.delay_micros));
+    }
+    if (!decision.status.ok()) {
+      // LBS recall is down: serve the head of the city's item list — no
+      // popularity weighting, no sampling, but a slate that renders.
+      const std::vector<int32_t>& pool = world_.CityItems(request.city);
+      int32_t k = std::min<int32_t>(recall_size_,
+                                    static_cast<int32_t>(pool.size()));
+      *degraded = true;
+      return std::vector<int32_t>(pool.begin(), pool.begin() + k);
+    }
+  }
+  return Recall(request, rng);
 }
 
 std::vector<data::Example> Pipeline::BuildExamplesWithBehaviors(

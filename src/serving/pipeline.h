@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/circuit_breaker.h"
+#include "common/fault.h"
 #include "common/retry.h"
 #include "common/thread_pool.h"
 #include "data/batch.h"
@@ -15,6 +16,11 @@
 #include "serving/recall.h"
 
 namespace basm::serving {
+
+/// Fault site name the fallible recall stage evaluates (see FaultInjector):
+/// the LBS candidate-recall dependency of Fig 13, which can fail or spike
+/// independently of the feature store.
+inline constexpr char kRecallFaultSite[] = "pipeline.recall";
 
 /// One ranking request flowing through the TPP pipeline.
 struct Request {
@@ -95,6 +101,23 @@ class Pipeline {
   /// The recall stage alone; `rng` drives the popularity-weighted sampling.
   std::vector<int32_t> Recall(const Request& request, Rng& rng) const;
 
+  /// Fault-tolerant recall — evaluates kRecallFaultSite through the
+  /// injector (sleeping injected latency) and, on an injected error, falls
+  /// back to the head of the city's item list instead of failing: an
+  /// unpersonalized, popularity-free slate still renders (same contract as
+  /// the degraded feature path). Sets *degraded on fallback. With no
+  /// injector this is Recall plus one pointer test.
+  std::vector<int32_t> RecallFallible(const Request& request, Rng& rng,
+                                      bool* degraded) const;
+
+  /// Routes RecallFallible through `injector` (borrowed; nullptr restores
+  /// the clean path). Defaults to FaultInjector::FromEnv(), so setting
+  /// BASM_FAULT_RATE injects recall faults with no code changes.
+  void SetFaultInjector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
   /// Builds the scoring examples for one request's candidate list. Exposed
   /// so the serving engine can coalesce several requests into one model
   /// batch; scores are independent of batch composition, so engine slates
@@ -164,6 +187,8 @@ class Pipeline {
   std::shared_ptr<const online::ServableModel> static_servable_;
   int32_t recall_size_;
   int32_t expose_k_;
+  /// Drives kRecallFaultSite in RecallFallible; seeded from FromEnv().
+  FaultInjector* fault_injector_;
   bool fault_tolerant_ = false;
   FeatureFaultPolicy fault_policy_;
   /// Armed by EnableParallelScoring; null keeps RankCandidates serial.

@@ -63,6 +63,9 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
   faults.outage_calls = 1 << 20;
   injector.Configure(serving::kFeatureFetchFaultSite, faults);
   features.SetFaultInjector(&injector);
+  // The pipeline's recall site rides the same injector (unconfigured →
+  // clean), not the env default — this test owns its fault process.
+  pipeline.SetFaultInjector(&injector);
 
   CircuitBreakerConfig breaker_config;
   breaker_config.failure_threshold = 5;
@@ -151,6 +154,7 @@ TEST(ChaosTest, ArmedButFaultFreeServesClean) {
 
   FaultInjector injector(1);  // configured with no faults anywhere
   features.SetFaultInjector(&injector);
+  pipeline.SetFaultInjector(&injector);
   CircuitBreaker breaker;
   serving::FeatureFaultPolicy policy;
   policy.breaker = &breaker;
@@ -171,6 +175,65 @@ TEST(ChaosTest, ArmedButFaultFreeServesClean) {
   EXPECT_EQ(snapshot.breaker_opens, 0);
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_EQ(breaker.stats().opens, 0);
+
+  // With a breaker armed, its live state rides along in every snapshot —
+  // the periodic metrics export shows breaker health without a side call.
+  EXPECT_TRUE(snapshot.has_breaker);
+  EXPECT_EQ(snapshot.breaker_state, "closed");
+  EXPECT_EQ(snapshot.breaker_open_count, 0);
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"breaker_state\":\"closed\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"breaker_open_count\":0"), std::string::npos) << json;
+}
+
+TEST(ChaosTest, BreakerTransitionsAppearInSnapshotExport) {
+  data::World world(ChaosWorldConfig());
+  serving::FeatureServer features(world, world.config().seq_len, 3);
+  serving::RecallIndex recall(world);
+  auto model =
+      models::CreateModel(models::ModelKind::kDin, world.schema(), 17);
+  model->SetTraining(false);
+  serving::Pipeline pipeline(world, &features, &recall, model.get(), 12, 5);
+
+  FaultInjector injector(9);
+  FaultSiteConfig kill;
+  kill.error_probability = 1.0;
+  injector.Configure(serving::kFeatureFetchFaultSite, kill);
+  features.SetFaultInjector(&injector);
+  pipeline.SetFaultInjector(&injector);
+
+  CircuitBreakerConfig breaker_config;
+  breaker_config.failure_threshold = 2;
+  breaker_config.open_micros = 60 * 1000 * 1000;  // stays open for the test
+  CircuitBreaker breaker(breaker_config);
+  serving::FeatureFaultPolicy policy;
+  policy.retry.max_attempts = 2;
+  policy.retry.initial_backoff_micros = 10;
+  policy.breaker = &breaker;
+  pipeline.EnableFaultTolerance(policy);
+
+  ServingEngine engine(&pipeline, EngineConfig{});
+  LoadConfig load;
+  load.num_requests = 50;
+  load.concurrency = 4;
+  LoadGenerator generator(world, load);
+  LoadReport report = generator.Run(engine);
+  EXPECT_EQ(report.ok, load.num_requests);  // degraded, never failed
+
+  LatencySnapshot snapshot = engine.Stats();
+  ASSERT_TRUE(snapshot.has_breaker);
+  EXPECT_EQ(snapshot.breaker_state, "open");
+  EXPECT_GE(snapshot.breaker_open_count, 1);
+  EXPECT_GT(snapshot.breaker_short_circuits, 0);
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"breaker_state\":\"open\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"breaker_short_circuits\":"), std::string::npos)
+      << json;
+  // The human-readable view carries the same line.
+  EXPECT_NE(snapshot.ToString().find("breaker: state open"),
+            std::string::npos);
 }
 
 }  // namespace

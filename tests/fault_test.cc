@@ -419,5 +419,40 @@ TEST_F(PipelineFaultTest, OpenBreakerShortCircuitsTheFetch) {
             calls_after_first);
 }
 
+// ------------------------------------------------------ recall faults ----
+
+TEST_F(PipelineFaultTest, RecallFaultFallsBackToCityHeadDegraded) {
+  pipeline_.SetFaultInjector(&injector_);
+  FaultSiteConfig kill;
+  kill.error_probability = 1.0;
+  injector_.Configure(serving::kRecallFaultSite, kill);
+
+  Rng rng(17);
+  bool degraded = false;
+  std::vector<int32_t> fallback =
+      pipeline_.RecallFallible(request_, rng, &degraded);
+  EXPECT_TRUE(degraded);
+  ASSERT_FALSE(fallback.empty());
+  // The fallback is the head of the city's item list: unpersonalized but a
+  // slate that renders, and it never consulted the failed recall index.
+  const std::vector<int32_t>& pool = world_.CityItems(request_.city);
+  ASSERT_LE(fallback.size(), pool.size());
+  for (size_t i = 0; i < fallback.size(); ++i) {
+    EXPECT_EQ(fallback[i], pool[i]);
+  }
+  EXPECT_EQ(injector_.SiteStats(serving::kRecallFaultSite).errors, 1);
+}
+
+TEST_F(PipelineFaultTest, RecallHappyPathIsBitIdenticalToPlainRecall) {
+  pipeline_.SetFaultInjector(&injector_);  // site unconfigured: clean
+
+  Rng plain_rng(23), fallible_rng(23);
+  bool degraded = false;
+  std::vector<int32_t> fallible =
+      pipeline_.RecallFallible(request_, fallible_rng, &degraded);
+  EXPECT_FALSE(degraded);
+  EXPECT_EQ(fallible, pipeline_.Recall(request_, plain_rng));
+}
+
 }  // namespace
 }  // namespace basm

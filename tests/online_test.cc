@@ -320,6 +320,47 @@ TEST_F(OnlineTrainerTest, PublishNowWarmStartsAndServesBitIdentically) {
   }
 }
 
+TEST_F(OnlineTrainerTest, InstallFaultLeavesOldVersionServing) {
+  ModelRegistry registry;
+  ModelSlot slot;
+  OnlineTrainer trainer(world_->schema(), &registry, &slot, TrainerConfig());
+  ASSERT_TRUE(trainer.PublishModel(*SmallModel(world_->schema(), 13),
+                                   "bootstrap")
+                  .ok());
+  ASSERT_EQ(slot.current_version(), 1u);
+
+  // Kill the model push to the serving node (kModelSlotInstallFaultSite):
+  // the registry publish must stand while the slot keeps serving v1.
+  FaultInjector injector(7);
+  FaultSiteConfig kill;
+  kill.error_probability = 1.0;
+  injector.Configure(kModelSlotInstallFaultSite, kill);
+  trainer.SetFaultInjector(&injector);
+
+  for (data::Example& e : Feedback(/*user=*/3, 8, /*seed=*/91)) {
+    ASSERT_TRUE(trainer.SubmitFeedback(e));
+  }
+  Status s = trainer.PublishNow("poisoned-push");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(registry.head_version(), 2u) << "registry publish must stand";
+  EXPECT_EQ(slot.current_version(), 1u) << "old version must keep serving";
+  OnlineTrainerStats stats = trainer.stats();
+  EXPECT_EQ(stats.published, 1);
+  EXPECT_EQ(stats.failed_installs, 1);
+  EXPECT_EQ(stats.last_version, 2u);
+
+  // The push path heals: the next successful publish re-converges the
+  // slot with the registry head.
+  trainer.SetFaultInjector(nullptr);
+  for (data::Example& e : Feedback(/*user=*/5, 8, /*seed=*/17)) {
+    ASSERT_TRUE(trainer.SubmitFeedback(e));
+  }
+  ASSERT_TRUE(trainer.PublishNow("healed").ok());
+  EXPECT_EQ(registry.head_version(), 3u);
+  EXPECT_EQ(slot.current_version(), 3u);
+  EXPECT_EQ(trainer.stats().failed_installs, 1);
+}
+
 TEST_F(OnlineTrainerTest, PublishNowWithoutFeedbackIsInvalidArgument) {
   ModelRegistry registry;
   ModelSlot slot;

@@ -1,0 +1,230 @@
+// Perf-regression gate over BENCH_kernels.json artifacts: compares the
+// "kernels"."gemm" GFLOP/s of a baseline run (the previous CI artifact)
+// against the current run and exits non-zero when any (m,k,n,backend) cell
+// regresses by more than the threshold (default 20%, --max-regression=N).
+//
+//   bench_diff <baseline.json> <current.json> [--max-regression=20]
+//
+// A missing or gemm-free baseline exits 0 ("nothing to compare") so the
+// first run of a new branch — no previous artifact — passes; CI treats the
+// download step the same way. Cells present on only one side are reported
+// but never fail the gate (shape sweeps may change across commits).
+//
+// Deliberately dependency-free like basm_lint: a hand-rolled scanner over
+// the one JSON shape the benches emit, so the gate builds even when the
+// library is broken.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Cell {
+  long m = 0;
+  long k = 0;
+  long n = 0;
+  /// backend name -> GFLOP/s
+  std::map<std::string, double> gflops;
+};
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+void SkipSpace(const std::string& text, size_t* i) {
+  while (*i < text.size() && std::isspace(static_cast<unsigned char>(text[*i])))
+    ++*i;
+}
+
+/// Parses a quoted string at *i (which must point at '"'); false on EOF.
+bool ParseString(const std::string& text, size_t* i, std::string* out) {
+  if (*i >= text.size() || text[*i] != '"') return false;
+  ++*i;
+  out->clear();
+  while (*i < text.size() && text[*i] != '"') {
+    if (text[*i] == '\\' && *i + 1 < text.size()) ++*i;
+    out->push_back(text[(*i)++]);
+  }
+  if (*i >= text.size()) return false;
+  ++*i;  // closing quote
+  return true;
+}
+
+bool ParseNumber(const std::string& text, size_t* i, double* out) {
+  SkipSpace(text, i);
+  char* end = nullptr;
+  *out = std::strtod(text.c_str() + *i, &end);
+  if (end == text.c_str() + *i) return false;
+  *i = static_cast<size_t>(end - text.c_str());
+  return true;
+}
+
+/// Extracts every gemm cell from one BENCH_kernels.json text. Scans for the
+/// "gemm" array and walks its objects; tolerates unknown keys by skipping
+/// to the next comma at the object's depth.
+std::vector<Cell> ParseGemmCells(const std::string& text) {
+  std::vector<Cell> cells;
+  size_t pos = text.find("\"gemm\"");
+  if (pos == std::string::npos) return cells;
+  pos = text.find('[', pos);
+  if (pos == std::string::npos) return cells;
+  ++pos;
+  while (pos < text.size()) {
+    SkipSpace(text, &pos);
+    if (pos >= text.size() || text[pos] == ']') break;
+    if (text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (text[pos] != '{') break;  // malformed: stop rather than loop
+    ++pos;
+    Cell cell;
+    bool in_gflops = false;
+    int depth = 1;
+    while (pos < text.size() && depth > 0) {
+      SkipSpace(text, &pos);
+      if (pos >= text.size()) break;
+      char c = text[pos];
+      if (c == '}') {
+        --depth;
+        if (in_gflops) in_gflops = false;
+        ++pos;
+        continue;
+      }
+      if (c == ',' || c == ':') {
+        ++pos;
+        continue;
+      }
+      if (c == '{') {
+        ++depth;
+        ++pos;
+        continue;
+      }
+      if (c == '"') {
+        std::string key;
+        if (!ParseString(text, &pos, &key)) break;
+        SkipSpace(text, &pos);
+        if (pos >= text.size() || text[pos] != ':') continue;
+        ++pos;
+        SkipSpace(text, &pos);
+        if (pos < text.size() && text[pos] == '{') {
+          if (key == "gflops") in_gflops = true;
+          ++depth;
+          ++pos;
+          continue;
+        }
+        double value = 0;
+        if (!ParseNumber(text, &pos, &value)) break;
+        if (in_gflops) {
+          cell.gflops[key] = value;
+        } else if (key == "m") {
+          cell.m = static_cast<long>(value);
+        } else if (key == "k") {
+          cell.k = static_cast<long>(value);
+        } else if (key == "n") {
+          cell.n = static_cast<long>(value);
+        }
+        continue;
+      }
+      ++pos;  // any other token: advance
+    }
+    if (!cell.gflops.empty()) cells.push_back(cell);
+  }
+  return cells;
+}
+
+std::string CellKey(const Cell& cell) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "m=%ld k=%ld n=%ld", cell.m, cell.k,
+                cell.n);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_regression_pct = 20.0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--max-regression=", 17) == 0) {
+      max_regression_pct = std::strtod(argv[i] + 17, nullptr);
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <current.json> "
+                 "[--max-regression=PCT]\n");
+    return 2;
+  }
+
+  std::string baseline_text;
+  if (!ReadFile(paths[0], &baseline_text)) {
+    std::printf("bench_diff: no baseline at %s — nothing to compare, OK\n",
+                paths[0].c_str());
+    return 0;
+  }
+  std::string current_text;
+  if (!ReadFile(paths[1], &current_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read current run %s\n",
+                 paths[1].c_str());
+    return 2;
+  }
+
+  std::vector<Cell> baseline = ParseGemmCells(baseline_text);
+  std::vector<Cell> current = ParseGemmCells(current_text);
+  if (baseline.empty()) {
+    std::printf("bench_diff: baseline has no gemm cells — OK\n");
+    return 0;
+  }
+  if (current.empty()) {
+    std::fprintf(stderr, "bench_diff: current run has no gemm cells\n");
+    return 1;
+  }
+
+  std::map<std::string, const Cell*> current_by_key;
+  for (const Cell& cell : current) current_by_key[CellKey(cell)] = &cell;
+
+  int regressions = 0;
+  int compared = 0;
+  for (const Cell& base : baseline) {
+    auto it = current_by_key.find(CellKey(base));
+    if (it == current_by_key.end()) {
+      std::printf("  [skip] %s: not in current run\n", CellKey(base).c_str());
+      continue;
+    }
+    for (const auto& [backend, base_gflops] : base.gflops) {
+      auto cur = it->second->gflops.find(backend);
+      if (cur == it->second->gflops.end()) {
+        std::printf("  [skip] %s %s: backend not in current run\n",
+                    CellKey(base).c_str(), backend.c_str());
+        continue;
+      }
+      ++compared;
+      if (base_gflops <= 0) continue;
+      double delta_pct = 100.0 * (cur->second - base_gflops) / base_gflops;
+      if (delta_pct < -max_regression_pct) {
+        ++regressions;
+        std::printf("  [FAIL] %s %s: %.3f -> %.3f GFLOP/s (%.1f%%)\n",
+                    CellKey(base).c_str(), backend.c_str(), base_gflops,
+                    cur->second, delta_pct);
+      }
+    }
+  }
+  std::printf("bench_diff: %d cells compared, %d regressions beyond %.0f%%\n",
+              compared, regressions, max_regression_pct);
+  return regressions > 0 ? 1 : 0;
+}
