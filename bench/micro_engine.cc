@@ -26,6 +26,7 @@
 #include "models/model_zoo.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
+#include "feature_store/feature_store.h"
 #include "serving/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
@@ -58,11 +59,12 @@ int main() {
   data::World world(config);
 
   serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   auto model =
       models::CreateModel(models::ModelKind::kBasm, world.schema(), 42);
   model->SetTraining(false);
-  serving::Pipeline pipeline(world, &features, &recall, model.get(),
+  serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/24, /*expose_k=*/8);
 
   runtime::LoadConfig load;

@@ -21,6 +21,7 @@
 #include "models/model_zoo.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
+#include "feature_store/feature_store.h"
 #include "serving/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
@@ -87,7 +88,8 @@ int main() {
 
   auto run_arm = [&](bool armed) {
     serving::FeatureServer features(world, world.config().seq_len, 3);
-    serving::Pipeline pipeline(world, &features, &recall, model.get(),
+    feature_store::FeatureStore store(&features);
+    serving::Pipeline pipeline(world, &store, &recall, model.get(),
                                /*recall_size=*/24, /*expose_k=*/8);
     FaultInjector injector(42);  // zero-fault process
     CircuitBreaker breaker;

@@ -1,0 +1,233 @@
+// Feature-store bench: the stale-cache and prefetch-overlap cells behind
+// src/feature_store/. Two experiments feed the "feature_store" section of
+// BENCH_serving.json:
+//
+//   "stale"    — capacity sweep of the last-known-features hit rate under a
+//                total ABFS outage, Zipf-skewed users: how much of the
+//                degraded traffic serves a real (stale) behavior window
+//                instead of an empty one, per LRU budget.
+//   "prefetch" — engine-level qps with async prefetch off vs on, under an
+//                injected per-fetch RPC latency standing in for a remote
+//                ABFS round-trip, plus the overlap counters (issued / hits /
+//                discarded) that say how much fetch cost scoring hid.
+//
+// Intentionally a plain main() (not google-benchmark): each cell is one
+// closed-loop run whose counters are the result.
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "bench_json.h"
+#include "common/env.h"
+#include "common/fault.h"
+#include "common/rng.h"
+#include "data/synth.h"
+#include "feature_store/feature_store.h"
+#include "models/model_zoo.h"
+#include "runtime/load_generator.h"
+#include "runtime/serving_engine.h"
+#include "serving/feature_server.h"
+#include "serving/pipeline.h"
+#include "serving/recall.h"
+
+namespace {
+
+using namespace basm;
+
+void AppendJsonNumber(std::ostringstream& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  out << buf;
+}
+
+}  // namespace
+
+int main() {
+  data::SynthConfig config = data::SynthConfig::Eleme();
+  config.num_users = 2000;
+  config.num_items = 1500;
+  config.num_cities = 8;
+  data::World world(config);
+
+  const int64_t warm_requests =
+      basm::EnvInt("BASM_FS_WARM_REQUESTS", basm::FastMode() ? 600 : 4000);
+  const int64_t outage_requests = warm_requests / 2;
+
+  std::printf("feature store bench: %lld warm + %lld outage requests, "
+              "%lld users, hardware threads %u\n\n",
+              static_cast<long long>(warm_requests),
+              static_cast<long long>(outage_requests),
+              static_cast<long long>(config.num_users),
+              std::thread::hardware_concurrency());
+
+  // --- stale hit-rate vs LRU budget under a total outage ------------------
+  // Zipf-skewed traffic (head users dominate, like the fleet client): warm
+  // the cache through the facade, then kill the dependency outright and
+  // count how many degraded requests still find a last-known window.
+  ZipfTable zipf(config.num_users, 1.1);
+  std::ostringstream stale_json;
+  stale_json << "[";
+  std::printf("%-18s %-12s %-12s %-12s %-10s %s\n", "capacity/shard",
+              "stale_hits", "stale_miss", "hit_rate", "evictions",
+              "cache_entries");
+  bool first = true;
+  for (int64_t capacity : {16, 64, 256}) {
+    serving::FeatureServer server(world, world.config().seq_len, 3);
+    FaultInjector storm(7);
+    server.SetFaultInjector(&storm);
+    feature_store::FeatureStore store(
+        &server, feature_store::FeatureStoreConfig{8, capacity});
+
+    Rng rng(0xFEED);  // same user sequence for every capacity
+    for (int64_t i = 0; i < warm_requests; ++i) {
+      const int32_t user = static_cast<int32_t>(zipf.Sample(rng));
+      StatusOr<serving::FeatureServer::UserFeatures> fetched =
+          store.FetchFeatures(user);
+      if (!fetched.ok()) std::printf("unexpected warm failure\n");
+    }
+
+    FaultSiteConfig outage;
+    outage.error_probability = 1.0;
+    outage.error_message = "abfs down";
+    storm.Configure(serving::kFeatureFetchFaultSite, outage);
+    for (int64_t i = 0; i < outage_requests; ++i) {
+      const int32_t user = static_cast<int32_t>(zipf.Sample(rng));
+      StatusOr<serving::FeatureServer::UserFeatures> fetched =
+          store.FetchFeatures(user);
+      if (!fetched.ok()) (void)store.LastKnownFeatures(user);
+    }
+
+    const feature_store::FeatureStoreStats stats = store.stats();
+    const double hit_rate =
+        static_cast<double>(stats.stale_hits) /
+        static_cast<double>(stats.stale_hits + stats.stale_misses);
+    std::printf("%-18lld %-12lld %-12lld %-12.3f %-10lld %lld\n",
+                static_cast<long long>(capacity),
+                static_cast<long long>(stats.stale_hits),
+                static_cast<long long>(stats.stale_misses), hit_rate,
+                static_cast<long long>(stats.evictions),
+                static_cast<long long>(stats.cache_entries));
+
+    if (!first) stale_json << ",";
+    first = false;
+    stale_json << "\n      {\"capacity_per_shard\": " << capacity
+               << ", \"warm_requests\": " << warm_requests
+               << ", \"outage_requests\": " << outage_requests
+               << ", \"stale_hits\": " << stats.stale_hits
+               << ", \"stale_misses\": " << stats.stale_misses
+               << ", \"evictions\": " << stats.evictions
+               << ", \"stale_hit_rate\": ";
+    AppendJsonNumber(stale_json, hit_rate);
+    stale_json << "}";
+  }
+  stale_json << "\n    ]";
+
+  // --- prefetch overlap: engine qps with prefetch off vs on ---------------
+  // Every fetch pays an injected latency spike (a remote ABFS round-trip);
+  // the fault-tolerant pipeline routes the foreground fetch through the
+  // same fallible path, so the off-cell pays the RPC inline while the
+  // on-cells overlap it with the previous batch's scoring.
+  serving::FeatureServer rpc_server(world, world.config().seq_len, 3);
+  FaultInjector rpc(11);
+  FaultSiteConfig latency;
+  latency.spike_probability = 1.0;
+  latency.spike_micros = 150;
+  rpc.Configure(serving::kFeatureFetchFaultSite, latency);
+  rpc_server.SetFaultInjector(&rpc);
+  feature_store::FeatureStore store(&rpc_server);
+  serving::RecallIndex recall(world);
+  auto model =
+      models::CreateModel(models::ModelKind::kBasm, world.schema(), 42);
+  model->SetTraining(false);
+  serving::Pipeline pipeline(world, &store, &recall, model.get(),
+                             /*recall_size=*/24, /*expose_k=*/8);
+  pipeline.EnableFaultTolerance(serving::FeatureFaultPolicy{});
+
+  runtime::LoadConfig load;
+  load.num_requests =
+      basm::EnvInt("BASM_FS_REQUESTS", basm::FastMode() ? 200 : 1200);
+  load.concurrency = 32;
+
+  std::printf("\nprefetch sweep: %lld requests/cell, injected fetch "
+              "latency %lldus\n",
+              static_cast<long long>(load.num_requests),
+              static_cast<long long>(latency.spike_micros));
+  std::printf("%-10s %-8s %-9s %-10s %-8s %-8s %-10s %s\n", "threads",
+              "window", "qps", "delta_pct", "issued", "hits", "discarded",
+              "hit_rate");
+
+  struct PrefetchCell {
+    int32_t threads;
+    int64_t window;
+  };
+  std::ostringstream prefetch_json;
+  prefetch_json << "[";
+  first = true;
+  double baseline_qps = 0.0;
+  for (const PrefetchCell& cell :
+       {PrefetchCell{0, 8}, PrefetchCell{1, 4}, PrefetchCell{2, 8}}) {
+    runtime::EngineConfig ec;
+    ec.num_workers = 2;
+    ec.max_batch_requests = 4;
+    ec.max_wait_micros = 200;
+    ec.prefetch_threads = cell.threads;
+    ec.prefetch_window = cell.window;
+    runtime::ServingEngine engine(&pipeline, ec);
+
+    const feature_store::FeatureStoreStats before = store.stats();
+    runtime::LoadGenerator generator(world, load);
+    runtime::LoadReport report = generator.Run(engine);
+    const feature_store::FeatureStoreStats after = store.stats();
+
+    if (cell.threads == 0) baseline_qps = report.qps;
+    const double delta_pct =
+        baseline_qps > 0 ? 100.0 * (report.qps - baseline_qps) / baseline_qps
+                         : 0.0;
+    const int64_t issued = after.prefetch_issued - before.prefetch_issued;
+    const int64_t hits = after.prefetch_hits - before.prefetch_hits;
+    const int64_t discarded =
+        after.prefetch_discarded - before.prefetch_discarded;
+    const double hit_rate =
+        static_cast<double>(hits) / static_cast<double>(load.num_requests);
+    std::printf("%-10d %-8lld %-9.1f %-10.1f %-8lld %-8lld %-10lld %.3f\n",
+                cell.threads, static_cast<long long>(cell.window), report.qps,
+                delta_pct, static_cast<long long>(issued),
+                static_cast<long long>(hits),
+                static_cast<long long>(discarded), hit_rate);
+
+    if (!first) prefetch_json << ",";
+    first = false;
+    prefetch_json << "\n      {\"prefetch_threads\": " << cell.threads
+                  << ", \"prefetch_window\": " << cell.window
+                  << ", \"requests\": " << load.num_requests
+                  << ", \"fetch_latency_micros\": " << latency.spike_micros
+                  << ", \"qps\": ";
+    AppendJsonNumber(prefetch_json, report.qps);
+    prefetch_json << ", \"qps_delta_pct\": ";
+    AppendJsonNumber(prefetch_json, delta_pct);
+    prefetch_json << ", \"prefetch_issued\": " << issued
+                  << ", \"prefetch_hits\": " << hits
+                  << ", \"prefetch_discarded\": " << discarded
+                  << ", \"prefetch_hit_rate\": ";
+    AppendJsonNumber(prefetch_json, hit_rate);
+    prefetch_json << "}";
+  }
+  prefetch_json << "\n    ]";
+
+  std::ostringstream section;
+  section << "{\n    \"stale\": " << stale_json.str()
+          << ",\n    \"prefetch\": " << prefetch_json.str() << "\n  }";
+  const std::string json_path =
+      basm::EnvString("BASM_BENCH_JSON", "BENCH_serving.json");
+  if (basm::bench::UpdateBenchJsonSection(json_path, "feature_store",
+                                          section.str())) {
+    std::printf("\nwrote \"feature_store\" section of %s\n",
+                json_path.c_str());
+  } else {
+    std::printf("\nFAILED to write %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -29,6 +29,7 @@
 #include "online/online_trainer.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
+#include "feature_store/feature_store.h"
 #include "serving/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
@@ -68,6 +69,7 @@ int main() {
   config.num_cities = 8;
   data::World world(config);
   serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
 
   const bool fast = basm::FastMode();
@@ -132,7 +134,7 @@ int main() {
               static_cast<unsigned long long>(registry.head_version()));
 
   // ---- 3. hot-swap tax under load -------------------------------------
-  serving::Pipeline pipeline(world, &features, &recall, &slot,
+  serving::Pipeline pipeline(world, &store, &recall, &slot,
                              /*recall_size=*/24, /*expose_k=*/8);
   runtime::LoadConfig load_config;
   load_config.num_requests = requests;

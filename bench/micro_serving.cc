@@ -8,6 +8,7 @@
 
 #include "data/synth.h"
 #include "models/model_zoo.h"
+#include "feature_store/feature_store.h"
 #include "serving/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
@@ -51,10 +52,11 @@ void BM_ServeRequest(benchmark::State& state) {
   auto kind = static_cast<models::ModelKind>(state.range(0));
   const data::World& world = SharedWorld();
   serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   auto model = models::CreateModel(kind, world.schema(), 42);
   model->SetTraining(false);
-  serving::Pipeline pipeline(world, &features, &recall, model.get(),
+  serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/24, /*expose_k=*/8);
   serving::Request req;
   req.user_id = 5;

@@ -1,15 +1,20 @@
 // Graceful-degradation walk-through: the serving stack under a feature-
-// store outage. A fault-tolerant pipeline (retry + backoff, circuit
-// breaker, degrade-to-empty-window) serves three phases of closed-loop
-// traffic: healthy, with the feature dependency killed mid-load (the
-// breaker opens and slates keep rendering, degraded), and after the
-// dependency recovers (the breaker closes and serving returns to normal).
+// dependency outage, now with the sharded feature store's stale fallback.
+// A fault-tolerant pipeline (retry + backoff, circuit breaker) serves
+// three phases of closed-loop traffic: healthy (the store caches every
+// user's last-known behavior window), with the feature dependency killed
+// mid-load (slates keep rendering from *stale* windows — real but old
+// behavior instead of the empty window a cacheless stack would serve),
+// and after the dependency recovers (the breaker closes, fetches go
+// fresh again, and staleness disappears).
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/circuit_breaker.h"
 #include "common/fault.h"
 #include "data/synth.h"
+#include "feature_store/feature_store.h"
 #include "models/model_zoo.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
@@ -25,9 +30,12 @@ void PrintPhase(const char* name, const runtime::LoadReport& report,
                 const runtime::LatencySnapshot& window,
                 const CircuitBreaker& breaker) {
   std::printf("\n== %s ==\n%s\n", name, report.ToString().c_str());
-  std::printf("window: retries %lld, degraded %lld, breaker opens %lld\n",
+  std::printf("window: retries %lld, degraded %lld (stale %lld, empty "
+              "%lld), breaker opens %lld\n",
               static_cast<long long>(window.retries),
               static_cast<long long>(window.degraded),
+              static_cast<long long>(window.degraded_stale),
+              static_cast<long long>(window.degraded_empty),
               static_cast<long long>(window.breaker_opens));
   CircuitBreaker::Stats stats = breaker.stats();
   std::printf("breaker: %s (opens %lld, short-circuits %lld, closes %lld)\n",
@@ -35,6 +43,18 @@ void PrintPhase(const char* name, const runtime::LoadReport& report,
               static_cast<long long>(stats.opens),
               static_cast<long long>(stats.short_circuits),
               static_cast<long long>(stats.closes));
+}
+
+void PrintStoreCounters(const feature_store::FeatureStore& store) {
+  feature_store::FeatureStoreStats s = store.stats();
+  std::printf("store: %lld windows cached, %lld fresh fetches, %lld "
+              "failures, stale hits %lld / misses %lld, evictions %lld\n",
+              static_cast<long long>(s.cache_entries),
+              static_cast<long long>(s.fresh_fetches),
+              static_cast<long long>(s.fetch_failures),
+              static_cast<long long>(s.stale_hits),
+              static_cast<long long>(s.stale_misses),
+              static_cast<long long>(s.evictions));
 }
 
 }  // namespace
@@ -47,11 +67,15 @@ int main() {
   data::World world(config);
 
   serving::FeatureServer features(world, world.config().seq_len, 7);
+  // The sharded store in front of the raw server: every healthy fetch
+  // refreshes the user's last-known window, which becomes the degraded
+  // path's fallback when the server goes dark.
+  feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   auto model =
       models::CreateModel(models::ModelKind::kBasm, world.schema(), 21);
   model->SetTraining(false);
-  serving::Pipeline pipeline(world, &features, &recall, model.get(),
+  serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/20, /*expose_k=*/5);
 
   // Arm the fault path: retries with backoff around the feature fetch, a
@@ -78,16 +102,20 @@ int main() {
   load.num_requests = 200;
   load.concurrency = 16;
 
-  // Phase 1: the dependency is healthy — no retries, no degradation.
+  // Phase 1: the dependency is healthy — no retries, no degradation, and
+  // every served user leaves a last-known window in the store's cache.
   {
     runtime::LoadGenerator generator(world, load);
     runtime::LoadReport report = generator.Run(engine);
     PrintPhase("healthy", report, engine.IntervalStats(), breaker);
+    PrintStoreCounters(store);
   }
 
-  // Phase 2: kill the feature path entirely (every fetch fails). Slates
-  // keep rendering from an empty behavior window; after a few failures
-  // the breaker opens and sheds the doomed fetches outright.
+  // Phase 2: kill the feature path entirely (every fetch fails). Users
+  // seen in phase 1 are served their cached window — degraded *stale*,
+  // with a real staleness age — and only never-seen users fall all the
+  // way to an empty window. The breaker still opens and sheds the doomed
+  // fetches outright.
   {
     FaultSiteConfig outage;
     outage.error_probability = 1.0;
@@ -95,17 +123,27 @@ int main() {
     injector.Configure(serving::kFeatureFetchFaultSite, outage);
     runtime::LoadGenerator generator(world, load);
     runtime::LoadReport report = generator.Run(engine);
-    PrintPhase("feature store down", report, engine.IntervalStats(),
+    PrintPhase("feature dependency down", report, engine.IntervalStats(),
                breaker);
+    PrintStoreCounters(store);
+
+    // One request inspected by hand: the store still has user 7's window.
+    auto stale = store.LastKnownFeatures(7);
+    if (stale.has_value()) {
+      std::printf("user 7 last-known window: %zu behaviors, %.1f ms old\n",
+                  stale->behaviors.size(),
+                  static_cast<double>(stale->age_micros) / 1000.0);
+    }
   }
 
   // Phase 3: the dependency comes back. Half-open probes succeed, the
-  // breaker closes, and serving returns to the full-feature path.
+  // breaker closes, and serving returns to the full-feature (fresh) path.
   {
     injector.Configure(serving::kFeatureFetchFaultSite, FaultSiteConfig{});
     runtime::LoadGenerator generator(world, load);
     runtime::LoadReport report = generator.Run(engine);
     PrintPhase("recovered", report, engine.IntervalStats(), breaker);
+    PrintStoreCounters(store);
   }
 
   std::printf("\n== totals ==\n%s", engine.Stats().ToString().c_str());

@@ -12,6 +12,7 @@
 #include "common/env.h"
 #include "data/synth.h"
 #include "models/model_zoo.h"
+#include "feature_store/feature_store.h"
 #include "serving/ab_stats.h"
 #include "serving/simulator.h"
 #include "train/trainer.h"
@@ -49,8 +50,9 @@ int main() {
 
   // One serve-path walkthrough for a single request.
   serving::FeatureServer features(world, config.seq_len, /*seed=*/3);
+  feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
-  serving::Pipeline pipeline(world, &features, &recall, basm_model.get(),
+  serving::Pipeline pipeline(world, &store, &recall, basm_model.get(),
                              /*recall_size=*/20, /*expose_k=*/5);
   serving::Request req;
   req.user_id = 42;

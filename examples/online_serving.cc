@@ -16,6 +16,7 @@
 #include "online/online_trainer.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
+#include "feature_store/feature_store.h"
 #include "serving/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
@@ -64,6 +65,7 @@ int main() {
   config.num_cities = 4;
   data::World world(config);
   serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
 
   // 1. Bootstrap: an offline-trained model becomes registry v1 and the
@@ -87,7 +89,7 @@ int main() {
   // 2. Serve through the slot-backed pipeline. The engine acquires the
   //    slot's current servable once per micro-batch, so whatever we
   //    publish next is picked up without restarting anything.
-  serving::Pipeline pipeline(world, &features, &recall, &slot,
+  serving::Pipeline pipeline(world, &store, &recall, &slot,
                              /*recall_size=*/16, /*expose_k=*/4);
   runtime::EngineConfig engine_config;
   engine_config.num_workers = 2;

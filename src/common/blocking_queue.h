@@ -1,6 +1,7 @@
 #ifndef BASM_COMMON_BLOCKING_QUEUE_H_
 #define BASM_COMMON_BLOCKING_QUEUE_H_
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <optional>
@@ -80,6 +81,17 @@ class BlockingQueue {
   std::optional<T> TryPop() BASM_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return PopLocked();
+  }
+
+  /// Calls `fn(const T&)` on up to `max_items` items from the front (the
+  /// ones a consumer will pop next), under the queue lock. Read-only: items
+  /// stay queued. The serving engine uses this to prefetch features for the
+  /// next micro-batch while the current one is still scoring.
+  template <typename Fn>
+  void PeekFront(size_t max_items, Fn&& fn) const BASM_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    size_t n = std::min(max_items, items_.size());
+    for (size_t i = 0; i < n; ++i) fn(static_cast<const T&>(items_[i]));
   }
 
   /// Stops accepting pushes and wakes every waiter. Queued items remain

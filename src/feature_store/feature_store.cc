@@ -1,0 +1,206 @@
+#include "feature_store/feature_store.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace basm::feature_store {
+
+namespace {
+/// SplitMix64 finalizer — the same mixer the net router's hash ring uses.
+/// Sequential user ids spread uniformly across shards instead of striping.
+uint64_t MixUser(int32_t user_id) {
+  uint64_t x = static_cast<uint64_t>(static_cast<uint32_t>(user_id)) +
+               0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+FeatureStore::FeatureStore(serving::FeatureServer* server,
+                           FeatureStoreConfig config)
+    : server_(server), config_(config) {
+  BASM_CHECK(server_ != nullptr);
+  BASM_CHECK_GT(config_.num_shards, 0);
+  BASM_CHECK_GE(config_.capacity_per_shard, 0);
+  shards_.reserve(config_.num_shards);
+  for (int32_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+int32_t FeatureStore::ShardOf(int32_t user_id) const {
+  return static_cast<int32_t>(MixUser(user_id) %
+                              static_cast<uint64_t>(config_.num_shards));
+}
+
+void FeatureStore::RefreshLocked(
+    Shard& shard, int32_t user_id,
+    const std::vector<data::BehaviorEvent>& behaviors) {
+  if (!cache_enabled()) return;
+  auto it = shard.index.find(user_id);
+  if (it != shard.index.end()) {
+    // Refresh in place and move to the front (most recently fetched).
+    it->second->behaviors.assign(behaviors.begin(), behaviors.end());
+    it->second->fetched_at = Clock::now();
+    it->second->prefetch_fresh = false;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (static_cast<int64_t>(shard.lru.size()) >= config_.capacity_per_shard) {
+    // Reuse the victim's node (and its buffer capacity) for the new user.
+    auto victim = std::prev(shard.lru.end());
+    shard.index.erase(victim->user_id);
+    ++shard.evictions;
+    victim->user_id = user_id;
+    victim->behaviors.assign(behaviors.begin(), behaviors.end());
+    victim->fetched_at = Clock::now();
+    victim->prefetch_fresh = false;
+    shard.lru.splice(shard.lru.begin(), shard.lru, victim);
+    shard.index[user_id] = shard.lru.begin();
+  } else {
+    Entry entry;
+    entry.user_id = user_id;
+    entry.behaviors = behaviors;
+    entry.fetched_at = Clock::now();
+    shard.lru.push_front(std::move(entry));
+    shard.index[user_id] = shard.lru.begin();
+  }
+  ++shard.insertions;
+}
+
+bool FeatureStore::ConsumePrefetchLocked(
+    Shard& shard, int32_t user_id,
+    serving::FeatureServer::UserFeatures* out) {
+  auto it = shard.index.find(user_id);
+  if (it == shard.index.end() || !it->second->prefetch_fresh) return false;
+  it->second->prefetch_fresh = false;  // one-shot either way
+  auto ver = shard.versions.find(user_id);
+  uint64_t current = ver == shard.versions.end() ? 0 : ver->second;
+  if (it->second->prefetch_version != current) {
+    // A click landed after the prefetch: the parked window predates it and
+    // must not be served (it would break fetch bit-identity).
+    ++shard.prefetch_discarded;
+    return false;
+  }
+  out->user_id = user_id;
+  out->behaviors = it->second->behaviors;
+  ++shard.prefetch_hits;
+  // Consuming counts as a fetch for recency purposes.
+  it->second->fetched_at = Clock::now();
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return true;
+}
+
+serving::FeatureServer::UserFeatures FeatureStore::GetFeatures(
+    int32_t user_id) {
+  Shard& shard = *shards_[ShardOf(user_id)];
+  MutexLock lock(&shard.mu);
+  serving::FeatureServer::UserFeatures uf;
+  if (ConsumePrefetchLocked(shard, user_id, &uf)) return uf;
+  uf = server_->GetUserFeatures(user_id);
+  ++shard.fresh_fetches;
+  RefreshLocked(shard, user_id, uf.behaviors);
+  return uf;
+}
+
+StatusOr<serving::FeatureServer::UserFeatures> FeatureStore::FetchFeatures(
+    int32_t user_id) {
+  Shard& shard = *shards_[ShardOf(user_id)];
+  MutexLock lock(&shard.mu);
+  serving::FeatureServer::UserFeatures uf;
+  if (ConsumePrefetchLocked(shard, user_id, &uf)) return uf;
+  StatusOr<serving::FeatureServer::UserFeatures> fetched =
+      server_->FetchUserFeatures(user_id);  // basm-lint: allow(feature-fetch-outside-store)
+  if (!fetched.ok()) {
+    ++shard.fetch_failures;
+    return fetched.status();
+  }
+  ++shard.fresh_fetches;
+  RefreshLocked(shard, user_id, fetched.value().behaviors);
+  return fetched;
+}
+
+std::optional<StaleFeatures> FeatureStore::LastKnownFeatures(
+    int32_t user_id) {
+  Shard& shard = *shards_[ShardOf(user_id)];
+  MutexLock lock(&shard.mu);
+  auto it = shard.index.find(user_id);
+  if (it == shard.index.end()) {
+    ++shard.stale_misses;
+    return std::nullopt;
+  }
+  ++shard.stale_hits;
+  StaleFeatures stale;
+  stale.behaviors = it->second->behaviors;
+  stale.age_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                         Clock::now() - it->second->fetched_at)
+                         .count();
+  return stale;
+}
+
+void FeatureStore::RecordClick(int32_t user_id,
+                               const data::BehaviorEvent& event) {
+  Shard& shard = *shards_[ShardOf(user_id)];
+  MutexLock lock(&shard.mu);
+  ++shard.versions[user_id];
+  server_->RecordClick(user_id, event);
+}
+
+bool FeatureStore::Prefetch(int32_t user_id,
+                            Clock::time_point deadline) {
+  if (!cache_enabled()) return false;
+  Shard& shard = *shards_[ShardOf(user_id)];
+  uint64_t version;
+  {
+    MutexLock lock(&shard.mu);
+    if (Clock::now() >= deadline) {
+      // The request this prefetch was for is already doomed; don't spend a
+      // server round-trip on it.
+      ++shard.prefetch_cancelled;
+      return false;
+    }
+    auto ver = shard.versions.find(user_id);
+    version = ver == shard.versions.end() ? 0 : ver->second;
+  }
+  // The server round-trip runs outside the shard lock so foreground
+  // fetches on this shard overlap it; the version snapshot above is what
+  // makes that safe (a click racing the fetch bumps the version, and the
+  // parked window is discarded at consumption instead of served).
+  StatusOr<serving::FeatureServer::UserFeatures> fetched =
+      server_->FetchUserFeatures(user_id);  // basm-lint: allow(feature-fetch-outside-store)
+  MutexLock lock(&shard.mu);
+  ++shard.prefetch_issued;
+  if (!fetched.ok()) {
+    ++shard.fetch_failures;
+    return false;
+  }
+  ++shard.fresh_fetches;
+  RefreshLocked(shard, user_id, fetched.value().behaviors);
+  auto it = shard.index.find(user_id);
+  it->second->prefetch_fresh = true;
+  it->second->prefetch_version = version;
+  return true;
+}
+
+FeatureStoreStats FeatureStore::stats() const {
+  FeatureStoreStats totals;
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    totals.fresh_fetches += shard->fresh_fetches;
+    totals.fetch_failures += shard->fetch_failures;
+    totals.cache_entries += static_cast<int64_t>(shard->lru.size());
+    totals.stale_hits += shard->stale_hits;
+    totals.stale_misses += shard->stale_misses;
+    totals.insertions += shard->insertions;
+    totals.evictions += shard->evictions;
+    totals.prefetch_issued += shard->prefetch_issued;
+    totals.prefetch_hits += shard->prefetch_hits;
+    totals.prefetch_discarded += shard->prefetch_discarded;
+    totals.prefetch_cancelled += shard->prefetch_cancelled;
+  }
+  return totals;
+}
+
+}  // namespace basm::feature_store

@@ -1,0 +1,179 @@
+#ifndef BASM_FEATURE_STORE_FEATURE_STORE_H_
+#define BASM_FEATURE_STORE_FEATURE_STORE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+#include "data/schema.h"
+#include "serving/feature_server.h"
+
+namespace basm::feature_store {
+
+struct FeatureStoreConfig {
+  /// User-hash shards; concurrent requests for different users contend only
+  /// when they land on the same shard.
+  int32_t num_shards = 8;
+  /// Per-shard LRU capacity of the last-known-features cache. 0 disables
+  /// the cache entirely (and with it prefetch and stale serving) — the
+  /// store then degrades to a thin locking facade over the server.
+  int64_t capacity_per_shard = 128;
+};
+
+/// Lifetime counters, merged across shards by stats(). The serving engine
+/// folds these into every LatencySnapshot export.
+struct FeatureStoreStats {
+  int64_t fresh_fetches = 0;      ///< successful server round-trips
+  int64_t fetch_failures = 0;     ///< failed server round-trips
+  int64_t cache_entries = 0;      ///< live LRU entries right now
+  int64_t stale_hits = 0;         ///< LastKnownFeatures found a window
+  int64_t stale_misses = 0;       ///< LastKnownFeatures found nothing
+  int64_t insertions = 0;         ///< new users cached
+  int64_t evictions = 0;          ///< LRU entries displaced at capacity
+  int64_t prefetch_issued = 0;    ///< Prefetch calls that fetched
+  int64_t prefetch_hits = 0;      ///< fetches served from a prefetch
+  int64_t prefetch_discarded = 0; ///< prefetches invalidated by a click
+  int64_t prefetch_cancelled = 0; ///< prefetches skipped past deadline
+};
+
+/// A last-known behavior window plus how old it is — what a degraded
+/// request serves instead of an empty window.
+struct StaleFeatures {
+  std::vector<data::BehaviorEvent> behaviors;
+  int64_t age_micros = 0;
+};
+
+/// Sharded concurrent facade over the ABFS FeatureServer — the hot-path
+/// feature tier. Each user hashes to one shard guarded by its own
+/// basm::Mutex; a per-shard LRU keeps the *last known* behavior window of
+/// recently served users so the fault-tolerant path can degrade to stale
+/// features (real but old behavior) instead of an empty window, and an
+/// async prefetch path lets the serving engine overlap the next
+/// micro-batch's lookups with scoring of the current one.
+///
+/// Consistency contract: all click writes must flow through RecordClick on
+/// the store (not the raw server), which bumps the user's version and so
+/// invalidates any in-flight prefetch of a pre-click window. A consumed
+/// prefetch is therefore always bit-identical to a synchronous fetch at
+/// consume time — the happy path never serves a window the server would
+/// not have returned.
+///
+/// The raw fallible fetch (FeatureServer::FetchUserFeatures, where the
+/// FaultInjector site lives) is reachable only through this facade on the
+/// serving path; basm_lint's feature-fetch-outside-store rule enforces it.
+class FeatureStore {
+ public:
+  /// The server is borrowed and must outlive the store.
+  explicit FeatureStore(serving::FeatureServer* server,
+                        FeatureStoreConfig config = {});
+
+  FeatureStore(const FeatureStore&) = delete;
+  FeatureStore& operator=(const FeatureStore&) = delete;
+
+  /// Infallible in-process lookup (CHECKs on bad ids, like the server's
+  /// GetUserFeatures). Consumes a version-valid prefetched window when one
+  /// is parked, else round-trips to the server; either way the result is
+  /// bit-identical to the server's current window, and the LRU cache is
+  /// refreshed with it.
+  serving::FeatureServer::UserFeatures GetFeatures(int32_t user_id);
+
+  /// The fallible "RPC" fetch the retry/breaker loop calls. Consumes a
+  /// version-valid prefetched window without touching the server;
+  /// otherwise performs exactly one server fetch (evaluating the
+  /// feature_server.fetch fault site). Success refreshes the cache;
+  /// failure surfaces the Status verbatim and leaves the last-known
+  /// window untouched for LastKnownFeatures.
+  [[nodiscard]] StatusOr<serving::FeatureServer::UserFeatures> FetchFeatures(
+      int32_t user_id);
+
+  /// The degraded fallback: the user's last successfully fetched window
+  /// with its staleness age, or nullopt if the user was never cached (or
+  /// was evicted). Read-only — does not touch LRU recency, so probing a
+  /// dead dependency's fallback never perturbs eviction order.
+  std::optional<StaleFeatures> LastKnownFeatures(int32_t user_id);
+
+  /// Forwards a click to the server under the user's shard lock and bumps
+  /// the user's version, invalidating any prefetched pre-click window.
+  /// Deliberately does NOT update the cached window: the cache holds what
+  /// was last *fetched*, so staleness is honest.
+  void RecordClick(int32_t user_id, const data::BehaviorEvent& event);
+
+  /// Async-prefetch body (run on the engine's prefetch pool): fetches the
+  /// user's window and parks it in the cache entry, tagged with the
+  /// user's current version, for the next GetFeatures/FetchFeatures to
+  /// consume without a server round-trip. A deadline already in the past
+  /// cancels without fetching. Returns true when a window was parked.
+  bool Prefetch(int32_t user_id,
+                std::chrono::steady_clock::time_point deadline);
+
+  /// Counters merged across shards (cache_entries is the live total).
+  FeatureStoreStats stats() const;
+
+  const FeatureStoreConfig& config() const { return config_; }
+  serving::FeatureServer* server() const { return server_; }
+  /// True when the LRU (and so stale serving + prefetch) is enabled.
+  bool cache_enabled() const { return config_.capacity_per_shard > 0; }
+
+  /// Shard index of a user (public for the shard-spread test).
+  int32_t ShardOf(int32_t user_id) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    int32_t user_id = 0;
+    std::vector<data::BehaviorEvent> behaviors;
+    Clock::time_point fetched_at;
+    /// A prefetched window is parked here until consumed or invalidated.
+    bool prefetch_fresh = false;
+    uint64_t prefetch_version = 0;
+  };
+
+  /// One shard: LRU list (front = most recently fetched) plus a user
+  /// index into it, and the per-user version counters that guard
+  /// prefetch consumption. Buffers in evicted Entry slots are reused via
+  /// assign(), so a warm shard stops hitting the allocator.
+  struct Shard {
+    mutable Mutex mu;
+    std::list<Entry> lru BASM_GUARDED_BY(mu);
+    std::unordered_map<int32_t, std::list<Entry>::iterator> index
+        BASM_GUARDED_BY(mu);
+    std::unordered_map<int32_t, uint64_t> versions BASM_GUARDED_BY(mu);
+    int64_t fresh_fetches BASM_GUARDED_BY(mu) = 0;
+    int64_t fetch_failures BASM_GUARDED_BY(mu) = 0;
+    int64_t stale_hits BASM_GUARDED_BY(mu) = 0;
+    int64_t stale_misses BASM_GUARDED_BY(mu) = 0;
+    int64_t insertions BASM_GUARDED_BY(mu) = 0;
+    int64_t evictions BASM_GUARDED_BY(mu) = 0;
+    int64_t prefetch_issued BASM_GUARDED_BY(mu) = 0;
+    int64_t prefetch_hits BASM_GUARDED_BY(mu) = 0;
+    int64_t prefetch_discarded BASM_GUARDED_BY(mu) = 0;
+    int64_t prefetch_cancelled BASM_GUARDED_BY(mu) = 0;
+  };
+
+  /// Moves the user's entry to the LRU front with `behaviors` as the new
+  /// window (inserting/evicting as needed). Caller holds the shard lock.
+  void RefreshLocked(Shard& shard, int32_t user_id,
+                     const std::vector<data::BehaviorEvent>& behaviors)
+      BASM_REQUIRES(shard.mu);
+
+  /// Consumes a version-valid parked prefetch into *out; false when there
+  /// is none (or a click invalidated it, which counts a discard).
+  bool ConsumePrefetchLocked(Shard& shard, int32_t user_id,
+                             serving::FeatureServer::UserFeatures* out)
+      BASM_REQUIRES(shard.mu);
+
+  serving::FeatureServer* server_;
+  FeatureStoreConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace basm::feature_store
+
+#endif  // BASM_FEATURE_STORE_FEATURE_STORE_H_

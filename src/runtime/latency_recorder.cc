@@ -73,6 +73,14 @@ void LatencyRecorder::RecordDegraded() {
   LocalShard().degraded.fetch_add(1, std::memory_order_relaxed);
 }
 
+void LatencyRecorder::RecordDegradedStale() {
+  LocalShard().degraded_stale.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LatencyRecorder::RecordDegradedEmpty() {
+  LocalShard().degraded_empty.fetch_add(1, std::memory_order_relaxed);
+}
+
 void LatencyRecorder::RecordBreakerOpen() {
   LocalShard().breaker_opens.fetch_add(1, std::memory_order_relaxed);
 }
@@ -103,6 +111,10 @@ LatencyRecorder::Totals LatencyRecorder::MergeShards() const {
     totals.timeouts += s.timeouts.load(std::memory_order_relaxed);
     totals.retries += s.retries.load(std::memory_order_relaxed);
     totals.degraded += s.degraded.load(std::memory_order_relaxed);
+    totals.degraded_stale +=
+        s.degraded_stale.load(std::memory_order_relaxed);
+    totals.degraded_empty +=
+        s.degraded_empty.load(std::memory_order_relaxed);
     totals.breaker_opens += s.breaker_opens.load(std::memory_order_relaxed);
     totals.sum_micros += s.sum_micros.load(std::memory_order_relaxed);
     for (int64_t b = 0; b < kLatencyBuckets; ++b) {
@@ -125,6 +137,8 @@ LatencySnapshot LatencyRecorder::BuildSnapshot(const Totals& totals,
   snap.shed = totals.rejects + totals.timeouts;
   snap.retries = totals.retries;
   snap.degraded = totals.degraded;
+  snap.degraded_stale = totals.degraded_stale;
+  snap.degraded_empty = totals.degraded_empty;
   snap.breaker_opens = totals.breaker_opens;
   if (snap.count > 0) {
     snap.mean_micros = static_cast<double>(totals.sum_micros) /
@@ -165,6 +179,8 @@ LatencySnapshot LatencyRecorder::IntervalSnapshot() {
   delta.timeouts = now.timeouts - interval_base_.timeouts;
   delta.retries = now.retries - interval_base_.retries;
   delta.degraded = now.degraded - interval_base_.degraded;
+  delta.degraded_stale = now.degraded_stale - interval_base_.degraded_stale;
+  delta.degraded_empty = now.degraded_empty - interval_base_.degraded_empty;
   delta.breaker_opens = now.breaker_opens - interval_base_.breaker_opens;
   delta.sum_micros = now.sum_micros - interval_base_.sum_micros;
   for (int64_t b = 0; b < kLatencyBuckets; ++b) {
@@ -191,12 +207,29 @@ std::string LatencySnapshot::ToString() const {
   out += line;
   if (retries > 0 || degraded > 0 || breaker_opens > 0) {
     std::snprintf(line, sizeof(line),
-                  "faults: retries %lld  degraded %lld  breaker opens %lld  "
-                  "shed %lld\n",
+                  "faults: retries %lld  degraded %lld (stale %lld, empty "
+                  "%lld)  breaker opens %lld  shed %lld\n",
                   static_cast<long long>(retries),
                   static_cast<long long>(degraded),
+                  static_cast<long long>(degraded_stale),
+                  static_cast<long long>(degraded_empty),
                   static_cast<long long>(breaker_opens),
                   static_cast<long long>(shed));
+    out += line;
+  }
+  if (has_feature_store) {
+    std::snprintf(line, sizeof(line),
+                  "feature store: entries %lld  stale hits %lld  misses "
+                  "%lld  evictions %lld  prefetch issued %lld  hits %lld  "
+                  "discarded %lld  cancelled %lld\n",
+                  static_cast<long long>(fs_cache_entries),
+                  static_cast<long long>(fs_stale_hits),
+                  static_cast<long long>(fs_stale_misses),
+                  static_cast<long long>(fs_evictions),
+                  static_cast<long long>(fs_prefetch_issued),
+                  static_cast<long long>(fs_prefetch_hits),
+                  static_cast<long long>(fs_prefetch_discarded),
+                  static_cast<long long>(fs_prefetch_cancelled));
     out += line;
   }
   if (has_breaker) {
@@ -228,11 +261,12 @@ std::string LatencySnapshot::ToString() const {
 }
 
 std::string LatencySnapshot::ToJson() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"count\":%lld,\"rejects\":%lld,\"timeouts\":%lld,"
       "\"shed\":%lld,\"retries\":%lld,\"degraded\":%lld,"
+      "\"degraded_stale\":%lld,\"degraded_empty\":%lld,"
       "\"breaker_opens\":%lld,"
       "\"elapsed_seconds\":%.3f,\"qps\":%.1f,\"mean_micros\":%.1f,"
       "\"p50_micros\":%.1f,\"p95_micros\":%.1f,\"p99_micros\":%.1f,"
@@ -240,6 +274,8 @@ std::string LatencySnapshot::ToJson() const {
       static_cast<long long>(count), static_cast<long long>(rejects),
       static_cast<long long>(timeouts), static_cast<long long>(shed),
       static_cast<long long>(retries), static_cast<long long>(degraded),
+      static_cast<long long>(degraded_stale),
+      static_cast<long long>(degraded_empty),
       static_cast<long long>(breaker_opens), elapsed_seconds, qps,
       mean_micros, p50_micros, p95_micros, p99_micros, mean_batch_size);
   std::string out = buf;
@@ -252,6 +288,28 @@ std::string LatencySnapshot::ToJson() const {
                   static_cast<long long>(breaker_open_count),
                   static_cast<long long>(breaker_close_count),
                   static_cast<long long>(breaker_short_circuits));
+    out += buf;
+  }
+  if (has_feature_store) {
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"feature_store\":{\"fresh_fetches\":%lld,"
+        "\"fetch_failures\":%lld,\"cache_entries\":%lld,"
+        "\"stale_hits\":%lld,\"stale_misses\":%lld,"
+        "\"insertions\":%lld,\"evictions\":%lld,"
+        "\"prefetch_issued\":%lld,\"prefetch_hits\":%lld,"
+        "\"prefetch_discarded\":%lld,\"prefetch_cancelled\":%lld}",
+        static_cast<long long>(fs_fresh_fetches),
+        static_cast<long long>(fs_fetch_failures),
+        static_cast<long long>(fs_cache_entries),
+        static_cast<long long>(fs_stale_hits),
+        static_cast<long long>(fs_stale_misses),
+        static_cast<long long>(fs_insertions),
+        static_cast<long long>(fs_evictions),
+        static_cast<long long>(fs_prefetch_issued),
+        static_cast<long long>(fs_prefetch_hits),
+        static_cast<long long>(fs_prefetch_discarded),
+        static_cast<long long>(fs_prefetch_cancelled));
     out += buf;
   }
   out += '}';

@@ -20,7 +20,12 @@ struct LatencySnapshot {
   /// Requests dropped without scoring — rejects + timeouts (derived).
   int64_t shed = 0;
   int64_t retries = 0;        ///< feature-fetch retry attempts
-  int64_t degraded = 0;       ///< slates served with a degraded window
+  int64_t degraded = 0;       ///< slates served degraded (any cause)
+  /// Degraded split by feature-window mode: stale = last-known window from
+  /// the feature store, empty = no window at all. Recall-only degradation
+  /// is counted in `degraded` but in neither split.
+  int64_t degraded_stale = 0;
+  int64_t degraded_empty = 0;
   int64_t breaker_opens = 0;  ///< circuit-breaker trips observed
   double elapsed_seconds = 0.0;
   double qps = 0.0;
@@ -42,6 +47,22 @@ struct LatencySnapshot {
   int64_t breaker_open_count = 0;     ///< closed/half-open -> open total
   int64_t breaker_close_count = 0;    ///< half-open -> closed total
   int64_t breaker_short_circuits = 0; ///< calls rejected while open
+
+  /// Feature-store telemetry, attached the same way by the engine when its
+  /// pipeline fetches through a cache-enabled FeatureStore: the lifetime
+  /// cache/prefetch counters behind the degraded_stale path.
+  bool has_feature_store = false;
+  int64_t fs_fresh_fetches = 0;      ///< successful server round-trips
+  int64_t fs_fetch_failures = 0;     ///< failed server round-trips
+  int64_t fs_cache_entries = 0;      ///< live last-known windows cached
+  int64_t fs_stale_hits = 0;         ///< degraded fallbacks served stale
+  int64_t fs_stale_misses = 0;       ///< fallbacks with nothing cached
+  int64_t fs_insertions = 0;         ///< users entering the cache
+  int64_t fs_evictions = 0;          ///< LRU displacements at capacity
+  int64_t fs_prefetch_issued = 0;    ///< async prefetch fetches issued
+  int64_t fs_prefetch_hits = 0;      ///< fetches served from a prefetch
+  int64_t fs_prefetch_discarded = 0; ///< prefetches invalidated by clicks
+  int64_t fs_prefetch_cancelled = 0; ///< prefetches skipped past deadline
 
   /// Multi-line human-readable report for benches and examples.
   std::string ToString() const;
@@ -72,6 +93,11 @@ class LatencyRecorder {
   /// a slate served degraded, a breaker trip observed by a worker.
   void RecordRetries(int64_t n);
   void RecordDegraded();
+  /// Degraded-mode split: the slate's feature window was the user's
+  /// last-known (stale) window, or empty. Recorded alongside
+  /// RecordDegraded, never instead of it.
+  void RecordDegradedStale();
+  void RecordDegradedEmpty();
   void RecordBreakerOpen();
 
   /// Merges every shard into one consistent-enough view (individual counters
@@ -107,6 +133,8 @@ class LatencyRecorder {
     std::atomic<int64_t> timeouts{0};
     std::atomic<int64_t> retries{0};
     std::atomic<int64_t> degraded{0};
+    std::atomic<int64_t> degraded_stale{0};
+    std::atomic<int64_t> degraded_empty{0};
     std::atomic<int64_t> breaker_opens{0};
     std::array<std::atomic<int64_t>, kLatencyBuckets> latency_hist{};
     std::array<std::atomic<int64_t>, kMaxTrackedBatch + 1> batch_hist{};
@@ -119,6 +147,8 @@ class LatencyRecorder {
     int64_t timeouts = 0;
     int64_t retries = 0;
     int64_t degraded = 0;
+    int64_t degraded_stale = 0;
+    int64_t degraded_empty = 0;
     int64_t breaker_opens = 0;
     int64_t sum_micros = 0;
     std::array<int64_t, kLatencyBuckets> latency_hist{};

@@ -39,7 +39,15 @@ LoadReport LoadGenerator::Run(ServingEngine& engine) {
     switch (result.status.code()) {
       case StatusCode::kOk:
         ++report.ok;
-        if (result.degraded) ++report.degraded;
+        if (result.degraded) {
+          ++report.degraded;
+          if (result.degraded_mode == SlateResult::DegradedMode::kStale) {
+            ++report.degraded_stale;
+          } else if (result.degraded_mode ==
+                     SlateResult::DegradedMode::kEmpty) {
+            ++report.degraded_empty;
+          }
+        }
         break;
       case StatusCode::kUnavailable:
         ++report.rejected;
@@ -93,13 +101,16 @@ LoadReport LoadGenerator::RunSerial(const serving::Pipeline& pipeline) {
 }
 
 std::string LoadReport::ToString() const {
-  char line[192];
+  char line[256];
   std::snprintf(line, sizeof(line),
-                "%lld requests in %.2fs (%.1f qps): %lld ok (%lld degraded), "
-                "%lld rejected, %lld timed out, %lld cancelled",
+                "%lld requests in %.2fs (%.1f qps): %lld ok (%lld degraded: "
+                "%lld stale, %lld empty), %lld rejected, %lld timed out, "
+                "%lld cancelled",
                 static_cast<long long>(ok + rejected + timed_out + cancelled),
                 wall_seconds, qps, static_cast<long long>(ok),
                 static_cast<long long>(degraded),
+                static_cast<long long>(degraded_stale),
+                static_cast<long long>(degraded_empty),
                 static_cast<long long>(rejected),
                 static_cast<long long>(timed_out),
                 static_cast<long long>(cancelled));

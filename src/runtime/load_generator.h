@@ -24,9 +24,13 @@ struct LoadConfig {
 /// Outcome counts of one load run.
 struct LoadReport {
   int64_t ok = 0;
-  /// Subset of `ok` served with a degraded (empty/stale) behavior window
-  /// — the graceful-degradation path under feature faults.
+  /// Subset of `ok` served degraded — the graceful-degradation path under
+  /// feature faults — split by feature-window mode (stale = last-known
+  /// window from the feature store, empty = no window; recall-only
+  /// degradation counts in `degraded` only).
   int64_t degraded = 0;
+  int64_t degraded_stale = 0;
+  int64_t degraded_empty = 0;
   int64_t rejected = 0;
   int64_t timed_out = 0;
   int64_t cancelled = 0;

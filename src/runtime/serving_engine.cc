@@ -30,8 +30,14 @@ ServingEngine::ServingEngine(const serving::Pipeline* pipeline,
   BASM_CHECK_GE(config_.scoring_threads, 0);
   BASM_CHECK(!pipeline_->AcquireServable()->model->training())
       << "ServingEngine requires the model in eval mode";
+  BASM_CHECK_GE(config_.prefetch_threads, 0);
+  BASM_CHECK_GT(config_.prefetch_window, 0);
   if (config_.scoring_threads > 0) {
     scoring_pool_ = std::make_unique<ThreadPool>(config_.scoring_threads);
+  }
+  if (config_.prefetch_threads > 0 &&
+      pipeline_->feature_store()->cache_enabled()) {
+    prefetch_pool_ = std::make_unique<ThreadPool>(config_.prefetch_threads);
   }
   for (int32_t i = 0; i < config_.num_workers; ++i) {
     workers_.Submit([this] { WorkerLoop(); });
@@ -47,7 +53,9 @@ void ServingEngine::Shutdown() {
   if (shut_down_) return;
   queue_.Shutdown();   // workers drain the backlog, then NextBatch empties
   workers_.Shutdown();  // join
-  // After the workers: no one submits shards once every batch has drained.
+  // After the workers: no one submits shards or prefetches once every
+  // batch has drained.
+  if (prefetch_pool_ != nullptr) prefetch_pool_->Shutdown();
   if (scoring_pool_ != nullptr) scoring_pool_->Shutdown();
   shut_down_ = true;
 }
@@ -100,6 +108,58 @@ void ServingEngine::AttachBreakerStats(LatencySnapshot* snap) const {
   snap->breaker_short_circuits = stats.short_circuits;
 }
 
+void ServingEngine::AttachFeatureStoreStats(LatencySnapshot* snap) const {
+  const feature_store::FeatureStore* store = pipeline_->feature_store();
+  if (!store->cache_enabled()) return;
+  feature_store::FeatureStoreStats stats = store->stats();
+  snap->has_feature_store = true;
+  snap->fs_fresh_fetches = stats.fresh_fetches;
+  snap->fs_fetch_failures = stats.fetch_failures;
+  snap->fs_cache_entries = stats.cache_entries;
+  snap->fs_stale_hits = stats.stale_hits;
+  snap->fs_stale_misses = stats.stale_misses;
+  snap->fs_insertions = stats.insertions;
+  snap->fs_evictions = stats.evictions;
+  snap->fs_prefetch_issued = stats.prefetch_issued;
+  snap->fs_prefetch_hits = stats.prefetch_hits;
+  snap->fs_prefetch_discarded = stats.prefetch_discarded;
+  snap->fs_prefetch_cancelled = stats.prefetch_cancelled;
+}
+
+void ServingEngine::IssuePrefetches() {
+  // Budget = window minus what is already scheduled/running; the fetches
+  // themselves run on the prefetch pool, overlapping the caller's forward
+  // pass. Peeking is read-only, so a prefetched request may also be popped
+  // by another worker meanwhile — its fetch then consumes the parked
+  // window (or, version-invalidated, falls through to the server).
+  int64_t budget = config_.prefetch_window -
+                   prefetch_in_flight_.load(std::memory_order_relaxed);
+  if (budget <= 0) return;
+  feature_store::FeatureStore* store = pipeline_->feature_store();
+  struct Want {
+    int32_t user_id;
+    Clock::time_point deadline;
+  };
+  std::vector<Want> wants;
+  wants.reserve(static_cast<size_t>(budget));
+  queue_.PeekFront(static_cast<size_t>(budget),
+                   [&wants](const std::unique_ptr<Job>& job) {
+                     wants.push_back(
+                         Want{job->request.user_id, job->deadline});
+                   });
+  for (const Want& want : wants) {
+    prefetch_in_flight_.fetch_add(1, std::memory_order_relaxed);
+    bool submitted = prefetch_pool_->Submit(
+        [this, store, user = want.user_id, deadline = want.deadline] {
+          store->Prefetch(user, deadline);
+          prefetch_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+        });
+    if (!submitted) {
+      prefetch_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
 void ServingEngine::WorkerLoop() {
   while (true) {
     std::vector<std::unique_ptr<Job>> jobs = batcher_.NextBatch();
@@ -143,6 +203,9 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
   // head fallback candidates) instead of failing it.
   const bool fault_tolerant = pipeline_->fault_tolerant();
   std::vector<bool> degraded(live.size(), false);
+  std::vector<SlateResult::DegradedMode> modes(
+      live.size(), SlateResult::DegradedMode::kNone);
+  std::vector<int64_t> stale_ages(live.size(), 0);
   for (size_t j = 0; j < live.size(); ++j) {
     auto& job = live[j];
     if (job->candidates.empty()) {
@@ -184,7 +247,14 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
       serving::FeatureFetchOutcome outcome;
       ex = pipeline_->BuildExamplesFallible(job->request, job->candidates,
                                             job->deadline, &outcome);
-      if (outcome.degraded) degraded[j] = true;
+      if (outcome.degraded) {
+        degraded[j] = true;
+        // stale vs empty is a *feature-window* distinction; recall-only
+        // degradation (outcome.degraded false) stays kNone.
+        modes[j] = outcome.stale ? SlateResult::DegradedMode::kStale
+                                 : SlateResult::DegradedMode::kEmpty;
+        stale_ages[j] = outcome.stale_age_micros;
+      }
       recorder_.RecordRetries(outcome.retries);
       if (outcome.breaker_opened) recorder_.RecordBreakerOpen();
     } else {
@@ -193,6 +263,11 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
     std::move(ex.begin(), ex.end(), std::back_inserter(examples));
   }
   offsets.push_back(examples.size());
+
+  // Overlap: before this worker disappears into the forward pass, schedule
+  // feature prefetches for the requests still queued behind this batch, so
+  // their ABFS round-trips run concurrently with the scoring below.
+  if (prefetch_pool_ != nullptr) IssuePrefetches();
 
   // Scores come back in example order whether the batch was scored whole on
   // this worker or sharded across the scoring pool (large slates only).
@@ -207,7 +282,16 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
     SlateResult result;
     result.model_version = servable->version;
     result.degraded = degraded[j];
-    if (degraded[j]) recorder_.RecordDegraded();
+    result.degraded_mode = modes[j];
+    result.stale_age_micros = stale_ages[j];
+    if (degraded[j]) {
+      recorder_.RecordDegraded();
+      if (modes[j] == SlateResult::DegradedMode::kStale) {
+        recorder_.RecordDegradedStale();
+      } else if (modes[j] == SlateResult::DegradedMode::kEmpty) {
+        recorder_.RecordDegradedEmpty();
+      }
+    }
     result.slate = serving::Pipeline::MakeSlate(live[j]->candidates, slice,
                                                 pipeline_->expose_k());
     // Record before resolving the future so a caller that joins on the

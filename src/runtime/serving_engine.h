@@ -1,6 +1,7 @@
 #ifndef BASM_RUNTIME_SERVING_ENGINE_H_
 #define BASM_RUNTIME_SERVING_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -44,6 +45,15 @@ struct EngineConfig {
   int32_t scoring_threads = 0;
   /// Minimum rows per shard; batches under twice this never split.
   int64_t min_rows_per_shard = 64;
+  /// Async feature-prefetch threads: while a worker scores its current
+  /// micro-batch, up to `prefetch_window` queued requests get their ABFS
+  /// windows fetched into the feature store's cache, so the next batch's
+  /// feature stage is a cache hit instead of a round-trip. 0 (default)
+  /// disables prefetch. Prefetched windows are version-guarded against
+  /// concurrent clicks, so slates stay bit-identical either way.
+  int32_t prefetch_threads = 0;
+  /// Bound on prefetches in flight at once (per engine).
+  int64_t prefetch_window = 8;
 };
 
 /// Outcome of one engine request: an OK status with the ranked slate, or a
@@ -55,10 +65,18 @@ struct SlateResult {
   /// pipeline serves a static model, or on non-OK results). Under online
   /// learning this is the staleness audit trail of every impression.
   uint64_t model_version = 0;
-  /// True when the slate was scored with an empty/stale behavior window
-  /// because the feature fetch failed or was short-circuited (graceful
-  /// degradation: status is still OK, the slate still renders).
+  /// True when the slate was served degraded (feature fetch failed or was
+  /// short-circuited, or recall fell back to the city-head pool) — status
+  /// is still OK, the slate still renders.
   bool degraded = false;
+  /// How the *feature window* degraded: kStale means the slate was scored
+  /// with the user's last-known behavior window from the feature store,
+  /// kEmpty with no window at all. kNone covers both the healthy path and
+  /// recall-only degradation (candidates fell back, features were fine).
+  enum class DegradedMode { kNone, kEmpty, kStale };
+  DegradedMode degraded_mode = DegradedMode::kNone;
+  /// Age of the stale window served (0 unless degraded_mode == kStale).
+  int64_t stale_age_micros = 0;
 };
 
 /// Concurrent front door for serving::Pipeline — the RTP tier of the
@@ -116,6 +134,7 @@ class ServingEngine {
   LatencySnapshot Stats() const {
     LatencySnapshot snap = recorder_.Snapshot();
     AttachBreakerStats(&snap);
+    AttachFeatureStoreStats(&snap);
     return snap;
   }
   /// Metrics since the previous IntervalStats() call — the per-window
@@ -123,6 +142,7 @@ class ServingEngine {
   LatencySnapshot IntervalStats() {
     LatencySnapshot snap = recorder_.IntervalSnapshot();
     AttachBreakerStats(&snap);
+    AttachFeatureStoreStats(&snap);
     return snap;
   }
 
@@ -147,9 +167,17 @@ class ServingEngine {
 
   void WorkerLoop();
   void ProcessBatch(std::vector<std::unique_ptr<Job>> jobs);
+  /// Overlap stage: peeks at the next `prefetch_window` queued requests and
+  /// schedules their feature fetches on the prefetch pool, bounded by the
+  /// in-flight window. Called by workers right before scoring, so the
+  /// fetches run concurrently with the forward pass.
+  void IssuePrefetches();
   /// Folds the pipeline's feature-breaker state/counters into `snap` (a
   /// no-op when no breaker is armed).
   void AttachBreakerStats(LatencySnapshot* snap) const;
+  /// Folds the pipeline's feature-store cache/prefetch counters into
+  /// `snap` (hit/miss/stale/eviction/prefetch-overlap telemetry).
+  void AttachFeatureStoreStats(LatencySnapshot* snap) const;
 
   const serving::Pipeline* pipeline_;
   EngineConfig config_;
@@ -166,6 +194,11 @@ class ServingEngine {
   /// Declared before workers_ so shard threads outlive no worker that
   /// submits to them during destruction.
   std::unique_ptr<ThreadPool> scoring_pool_;
+  /// Async feature-prefetch pool (null when prefetch_threads == 0);
+  /// declared before workers_ for the same shutdown-ordering reason.
+  std::unique_ptr<ThreadPool> prefetch_pool_;
+  /// Prefetches currently scheduled or running (bounds the window).
+  std::atomic<int64_t> prefetch_in_flight_{0};
   /// Declared last: workers start in the constructor after every other
   /// member is live, and ThreadPool's destructor joins them first.
   ThreadPool workers_;

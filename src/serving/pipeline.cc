@@ -19,18 +19,19 @@ namespace {
 constexpr uint64_t kExampleRngSeed = 0xFEED;
 }  // namespace
 
-Pipeline::Pipeline(const data::World& world, FeatureServer* feature_server,
+Pipeline::Pipeline(const data::World& world,
+                   feature_store::FeatureStore* features,
                    const RecallIndex* recall, models::CtrModel* model,
                    int32_t recall_size, int32_t expose_k)
     : world_(world),
-      feature_server_(feature_server),
+      features_(features),
       recall_(recall),
       model_(model),
       slot_(nullptr),
       recall_size_(recall_size),
       expose_k_(expose_k),
       fault_injector_(FaultInjector::FromEnv()) {
-  BASM_CHECK(feature_server_ != nullptr);
+  BASM_CHECK(features_ != nullptr);
   BASM_CHECK(recall_ != nullptr);
   BASM_CHECK(model_ != nullptr);
   BASM_CHECK_GE(recall_size_, expose_k_);
@@ -41,18 +42,19 @@ Pipeline::Pipeline(const data::World& world, FeatureServer* feature_server,
   static_servable_ = std::move(servable);
 }
 
-Pipeline::Pipeline(const data::World& world, FeatureServer* feature_server,
+Pipeline::Pipeline(const data::World& world,
+                   feature_store::FeatureStore* features,
                    const RecallIndex* recall, const online::ModelSlot* slot,
                    int32_t recall_size, int32_t expose_k)
     : world_(world),
-      feature_server_(feature_server),
+      features_(features),
       recall_(recall),
       model_(nullptr),
       slot_(slot),
       recall_size_(recall_size),
       expose_k_(expose_k),
       fault_injector_(FaultInjector::FromEnv()) {
-  BASM_CHECK(feature_server_ != nullptr);
+  BASM_CHECK(features_ != nullptr);
   BASM_CHECK(recall_ != nullptr);
   BASM_CHECK(slot_ != nullptr);
   BASM_CHECK_GE(recall_size_, expose_k_);
@@ -120,8 +122,7 @@ std::vector<data::Example> Pipeline::BuildExamplesWithBehaviors(
 
 std::vector<data::Example> Pipeline::BuildExamples(
     const Request& request, const std::vector<int32_t>& candidates) const {
-  FeatureServer::UserFeatures uf =
-      feature_server_->GetUserFeatures(request.user_id);
+  FeatureServer::UserFeatures uf = features_->GetFeatures(request.user_id);
   return BuildExamplesWithBehaviors(request, candidates, uf.behaviors);
 }
 
@@ -168,7 +169,7 @@ std::vector<data::Example> Pipeline::BuildExamplesFallible(
                          .Fork(static_cast<uint64_t>(request.request_id));
     for (int32_t attempt = 1; attempt <= retry.max_attempts; ++attempt) {
       StatusOr<FeatureServer::UserFeatures> fetched =
-          feature_server_->FetchUserFeatures(request.user_id);
+          features_->FetchFeatures(request.user_id);
       if (fetched.ok()) {
         uf = std::move(fetched).value();
         outcome->degraded = false;
@@ -193,6 +194,19 @@ std::vector<data::Example> Pipeline::BuildExamplesFallible(
         std::this_thread::sleep_for(std::chrono::microseconds(backoff));
       }
       ++outcome->retries;
+    }
+  }
+  if (outcome->degraded) {
+    // Fresh fetch failed (or was short-circuited): fall back to the last
+    // window the store successfully fetched for this user. Stale real
+    // behavior preserves most of the spatiotemporal signal an empty window
+    // throws away — the chaos drill measures the TAUC gap between the two.
+    std::optional<feature_store::StaleFeatures> stale =
+        features_->LastKnownFeatures(request.user_id);
+    if (stale.has_value()) {
+      outcome->stale = true;
+      outcome->stale_age_micros = stale->age_micros;
+      uf.behaviors = std::move(stale->behaviors);
     }
   }
   return BuildExamplesWithBehaviors(request, candidates, uf.behaviors);

@@ -10,6 +10,7 @@
 #include "common/retry.h"
 #include "common/thread_pool.h"
 #include "data/batch.h"
+#include "feature_store/feature_store.h"
 #include "models/ctr_model.h"
 #include "online/model_slot.h"
 #include "serving/feature_server.h"
@@ -54,9 +55,15 @@ struct FeatureFaultPolicy {
 /// What happened on one request's feature-fetch stage (feeds the engine's
 /// LatencyRecorder counters and SlateResult::degraded).
 struct FeatureFetchOutcome {
-  /// True when the request is served with an empty behavior window
+  /// True when the request is served without a fresh behavior window
   /// because the fetch failed, timed out, or was short-circuited.
   bool degraded = false;
+  /// Degraded refinement: the feature store had a last-known window, so
+  /// the request serves *stale* features (real but old behavior) instead
+  /// of an empty window. Only meaningful when `degraded` is true.
+  bool stale = false;
+  /// Age of the stale window served (0 unless `stale`).
+  int64_t stale_age_micros = 0;
   /// Fetch attempts beyond the first.
   int32_t retries = 0;
   /// This request's failure tripped the breaker open.
@@ -68,17 +75,19 @@ struct FeatureFetchOutcome {
 };
 
 /// Analogue of the Personalization Platform (TPP) orchestration in Fig 13:
-/// fetch user features (ABFS), recall candidates by location (LBS), score
-/// with the model (RTP), and return the top-k slate for exposure.
+/// fetch user features (ABFS, through the sharded FeatureStore), recall
+/// candidates by location (LBS), score with the model (RTP), and return the
+/// top-k slate for exposure.
 ///
 /// Every serve-path method is const and re-entrant: concurrent calls through
-/// one Pipeline from runtime::ServingEngine workers are safe as long as the
-/// model is in eval mode and no one mutates the FeatureServer concurrently.
+/// one Pipeline from runtime::ServingEngine workers are safe — the model is
+/// in eval mode and the FeatureStore synchronizes all feature access behind
+/// per-shard locks.
 class Pipeline {
  public:
   /// All dependencies are borrowed; the model must outlive the pipeline.
   /// The model is wrapped in a static (version-0, never swapped) servable.
-  Pipeline(const data::World& world, FeatureServer* feature_server,
+  Pipeline(const data::World& world, feature_store::FeatureStore* features,
            const RecallIndex* recall, models::CtrModel* model,
            int32_t recall_size, int32_t expose_k);
 
@@ -86,7 +95,7 @@ class Pipeline {
   /// currently holds, so an online::OnlineTrainer can publish new versions
   /// while this pipeline serves. The slot is borrowed and must outlive the
   /// pipeline; it must hold a model before the first scoring call.
-  Pipeline(const data::World& world, FeatureServer* feature_server,
+  Pipeline(const data::World& world, feature_store::FeatureStore* features,
            const RecallIndex* recall, const online::ModelSlot* slot,
            int32_t recall_size, int32_t expose_k);
 
@@ -145,10 +154,12 @@ class Pipeline {
 
   /// Fault-tolerant example construction — the graceful-degradation stage.
   /// Fetches the user's behavior window through the breaker + retry loop,
-  /// never exceeding `deadline`; on failure it builds examples with an
-  /// empty behavior window instead of failing the request (the paper's
-  /// slate must render even when ABFS is down — a cold-start-quality slate
-  /// beats an error page). Reports what happened through `outcome`.
+  /// never exceeding `deadline`; on failure it falls back to the feature
+  /// store's *last-known* window for the user (stale degradation — real
+  /// but old behavior beats no behavior) and only serves an empty window
+  /// when the user was never cached. Either way the request renders (the
+  /// paper's slate must survive ABFS being down). Reports what happened —
+  /// including stale vs empty and the staleness age — through `outcome`.
   /// On the happy path the examples are bit-identical to BuildExamples.
   std::vector<data::Example> BuildExamplesFallible(
       const Request& request, const std::vector<int32_t>& candidates,
@@ -169,6 +180,11 @@ class Pipeline {
   /// never free a model mid-score. CHECK-fails if no model is installed.
   std::shared_ptr<const online::ServableModel> AcquireServable() const;
 
+  /// The feature store this pipeline fetches through (never null) — the
+  /// engine reads it for prefetch and for folding cache/prefetch counters
+  /// into snapshot exports.
+  feature_store::FeatureStore* feature_store() const { return features_; }
+
   /// The static constructor model; null when the pipeline is slot-backed.
   models::CtrModel* model() const { return model_; }
   /// The hot-swap slot; null when the pipeline serves a static model.
@@ -179,7 +195,7 @@ class Pipeline {
 
  private:
   const data::World& world_;
-  FeatureServer* feature_server_;
+  feature_store::FeatureStore* features_;
   const RecallIndex* recall_;
   models::CtrModel* model_;
   const online::ModelSlot* slot_;

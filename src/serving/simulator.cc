@@ -19,9 +19,14 @@ AbTestResult OnlineSimulator::Run(models::CtrModel& base_model,
                               config_.seed ^ 0xA);
   FeatureServer treat_features(world_, world_.config().seq_len,
                                config_.seed ^ 0xA);  // identical bootstrap
-  Pipeline base_pipeline(world_, &base_features, &recall, &base_model,
+  // Each arm owns its feature store: click feedback must stay arm-local
+  // (versions and caches included) or the arms would contaminate each
+  // other's behavior windows.
+  feature_store::FeatureStore base_store(&base_features);
+  feature_store::FeatureStore treat_store(&treat_features);
+  Pipeline base_pipeline(world_, &base_store, &recall, &base_model,
                          config_.recall_size, config_.expose_k);
-  Pipeline treat_pipeline(world_, &treat_features, &recall, &treatment_model,
+  Pipeline treat_pipeline(world_, &treat_store, &recall, &treatment_model,
                           config_.recall_size, config_.expose_k);
 
   AbTestResult result;
@@ -60,12 +65,12 @@ AbTestResult OnlineSimulator::Run(models::CtrModel& base_model,
         item_noise[item] = static_cast<float>(noise_rng.Normal(0.0, 1.0));
       }
 
-      auto run_arm = [&](Pipeline& pipeline, FeatureServer& features,
+      auto run_arm = [&](Pipeline& pipeline,
+                         feature_store::FeatureStore& features,
                          ArmResult& arm) {
         std::vector<RankedItem> slate =
             pipeline.RankCandidates(req, candidates);
-        FeatureServer::UserFeatures uf =
-            features.GetUserFeatures(req.user_id);
+        FeatureServer::UserFeatures uf = features.GetFeatures(req.user_id);
         for (const RankedItem& ri : slate) {
           float p = world_.ClickProbability(req.user_id, ri.item_id, req.hour,
                                             ri.position, req.city,
@@ -94,8 +99,8 @@ AbTestResult OnlineSimulator::Run(models::CtrModel& base_model,
           }
         }
       };
-      run_arm(base_pipeline, base_features, result.base);
-      run_arm(treat_pipeline, treat_features, result.treatment);
+      run_arm(base_pipeline, base_store, result.base);
+      run_arm(treat_pipeline, treat_store, result.treatment);
     }
   }
 

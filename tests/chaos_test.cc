@@ -1,11 +1,15 @@
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/circuit_breaker.h"
 #include "common/fault.h"
 #include "data/synth.h"
+#include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
+#include "metrics/metrics.h"
 #include "models/model_zoo.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
@@ -44,11 +48,12 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
 
   data::World world(ChaosWorldConfig());
   serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   auto model =
       models::CreateModel(models::ModelKind::kBasm, world.schema(), 13);
   model->SetTraining(false);
-  serving::Pipeline pipeline(world, &features, &recall, model.get(),
+  serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/12, /*expose_k=*/5);
 
   // Fault process: `rate` random errors + spikes, and a sustained outage
@@ -100,10 +105,20 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
                 report.cancelled,
             load.num_requests);
   EXPECT_GT(report.degraded, 0) << "outage produced no degraded slates";
+  // The outage hits after ~150 successful fetches populated the cache, so
+  // some degraded slates must be served from last-known (stale) windows.
+  EXPECT_GT(report.degraded_stale, 0)
+      << "no degraded slate fell back to a cached window: "
+      << report.ToString();
 
   LatencySnapshot storm = engine.IntervalStats();
   EXPECT_GT(storm.degraded, 0);
   EXPECT_GT(storm.retries, 0) << "random errors produced no retries";
+  ASSERT_TRUE(storm.has_feature_store);
+  EXPECT_GT(storm.fs_stale_hits, 0);
+  EXPECT_GT(storm.fs_cache_entries, 0);
+  EXPECT_NE(storm.ToJson().find("\"feature_store\":{"), std::string::npos)
+      << storm.ToJson();
   EXPECT_GE(storm.breaker_opens, 1)
       << "sustained outage never tripped the breaker";
   CircuitBreaker::Stats tripped = breaker.stats();
@@ -146,11 +161,12 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
 TEST(ChaosTest, ArmedButFaultFreeServesClean) {
   data::World world(ChaosWorldConfig());
   serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   auto model =
       models::CreateModel(models::ModelKind::kDin, world.schema(), 17);
   model->SetTraining(false);
-  serving::Pipeline pipeline(world, &features, &recall, model.get(), 12, 5);
+  serving::Pipeline pipeline(world, &store, &recall, model.get(), 12, 5);
 
   FaultInjector injector(1);  // configured with no faults anywhere
   features.SetFaultInjector(&injector);
@@ -169,10 +185,18 @@ TEST(ChaosTest, ArmedButFaultFreeServesClean) {
 
   EXPECT_EQ(report.ok, load.num_requests);
   EXPECT_EQ(report.degraded, 0);
+  EXPECT_EQ(report.degraded_stale, 0);
+  EXPECT_EQ(report.degraded_empty, 0);
   LatencySnapshot snapshot = engine.Stats();
   EXPECT_EQ(snapshot.degraded, 0);
   EXPECT_EQ(snapshot.retries, 0);
   EXPECT_EQ(snapshot.breaker_opens, 0);
+  // Fault-free traffic still reports feature-store telemetry: every fetch
+  // was fresh, nothing fell back to a stale window.
+  ASSERT_TRUE(snapshot.has_feature_store);
+  EXPECT_GT(snapshot.fs_fresh_fetches, 0);
+  EXPECT_EQ(snapshot.fs_stale_hits, 0);
+  EXPECT_EQ(snapshot.fs_fetch_failures, 0);
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_EQ(breaker.stats().opens, 0);
 
@@ -190,11 +214,12 @@ TEST(ChaosTest, ArmedButFaultFreeServesClean) {
 TEST(ChaosTest, BreakerTransitionsAppearInSnapshotExport) {
   data::World world(ChaosWorldConfig());
   serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   auto model =
       models::CreateModel(models::ModelKind::kDin, world.schema(), 17);
   model->SetTraining(false);
-  serving::Pipeline pipeline(world, &features, &recall, model.get(), 12, 5);
+  serving::Pipeline pipeline(world, &store, &recall, model.get(), 12, 5);
 
   FaultInjector injector(9);
   FaultSiteConfig kill;
@@ -234,6 +259,147 @@ TEST(ChaosTest, BreakerTransitionsAppearInSnapshotExport) {
   // The human-readable view carries the same line.
   EXPECT_NE(snapshot.ToString().find("breaker: state open"),
             std::string::npos);
+}
+
+/// The stale-vs-empty acceptance drill: when ABFS goes fully dark, slates
+/// served from last-known (stale) windows must rank strictly better than
+/// slates served from empty windows. Two arms share traffic, candidates,
+/// click history, and labels; only the store's cache capacity differs.
+/// Ranking quality is measured with the world's ground-truth click model as
+/// the scorer — the TAUC gap then isolates the feature window's value,
+/// independent of any trained model's quality.
+TEST(ChaosTest, StaleWindowsOutrankEmptyWindowsUnderOutage) {
+  data::SynthConfig world_config = ChaosWorldConfig();
+  // Make the behavior window the dominant ranking signal: this drill
+  // measures what the window is worth, so the terms both arms share
+  // (taste affinity, popularity, price fit) are turned down and the
+  // sequence-match term up. Without this the seq term is second-order
+  // and the TAUC gap drowns in label-sampling noise.
+  world_config.seq_scale = 3.0f;
+  world_config.affinity_scale = 0.2f;
+  world_config.pop_scale = 0.2f;
+  world_config.price_scale = 0.2f;
+  data::World world(world_config);
+  serving::RecallIndex recall(world);
+  auto model =
+      models::CreateModel(models::ModelKind::kBasm, world.schema(), 13);
+  model->SetTraining(false);
+
+  serving::FeatureServer server_stale(world, world.config().seq_len, 3);
+  serving::FeatureServer server_empty(world, world.config().seq_len, 3);
+  feature_store::FeatureStoreConfig no_cache;
+  no_cache.capacity_per_shard = 0;
+  feature_store::FeatureStore store_stale(&server_stale);
+  feature_store::FeatureStore store_empty(&server_empty, no_cache);
+  serving::Pipeline pipe_stale(world, &store_stale, &recall, model.get(),
+                               /*recall_size=*/12, /*expose_k=*/5);
+  serving::Pipeline pipe_empty(world, &store_empty, &recall, model.get(),
+                               /*recall_size=*/12, /*expose_k=*/5);
+
+  // Each arm owns its injector so this test controls the fault process
+  // even under the chaos job's BASM_FAULT_RATE environment.
+  FaultInjector injector_stale(7);
+  FaultInjector injector_empty(7);
+  server_stale.SetFaultInjector(&injector_stale);
+  server_empty.SetFaultInjector(&injector_empty);
+  pipe_stale.SetFaultInjector(&injector_stale);
+  pipe_empty.SetFaultInjector(&injector_empty);
+  serving::FeatureFaultPolicy policy;
+  policy.retry.max_attempts = 1;  // a dead dependency: retries are futile
+  pipe_stale.EnableFaultTolerance(policy);
+  pipe_empty.EnableFaultTolerance(policy);
+
+  const int32_t users = static_cast<int32_t>(world.config().num_users);
+  // Warm phase: one healthy fetch per user seeds the cached arm's
+  // last-known windows (the uncached arm fetches too, for symmetry).
+  for (int32_t u = 0; u < users; ++u) {
+    (void)store_stale.GetFeatures(u);
+    (void)store_empty.GetFeatures(u);
+  }
+  // New clicks shift every live window away from the cached one, so the
+  // cached arm's fallback is genuinely stale, not a disguised fresh fetch.
+  Rng click_rng(21);
+  for (int32_t u = 0; u < users; ++u) {
+    for (const data::BehaviorEvent& ev : world.SampleHistory(u, 3, click_rng)) {
+      store_stale.RecordClick(u, ev);
+      store_empty.RecordClick(u, ev);
+    }
+  }
+
+  FaultSiteConfig outage;
+  outage.error_probability = 1.0;  // ABFS fully dark
+  injector_stale.Configure(serving::kFeatureFetchFaultSite, outage);
+  injector_empty.Configure(serving::kFeatureFetchFaultSite, outage);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  std::vector<float> scores_stale, scores_empty, labels;
+  std::vector<int32_t> groups;
+  Rng traffic(33);
+  Rng label_rng(44);
+  int64_t stale_served = 0, empty_arm_stale = 0;
+  const int32_t kRequests = 240;
+  for (int32_t r = 0; r < kRequests; ++r) {
+    serving::Request req;
+    req.user_id = r % users;
+    req.hour = world.SampleHour(traffic);
+    req.weekday = r % 7;
+    req.city = world.user(req.user_id).city;
+    req.request_id = r;
+    std::vector<int32_t> candidates =
+        recall.RecallByCity(req.city, 12, traffic);
+
+    serving::FeatureFetchOutcome out_stale, out_empty;
+    std::vector<data::Example> ex_stale =
+        pipe_stale.BuildExamplesFallible(req, candidates, deadline, &out_stale);
+    std::vector<data::Example> ex_empty =
+        pipe_empty.BuildExamplesFallible(req, candidates, deadline, &out_empty);
+    ASSERT_TRUE(out_stale.degraded);
+    ASSERT_TRUE(out_empty.degraded);
+    if (out_stale.stale) {
+      ++stale_served;
+      EXPECT_GT(out_stale.stale_age_micros, 0);
+    }
+    empty_arm_stale += out_empty.stale ? 1 : 0;
+
+    // Ground truth: the user's live window (clicks included) — identical
+    // in both arms because their click streams are identical.
+    std::vector<data::BehaviorEvent> truth =
+        server_stale.GetUserFeatures(req.user_id).behaviors;
+    ASSERT_EQ(ex_stale.size(), ex_empty.size());
+    int32_t tp = static_cast<int32_t>(data::TimePeriodOfHour(req.hour));
+    for (size_t i = 0; i < ex_stale.size(); ++i) {
+      const data::Example& e = ex_stale[i];
+      float p_true = world.ClickProbability(e.user_id, e.item_id, e.hour,
+                                            e.position, e.city, truth);
+      float score_stale = world.ClickProbability(
+          e.user_id, e.item_id, e.hour, e.position, e.city, e.behaviors);
+      const data::Example& b = ex_empty[i];
+      float score_empty = world.ClickProbability(
+          b.user_id, b.item_id, b.hour, b.position, b.city, b.behaviors);
+      // Several label draws per impression shrink the Bernoulli noise in
+      // the AUC estimate without changing its expectation.
+      for (int draw = 0; draw < 4; ++draw) {
+        labels.push_back(label_rng.Uniform() < p_true ? 1.0f : 0.0f);
+        scores_stale.push_back(score_stale);
+        scores_empty.push_back(score_empty);
+        groups.push_back(tp);
+      }
+    }
+  }
+
+  // Every user was warmed, so the cached arm degrades stale on every
+  // request; the uncached arm can never serve stale.
+  EXPECT_EQ(stale_served, kRequests);
+  EXPECT_EQ(empty_arm_stale, 0);
+  EXPECT_GT(store_stale.stats().stale_hits, 0);
+  EXPECT_EQ(store_empty.stats().stale_hits, 0);
+  EXPECT_GT(store_empty.stats().stale_misses, 0);
+
+  double tauc_stale = metrics::GroupedAuc(scores_stale, labels, groups);
+  double tauc_empty = metrics::GroupedAuc(scores_empty, labels, groups);
+  EXPECT_GT(tauc_stale, tauc_empty)
+      << "stale TAUC " << tauc_stale << " vs empty TAUC " << tauc_empty;
 }
 
 }  // namespace

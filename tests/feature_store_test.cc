@@ -1,0 +1,389 @@
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "data/synth.h"
+#include "feature_store/feature_store.h"
+#include "gtest/gtest.h"
+#include "models/model_zoo.h"
+#include "runtime/serving_engine.h"
+#include "serving/feature_server.h"
+#include "serving/pipeline.h"
+#include "serving/recall.h"
+
+namespace basm::feature_store {
+namespace {
+
+data::SynthConfig StoreWorldConfig() {
+  data::SynthConfig c = data::SynthConfig::Eleme();
+  c.num_users = 64;
+  c.num_items = 60;
+  c.num_cities = 2;
+  c.seq_len = 5;
+  return c;
+}
+
+std::vector<int32_t> ItemIds(const std::vector<data::BehaviorEvent>& events) {
+  std::vector<int32_t> ids;
+  ids.reserve(events.size());
+  for (const data::BehaviorEvent& e : events) ids.push_back(e.item_id);
+  return ids;
+}
+
+TEST(FeatureStoreTest, ShardingIsStableAndInRange) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FeatureStoreConfig config;
+  config.num_shards = 5;
+  FeatureStore store(&server, config);
+  for (int32_t u = 0; u < 64; ++u) {
+    int32_t shard = store.ShardOf(u);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 5);
+    EXPECT_EQ(shard, store.ShardOf(u));  // stable across calls
+  }
+}
+
+TEST(FeatureStoreTest, FetchesBitIdenticalToRawServer) {
+  data::World world(StoreWorldConfig());
+  // Twin servers with the same seed bootstrap identical behavior windows;
+  // one serves through the store, the other is the raw reference.
+  serving::FeatureServer stored(world, world.config().seq_len, 3);
+  serving::FeatureServer raw(world, world.config().seq_len, 3);
+  FeatureStore store(&stored);
+
+  for (int32_t u = 0; u < 20; ++u) {
+    EXPECT_EQ(ItemIds(store.GetFeatures(u).behaviors),
+              ItemIds(raw.GetUserFeatures(u).behaviors));
+    auto fetched = store.FetchFeatures(u);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ(ItemIds(fetched.value().behaviors),
+              ItemIds(raw.GetUserFeatures(u).behaviors));
+  }
+
+  // Clicks through the store keep the raw server's window authoritative:
+  // the next fetch reflects them immediately (no cache staleness on the
+  // healthy path).
+  data::BehaviorEvent ev;
+  ev.item_id = 7;
+  ev.category = 2;
+  ev.time_period = 1;
+  store.RecordClick(4, ev);
+  raw.RecordClick(4, ev);
+  EXPECT_EQ(ItemIds(store.GetFeatures(4).behaviors),
+            ItemIds(raw.GetUserFeatures(4).behaviors));
+  EXPECT_EQ(store.GetFeatures(4).behaviors.front().item_id, 7);
+}
+
+TEST(FeatureStoreTest, LruEvictsLeastRecentlyFetchedFirst) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FeatureStoreConfig config;
+  config.num_shards = 1;  // one shard makes the LRU order observable
+  config.capacity_per_shard = 2;
+  FeatureStore store(&server, config);
+
+  (void)store.GetFeatures(1);
+  (void)store.GetFeatures(2);
+  (void)store.GetFeatures(3);  // capacity 2: user 1 is evicted
+
+  EXPECT_FALSE(store.LastKnownFeatures(1).has_value());
+  EXPECT_TRUE(store.LastKnownFeatures(2).has_value());
+  EXPECT_TRUE(store.LastKnownFeatures(3).has_value());
+
+  FeatureStoreStats stats = store.stats();
+  EXPECT_EQ(stats.cache_entries, 2);
+  EXPECT_EQ(stats.insertions, 3);
+  EXPECT_EQ(stats.evictions, 1);
+
+  // Re-fetching user 2 refreshes its recency, so the next displacement
+  // falls on user 3.
+  (void)store.GetFeatures(2);
+  (void)store.GetFeatures(4);
+  EXPECT_FALSE(store.LastKnownFeatures(3).has_value());
+  EXPECT_TRUE(store.LastKnownFeatures(2).has_value());
+  EXPECT_TRUE(store.LastKnownFeatures(4).has_value());
+
+  // LastKnownFeatures is a read of the fallback path, not a fetch: it must
+  // not disturb the LRU order. User 2 was fetched before 4, so reading 2
+  // repeatedly still leaves 2 as the eviction victim.
+  for (int i = 0; i < 4; ++i) (void)store.LastKnownFeatures(2);
+  (void)store.GetFeatures(5);
+  EXPECT_FALSE(store.LastKnownFeatures(2).has_value());
+  EXPECT_TRUE(store.LastKnownFeatures(4).has_value());
+}
+
+TEST(FeatureStoreTest, CapacityBoundHoldsUnderChurn) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FeatureStoreConfig config;
+  config.num_shards = 4;
+  config.capacity_per_shard = 3;
+  FeatureStore store(&server, config);
+
+  for (int round = 0; round < 3; ++round) {
+    for (int32_t u = 0; u < 64; ++u) (void)store.GetFeatures(u);
+  }
+  FeatureStoreStats stats = store.stats();
+  EXPECT_LE(stats.cache_entries, 4 * 3);
+  EXPECT_GT(stats.evictions, 0);
+  // Every fetch either inserted or refreshed; the books balance.
+  EXPECT_EQ(stats.fresh_fetches, 3 * 64);
+  EXPECT_EQ(stats.insertions - stats.evictions, stats.cache_entries);
+}
+
+TEST(FeatureStoreTest, StalenessAgeGrowsUntilRefreshed) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FeatureStore store(&server);
+
+  (void)store.GetFeatures(9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto stale = store.LastKnownFeatures(9);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_GE(stale->age_micros, 3000);  // slept 5ms; allow scheduler slop
+  EXPECT_EQ(ItemIds(stale->behaviors),
+            ItemIds(store.GetFeatures(9).behaviors));
+
+  // The fetch above refreshed the entry: its age restarts near zero.
+  auto refreshed = store.LastKnownFeatures(9);
+  ASSERT_TRUE(refreshed.has_value());
+  EXPECT_LT(refreshed->age_micros, stale->age_micros);
+}
+
+TEST(FeatureStoreTest, ZeroCapacityDisablesCacheAndPrefetch) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FeatureStoreConfig config;
+  config.capacity_per_shard = 0;
+  FeatureStore store(&server, config);
+  EXPECT_FALSE(store.cache_enabled());
+
+  (void)store.GetFeatures(1);
+  EXPECT_FALSE(store.LastKnownFeatures(1).has_value());
+  EXPECT_FALSE(store.Prefetch(
+      1, std::chrono::steady_clock::now() + std::chrono::seconds(1)));
+
+  FeatureStoreStats stats = store.stats();
+  EXPECT_EQ(stats.cache_entries, 0);
+  EXPECT_EQ(stats.insertions, 0);
+  EXPECT_GT(stats.stale_misses, 0);
+  EXPECT_EQ(stats.prefetch_issued, 0);
+}
+
+TEST(FeatureStoreTest, PrefetchIsConsumedOnceAndBitIdentical) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer stored(world, world.config().seq_len, 3);
+  serving::FeatureServer raw(world, world.config().seq_len, 3);
+  FeatureStore store(&stored);
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  ASSERT_TRUE(store.Prefetch(11, deadline));
+  EXPECT_EQ(store.stats().prefetch_issued, 1);
+
+  // First fetch consumes the parked window — identical to the raw server's.
+  EXPECT_EQ(ItemIds(store.GetFeatures(11).behaviors),
+            ItemIds(raw.GetUserFeatures(11).behaviors));
+  FeatureStoreStats after_hit = store.stats();
+  EXPECT_EQ(after_hit.prefetch_hits, 1);
+  EXPECT_EQ(after_hit.fresh_fetches, 1);  // the prefetch's own round-trip
+
+  // The parked window is one-shot: the second fetch goes to the server.
+  (void)store.GetFeatures(11);
+  FeatureStoreStats after_second = store.stats();
+  EXPECT_EQ(after_second.prefetch_hits, 1);
+  EXPECT_EQ(after_second.fresh_fetches, 2);
+}
+
+TEST(FeatureStoreTest, ClickInvalidatesParkedPrefetch) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FeatureStore store(&server);
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  ASSERT_TRUE(store.Prefetch(13, deadline));
+
+  // The click lands after the prefetch parked its window: serving that
+  // window would hide the click, so consumption must discard it and fetch
+  // fresh instead.
+  data::BehaviorEvent ev;
+  ev.item_id = 21;
+  ev.category = 1;
+  ev.time_period = 2;
+  store.RecordClick(13, ev);
+
+  serving::FeatureServer::UserFeatures uf = store.GetFeatures(13);
+  EXPECT_EQ(uf.behaviors.front().item_id, 21);
+  FeatureStoreStats stats = store.stats();
+  EXPECT_EQ(stats.prefetch_discarded, 1);
+  EXPECT_EQ(stats.prefetch_hits, 0);
+}
+
+TEST(FeatureStoreTest, PrefetchPastDeadlineIsCancelled) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FeatureStore store(&server);
+
+  auto passed = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_FALSE(store.Prefetch(2, passed));
+  FeatureStoreStats stats = store.stats();
+  EXPECT_EQ(stats.prefetch_cancelled, 1);
+  EXPECT_EQ(stats.prefetch_issued, 0);
+  EXPECT_EQ(stats.fresh_fetches, 0);
+}
+
+TEST(FeatureStoreTest, FetchFailureCountsAndPropagatesStatus) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FaultInjector injector(5);
+  FaultSiteConfig kill;
+  kill.error_probability = 1.0;
+  kill.error_code = StatusCode::kUnavailable;
+  kill.error_message = "abfs down";
+  injector.Configure(serving::kFeatureFetchFaultSite, kill);
+  server.SetFaultInjector(&injector);
+  FeatureStore store(&server);
+
+  auto fetched = store.FetchFeatures(3);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(fetched.status().message(), "abfs down");
+  FeatureStoreStats stats = store.stats();
+  EXPECT_EQ(stats.fetch_failures, 1);
+  EXPECT_EQ(stats.fresh_fetches, 0);
+  EXPECT_EQ(stats.cache_entries, 0);  // failures never pollute the cache
+}
+
+/// Concurrency hammer for the TSan job: every public operation runs from
+/// several threads over an overlapping user population. Assertions are
+/// sanity-level — the point is data-race coverage of the per-shard locks.
+TEST(FeatureStoreTest, ConcurrentMixedOperationsAreSafe) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FeatureStoreConfig config;
+  config.num_shards = 4;
+  config.capacity_per_shard = 8;  // small: eviction churn under contention
+  FeatureStore store(&server, config);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  std::atomic<int64_t> stale_seen{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        int32_t user = (t * 7 + i) % 64;
+        switch (i % 5) {
+          case 0:
+            (void)store.GetFeatures(user);
+            break;
+          case 1:
+            (void)store.FetchFeatures(user);
+            break;
+          case 2: {
+            data::BehaviorEvent ev;
+            ev.item_id = user;
+            ev.category = i % 4;
+            ev.time_period = i % 3;
+            store.RecordClick(user, ev);
+            break;
+          }
+          case 3:
+            (void)store.Prefetch(user, deadline);
+            break;
+          default:
+            if (store.LastKnownFeatures(user).has_value()) {
+              stale_seen.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  FeatureStoreStats stats = store.stats();
+  EXPECT_GT(stats.fresh_fetches, 0);
+  EXPECT_GT(stale_seen.load(), 0);
+  EXPECT_LE(stats.cache_entries, 4 * 8);
+  EXPECT_EQ(stats.insertions - stats.evictions, stats.cache_entries);
+}
+
+/// Engine-level acceptance: with async prefetch armed, slates must stay
+/// bit-identical to the serial pipeline on the same candidates — the
+/// prefetch stage may only move fetches earlier in time, never change
+/// what they return.
+TEST(FeatureStoreTest, EnginePrefetchSlatesBitIdenticalToSerial) {
+  data::SynthConfig wc = StoreWorldConfig();
+  wc.num_users = 128;
+  wc.num_items = 120;
+  data::World world(wc);
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FeatureStore store(&server);
+  serving::RecallIndex recall(world);
+  auto model =
+      models::CreateModel(models::ModelKind::kBasm, world.schema(), 13);
+  model->SetTraining(false);
+  serving::Pipeline pipeline(world, &store, &recall, model.get(),
+                             /*recall_size=*/12, /*expose_k=*/5);
+
+  runtime::EngineConfig ec;
+  ec.num_workers = 4;
+  ec.max_batch_requests = 4;
+  ec.max_wait_micros = 200;
+  ec.prefetch_threads = 2;
+  ec.prefetch_window = 6;
+  runtime::ServingEngine engine(&pipeline, ec);
+
+  std::vector<serving::Request> requests;
+  std::vector<std::vector<int32_t>> candidates;
+  Rng rng(17);
+  for (int32_t r = 0; r < 160; ++r) {
+    serving::Request req;
+    req.user_id = r % 128;
+    req.hour = world.SampleHour(rng);
+    req.weekday = r % 7;
+    req.city = world.user(req.user_id).city;
+    req.request_id = r;
+    requests.push_back(req);
+    candidates.push_back(recall.RecallByCity(req.city, 12, rng));
+  }
+
+  std::vector<std::future<runtime::SlateResult>> futures;
+  futures.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    futures.push_back(engine.Submit(requests[i], candidates[i],
+                                    /*deadline_micros=*/30000000));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    runtime::SlateResult result = futures[i].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_FALSE(result.degraded);
+    std::vector<serving::RankedItem> serial =
+        pipeline.RankCandidates(requests[i], candidates[i]);
+    ASSERT_EQ(result.slate.size(), serial.size());
+    for (size_t j = 0; j < serial.size(); ++j) {
+      EXPECT_EQ(result.slate[j].item_id, serial[j].item_id);
+      EXPECT_EQ(result.slate[j].position, serial[j].position);
+      EXPECT_EQ(result.slate[j].score, serial[j].score);  // bit-identical
+    }
+  }
+
+  engine.Shutdown();
+  runtime::LatencySnapshot snap = engine.Stats();
+  ASSERT_TRUE(snap.has_feature_store);
+  // Whether any prefetch won the race against its own worker is timing-
+  // dependent; what must hold is the accounting and the export surface.
+  EXPECT_GE(snap.fs_prefetch_issued, 0);
+  EXPECT_NE(snap.ToJson().find("\"feature_store\":{"), std::string::npos)
+      << snap.ToJson();
+}
+
+}  // namespace
+}  // namespace basm::feature_store

@@ -1,0 +1,12 @@
+// Fixture: direct feature-server fetches that bypass the FeatureStore
+// facade. Lines 6 and 8 violate feature-fetch-outside-store; line 10 is
+// suppressed inline and line 12 is a qualified mention, not a member call.
+void F(S& server, S* remote) {
+  auto a = server.FetchUserFeatures(1);
+  (void)a;
+  auto b = remote->FetchUserFeatures(2);
+  (void)b;
+  auto c = server.FetchUserFeatures(3);  // basm-lint: allow(feature-fetch-outside-store)
+  (void)c;
+  using Fn = decltype(&S::FetchUserFeatures);
+}

@@ -60,6 +60,15 @@ TEST(LintFixtureTest, NodiscardStatusFlagsBareDeclarations) {
   EXPECT_EQ(findings[1].line, 10);
 }
 
+TEST(LintFixtureTest, RawFeatureFetchFlagsMemberCallsOnly) {
+  std::vector<Finding> findings = LintFile(Fixture("raw_fetch.cc"));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "feature-fetch-outside-store");
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_EQ(findings[1].rule, "feature-fetch-outside-store");
+  EXPECT_EQ(findings[1].line, 7);
+}
+
 // --- the negative case: a file full of near-misses produces nothing ------
 
 TEST(LintFixtureTest, CleanFixtureHasZeroFindings) {
@@ -103,6 +112,13 @@ TEST(LintContentTest, NondeterminismAllowedInRng) {
   const std::string content = "std::random_device entropy;\n";
   EXPECT_TRUE(LintContent("src/common/rng.cc", content).empty());
   EXPECT_EQ(LintContent("src/data/synth.cc", content).size(), 1u);
+}
+
+TEST(LintContentTest, RawFeatureFetchAllowedInsideTheStore) {
+  const std::string content = "auto f = server_->FetchUserFeatures(id);\n";
+  EXPECT_TRUE(
+      LintContent("src/feature_store/feature_store.cc", content).empty());
+  EXPECT_EQ(LintContent("src/serving/pipeline.cc", content).size(), 1u);
 }
 
 TEST(LintContentTest, InlineAllowSuppressesNamedRuleOnly) {
@@ -167,6 +183,7 @@ TEST(LintRulesTest, CatalogNamesEveryEmittedRule) {
   EXPECT_TRUE(has("thread-detach"));
   EXPECT_TRUE(has("nondeterminism"));
   EXPECT_TRUE(has("iostream-in-header"));
+  EXPECT_TRUE(has("feature-fetch-outside-store"));
 }
 
 }  // namespace

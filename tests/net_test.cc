@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "data/synth.h"
+#include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
 #include "models/model_zoo.h"
 #include "net/client.h"
@@ -403,17 +404,19 @@ class NetServingTest : public ::testing::Test {
   static void SetUpTestSuite() {
     world_ = new data::World(NetWorldConfig());
     features_ = new serving::FeatureServer(*world_, 6, 11);
+    store_ = new feature_store::FeatureStore(features_);
     recall_ = new serving::RecallIndex(*world_);
     model_ = models::CreateModel(models::ModelKind::kDin, world_->schema(), 13)
                  .release();
     model_->SetTraining(false);
-    pipeline_ = new serving::Pipeline(*world_, features_, recall_, model_,
+    pipeline_ = new serving::Pipeline(*world_, store_, recall_, model_,
                                       /*recall_size=*/16, /*expose_k=*/6);
   }
   static void TearDownTestSuite() {
     delete pipeline_;
     delete model_;
     delete recall_;
+    delete store_;
     delete features_;
     delete world_;
   }
@@ -439,6 +442,7 @@ class NetServingTest : public ::testing::Test {
 
   static data::World* world_;
   static serving::FeatureServer* features_;
+  static feature_store::FeatureStore* store_;
   static serving::RecallIndex* recall_;
   static models::CtrModel* model_;
   static serving::Pipeline* pipeline_;
@@ -446,6 +450,7 @@ class NetServingTest : public ::testing::Test {
 
 data::World* NetServingTest::world_ = nullptr;
 serving::FeatureServer* NetServingTest::features_ = nullptr;
+feature_store::FeatureStore* NetServingTest::store_ = nullptr;
 serving::RecallIndex* NetServingTest::recall_ = nullptr;
 models::CtrModel* NetServingTest::model_ = nullptr;
 serving::Pipeline* NetServingTest::pipeline_ = nullptr;

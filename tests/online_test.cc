@@ -9,6 +9,7 @@
 
 #include "data/batch.h"
 #include "data/synth.h"
+#include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
 #include "models/model_zoo.h"
 #include "nn/mlp.h"
@@ -216,11 +217,13 @@ class OnlineTrainerTest : public ::testing::Test {
   static void SetUpTestSuite() {
     world_ = new data::World(SmallWorldConfig());
     features_ = new serving::FeatureServer(*world_, 6, 11);
+    store_ = new feature_store::FeatureStore(features_);
     recall_ = new serving::RecallIndex(*world_);
   }
 
   static void TearDownTestSuite() {
     delete recall_;
+    delete store_;
     delete features_;
     delete world_;
   }
@@ -255,11 +258,13 @@ class OnlineTrainerTest : public ::testing::Test {
 
   static data::World* world_;
   static serving::FeatureServer* features_;
+  static feature_store::FeatureStore* store_;
   static serving::RecallIndex* recall_;
 };
 
 data::World* OnlineTrainerTest::world_ = nullptr;
 serving::FeatureServer* OnlineTrainerTest::features_ = nullptr;
+feature_store::FeatureStore* OnlineTrainerTest::store_ = nullptr;
 serving::RecallIndex* OnlineTrainerTest::recall_ = nullptr;
 
 TEST_F(OnlineTrainerTest, BootstrapPublishSeedsRegistryAndSlot) {
@@ -487,7 +492,7 @@ TEST_F(HotSwapTest, ServingContinuesAcrossPublishes) {
                                    "bootstrap")
                   .ok());
 
-  serving::Pipeline pipeline(*world_, features_, recall_, &slot,
+  serving::Pipeline pipeline(*world_, store_, recall_, &slot,
                              /*recall_size=*/16, /*expose_k=*/5);
   runtime::EngineConfig ec;
   ec.num_workers = 4;
@@ -543,7 +548,7 @@ TEST_F(HotSwapTest, SwappedScoresBitIdenticalToOfflineLoad) {
   }
   ASSERT_EQ(registry.Versions().size(), 3u);
 
-  serving::Pipeline pipeline(*world_, features_, recall_, &slot,
+  serving::Pipeline pipeline(*world_, store_, recall_, &slot,
                              /*recall_size=*/16, /*expose_k=*/5);
   runtime::EngineConfig ec;
   ec.num_workers = 2;

@@ -10,6 +10,7 @@
 #include "common/blocking_queue.h"
 #include "common/thread_pool.h"
 #include "data/synth.h"
+#include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
 #include "models/model_zoo.h"
 #include "runtime/latency_recorder.h"
@@ -358,23 +359,26 @@ class ServingEngineTest : public ::testing::Test {
   static void SetUpTestSuite() {
     world_ = new data::World(EngineWorldConfig());
     features_ = new serving::FeatureServer(*world_, 6, 11);
+    store_ = new feature_store::FeatureStore(features_);
     recall_ = new serving::RecallIndex(*world_);
     model_ = models::CreateModel(models::ModelKind::kDin, world_->schema(), 13)
                  .release();
     model_->SetTraining(false);
-    pipeline_ = new serving::Pipeline(*world_, features_, recall_, model_,
+    pipeline_ = new serving::Pipeline(*world_, store_, recall_, model_,
                                       /*recall_size=*/16, /*expose_k=*/6);
   }
   static void TearDownTestSuite() {
     delete pipeline_;
     delete model_;
     delete recall_;
+    delete store_;
     delete features_;
     delete world_;
   }
 
   static data::World* world_;
   static serving::FeatureServer* features_;
+  static feature_store::FeatureStore* store_;
   static serving::RecallIndex* recall_;
   static models::CtrModel* model_;
   static serving::Pipeline* pipeline_;
@@ -382,6 +386,7 @@ class ServingEngineTest : public ::testing::Test {
 
 data::World* ServingEngineTest::world_ = nullptr;
 serving::FeatureServer* ServingEngineTest::features_ = nullptr;
+feature_store::FeatureStore* ServingEngineTest::store_ = nullptr;
 serving::RecallIndex* ServingEngineTest::recall_ = nullptr;
 models::CtrModel* ServingEngineTest::model_ = nullptr;
 serving::Pipeline* ServingEngineTest::pipeline_ = nullptr;
@@ -638,7 +643,7 @@ TEST_F(ParallelScoringTest, EngineParallelSlatesBitIdenticalToSerial) {
 TEST_F(ParallelScoringTest, PipelineParallelRankMatchesSerial) {
   // A parallel-armed pipeline must rank exactly like the serial one.
   ThreadPool pool(2);
-  serving::Pipeline parallel_pipeline(*world_, features_, recall_, model_,
+  serving::Pipeline parallel_pipeline(*world_, store_, recall_, model_,
                                       /*recall_size=*/16, /*expose_k=*/6);
   parallel_pipeline.EnableParallelScoring(&pool, /*min_rows_per_shard=*/8);
 

@@ -2,6 +2,7 @@
 #include <set>
 
 #include "data/synth.h"
+#include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
 #include "models/model_zoo.h"
 #include "serving/feature_server.h"
@@ -74,11 +75,12 @@ TEST_F(ServingTest, RecallByGeohashFallsBackGracefully) {
 
 TEST_F(ServingTest, PipelineServesRankedSlate) {
   FeatureServer fs(*world_, 6, 5);
+  feature_store::FeatureStore store(&fs);
   RecallIndex recall(*world_);
   auto model =
       models::CreateModel(models::ModelKind::kDin, world_->schema(), 7);
   model->SetTraining(false);
-  Pipeline pipeline(*world_, &fs, &recall, model.get(), /*recall_size=*/16,
+  Pipeline pipeline(*world_, &store, &recall, model.get(), /*recall_size=*/16,
                     /*expose_k=*/6);
 
   Request req;
@@ -101,13 +103,14 @@ TEST_F(ServingTest, PipelineServesRankedSlate) {
 
 TEST_F(ServingTest, PipelineRankingIsModelDriven) {
   FeatureServer fs(*world_, 6, 5);
+  feature_store::FeatureStore store(&fs);
   RecallIndex recall(*world_);
   auto m1 = models::CreateModel(models::ModelKind::kDin, world_->schema(), 1);
   auto m2 = models::CreateModel(models::ModelKind::kDin, world_->schema(), 2);
   m1->SetTraining(false);
   m2->SetTraining(false);
-  Pipeline p1(*world_, &fs, &recall, m1.get(), 16, 8);
-  Pipeline p2(*world_, &fs, &recall, m2.get(), 16, 8);
+  Pipeline p1(*world_, &store, &recall, m1.get(), 16, 8);
+  Pipeline p2(*world_, &store, &recall, m2.get(), 16, 8);
 
   Request req;
   req.user_id = 4;
@@ -168,10 +171,11 @@ TEST_F(ServingTest, RecallByGeohashUsesPopulatedCell) {
 
 TEST_F(ServingTest, PipelineRejectsRecallSmallerThanExposure) {
   FeatureServer fs(*world_, 4, 22);
+  feature_store::FeatureStore store(&fs);
   RecallIndex recall(*world_);
   auto model =
       models::CreateModel(models::ModelKind::kDin, world_->schema(), 23);
-  EXPECT_DEATH(Pipeline(*world_, &fs, &recall, model.get(),
+  EXPECT_DEATH(Pipeline(*world_, &store, &recall, model.get(),
                         /*recall_size=*/4, /*expose_k=*/8),
                "Check failed");
 }

@@ -1,14 +1,19 @@
-// Perf-regression gate over BENCH_kernels.json artifacts: compares the
-// "kernels"."gemm" GFLOP/s of a baseline run (the previous CI artifact)
-// against the current run and exits non-zero when any (m,k,n,backend) cell
-// regresses by more than the threshold (default 20%, --max-regression=N).
+// Perf-regression gate over BENCH_*.json artifacts: compares a baseline run
+// (the previous CI artifact) against the current run and exits non-zero
+// when any cell regresses by more than the threshold (default 20%,
+// --max-regression=N). Two sections are understood:
+//
+//   "gemm" (BENCH_kernels.json)  — GFLOP/s per (m,k,n,backend) cell
+//   "net"  (BENCH_serving.json)  — qps per replica-count cell
 //
 //   bench_diff <baseline.json> <current.json> [--max-regression=20]
 //
-// A missing or gemm-free baseline exits 0 ("nothing to compare") so the
-// first run of a new branch — no previous artifact — passes; CI treats the
-// download step the same way. Cells present on only one side are reported
-// but never fail the gate (shape sweeps may change across commits).
+// A missing baseline — or one carrying neither section — exits 0 ("nothing
+// to compare") so the first run of a new branch passes; CI treats the
+// download step the same way. Each section is gated independently, so the
+// same binary serves both the kernels and the serving artifact. Cells
+// present on only one side are reported but never fail the gate (sweeps
+// may change across commits).
 //
 // Deliberately dependency-free like basm_lint: a hand-rolled scanner over
 // the one JSON shape the benches emit, so the gate builds even when the
@@ -152,6 +157,106 @@ std::string CellKey(const Cell& cell) {
   return buf;
 }
 
+struct NetCell {
+  long replicas = 0;
+  double qps = -1.0;
+};
+
+/// Extracts every cell of the "net" replica sweep from one
+/// BENCH_serving.json text. The cells are flat objects keyed by "replicas"
+/// with one gated metric, "qps"; other keys (latency percentiles, shed
+/// counts) ride along ungated because they vary legitimately run to run.
+std::vector<NetCell> ParseNetCells(const std::string& text) {
+  std::vector<NetCell> cells;
+  size_t pos = text.find("\"net\"");
+  if (pos == std::string::npos) return cells;
+  pos = text.find('[', pos);
+  if (pos == std::string::npos) return cells;
+  ++pos;
+  while (pos < text.size()) {
+    SkipSpace(text, &pos);
+    if (pos >= text.size() || text[pos] == ']') break;
+    if (text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (text[pos] != '{') break;  // malformed: stop rather than loop
+    ++pos;
+    NetCell cell;
+    int depth = 1;
+    while (pos < text.size() && depth > 0) {
+      SkipSpace(text, &pos);
+      if (pos >= text.size()) break;
+      char c = text[pos];
+      if (c == '}') {
+        --depth;
+        ++pos;
+        continue;
+      }
+      if (c == ',' || c == ':') {
+        ++pos;
+        continue;
+      }
+      if (c == '{') {
+        ++depth;
+        ++pos;
+        continue;
+      }
+      if (c == '"') {
+        std::string key;
+        if (!ParseString(text, &pos, &key)) break;
+        SkipSpace(text, &pos);
+        if (pos >= text.size() || text[pos] != ':') continue;
+        ++pos;
+        SkipSpace(text, &pos);
+        if (pos < text.size() && text[pos] == '{') {
+          ++depth;
+          ++pos;
+          continue;
+        }
+        double value = 0;
+        if (!ParseNumber(text, &pos, &value)) break;
+        if (depth == 1) {
+          if (key == "replicas") cell.replicas = static_cast<long>(value);
+          else if (key == "qps") cell.qps = value;
+        }
+        continue;
+      }
+      ++pos;  // any other token: advance
+    }
+    if (cell.qps >= 0) cells.push_back(cell);
+  }
+  return cells;
+}
+
+/// Gates the qps of each baseline net cell against the current run's cell
+/// for the same replica count. Returns the number of regressions; bumps
+/// *compared per matched cell.
+int CompareNetCells(const std::vector<NetCell>& baseline,
+                    const std::vector<NetCell>& current,
+                    double max_regression_pct, int* compared) {
+  std::map<long, double> current_by_replicas;
+  for (const NetCell& cell : current) current_by_replicas[cell.replicas] = cell.qps;
+  int regressions = 0;
+  for (const NetCell& base : baseline) {
+    auto it = current_by_replicas.find(base.replicas);
+    if (it == current_by_replicas.end()) {
+      std::printf("  [skip] net replicas=%ld: not in current run\n",
+                  base.replicas);
+      continue;
+    }
+    ++*compared;
+    if (base.qps <= 0) continue;
+    double delta_pct = 100.0 * (it->second - base.qps) / base.qps;
+    if (delta_pct < -max_regression_pct) {
+      ++regressions;
+      std::printf("  [FAIL] net replicas=%ld: %.3f -> %.3f qps (%.1f%%)\n",
+                  base.replicas, base.qps, it->second, delta_pct);
+    }
+  }
+  return regressions;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,23 +289,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Cell> baseline = ParseGemmCells(baseline_text);
-  std::vector<Cell> current = ParseGemmCells(current_text);
-  if (baseline.empty()) {
-    std::printf("bench_diff: baseline has no gemm cells — OK\n");
+  std::vector<Cell> gemm_baseline = ParseGemmCells(baseline_text);
+  std::vector<Cell> gemm_current = ParseGemmCells(current_text);
+  std::vector<NetCell> net_baseline = ParseNetCells(baseline_text);
+  std::vector<NetCell> net_current = ParseNetCells(current_text);
+  if (gemm_baseline.empty() && net_baseline.empty()) {
+    std::printf("bench_diff: baseline has no gemm or net cells — OK\n");
     return 0;
   }
-  if (current.empty()) {
+  if (!gemm_baseline.empty() && gemm_current.empty()) {
     std::fprintf(stderr, "bench_diff: current run has no gemm cells\n");
+    return 1;
+  }
+  if (!net_baseline.empty() && net_current.empty()) {
+    std::fprintf(stderr, "bench_diff: current run has no net cells\n");
     return 1;
   }
 
   std::map<std::string, const Cell*> current_by_key;
-  for (const Cell& cell : current) current_by_key[CellKey(cell)] = &cell;
+  for (const Cell& cell : gemm_current) current_by_key[CellKey(cell)] = &cell;
 
   int regressions = 0;
   int compared = 0;
-  for (const Cell& base : baseline) {
+  for (const Cell& base : gemm_baseline) {
     auto it = current_by_key.find(CellKey(base));
     if (it == current_by_key.end()) {
       std::printf("  [skip] %s: not in current run\n", CellKey(base).c_str());
@@ -224,6 +335,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+  regressions += CompareNetCells(net_baseline, net_current,
+                                 max_regression_pct, &compared);
   std::printf("bench_diff: %d cells compared, %d regressions beyond %.0f%%\n",
               compared, regressions, max_regression_pct);
   return regressions > 0 ? 1 : 0;

@@ -25,10 +25,12 @@ struct PathAllowEntry {
 
 /// Files allowed to use an otherwise-banned construct: the synchronization
 /// layer is the one place raw std primitives may appear (it wraps them),
-/// and common/rng owns every entropy source in the project.
+/// common/rng owns every entropy source in the project, and the feature
+/// store is the one facade allowed to call the raw feature-server RPC.
 constexpr PathAllowEntry kPathAllowlist[] = {
     {"raw-mutex", "common/synchronization.h"},
     {"nondeterminism", "common/rng."},
+    {"feature-fetch-outside-store", "feature_store/"},
 };
 
 bool PathAllowed(const std::string& rule, const std::string& path) {
@@ -139,6 +141,12 @@ const std::regex kStatusDeclRe(
 
 const std::regex kNodiscardRe(R"(\[\[\s*nodiscard\s*\]\])");
 
+/// Member calls of the raw feature-server RPC (`x.FetchUserFeatures(` /
+/// `x->FetchUserFeatures(`). Declarations and qualified mentions
+/// (`FeatureServer::FetchUserFeatures`) fail the member-access shape, so
+/// the server's own code never matches.
+const std::regex kRawFeatureFetchRe(R"((\.|->)\s*FetchUserFeatures\s*\()");
+
 }  // namespace
 
 std::vector<RuleInfo> Rules() {
@@ -159,6 +167,10 @@ std::vector<RuleInfo> Rules() {
       {"iostream-in-header",
        "<iostream> in a header injects static iostream initializers into "
        "every TU; headers use <ostream> and logging goes through BASM_LOG"},
+      {"feature-fetch-outside-store",
+       "direct FeatureServer::FetchUserFeatures call bypasses the sharded "
+       "FeatureStore facade (stale cache, prefetch, fault accounting); "
+       "fetch through feature_store::FeatureStore instead"},
   };
 }
 
@@ -199,6 +211,11 @@ std::vector<Finding> LintContent(const std::string& path,
     if (std::regex_search(line, kNondeterminismRe)) {
       report(line_no, raw, "nondeterminism",
              "unseeded entropy source; draw from a seeded basm::Rng stream");
+    }
+    if (std::regex_search(line, kRawFeatureFetchRe)) {
+      report(line_no, raw, "feature-fetch-outside-store",
+             "raw feature-server fetch; go through the FeatureStore facade "
+             "(feature_store/feature_store.h)");
     }
     if (is_header && std::regex_search(line, kIostreamIncludeRe)) {
       report(line_no, raw, "iostream-in-header",
