@@ -1,15 +1,19 @@
 // Graceful-degradation walk-through: the serving stack under a feature-
-// dependency outage, now with the sharded feature store's stale fallback.
-// A fault-tolerant pipeline (retry + backoff, circuit breaker) serves
-// three phases of closed-loop traffic: healthy (the store caches every
-// user's last-known behavior window), with the feature dependency killed
-// mid-load (slates keep rendering from *stale* windows — real but old
-// behavior instead of the empty window a cacheless stack would serve),
-// and after the dependency recovers (the breaker closes, fetches go
-// fresh again, and staleness disappears).
+// dependency outage, now with the sharded feature store's stale fallback
+// and write-ahead click journal. A fault-tolerant pipeline (retry +
+// backoff, circuit breaker) serves four phases of closed-loop traffic:
+// healthy (the store caches every user's last-known behavior window and
+// journals every click before applying it), with the feature dependency
+// killed mid-load (slates keep rendering from *stale* windows — real but
+// old behavior instead of the empty window a cacheless stack would serve,
+// and never older than the configured TTL budget), after the dependency
+// recovers (the breaker closes, fetches go fresh again), and finally a
+// process crash: the "restarted" stack replays the click journal and picks
+// up every click the dead process had acknowledged.
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "common/circuit_breaker.h"
 #include "common/fault.h"
@@ -55,6 +59,20 @@ void PrintStoreCounters(const feature_store::FeatureStore& store) {
               static_cast<long long>(s.stale_hits),
               static_cast<long long>(s.stale_misses),
               static_cast<long long>(s.evictions));
+  if (s.stale_hits > 0 || s.stale_expired > 0) {
+    std::printf("staleness: served p50 %lld us / p99 %lld us, expired %lld\n",
+                static_cast<long long>(s.served_staleness_p50_micros),
+                static_cast<long long>(s.served_staleness_p99_micros),
+                static_cast<long long>(s.stale_expired));
+  }
+  if (s.journal_enabled) {
+    std::printf("journal: %lld appends, %lld fsyncs, %lld write failures, "
+                "%lld recovered\n",
+                static_cast<long long>(s.journal_appends),
+                static_cast<long long>(s.journal_fsyncs),
+                static_cast<long long>(s.journal_write_failures),
+                static_cast<long long>(s.journal_recovered));
+  }
 }
 
 }  // namespace
@@ -69,8 +87,16 @@ int main() {
   serving::FeatureServer features(world, world.config().seq_len, 7);
   // The sharded store in front of the raw server: every healthy fetch
   // refreshes the user's last-known window, which becomes the degraded
-  // path's fallback when the server goes dark.
-  feature_store::FeatureStore store(&features);
+  // path's fallback when the server goes dark. The journal directory makes
+  // every click crash-durable (phase 4 replays it), and the TTL budget caps
+  // how old a served fallback window may ever be.
+  const std::filesystem::path journal_dir =
+      std::filesystem::temp_directory_path() / "basm_degraded_journal";
+  std::filesystem::remove_all(journal_dir);
+  feature_store::FeatureStoreConfig store_config;
+  store_config.journal.dir = journal_dir.string();
+  store_config.max_stale_age_micros = 10'000'000;  // 10s staleness budget
+  feature_store::FeatureStore store(&features, store_config);
   serving::RecallIndex recall(world);
   auto model =
       models::CreateModel(models::ModelKind::kBasm, world.schema(), 21);
@@ -107,6 +133,14 @@ int main() {
   {
     runtime::LoadGenerator generator(world, load);
     runtime::LoadReport report = generator.Run(engine);
+    // Healthy traffic clicks: each click is appended to the journal before
+    // it touches the live window, so phase 4 can replay it after a crash.
+    Rng click_rng(8);
+    for (int32_t u = 0; u < 150; ++u) {
+      for (const data::BehaviorEvent& ev : world.SampleHistory(u, 2, click_rng)) {
+        store.RecordClick(u, ev);
+      }
+    }
     PrintPhase("healthy", report, engine.IntervalStats(), breaker);
     PrintStoreCounters(store);
   }
@@ -147,5 +181,37 @@ int main() {
   }
 
   std::printf("\n== totals ==\n%s", engine.Stats().ToString().c_str());
+  engine.Shutdown();
+
+  // Phase 4: the process "crashes" — everything above is gone — and a
+  // fresh stack boots over the same journal directory. Replay walks the
+  // sealed segments, truncates any torn tail, reapplies every click to the
+  // new feature server, and hands each one back for the online-learning
+  // feedback queue. No acknowledged click is lost to the crash.
+  {
+    serving::FeatureServer reborn_features(world, world.config().seq_len, 7);
+    feature_store::FeatureStore reborn(&reborn_features, store_config);
+    int64_t republished = 0;
+    feature_store::ReplayReport report;
+    Status status = reborn.RecoverFromJournal(
+        [&](int32_t /*user*/, const data::BehaviorEvent& /*event*/) {
+          ++republished;  // a real deployment feeds these to OnlineTrainer
+        },
+        &report);
+    std::printf("\n== crash, restart, replay ==\n");
+    if (!status.ok()) {
+      std::printf("recovery failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("replayed %lld clicks from %lld segments "
+                "(%lld torn-tail bytes truncated), %lld republished to the "
+                "feedback queue\n",
+                static_cast<long long>(report.recovered),
+                static_cast<long long>(report.segments),
+                static_cast<long long>(report.truncated_tail_bytes),
+                static_cast<long long>(republished));
+    PrintStoreCounters(reborn);
+  }
+  std::filesystem::remove_all(journal_dir);
   return 0;
 }

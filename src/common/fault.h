@@ -54,6 +54,13 @@ struct FaultSiteStats {
 /// so a given (seed, config, call sequence) always injects the same faults.
 /// Thread-safe; Configure may be called mid-run to start or clear faults
 /// (the example uses this to kill and revive the feature path under load).
+///
+/// Site registry (each constant lives next to the code it guards; all of
+/// them honor the env-driven default config via FromEnv):
+///   feature_server.fetch   (serving/feature_server.h)  feature "RPC" fetch
+///   pipeline.recall        (serving/pipeline.h)        LBS candidate recall
+///   model_slot.install     (online/online_trainer.h)   hot-swap install
+///   feature_store.journal  (feature_store/journal.h)   WAL click append
 class FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed);

@@ -1,5 +1,6 @@
 #include "feature_store/feature_store.h"
 
+#include <bit>
 #include <utility>
 
 #include "common/logging.h"
@@ -24,10 +25,27 @@ FeatureStore::FeatureStore(serving::FeatureServer* server,
   BASM_CHECK(server_ != nullptr);
   BASM_CHECK_GT(config_.num_shards, 0);
   BASM_CHECK_GE(config_.capacity_per_shard, 0);
+  BASM_CHECK_GE(config_.max_stale_age_micros, 0);
   shards_.reserve(config_.num_shards);
   for (int32_t i = 0; i < config_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (!config_.journal.dir.empty()) {
+    journal_ = std::make_unique<ClickJournal>(config_.journal);
+  }
+}
+
+int FeatureStore::StalenessBucket(int64_t age_micros) {
+  if (age_micros <= 0) return 0;
+  int bucket = std::bit_width(static_cast<uint64_t>(age_micros));
+  return bucket < kStalenessBuckets ? bucket : kStalenessBuckets - 1;
+}
+
+int64_t FeatureStore::StalenessBucketValue(int bucket) {
+  if (bucket <= 0) return 0;
+  // Bucket b holds ages in [2^(b-1), 2^b); report the midpoint.
+  const int64_t lo = int64_t{1} << (bucket - 1);
+  return lo + lo / 2;
 }
 
 int32_t FeatureStore::ShardOf(int32_t user_id) const {
@@ -123,7 +141,8 @@ StatusOr<serving::FeatureServer::UserFeatures> FeatureStore::FetchFeatures(
 }
 
 std::optional<StaleFeatures> FeatureStore::LastKnownFeatures(
-    int32_t user_id) {
+    int32_t user_id, bool* expired) {
+  if (expired != nullptr) *expired = false;
   Shard& shard = *shards_[ShardOf(user_id)];
   MutexLock lock(&shard.mu);
   auto it = shard.index.find(user_id);
@@ -131,21 +150,61 @@ std::optional<StaleFeatures> FeatureStore::LastKnownFeatures(
     ++shard.stale_misses;
     return std::nullopt;
   }
+  const int64_t age_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          Clock::now() - it->second->fetched_at)
+          .count();
+  if (config_.max_stale_age_micros > 0 &&
+      age_micros > config_.max_stale_age_micros) {
+    // Past the TTL budget: refuse the window so the caller degrades to
+    // empty. Counted separately from misses so the export can tell "never
+    // had it" from "had it but it rotted".
+    ++shard.stale_expired;
+    if (expired != nullptr) *expired = true;
+    return std::nullopt;
+  }
   ++shard.stale_hits;
+  ++shard.staleness_hist[StalenessBucket(age_micros)];
   StaleFeatures stale;
   stale.behaviors = it->second->behaviors;
-  stale.age_micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                         Clock::now() - it->second->fetched_at)
-                         .count();
+  stale.age_micros = age_micros;
   return stale;
 }
 
 void FeatureStore::RecordClick(int32_t user_id,
                                const data::BehaviorEvent& event) {
+  if (journal_ != nullptr) {
+    // Write-ahead: the click must be durable (in the kernel page cache at
+    // minimum) before it mutates any state. A failed append — injected or
+    // real — drops the click entirely rather than applying it un-journaled;
+    // the journal's write_failures counter carries the loss and the request
+    // path never sees an error.
+    if (!journal_->AppendRecord(user_id, event).ok()) return;
+  }
   Shard& shard = *shards_[ShardOf(user_id)];
   MutexLock lock(&shard.mu);
   ++shard.versions[user_id];
   server_->RecordClick(user_id, event);
+}
+
+Status FeatureStore::RecoverFromJournal(
+    const std::function<void(int32_t, const data::BehaviorEvent&)>& republish,
+    ReplayReport* report) {
+  if (journal_ == nullptr) {
+    if (report != nullptr) *report = ReplayReport{};
+    return Status::Ok();
+  }
+  return journal_->ReplayInto(
+      [this, &republish](const ClickRecord& record) {
+        {
+          Shard& shard = *shards_[ShardOf(record.user_id)];
+          MutexLock lock(&shard.mu);
+          ++shard.versions[record.user_id];
+          server_->RecordClick(record.user_id, record.event);
+        }
+        if (republish) republish(record.user_id, record.event);
+      },
+      report);
 }
 
 bool FeatureStore::Prefetch(int32_t user_id,
@@ -186,6 +245,8 @@ bool FeatureStore::Prefetch(int32_t user_id,
 
 FeatureStoreStats FeatureStore::stats() const {
   FeatureStoreStats totals;
+  std::array<int64_t, kStalenessBuckets> hist = {};
+  int64_t served = 0;
   for (const auto& shard : shards_) {
     MutexLock lock(&shard->mu);
     totals.fresh_fetches += shard->fresh_fetches;
@@ -199,6 +260,35 @@ FeatureStoreStats FeatureStore::stats() const {
     totals.prefetch_hits += shard->prefetch_hits;
     totals.prefetch_discarded += shard->prefetch_discarded;
     totals.prefetch_cancelled += shard->prefetch_cancelled;
+    totals.stale_expired += shard->stale_expired;
+    for (int b = 0; b < kStalenessBuckets; ++b) {
+      hist[b] += shard->staleness_hist[b];
+      served += shard->staleness_hist[b];
+    }
+  }
+  if (served > 0) {
+    auto percentile = [&hist, served](double q) {
+      const int64_t target =
+          static_cast<int64_t>(q * static_cast<double>(served - 1));
+      int64_t seen = 0;
+      for (int b = 0; b < kStalenessBuckets; ++b) {
+        seen += hist[b];
+        if (seen > target) return StalenessBucketValue(b);
+      }
+      return StalenessBucketValue(kStalenessBuckets - 1);
+    };
+    totals.served_staleness_p50_micros = percentile(0.50);
+    totals.served_staleness_p99_micros = percentile(0.99);
+  }
+  if (journal_ != nullptr) {
+    const JournalStats js = journal_->stats();
+    totals.journal_enabled = true;
+    totals.journal_appends = js.appends;
+    totals.journal_fsyncs = js.fsyncs;
+    totals.journal_write_failures = js.write_failures;
+    totals.journal_rotations = js.rotations;
+    totals.journal_recovered = js.recovered;
+    totals.journal_truncated_tail_bytes = js.truncated_tail_bytes;
   }
   return totals;
 }

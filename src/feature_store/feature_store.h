@@ -1,8 +1,10 @@
 #ifndef BASM_FEATURE_STORE_FEATURE_STORE_H_
 #define BASM_FEATURE_STORE_FEATURE_STORE_H_
 
+#include <array>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <optional>
@@ -12,6 +14,7 @@
 #include "common/status.h"
 #include "common/synchronization.h"
 #include "data/schema.h"
+#include "feature_store/journal.h"
 #include "serving/feature_server.h"
 
 namespace basm::feature_store {
@@ -24,6 +27,13 @@ struct FeatureStoreConfig {
   /// the cache entirely (and with it prefetch and stale serving) — the
   /// store then degrades to a thin locking facade over the server.
   int64_t capacity_per_shard = 128;
+  /// TTL budget for stale serving: LastKnownFeatures refuses windows older
+  /// than this many microseconds (they degrade to empty instead, counted
+  /// in stale_expired). 0 = unbounded, the pre-TTL behavior.
+  int64_t max_stale_age_micros = 0;
+  /// Write-ahead click journal. An empty dir disables journaling (the
+  /// pre-journal behavior: clicks since boot die with the process).
+  JournalConfig journal;
 };
 
 /// Lifetime counters, merged across shards by stats(). The serving engine
@@ -40,6 +50,20 @@ struct FeatureStoreStats {
   int64_t prefetch_hits = 0;      ///< fetches served from a prefetch
   int64_t prefetch_discarded = 0; ///< prefetches invalidated by a click
   int64_t prefetch_cancelled = 0; ///< prefetches skipped past deadline
+  int64_t stale_expired = 0;      ///< stale windows refused by the TTL budget
+  /// Served-staleness quantiles over every stale window actually handed
+  /// out (quarter-free power-of-two histogram, so values are bucket
+  /// midpoints). 0 when no stale window was served yet.
+  int64_t served_staleness_p50_micros = 0;
+  int64_t served_staleness_p99_micros = 0;
+  /// Journal counters (all zero when journaling is off).
+  bool journal_enabled = false;
+  int64_t journal_appends = 0;
+  int64_t journal_fsyncs = 0;
+  int64_t journal_write_failures = 0;
+  int64_t journal_rotations = 0;
+  int64_t journal_recovered = 0;
+  int64_t journal_truncated_tail_bytes = 0;
 };
 
 /// A last-known behavior window plus how old it is — what a degraded
@@ -96,13 +120,39 @@ class FeatureStore {
   /// with its staleness age, or nullopt if the user was never cached (or
   /// was evicted). Read-only — does not touch LRU recency, so probing a
   /// dead dependency's fallback never perturbs eviction order.
-  std::optional<StaleFeatures> LastKnownFeatures(int32_t user_id);
+  ///
+  /// TTL: when config().max_stale_age_micros > 0, a window older than the
+  /// budget is refused (nullopt, `*expired` set, stale_expired counted) —
+  /// the fallback ladder is fresh → stale-within-budget → empty, never
+  /// arbitrarily-old. Windows actually served are recorded into the
+  /// served-staleness histogram behind the p50/p99 stats.
+  std::optional<StaleFeatures> LastKnownFeatures(int32_t user_id,
+                                                 bool* expired = nullptr);
 
   /// Forwards a click to the server under the user's shard lock and bumps
   /// the user's version, invalidating any prefetched pre-click window.
   /// Deliberately does NOT update the cached window: the cache holds what
   /// was last *fetched*, so staleness is honest.
+  ///
+  /// Write-ahead discipline: with journaling on, the click is appended to
+  /// the journal *before* it is applied; if the append fails (real IO or
+  /// the feature_store.journal fault site) the click is dropped entirely —
+  /// counted in journal_write_failures, never applied half-durably, and
+  /// never an error the request sees.
   void RecordClick(int32_t user_id, const data::BehaviorEvent& event);
+
+  /// Startup-only: replays every intact journaled click (sealed segments,
+  /// oldest first) back into the server — same shard-lock + version-bump
+  /// path as a live RecordClick — truncating a torn tail at the first bad
+  /// checksum instead of failing. `republish` (may be null) is invoked for
+  /// each recovered click so the caller can refeed the OnlineTrainer
+  /// feedback queue; `report` (may be null) receives the replay counts.
+  /// A disabled journal is an OK no-op. Never call concurrently with live
+  /// RecordClicks: recovery happens before serving starts.
+  [[nodiscard]] Status RecoverFromJournal(
+      const std::function<void(int32_t, const data::BehaviorEvent&)>&
+          republish = nullptr,
+      ReplayReport* report = nullptr);
 
   /// Async-prefetch body (run on the engine's prefetch pool): fetches the
   /// user's window and parks it in the cache entry, tagged with the
@@ -119,6 +169,11 @@ class FeatureStore {
   serving::FeatureServer* server() const { return server_; }
   /// True when the LRU (and so stale serving + prefetch) is enabled.
   bool cache_enabled() const { return config_.capacity_per_shard > 0; }
+  /// True when clicks are journaled (config().journal.dir non-empty).
+  bool journal_enabled() const { return journal_ != nullptr; }
+  /// The underlying journal, or nullptr when journaling is off (exposed
+  /// for tests and the fault-injection hookup).
+  ClickJournal* journal() const { return journal_.get(); }
 
   /// Shard index of a user (public for the shard-spread test).
   int32_t ShardOf(int32_t user_id) const;
@@ -134,6 +189,8 @@ class FeatureStore {
     bool prefetch_fresh = false;
     uint64_t prefetch_version = 0;
   };
+
+  static constexpr int kStalenessBuckets = 64;
 
   /// One shard: LRU list (front = most recently fetched) plus a user
   /// index into it, and the per-user version counters that guard
@@ -155,7 +212,17 @@ class FeatureStore {
     int64_t prefetch_hits BASM_GUARDED_BY(mu) = 0;
     int64_t prefetch_discarded BASM_GUARDED_BY(mu) = 0;
     int64_t prefetch_cancelled BASM_GUARDED_BY(mu) = 0;
+    int64_t stale_expired BASM_GUARDED_BY(mu) = 0;
+    /// Power-of-two histogram of served-staleness ages (bucket = bit width
+    /// of the age in micros); merged across shards for the p50/p99 stats.
+    std::array<int64_t, kStalenessBuckets> staleness_hist
+        BASM_GUARDED_BY(mu) = {};
   };
+
+  /// Histogram bucket of a served-staleness age, and the representative
+  /// age of a bucket (its midpoint) — the resolution behind the p50/p99.
+  static int StalenessBucket(int64_t age_micros);
+  static int64_t StalenessBucketValue(int bucket);
 
   /// Moves the user's entry to the LRU front with `behaviors` as the new
   /// window (inserting/evicting as needed). Caller holds the shard lock.
@@ -172,6 +239,8 @@ class FeatureStore {
   serving::FeatureServer* server_;
   FeatureStoreConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Non-null iff config_.journal.dir is non-empty.
+  std::unique_ptr<ClickJournal> journal_;
 };
 
 }  // namespace basm::feature_store

@@ -124,9 +124,15 @@ void RpcServer::HandleConnection(std::shared_ptr<TcpConnection> connection) {
 
     RpcResponse response = HandleRequest(request);
     std::vector<uint8_t> frame = EncodeResponseFrame(response);
-    Status written = connection->WriteAll(frame.data(), frame.size());
-    if (!written.ok()) return;
+    // Counted before the write: a client that has *observed* the response
+    // must find it in stats(), and WriteAll publishes bytes to the peer
+    // before it returns here. A failed write undoes the count.
     responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    Status written = connection->WriteAll(frame.data(), frame.size());
+    if (!written.ok()) {
+      responses_sent_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
   }
 }
 

@@ -97,6 +97,16 @@ bool OnlineTrainer::SubmitFeedback(data::Example example) {
   return true;
 }
 
+int64_t OnlineTrainer::SubmitRecoveredFeedback(
+    std::vector<data::Example> examples) {
+  int64_t accepted = 0;
+  for (data::Example& example : examples) {
+    if (SubmitFeedback(std::move(example))) ++accepted;
+  }
+  recovered_feedback_.fetch_add(accepted, std::memory_order_relaxed);
+  return accepted;
+}
+
 void OnlineTrainer::Loop() {
   while (true) {
     std::optional<data::Example> item = feedback_.Pop();
@@ -215,6 +225,8 @@ OnlineTrainerStats OnlineTrainer::stats() const {
   s.rejected_publishes =
       rejected_publishes_.load(std::memory_order_relaxed);
   s.failed_installs = failed_installs_.load(std::memory_order_relaxed);
+  s.recovered_feedback =
+      recovered_feedback_.load(std::memory_order_relaxed);
   s.last_version = last_version_.load(std::memory_order_relaxed);
   s.last_update_seconds =
       last_update_seconds_.load(std::memory_order_relaxed);

@@ -65,6 +65,9 @@ struct OnlineTrainerStats {
   /// Publishes whose slot install failed (injected fault): the version is
   /// in the registry but the previously-installed model keeps serving.
   int64_t failed_installs = 0;
+  /// Journal-replayed examples re-accepted into the stream at startup
+  /// (subset of consumed once the loop drains them).
+  int64_t recovered_feedback = 0;
   uint64_t last_version = 0;
   double last_update_seconds = 0.0;  ///< train+serialize+publish+install
 };
@@ -107,6 +110,12 @@ class OnlineTrainer {
   /// when the stream is full or stopped. Never blocks the caller — this
   /// sits on the serving path.
   bool SubmitFeedback(data::Example example);
+
+  /// Batch variant for journal replay at startup: feeds each recovered
+  /// example through SubmitFeedback, counting successes (also into the
+  /// recovered_feedback stat). Returns how many were accepted; the rest
+  /// fell to the same bounded-queue drop rule as live feedback.
+  int64_t SubmitRecoveredFeedback(std::vector<data::Example> examples);
 
   /// Synchronously drains the stream into the buffer and runs one
   /// incremental update now (tests and benches use this for deterministic
@@ -173,6 +182,7 @@ class OnlineTrainer {
   std::atomic<int64_t> published_{0};
   std::atomic<int64_t> rejected_publishes_{0};
   std::atomic<int64_t> failed_installs_{0};
+  std::atomic<int64_t> recovered_feedback_{0};
   std::atomic<uint64_t> last_version_{0};
   std::atomic<double> last_update_seconds_{0.0};
 

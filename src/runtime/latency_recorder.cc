@@ -231,6 +231,26 @@ std::string LatencySnapshot::ToString() const {
                   static_cast<long long>(fs_prefetch_discarded),
                   static_cast<long long>(fs_prefetch_cancelled));
     out += line;
+    if (fs_stale_expired > 0 || fs_served_staleness_p99 > 0) {
+      std::snprintf(line, sizeof(line),
+                    "staleness: expired %lld  served p50 %lld us  p99 %lld "
+                    "us\n",
+                    static_cast<long long>(fs_stale_expired),
+                    static_cast<long long>(fs_served_staleness_p50),
+                    static_cast<long long>(fs_served_staleness_p99));
+      out += line;
+    }
+  }
+  if (fs_journal_enabled) {
+    std::snprintf(line, sizeof(line),
+                  "journal: appends %lld  fsyncs %lld  write failures %lld  "
+                  "recovered %lld  truncated tail %lld B\n",
+                  static_cast<long long>(fs_journal_appends),
+                  static_cast<long long>(fs_journal_fsyncs),
+                  static_cast<long long>(fs_journal_write_failures),
+                  static_cast<long long>(fs_journal_recovered),
+                  static_cast<long long>(fs_journal_truncated_tail_bytes));
+    out += line;
   }
   if (has_breaker) {
     std::snprintf(line, sizeof(line),
@@ -261,7 +281,7 @@ std::string LatencySnapshot::ToString() const {
 }
 
 std::string LatencySnapshot::ToJson() const {
-  char buf[1024];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "{\"count\":%lld,\"rejects\":%lld,\"timeouts\":%lld,"
@@ -290,7 +310,10 @@ std::string LatencySnapshot::ToJson() const {
                   static_cast<long long>(breaker_short_circuits));
     out += buf;
   }
-  if (has_feature_store) {
+  if (has_feature_store || fs_journal_enabled) {
+    // The nested block is emitted whenever any store telemetry exists —
+    // the journal counters ride along even when the LRU cache (and so
+    // has_feature_store) is off.
     std::snprintf(
         buf, sizeof(buf),
         ",\"feature_store\":{\"fresh_fetches\":%lld,"
@@ -298,7 +321,13 @@ std::string LatencySnapshot::ToJson() const {
         "\"stale_hits\":%lld,\"stale_misses\":%lld,"
         "\"insertions\":%lld,\"evictions\":%lld,"
         "\"prefetch_issued\":%lld,\"prefetch_hits\":%lld,"
-        "\"prefetch_discarded\":%lld,\"prefetch_cancelled\":%lld}",
+        "\"prefetch_discarded\":%lld,\"prefetch_cancelled\":%lld,"
+        "\"stale_expired\":%lld,"
+        "\"served_staleness_p50\":%lld,\"served_staleness_p99\":%lld,"
+        "\"journal_enabled\":%s,\"journal_appends\":%lld,"
+        "\"journal_fsyncs\":%lld,\"journal_write_failures\":%lld,"
+        "\"journal_recovered\":%lld,"
+        "\"journal_truncated_tail_bytes\":%lld}",
         static_cast<long long>(fs_fresh_fetches),
         static_cast<long long>(fs_fetch_failures),
         static_cast<long long>(fs_cache_entries),
@@ -309,7 +338,16 @@ std::string LatencySnapshot::ToJson() const {
         static_cast<long long>(fs_prefetch_issued),
         static_cast<long long>(fs_prefetch_hits),
         static_cast<long long>(fs_prefetch_discarded),
-        static_cast<long long>(fs_prefetch_cancelled));
+        static_cast<long long>(fs_prefetch_cancelled),
+        static_cast<long long>(fs_stale_expired),
+        static_cast<long long>(fs_served_staleness_p50),
+        static_cast<long long>(fs_served_staleness_p99),
+        fs_journal_enabled ? "true" : "false",
+        static_cast<long long>(fs_journal_appends),
+        static_cast<long long>(fs_journal_fsyncs),
+        static_cast<long long>(fs_journal_write_failures),
+        static_cast<long long>(fs_journal_recovered),
+        static_cast<long long>(fs_journal_truncated_tail_bytes));
     out += buf;
   }
   out += '}';

@@ -63,6 +63,19 @@ struct LatencySnapshot {
   int64_t fs_prefetch_hits = 0;      ///< fetches served from a prefetch
   int64_t fs_prefetch_discarded = 0; ///< prefetches invalidated by clicks
   int64_t fs_prefetch_cancelled = 0; ///< prefetches skipped past deadline
+  int64_t fs_stale_expired = 0;      ///< stale windows refused by the TTL
+  /// Served-staleness quantiles over every stale window handed out (0
+  /// until the first stale serve).
+  int64_t fs_served_staleness_p50 = 0;
+  int64_t fs_served_staleness_p99 = 0;
+  /// Write-ahead click-journal counters (all zero when journaling is off;
+  /// attached even when the LRU cache is disabled).
+  bool fs_journal_enabled = false;
+  int64_t fs_journal_appends = 0;
+  int64_t fs_journal_fsyncs = 0;
+  int64_t fs_journal_write_failures = 0;
+  int64_t fs_journal_recovered = 0;
+  int64_t fs_journal_truncated_tail_bytes = 0;
 
   /// Multi-line human-readable report for benches and examples.
   std::string ToString() const;

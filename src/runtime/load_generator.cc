@@ -1,8 +1,10 @@
 #include "runtime/load_generator.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <deque>
 #include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -33,6 +35,7 @@ LoadReport LoadGenerator::Run(ServingEngine& engine) {
   LoadReport report;
   WallTimer timer;
   std::deque<std::future<SlateResult>> inflight;
+  std::vector<int64_t> stale_ages;
 
   auto settle = [&](std::future<SlateResult> future) {
     SlateResult result = future.get();
@@ -43,6 +46,7 @@ LoadReport LoadGenerator::Run(ServingEngine& engine) {
           ++report.degraded;
           if (result.degraded_mode == SlateResult::DegradedMode::kStale) {
             ++report.degraded_stale;
+            stale_ages.push_back(result.stale_age_micros);
           } else if (result.degraded_mode ==
                      SlateResult::DegradedMode::kEmpty) {
             ++report.degraded_empty;
@@ -79,6 +83,19 @@ LoadReport LoadGenerator::Run(ServingEngine& engine) {
     report.qps =
         static_cast<double>(config_.num_requests) / report.wall_seconds;
   }
+  if (!stale_ages.empty()) {
+    // Exact (not histogram) quantiles: the run keeps every served age, so
+    // the TTL drill can assert the literal max against the budget.
+    std::sort(stale_ages.begin(), stale_ages.end());
+    auto at = [&stale_ages](double q) {
+      size_t idx = static_cast<size_t>(q *
+                                       static_cast<double>(stale_ages.size() - 1));
+      return stale_ages[idx];
+    };
+    report.stale_age_p50_micros = at(0.50);
+    report.stale_age_p99_micros = at(0.99);
+    report.stale_age_max_micros = stale_ages.back();
+  }
   return report;
 }
 
@@ -114,7 +131,16 @@ std::string LoadReport::ToString() const {
                 static_cast<long long>(rejected),
                 static_cast<long long>(timed_out),
                 static_cast<long long>(cancelled));
-  return line;
+  std::string out = line;
+  if (degraded_stale > 0) {
+    std::snprintf(line, sizeof(line),
+                  "; stale age micros p50 %lld p99 %lld max %lld",
+                  static_cast<long long>(stale_age_p50_micros),
+                  static_cast<long long>(stale_age_p99_micros),
+                  static_cast<long long>(stale_age_max_micros));
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace basm::runtime

@@ -36,6 +36,13 @@ struct LoadReport {
   int64_t cancelled = 0;
   double wall_seconds = 0.0;
   double qps = 0.0;
+  /// Exact served-staleness quantiles over the degraded_stale slates of
+  /// this run (ages straight from SlateResult::stale_age_micros, so the
+  /// TTL drill can assert the max against the budget). 0 when no stale
+  /// slate was served.
+  int64_t stale_age_p50_micros = 0;
+  int64_t stale_age_p99_micros = 0;
+  int64_t stale_age_max_micros = 0;
 
   std::string ToString() const;
 };

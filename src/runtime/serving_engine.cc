@@ -110,9 +110,11 @@ void ServingEngine::AttachBreakerStats(LatencySnapshot* snap) const {
 
 void ServingEngine::AttachFeatureStoreStats(LatencySnapshot* snap) const {
   const feature_store::FeatureStore* store = pipeline_->feature_store();
-  if (!store->cache_enabled()) return;
+  // Journal telemetry must surface even with the LRU cache off (a
+  // journaled thin facade is a supported configuration).
+  if (!store->cache_enabled() && !store->journal_enabled()) return;
   feature_store::FeatureStoreStats stats = store->stats();
-  snap->has_feature_store = true;
+  snap->has_feature_store = store->cache_enabled();
   snap->fs_fresh_fetches = stats.fresh_fetches;
   snap->fs_fetch_failures = stats.fetch_failures;
   snap->fs_cache_entries = stats.cache_entries;
@@ -124,6 +126,15 @@ void ServingEngine::AttachFeatureStoreStats(LatencySnapshot* snap) const {
   snap->fs_prefetch_hits = stats.prefetch_hits;
   snap->fs_prefetch_discarded = stats.prefetch_discarded;
   snap->fs_prefetch_cancelled = stats.prefetch_cancelled;
+  snap->fs_stale_expired = stats.stale_expired;
+  snap->fs_served_staleness_p50 = stats.served_staleness_p50_micros;
+  snap->fs_served_staleness_p99 = stats.served_staleness_p99_micros;
+  snap->fs_journal_enabled = stats.journal_enabled;
+  snap->fs_journal_appends = stats.journal_appends;
+  snap->fs_journal_fsyncs = stats.journal_fsyncs;
+  snap->fs_journal_write_failures = stats.journal_write_failures;
+  snap->fs_journal_recovered = stats.journal_recovered;
+  snap->fs_journal_truncated_tail_bytes = stats.journal_truncated_tail_bytes;
 }
 
 void ServingEngine::IssuePrefetches() {

@@ -201,12 +201,18 @@ std::vector<data::Example> Pipeline::BuildExamplesFallible(
     // window the store successfully fetched for this user. Stale real
     // behavior preserves most of the spatiotemporal signal an empty window
     // throws away — the chaos drill measures the TAUC gap between the two.
+    // The store applies its TTL budget here: a window past
+    // max_stale_age_micros comes back empty with `expired` set, and the
+    // request drops to the bottom rung of the ladder (empty window).
+    bool expired = false;
     std::optional<feature_store::StaleFeatures> stale =
-        features_->LastKnownFeatures(request.user_id);
+        features_->LastKnownFeatures(request.user_id, &expired);
     if (stale.has_value()) {
       outcome->stale = true;
       outcome->stale_age_micros = stale->age_micros;
       uf.behaviors = std::move(stale->behaviors);
+    } else {
+      outcome->stale_expired = expired;
     }
   }
   return BuildExamplesWithBehaviors(request, candidates, uf.behaviors);

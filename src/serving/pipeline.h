@@ -64,6 +64,10 @@ struct FeatureFetchOutcome {
   bool stale = false;
   /// Age of the stale window served (0 unless `stale`).
   int64_t stale_age_micros = 0;
+  /// The store *had* a last-known window but refused it: older than the
+  /// TTL budget (FeatureStoreConfig::max_stale_age_micros), so the request
+  /// degraded all the way to empty. Only meaningful when `degraded`.
+  bool stale_expired = false;
   /// Fetch attempts beyond the first.
   int32_t retries = 0;
   /// This request's failure tripped the breaker open.

@@ -1,7 +1,9 @@
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/circuit_breaker.h"
@@ -48,7 +50,14 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
 
   data::World world(ChaosWorldConfig());
   serving::FeatureServer features(world, world.config().seq_len, 3);
-  feature_store::FeatureStore store(&features);
+  // The storm store journals its clicks so the journal fault site is
+  // exercised under the same chaos process as the fetch site.
+  std::filesystem::path journal_dir =
+      std::filesystem::path(::testing::TempDir()) / "basm_chaos_journal";
+  std::filesystem::remove_all(journal_dir);
+  feature_store::FeatureStoreConfig store_config;
+  store_config.journal.dir = journal_dir.string();
+  feature_store::FeatureStore store(&features, store_config);
   serving::RecallIndex recall(world);
   auto model =
       models::CreateModel(models::ModelKind::kBasm, world.schema(), 13);
@@ -67,7 +76,14 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
   faults.outage_start_call = 150;
   faults.outage_calls = 1 << 20;
   injector.Configure(serving::kFeatureFetchFaultSite, faults);
+  // The journal rides the same injector with a heavy failure rate: an
+  // injected append failure must drop the click (counted), never fail the
+  // request that carried it.
+  FaultSiteConfig journal_faults;
+  journal_faults.error_probability = 0.3;
+  injector.Configure(feature_store::kJournalFaultSite, journal_faults);
   features.SetFaultInjector(&injector);
+  store.journal()->SetFaultInjector(&injector);
   // The pipeline's recall site rides the same injector (unconfigured →
   // clean), not the env default — this test owns its fault process.
   pipeline.SetFaultInjector(&injector);
@@ -98,6 +114,18 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
   LoadGenerator generator(world, load);
   LoadReport report = generator.Run(engine);
 
+  // Click traffic lands during the same storm: with a 30% injected journal
+  // failure rate, some appends drop (counted below) and every surviving one
+  // is journaled — but RecordClick itself never surfaces a failure.
+  Rng storm_clicks(seed);
+  const int32_t num_users = static_cast<int32_t>(world.config().num_users);
+  for (int32_t u = 0; u < num_users; ++u) {
+    for (const data::BehaviorEvent& ev :
+         world.SampleHistory(u, 3, storm_clicks)) {
+      store.RecordClick(u, ev);
+    }
+  }
+
   // >= 99% of traffic must complete OK-or-degraded under the fault storm.
   EXPECT_GE(report.ok, (99 * load.num_requests) / 100)
       << report.ToString();
@@ -118,6 +146,20 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
   EXPECT_GT(storm.fs_stale_hits, 0);
   EXPECT_GT(storm.fs_cache_entries, 0);
   EXPECT_NE(storm.ToJson().find("\"feature_store\":{"), std::string::npos)
+      << storm.ToJson();
+  // 360 clicks at a 30% injected failure rate: both outcomes must be
+  // represented, they must account for every click, and the failures must
+  // never have escalated beyond the counter.
+  feature_store::FeatureStoreStats click_stats = store.stats();
+  EXPECT_TRUE(click_stats.journal_enabled);
+  EXPECT_GT(click_stats.journal_appends, 0);
+  EXPECT_GT(click_stats.journal_write_failures, 0)
+      << "30% injected journal faults produced zero drops";
+  EXPECT_EQ(click_stats.journal_appends + click_stats.journal_write_failures,
+            3 * static_cast<int64_t>(num_users));
+  EXPECT_TRUE(storm.fs_journal_enabled);
+  EXPECT_NE(storm.ToJson().find("\"journal_enabled\":true"),
+            std::string::npos)
       << storm.ToJson();
   EXPECT_GE(storm.breaker_opens, 1)
       << "sustained outage never tripped the breaker";
@@ -400,6 +442,86 @@ TEST(ChaosTest, StaleWindowsOutrankEmptyWindowsUnderOutage) {
   double tauc_empty = metrics::GroupedAuc(scores_empty, labels, groups);
   EXPECT_GT(tauc_stale, tauc_empty)
       << "stale TAUC " << tauc_stale << " vs empty TAUC " << tauc_empty;
+}
+
+/// The TTL acceptance drill: with a staleness budget configured, an outage
+/// first degrades to cached windows — every one provably younger than the
+/// budget — and once the cache outlives the budget, degrades the rest of
+/// the way to empty. The store must never serve a window older than its
+/// budget, no matter how long the outage lasts.
+TEST(ChaosTest, TtlBudgetBoundsServedStalenessThenDegradesToEmpty) {
+  data::World world(ChaosWorldConfig());
+  serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureStoreConfig store_config;
+  store_config.max_stale_age_micros = 1'000'000;  // 1s staleness budget
+  feature_store::FeatureStore store(&features, store_config);
+  serving::RecallIndex recall(world);
+  auto model =
+      models::CreateModel(models::ModelKind::kDin, world.schema(), 17);
+  model->SetTraining(false);
+  serving::Pipeline pipeline(world, &store, &recall, model.get(), 12, 5);
+
+  FaultInjector injector(11);  // this test owns its fault process
+  features.SetFaultInjector(&injector);
+  pipeline.SetFaultInjector(&injector);
+  serving::FeatureFaultPolicy policy;
+  policy.retry.max_attempts = 1;  // a dead dependency: retries are futile
+  pipeline.EnableFaultTolerance(policy);
+
+  // Warm every user's last-known window, then take ABFS fully dark.
+  const int32_t users = static_cast<int32_t>(world.config().num_users);
+  for (int32_t u = 0; u < users; ++u) {
+    (void)store.GetFeatures(u);
+  }
+  FaultSiteConfig outage;
+  outage.error_probability = 1.0;
+  injector.Configure(serving::kFeatureFetchFaultSite, outage);
+
+  ServingEngine engine(&pipeline, EngineConfig{});
+  // Phase 1: the outage starts inside the budget. Some slates serve stale,
+  // and — the acceptance property — zero served windows exceed the budget,
+  // by construction of the TTL gate rather than by lucky timing.
+  LoadConfig load;
+  load.num_requests = 150;
+  load.concurrency = 8;
+  LoadGenerator within_budget(world, load);
+  LoadReport phase1 = within_budget.Run(engine);
+  EXPECT_EQ(phase1.ok, load.num_requests) << phase1.ToString();
+  EXPECT_GT(phase1.degraded_stale, 0) << phase1.ToString();
+  EXPECT_LE(phase1.stale_age_max_micros, store_config.max_stale_age_micros)
+      << phase1.ToString();
+  EXPECT_LE(phase1.stale_age_p99_micros, phase1.stale_age_max_micros);
+  feature_store::FeatureStoreStats mid = store.stats();
+  EXPECT_GT(mid.served_staleness_p50_micros, 0);
+  EXPECT_GE(mid.served_staleness_p99_micros, mid.served_staleness_p50_micros);
+
+  // Phase 2: outlive the budget. Every cached window is now older than 1s,
+  // so the TTL gate refuses them all — stale fallbacks vanish and the same
+  // traffic degrades to cold-start (empty) windows instead.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  LoadConfig late_load = load;
+  late_load.seed = load.seed + 1;
+  LoadGenerator beyond_budget(world, late_load);
+  LoadReport phase2 = beyond_budget.Run(engine);
+  EXPECT_EQ(phase2.ok, late_load.num_requests) << phase2.ToString();
+  EXPECT_EQ(phase2.degraded_stale, 0) << phase2.ToString();
+  EXPECT_GT(phase2.degraded_empty, 0) << phase2.ToString();
+
+  feature_store::FeatureStoreStats after = store.stats();
+  EXPECT_GT(after.stale_expired, 0);
+  // The expired windows were refused, not served: the staleness histogram
+  // still has no entry beyond the budget.
+  EXPECT_LE(after.served_staleness_p99_micros,
+            store_config.max_stale_age_micros);
+
+  engine.Shutdown();
+  LatencySnapshot snapshot = engine.Stats();
+  ASSERT_TRUE(snapshot.has_feature_store);
+  EXPECT_GT(snapshot.fs_stale_expired, 0);
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"stale_expired\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"served_staleness_p99\":"), std::string::npos)
+      << json;
 }
 
 }  // namespace

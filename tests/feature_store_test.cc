@@ -1,7 +1,9 @@
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/fault.h"
@@ -383,6 +385,121 @@ TEST(FeatureStoreTest, EnginePrefetchSlatesBitIdenticalToSerial) {
   EXPECT_GE(snap.fs_prefetch_issued, 0);
   EXPECT_NE(snap.ToJson().find("\"feature_store\":{"), std::string::npos)
       << snap.ToJson();
+}
+
+/// The TTL ladder's bottom rung: a cached window older than the staleness
+/// budget is refused (degrading to empty) and counted, never served.
+TEST(FeatureStoreTest, TtlBudgetExpiresOldWindows) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FeatureStoreConfig config;
+  config.max_stale_age_micros = 2000;  // 2ms budget
+  FeatureStore store(&server, config);
+
+  (void)store.GetFeatures(9);
+  // Inside the budget: the window serves, and its age lands in the
+  // served-staleness histogram.
+  bool expired = false;
+  ASSERT_TRUE(store.LastKnownFeatures(9, &expired).has_value());
+  EXPECT_FALSE(expired);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(store.LastKnownFeatures(9, &expired).has_value());
+  EXPECT_TRUE(expired);  // had a window, refused it — not a plain miss
+  // A user never fetched is a plain miss, not an expiry.
+  expired = true;
+  EXPECT_FALSE(store.LastKnownFeatures(10, &expired).has_value());
+  EXPECT_FALSE(expired);
+
+  FeatureStoreStats stats = store.stats();
+  EXPECT_EQ(stats.stale_expired, 1);
+  EXPECT_EQ(stats.stale_hits, 1);
+  EXPECT_GT(stats.served_staleness_p50_micros, 0);
+  EXPECT_LE(stats.served_staleness_p50_micros,
+            stats.served_staleness_p99_micros);
+  // The refused fetch never entered the served histogram: the recorded
+  // percentiles stay inside the budget (bucket midpoints can exceed the
+  // raw age by at most 50%).
+  EXPECT_LE(stats.served_staleness_p99_micros,
+            config.max_stale_age_micros + config.max_stale_age_micros / 2);
+
+  // A refresh restarts the clock: the window serves again.
+  (void)store.GetFeatures(9);
+  EXPECT_TRUE(store.LastKnownFeatures(9).has_value());
+}
+
+/// Store-level write-ahead round trip: clicks recorded through a journaled
+/// store land in a second store over the same directory, with the
+/// republish callback seeing every click in append order.
+TEST(FeatureStoreTest, JournaledClicksSurviveRestartViaRecover) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / "basm_store_journal";
+  fs::remove_all(dir);
+  data::World world(StoreWorldConfig());
+  FeatureStoreConfig config;
+  config.journal.dir = (dir / "journal").string();
+
+  Rng rng(7);
+  std::vector<std::pair<int32_t, int32_t>> written;  // (user, item)
+  {
+    serving::FeatureServer server(world, world.config().seq_len, 3);
+    FeatureStore store(&server, config);
+    ASSERT_TRUE(store.journal_enabled());
+    store.journal()->SetFaultInjector(nullptr);
+    for (int32_t u = 0; u < 16; ++u) {
+      data::BehaviorEvent ev = world.SampleHistory(u, 1, rng)[0];
+      store.RecordClick(u, ev);
+      written.emplace_back(u, ev.item_id);
+    }
+    FeatureStoreStats stats = store.stats();
+    EXPECT_TRUE(stats.journal_enabled);
+    EXPECT_EQ(stats.journal_appends, 16);
+    EXPECT_EQ(stats.journal_write_failures, 0);
+  }
+
+  serving::FeatureServer recovered_server(world, world.config().seq_len, 3);
+  FeatureStore recovered(&recovered_server, config);
+  recovered.journal()->SetFaultInjector(nullptr);
+  std::vector<std::pair<int32_t, int32_t>> replayed;
+  ReplayReport report;
+  Status status = recovered.RecoverFromJournal(
+      [&](int32_t user, const data::BehaviorEvent& event) {
+        replayed.emplace_back(user, event.item_id);
+      },
+      &report);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(report.recovered, 16);
+  EXPECT_EQ(report.truncated_tail_bytes, 0);
+  EXPECT_EQ(replayed, written);  // every click, in append order
+  // The replayed clicks are applied to the backing server: each user's
+  // live window now leads with the recovered click.
+  for (const auto& [user, item] : written) {
+    EXPECT_EQ(recovered_server.GetUserFeatures(user).behaviors[0].item_id,
+              item);
+  }
+  FeatureStoreStats stats = recovered.stats();
+  EXPECT_EQ(stats.journal_recovered, 16);
+  EXPECT_EQ(stats.journal_truncated_tail_bytes, 0);
+}
+
+/// A store without a journal directory keeps the old semantics: clicks
+/// apply directly, recovery is a no-op, and no journal stats are exported.
+TEST(FeatureStoreTest, JournalOffIsZeroCostAndRecoverIsNoOp) {
+  data::World world(StoreWorldConfig());
+  serving::FeatureServer server(world, world.config().seq_len, 3);
+  FeatureStore store(&server);
+  EXPECT_FALSE(store.journal_enabled());
+  EXPECT_EQ(store.journal(), nullptr);
+
+  Rng rng(3);
+  store.RecordClick(4, world.SampleHistory(4, 1, rng)[0]);
+  ReplayReport report;
+  report.recovered = 99;  // must be reset by the no-op
+  EXPECT_TRUE(store.RecoverFromJournal(nullptr, &report).ok());
+  EXPECT_EQ(report.recovered, 0);
+  FeatureStoreStats stats = store.stats();
+  EXPECT_FALSE(stats.journal_enabled);
+  EXPECT_EQ(stats.journal_appends, 0);
 }
 
 }  // namespace

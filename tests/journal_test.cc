@@ -1,0 +1,317 @@
+#include "feature_store/journal.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "data/schema.h"
+#include "gtest/gtest.h"
+
+namespace basm::feature_store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty directory under the test temp root (wiped per call so
+/// reruns and cross-test names never collide).
+std::string JournalDir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("basm_journal_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+data::BehaviorEvent MakeEvent(int32_t i) {
+  data::BehaviorEvent e;
+  e.item_id = i;
+  e.category = i % 7;
+  e.brand = i % 11;
+  e.hour = i % 24;
+  e.time_period = i % 4;
+  e.city = i % 3;
+  e.geohash = i * 31;
+  return e;
+}
+
+/// Journal with the ambient env fault process disarmed: the chaos CI job
+/// arms BASM_FAULT_RATE suite-wide (the journal's ctor default is
+/// FaultInjector::FromEnv()), and these tests own their fault processes.
+std::unique_ptr<ClickJournal> OpenJournal(const JournalConfig& config) {
+  auto journal = std::make_unique<ClickJournal>(config);
+  journal->SetFaultInjector(nullptr);
+  return journal;
+}
+
+std::vector<ClickRecord> Replay(const std::string& dir,
+                                ReplayReport* report = nullptr) {
+  std::unique_ptr<ClickJournal> journal =
+      OpenJournal(JournalConfig{.dir = dir});
+  std::vector<ClickRecord> out;
+  Status status = journal->ReplayInto(
+      [&out](const ClickRecord& r) { out.push_back(r); }, report);
+  EXPECT_TRUE(status.ok()) << status.message();
+  return out;
+}
+
+/// One encoded click, exposed as raw bytes for the corruption corpus.
+std::vector<uint8_t> EncodedClick(int32_t user_id, int32_t i) {
+  std::vector<uint8_t> bytes;
+  ClickJournal::EncodeRecord(ClickRecord{user_id, MakeEvent(i)}, &bytes);
+  return bytes;
+}
+
+/// Writes `bytes` as a single sealed segment so a fresh journal replays it.
+void WriteSealedSegment(const std::string& dir,
+                        const std::vector<uint8_t>& bytes) {
+  std::ofstream out(fs::path(dir) / "seg-00000000.bjl", std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// --- happy path -----------------------------------------------------------
+
+TEST(JournalTest, AppendThenReplayRoundTripsEveryField) {
+  const std::string dir = JournalDir("roundtrip");
+  {
+    std::unique_ptr<ClickJournal> journal =
+        OpenJournal(JournalConfig{.dir = dir});
+    ASSERT_TRUE(journal->healthy());
+    for (int32_t i = 0; i < 25; ++i) {
+      ASSERT_TRUE(journal->AppendRecord(100 + i, MakeEvent(i)).ok());
+    }
+    EXPECT_EQ(journal->stats().appends, 25);
+  }
+  std::vector<ClickRecord> recovered = Replay(dir);
+  ASSERT_EQ(recovered.size(), 25u);
+  for (int32_t i = 0; i < 25; ++i) {
+    const ClickRecord& r = recovered[i];
+    const data::BehaviorEvent want = MakeEvent(i);
+    EXPECT_EQ(r.user_id, 100 + i);
+    EXPECT_EQ(r.event.item_id, want.item_id);
+    EXPECT_EQ(r.event.category, want.category);
+    EXPECT_EQ(r.event.brand, want.brand);
+    EXPECT_EQ(r.event.hour, want.hour);
+    EXPECT_EQ(r.event.time_period, want.time_period);
+    EXPECT_EQ(r.event.city, want.city);
+    EXPECT_EQ(r.event.geohash, want.geohash);
+  }
+}
+
+TEST(JournalTest, GroupCommitBatchesFsyncs) {
+  const std::string dir = JournalDir("group_commit");
+  JournalConfig config{.dir = dir};
+  config.group_commit_appends = 8;
+  config.flush_interval_micros = int64_t{1} << 40;  // count-driven only
+  std::unique_ptr<ClickJournal> journal = OpenJournal(config);
+  for (int32_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(journal->AppendRecord(i, MakeEvent(i)).ok());
+  }
+  JournalStats stats = journal->stats();
+  EXPECT_EQ(stats.appends, 32);
+  EXPECT_EQ(stats.fsyncs, 4);  // one per full group of 8
+}
+
+TEST(JournalTest, ZeroFlushIntervalFsyncsEveryAppend) {
+  const std::string dir = JournalDir("sync_every");
+  JournalConfig config{.dir = dir};
+  config.flush_interval_micros = 0;
+  std::unique_ptr<ClickJournal> journal = OpenJournal(config);
+  for (int32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(journal->AppendRecord(i, MakeEvent(i)).ok());
+  }
+  EXPECT_EQ(journal->stats().fsyncs, 5);
+}
+
+TEST(JournalTest, RotationSealsFullSegmentsAndReplayCrossesThem) {
+  const std::string dir = JournalDir("rotation");
+  JournalConfig config{.dir = dir};
+  config.max_segment_bytes = 100;  // ~2 records per segment
+  {
+    std::unique_ptr<ClickJournal> journal = OpenJournal(config);
+    for (int32_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(journal->AppendRecord(i, MakeEvent(i)).ok());
+    }
+    EXPECT_GE(journal->stats().rotations, 3);
+  }
+  ReplayReport report;
+  std::vector<ClickRecord> recovered = Replay(dir, &report);
+  ASSERT_EQ(recovered.size(), 10u);
+  EXPECT_GE(report.segments, 4);
+  EXPECT_EQ(report.truncated_tail_bytes, 0);
+  // Order is preserved across segment boundaries.
+  for (int32_t i = 0; i < 10; ++i) EXPECT_EQ(recovered[i].user_id, i);
+}
+
+TEST(JournalTest, SecondReplayAfterTruncationIsCleanAndIdentical) {
+  const std::string dir = JournalDir("replay_twice");
+  {
+    std::unique_ptr<ClickJournal> journal =
+        OpenJournal(JournalConfig{.dir = dir});
+    for (int32_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE(journal->AppendRecord(i, MakeEvent(i)).ok());
+    }
+  }
+  // Simulate a crash torn tail: garbage appended to the crashed segment.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::app);
+    out << "torn-half-record";
+  }
+  ReplayReport first;
+  EXPECT_EQ(Replay(dir, &first).size(), 5u);
+  EXPECT_EQ(first.truncated_tail_bytes, 16);
+  // The truncation was persisted in place: a second recovery sees a clean
+  // journal with the same five records.
+  ReplayReport second;
+  EXPECT_EQ(Replay(dir, &second).size(), 5u);
+  EXPECT_EQ(second.truncated_tail_bytes, 0);
+}
+
+// --- fault injection ------------------------------------------------------
+
+TEST(JournalTest, InjectedFaultDropsAppendAndCountsWriteFailure) {
+  const std::string dir = JournalDir("fault");
+  std::unique_ptr<ClickJournal> owned =
+      OpenJournal(JournalConfig{.dir = dir});
+  ClickJournal& journal = *owned;
+  FaultInjector injector(7);
+  FaultSiteConfig fault;
+  fault.error_probability = 1.0;
+  injector.Configure(std::string(kJournalFaultSite), fault);
+  journal.SetFaultInjector(&injector);
+  EXPECT_FALSE(journal.AppendRecord(1, MakeEvent(1)).ok());
+  journal.SetFaultInjector(nullptr);
+  EXPECT_TRUE(journal.AppendRecord(2, MakeEvent(2)).ok());
+  JournalStats stats = journal.stats();
+  EXPECT_EQ(stats.write_failures, 1);
+  EXPECT_EQ(stats.appends, 1);
+}
+
+TEST(JournalTest, UnusableDirectoryFailsSoftlyNeverThrows) {
+  // A regular file where the directory should be: the journal must come up
+  // broken (not throw) and drop appends into write_failures.
+  const std::string blocker = JournalDir("blocked") + "/file";
+  { std::ofstream out(blocker); out << "x"; }
+  std::unique_ptr<ClickJournal> journal =
+      OpenJournal(JournalConfig{.dir = blocker + "/sub"});
+  EXPECT_FALSE(journal->healthy());
+  EXPECT_FALSE(journal->AppendRecord(1, MakeEvent(1)).ok());
+  EXPECT_EQ(journal->stats().write_failures, 1);
+}
+
+// --- corruption corpus (mirrors net_test's malformed-frame suite) ---------
+
+TEST(JournalTest, ReplayTruncationAtEveryPrefixLength) {
+  std::vector<uint8_t> bytes = EncodedClick(1, 1);
+  const size_t record_size = bytes.size();
+  std::vector<uint8_t> more = EncodedClick(2, 2);
+  bytes.insert(bytes.end(), more.begin(), more.end());
+  for (size_t len = 0; len <= bytes.size(); ++len) {
+    const std::string dir = JournalDir("prefix");
+    WriteSealedSegment(dir,
+                       std::vector<uint8_t>(bytes.begin(), bytes.begin() + len));
+    ReplayReport report;
+    std::vector<ClickRecord> recovered = Replay(dir, &report);
+    const size_t complete = len / record_size;  // records fully present
+    ASSERT_EQ(recovered.size(), complete) << "prefix len " << len;
+    EXPECT_EQ(report.truncated_tail_bytes,
+              static_cast<int64_t>(len - complete * record_size))
+        << "prefix len " << len;
+  }
+}
+
+TEST(JournalTest, EverySingleBitFlipInARecordIsRejected) {
+  std::vector<uint8_t> clean = EncodedClick(9, 9);
+  std::vector<uint8_t> tail = EncodedClick(10, 10);
+  for (size_t byte = 0; byte < clean.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> bytes = clean;
+      bytes[byte] = static_cast<uint8_t>(bytes[byte] ^ (1u << bit));
+      ClickRecord record;
+      size_t consumed = 0;
+      Status decoded = ClickJournal::DecodeRecord(bytes.data(), bytes.size(),
+                                                  &record, &consumed);
+      ASSERT_FALSE(decoded.ok())
+          << "bit " << bit << " of byte " << byte << " accepted";
+      // And through replay: the flip truncates at record 1, so the intact
+      // record behind it is (correctly, by the torn-tail rule) lost too.
+      bytes.insert(bytes.end(), tail.begin(), tail.end());
+      const std::string dir = JournalDir("bitflip");
+      WriteSealedSegment(dir, bytes);
+      ReplayReport report;
+      EXPECT_EQ(Replay(dir, &report).size(), 0u);
+      EXPECT_EQ(report.truncated_tail_bytes,
+                static_cast<int64_t>(bytes.size()));
+    }
+  }
+}
+
+TEST(JournalTest, HostileLengthFieldsNeverReadPastTheBuffer) {
+  ClickRecord record;
+  size_t consumed = 0;
+  // Hostile payload sizes patched into an otherwise-valid header. The
+  // exact-size heap buffer makes any overread an ASan failure.
+  for (uint32_t hostile : {uint32_t{33}, uint32_t{4096}, uint32_t{4097},
+                           uint32_t{0x7FFFFFFF}, uint32_t{0xFFFFFFFF}}) {
+    std::vector<uint8_t> bytes = EncodedClick(3, 3);
+    bytes[8] = static_cast<uint8_t>(hostile & 0xFF);
+    bytes[9] = static_cast<uint8_t>((hostile >> 8) & 0xFF);
+    bytes[10] = static_cast<uint8_t>((hostile >> 16) & 0xFF);
+    bytes[11] = static_cast<uint8_t>((hostile >> 24) & 0xFF);
+    EXPECT_FALSE(ClickJournal::DecodeRecord(bytes.data(), bytes.size(),
+                                            &record, &consumed)
+                     .ok())
+        << "payload_size " << hostile;
+    EXPECT_EQ(consumed, 0u);
+  }
+  // A header alone claiming a payload it does not have.
+  std::vector<uint8_t> header_only = EncodedClick(4, 4);
+  header_only.resize(kJournalHeaderBytes);
+  EXPECT_FALSE(ClickJournal::DecodeRecord(header_only.data(),
+                                          header_only.size(), &record,
+                                          &consumed)
+                   .ok());
+  // Empty and sub-header buffers.
+  EXPECT_FALSE(
+      ClickJournal::DecodeRecord(header_only.data(), 0, &record, &consumed)
+          .ok());
+  EXPECT_FALSE(
+      ClickJournal::DecodeRecord(header_only.data(), 7, &record, &consumed)
+          .ok());
+}
+
+TEST(JournalTest, WrongMagicVersionTypeAndFlagsAreRejected) {
+  ClickRecord record;
+  size_t consumed = 0;
+  auto expect_reject = [&](std::vector<uint8_t> bytes, const char* what) {
+    EXPECT_FALSE(ClickJournal::DecodeRecord(bytes.data(), bytes.size(),
+                                            &record, &consumed)
+                     .ok())
+        << what;
+  };
+  std::vector<uint8_t> clean = EncodedClick(5, 5);
+  std::vector<uint8_t> bad = clean;
+  bad[0] = 0x00;  // magic
+  expect_reject(bad, "magic");
+  bad = clean;
+  bad[4] = kJournalVersion + 1;
+  expect_reject(bad, "version");
+  bad = clean;
+  bad[5] = 0x7F;  // unknown record type
+  expect_reject(bad, "type");
+  bad = clean;
+  bad[6] = 0x01;  // nonzero flags
+  expect_reject(bad, "flags");
+  // The clean record still decodes (the corpus is testing the mutations,
+  // not the baseline).
+  EXPECT_TRUE(ClickJournal::DecodeRecord(clean.data(), clean.size(), &record,
+                                         &consumed)
+                  .ok());
+  EXPECT_EQ(consumed, clean.size());
+}
+
+}  // namespace
+}  // namespace basm::feature_store

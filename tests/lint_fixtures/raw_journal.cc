@@ -1,0 +1,13 @@
+// Fixture: direct click-journal IO that bypasses the FeatureStore's
+// write-ahead ordering. Lines 6 and 8 violate journal-io-outside-store;
+// line 10 is suppressed inline and line 12 is a qualified mention, not a
+// member call.
+void F(J& journal, J* wal) {
+  auto a = journal.AppendRecord(1, event);
+  (void)a;
+  auto b = wal->ReplayInto(apply);
+  (void)b;
+  auto c = journal.AppendRecord(2, event);  // basm-lint: allow(journal-io-outside-store)
+  (void)c;
+  using Fn = decltype(&J::AppendRecord);
+}

@@ -69,6 +69,15 @@ TEST(LintFixtureTest, RawFeatureFetchFlagsMemberCallsOnly) {
   EXPECT_EQ(findings[1].line, 7);
 }
 
+TEST(LintFixtureTest, RawJournalIoFlagsMemberCallsOnly) {
+  std::vector<Finding> findings = LintFile(Fixture("raw_journal.cc"));
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "journal-io-outside-store");
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_EQ(findings[1].rule, "journal-io-outside-store");
+  EXPECT_EQ(findings[1].line, 8);
+}
+
 // --- the negative case: a file full of near-misses produces nothing ------
 
 TEST(LintFixtureTest, CleanFixtureHasZeroFindings) {
@@ -118,6 +127,14 @@ TEST(LintContentTest, RawFeatureFetchAllowedInsideTheStore) {
   const std::string content = "auto f = server_->FetchUserFeatures(id);\n";
   EXPECT_TRUE(
       LintContent("src/feature_store/feature_store.cc", content).empty());
+  EXPECT_EQ(LintContent("src/serving/pipeline.cc", content).size(), 1u);
+}
+
+TEST(LintContentTest, RawJournalIoAllowedInsideTheStoreAndItsTests) {
+  const std::string content = "auto s = journal_->AppendRecord(id, event);\n";
+  EXPECT_TRUE(
+      LintContent("src/feature_store/feature_store.cc", content).empty());
+  EXPECT_TRUE(LintContent("tests/journal_test.cc", content).empty());
   EXPECT_EQ(LintContent("src/serving/pipeline.cc", content).size(), 1u);
 }
 
@@ -184,6 +201,7 @@ TEST(LintRulesTest, CatalogNamesEveryEmittedRule) {
   EXPECT_TRUE(has("nondeterminism"));
   EXPECT_TRUE(has("iostream-in-header"));
   EXPECT_TRUE(has("feature-fetch-outside-store"));
+  EXPECT_TRUE(has("journal-io-outside-store"));
 }
 
 }  // namespace

@@ -76,6 +76,65 @@ bool ParseNumber(const std::string& text, size_t* i, double* out) {
   return true;
 }
 
+/// Skips one JSON value at *i that is not an object (callers track object
+/// nesting themselves): a string, true/false/null, an array (recursively,
+/// string-aware), or a number. Benches grow new non-numeric cells over
+/// time; the gate must ignore what it doesn't gate, never error on it.
+bool SkipValue(const std::string& text, size_t* i) {
+  SkipSpace(text, i);
+  if (*i >= text.size()) return false;
+  char c = text[*i];
+  if (c == '"') {
+    std::string ignored;
+    return ParseString(text, i, &ignored);
+  }
+  if (c == '[') {
+    ++*i;
+    while (*i < text.size()) {
+      SkipSpace(text, i);
+      if (*i >= text.size()) return false;
+      if (text[*i] == ']') {
+        ++*i;
+        return true;
+      }
+      if (text[*i] == ',') {
+        ++*i;
+        continue;
+      }
+      if (text[*i] == '{') {
+        // Balance a nested object without interpreting it; strings are
+        // consumed whole so braces inside them don't count.
+        int depth = 0;
+        while (*i < text.size()) {
+          if (text[*i] == '"') {
+            std::string ignored;
+            if (!ParseString(text, i, &ignored)) return false;
+            continue;
+          }
+          if (text[*i] == '{') ++depth;
+          if (text[*i] == '}' && --depth == 0) {
+            ++*i;
+            break;
+          }
+          ++*i;
+        }
+        continue;
+      }
+      if (!SkipValue(text, i)) return false;
+    }
+    return false;  // unterminated array
+  }
+  for (const char* literal : {"true", "false", "null"}) {
+    size_t len = std::strlen(literal);
+    if (text.compare(*i, len, literal) == 0) {
+      *i += len;
+      return true;
+    }
+  }
+  double ignored = 0;
+  return ParseNumber(text, i, &ignored);
+}
+
 /// Extracts every gemm cell from one BENCH_kernels.json text. Scans for the
 /// "gemm" array and walks its objects; tolerates unknown keys by skipping
 /// to the next comma at the object's depth.
@@ -131,7 +190,14 @@ std::vector<Cell> ParseGemmCells(const std::string& text) {
           continue;
         }
         double value = 0;
-        if (!ParseNumber(text, &pos, &value)) break;
+        size_t value_start = pos;
+        if (!ParseNumber(text, &pos, &value)) {
+          // Non-numeric value (string, bool, null, array): not a gated
+          // metric — skip it and keep walking the object.
+          pos = value_start;
+          if (!SkipValue(text, &pos)) break;
+          continue;
+        }
         if (in_gflops) {
           cell.gflops[key] = value;
         } else if (key == "m") {
@@ -215,7 +281,14 @@ std::vector<NetCell> ParseNetCells(const std::string& text) {
           continue;
         }
         double value = 0;
-        if (!ParseNumber(text, &pos, &value)) break;
+        size_t value_start = pos;
+        if (!ParseNumber(text, &pos, &value)) {
+          // Non-numeric value (string, bool, null, array): not a gated
+          // metric — skip it and keep walking the object.
+          pos = value_start;
+          if (!SkipValue(text, &pos)) break;
+          continue;
+        }
         if (depth == 1) {
           if (key == "replicas") cell.replicas = static_cast<long>(value);
           else if (key == "qps") cell.qps = value;

@@ -31,6 +31,9 @@ constexpr PathAllowEntry kPathAllowlist[] = {
     {"raw-mutex", "common/synchronization.h"},
     {"nondeterminism", "common/rng."},
     {"feature-fetch-outside-store", "feature_store/"},
+    {"journal-io-outside-store", "feature_store/"},
+    {"journal-io-outside-store", "tests/journal_test"},
+    {"journal-io-outside-store", "tests/crash_recovery_test"},
 };
 
 bool PathAllowed(const std::string& rule, const std::string& path) {
@@ -147,6 +150,13 @@ const std::regex kNodiscardRe(R"(\[\[\s*nodiscard\s*\]\])");
 /// the server's own code never matches.
 const std::regex kRawFeatureFetchRe(R"((\.|->)\s*FetchUserFeatures\s*\()");
 
+/// Member calls of the raw click-journal IO surface (`x.AppendRecord(` /
+/// `x->ReplayInto(`). Durability must flow through FeatureStore::RecordClick
+/// / RecoverFromJournal so the write-ahead ordering (append before apply)
+/// cannot be bypassed; the store and the journal's own tests are
+/// path-allowlisted.
+const std::regex kRawJournalIoRe(R"((\.|->)\s*(AppendRecord|ReplayInto)\s*\()");
+
 }  // namespace
 
 std::vector<RuleInfo> Rules() {
@@ -171,6 +181,10 @@ std::vector<RuleInfo> Rules() {
        "direct FeatureServer::FetchUserFeatures call bypasses the sharded "
        "FeatureStore facade (stale cache, prefetch, fault accounting); "
        "fetch through feature_store::FeatureStore instead"},
+      {"journal-io-outside-store",
+       "direct ClickJournal append/replay bypasses the FeatureStore's "
+       "write-ahead ordering (journal before apply) and recovery "
+       "accounting; use FeatureStore::RecordClick / RecoverFromJournal"},
   };
 }
 
@@ -216,6 +230,11 @@ std::vector<Finding> LintContent(const std::string& path,
       report(line_no, raw, "feature-fetch-outside-store",
              "raw feature-server fetch; go through the FeatureStore facade "
              "(feature_store/feature_store.h)");
+    }
+    if (std::regex_search(line, kRawJournalIoRe)) {
+      report(line_no, raw, "journal-io-outside-store",
+             "raw click-journal IO; go through FeatureStore::RecordClick / "
+             "RecoverFromJournal (feature_store/feature_store.h)");
     }
     if (is_header && std::regex_search(line, kIostreamIncludeRe)) {
       report(line_no, raw, "iostream-in-header",
