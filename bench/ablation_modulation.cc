@@ -9,7 +9,7 @@
 #include "common/env.h"
 #include "common/table_printer.h"
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "train/trainer.h"
 
 int main() {
@@ -28,12 +28,12 @@ int main() {
 
     train::TrainConfig tc;
     tc.epochs = basm::FastMode() ? 1 : 2;
-    auto din = models::CreateModel(models::ModelKind::kDin, ds.schema, seed);
+    auto din = core::CreateModel(core::ModelKind::kDin, ds.schema, seed);
     train::Fit(*din, ds, tc);
     train::EvalResult din_eval = train::EvaluateOnTest(*din, ds);
 
     auto basm_model =
-        models::CreateModel(models::ModelKind::kBasm, ds.schema, seed);
+        core::CreateModel(core::ModelKind::kBasm, ds.schema, seed);
     train::Fit(*basm_model, ds, tc);
     train::EvalResult basm_eval = train::EvaluateOnTest(*basm_model, ds);
 

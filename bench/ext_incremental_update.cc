@@ -14,7 +14,7 @@
 #include "common/table_printer.h"
 #include "data/synth.h"
 #include "metrics/metrics.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "train/trainer.h"
 
 namespace {
@@ -70,9 +70,9 @@ int main() {
   tc.epochs = basm::FastMode() ? 1 : 2;
   std::printf("  warmup-training both arms on days 0-%d...\n",
               kWarmupDays - 1);
-  auto frozen = models::CreateModel(models::ModelKind::kBasm, ds.schema, seed);
+  auto frozen = core::CreateModel(core::ModelKind::kBasm, ds.schema, seed);
   train::FitExamples(*frozen, warmup, ds.schema, tc);
-  auto updated = models::CreateModel(models::ModelKind::kBasm, ds.schema, seed);
+  auto updated = core::CreateModel(core::ModelKind::kBasm, ds.schema, seed);
   train::FitExamples(*updated, warmup, ds.schema, tc);
 
   train::TrainConfig daily = tc;

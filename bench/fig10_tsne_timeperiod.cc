@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 
 int main() {
   using namespace basm;
@@ -16,7 +16,7 @@ int main() {
   bench::TrainedBasm tb = bench::TrainBasmOnEleme(seed);
 
   std::printf("  training Base (DIN variant)...\n");
-  auto base = models::CreateModel(models::ModelKind::kBaseDin,
+  auto base = core::CreateModel(core::ModelKind::kBaseDin,
                                   tb.dataset.schema, seed);
   train::TrainConfig tc;
   tc.epochs = basm::FastMode() ? 1 : 2;

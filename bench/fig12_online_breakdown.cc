@@ -11,7 +11,7 @@
 #include "common/env.h"
 #include "common/table_printer.h"
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "serving/simulator.h"
 #include "train/trainer.h"
 
@@ -26,13 +26,13 @@ int main() {
 
   std::printf("  training Base (DIN variant)...\n");
   auto base =
-      models::CreateModel(models::ModelKind::kBaseDin, ds.schema, seed);
+      core::CreateModel(core::ModelKind::kBaseDin, ds.schema, seed);
   train::TrainConfig tc;
   tc.epochs = basm::FastMode() ? 1 : 2;
   train::Fit(*base, ds, tc);
   std::printf("  training BASM...\n");
   auto basm_model =
-      models::CreateModel(models::ModelKind::kBasm, ds.schema, seed);
+      core::CreateModel(core::ModelKind::kBasm, ds.schema, seed);
   train::Fit(*basm_model, ds, tc);
 
   serving::AbTestConfig ab;

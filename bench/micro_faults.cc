@@ -18,11 +18,11 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
 #include "feature_store/feature_store.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -50,9 +50,9 @@ int main() {
       if (breaker.Allow()) breaker.RecordSuccess();
     });
     FaultInjector injector(42);
-    injector.Configure(serving::kFeatureFetchFaultSite, FaultSiteConfig{});
+    injector.Configure(feature_store::kFeatureFetchFaultSite, FaultSiteConfig{});
     double injector_ns = NanosPerOp(prim_iters, [&] {
-      (void)injector.Evaluate(serving::kFeatureFetchFaultSite);
+      (void)injector.Evaluate(feature_store::kFeatureFetchFaultSite);
     });
     RetryPolicy policy;
     Rng rng(7);
@@ -73,7 +73,7 @@ int main() {
   data::World world(config);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 42);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 42);
   model->SetTraining(false);
 
   runtime::LoadConfig load;
@@ -87,7 +87,7 @@ int main() {
   ec.max_wait_micros = 200;
 
   auto run_arm = [&](bool armed) {
-    serving::FeatureServer features(world, world.config().seq_len, 3);
+    feature_store::FeatureServer features(world, world.config().seq_len, 3);
     feature_store::FeatureStore store(&features);
     serving::Pipeline pipeline(world, &store, &recall, model.get(),
                                /*recall_size=*/24, /*expose_k=*/8);

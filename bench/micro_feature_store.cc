@@ -39,10 +39,10 @@
 #include "common/timer.h"
 #include "data/synth.h"
 #include "feature_store/feature_store.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -88,7 +88,7 @@ int main() {
               "cache_entries");
   bool first = true;
   for (int64_t capacity : {16, 64, 256}) {
-    serving::FeatureServer server(world, world.config().seq_len, 3);
+    feature_store::FeatureServer server(world, world.config().seq_len, 3);
     FaultInjector storm(7);
     server.SetFaultInjector(&storm);
     feature_store::FeatureStoreConfig cache_config;
@@ -99,7 +99,7 @@ int main() {
     Rng rng(0xFEED);  // same user sequence for every capacity
     for (int64_t i = 0; i < warm_requests; ++i) {
       const int32_t user = static_cast<int32_t>(zipf.Sample(rng));
-      StatusOr<serving::FeatureServer::UserFeatures> fetched =
+      StatusOr<feature_store::FeatureServer::UserFeatures> fetched =
           store.FetchFeatures(user);
       if (!fetched.ok()) std::printf("unexpected warm failure\n");
     }
@@ -107,10 +107,10 @@ int main() {
     FaultSiteConfig outage;
     outage.error_probability = 1.0;
     outage.error_message = "abfs down";
-    storm.Configure(serving::kFeatureFetchFaultSite, outage);
+    storm.Configure(feature_store::kFeatureFetchFaultSite, outage);
     for (int64_t i = 0; i < outage_requests; ++i) {
       const int32_t user = static_cast<int32_t>(zipf.Sample(rng));
-      StatusOr<serving::FeatureServer::UserFeatures> fetched =
+      StatusOr<feature_store::FeatureServer::UserFeatures> fetched =
           store.FetchFeatures(user);
       if (!fetched.ok()) (void)store.LastKnownFeatures(user);
     }
@@ -145,17 +145,17 @@ int main() {
   // the fault-tolerant pipeline routes the foreground fetch through the
   // same fallible path, so the off-cell pays the RPC inline while the
   // on-cells overlap it with the previous batch's scoring.
-  serving::FeatureServer rpc_server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer rpc_server(world, world.config().seq_len, 3);
   FaultInjector rpc(11);
   FaultSiteConfig latency;
   latency.spike_probability = 1.0;
   latency.spike_micros = 150;
-  rpc.Configure(serving::kFeatureFetchFaultSite, latency);
+  rpc.Configure(feature_store::kFeatureFetchFaultSite, latency);
   rpc_server.SetFaultInjector(&rpc);
   feature_store::FeatureStore store(&rpc_server);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 42);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 42);
   model->SetTraining(false);
   serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/24, /*expose_k=*/8);
@@ -261,14 +261,14 @@ int main() {
   const std::filesystem::path journal_dir =
       std::filesystem::temp_directory_path() / "basm_bench_journal";
   struct ClickArm {
-    std::unique_ptr<serving::FeatureServer> server;
+    std::unique_ptr<feature_store::FeatureServer> server;
     std::unique_ptr<feature_store::FeatureStore> store;
     std::unique_ptr<serving::Pipeline> pipeline;
     std::vector<double> chunk_seconds_per_request;
   };
   auto make_click_arm = [&](bool journaled) {
     ClickArm arm;
-    arm.server = std::make_unique<serving::FeatureServer>(
+    arm.server = std::make_unique<feature_store::FeatureServer>(
         world, world.config().seq_len, 3);
     feature_store::FeatureStoreConfig click_config;
     if (journaled) {
@@ -366,7 +366,7 @@ int main() {
   // a few aging rounds inside the budget; then outlive the budget and show
   // every further fallback expiring to empty instead of serving.
   const int64_t budget_micros = 250 * 1000;
-  serving::FeatureServer ttl_server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer ttl_server(world, world.config().seq_len, 3);
   feature_store::FeatureStoreConfig ttl_config;
   ttl_config.max_stale_age_micros = budget_micros;
   feature_store::FeatureStore ttl_store(&ttl_server, ttl_config);

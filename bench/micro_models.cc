@@ -7,7 +7,7 @@
 #include "autograd/ops.h"
 #include "data/batch.h"
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 
 namespace {
 
@@ -38,21 +38,21 @@ data::Batch MakeSharedBatch(int64_t batch_size) {
 }
 
 void BM_ModelForward(benchmark::State& state) {
-  auto kind = static_cast<models::ModelKind>(state.range(0));
+  auto kind = static_cast<core::ModelKind>(state.range(0));
   int64_t batch_size = state.range(1);
-  auto model = models::CreateModel(kind, SharedDataset().schema, 42);
+  auto model = core::CreateModel(kind, SharedDataset().schema, 42);
   model->SetTraining(false);
   data::Batch batch = MakeSharedBatch(batch_size);
   for (auto _ : state) {
     benchmark::DoNotOptimize(model->ForwardLogits(batch).value().data());
   }
-  state.SetLabel(models::ModelKindName(kind));
+  state.SetLabel(core::ModelKindName(kind));
   state.SetItemsProcessed(state.iterations() * batch.size);
 }
 
 void BM_ModelTrainStep(benchmark::State& state) {
-  auto kind = static_cast<models::ModelKind>(state.range(0));
-  auto model = models::CreateModel(kind, SharedDataset().schema, 42);
+  auto kind = static_cast<core::ModelKind>(state.range(0));
+  auto model = core::CreateModel(kind, SharedDataset().schema, 42);
   model->SetTraining(true);
   data::Batch batch = MakeSharedBatch(256);
   for (auto _ : state) {
@@ -61,17 +61,17 @@ void BM_ModelTrainStep(benchmark::State& state) {
     ag::Backward(loss);
     model->ZeroGrad();
   }
-  state.SetLabel(models::ModelKindName(kind));
+  state.SetLabel(core::ModelKindName(kind));
   state.SetItemsProcessed(state.iterations() * batch.size);
 }
 
 void RegisterAll() {
   for (auto kind :
-       {models::ModelKind::kWideDeep, models::ModelKind::kDin,
-        models::ModelKind::kAutoInt, models::ModelKind::kStar,
-        models::ModelKind::kM2m, models::ModelKind::kApg,
-        models::ModelKind::kBasm, models::ModelKind::kBaseDin}) {
-    std::string name = models::ModelKindName(kind);
+       {core::ModelKind::kWideDeep, core::ModelKind::kDin,
+        core::ModelKind::kAutoInt, core::ModelKind::kStar,
+        core::ModelKind::kM2m, core::ModelKind::kApg,
+        core::ModelKind::kBasm, core::ModelKind::kBaseDin}) {
+    std::string name = core::ModelKindName(kind);
     benchmark::RegisterBenchmark(("BM_Forward64/" + name).c_str(),
                                  BM_ModelForward)
         ->Args({static_cast<int64_t>(kind), 64});

@@ -21,13 +21,13 @@
 #include "bench_json.h"
 #include "common/env.h"
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "net/client.h"
 #include "net/router.h"
 #include "net/server.h"
 #include "runtime/serving_engine.h"
 #include "feature_store/feature_store.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -93,11 +93,11 @@ int main() {
   config.num_cities = 8;
   data::World world(config);
 
-  serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureServer features(world, world.config().seq_len, 3);
   feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 42);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 42);
   model->SetTraining(false);
   serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/24, /*expose_k=*/8);

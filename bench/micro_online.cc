@@ -22,7 +22,7 @@
 #include "common/env.h"
 #include "common/timer.h"
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "nn/serialize.h"
 #include "online/model_registry.h"
 #include "online/model_slot.h"
@@ -30,7 +30,7 @@
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
 #include "feature_store/feature_store.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -41,7 +41,7 @@ using namespace basm;
 /// Deterministic click-feedback rows: one user's exposure stream in its
 /// home city, positions cycling within the schema's slot cardinality.
 std::vector<data::Example> MakeFeedback(const data::World& world,
-                                        serving::FeatureServer& features,
+                                        feature_store::FeatureServer& features,
                                         int32_t user, size_t n,
                                         uint64_t seed) {
   Rng rng(seed);
@@ -68,7 +68,7 @@ int main() {
   config.num_items = 1500;
   config.num_cities = 8;
   data::World world(config);
-  serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureServer features(world, world.config().seq_len, 3);
   feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
 
@@ -80,7 +80,7 @@ int main() {
 
   // ---- 1. checkpoint codec cost ---------------------------------------
   auto model =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 42);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 42);
   model->SetTraining(false);
 
   WallTimer timer;
@@ -91,7 +91,7 @@ int main() {
   double verify_ms = timer.ElapsedMillis();
   timer.Reset();
   auto rebuilt =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 7);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 7);
   Status load = nn::DeserializeParameters(*rebuilt, image);
   double rebuild_ms = timer.ElapsedMillis();
   std::printf("checkpoint codec (%s, %.2f MiB/version)\n",
@@ -106,7 +106,7 @@ int main() {
   online::ModelRegistry registry(/*keep_last=*/4);
   online::ModelSlot slot;
   online::OnlineTrainerConfig trainer_config;
-  trainer_config.model_kind = models::ModelKind::kBasm;
+  trainer_config.model_kind = core::ModelKind::kBasm;
   trainer_config.model_seed = 42;
   online::OnlineTrainer trainer(world.schema(), &registry, &slot,
                                 trainer_config);

@@ -7,9 +7,9 @@
 #include <memory>
 
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "feature_store/feature_store.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -49,12 +49,12 @@ void BM_RecallByGeohash(benchmark::State& state) {
 BENCHMARK(BM_RecallByGeohash);
 
 void BM_ServeRequest(benchmark::State& state) {
-  auto kind = static_cast<models::ModelKind>(state.range(0));
+  auto kind = static_cast<core::ModelKind>(state.range(0));
   const data::World& world = SharedWorld();
-  serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureServer features(world, world.config().seq_len, 3);
   feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
-  auto model = models::CreateModel(kind, world.schema(), 42);
+  auto model = core::CreateModel(kind, world.schema(), 42);
   model->SetTraining(false);
   serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/24, /*expose_k=*/8);
@@ -66,11 +66,11 @@ void BM_ServeRequest(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(pipeline.Serve(req, rng));
   }
-  state.SetLabel(models::ModelKindName(kind));
+  state.SetLabel(core::ModelKindName(kind));
 }
 BENCHMARK(BM_ServeRequest)
-    ->Arg(static_cast<int64_t>(models::ModelKind::kBaseDin))
-    ->Arg(static_cast<int64_t>(models::ModelKind::kBasm));
+    ->Arg(static_cast<int64_t>(core::ModelKind::kBaseDin))
+    ->Arg(static_cast<int64_t>(core::ModelKind::kBasm));
 
 }  // namespace
 

@@ -14,7 +14,7 @@
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "train/trainer.h"
 
 namespace {
@@ -28,8 +28,8 @@ void RunDataset(const data::SynthConfig& config, uint64_t model_seed) {
 
   TablePrinter table({"Model", "AUC", "TAUC", "CAUC", "NDCG3", "NDCG10",
                       "LogLoss", "TrainSec"});
-  for (models::ModelKind kind : models::TableFourModels()) {
-    auto model = models::CreateModel(kind, dataset.schema, model_seed);
+  for (core::ModelKind kind : core::TableFourModels()) {
+    auto model = core::CreateModel(kind, dataset.schema, model_seed);
     train::TrainConfig tc;
     tc.epochs = basm::FastMode() ? 1 : 2;
     WallTimer timer;

@@ -13,7 +13,7 @@
 #include "common/env.h"
 #include "common/table_printer.h"
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "train/trainer.h"
 
 int main() {
@@ -27,8 +27,8 @@ int main() {
 
   TablePrinter table({"Model", "Time/Epoch(s)", "Params", "ParamMB",
                       "ActivationMB", "TotalMB"});
-  for (models::ModelKind kind : models::TableFourModels()) {
-    auto model = models::CreateModel(kind, ds.schema, 42);
+  for (core::ModelKind kind : core::TableFourModels()) {
+    auto model = core::CreateModel(kind, ds.schema, 42);
     train::EfficiencyReport r =
         train::ProfileEfficiency(*model, ds, /*batch_size=*/256, probe);
     auto mb = [](int64_t bytes) {

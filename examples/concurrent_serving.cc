@@ -9,11 +9,11 @@
 #include <vector>
 
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
 #include "feature_store/feature_store.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -26,11 +26,11 @@ int main() {
   config.num_cities = 4;
   data::World world(config);
 
-  serving::FeatureServer features(world, world.config().seq_len, 7);
+  feature_store::FeatureServer features(world, world.config().seq_len, 7);
   feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 21);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 21);
   model->SetTraining(false);
   serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/20, /*expose_k=*/5);

@@ -11,7 +11,7 @@
 #include "data/synth.h"
 #include "models/ctr_model.h"
 #include "models/feature_encoder.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "nn/attention.h"
 #include "nn/layernorm.h"
 #include "nn/linear.h"
@@ -95,7 +95,7 @@ int main() {
               eval.summary.logloss);
 
   // ...and so does the serving A/B harness against a zoo baseline.
-  auto din = models::CreateModel(models::ModelKind::kDin, dataset.schema, 31);
+  auto din = core::CreateModel(core::ModelKind::kDin, dataset.schema, 31);
   train::Fit(*din, dataset, tc);
   data::World world(config);
   serving::AbTestConfig ab;

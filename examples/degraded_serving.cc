@@ -19,10 +19,10 @@
 #include "common/fault.h"
 #include "data/synth.h"
 #include "feature_store/feature_store.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -84,7 +84,7 @@ int main() {
   config.num_cities = 4;
   data::World world(config);
 
-  serving::FeatureServer features(world, world.config().seq_len, 7);
+  feature_store::FeatureServer features(world, world.config().seq_len, 7);
   // The sharded store in front of the raw server: every healthy fetch
   // refreshes the user's last-known window, which becomes the degraded
   // path's fallback when the server goes dark. The journal directory makes
@@ -99,7 +99,7 @@ int main() {
   feature_store::FeatureStore store(&features, store_config);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 21);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 21);
   model->SetTraining(false);
   serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/20, /*expose_k=*/5);
@@ -154,7 +154,7 @@ int main() {
     FaultSiteConfig outage;
     outage.error_probability = 1.0;
     outage.error_message = "feature store unreachable";
-    injector.Configure(serving::kFeatureFetchFaultSite, outage);
+    injector.Configure(feature_store::kFeatureFetchFaultSite, outage);
     runtime::LoadGenerator generator(world, load);
     runtime::LoadReport report = generator.Run(engine);
     PrintPhase("feature dependency down", report, engine.IntervalStats(),
@@ -173,7 +173,7 @@ int main() {
   // Phase 3: the dependency comes back. Half-open probes succeed, the
   // breaker closes, and serving returns to the full-feature (fresh) path.
   {
-    injector.Configure(serving::kFeatureFetchFaultSite, FaultSiteConfig{});
+    injector.Configure(feature_store::kFeatureFetchFaultSite, FaultSiteConfig{});
     runtime::LoadGenerator generator(world, load);
     runtime::LoadReport report = generator.Run(engine);
     PrintPhase("recovered", report, engine.IntervalStats(), breaker);
@@ -189,7 +189,7 @@ int main() {
   // new feature server, and hands each one back for the online-learning
   // feedback queue. No acknowledged click is lost to the crash.
   {
-    serving::FeatureServer reborn_features(world, world.config().seq_len, 7);
+    feature_store::FeatureServer reborn_features(world, world.config().seq_len, 7);
     feature_store::FeatureStore reborn(&reborn_features, store_config);
     int64_t republished = 0;
     feature_store::ReplayReport report;

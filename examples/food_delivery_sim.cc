@@ -11,7 +11,7 @@
 
 #include "common/env.h"
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "feature_store/feature_store.h"
 #include "serving/ab_stats.h"
 #include "serving/simulator.h"
@@ -41,15 +41,15 @@ int main() {
   tc.epochs = fast ? 1 : 2;
   std::printf("training Base (DIN variant) offline...\n");
   auto base =
-      models::CreateModel(models::ModelKind::kBaseDin, dataset.schema, 7);
+      core::CreateModel(core::ModelKind::kBaseDin, dataset.schema, 7);
   train::Fit(*base, dataset, tc);
   std::printf("training BASM offline...\n");
   auto basm_model =
-      models::CreateModel(models::ModelKind::kBasm, dataset.schema, 7);
+      core::CreateModel(core::ModelKind::kBasm, dataset.schema, 7);
   train::Fit(*basm_model, dataset, tc);
 
   // One serve-path walkthrough for a single request.
-  serving::FeatureServer features(world, config.seq_len, /*seed=*/3);
+  feature_store::FeatureServer features(world, config.seq_len, /*seed=*/3);
   feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   serving::Pipeline pipeline(world, &store, &recall, basm_model.get(),

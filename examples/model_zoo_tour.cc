@@ -9,7 +9,7 @@
 #include "common/env.h"
 #include "common/table_printer.h"
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "nn/serialize.h"
 #include "train/trainer.h"
 
@@ -29,10 +29,10 @@ int main() {
   TablePrinter table({"Model", "AUC", "TAUC", "CAUC", "LogLoss", "Params"});
   train::TrainConfig tc;
   tc.epochs = fast ? 1 : 2;
-  for (models::ModelKind kind :
-       {models::ModelKind::kWideDeep, models::ModelKind::kStar,
-        models::ModelKind::kBasm}) {
-    auto model = models::CreateModel(kind, dataset.schema, 21);
+  for (core::ModelKind kind :
+       {core::ModelKind::kWideDeep, core::ModelKind::kStar,
+        core::ModelKind::kBasm}) {
+    auto model = core::CreateModel(kind, dataset.schema, 21);
     std::printf("training %s...\n", model->name().c_str());
     train::Fit(*model, dataset, tc);
     train::EvalResult eval = train::EvaluateOnTest(*model, dataset);
@@ -42,13 +42,13 @@ int main() {
                   TablePrinter::Num(eval.summary.logloss),
                   std::to_string(model->ParameterCount())});
 
-    if (kind == models::ModelKind::kBasm) {
+    if (kind == core::ModelKind::kBasm) {
       // Checkpoint hand-off: save, reload into a fresh instance, verify the
       // reloaded model scores identically (the offline->RTP deployment).
       std::string path = "/tmp/basm_zoo_tour.ckpt";
       Status s = nn::SaveParameters(*model, path);
       std::printf("checkpoint save: %s\n", s.ToString().c_str());
-      auto reloaded = models::CreateModel(kind, dataset.schema, 99);
+      auto reloaded = core::CreateModel(kind, dataset.schema, 99);
       s = nn::LoadParameters(*reloaded, path);
       std::printf("checkpoint load: %s\n", s.ToString().c_str());
       train::EvalResult eval2 = train::EvaluateOnTest(*reloaded, dataset);

@@ -16,13 +16,13 @@
 
 #include "common/env.h"
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "net/client.h"
 #include "net/router.h"
 #include "net/server.h"
 #include "runtime/serving_engine.h"
 #include "feature_store/feature_store.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -36,11 +36,11 @@ int main() {
   config.num_cities = 4;
   data::World world(config);
 
-  serving::FeatureServer features(world, world.config().seq_len, 7);
+  feature_store::FeatureServer features(world, world.config().seq_len, 7);
   feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 21);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 21);
   model->SetTraining(false);
   serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/20, /*expose_k=*/5);

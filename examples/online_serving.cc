@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "data/synth.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "nn/serialize.h"
 #include "online/model_registry.h"
 #include "online/model_slot.h"
@@ -17,7 +17,7 @@
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
 #include "feature_store/feature_store.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -28,7 +28,7 @@ namespace {
 /// A handful of click-feedback rows for one user, the shape a production
 /// log-join would deliver minutes after the impressions.
 std::vector<data::Example> ClickFeedback(const data::World& world,
-                                         serving::FeatureServer& features,
+                                         feature_store::FeatureServer& features,
                                          int32_t user, uint64_t seed) {
   Rng rng(seed);
   auto behaviors = features.GetUserFeatures(user).behaviors;
@@ -64,7 +64,7 @@ int main() {
   config.num_items = 400;
   config.num_cities = 4;
   data::World world(config);
-  serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureServer features(world, world.config().seq_len, 3);
   feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
 
@@ -74,12 +74,12 @@ int main() {
   online::ModelRegistry registry(/*keep_last=*/4);
   online::ModelSlot slot;
   online::OnlineTrainerConfig trainer_config;
-  trainer_config.model_kind = models::ModelKind::kBasm;
+  trainer_config.model_kind = core::ModelKind::kBasm;
   trainer_config.model_seed = 42;
   online::OnlineTrainer trainer(world.schema(), &registry, &slot,
                                 trainer_config);
   auto bootstrap =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 42);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 42);
   bootstrap->SetTraining(false);
   Status seeded = trainer.PublishModel(*bootstrap, "bootstrap");
   BASM_CHECK(seeded.ok()) << seeded.message();
@@ -151,7 +151,7 @@ int main() {
   //    step — the same mechanism the trainer uses, driven by an operator.
   auto pinned = registry.Get(1);
   BASM_CHECK(pinned != nullptr);
-  auto rollback = models::CreateModel(models::ModelKind::kBasm,
+  auto rollback = core::CreateModel(core::ModelKind::kBasm,
                                       world.schema(), /*seed=*/1);
   Status restored = nn::DeserializeParameters(*rollback, pinned->bytes);
   BASM_CHECK(restored.ok()) << restored.message();

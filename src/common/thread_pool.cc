@@ -24,9 +24,12 @@ bool ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::Shutdown() {
   tasks_.Shutdown();
+  // Joining under mu_ is the documented hierarchy (DESIGN §10): the queue
+  // is already shut down, so workers are draining toward exit and the join
+  // is bounded; holding mu_ makes concurrent Shutdown calls idempotent.
   MutexLock lock(&mu_);
   for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
+    if (t.joinable()) t.join();  // basm-analyze: allow(blocking-under-lock)
   }
 }
 

@@ -1,4 +1,4 @@
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 
 #include "core/basm_model.h"
 #include "models/apg.h"
@@ -10,7 +10,7 @@
 #include "models/star.h"
 #include "models/wide_deep.h"
 
-namespace basm::models {
+namespace basm::core {
 
 namespace {
 const std::vector<int64_t> kHidden = {64, 32};
@@ -47,39 +47,39 @@ const char* ModelKindName(ModelKind kind) {
   return "unknown";
 }
 
-std::unique_ptr<CtrModel> CreateModel(ModelKind kind,
+std::unique_ptr<models::CtrModel> CreateModel(ModelKind kind,
                                       const data::Schema& schema,
                                       uint64_t seed) {
   Rng rng(seed);
   switch (kind) {
     case ModelKind::kWideDeep:
-      return std::make_unique<WideDeep>(schema, kEmbedDim, kHidden, rng);
+      return std::make_unique<models::WideDeep>(schema, kEmbedDim, kHidden, rng);
     case ModelKind::kDin:
-      return std::make_unique<Din>(schema, kEmbedDim, kHidden, rng);
+      return std::make_unique<models::Din>(schema, kEmbedDim, kHidden, rng);
     case ModelKind::kAutoInt:
-      return std::make_unique<AutoInt>(schema, kEmbedDim, /*token_dim=*/16,
+      return std::make_unique<models::AutoInt>(schema, kEmbedDim, /*token_dim=*/16,
                                        /*num_layers=*/2, /*num_heads=*/2,
                                        rng);
     case ModelKind::kStar:
-      return std::make_unique<Star>(schema, kEmbedDim, kHidden, rng);
+      return std::make_unique<models::Star>(schema, kEmbedDim, kHidden, rng);
     case ModelKind::kM2m:
-      return std::make_unique<M2m>(schema, kEmbedDim, kHidden, rng);
+      return std::make_unique<models::M2m>(schema, kEmbedDim, kHidden, rng);
     case ModelKind::kApg:
-      return std::make_unique<Apg>(schema, kEmbedDim, kHidden, /*rank=*/8,
+      return std::make_unique<models::Apg>(schema, kEmbedDim, kHidden, /*rank=*/8,
                                    rng);
     case ModelKind::kBasm: {
-      core::BasmConfig config;
+      BasmConfig config;
       config.embed_dim = kEmbedDim;
       config.tower_hidden = kHidden;
-      return std::make_unique<core::Basm>(schema, config, rng);
+      return std::make_unique<Basm>(schema, config, rng);
     }
     case ModelKind::kBaseDin:
-      return std::make_unique<BaseDin>(schema, kEmbedDim, kHidden, rng);
+      return std::make_unique<models::BaseDin>(schema, kEmbedDim, kHidden, rng);
     case ModelKind::kDeepFm:
-      return std::make_unique<DeepFm>(schema, kEmbedDim, kHidden, rng);
+      return std::make_unique<models::DeepFm>(schema, kEmbedDim, kHidden, rng);
   }
   BASM_CHECK(false) << "unknown model kind";
   return nullptr;
 }
 
-}  // namespace basm::models
+}  // namespace basm::core

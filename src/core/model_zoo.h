@@ -1,5 +1,5 @@
-#ifndef BASM_MODELS_MODEL_ZOO_H_
-#define BASM_MODELS_MODEL_ZOO_H_
+#ifndef BASM_CORE_MODEL_ZOO_H_
+#define BASM_CORE_MODEL_ZOO_H_
 
 #include <memory>
 #include <string>
@@ -8,7 +8,7 @@
 #include "data/schema.h"
 #include "models/ctr_model.h"
 
-namespace basm::models {
+namespace basm::core {
 
 /// Model identifiers as they appear in Table IV, plus the online base model.
 enum class ModelKind {
@@ -31,10 +31,10 @@ const char* ModelKindName(ModelKind kind);
 
 /// Builds a model with the zoo's shared hyperparameters (embed_dim 8,
 /// hidden {64, 32}) so Table IV compares architectures, not budgets.
-std::unique_ptr<CtrModel> CreateModel(ModelKind kind,
+std::unique_ptr<models::CtrModel> CreateModel(ModelKind kind,
                                       const data::Schema& schema,
                                       uint64_t seed);
 
-}  // namespace basm::models
+}  // namespace basm::core
 
-#endif  // BASM_MODELS_MODEL_ZOO_H_
+#endif  // BASM_CORE_MODEL_ZOO_H_

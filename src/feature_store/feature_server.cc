@@ -1,11 +1,11 @@
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 
 #include <chrono>
 #include <thread>
 
 #include "common/logging.h"
 
-namespace basm::serving {
+namespace basm::feature_store {
 
 FeatureServer::FeatureServer(const data::World& world, int64_t history_len,
                              uint64_t seed)
@@ -60,4 +60,4 @@ void FeatureServer::RecordClick(int32_t user_id,
   while (static_cast<int64_t>(h.size()) > history_len_) h.pop_back();
 }
 
-}  // namespace basm::serving
+}  // namespace basm::feature_store

@@ -1,5 +1,5 @@
-#ifndef BASM_SERVING_FEATURE_SERVER_H_
-#define BASM_SERVING_FEATURE_SERVER_H_
+#ifndef BASM_FEATURE_STORE_FEATURE_SERVER_H_
+#define BASM_FEATURE_STORE_FEATURE_SERVER_H_
 
 #include <deque>
 #include <string>
@@ -10,7 +10,7 @@
 #include "common/status.h"
 #include "data/synth.h"
 
-namespace basm::serving {
+namespace basm::feature_store {
 
 /// Fault site name the feature fetch path evaluates on every fallible
 /// fetch (see FaultInjector).
@@ -67,6 +67,6 @@ class FeatureServer {
   FaultInjector* fault_injector_;
 };
 
-}  // namespace basm::serving
+}  // namespace basm::feature_store
 
-#endif  // BASM_SERVING_FEATURE_SERVER_H_
+#endif  // BASM_FEATURE_STORE_FEATURE_SERVER_H_

@@ -19,7 +19,7 @@ uint64_t MixUser(int32_t user_id) {
 }
 }  // namespace
 
-FeatureStore::FeatureStore(serving::FeatureServer* server,
+FeatureStore::FeatureStore(feature_store::FeatureServer* server,
                            FeatureStoreConfig config)
     : server_(server), config_(config) {
   BASM_CHECK(server_ != nullptr);
@@ -90,7 +90,7 @@ void FeatureStore::RefreshLocked(
 
 bool FeatureStore::ConsumePrefetchLocked(
     Shard& shard, int32_t user_id,
-    serving::FeatureServer::UserFeatures* out) {
+    feature_store::FeatureServer::UserFeatures* out) {
   auto it = shard.index.find(user_id);
   if (it == shard.index.end() || !it->second->prefetch_fresh) return false;
   it->second->prefetch_fresh = false;  // one-shot either way
@@ -111,11 +111,11 @@ bool FeatureStore::ConsumePrefetchLocked(
   return true;
 }
 
-serving::FeatureServer::UserFeatures FeatureStore::GetFeatures(
+feature_store::FeatureServer::UserFeatures FeatureStore::GetFeatures(
     int32_t user_id) {
   Shard& shard = *shards_[ShardOf(user_id)];
   MutexLock lock(&shard.mu);
-  serving::FeatureServer::UserFeatures uf;
+  feature_store::FeatureServer::UserFeatures uf;
   if (ConsumePrefetchLocked(shard, user_id, &uf)) return uf;
   uf = server_->GetUserFeatures(user_id);
   ++shard.fresh_fetches;
@@ -123,20 +123,34 @@ serving::FeatureServer::UserFeatures FeatureStore::GetFeatures(
   return uf;
 }
 
-StatusOr<serving::FeatureServer::UserFeatures> FeatureStore::FetchFeatures(
+StatusOr<feature_store::FeatureServer::UserFeatures> FeatureStore::FetchFeatures(
     int32_t user_id) {
   Shard& shard = *shards_[ShardOf(user_id)];
-  MutexLock lock(&shard.mu);
-  serving::FeatureServer::UserFeatures uf;
-  if (ConsumePrefetchLocked(shard, user_id, &uf)) return uf;
-  StatusOr<serving::FeatureServer::UserFeatures> fetched =
+  uint64_t version = 0;
+  {
+    MutexLock lock(&shard.mu);
+    feature_store::FeatureServer::UserFeatures uf;
+    if (ConsumePrefetchLocked(shard, user_id, &uf)) return uf;
+    auto ver = shard.versions.find(user_id);
+    version = ver == shard.versions.end() ? 0 : ver->second;
+  }
+  // The server round-trip runs outside the shard lock (same discipline as
+  // Prefetch) so concurrent fetches and clicks on this shard overlap it.
+  // The version snapshot makes the cache refresh safe: a click racing the
+  // fetch bumps the version, and a stale-relative-to-that-click response is
+  // returned to the caller but not cached.
+  StatusOr<feature_store::FeatureServer::UserFeatures> fetched =
       server_->FetchUserFeatures(user_id);  // basm-lint: allow(feature-fetch-outside-store)
+  MutexLock lock(&shard.mu);
   if (!fetched.ok()) {
     ++shard.fetch_failures;
     return fetched.status();
   }
   ++shard.fresh_fetches;
-  RefreshLocked(shard, user_id, fetched.value().behaviors);
+  auto ver = shard.versions.find(user_id);
+  if ((ver == shard.versions.end() ? 0 : ver->second) == version) {
+    RefreshLocked(shard, user_id, fetched.value().behaviors);
+  }
   return fetched;
 }
 
@@ -227,7 +241,7 @@ bool FeatureStore::Prefetch(int32_t user_id,
   // fetches on this shard overlap it; the version snapshot above is what
   // makes that safe (a click racing the fetch bumps the version, and the
   // parked window is discarded at consumption instead of served).
-  StatusOr<serving::FeatureServer::UserFeatures> fetched =
+  StatusOr<feature_store::FeatureServer::UserFeatures> fetched =
       server_->FetchUserFeatures(user_id);  // basm-lint: allow(feature-fetch-outside-store)
   MutexLock lock(&shard.mu);
   ++shard.prefetch_issued;

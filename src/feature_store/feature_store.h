@@ -15,7 +15,7 @@
 #include "common/synchronization.h"
 #include "data/schema.h"
 #include "feature_store/journal.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 
 namespace basm::feature_store {
 
@@ -94,7 +94,7 @@ struct StaleFeatures {
 class FeatureStore {
  public:
   /// The server is borrowed and must outlive the store.
-  explicit FeatureStore(serving::FeatureServer* server,
+  explicit FeatureStore(feature_store::FeatureServer* server,
                         FeatureStoreConfig config = {});
 
   FeatureStore(const FeatureStore&) = delete;
@@ -105,7 +105,7 @@ class FeatureStore {
   /// is parked, else round-trips to the server; either way the result is
   /// bit-identical to the server's current window, and the LRU cache is
   /// refreshed with it.
-  serving::FeatureServer::UserFeatures GetFeatures(int32_t user_id);
+  feature_store::FeatureServer::UserFeatures GetFeatures(int32_t user_id);
 
   /// The fallible "RPC" fetch the retry/breaker loop calls. Consumes a
   /// version-valid prefetched window without touching the server;
@@ -113,7 +113,7 @@ class FeatureStore {
   /// feature_server.fetch fault site). Success refreshes the cache;
   /// failure surfaces the Status verbatim and leaves the last-known
   /// window untouched for LastKnownFeatures.
-  [[nodiscard]] StatusOr<serving::FeatureServer::UserFeatures> FetchFeatures(
+  [[nodiscard]] StatusOr<feature_store::FeatureServer::UserFeatures> FetchFeatures(
       int32_t user_id);
 
   /// The degraded fallback: the user's last successfully fetched window
@@ -166,7 +166,7 @@ class FeatureStore {
   FeatureStoreStats stats() const;
 
   const FeatureStoreConfig& config() const { return config_; }
-  serving::FeatureServer* server() const { return server_; }
+  feature_store::FeatureServer* server() const { return server_; }
   /// True when the LRU (and so stale serving + prefetch) is enabled.
   bool cache_enabled() const { return config_.capacity_per_shard > 0; }
   /// True when clicks are journaled (config().journal.dir non-empty).
@@ -233,10 +233,10 @@ class FeatureStore {
   /// Consumes a version-valid parked prefetch into *out; false when there
   /// is none (or a click invalidated it, which counts a discard).
   bool ConsumePrefetchLocked(Shard& shard, int32_t user_id,
-                             serving::FeatureServer::UserFeatures* out)
+                             feature_store::FeatureServer::UserFeatures* out)
       BASM_REQUIRES(shard.mu);
 
-  serving::FeatureServer* server_;
+  feature_store::FeatureServer* server_;
   FeatureStoreConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Non-null iff config_.journal.dir is non-empty.

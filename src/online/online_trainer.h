@@ -14,7 +14,7 @@
 #include "common/status.h"
 #include "common/synchronization.h"
 #include "data/schema.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "online/model_registry.h"
 #include "online/model_slot.h"
 #include "train/trainer.h"
@@ -36,7 +36,7 @@ train::TrainConfig DefaultIncrementalRecipe();
 struct OnlineTrainerConfig {
   /// Architecture skeleton used to materialize registry snapshots; must
   /// match the architecture of every published checkpoint.
-  models::ModelKind model_kind = models::ModelKind::kBasm;
+  core::ModelKind model_kind = core::ModelKind::kBasm;
   uint64_t model_seed = 42;
   /// Bounded click-feedback stream; submissions beyond it are dropped and
   /// counted (feedback is sampled telemetry, losing some under overload is

@@ -52,11 +52,11 @@ void ServingEngine::Shutdown() {
   MutexLock lock(&shutdown_mu_);
   if (shut_down_) return;
   queue_.Shutdown();   // workers drain the backlog, then NextBatch empties
-  workers_.Shutdown();  // join
+  workers_.Shutdown();  // basm-analyze: allow(blocking-under-lock)
   // After the workers: no one submits shards or prefetches once every
-  // batch has drained.
-  if (prefetch_pool_ != nullptr) prefetch_pool_->Shutdown();
-  if (scoring_pool_ != nullptr) scoring_pool_->Shutdown();
+  // batch has drained. The joins are bounded drains per DESIGN §10.
+  if (prefetch_pool_ != nullptr) prefetch_pool_->Shutdown();  // basm-analyze: allow(blocking-under-lock)
+  if (scoring_pool_ != nullptr) scoring_pool_->Shutdown();  // basm-analyze: allow(blocking-under-lock)
   shut_down_ = true;
 }
 
@@ -250,6 +250,11 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
   std::vector<data::Example> examples;
   std::vector<size_t> offsets;  // per-job start index into `examples`
   offsets.reserve(live.size() + 1);
+  // One example per candidate: reserving up front keeps the concatenation
+  // below from reallocating (and copying Examples) as jobs append.
+  size_t candidate_total = 0;
+  for (const auto& job : live) candidate_total += job->candidates.size();
+  examples.reserve(candidate_total);
   for (size_t j = 0; j < live.size(); ++j) {
     auto& job = live[j];
     offsets.push_back(examples.size());

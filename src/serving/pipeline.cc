@@ -122,7 +122,7 @@ std::vector<data::Example> Pipeline::BuildExamplesWithBehaviors(
 
 std::vector<data::Example> Pipeline::BuildExamples(
     const Request& request, const std::vector<int32_t>& candidates) const {
-  FeatureServer::UserFeatures uf = features_->GetFeatures(request.user_id);
+  feature_store::FeatureServer::UserFeatures uf = features_->GetFeatures(request.user_id);
   return BuildExamplesWithBehaviors(request, candidates, uf.behaviors);
 }
 
@@ -154,7 +154,7 @@ std::vector<data::Example> Pipeline::BuildExamplesFallible(
   using Clock = std::chrono::steady_clock;
   CircuitBreaker* breaker = fault_policy_.breaker;
   const RetryPolicy& retry = fault_policy_.retry;
-  FeatureServer::UserFeatures uf;
+  feature_store::FeatureServer::UserFeatures uf;
   uf.user_id = request.user_id;
   outcome->degraded = true;  // cleared on a successful fetch
 
@@ -168,7 +168,7 @@ std::vector<data::Example> Pipeline::BuildExamplesFallible(
     Rng jitter_rng = Rng(fault_policy_.jitter_seed)
                          .Fork(static_cast<uint64_t>(request.request_id));
     for (int32_t attempt = 1; attempt <= retry.max_attempts; ++attempt) {
-      StatusOr<FeatureServer::UserFeatures> fetched =
+      StatusOr<feature_store::FeatureServer::UserFeatures> fetched =
           features_->FetchFeatures(request.user_id);
       if (fetched.ok()) {
         uf = std::move(fetched).value();

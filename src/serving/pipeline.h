@@ -13,7 +13,7 @@
 #include "feature_store/feature_store.h"
 #include "models/ctr_model.h"
 #include "online/model_slot.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/recall.h"
 
 namespace basm::serving {

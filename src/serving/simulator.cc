@@ -15,9 +15,9 @@ AbTestResult OnlineSimulator::Run(models::CtrModel& base_model,
   treatment_model.SetTraining(false);
 
   RecallIndex recall(world_);
-  FeatureServer base_features(world_, world_.config().seq_len,
+  feature_store::FeatureServer base_features(world_, world_.config().seq_len,
                               config_.seed ^ 0xA);
-  FeatureServer treat_features(world_, world_.config().seq_len,
+  feature_store::FeatureServer treat_features(world_, world_.config().seq_len,
                                config_.seed ^ 0xA);  // identical bootstrap
   // Each arm owns its feature store: click feedback must stay arm-local
   // (versions and caches included) or the arms would contaminate each
@@ -70,7 +70,7 @@ AbTestResult OnlineSimulator::Run(models::CtrModel& base_model,
                          ArmResult& arm) {
         std::vector<RankedItem> slate =
             pipeline.RankCandidates(req, candidates);
-        FeatureServer::UserFeatures uf = features.GetFeatures(req.user_id);
+        feature_store::FeatureServer::UserFeatures uf = features.GetFeatures(req.user_id);
         for (const RankedItem& ri : slate) {
           float p = world_.ClickProbability(req.user_id, ri.item_id, req.hour,
                                             ri.position, req.city,

@@ -1,0 +1,218 @@
+#include "tools/analyze/analyze.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/analyze/include_graph.h"
+#include "tools/analyze/scanner.h"
+
+namespace basm::analyze {
+namespace {
+
+#ifndef BASM_SOURCE_DIR
+#error "BASM_SOURCE_DIR must point at the repository root"
+#endif
+
+std::string Fixture(const std::string& name) {
+  return std::string(BASM_SOURCE_DIR) + "/tests/lint_fixtures/analyze/" + name;
+}
+
+AnalyzeReport RunFixture(const std::string& fixture) {
+  return Analyze({Fixture(fixture)}, AnalyzeOptions{});
+}
+
+std::string Dump(const AnalyzeReport& report) {
+  std::string out;
+  for (const lint::Finding& f : report.findings) {
+    out += f.file + ":" + std::to_string(f.line) + " [" + f.rule + "] " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+// --- scanner ---------------------------------------------------------------
+
+TEST(AnalyzeScannerTest, ModuleOfTakesComponentAfterLastSrc) {
+  EXPECT_EQ(ModuleOf("src/data/loader.cc"), "data");
+  EXPECT_EQ(ModuleOf("/root/repo/src/net/wire.h"), "net");
+  EXPECT_EQ(ModuleOf("tests/lint_fixtures/analyze/src/data/x.h"), "data");
+  EXPECT_EQ(ModuleOf("tools/lint.cc"), "");
+}
+
+TEST(AnalyzeScannerTest, TracksLocksHeldAcrossCalls) {
+  FileScan scan = ScanContent("src/common/x.cc",
+                              "class C {\n"
+                              " public:\n"
+                              "  void F() {\n"
+                              "    Before();\n"
+                              "    basm::MutexLock lock(&mu_);\n"
+                              "    Under(1);\n"
+                              "  }\n"
+                              " private:\n"
+                              "  basm::Mutex mu_;\n"
+                              "};\n");
+  ASSERT_EQ(scan.functions.size(), 1u);
+  const FunctionScan& fn = scan.functions[0];
+  EXPECT_EQ(fn.cls, "C");
+  ASSERT_EQ(fn.calls.size(), 2u);
+  EXPECT_EQ(fn.calls[0].name, "Before");
+  EXPECT_TRUE(fn.calls[0].locks_held.empty());
+  EXPECT_EQ(fn.calls[1].name, "Under");
+  ASSERT_EQ(fn.calls[1].locks_held.size(), 1u);
+  EXPECT_EQ(fn.calls[1].locks_held[0], "mu_");
+}
+
+TEST(AnalyzeScannerTest, LambdaBodiesDoNotInheritEnclosingLocks) {
+  FileScan scan = ScanContent("src/common/x.cc",
+                              "class C {\n"
+                              " public:\n"
+                              "  void F() {\n"
+                              "    basm::MutexLock lock(&mu_);\n"
+                              "    pool_.Submit([this] {\n"
+                              "      Deferred();\n"
+                              "    });\n"
+                              "  }\n"
+                              " private:\n"
+                              "  basm::Mutex mu_;\n"
+                              "};\n");
+  ASSERT_EQ(scan.functions.size(), 1u);
+  bool saw_deferred = false;
+  for (const Call& call : scan.functions[0].calls) {
+    if (call.name != "Deferred") continue;
+    saw_deferred = true;
+    EXPECT_TRUE(call.locks_held.empty())
+        << "lambda body call must not run under the enclosing lock scope";
+  }
+  EXPECT_TRUE(saw_deferred);
+}
+
+// --- include-layering ------------------------------------------------------
+
+TEST(AnalyzeIncludeTest, AuthoritativeDagIsAcyclic) {
+  EXPECT_FALSE(ModuleTopoOrder().empty());
+}
+
+TEST(AnalyzeIncludeTest, UpwardEdgeIsFlagged) {
+  AnalyzeReport report = RunFixture("src/data/upward_include.h");
+  ASSERT_EQ(report.findings.size(), 1u) << Dump(report);
+  EXPECT_EQ(report.findings[0].rule, "include-layering");
+  EXPECT_EQ(report.findings[0].line, 4);
+  EXPECT_NE(report.findings[0].message.find("data -> runtime"),
+            std::string::npos);
+}
+
+TEST(AnalyzeIncludeTest, InlineAllowSuppresses) {
+  AnalyzeReport report = RunFixture("src/data/upward_include_allowed.h");
+  EXPECT_TRUE(report.findings.empty()) << Dump(report);
+  EXPECT_EQ(report.suppressed_inline, 1);
+}
+
+// --- lock-order ------------------------------------------------------------
+
+TEST(AnalyzeLockOrderTest, OpposedNestingYieldsEdgesAndCycle) {
+  AnalyzeReport report = RunFixture("lock_order_cycle.cc");
+  ASSERT_EQ(report.findings.size(), 3u) << Dump(report);
+  for (const lint::Finding& f : report.findings) {
+    EXPECT_EQ(f.rule, "lock-order");
+  }
+  int cycles = 0;
+  for (const lint::Finding& f : report.findings) {
+    if (f.message.find("cycle") != std::string::npos) ++cycles;
+  }
+  EXPECT_EQ(cycles, 1) << Dump(report);
+  // The witness lines are the inner acquisitions.
+  EXPECT_EQ(report.findings[0].line, 12);
+  EXPECT_EQ(report.findings[2].line, 16);
+}
+
+TEST(AnalyzeLockOrderTest, InlineAllowSuppressesUndocumentedEdge) {
+  AnalyzeReport report = RunFixture("lock_order_allowed.cc");
+  EXPECT_TRUE(report.findings.empty()) << Dump(report);
+  EXPECT_EQ(report.suppressed_inline, 1);
+}
+
+// --- blocking-under-lock ---------------------------------------------------
+
+TEST(AnalyzeBlockingTest, FsyncUnderMutexIsFlagged) {
+  AnalyzeReport report = RunFixture("blocking_bad.cc");
+  ASSERT_EQ(report.findings.size(), 1u) << Dump(report);
+  EXPECT_EQ(report.findings[0].rule, "blocking-under-lock");
+  EXPECT_EQ(report.findings[0].line, 10);
+  EXPECT_NE(report.findings[0].message.find("fsync"), std::string::npos);
+}
+
+TEST(AnalyzeBlockingTest, InlineAllowSuppresses) {
+  AnalyzeReport report = RunFixture("blocking_allowed.cc");
+  EXPECT_TRUE(report.findings.empty()) << Dump(report);
+  EXPECT_EQ(report.suppressed_inline, 1);
+}
+
+// --- hot-path-alloc --------------------------------------------------------
+
+TEST(AnalyzeHotPathTest, UnreservedGrowthIsFlagged) {
+  AnalyzeReport report = RunFixture("hot_path_bad.cc");
+  ASSERT_EQ(report.findings.size(), 1u) << Dump(report);
+  EXPECT_EQ(report.findings[0].rule, "hot-path-alloc");
+  EXPECT_EQ(report.findings[0].line, 11);
+  EXPECT_NE(report.findings[0].message.find("push_back"), std::string::npos);
+}
+
+TEST(AnalyzeHotPathTest, ReserveAndInlineAllowSuppress) {
+  AnalyzeReport report = RunFixture("hot_path_allowed.cc");
+  EXPECT_TRUE(report.findings.empty()) << Dump(report);
+  EXPECT_EQ(report.suppressed_inline, 1);
+}
+
+// --- report plumbing -------------------------------------------------------
+
+TEST(AnalyzeReportTest, PassCatalogHasFourPasses) {
+  std::vector<PassInfo> passes = Passes();
+  ASSERT_EQ(passes.size(), 4u);
+  EXPECT_EQ(passes[0].id, "include-layering");
+  EXPECT_EQ(passes[1].id, "lock-order");
+  EXPECT_EQ(passes[2].id, "blocking-under-lock");
+  EXPECT_EQ(passes[3].id, "hot-path-alloc");
+}
+
+TEST(AnalyzeReportTest, PassSelectionRestrictsRuns) {
+  AnalyzeOptions options;
+  options.passes = {"hot-path-alloc"};
+  AnalyzeReport report = Analyze({Fixture("blocking_bad.cc")}, options);
+  EXPECT_TRUE(report.findings.empty()) << Dump(report);
+}
+
+TEST(AnalyzeReportTest, JsonCarriesCountsAndFindings) {
+  AnalyzeReport report = RunFixture("blocking_bad.cc");
+  std::string json = ReportJson(report);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"blocking-under-lock\": 1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"line\": 10"), std::string::npos) << json;
+}
+
+TEST(AnalyzeReportTest, BaselineEntriesSuppress) {
+  AnalyzeOptions options;
+  options.baseline.push_back(
+      lint::SuppressEntry{"blocking-under-lock", "blocking_bad.cc",
+                          "fixture-only baseline entry"});
+  AnalyzeReport report = Analyze({Fixture("blocking_bad.cc")}, options);
+  EXPECT_TRUE(report.findings.empty()) << Dump(report);
+  EXPECT_EQ(report.suppressed_baseline, 1);
+}
+
+// --- the gate: the real tree must be clean ---------------------------------
+
+TEST(AnalyzeTreeGateTest, SrcTreeIsCleanUnderAllPasses) {
+  AnalyzeOptions options;
+  options.baseline = DefaultBaseline();
+  AnalyzeReport report =
+      Analyze({std::string(BASM_SOURCE_DIR) + "/src"}, options);
+  EXPECT_GT(report.files_scanned, 100);
+  EXPECT_TRUE(report.findings.empty())
+      << "basm_analyze must stay clean over src/:\n"
+      << Dump(report);
+}
+
+}  // namespace
+}  // namespace basm::analyze

@@ -12,10 +12,10 @@
 #include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
 #include "metrics/metrics.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -49,7 +49,7 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
   const double rate = EnvInt("BASM_FAULT_RATE", 5) / 100.0;
 
   data::World world(ChaosWorldConfig());
-  serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureServer features(world, world.config().seq_len, 3);
   // The storm store journals its clicks so the journal fault site is
   // exercised under the same chaos process as the fetch site.
   std::filesystem::path journal_dir =
@@ -60,7 +60,7 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
   feature_store::FeatureStore store(&features, store_config);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 13);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 13);
   model->SetTraining(false);
   serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/12, /*expose_k=*/5);
@@ -75,7 +75,7 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
   faults.spike_micros = 500;
   faults.outage_start_call = 150;
   faults.outage_calls = 1 << 20;
-  injector.Configure(serving::kFeatureFetchFaultSite, faults);
+  injector.Configure(feature_store::kFeatureFetchFaultSite, faults);
   // The journal rides the same injector with a heavy failure rate: an
   // injected append failure must drop the click (counted), never fail the
   // request that carried it.
@@ -171,7 +171,7 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
   // The dependency comes back: clear every fault and drive fresh traffic.
   // Half-open probes now succeed, the breaker closes, and serving returns
   // to the healthy path (no new degraded slates).
-  injector.Configure(serving::kFeatureFetchFaultSite, FaultSiteConfig{});
+  injector.Configure(feature_store::kFeatureFetchFaultSite, FaultSiteConfig{});
   LoadConfig recovery_load = load;
   recovery_load.num_requests = 150;
   recovery_load.seed = seed + 1;
@@ -202,11 +202,11 @@ TEST(ChaosTest, ServingSurvivesFaultsAndRecovers) {
 /// no breaker activity — the happy path stays the happy path.
 TEST(ChaosTest, ArmedButFaultFreeServesClean) {
   data::World world(ChaosWorldConfig());
-  serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureServer features(world, world.config().seq_len, 3);
   feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kDin, world.schema(), 17);
+      core::CreateModel(core::ModelKind::kDin, world.schema(), 17);
   model->SetTraining(false);
   serving::Pipeline pipeline(world, &store, &recall, model.get(), 12, 5);
 
@@ -255,18 +255,18 @@ TEST(ChaosTest, ArmedButFaultFreeServesClean) {
 
 TEST(ChaosTest, BreakerTransitionsAppearInSnapshotExport) {
   data::World world(ChaosWorldConfig());
-  serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureServer features(world, world.config().seq_len, 3);
   feature_store::FeatureStore store(&features);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kDin, world.schema(), 17);
+      core::CreateModel(core::ModelKind::kDin, world.schema(), 17);
   model->SetTraining(false);
   serving::Pipeline pipeline(world, &store, &recall, model.get(), 12, 5);
 
   FaultInjector injector(9);
   FaultSiteConfig kill;
   kill.error_probability = 1.0;
-  injector.Configure(serving::kFeatureFetchFaultSite, kill);
+  injector.Configure(feature_store::kFeatureFetchFaultSite, kill);
   features.SetFaultInjector(&injector);
   pipeline.SetFaultInjector(&injector);
 
@@ -324,11 +324,11 @@ TEST(ChaosTest, StaleWindowsOutrankEmptyWindowsUnderOutage) {
   data::World world(world_config);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 13);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 13);
   model->SetTraining(false);
 
-  serving::FeatureServer server_stale(world, world.config().seq_len, 3);
-  serving::FeatureServer server_empty(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server_stale(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server_empty(world, world.config().seq_len, 3);
   feature_store::FeatureStoreConfig no_cache;
   no_cache.capacity_per_shard = 0;
   feature_store::FeatureStore store_stale(&server_stale);
@@ -370,8 +370,8 @@ TEST(ChaosTest, StaleWindowsOutrankEmptyWindowsUnderOutage) {
 
   FaultSiteConfig outage;
   outage.error_probability = 1.0;  // ABFS fully dark
-  injector_stale.Configure(serving::kFeatureFetchFaultSite, outage);
-  injector_empty.Configure(serving::kFeatureFetchFaultSite, outage);
+  injector_stale.Configure(feature_store::kFeatureFetchFaultSite, outage);
+  injector_empty.Configure(feature_store::kFeatureFetchFaultSite, outage);
 
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(30);
@@ -451,13 +451,13 @@ TEST(ChaosTest, StaleWindowsOutrankEmptyWindowsUnderOutage) {
 /// budget, no matter how long the outage lasts.
 TEST(ChaosTest, TtlBudgetBoundsServedStalenessThenDegradesToEmpty) {
   data::World world(ChaosWorldConfig());
-  serving::FeatureServer features(world, world.config().seq_len, 3);
+  feature_store::FeatureServer features(world, world.config().seq_len, 3);
   feature_store::FeatureStoreConfig store_config;
   store_config.max_stale_age_micros = 1'000'000;  // 1s staleness budget
   feature_store::FeatureStore store(&features, store_config);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kDin, world.schema(), 17);
+      core::CreateModel(core::ModelKind::kDin, world.schema(), 17);
   model->SetTraining(false);
   serving::Pipeline pipeline(world, &store, &recall, model.get(), 12, 5);
 
@@ -475,7 +475,7 @@ TEST(ChaosTest, TtlBudgetBoundsServedStalenessThenDegradesToEmpty) {
   }
   FaultSiteConfig outage;
   outage.error_probability = 1.0;
-  injector.Configure(serving::kFeatureFetchFaultSite, outage);
+  injector.Configure(feature_store::kFeatureFetchFaultSite, outage);
 
   ServingEngine engine(&pipeline, EngineConfig{});
   // Phase 1: the outage starts inside the budget. Some slates serve stale,

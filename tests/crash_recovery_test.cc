@@ -20,7 +20,7 @@
 #include "online/model_registry.h"
 #include "online/model_slot.h"
 #include "online/online_trainer.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/recall.h"
 
 namespace basm::feature_store {
@@ -67,7 +67,7 @@ TEST(CrashRecoveryTest, ChildClickStorm) {
     GTEST_SKIP() << "crash-drill child body; run via the parent drill";
   }
   data::World world(CrashWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStoreConfig config;
   config.journal = DrillJournalConfig(dir);
   FeatureStore store(&server, config);
@@ -179,7 +179,7 @@ TEST(CrashRecoveryTest, SigkillMidStormRecoversAllAckedClicks) {
 
   // "Restart": a fresh server + journaled store over the same directory.
   data::World world(CrashWorldConfig());
-  serving::FeatureServer recovered_server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer recovered_server(world, world.config().seq_len, 3);
   FeatureStoreConfig store_config;
   store_config.journal = DrillJournalConfig(dir_str);
   FeatureStore recovered_store(&recovered_server, store_config);
@@ -189,7 +189,7 @@ TEST(CrashRecoveryTest, SigkillMidStormRecoversAllAckedClicks) {
   online::ModelRegistry registry;
   online::ModelSlot slot;
   online::OnlineTrainerConfig trainer_config;
-  trainer_config.model_kind = models::ModelKind::kDin;
+  trainer_config.model_kind = core::ModelKind::kDin;
   trainer_config.feedback_capacity = 1 << 16;
   online::OnlineTrainer trainer(world.schema(), &registry, &slot,
                                 trainer_config);
@@ -224,7 +224,7 @@ TEST(CrashRecoveryTest, SigkillMidStormRecoversAllAckedClicks) {
   // TAUC arms: the recovered server (journal replayed) vs a cold-start
   // server that lost every click. Ground truth is the post-crash state —
   // what the users actually clicked — so recovery must rank >= cold start.
-  serving::FeatureServer cold_server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer cold_server(world, world.config().seq_len, 3);
   serving::RecallIndex recall(world);
   const int32_t users = static_cast<int32_t>(world.config().num_users);
   std::vector<float> scores_recovered, scores_cold, labels;
@@ -279,7 +279,7 @@ TEST(CrashRecoveryTest, CleanRestartReplaysOnceAndOnlyOnce) {
 
   Rng rng(5);
   {
-    serving::FeatureServer server(world, world.config().seq_len, 3);
+    feature_store::FeatureServer server(world, world.config().seq_len, 3);
     FeatureStore store(&server, config);
     store.journal()->SetFaultInjector(nullptr);
     for (int32_t u = 0; u < 40; ++u) {
@@ -288,7 +288,7 @@ TEST(CrashRecoveryTest, CleanRestartReplaysOnceAndOnlyOnce) {
   }
   int64_t second_boot_recovered = 0;
   {
-    serving::FeatureServer server(world, world.config().seq_len, 3);
+    feature_store::FeatureServer server(world, world.config().seq_len, 3);
     FeatureStore store(&server, config);
     store.journal()->SetFaultInjector(nullptr);
     ReplayReport report;
@@ -302,7 +302,7 @@ TEST(CrashRecoveryTest, CleanRestartReplaysOnceAndOnlyOnce) {
     }
   }
   {
-    serving::FeatureServer server(world, world.config().seq_len, 3);
+    feature_store::FeatureServer server(world, world.config().seq_len, 3);
     FeatureStore store(&server, config);
     ReplayReport report;
     ASSERT_TRUE(store.RecoverFromJournal(nullptr, &report).ok());

@@ -12,8 +12,8 @@
 #include "data/synth.h"
 #include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
-#include "models/model_zoo.h"
-#include "serving/feature_server.h"
+#include "core/model_zoo.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -204,8 +204,8 @@ TEST(CircuitBreakerTest, FailedProbeReopens) {
 
 // --------------------------------------- status through feature path ----
 
-serving::FeatureServer MakeFeatureServer(const data::World& world) {
-  return serving::FeatureServer(world, world.config().seq_len, 3);
+feature_store::FeatureServer MakeFeatureServer(const data::World& world) {
+  return feature_store::FeatureServer(world, world.config().seq_len, 3);
 }
 
 data::SynthConfig TinyWorldConfig() {
@@ -219,14 +219,14 @@ data::SynthConfig TinyWorldConfig() {
 
 TEST(FeatureServerFaultTest, InjectedStatusRoundTripsCodeAndMessage) {
   data::World world(TinyWorldConfig());
-  serving::FeatureServer features = MakeFeatureServer(world);
+  feature_store::FeatureServer features = MakeFeatureServer(world);
 
   FaultInjector injector(21);
   FaultSiteConfig config;
   config.error_probability = 1.0;
   config.error_code = StatusCode::kDeadlineExceeded;
   config.error_message = "abfs lookup timed out";
-  injector.Configure(serving::kFeatureFetchFaultSite, config);
+  injector.Configure(feature_store::kFeatureFetchFaultSite, config);
   features.SetFaultInjector(&injector);
 
   // This suite tests the raw RPC surface itself, below the store facade.
@@ -249,7 +249,7 @@ TEST(FeatureServerFaultTest, InjectedStatusRoundTripsCodeAndMessage) {
 
 TEST(FeatureServerFaultTest, BadUserIdIsRecoverableNotFatal) {
   data::World world(TinyWorldConfig());
-  serving::FeatureServer features = MakeFeatureServer(world);
+  feature_store::FeatureServer features = MakeFeatureServer(world);
   features.SetFaultInjector(nullptr);
   auto fetched = features.FetchUserFeatures(-1);  // basm-lint: allow(feature-fetch-outside-store)
   ASSERT_FALSE(fetched.ok());
@@ -259,13 +259,13 @@ TEST(FeatureServerFaultTest, BadUserIdIsRecoverableNotFatal) {
 
 TEST(FeatureServerFaultTest, InjectedSpikeDelaysTheFetch) {
   data::World world(TinyWorldConfig());
-  serving::FeatureServer features = MakeFeatureServer(world);
+  feature_store::FeatureServer features = MakeFeatureServer(world);
 
   FaultInjector injector(23);
   FaultSiteConfig config;
   config.spike_probability = 1.0;
   config.spike_micros = 20000;  // 20ms
-  injector.Configure(serving::kFeatureFetchFaultSite, config);
+  injector.Configure(feature_store::kFeatureFetchFaultSite, config);
   features.SetFaultInjector(&injector);
 
   auto start = std::chrono::steady_clock::now();
@@ -285,7 +285,7 @@ class PipelineFaultTest : public ::testing::Test {
         store_(&features_),
         recall_(world_),
         injector_(31),
-        model_(models::CreateModel(models::ModelKind::kDin, world_.schema(),
+        model_(core::CreateModel(core::ModelKind::kDin, world_.schema(),
                                    13)),
         pipeline_(world_, &store_, &recall_, model_.get(),
                   /*recall_size=*/8, /*expose_k=*/4) {
@@ -305,7 +305,7 @@ class PipelineFaultTest : public ::testing::Test {
   }
 
   data::World world_;
-  serving::FeatureServer features_;
+  feature_store::FeatureServer features_;
   feature_store::FeatureStore store_;
   serving::RecallIndex recall_;
   FaultInjector injector_;
@@ -342,7 +342,7 @@ TEST_F(PipelineFaultTest, HappyPathIsBitIdenticalToInfalliblePath) {
 TEST_F(PipelineFaultTest, FetchFailureDegradesInsteadOfFailing) {
   FaultSiteConfig kill;
   kill.error_probability = 1.0;
-  injector_.Configure(serving::kFeatureFetchFaultSite, kill);
+  injector_.Configure(feature_store::kFeatureFetchFaultSite, kill);
 
   serving::FeatureFaultPolicy policy;
   policy.retry.max_attempts = 3;
@@ -369,7 +369,7 @@ TEST_F(PipelineFaultTest, FetchFailureDegradesInsteadOfFailing) {
 TEST_F(PipelineFaultTest, DeadlineBudgetStopsRetrying) {
   FaultSiteConfig kill;
   kill.error_probability = 1.0;
-  injector_.Configure(serving::kFeatureFetchFaultSite, kill);
+  injector_.Configure(feature_store::kFeatureFetchFaultSite, kill);
 
   serving::FeatureFaultPolicy policy;
   policy.retry.max_attempts = 10;
@@ -391,7 +391,7 @@ TEST_F(PipelineFaultTest, DeadlineBudgetStopsRetrying) {
 TEST_F(PipelineFaultTest, OpenBreakerShortCircuitsTheFetch) {
   FaultSiteConfig kill;
   kill.error_probability = 1.0;
-  injector_.Configure(serving::kFeatureFetchFaultSite, kill);
+  injector_.Configure(feature_store::kFeatureFetchFaultSite, kill);
 
   CircuitBreakerConfig breaker_config;
   breaker_config.failure_threshold = 2;
@@ -411,7 +411,7 @@ TEST_F(PipelineFaultTest, OpenBreakerShortCircuitsTheFetch) {
   EXPECT_TRUE(outcome.degraded);
   EXPECT_TRUE(outcome.breaker_opened);
   int64_t calls_after_first =
-      injector_.SiteStats(serving::kFeatureFetchFaultSite).calls;
+      injector_.SiteStats(feature_store::kFeatureFetchFaultSite).calls;
   EXPECT_EQ(calls_after_first, 2);  // stopped at the trip, not max_attempts
 
   // Second request: short-circuited, zero fetch attempts.
@@ -419,7 +419,7 @@ TEST_F(PipelineFaultTest, OpenBreakerShortCircuitsTheFetch) {
                                   &outcome);
   EXPECT_TRUE(outcome.degraded);
   EXPECT_TRUE(outcome.short_circuited);
-  EXPECT_EQ(injector_.SiteStats(serving::kFeatureFetchFaultSite).calls,
+  EXPECT_EQ(injector_.SiteStats(feature_store::kFeatureFetchFaultSite).calls,
             calls_after_first);
 }
 

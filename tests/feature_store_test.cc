@@ -10,9 +10,9 @@
 #include "data/synth.h"
 #include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "runtime/serving_engine.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -37,7 +37,7 @@ std::vector<int32_t> ItemIds(const std::vector<data::BehaviorEvent>& events) {
 
 TEST(FeatureStoreTest, ShardingIsStableAndInRange) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStoreConfig config;
   config.num_shards = 5;
   FeatureStore store(&server, config);
@@ -53,8 +53,8 @@ TEST(FeatureStoreTest, FetchesBitIdenticalToRawServer) {
   data::World world(StoreWorldConfig());
   // Twin servers with the same seed bootstrap identical behavior windows;
   // one serves through the store, the other is the raw reference.
-  serving::FeatureServer stored(world, world.config().seq_len, 3);
-  serving::FeatureServer raw(world, world.config().seq_len, 3);
+  feature_store::FeatureServer stored(world, world.config().seq_len, 3);
+  feature_store::FeatureServer raw(world, world.config().seq_len, 3);
   FeatureStore store(&stored);
 
   for (int32_t u = 0; u < 20; ++u) {
@@ -82,7 +82,7 @@ TEST(FeatureStoreTest, FetchesBitIdenticalToRawServer) {
 
 TEST(FeatureStoreTest, LruEvictsLeastRecentlyFetchedFirst) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStoreConfig config;
   config.num_shards = 1;  // one shard makes the LRU order observable
   config.capacity_per_shard = 2;
@@ -120,7 +120,7 @@ TEST(FeatureStoreTest, LruEvictsLeastRecentlyFetchedFirst) {
 
 TEST(FeatureStoreTest, CapacityBoundHoldsUnderChurn) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStoreConfig config;
   config.num_shards = 4;
   config.capacity_per_shard = 3;
@@ -139,7 +139,7 @@ TEST(FeatureStoreTest, CapacityBoundHoldsUnderChurn) {
 
 TEST(FeatureStoreTest, StalenessAgeGrowsUntilRefreshed) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStore store(&server);
 
   (void)store.GetFeatures(9);
@@ -158,7 +158,7 @@ TEST(FeatureStoreTest, StalenessAgeGrowsUntilRefreshed) {
 
 TEST(FeatureStoreTest, ZeroCapacityDisablesCacheAndPrefetch) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStoreConfig config;
   config.capacity_per_shard = 0;
   FeatureStore store(&server, config);
@@ -178,8 +178,8 @@ TEST(FeatureStoreTest, ZeroCapacityDisablesCacheAndPrefetch) {
 
 TEST(FeatureStoreTest, PrefetchIsConsumedOnceAndBitIdentical) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer stored(world, world.config().seq_len, 3);
-  serving::FeatureServer raw(world, world.config().seq_len, 3);
+  feature_store::FeatureServer stored(world, world.config().seq_len, 3);
+  feature_store::FeatureServer raw(world, world.config().seq_len, 3);
   FeatureStore store(&stored);
 
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
@@ -202,7 +202,7 @@ TEST(FeatureStoreTest, PrefetchIsConsumedOnceAndBitIdentical) {
 
 TEST(FeatureStoreTest, ClickInvalidatesParkedPrefetch) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStore store(&server);
 
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
@@ -217,7 +217,7 @@ TEST(FeatureStoreTest, ClickInvalidatesParkedPrefetch) {
   ev.time_period = 2;
   store.RecordClick(13, ev);
 
-  serving::FeatureServer::UserFeatures uf = store.GetFeatures(13);
+  feature_store::FeatureServer::UserFeatures uf = store.GetFeatures(13);
   EXPECT_EQ(uf.behaviors.front().item_id, 21);
   FeatureStoreStats stats = store.stats();
   EXPECT_EQ(stats.prefetch_discarded, 1);
@@ -226,7 +226,7 @@ TEST(FeatureStoreTest, ClickInvalidatesParkedPrefetch) {
 
 TEST(FeatureStoreTest, PrefetchPastDeadlineIsCancelled) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStore store(&server);
 
   auto passed = std::chrono::steady_clock::now() - std::chrono::seconds(1);
@@ -239,13 +239,13 @@ TEST(FeatureStoreTest, PrefetchPastDeadlineIsCancelled) {
 
 TEST(FeatureStoreTest, FetchFailureCountsAndPropagatesStatus) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FaultInjector injector(5);
   FaultSiteConfig kill;
   kill.error_probability = 1.0;
   kill.error_code = StatusCode::kUnavailable;
   kill.error_message = "abfs down";
-  injector.Configure(serving::kFeatureFetchFaultSite, kill);
+  injector.Configure(feature_store::kFeatureFetchFaultSite, kill);
   server.SetFaultInjector(&injector);
   FeatureStore store(&server);
 
@@ -264,7 +264,7 @@ TEST(FeatureStoreTest, FetchFailureCountsAndPropagatesStatus) {
 /// sanity-level — the point is data-race coverage of the per-shard locks.
 TEST(FeatureStoreTest, ConcurrentMixedOperationsAreSafe) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStoreConfig config;
   config.num_shards = 4;
   config.capacity_per_shard = 8;  // small: eviction churn under contention
@@ -326,11 +326,11 @@ TEST(FeatureStoreTest, EnginePrefetchSlatesBitIdenticalToSerial) {
   wc.num_users = 128;
   wc.num_items = 120;
   data::World world(wc);
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStore store(&server);
   serving::RecallIndex recall(world);
   auto model =
-      models::CreateModel(models::ModelKind::kBasm, world.schema(), 13);
+      core::CreateModel(core::ModelKind::kBasm, world.schema(), 13);
   model->SetTraining(false);
   serving::Pipeline pipeline(world, &store, &recall, model.get(),
                              /*recall_size=*/12, /*expose_k=*/5);
@@ -391,7 +391,7 @@ TEST(FeatureStoreTest, EnginePrefetchSlatesBitIdenticalToSerial) {
 /// budget is refused (degrading to empty) and counted, never served.
 TEST(FeatureStoreTest, TtlBudgetExpiresOldWindows) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStoreConfig config;
   config.max_stale_age_micros = 2000;  // 2ms budget
   FeatureStore store(&server, config);
@@ -442,7 +442,7 @@ TEST(FeatureStoreTest, JournaledClicksSurviveRestartViaRecover) {
   Rng rng(7);
   std::vector<std::pair<int32_t, int32_t>> written;  // (user, item)
   {
-    serving::FeatureServer server(world, world.config().seq_len, 3);
+    feature_store::FeatureServer server(world, world.config().seq_len, 3);
     FeatureStore store(&server, config);
     ASSERT_TRUE(store.journal_enabled());
     store.journal()->SetFaultInjector(nullptr);
@@ -457,7 +457,7 @@ TEST(FeatureStoreTest, JournaledClicksSurviveRestartViaRecover) {
     EXPECT_EQ(stats.journal_write_failures, 0);
   }
 
-  serving::FeatureServer recovered_server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer recovered_server(world, world.config().seq_len, 3);
   FeatureStore recovered(&recovered_server, config);
   recovered.journal()->SetFaultInjector(nullptr);
   std::vector<std::pair<int32_t, int32_t>> replayed;
@@ -486,7 +486,7 @@ TEST(FeatureStoreTest, JournaledClicksSurviveRestartViaRecover) {
 /// apply directly, recovery is a no-op, and no journal stats are exported.
 TEST(FeatureStoreTest, JournalOffIsZeroCostAndRecoverIsNoOp) {
   data::World world(StoreWorldConfig());
-  serving::FeatureServer server(world, world.config().seq_len, 3);
+  feature_store::FeatureServer server(world, world.config().seq_len, 3);
   FeatureStore store(&server);
   EXPECT_FALSE(store.journal_enabled());
   EXPECT_EQ(store.journal(), nullptr);

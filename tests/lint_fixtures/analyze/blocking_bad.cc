@@ -1,0 +1,18 @@
+// Fixture: an fsync syscall issued while holding a basm::Mutex.
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Journal {
+ public:
+  void Sync() {
+    basm::MutexLock lock(&mu_);
+    fsync(fd_);
+  }
+
+ private:
+  basm::Mutex mu_;
+  int fd_ = -1;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: the same growth pattern as hot_path_bad.cc, one site reserved
+// and the other silenced by an inline allow — zero surviving findings.
+#include <vector>
+
+namespace fixture {
+
+void ProcessBatch(const std::vector<float>& in, std::vector<float>* sink) {
+  std::vector<float> reserved_out;
+  reserved_out.reserve(in.size());
+  std::vector<float> scratch;
+  for (float v : in) {
+    reserved_out.push_back(v * 2.0f);
+    scratch.push_back(v);  // basm-analyze: allow(hot-path-alloc)
+  }
+  sink->swap(reserved_out);
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: unreserved push_back growth inside an audited hot-path
+// function. `sized` is exempt via sized construction.
+#include <vector>
+
+namespace fixture {
+
+void ProcessBatch(const std::vector<float>& in, std::vector<float>* sink) {
+  std::vector<float> sized(in.size());
+  std::vector<float> out;
+  for (float v : in) {
+    out.push_back(v * 2.0f);
+  }
+  sink->swap(out);
+}
+
+}  // namespace fixture

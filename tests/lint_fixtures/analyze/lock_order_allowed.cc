@@ -1,0 +1,19 @@
+// Fixture: a single undocumented nested acquisition silenced by an inline
+// allow on the inner-acquisition (witness) line.
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Nest {
+ public:
+  void Acquire() {
+    basm::MutexLock outer(&outer_mu_);
+    basm::MutexLock inner(&inner_mu_);  // basm-analyze: allow(lock-order)
+  }
+
+ private:
+  basm::Mutex outer_mu_;
+  basm::Mutex inner_mu_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: two functions of one class nest the same pair of mutexes in
+// opposite orders. Expect two undocumented-edge findings plus one cycle
+// finding with a witness path.
+#include "common/mutex.h"
+
+namespace fixture {
+
+class Pair {
+ public:
+  void Forward() {
+    basm::MutexLock a(&first_mu_);
+    basm::MutexLock b(&second_mu_);
+  }
+  void Backward() {
+    basm::MutexLock b(&second_mu_);
+    basm::MutexLock a(&first_mu_);
+  }
+
+ private:
+  basm::Mutex first_mu_;
+  basm::Mutex second_mu_;
+};
+
+}  // namespace fixture

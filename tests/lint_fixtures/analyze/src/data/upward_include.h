@@ -1,0 +1,6 @@
+// Fixture: a src/data header reaching upward into src/runtime, which the
+// module DAG forbids (data may only see common and tensor).
+#include "common/status.h"
+#include "runtime/serving_engine.h"
+
+inline int FixtureUpward() { return 0; }

@@ -1,0 +1,6 @@
+// Fixture: the same upward edge as upward_include.h, silenced by an
+// inline allow marker — must produce zero surviving findings.
+#include "common/status.h"
+#include "runtime/serving_engine.h"  // basm-analyze: allow(include-layering)
+
+inline int FixtureUpwardAllowed() { return 0; }

@@ -4,7 +4,7 @@
 #include "data/synth.h"
 #include "gtest/gtest.h"
 #include "models/feature_encoder.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "tensor/tensor_ops.h"
 
 namespace basm::models {
@@ -80,10 +80,10 @@ TEST_F(ModelsTest, FeatureEncoderPooledRespectsMask) {
 // Every zoo model: correct output shape, finite values, gradient reaches
 // parameters, and deterministic under a fixed seed.
 class ZooModelTest : public ModelsTest,
-                     public ::testing::WithParamInterface<ModelKind> {};
+                     public ::testing::WithParamInterface<core::ModelKind> {};
 
 TEST_P(ZooModelTest, ForwardShapeAndFinite) {
-  auto model = CreateModel(GetParam(), dataset_->schema, 11);
+  auto model = core::CreateModel(GetParam(), dataset_->schema, 11);
   ag::Variable logits = model->ForwardLogits(*batch_);
   ASSERT_EQ(logits.value().rank(), 1);
   EXPECT_EQ(logits.value().dim(0), batch_->size);
@@ -91,7 +91,7 @@ TEST_P(ZooModelTest, ForwardShapeAndFinite) {
 }
 
 TEST_P(ZooModelTest, GradientsReachSomeParameters) {
-  auto model = CreateModel(GetParam(), dataset_->schema, 12);
+  auto model = core::CreateModel(GetParam(), dataset_->schema, 12);
   ag::Variable logits = model->ForwardLogits(*batch_);
   ag::Variable loss = ag::BceWithLogits(logits, batch_->labels);
   ag::Backward(loss);
@@ -109,8 +109,8 @@ TEST_P(ZooModelTest, GradientsReachSomeParameters) {
 }
 
 TEST_P(ZooModelTest, DeterministicUnderSeed) {
-  auto m1 = CreateModel(GetParam(), dataset_->schema, 13);
-  auto m2 = CreateModel(GetParam(), dataset_->schema, 13);
+  auto m1 = core::CreateModel(GetParam(), dataset_->schema, 13);
+  auto m2 = core::CreateModel(GetParam(), dataset_->schema, 13);
   m1->SetTraining(false);
   m2->SetTraining(false);
   ag::Variable l1 = m1->ForwardLogits(*batch_);
@@ -119,8 +119,8 @@ TEST_P(ZooModelTest, DeterministicUnderSeed) {
 }
 
 TEST_P(ZooModelTest, DifferentSeedsDiffer) {
-  auto m1 = CreateModel(GetParam(), dataset_->schema, 14);
-  auto m2 = CreateModel(GetParam(), dataset_->schema, 15);
+  auto m1 = core::CreateModel(GetParam(), dataset_->schema, 14);
+  auto m2 = core::CreateModel(GetParam(), dataset_->schema, 15);
   m1->SetTraining(false);
   m2->SetTraining(false);
   ag::Variable l1 = m1->ForwardLogits(*batch_);
@@ -129,7 +129,7 @@ TEST_P(ZooModelTest, DifferentSeedsDiffer) {
 }
 
 TEST_P(ZooModelTest, PredictProbsInUnitInterval) {
-  auto model = CreateModel(GetParam(), dataset_->schema, 16);
+  auto model = core::CreateModel(GetParam(), dataset_->schema, 16);
   model->SetTraining(false);
   std::vector<float> probs = model->PredictProbs(*batch_);
   ASSERT_EQ(static_cast<int64_t>(probs.size()), batch_->size);
@@ -140,7 +140,7 @@ TEST_P(ZooModelTest, PredictProbsInUnitInterval) {
 }
 
 TEST_P(ZooModelTest, FinalRepresentationMatchesBatch) {
-  auto model = CreateModel(GetParam(), dataset_->schema, 17);
+  auto model = core::CreateModel(GetParam(), dataset_->schema, 17);
   model->SetTraining(false);
   ag::Variable rep = model->FinalRepresentation(*batch_);
   ASSERT_TRUE(rep.defined());
@@ -151,12 +151,12 @@ TEST_P(ZooModelTest, FinalRepresentationMatchesBatch) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllModels, ZooModelTest,
-    ::testing::Values(ModelKind::kWideDeep, ModelKind::kDin,
-                      ModelKind::kAutoInt, ModelKind::kStar, ModelKind::kM2m,
-                      ModelKind::kApg, ModelKind::kBasm, ModelKind::kBaseDin,
-                      ModelKind::kDeepFm),
-    [](const ::testing::TestParamInfo<ModelKind>& info) {
-      std::string name = ModelKindName(info.param);
+    ::testing::Values(core::ModelKind::kWideDeep, core::ModelKind::kDin,
+                      core::ModelKind::kAutoInt, core::ModelKind::kStar, core::ModelKind::kM2m,
+                      core::ModelKind::kApg, core::ModelKind::kBasm, core::ModelKind::kBaseDin,
+                      core::ModelKind::kDeepFm),
+    [](const ::testing::TestParamInfo<core::ModelKind>& info) {
+      std::string name = core::ModelKindName(info.param);
       std::string out;
       for (char c : name) {
         if (std::isalnum(static_cast<unsigned char>(c)) != 0) out += c;
@@ -165,15 +165,15 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST_F(ModelsTest, TableFourOrder) {
-  auto kinds = TableFourModels();
+  auto kinds = core::TableFourModels();
   ASSERT_EQ(kinds.size(), 7u);
-  EXPECT_EQ(kinds.front(), ModelKind::kWideDeep);
-  EXPECT_EQ(kinds.back(), ModelKind::kBasm);
+  EXPECT_EQ(kinds.front(), core::ModelKind::kWideDeep);
+  EXPECT_EQ(kinds.back(), core::ModelKind::kBasm);
 }
 
 TEST_F(ModelsTest, StarUsesMoreParametersThanDin) {
-  auto din = CreateModel(ModelKind::kDin, dataset_->schema, 18);
-  auto star = CreateModel(ModelKind::kStar, dataset_->schema, 18);
+  auto din = core::CreateModel(core::ModelKind::kDin, dataset_->schema, 18);
+  auto star = core::CreateModel(core::ModelKind::kStar, dataset_->schema, 18);
   // STAR keeps per-domain copies of tower weights.
   EXPECT_GT(star->ParameterCount(), din->ParameterCount());
 }

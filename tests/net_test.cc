@@ -8,14 +8,14 @@
 #include "data/synth.h"
 #include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "net/client.h"
 #include "net/router.h"
 #include "net/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "runtime/serving_engine.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -403,10 +403,10 @@ class NetServingTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     world_ = new data::World(NetWorldConfig());
-    features_ = new serving::FeatureServer(*world_, 6, 11);
+    features_ = new feature_store::FeatureServer(*world_, 6, 11);
     store_ = new feature_store::FeatureStore(features_);
     recall_ = new serving::RecallIndex(*world_);
-    model_ = models::CreateModel(models::ModelKind::kDin, world_->schema(), 13)
+    model_ = core::CreateModel(core::ModelKind::kDin, world_->schema(), 13)
                  .release();
     model_->SetTraining(false);
     pipeline_ = new serving::Pipeline(*world_, store_, recall_, model_,
@@ -441,7 +441,7 @@ class NetServingTest : public ::testing::Test {
   }
 
   static data::World* world_;
-  static serving::FeatureServer* features_;
+  static feature_store::FeatureServer* features_;
   static feature_store::FeatureStore* store_;
   static serving::RecallIndex* recall_;
   static models::CtrModel* model_;
@@ -449,7 +449,7 @@ class NetServingTest : public ::testing::Test {
 };
 
 data::World* NetServingTest::world_ = nullptr;
-serving::FeatureServer* NetServingTest::features_ = nullptr;
+feature_store::FeatureServer* NetServingTest::features_ = nullptr;
 feature_store::FeatureStore* NetServingTest::store_ = nullptr;
 serving::RecallIndex* NetServingTest::recall_ = nullptr;
 models::CtrModel* NetServingTest::model_ = nullptr;

@@ -11,7 +11,7 @@
 #include "data/synth.h"
 #include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "nn/mlp.h"
 #include "nn/serialize.h"
 #include "online/model_registry.h"
@@ -19,7 +19,7 @@
 #include "online/online_trainer.h"
 #include "runtime/load_generator.h"
 #include "runtime/serving_engine.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 
@@ -179,7 +179,7 @@ data::SynthConfig SmallWorldConfig() {
 
 std::unique_ptr<models::CtrModel> SmallModel(const data::Schema& schema,
                                              uint64_t seed) {
-  auto model = models::CreateModel(models::ModelKind::kDin, schema, seed);
+  auto model = core::CreateModel(core::ModelKind::kDin, schema, seed);
   model->SetTraining(false);
   return model;
 }
@@ -216,7 +216,7 @@ class OnlineTrainerTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     world_ = new data::World(SmallWorldConfig());
-    features_ = new serving::FeatureServer(*world_, 6, 11);
+    features_ = new feature_store::FeatureServer(*world_, 6, 11);
     store_ = new feature_store::FeatureStore(features_);
     recall_ = new serving::RecallIndex(*world_);
   }
@@ -230,7 +230,7 @@ class OnlineTrainerTest : public ::testing::Test {
 
   static OnlineTrainerConfig TrainerConfig() {
     OnlineTrainerConfig config;
-    config.model_kind = models::ModelKind::kDin;
+    config.model_kind = core::ModelKind::kDin;
     config.model_seed = 13;
     return config;
   }
@@ -257,13 +257,13 @@ class OnlineTrainerTest : public ::testing::Test {
   }
 
   static data::World* world_;
-  static serving::FeatureServer* features_;
+  static feature_store::FeatureServer* features_;
   static feature_store::FeatureStore* store_;
   static serving::RecallIndex* recall_;
 };
 
 data::World* OnlineTrainerTest::world_ = nullptr;
-serving::FeatureServer* OnlineTrainerTest::features_ = nullptr;
+feature_store::FeatureServer* OnlineTrainerTest::features_ = nullptr;
 feature_store::FeatureStore* OnlineTrainerTest::store_ = nullptr;
 serving::RecallIndex* OnlineTrainerTest::recall_ = nullptr;
 
@@ -308,7 +308,7 @@ TEST_F(OnlineTrainerTest, PublishNowWarmStartsAndServesBitIdentically) {
   // must score bit-identically (the swap changes provenance, not math).
   auto snap = registry.Get(2);
   ASSERT_NE(snap, nullptr);
-  auto offline = models::CreateModel(models::ModelKind::kDin, world_->schema(),
+  auto offline = core::CreateModel(core::ModelKind::kDin, world_->schema(),
                                      /*seed=*/999);  // init is overwritten
   ASSERT_TRUE(nn::DeserializeParameters(*offline, snap->bytes).ok());
   offline->SetTraining(false);
@@ -566,14 +566,14 @@ TEST_F(HotSwapTest, SwappedScoresBitIdenticalToOfflineLoad) {
   for (uint64_t version : registry.Versions()) {
     auto snap = registry.Get(version);
     ASSERT_NE(snap, nullptr);
-    auto offline = models::CreateModel(models::ModelKind::kDin,
+    auto offline = core::CreateModel(core::ModelKind::kDin,
                                        world_->schema(), /*seed=*/500);
     ASSERT_TRUE(nn::DeserializeParameters(*offline, snap->bytes).ok());
     offline->SetTraining(false);
 
     // Roll the slot to this version the same way the trainer does, then
     // score through the live engine.
-    auto rebuilt = models::CreateModel(models::ModelKind::kDin,
+    auto rebuilt = core::CreateModel(core::ModelKind::kDin,
                                        world_->schema(), /*seed=*/501);
     ASSERT_TRUE(nn::DeserializeParameters(*rebuilt, snap->bytes).ok());
     rebuilt->SetTraining(false);

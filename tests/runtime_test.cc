@@ -12,12 +12,12 @@
 #include "data/synth.h"
 #include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 #include "runtime/latency_recorder.h"
 #include "runtime/load_generator.h"
 #include "runtime/micro_batcher.h"
 #include "runtime/serving_engine.h"
-#include "serving/feature_server.h"
+#include "feature_store/feature_server.h"
 #include "serving/parallel_score.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
@@ -310,10 +310,10 @@ TEST(InferenceModeTest, ScoresBitIdenticalAndGraphFree) {
   c.num_cities = 2;
   c.seq_len = 4;
   data::World world(c);
-  auto model = models::CreateModel(models::ModelKind::kBasm, world.schema(), 5);
+  auto model = core::CreateModel(core::ModelKind::kBasm, world.schema(), 5);
   model->SetTraining(false);
 
-  serving::FeatureServer fs(world, 4, 1);
+  feature_store::FeatureServer fs(world, 4, 1);
   auto uf = fs.GetUserFeatures(0);
   Rng rng(3);
   std::vector<data::Example> examples;
@@ -358,10 +358,10 @@ class ServingEngineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     world_ = new data::World(EngineWorldConfig());
-    features_ = new serving::FeatureServer(*world_, 6, 11);
+    features_ = new feature_store::FeatureServer(*world_, 6, 11);
     store_ = new feature_store::FeatureStore(features_);
     recall_ = new serving::RecallIndex(*world_);
-    model_ = models::CreateModel(models::ModelKind::kDin, world_->schema(), 13)
+    model_ = core::CreateModel(core::ModelKind::kDin, world_->schema(), 13)
                  .release();
     model_->SetTraining(false);
     pipeline_ = new serving::Pipeline(*world_, store_, recall_, model_,
@@ -377,7 +377,7 @@ class ServingEngineTest : public ::testing::Test {
   }
 
   static data::World* world_;
-  static serving::FeatureServer* features_;
+  static feature_store::FeatureServer* features_;
   static feature_store::FeatureStore* store_;
   static serving::RecallIndex* recall_;
   static models::CtrModel* model_;
@@ -385,7 +385,7 @@ class ServingEngineTest : public ::testing::Test {
 };
 
 data::World* ServingEngineTest::world_ = nullptr;
-serving::FeatureServer* ServingEngineTest::features_ = nullptr;
+feature_store::FeatureServer* ServingEngineTest::features_ = nullptr;
 feature_store::FeatureStore* ServingEngineTest::store_ = nullptr;
 serving::RecallIndex* ServingEngineTest::recall_ = nullptr;
 models::CtrModel* ServingEngineTest::model_ = nullptr;

@@ -4,8 +4,8 @@
 #include "data/synth.h"
 #include "feature_store/feature_store.h"
 #include "gtest/gtest.h"
-#include "models/model_zoo.h"
-#include "serving/feature_server.h"
+#include "core/model_zoo.h"
+#include "feature_store/feature_server.h"
 #include "serving/pipeline.h"
 #include "serving/recall.h"
 #include "serving/simulator.h"
@@ -32,14 +32,14 @@ class ServingTest : public ::testing::Test {
 data::World* ServingTest::world_ = nullptr;
 
 TEST_F(ServingTest, FeatureServerBootstrapsHistories) {
-  FeatureServer fs(*world_, 6, /*seed=*/1);
+  feature_store::FeatureServer fs(*world_, 6, /*seed=*/1);
   auto uf = fs.GetUserFeatures(3);
   EXPECT_EQ(uf.user_id, 3);
   EXPECT_EQ(uf.behaviors.size(), 6u);
 }
 
 TEST_F(ServingTest, FeatureServerRecordsClicksMostRecentFirst) {
-  FeatureServer fs(*world_, 4, 2);
+  feature_store::FeatureServer fs(*world_, 4, 2);
   data::BehaviorEvent ev;
   ev.item_id = 42;
   ev.category = 7;
@@ -74,11 +74,11 @@ TEST_F(ServingTest, RecallByGeohashFallsBackGracefully) {
 }
 
 TEST_F(ServingTest, PipelineServesRankedSlate) {
-  FeatureServer fs(*world_, 6, 5);
+  feature_store::FeatureServer fs(*world_, 6, 5);
   feature_store::FeatureStore store(&fs);
   RecallIndex recall(*world_);
   auto model =
-      models::CreateModel(models::ModelKind::kDin, world_->schema(), 7);
+      core::CreateModel(core::ModelKind::kDin, world_->schema(), 7);
   model->SetTraining(false);
   Pipeline pipeline(*world_, &store, &recall, model.get(), /*recall_size=*/16,
                     /*expose_k=*/6);
@@ -102,11 +102,11 @@ TEST_F(ServingTest, PipelineServesRankedSlate) {
 }
 
 TEST_F(ServingTest, PipelineRankingIsModelDriven) {
-  FeatureServer fs(*world_, 6, 5);
+  feature_store::FeatureServer fs(*world_, 6, 5);
   feature_store::FeatureStore store(&fs);
   RecallIndex recall(*world_);
-  auto m1 = models::CreateModel(models::ModelKind::kDin, world_->schema(), 1);
-  auto m2 = models::CreateModel(models::ModelKind::kDin, world_->schema(), 2);
+  auto m1 = core::CreateModel(core::ModelKind::kDin, world_->schema(), 1);
+  auto m2 = core::CreateModel(core::ModelKind::kDin, world_->schema(), 2);
   m1->SetTraining(false);
   m2->SetTraining(false);
   Pipeline p1(*world_, &store, &recall, m1.get(), 16, 8);
@@ -135,8 +135,8 @@ TEST_F(ServingTest, SimulatorProducesConsistentCounts) {
   config.recall_size = 12;
   config.expose_k = 6;
   auto base =
-      models::CreateModel(models::ModelKind::kBaseDin, world_->schema(), 3);
-  auto treat = models::CreateModel(models::ModelKind::kBasm, world_->schema(), 3);
+      core::CreateModel(core::ModelKind::kBaseDin, world_->schema(), 3);
+  auto treat = core::CreateModel(core::ModelKind::kBasm, world_->schema(), 3);
   OnlineSimulator sim(*world_, config);
   AbTestResult result = sim.Run(*base, *treat);
 
@@ -170,11 +170,11 @@ TEST_F(ServingTest, RecallByGeohashUsesPopulatedCell) {
 }
 
 TEST_F(ServingTest, PipelineRejectsRecallSmallerThanExposure) {
-  FeatureServer fs(*world_, 4, 22);
+  feature_store::FeatureServer fs(*world_, 4, 22);
   feature_store::FeatureStore store(&fs);
   RecallIndex recall(*world_);
   auto model =
-      models::CreateModel(models::ModelKind::kDin, world_->schema(), 23);
+      core::CreateModel(core::ModelKind::kDin, world_->schema(), 23);
   EXPECT_DEATH(Pipeline(*world_, &store, &recall, model.get(),
                         /*recall_size=*/4, /*expose_k=*/8),
                "Check failed");
@@ -182,7 +182,7 @@ TEST_F(ServingTest, PipelineRejectsRecallSmallerThanExposure) {
 
 TEST_F(ServingTest, ClickFeedbackChangesSubsequentFeatures) {
   // Closed loop: a recorded click must appear in the next feature fetch.
-  FeatureServer fs(*world_, 6, 24);
+  feature_store::FeatureServer fs(*world_, 6, 24);
   auto before = fs.GetUserFeatures(1);
   data::BehaviorEvent ev;
   ev.item_id = 777 % static_cast<int32_t>(world_->config().num_items);
@@ -203,7 +203,7 @@ TEST_F(ServingTest, SimulatorIdenticalModelsTie) {
   // The same model object in both arms must earn identical CTR because the
   // traffic, candidates and click thresholds are shared.
   auto model =
-      models::CreateModel(models::ModelKind::kDin, world_->schema(), 4);
+      core::CreateModel(core::ModelKind::kDin, world_->schema(), 4);
   OnlineSimulator sim(*world_, config);
   AbTestResult result = sim.Run(*model, *model);
   EXPECT_EQ(result.base.total.clicks, result.treatment.total.clicks);

@@ -3,7 +3,7 @@
 #include "core/basm_model.h"
 #include "data/synth.h"
 #include "gtest/gtest.h"
-#include "models/model_zoo.h"
+#include "core/model_zoo.h"
 
 namespace basm::train {
 namespace {
@@ -22,7 +22,7 @@ data::Dataset SmallDataset() {
 
 TEST(TrainerTest, FitRunsAndReportsSteps) {
   data::Dataset ds = SmallDataset();
-  auto model = models::CreateModel(models::ModelKind::kWideDeep, ds.schema, 1);
+  auto model = core::CreateModel(core::ModelKind::kWideDeep, ds.schema, 1);
   TrainConfig tc;
   tc.epochs = 1;
   tc.batch_size = 128;
@@ -36,7 +36,7 @@ TEST(TrainerTest, FitRunsAndReportsSteps) {
 
 TEST(TrainerTest, LossDecreasesAcrossEpochs) {
   data::Dataset ds = SmallDataset();
-  auto model = models::CreateModel(models::ModelKind::kDin, ds.schema, 2);
+  auto model = core::CreateModel(core::ModelKind::kDin, ds.schema, 2);
   TrainConfig tc;
   tc.epochs = 3;
   TrainResult result = Fit(*model, ds, tc);
@@ -62,7 +62,7 @@ TEST(TrainerTest, TrainedModelBeatsChanceOnHeldOutDay) {
 
 TEST(TrainerTest, EvaluateUsesEvalModeButRestoresTraining) {
   data::Dataset ds = SmallDataset();
-  auto model = models::CreateModel(models::ModelKind::kBasm, ds.schema, 4);
+  auto model = core::CreateModel(core::ModelKind::kBasm, ds.schema, 4);
   TrainConfig tc;
   tc.epochs = 1;
   Fit(*model, ds, tc);
@@ -73,7 +73,7 @@ TEST(TrainerTest, EvaluateUsesEvalModeButRestoresTraining) {
 
 TEST(TrainerTest, EvaluationIsDeterministic) {
   data::Dataset ds = SmallDataset();
-  auto model = models::CreateModel(models::ModelKind::kDin, ds.schema, 5);
+  auto model = core::CreateModel(core::ModelKind::kDin, ds.schema, 5);
   TrainConfig tc;
   tc.epochs = 1;
   Fit(*model, ds, tc);
@@ -87,7 +87,7 @@ TEST(TrainerTest, FitExamplesWarmStartImproves) {
   // Incremental fine-tuning on fresh examples should not hurt (and usually
   // helps) performance on the same distribution.
   data::Dataset ds = SmallDataset();
-  auto model = models::CreateModel(models::ModelKind::kDin, ds.schema, 8);
+  auto model = core::CreateModel(core::ModelKind::kDin, ds.schema, 8);
   TrainConfig tc;
   tc.epochs = 1;
   Fit(*model, ds, tc);
@@ -109,7 +109,7 @@ TEST(TrainerTest, FitExamplesOnDaySubset) {
     if (e.day == 0) day0.push_back(&e);
   }
   ASSERT_FALSE(day0.empty());
-  auto model = models::CreateModel(models::ModelKind::kWideDeep, ds.schema, 9);
+  auto model = core::CreateModel(core::ModelKind::kWideDeep, ds.schema, 9);
   TrainConfig tc;
   tc.epochs = 1;
   tc.batch_size = 64;
@@ -120,7 +120,7 @@ TEST(TrainerTest, FitExamplesOnDaySubset) {
 
 TEST(ValidatedTrainTest, TracksBestEpochAndAucs) {
   data::Dataset ds = SmallDataset();
-  auto model = models::CreateModel(models::ModelKind::kDin, ds.schema, 10);
+  auto model = core::CreateModel(core::ModelKind::kDin, ds.schema, 10);
   TrainConfig tc;
   tc.epochs = 3;
   ValidatedTrainResult r = FitWithValidation(*model, ds, tc, /*patience=*/3);
@@ -134,7 +134,7 @@ TEST(ValidatedTrainTest, TracksBestEpochAndAucs) {
 
 TEST(ValidatedTrainTest, PatienceOneStopsAfterFirstRegression) {
   data::Dataset ds = SmallDataset();
-  auto model = models::CreateModel(models::ModelKind::kWideDeep, ds.schema, 11);
+  auto model = core::CreateModel(core::ModelKind::kWideDeep, ds.schema, 11);
   TrainConfig tc;
   tc.epochs = 12;  // far more than needed on this tiny set
   tc.lr_peak = 0.15f;  // aggressive LR to force validation regressions
@@ -149,7 +149,7 @@ TEST(ValidatedTrainTest, PatienceOneStopsAfterFirstRegression) {
 
 TEST(ValidatedTrainTest, RestoredWeightsMatchBestEpochScore) {
   data::Dataset ds = SmallDataset();
-  auto model = models::CreateModel(models::ModelKind::kDin, ds.schema, 12);
+  auto model = core::CreateModel(core::ModelKind::kDin, ds.schema, 12);
   TrainConfig tc;
   tc.epochs = 4;
   ValidatedTrainResult r = FitWithValidation(*model, ds, tc, /*patience=*/4);
@@ -175,7 +175,7 @@ TEST(ValidatedTrainTest, RestoredWeightsMatchBestEpochScore) {
 
 TEST(ProfilerTest, ReportsPlausibleNumbers) {
   data::Dataset ds = SmallDataset();
-  auto model = models::CreateModel(models::ModelKind::kDin, ds.schema, 6);
+  auto model = core::CreateModel(core::ModelKind::kDin, ds.schema, 6);
   EfficiencyReport report = ProfileEfficiency(*model, ds, 128, 3);
   EXPECT_GT(report.seconds_per_epoch, 0.0);
   EXPECT_EQ(report.parameter_count, model->ParameterCount());
@@ -186,8 +186,8 @@ TEST(ProfilerTest, ReportsPlausibleNumbers) {
 
 TEST(ProfilerTest, DynamicModelsCostMoreThanStatic) {
   data::Dataset ds = SmallDataset();
-  auto wd = models::CreateModel(models::ModelKind::kWideDeep, ds.schema, 7);
-  auto star = models::CreateModel(models::ModelKind::kStar, ds.schema, 7);
+  auto wd = core::CreateModel(core::ModelKind::kWideDeep, ds.schema, 7);
+  auto star = core::CreateModel(core::ModelKind::kStar, ds.schema, 7);
   EfficiencyReport wd_report = ProfileEfficiency(*wd, ds, 128, 3);
   EfficiencyReport star_report = ProfileEfficiency(*star, ds, 128, 3);
   // Table VI shape: multi-domain dynamic model uses more memory.

@@ -1,0 +1,222 @@
+#include "tools/analyze/analyze.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "tools/analyze/blocking_calls.h"
+#include "tools/analyze/hot_path.h"
+#include "tools/analyze/include_graph.h"
+#include "tools/analyze/lock_order.h"
+#include "tools/analyze/model.h"
+#include "tools/analyze/scanner.h"
+
+namespace basm::analyze {
+namespace {
+
+bool IsSourceFile(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool SkipDirectory(const std::string& name) {
+  return name == ".git" || name.rfind("build", 0) == 0 ||
+         name == "lint_fixtures" || name == "third_party";
+}
+
+std::vector<std::string> CollectFiles(const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& root : paths) {
+    fs::path p(root);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      fs::recursive_directory_iterator it(p, ec), end;
+      while (it != end) {
+        if (it->is_directory() &&
+            SkipDirectory(it->path().filename().string())) {
+          it.disable_recursion_pending();
+        } else if (it->is_regular_file() && IsSourceFile(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+        it.increment(ec);
+        if (ec) break;
+      }
+    } else {
+      // Explicit file arguments are always scanned, even fixtures.
+      files.push_back(p.generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+bool PassSelected(const AnalyzeOptions& options, const std::string& id) {
+  if (options.passes.empty()) return true;
+  return std::find(options.passes.begin(), options.passes.end(), id) !=
+         options.passes.end();
+}
+
+void JsonEscape(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PassInfo> Passes() {
+  return {
+      {"include-layering",
+       "every cross-module #include must follow the authoritative module "
+       "DAG (DESIGN §15); upward edges and cycles rot the build into a "
+       "monolith"},
+      {"lock-order",
+       "the cross-class lock acquisition graph must stay acyclic and inside "
+       "the documented hierarchy (DESIGN §10); an undocumented edge is a "
+       "latent deadlock"},
+      {"blocking-under-lock",
+       "syscalls, sleeps, joins and queue waits made under a basm::Mutex "
+       "stall every waiter of that lock; blocking sections must drop the "
+       "lock (snapshot + revalidate)"},
+      {"hot-path-alloc",
+       "per-request scoring and wire-decode paths must not hit the "
+       "allocator; memory comes from the TensorArena or pre-reserved "
+       "containers"},
+  };
+}
+
+std::vector<lint::SuppressEntry> DefaultBaseline() {
+  std::vector<lint::SuppressEntry> entries;
+  if (const char* env = std::getenv("BASM_ANALYZE_BASELINE")) {
+    if (lint::LoadSuppressionsFile(env, &entries)) return entries;
+  }
+#ifdef BASM_SOURCE_DIR
+  if (lint::LoadSuppressionsFile(
+          std::string(BASM_SOURCE_DIR) + "/tools/analyze_baseline.conf",
+          &entries)) {
+    return entries;
+  }
+#endif
+  (void)lint::LoadSuppressionsFile("tools/analyze_baseline.conf", &entries);
+  return entries;
+}
+
+AnalyzeReport Analyze(const std::vector<std::string>& paths,
+                      const AnalyzeOptions& options) {
+  AnalyzeReport report;
+
+  std::vector<FileScan> scans;
+  for (const std::string& file : CollectFiles(paths)) {
+    FileScan scan = ScanFile(file);
+    if (!scan.ok) {
+      report.findings.push_back(
+          lint::Finding{file, 0, "io-error", "cannot open file"});
+      continue;
+    }
+    scans.push_back(std::move(scan));
+  }
+  report.files_scanned = static_cast<int>(scans.size());
+
+  ProgramModel model(scans);
+  std::vector<lint::Finding> raw;
+  auto append = [&raw](std::vector<lint::Finding> f) {
+    raw.insert(raw.end(), std::make_move_iterator(f.begin()),
+               std::make_move_iterator(f.end()));
+  };
+  if (PassSelected(options, "include-layering")) {
+    append(RunIncludeGraph(scans));
+  }
+  if (PassSelected(options, "lock-order")) {
+    append(RunLockOrder(scans, model));
+  }
+  if (PassSelected(options, "blocking-under-lock")) {
+    append(RunBlockingCalls(scans, model));
+  }
+  if (PassSelected(options, "hot-path-alloc")) {
+    append(RunHotPath(scans));
+  }
+
+  // Suppression: an inline `// basm-analyze: allow(pass-id)` on the finding
+  // line, then the checked-in baseline table.
+  std::map<std::string, const FileScan*> by_path;
+  for (const FileScan& scan : scans) by_path[scan.path] = &scan;
+  for (lint::Finding& finding : raw) {
+    auto scan = by_path.find(finding.file);
+    if (scan != by_path.end() && finding.line >= 1 &&
+        finding.line <= static_cast<int>(scan->second->raw_lines.size()) &&
+        lint::MarkerAllows(scan->second->raw_lines[finding.line - 1],
+                           "basm-analyze: allow(", finding.rule)) {
+      ++report.suppressed_inline;
+      continue;
+    }
+    if (lint::SuppressionsMatch(options.baseline, finding.rule,
+                                finding.file)) {
+      ++report.suppressed_baseline;
+      continue;
+    }
+    report.findings.push_back(std::move(finding));
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const lint::Finding& a, const lint::Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const lint::Finding& finding : report.findings) {
+    ++report.per_pass[finding.rule];
+  }
+  return report;
+}
+
+std::string ReportJson(const AnalyzeReport& report) {
+  std::string out = "{\n";
+  out += "  \"files_scanned\": " + std::to_string(report.files_scanned) +
+         ",\n";
+  out += "  \"suppressed\": {\"inline\": " +
+         std::to_string(report.suppressed_inline) +
+         ", \"baseline\": " + std::to_string(report.suppressed_baseline) +
+         "},\n";
+  out += "  \"counts\": {";
+  bool first = true;
+  for (const auto& [pass, count] : report.per_pass) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    JsonEscape(pass, &out);
+    out += "\": " + std::to_string(count);
+  }
+  out += "},\n  \"findings\": [";
+  first = true;
+  for (const lint::Finding& f : report.findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"file\": \"";
+    JsonEscape(f.file, &out);
+    out += "\", \"line\": " + std::to_string(f.line) + ", \"pass\": \"";
+    JsonEscape(f.rule, &out);
+    out += "\", \"message\": \"";
+    JsonEscape(f.message, &out);
+    out += "\"}";
+  }
+  out += report.findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace basm::analyze

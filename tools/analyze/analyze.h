@@ -1,0 +1,56 @@
+#ifndef BASM_TOOLS_ANALYZE_ANALYZE_H_
+#define BASM_TOOLS_ANALYZE_ANALYZE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint.h"
+#include "tools/suppressions.h"
+
+namespace basm::analyze {
+
+/// Catalog entry for one analysis pass (drives --list-passes and DESIGN
+/// §15's table).
+struct PassInfo {
+  std::string id;
+  std::string rationale;
+};
+
+/// The four passes, in evaluation order.
+std::vector<PassInfo> Passes();
+
+struct AnalyzeOptions {
+  /// Pass ids to run; empty means all.
+  std::vector<std::string> passes;
+  /// Baseline suppressions (same format as tools/allowlist.conf): findings
+  /// matching <pass-id, path-substring> are counted but not reported.
+  std::vector<lint::SuppressEntry> baseline;
+};
+
+struct AnalyzeReport {
+  std::vector<lint::Finding> findings;  ///< surviving, sorted file:line
+  int files_scanned = 0;
+  int suppressed_inline = 0;    ///< dropped by `basm-analyze: allow(...)`
+  int suppressed_baseline = 0;  ///< dropped by the baseline file
+  std::map<std::string, int> per_pass;  ///< surviving finding counts
+};
+
+/// Scans every C++ file under `paths` (directories walked recursively,
+/// skipping build trees, VCS metadata, and lint_fixtures; explicit files
+/// always scanned) and runs the selected passes.
+AnalyzeReport Analyze(const std::vector<std::string>& paths,
+                      const AnalyzeOptions& options);
+
+/// Machine-readable report: {"files_scanned":N, "suppressed":{...},
+/// "counts":{pass:N,...}, "findings":[{file,line,pass,message},...]}.
+std::string ReportJson(const AnalyzeReport& report);
+
+/// Loads the default baseline: $BASM_ANALYZE_BASELINE, then
+/// <source>/tools/analyze_baseline.conf, then ./tools/analyze_baseline.conf.
+/// A missing file is an empty baseline, not an error.
+std::vector<lint::SuppressEntry> DefaultBaseline();
+
+}  // namespace basm::analyze
+
+#endif  // BASM_TOOLS_ANALYZE_ANALYZE_H_

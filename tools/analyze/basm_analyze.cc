@@ -1,0 +1,117 @@
+// basm_analyze: the multi-pass static analysis gate.
+//
+//   basm_analyze [--json[=FILE]] [--baseline=FILE] [--passes=a,b] [paths...]
+//   basm_analyze --list-passes
+//
+// Paths default to `src` (resolved against BASM_SOURCE_DIR when the
+// relative directory is absent). Exit 0 when clean, 1 on findings, 2 on
+// usage errors. See DESIGN §15 for the pass catalog.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/analyze.h"
+#include "tools/lint.h"
+
+int main(int argc, char** argv) {
+  using basm::analyze::Analyze;
+  using basm::analyze::AnalyzeOptions;
+  using basm::analyze::AnalyzeReport;
+
+  bool json = false;
+  std::string json_file;
+  std::string baseline_file;
+  AnalyzeOptions options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-passes") {
+      for (const auto& pass : basm::analyze::Passes()) {
+        std::cout << pass.id << "\n    " << pass.rationale << "\n";
+      }
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_file = arg.substr(7);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_file = arg.substr(11);
+    } else if (arg.rfind("--passes=", 0) == 0) {
+      std::string list = arg.substr(9);
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        std::string id = list.substr(
+            start, comma == std::string::npos ? comma : comma - start);
+        if (!id.empty()) options.passes.push_back(id);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: basm_analyze [--json[=FILE]] [--baseline=FILE] "
+                   "[--passes=a,b] [--list-passes] [paths...]\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "basm_analyze: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (paths.empty()) {
+    std::error_code ec;
+    if (std::filesystem::is_directory("src", ec)) {
+      paths.push_back("src");
+    } else {
+#ifdef BASM_SOURCE_DIR
+      paths.push_back(std::string(BASM_SOURCE_DIR) + "/src");
+#else
+      std::cerr << "basm_analyze: no paths given and ./src not found\n";
+      return 2;
+#endif
+    }
+  }
+
+  if (!baseline_file.empty()) {
+    if (!basm::lint::LoadSuppressionsFile(baseline_file, &options.baseline)) {
+      std::cerr << "basm_analyze: cannot read baseline " << baseline_file
+                << "\n";
+      return 2;
+    }
+  } else {
+    options.baseline = basm::analyze::DefaultBaseline();
+  }
+
+  AnalyzeReport report = Analyze(paths, options);
+
+  if (json) {
+    std::string payload = basm::analyze::ReportJson(report);
+    if (json_file.empty()) {
+      std::cout << payload;
+    } else {
+      std::ofstream out(json_file, std::ios::binary);
+      if (!out) {
+        std::cerr << "basm_analyze: cannot write " << json_file << "\n";
+        return 2;
+      }
+      out << payload;
+    }
+  }
+  if (!json || !json_file.empty()) {
+    for (const auto& finding : report.findings) {
+      std::cerr << basm::lint::FormatFinding(finding) << "\n";
+    }
+    std::cerr << "basm_analyze: " << report.files_scanned << " files, "
+              << report.findings.size() << " finding(s), "
+              << report.suppressed_inline << " inline allow(s), "
+              << report.suppressed_baseline << " baselined\n";
+  }
+  return report.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,156 @@
+#include "tools/analyze/blocking_calls.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace basm::analyze {
+namespace {
+
+/// Names that block the calling thread wherever they appear: syscalls that
+/// can park on IO, sleeps, and joins. (`open`/`close` are deliberately
+/// absent: they are near-instant on local filesystems and would drown the
+/// report in noise.)
+const std::set<std::string>& BlockingTokens() {
+  static const std::set<std::string> kTokens = {
+      "fsync",    "fdatasync", "write",       "pwrite",      "read",
+      "pread",    "send",      "recv",        "sendto",      "recvfrom",
+      "connect",  "accept",    "poll",        "ppoll",       "select",
+      "usleep",   "nanosleep", "sleep_for",   "sleep_until", "sleep",
+      "join",     "flock",     "system",      "wait",        "waitpid",
+  };
+  return kTokens;
+}
+
+/// Methods that block by contract even when their scanned body does not
+/// show a blocking token (e.g. the simulated server round-trip, whose
+/// latency model lives behind the fault injector).
+const std::set<std::string>& ContractBlockingMethods() {
+  static const std::set<std::string> kMethods = {"FetchUserFeatures"};
+  return kMethods;
+}
+
+bool IsWaitFamily(const std::string& name) {
+  return name == "Wait" || name == "WaitUntil" || name == "WaitFor";
+}
+
+/// `Wait(mu_)` on the single held lock is the CondVar contract (the mutex
+/// is released while parked); waiting with any *other* lock held still
+/// blocks that lock's waiters.
+bool WaitExempt(const Call& call) {
+  if (call.locks_held.size() != 1) return false;
+  std::string arg = call.arg_head;
+  if (!arg.empty() && arg[0] == '&') arg = arg.substr(1);
+  return LockLeaf(arg) == LockLeaf(call.locks_held[0]);
+}
+
+std::string HeldList(const Call& call) {
+  std::string out;
+  for (const std::string& held : call.locks_held) {
+    if (!out.empty()) out += ", ";
+    out += held;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<lint::Finding> RunBlockingCalls(const std::vector<FileScan>& files,
+                                            const ProgramModel& model) {
+  std::vector<lint::Finding> findings;
+  constexpr char kPass[] = "blocking-under-lock";
+
+  // Which scanned methods block, via fixed point over the call graph.
+  // Direct: a blocking token or CondVar wait in the body. Indirect: a
+  // resolvable call to a blocking method, or (receiver untyped) a call
+  // whose name only blocking methods use.
+  std::map<std::string, bool> blocking;
+  for (const auto& [key, _] : model.methods()) blocking[key] = false;
+  for (const auto& [key, fns] : model.methods()) {
+    for (const FunctionScan* fn : fns) {
+      for (const Call& call : fn->calls) {
+        if (BlockingTokens().count(call.name) || IsWaitFamily(call.name) ||
+            ContractBlockingMethods().count(call.name)) {
+          blocking[key] = true;
+        }
+      }
+    }
+  }
+  for (int round = 0; round < 12; ++round) {
+    std::set<std::string> blocking_names;
+    for (const auto& [key, is_blocking] : blocking) {
+      if (!is_blocking) continue;
+      size_t at = key.rfind("::");
+      blocking_names.insert(key.substr(at + 2));
+    }
+    bool changed = false;
+    for (const auto& [key, fns] : model.methods()) {
+      if (blocking[key]) continue;
+      for (const FunctionScan* fn : fns) {
+        for (const Call& call : fn->calls) {
+          std::string callee = model.ResolveCallee(fn->cls, call);
+          bool callee_blocks =
+              !callee.empty()
+                  ? blocking.count(callee) && blocking[callee]
+                  : (!call.receiver.empty() &&
+                     blocking_names.count(call.name) > 0);
+          if (callee_blocks) {
+            blocking[key] = true;
+            changed = true;
+            break;
+          }
+        }
+        if (blocking[key]) break;
+      }
+    }
+    if (!changed) break;
+  }
+  std::set<std::string> blocking_names;
+  for (const auto& [key, is_blocking] : blocking) {
+    if (!is_blocking) continue;
+    size_t at = key.rfind("::");
+    blocking_names.insert(key.substr(at + 2));
+  }
+
+  for (const FileScan& file : files) {
+    for (const FunctionScan& fn : file.functions) {
+      const std::string where =
+          (fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name);
+      for (const Call& call : fn.calls) {
+        if (call.locks_held.empty()) continue;
+        std::string why;
+        if (IsWaitFamily(call.name)) {
+          if (!WaitExempt(call)) {
+            why = "CondVar wait with an unrelated lock held";
+          }
+        } else if (BlockingTokens().count(call.name)) {
+          why = "'" + call.name + "' can park the thread";
+        } else if (ContractBlockingMethods().count(call.name)) {
+          why = "'" + call.name + "' is a server round-trip by contract";
+        } else {
+          std::string callee = model.ResolveCallee(fn.cls, call);
+          if (!callee.empty()) {
+            auto it = blocking.find(callee);
+            if (it != blocking.end() && it->second) {
+              why = callee + " blocks (transitively)";
+            }
+          } else if (!call.receiver.empty() &&
+                     blocking_names.count(call.name)) {
+            why = "'" + call.name +
+                  "' matches a blocking method (receiver not resolvable)";
+          }
+        }
+        if (why.empty()) continue;
+        findings.push_back(lint::Finding{
+            file.path, call.line, kPass,
+            where + " calls " + call.name + " while holding " +
+                HeldList(call) + ": " + why +
+                "; drop the lock across the blocking section (snapshot + "
+                "revalidate) or justify with an inline allow"});
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace basm::analyze

@@ -1,0 +1,23 @@
+#ifndef BASM_TOOLS_ANALYZE_BLOCKING_CALLS_H_
+#define BASM_TOOLS_ANALYZE_BLOCKING_CALLS_H_
+
+#include <vector>
+
+#include "tools/analyze/model.h"
+#include "tools/analyze/scanner.h"
+#include "tools/lint.h"
+
+namespace basm::analyze {
+
+/// Pass `blocking-under-lock`: flags calls that can block the thread —
+/// file/socket syscalls, sleeps, joins, blocking-queue waits, server
+/// round-trips — made while a basm::Mutex is held. Blockingness propagates
+/// through the scanned call graph (a method that fsyncs is blocking, and so
+/// is everything that calls it). `CondVar::Wait(mu)` on the sole held lock
+/// is exempt by contract (Wait releases the mutex while parked).
+std::vector<lint::Finding> RunBlockingCalls(const std::vector<FileScan>& files,
+                                            const ProgramModel& model);
+
+}  // namespace basm::analyze
+
+#endif  // BASM_TOOLS_ANALYZE_BLOCKING_CALLS_H_

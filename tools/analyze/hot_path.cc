@@ -1,0 +1,104 @@
+#include "tools/analyze/hot_path.h"
+
+#include <regex>
+#include <set>
+#include <string>
+
+namespace basm::analyze {
+namespace {
+
+/// The audited hot-path functions: the batch scoring spine and the wire
+/// decoders that run once per request. Matched by unqualified name so the
+/// rule follows the function through refactors.
+const std::set<std::string>& HotFunctions() {
+  static const std::set<std::string> kHot = {
+      "ProcessBatch",        "ScoreExamples",
+      "ScoreRange",          "DecodeFrameHeader",
+      "DecodeRequestPayload", "DecodeResponsePayload",
+  };
+  return kHot;
+}
+
+const std::regex kNewRe(R"((^|[^\w])new($|[^\w]))");
+const std::regex kMallocRe(R"((^|[^\w])(malloc|calloc|realloc|strdup)\s*\()");
+const std::regex kMakeRe(R"((^|[^\w])(make_unique|make_shared)\s*[<(])");
+const std::regex kGrowRe(R"(([A-Za-z_]\w*)\s*(?:\.|->)\s*(push_back|emplace_back)\s*\()");
+const std::regex kBackInserterRe(R"(back_inserter\s*\(\s*([\w.>\-]*?([A-Za-z_]\w*))\s*\))");
+const std::regex kReserveRe(R"(([A-Za-z_]\w*)\s*(?:\.|->)\s*(reserve|resize|assign)\s*\()");
+const std::regex kSizedCtorRe(R"(>\s+([A-Za-z_]\w*)\s*\(\s*[^)\s])");
+
+}  // namespace
+
+std::vector<lint::Finding> RunHotPath(const std::vector<FileScan>& files) {
+  std::vector<lint::Finding> findings;
+  constexpr char kPass[] = "hot-path-alloc";
+
+  for (const FileScan& file : files) {
+    for (const FunctionScan& fn : file.functions) {
+      if (!HotFunctions().count(fn.name)) continue;
+      if (fn.start_line <= 0 ||
+          fn.end_line > static_cast<int>(file.stripped_lines.size())) {
+        continue;
+      }
+      // First sweep: every container with a capacity hint in this function.
+      std::set<std::string> reserved;
+      for (int i = fn.start_line; i <= fn.end_line; ++i) {
+        const std::string& line = file.stripped_lines[i - 1];
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            kReserveRe);
+             it != std::sregex_iterator(); ++it) {
+          reserved.insert((*it)[1].str());
+        }
+        // `std::vector<T> xs(n)` / `std::vector<T> xs(n, v)` counts as
+        // sized construction.
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            kSizedCtorRe);
+             it != std::sregex_iterator(); ++it) {
+          reserved.insert((*it)[1].str());
+        }
+      }
+      const std::string where =
+          (fn.cls.empty() ? fn.name : fn.cls + "::" + fn.name);
+      for (int i = fn.start_line; i <= fn.end_line; ++i) {
+        const std::string& line = file.stripped_lines[i - 1];
+        auto report = [&](const std::string& what) {
+          findings.push_back(lint::Finding{
+              file.path, i, kPass,
+              where + ": " + what +
+                  "; hot-path memory comes from the TensorArena or a "
+                  "pre-reserved container"});
+        };
+        if (std::regex_search(line, kNewRe) &&
+            line.find("arena") == std::string::npos) {
+          report("raw `new` in a per-request path");
+        }
+        if (std::regex_search(line, kMallocRe)) {
+          report("malloc-family allocation in a per-request path");
+        }
+        if (std::regex_search(line, kMakeRe)) {
+          report("make_unique/make_shared allocation in a per-request path");
+        }
+        for (auto it =
+                 std::sregex_iterator(line.begin(), line.end(), kGrowRe);
+             it != std::sregex_iterator(); ++it) {
+          std::string recv = (*it)[1].str();
+          if (reserved.count(recv)) continue;
+          report("`" + recv + "." + (*it)[2].str() +
+                 "` without a prior reserve/resize/sized construction");
+        }
+        for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                            kBackInserterRe);
+             it != std::sregex_iterator(); ++it) {
+          std::string recv = (*it)[2].str();
+          if (reserved.count(recv)) continue;
+          report("`back_inserter(" + recv +
+                 ")` growth without a prior reserve/resize/sized "
+                 "construction");
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace basm::analyze

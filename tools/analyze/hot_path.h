@@ -1,0 +1,22 @@
+#ifndef BASM_TOOLS_ANALYZE_HOT_PATH_H_
+#define BASM_TOOLS_ANALYZE_HOT_PATH_H_
+
+#include <vector>
+
+#include "tools/analyze/scanner.h"
+#include "tools/lint.h"
+
+namespace basm::analyze {
+
+/// Pass `hot-path-alloc`: inside the per-request serving functions
+/// (ProcessBatch, ScoreExamples/ScoreRange, the wire decoders) flags heap
+/// allocation that bypasses the TensorArena — `new`, malloc-family,
+/// make_unique/make_shared — and container growth without a capacity
+/// reservation (`push_back`/`emplace_back`/`back_inserter` on a vector
+/// that is neither `.reserve()`d, `.resize()`d, nor size-constructed in
+/// the same function).
+std::vector<lint::Finding> RunHotPath(const std::vector<FileScan>& files);
+
+}  // namespace basm::analyze
+
+#endif  // BASM_TOOLS_ANALYZE_HOT_PATH_H_

@@ -1,0 +1,187 @@
+#include "tools/analyze/include_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace basm::analyze {
+namespace {
+
+/// The authoritative module DAG (mirror of DESIGN §15). `first` may include
+/// headers of every module in `second`. Order within an entry is
+/// lowest-layer first, purely for readability.
+struct ModuleDeps {
+  const char* module;
+  std::vector<const char*> allowed;
+};
+
+const std::vector<ModuleDeps>& ModuleDag() {
+  static const std::vector<ModuleDeps> kDag = {
+      {"common", {}},
+      {"tensor", {"common"}},
+      {"metrics", {"common"}},
+      {"autograd", {"common", "tensor"}},
+      {"data", {"common", "tensor"}},
+      {"analysis", {"common", "tensor", "data"}},
+      {"nn", {"common", "tensor", "autograd"}},
+      {"optim", {"common", "tensor", "autograd"}},
+      {"models", {"common", "tensor", "autograd", "data", "nn"}},
+      {"train",
+       {"common", "tensor", "data", "metrics", "nn", "models", "optim"}},
+      {"core", {"common", "tensor", "data", "nn", "models"}},
+      {"online", {"common", "tensor", "data", "nn", "models", "core", "train"}},
+      {"feature_store", {"common", "data"}},
+      {"serving",
+       {"common", "tensor", "autograd", "data", "models", "online",
+        "feature_store"}},
+      {"runtime",
+       {"common", "tensor", "autograd", "data", "models", "online",
+        "feature_store", "serving"}},
+      {"net",
+       {"common", "data", "online", "feature_store", "serving", "runtime"}},
+  };
+  return kDag;
+}
+
+bool DagAllows(const std::string& from, const std::string& to) {
+  for (const ModuleDeps& entry : ModuleDag()) {
+    if (entry.module != from) continue;
+    for (const char* dep : entry.allowed) {
+      if (to == dep) return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+bool KnownModule(const std::string& module) {
+  for (const ModuleDeps& entry : ModuleDag()) {
+    if (entry.module == module) return true;
+  }
+  return false;
+}
+
+/// DFS cycle search over observed module edges; fills `witness` with the
+/// cycle path `a -> b -> ... -> a` when one exists.
+bool FindCycle(const std::map<std::string, std::set<std::string>>& edges,
+               std::vector<std::string>* witness) {
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) -> bool {
+    state[node] = 1;
+    stack.push_back(node);
+    auto it = edges.find(node);
+    if (it != edges.end()) {
+      for (const std::string& next : it->second) {
+        int s = state.count(next) ? state[next] : 0;
+        if (s == 1) {
+          auto at = std::find(stack.begin(), stack.end(), next);
+          witness->assign(at, stack.end());
+          witness->push_back(next);
+          return true;
+        }
+        if (s == 0 && visit(next)) return true;
+      }
+    }
+    stack.pop_back();
+    state[node] = 2;
+    return false;
+  };
+  for (const auto& [node, _] : edges) {
+    if ((state.count(node) ? state[node] : 0) == 0 && visit(node)) return true;
+  }
+  return false;
+}
+
+std::string JoinPath(const std::vector<std::string>& path) {
+  std::string out;
+  for (const std::string& p : path) {
+    if (!out.empty()) out += " -> ";
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> ModuleTopoOrder() {
+  std::map<std::string, std::set<std::string>> edges;
+  for (const ModuleDeps& entry : ModuleDag()) {
+    auto& deps = edges[entry.module];
+    for (const char* dep : entry.allowed) deps.insert(dep);
+  }
+  std::vector<std::string> order;
+  std::set<std::string> done;
+  while (done.size() < edges.size()) {
+    bool progress = false;
+    for (const auto& [module, deps] : edges) {
+      if (done.count(module)) continue;
+      bool ready = true;
+      for (const std::string& d : deps) {
+        if (!done.count(d)) ready = false;
+      }
+      if (ready) {
+        order.push_back(module);
+        done.insert(module);
+        progress = true;
+      }
+    }
+    if (!progress) return {};  // the table itself has a cycle
+  }
+  return order;
+}
+
+std::vector<lint::Finding> RunIncludeGraph(const std::vector<FileScan>& files) {
+  std::vector<lint::Finding> findings;
+  constexpr char kPass[] = "include-layering";
+
+  if (ModuleTopoOrder().empty()) {
+    findings.push_back(lint::Finding{
+        "tools/analyze/include_graph.cc", 0, kPass,
+        "the authoritative module DAG table contains a cycle; fix the table"});
+    return findings;
+  }
+
+  // module -> module -> first witness (file, line) for the edge
+  std::map<std::string, std::set<std::string>> observed;
+  for (const FileScan& file : files) {
+    if (file.module.empty()) continue;  // not under src/
+    for (const Include& inc : file.includes) {
+      size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;  // same-dir / root include
+      std::string target = inc.target.substr(0, slash);
+      if (target == file.module) continue;
+      if (!KnownModule(target)) {
+        if (KnownModule(file.module)) {
+          findings.push_back(lint::Finding{
+              file.path, inc.line, kPass,
+              "src/" + file.module + " includes \"" + inc.target +
+                  "\" which is outside the src module set; src code must "
+                  "not depend on tools/ or tests/"});
+        }
+        continue;
+      }
+      if (!KnownModule(file.module)) continue;
+      observed[file.module].insert(target);
+      if (!DagAllows(file.module, target)) {
+        findings.push_back(lint::Finding{
+            file.path, inc.line, kPass,
+            "module dependency " + file.module + " -> " + target +
+                " is not in the authoritative DAG (DESIGN §15); this is an "
+                "upward or sideways layer edge"});
+      }
+    }
+  }
+
+  std::vector<std::string> cycle;
+  if (FindCycle(observed, &cycle)) {
+    findings.push_back(lint::Finding{
+        "src", 0, kPass,
+        "observed include graph has a module cycle: " + JoinPath(cycle)});
+  }
+  return findings;
+}
+
+}  // namespace basm::analyze

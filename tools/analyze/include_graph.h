@@ -1,0 +1,25 @@
+#ifndef BASM_TOOLS_ANALYZE_INCLUDE_GRAPH_H_
+#define BASM_TOOLS_ANALYZE_INCLUDE_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/analyze/scanner.h"
+#include "tools/lint.h"
+
+namespace basm::analyze {
+
+/// Pass `include-layering`: every `#include "mod/..."` edge between two
+/// `src/` modules must appear in the authoritative module DAG (DESIGN §15).
+/// Unknown target modules (tools/, tests/) and edges missing from the
+/// table are findings, and the observed graph is additionally checked for
+/// cycles (with a witness path) in case the table itself ever rots.
+std::vector<lint::Finding> RunIncludeGraph(const std::vector<FileScan>& files);
+
+/// The table's modules in dependency order (self-check helper; empty result
+/// means the authoritative table contains a cycle — a tooling bug).
+std::vector<std::string> ModuleTopoOrder();
+
+}  // namespace basm::analyze
+
+#endif  // BASM_TOOLS_ANALYZE_INCLUDE_GRAPH_H_

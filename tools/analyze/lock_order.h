@@ -1,0 +1,22 @@
+#ifndef BASM_TOOLS_ANALYZE_LOCK_ORDER_H_
+#define BASM_TOOLS_ANALYZE_LOCK_ORDER_H_
+
+#include <vector>
+
+#include "tools/analyze/model.h"
+#include "tools/analyze/scanner.h"
+#include "tools/lint.h"
+
+namespace basm::analyze {
+
+/// Pass `lock-order`: builds the cross-class lock acquisition graph (an
+/// edge A -> B means B is acquired while A is held, either by a nested
+/// MutexLock or by calling a method that acquires B) and reports
+///  - edges missing from the documented hierarchy (DESIGN §10 / §15), and
+///  - any cycle in the observed graph, with a witness path.
+std::vector<lint::Finding> RunLockOrder(const std::vector<FileScan>& files,
+                                        const ProgramModel& model);
+
+}  // namespace basm::analyze
+
+#endif  // BASM_TOOLS_ANALYZE_LOCK_ORDER_H_

@@ -1,0 +1,129 @@
+#include "tools/analyze/model.h"
+
+#include <cctype>
+
+namespace basm::analyze {
+namespace {
+
+bool ContainsWord(const std::string& text, const std::string& word) {
+  size_t at = 0;
+  while ((at = text.find(word, at)) != std::string::npos) {
+    bool left_ok =
+        at == 0 || (!std::isalnum(static_cast<unsigned char>(text[at - 1])) &&
+                    text[at - 1] != '_');
+    size_t end = at + word.size();
+    bool right_ok = end >= text.size() ||
+                    (!std::isalnum(static_cast<unsigned char>(text[end])) &&
+                     text[end] != '_');
+    if (left_ok && right_ok) return true;
+    at = end;
+  }
+  return false;
+}
+
+std::string SimpleName(const std::string& qualified) {
+  size_t at = qualified.rfind("::");
+  return at == std::string::npos ? qualified : qualified.substr(at + 2);
+}
+
+}  // namespace
+
+ProgramModel::ProgramModel(const std::vector<FileScan>& files) {
+  // Class tables. `class_members_` keys by simple name (receivers are
+  // unqualified); lock ownership keys by qualified name so nested classes
+  // (FeatureStore::Shard) produce distinct lock nodes.
+  for (const FileScan& file : files) {
+    for (const ClassScan& cls : file.classes) {
+      auto& members = class_members_[SimpleName(cls.name)];
+      for (const Member& m : cls.members) {
+        members.emplace(m.name, m.type_text);
+      }
+      for (const std::string& lock : cls.lock_members) {
+        lock_leaf_owners_[lock].insert(cls.name);
+        class_locks_[cls.name].insert(lock);
+      }
+    }
+    for (const FunctionScan& fn : file.functions) {
+      methods_[fn.cls + "::" + fn.name].push_back(&fn);
+    }
+  }
+
+  // Direct acquisitions, then a fixed point folding in resolvable callees.
+  for (const auto& [key, fns] : methods_) {
+    auto& set = acquires_[key];
+    for (const FunctionScan* fn : fns) {
+      for (const LockAcq& acq : fn->locks) {
+        set.insert(LockNode(fn->cls, acq.expr));
+      }
+    }
+  }
+  for (int round = 0; round < 12; ++round) {
+    bool changed = false;
+    for (const auto& [key, fns] : methods_) {
+      auto& set = acquires_[key];
+      for (const FunctionScan* fn : fns) {
+        for (const Call& call : fn->calls) {
+          std::string callee = ResolveCallee(fn->cls, call);
+          if (callee.empty() || callee == key) continue;
+          auto it = acquires_.find(callee);
+          if (it == acquires_.end()) continue;
+          for (const std::string& node : it->second) {
+            if (set.insert(node).second) changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+}
+
+std::string ProgramModel::LockNode(const std::string& cls,
+                                   const std::string& expr) const {
+  std::string leaf = LockLeaf(expr);
+  if (!cls.empty()) {
+    auto it = class_locks_.find(cls);
+    if (it != class_locks_.end() && it->second.count(leaf)) {
+      return cls + "::" + leaf;
+    }
+    // A nested class of `cls` owning the leaf (e.g. FeatureStore::Shard::mu
+    // locked from a FeatureStore method through a local Shard reference).
+    for (const auto& [qualified, locks] : class_locks_) {
+      if (qualified.rfind(cls + "::", 0) == 0 && locks.count(leaf)) {
+        return qualified + "::" + leaf;
+      }
+    }
+  }
+  auto owners = lock_leaf_owners_.find(leaf);
+  if (owners != lock_leaf_owners_.end() && owners->second.size() == 1) {
+    return *owners->second.begin() + "::" + leaf;
+  }
+  return (cls.empty() ? "?" : cls) + "::" + leaf;
+}
+
+std::string ProgramModel::ResolveCallee(const std::string& caller_cls,
+                                        const Call& call) const {
+  if (call.receiver.empty()) {
+    if (caller_cls.empty()) return "";
+    std::string key = caller_cls + "::" + call.name;
+    return methods_.count(key) ? key : "";
+  }
+  // Static-style call through a class name (Status::Ok, Geohash::Encode).
+  if (IsClass(call.receiver)) {
+    std::string key = call.receiver + "::" + call.name;
+    if (methods_.count(key)) return key;
+  }
+  // Member receiver: type the member from the caller's class table, then
+  // find a scanned class mentioned in its declared type.
+  auto members = class_members_.find(SimpleName(caller_cls));
+  if (members == class_members_.end()) return "";
+  auto member = members->second.find(call.receiver);
+  if (member == members->second.end()) return "";
+  for (const auto& [klass, _] : class_members_) {
+    if (!ContainsWord(member->second, klass)) continue;
+    std::string key = klass + "::" + call.name;
+    if (methods_.count(key)) return key;
+  }
+  return "";
+}
+
+}  // namespace basm::analyze

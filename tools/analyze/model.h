@@ -1,0 +1,66 @@
+#ifndef BASM_TOOLS_ANALYZE_MODEL_H_
+#define BASM_TOOLS_ANALYZE_MODEL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/scanner.h"
+
+namespace basm::analyze {
+
+/// Cross-file program model assembled from per-file scans: class member
+/// tables, the method index, and lock ownership. Shared by the lock-order
+/// and blocking-call passes.
+class ProgramModel {
+ public:
+  explicit ProgramModel(const std::vector<FileScan>& files);
+
+  /// All scanned method bodies under the key `Class::Name` (free functions
+  /// key as `::Name`). Multiple definitions (overloads, template headers
+  /// seen from several TUs) all appear.
+  const std::map<std::string, std::vector<const FunctionScan*>>& methods()
+      const {
+    return methods_;
+  }
+
+  /// The lock node a `MutexLock` expression resolves to, e.g. expr
+  /// `shard.mu` inside a `FeatureStore` method -> `FeatureStore::Shard::mu`.
+  /// Resolution prefers the enclosing class, then its nested classes, then a
+  /// unique global owner; unresolvable exprs degrade to `cls::leaf`.
+  std::string LockNode(const std::string& cls, const std::string& expr) const;
+
+  /// Resolves a call site to a method key, or "" when the receiver cannot
+  /// be typed (conservative: unresolved calls add no lock edges).
+  /// Resolution order: same-class call, receiver naming a known class
+  /// (static-style `Status::Ok`), then a member of the caller's class whose
+  /// declared type mentions a known class.
+  std::string ResolveCallee(const std::string& caller_cls,
+                            const Call& call) const;
+
+  /// Every lock node each method acquires, directly or through resolvable
+  /// callees (fixed point over the scanned call graph).
+  const std::map<std::string, std::set<std::string>>& acquires() const {
+    return acquires_;
+  }
+
+  /// True when `name` names a scanned class (simple, unqualified).
+  bool IsClass(const std::string& name) const {
+    return class_members_.count(name) > 0;
+  }
+
+ private:
+  // simple class name -> member name -> declared type text
+  std::map<std::string, std::map<std::string, std::string>> class_members_;
+  // simple class name -> lock member names
+  std::map<std::string, std::set<std::string>> class_locks_;
+  // qualified class names that declare each lock leaf name
+  std::map<std::string, std::set<std::string>> lock_leaf_owners_;
+  std::map<std::string, std::vector<const FunctionScan*>> methods_;
+  std::map<std::string, std::set<std::string>> acquires_;
+};
+
+}  // namespace basm::analyze
+
+#endif  // BASM_TOOLS_ANALYZE_MODEL_H_

@@ -1,0 +1,470 @@
+#include "tools/analyze/scanner.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "tools/lint.h"
+
+namespace basm::analyze {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The scanner is a line-oriented tokenizer with a brace-depth scope tracker:
+// no preprocessor, no type checker, no libclang. It understands exactly as
+// much C++ as the four passes need — include edges, class bodies + member
+// declarations, function bodies, MutexLock acquisition regions, and call
+// sites — and is deliberately conservative everywhere else (an unparsed
+// construct degrades to "plain block", never to a wrong edge).
+// ---------------------------------------------------------------------------
+
+const std::regex kIncludeRe(R"re(^\s*#\s*include\s*"([^"]+)")re");
+const std::regex kMutexLockRe(
+    R"((?:basm\s*::\s*)?MutexLock\s+[A-Za-z_]\w*\s*\(\s*&\s*([^)]+?)\s*\))");
+const std::regex kCallRe(R"(([A-Za-z_]\w*)\s*\()");
+const std::regex kClassRe(R"((?:^|[^\w])(?:class|struct)\s+([A-Za-z_]\w*))");
+const std::regex kFunctionNameRe(
+    R"(((?:[A-Za-z_]\w*\s*::\s*)*~?[A-Za-z_]\w*)\s*\()");
+const std::regex kMemberRe(
+    R"(^\s*(?:mutable\s+)?(?:static\s+)?(?:const\s+)?([A-Za-z_][\w:<>,\s*&()]*[\w>*&)])\s+([A-Za-z_]\w*)\s*((?:BASM_[A-Z_]+\s*\([^)]*\)\s*)*)(=\s*.*|\{.*\})?\s*$)");
+const std::regex kMutexTypeRe(R"((^|[^\w])(basm\s*::\s*)?Mutex($|[^\w]))");
+
+bool IsKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",      "while",   "switch",   "return", "sizeof",
+      "alignof", "decltype", "catch",   "new",      "delete", "throw",
+      "static_assert", "noexcept", "co_await", "co_return", "assert",
+      "defined", "typeid"};
+  return kKeywords.count(s) > 0;
+}
+
+/// Macro invocations (BASM_CHECK, EXPECT_EQ, ...) are not calls the passes
+/// care about: all-caps-with-underscores names are filtered out.
+bool IsMacroName(const std::string& s) {
+  if (s.size() < 2) return false;
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool ContainsWord(const std::string& text, const std::string& word) {
+  size_t at = 0;
+  while ((at = text.find(word, at)) != std::string::npos) {
+    bool left_ok =
+        at == 0 || (!std::isalnum(static_cast<unsigned char>(text[at - 1])) &&
+                    text[at - 1] != '_');
+    size_t end = at + word.size();
+    bool right_ok = end >= text.size() ||
+                    (!std::isalnum(static_cast<unsigned char>(text[end])) &&
+                     text[end] != '_');
+    if (left_ok && right_ok) return true;
+    at = end;
+  }
+  return false;
+}
+
+/// Splits `A::B::C` into components.
+std::vector<std::string> SplitQualified(const std::string& name) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t at = name.find("::", start);
+    if (at == std::string::npos) {
+      parts.push_back(Trim(name.substr(start)));
+      return parts;
+    }
+    parts.push_back(Trim(name.substr(start, at - start)));
+    start = at + 2;
+  }
+}
+
+/// What an accumulated signature in front of `{` introduces.
+struct SigKind {
+  enum Kind { kBlock, kClass, kFunction } kind = kBlock;
+  std::string cls;   // for kFunction: explicit A::B qualifier (may be empty)
+  std::string name;  // class name or unqualified function name
+};
+
+SigKind ClassifySig(const std::string& raw_sig) {
+  SigKind out;
+  std::string sig = Trim(raw_sig);
+  if (sig.empty()) return out;
+  if (ContainsWord(sig, "namespace") || ContainsWord(sig, "enum")) return out;
+  std::smatch m;
+  if (!ContainsWord(sig, "union") && std::regex_search(sig, m, kClassRe)) {
+    out.kind = SigKind::kClass;
+    out.name = m[1].str();
+    return out;
+  }
+  // Function definition: the first `name(` whose name is neither a keyword
+  // nor a macro, with no `=` in front of it (rejects initializers like
+  // `auto f = [] {` and `int k[] = {`).
+  auto begin = std::sregex_iterator(sig.begin(), sig.end(), kFunctionNameRe);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::string qualified = (*it)[1].str();
+    std::vector<std::string> parts = SplitQualified(qualified);
+    std::string last = parts.back();
+    if (last.size() > 1 && last[0] == '~') last = last.substr(1);
+    if (IsKeyword(last) || IsMacroName(last)) continue;
+    size_t pos = static_cast<size_t>(it->position(0));
+    if (sig.find('=') < pos) break;
+    out.kind = SigKind::kFunction;
+    out.name = parts.back();
+    parts.pop_back();
+    std::string cls;
+    for (const std::string& p : parts) {
+      if (!cls.empty()) cls += "::";
+      cls += p;
+    }
+    out.cls = cls;
+    return out;
+  }
+  return out;
+}
+
+/// Scans backwards from `pos` (the first char of a matched callee name) for
+/// a `.` / `->` / `::` receiver expression; returns the last identifier of
+/// that expression (empty when the call is free / same-object).
+std::string ReceiverBefore(const std::string& line, size_t pos) {
+  auto skip_ws = [&](size_t i) {
+    while (i > 0 && (line[i - 1] == ' ' || line[i - 1] == '\t')) --i;
+    return i;
+  };
+  size_t i = skip_ws(pos);
+  bool via_member = false;
+  if (i >= 2 && line.compare(i - 2, 2, "->") == 0) {
+    via_member = true;
+    i = skip_ws(i - 2);
+  } else if (i >= 1 && line[i - 1] == '.' &&
+             (i < 2 || !std::isdigit(static_cast<unsigned char>(line[i - 2])))) {
+    via_member = true;
+    i = skip_ws(i - 1);
+  } else if (i >= 2 && line.compare(i - 2, 2, "::") == 0) {
+    via_member = true;
+    i = skip_ws(i - 2);
+  }
+  if (!via_member) return "";
+  // Walk back over the object expression until we can name its last
+  // identifier: `)` balances back over a call, `]` over an index.
+  while (i > 0) {
+    char c = line[i - 1];
+    if (c == ')' || c == ']') {
+      char open = c == ')' ? '(' : '[';
+      int balance = 1;
+      --i;
+      while (i > 0 && balance > 0) {
+        if (line[i - 1] == c) ++balance;
+        if (line[i - 1] == open) --balance;
+        --i;
+      }
+      i = skip_ws(i);
+      continue;
+    }
+    break;
+  }
+  size_t end = i;
+  while (i > 0 && (std::isalnum(static_cast<unsigned char>(line[i - 1])) ||
+                   line[i - 1] == '_')) {
+    --i;
+  }
+  return line.substr(i, end - i);
+}
+
+std::string ArgHead(const std::string& line, size_t open_paren) {
+  size_t start = open_paren + 1;
+  size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != ')' &&
+         end - start < 48) {
+    ++end;
+  }
+  return Trim(line.substr(start, end - start));
+}
+
+struct LockFrame {
+  std::string expr;
+  int depth;
+};
+
+/// True when `sig` ends in a lambda introducer (`[caps]`, optional
+/// parameter list / mutable / trailing return) — the `{` that follows
+/// opens a deferred body, which does NOT run under the enclosing locks.
+const std::regex kLambdaTailRe(
+    R"(\[[^\[\]]*\]\s*(\([^()]*\))?\s*(mutable\b\s*)?(noexcept\b\s*)?(->\s*[\w:<>&*\s]+)?\s*$)");
+
+bool EndsWithLambdaIntroducer(const std::string& sig) {
+  return std::regex_search(sig, kLambdaTailRe);
+}
+
+struct ClassFrame {
+  ClassScan scan;
+  int depth;
+};
+
+}  // namespace
+
+std::string ModuleOf(const std::string& path) {
+  size_t at = path.rfind("src/");
+  if (at == std::string::npos) return "";
+  // Only a path *component* `src` counts (not e.g. `foosrc/`).
+  if (at != 0 && path[at - 1] != '/') return "";
+  size_t start = at + 4;
+  size_t end = path.find('/', start);
+  if (end == std::string::npos) return "";
+  return path.substr(start, end - start);
+}
+
+std::string LockLeaf(const std::string& expr) {
+  std::string e = expr;
+  e.erase(std::remove_if(e.begin(), e.end(),
+                         [](char c) { return c == ' ' || c == '\t'; }),
+          e.end());
+  size_t dot = e.find_last_of('.');
+  size_t arrow = e.rfind("->");
+  size_t cut = std::string::npos;
+  if (dot != std::string::npos) cut = dot + 1;
+  if (arrow != std::string::npos && (cut == std::string::npos || arrow + 2 > cut))
+    cut = arrow + 2;
+  return cut == std::string::npos ? e : e.substr(cut);
+}
+
+FileScan ScanContent(const std::string& path, const std::string& content) {
+  FileScan file;
+  file.path = path;
+  file.module = ModuleOf(path);
+  file.ok = true;
+
+  std::istringstream in(content);
+  std::string raw;
+  bool in_block_comment = false;
+  bool in_preprocessor = false;
+
+  int depth = 0;
+  std::vector<ClassFrame> class_stack;
+  std::vector<LockFrame> lock_stack;
+  // Lambda literals inside a function: their bodies are deferred, so the
+  // enclosing locks are NOT held when they run; each frame parks the outer
+  // lock stack until the lambda's closing brace.
+  struct LambdaFrame {
+    std::vector<LockFrame> saved_locks;
+    int depth;
+  };
+  std::vector<LambdaFrame> lambda_stack;
+  FunctionScan fn;
+  bool fn_active = false;
+  int fn_depth = 0;
+  std::string sig;
+
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    file.raw_lines.push_back(raw);
+    std::string line = lint::StripLine(raw, &in_block_comment);
+    file.stripped_lines.push_back(line);
+
+    std::smatch im;
+    if (std::regex_search(raw, im, kIncludeRe)) {
+      file.includes.push_back(Include{im[1].str(), line_no});
+    }
+    // Preprocessor lines (and their backslash continuations) carry braces
+    // from both sides of #if alternatives; skipping them keeps the depth
+    // tracker honest.
+    std::string trimmed = Trim(line);
+    bool is_pp = in_preprocessor || (!trimmed.empty() && trimmed[0] == '#');
+    in_preprocessor = is_pp && !raw.empty() && raw.back() == '\\';
+    if (is_pp) continue;
+
+    // Events on this line, in character order.
+    struct Event {
+      size_t pos;
+      enum { kOpen, kClose, kSemi, kLock, kCall } type;
+      std::string a, b, c;  // lock expr / receiver,name,arg_head
+    };
+    std::vector<Event> events;
+    std::vector<std::pair<size_t, size_t>> lock_ranges;
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kMutexLockRe);
+         it != std::sregex_iterator(); ++it) {
+      Event e;
+      e.pos = static_cast<size_t>(it->position(0));
+      e.type = Event::kLock;
+      e.a = Trim((*it)[1].str());
+      events.push_back(e);
+      lock_ranges.emplace_back(e.pos, e.pos + it->length(0));
+    }
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kCallRe);
+         it != std::sregex_iterator(); ++it) {
+      size_t pos = static_cast<size_t>(it->position(1));
+      bool inside_lock_decl = false;
+      for (const auto& range : lock_ranges) {
+        if (pos >= range.first && pos < range.second) inside_lock_decl = true;
+      }
+      if (inside_lock_decl) continue;
+      std::string name = (*it)[1].str();
+      if (IsKeyword(name) || IsMacroName(name)) continue;
+      Event e;
+      e.pos = pos;
+      e.type = Event::kCall;
+      e.a = ReceiverBefore(line, pos);
+      e.b = name;
+      e.c = ArgHead(line, line.find('(', pos + name.size()));
+      events.push_back(e);
+    }
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '{' || line[i] == '}' || line[i] == ';') {
+        Event e;
+        e.pos = i;
+        e.type = line[i] == '{'   ? Event::kOpen
+                 : line[i] == '}' ? Event::kClose
+                                  : Event::kSemi;
+        events.push_back(e);
+      }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Event& x, const Event& y) { return x.pos < y.pos; });
+
+    auto held_exprs = [&] {
+      std::vector<std::string> held;
+      held.reserve(lock_stack.size());
+      for (const LockFrame& f : lock_stack) held.push_back(f.expr);
+      return held;
+    };
+
+    size_t consumed = 0;
+    for (const Event& e : events) {
+      switch (e.type) {
+        case Event::kOpen: {
+          sig += line.substr(consumed, e.pos - consumed);
+          consumed = e.pos + 1;
+          ++depth;
+          if (fn_active && EndsWithLambdaIntroducer(sig)) {
+            lambda_stack.push_back(LambdaFrame{lock_stack, depth});
+            lock_stack.clear();
+          } else if (!fn_active) {
+            SigKind k = ClassifySig(sig);
+            if (k.kind == SigKind::kClass) {
+              ClassFrame frame;
+              frame.scan.name =
+                  class_stack.empty()
+                      ? k.name
+                      : class_stack.back().scan.name + "::" + k.name;
+              frame.depth = depth;
+              class_stack.push_back(std::move(frame));
+            } else if (k.kind == SigKind::kFunction) {
+              fn = FunctionScan{};
+              fn.cls = !k.cls.empty()
+                           ? k.cls
+                           : (class_stack.empty()
+                                  ? ""
+                                  : class_stack.back().scan.name);
+              fn.name = k.name;
+              fn.start_line = line_no;
+              fn_active = true;
+              fn_depth = depth;
+            }
+          }
+          sig.clear();
+          break;
+        }
+        case Event::kClose: {
+          consumed = e.pos + 1;
+          --depth;
+          while (!lock_stack.empty() && lock_stack.back().depth > depth) {
+            lock_stack.pop_back();
+          }
+          while (!lambda_stack.empty() && depth < lambda_stack.back().depth) {
+            lock_stack = std::move(lambda_stack.back().saved_locks);
+            lambda_stack.pop_back();
+          }
+          if (fn_active && depth < fn_depth) {
+            fn.end_line = line_no;
+            file.functions.push_back(std::move(fn));
+            fn_active = false;
+            lock_stack.clear();
+            lambda_stack.clear();
+          }
+          while (!class_stack.empty() && depth < class_stack.back().depth) {
+            file.classes.push_back(std::move(class_stack.back().scan));
+            class_stack.pop_back();
+          }
+          sig.clear();
+          break;
+        }
+        case Event::kSemi: {
+          sig += line.substr(consumed, e.pos - consumed);
+          consumed = e.pos + 1;
+          if (!fn_active && !class_stack.empty()) {
+            std::string decl = std::regex_replace(
+                Trim(sig),
+                std::regex(R"(^(public|private|protected)\s*:\s*)"), "");
+            std::smatch dm;
+            if (std::regex_match(decl, dm, kMemberRe)) {
+              ClassScan& cls = class_stack.back().scan;
+              Member member{Trim(dm[1].str()), dm[2].str()};
+              if (std::regex_search(member.type_text, kMutexTypeRe) &&
+                  member.type_text.find("MutexLock") == std::string::npos) {
+                cls.lock_members.push_back(member.name);
+              }
+              cls.members.push_back(std::move(member));
+            }
+          }
+          sig.clear();
+          break;
+        }
+        case Event::kLock: {
+          if (fn_active) {
+            fn.locks.push_back(LockAcq{e.a, line_no, held_exprs()});
+            lock_stack.push_back(LockFrame{e.a, depth});
+          }
+          break;
+        }
+        case Event::kCall: {
+          if (fn_active) {
+            fn.calls.push_back(Call{e.a, e.b, e.c, line_no, held_exprs()});
+          }
+          break;
+        }
+      }
+    }
+    sig += line.substr(consumed);
+    sig += ' ';
+  }
+  // Unterminated trailing function (malformed input): keep what we saw.
+  if (fn_active) {
+    fn.end_line = line_no;
+    file.functions.push_back(std::move(fn));
+  }
+  while (!class_stack.empty()) {
+    file.classes.push_back(std::move(class_stack.back().scan));
+    class_stack.pop_back();
+  }
+  return file;
+}
+
+FileScan ScanFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    FileScan file;
+    file.path = path;
+    file.module = ModuleOf(path);
+    file.ok = false;
+    return file;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ScanContent(path, buffer.str());
+}
+
+}  // namespace basm::analyze

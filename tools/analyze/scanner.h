@@ -1,0 +1,88 @@
+#ifndef BASM_TOOLS_ANALYZE_SCANNER_H_
+#define BASM_TOOLS_ANALYZE_SCANNER_H_
+
+#include <string>
+#include <vector>
+
+namespace basm::analyze {
+
+/// One `#include "..."` edge out of a file.
+struct Include {
+  std::string target;  ///< the quoted include path, verbatim
+  int line = 0;        ///< 1-based
+};
+
+/// One call site inside a function body, with the set of mutexes held at
+/// the call. `receiver` is the last identifier of the object expression
+/// (`pipeline_->feature_store()->Prefetch(` records receiver
+/// `feature_store`), empty for free / same-class calls.
+struct Call {
+  std::string receiver;
+  std::string name;
+  std::string arg_head;  ///< first argument text, for CondVar-Wait matching
+  int line = 0;
+  std::vector<std::string> locks_held;  ///< lock exprs active at this site
+};
+
+/// One `MutexLock guard(&expr)` acquisition.
+struct LockAcq {
+  std::string expr;  ///< the locked expression, e.g. `mu_` or `shard.mu`
+  int line = 0;
+  std::vector<std::string> held;  ///< lock exprs already held at this point
+};
+
+/// One data-member declaration inside a class body (used to resolve member
+/// receivers like `queue_` to their class).
+struct Member {
+  std::string type_text;  ///< declaration text left of the member name
+  std::string name;
+};
+
+/// One scanned function/method body.
+struct FunctionScan {
+  std::string cls;   ///< enclosing or `X::`-qualifying class; empty if free
+  std::string name;  ///< unqualified function name
+  int start_line = 0;  ///< line of the opening brace
+  int end_line = 0;    ///< line of the closing brace
+  std::vector<Call> calls;
+  std::vector<LockAcq> locks;
+};
+
+/// One scanned class/struct body.
+struct ClassScan {
+  std::string name;  ///< `Outer::Inner`-qualified for nested classes
+  std::vector<Member> members;
+  std::vector<std::string> lock_members;  ///< names of basm::Mutex members
+};
+
+/// The full scan of one translation unit / header.
+struct FileScan {
+  std::string path;
+  std::string module;  ///< first dir under src/, empty if not under src/
+  bool ok = false;     ///< false when the file could not be read
+  std::vector<std::string> raw_lines;       ///< for inline-allow checks
+  std::vector<std::string> stripped_lines;  ///< comment/string-stripped
+  std::vector<Include> includes;
+  std::vector<FunctionScan> functions;
+  std::vector<ClassScan> classes;
+};
+
+/// Module of a path: the component after the last `src/`, empty otherwise.
+/// (`tests/lint_fixtures/analyze/x/src/data/bad.h` scans as module `data`,
+/// which is what lets fixtures exercise the layering pass.)
+std::string ModuleOf(const std::string& path);
+
+/// Scans `content` as if read from `path`. Pure (no filesystem) so tests
+/// can feed synthetic sources.
+FileScan ScanContent(const std::string& path, const std::string& content);
+
+/// Reads and scans one file; `ok` is false when unreadable.
+FileScan ScanFile(const std::string& path);
+
+/// Last component of a lock expression: `shard.mu` -> `mu`,
+/// `this->mu_` -> `mu_`. Used to match lock exprs to declared members.
+std::string LockLeaf(const std::string& expr);
+
+}  // namespace basm::analyze
+
+#endif  // BASM_TOOLS_ANALYZE_SCANNER_H_

@@ -6,54 +6,34 @@
 #include <regex>
 #include <sstream>
 
+#include "tools/suppressions.h"
+
 namespace basm::lint {
-namespace {
 
 // ---------------------------------------------------------------------------
 // Rule catalog. Each rule is a token/regex scan over comment- and
 // string-stripped lines, deliberately libclang-free so the linter builds
 // anywhere the project does. Escapes, in order of preference: fix the code,
 // add an inline `basm-lint: allow(rule-id)` on the offending line, or (for
-// whole files that legitimately own the construct) extend the path
-// allowlist below.
+// whole files that legitimately own the construct) add an entry to the
+// declarative table in tools/allowlist.conf.
 // ---------------------------------------------------------------------------
 
-struct PathAllowEntry {
-  const char* rule;
-  const char* path_substring;
-};
-
-/// Files allowed to use an otherwise-banned construct: the synchronization
-/// layer is the one place raw std primitives may appear (it wraps them),
-/// common/rng owns every entropy source in the project, and the feature
-/// store is the one facade allowed to call the raw feature-server RPC.
-constexpr PathAllowEntry kPathAllowlist[] = {
-    {"raw-mutex", "common/synchronization.h"},
-    {"nondeterminism", "common/rng."},
-    {"feature-fetch-outside-store", "feature_store/"},
-    {"journal-io-outside-store", "feature_store/"},
-    {"journal-io-outside-store", "tests/journal_test"},
-    {"journal-io-outside-store", "tests/crash_recovery_test"},
-};
+namespace {
 
 bool PathAllowed(const std::string& rule, const std::string& path) {
-  for (const PathAllowEntry& entry : kPathAllowlist) {
-    if (rule == entry.rule &&
-        path.find(entry.path_substring) != std::string::npos) {
-      return true;
-    }
-  }
-  return false;
+  return SuppressionsMatch(LintPathAllowlist(), rule, path);
 }
 
 bool IsHeaderPath(const std::string& path) {
   return path.ends_with(".h") || path.ends_with(".hpp");
 }
 
-/// True when the raw (un-stripped) line carries an inline suppression for
-/// `rule`: `basm-lint: allow(rule-a,rule-b)`.
-bool LineAllowed(const std::string& raw_line, const std::string& rule) {
-  size_t at = raw_line.find("basm-lint: allow(");
+}  // namespace
+
+bool MarkerAllows(const std::string& raw_line, const std::string& marker,
+                  const std::string& rule) {
+  size_t at = raw_line.find(marker);
   if (at == std::string::npos) return false;
   size_t open = raw_line.find('(', at);
   size_t close = raw_line.find(')', open);
@@ -68,9 +48,16 @@ bool LineAllowed(const std::string& raw_line, const std::string& rule) {
   return false;
 }
 
-/// Replaces comments and string/char literals with spaces so rules never
-/// fire on prose or quoted text. Stateful across lines for /* */ blocks.
-/// Include directives keep their <...> payload (it is not a string).
+namespace {
+
+/// True when the raw (un-stripped) line carries an inline suppression for
+/// `rule`: `basm-lint: allow(rule-a,rule-b)`.
+bool LineAllowed(const std::string& raw_line, const std::string& rule) {
+  return MarkerAllows(raw_line, "basm-lint: allow(", rule);
+}
+
+}  // namespace
+
 std::string StripLine(const std::string& line, bool* in_block_comment) {
   std::string out;
   out.reserve(line.size());
@@ -120,6 +107,8 @@ std::string StripLine(const std::string& line, bool* in_block_comment) {
   }
   return out;
 }
+
+namespace {
 
 // --- individual rule matchers, operating on one stripped line --------------
 

@@ -42,6 +42,18 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths);
 /// `file:line: rule-id message` — the CI-greppable report line.
 std::string FormatFinding(const Finding& finding);
 
+/// Replaces comments and string/char literals with spaces so token scans
+/// never fire on prose or quoted text. Stateful across lines for /* */
+/// blocks. Include directives keep their <...> payload (it is not a
+/// string). Shared with basm_analyze's scanner.
+std::string StripLine(const std::string& line, bool* in_block_comment);
+
+/// True when `raw_line` carries `<marker>rule-a,rule-b)` naming `rule` —
+/// the inline-suppression grammar behind `basm-lint: allow(...)` and
+/// `basm-analyze: allow(...)`.
+bool MarkerAllows(const std::string& raw_line, const std::string& marker,
+                  const std::string& rule);
+
 }  // namespace basm::lint
 
 #endif  // BASM_TOOLS_LINT_H_

@@ -1,0 +1,69 @@
+#include "tools/suppressions.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace basm::lint {
+
+std::vector<SuppressEntry> ParseSuppressions(const std::string& content) {
+  std::vector<SuppressEntry> entries;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim leading whitespace; skip blanks and comment lines.
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream fields(line.substr(start));
+    SuppressEntry entry;
+    if (!(fields >> entry.rule >> entry.path_substring)) continue;
+    std::getline(fields, entry.reason);
+    size_t at = entry.reason.find_first_not_of(" \t");
+    entry.reason = at == std::string::npos ? "" : entry.reason.substr(at);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+bool LoadSuppressionsFile(const std::string& path,
+                          std::vector<SuppressEntry>* out) {
+  out->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = ParseSuppressions(buffer.str());
+  return true;
+}
+
+bool SuppressionsMatch(const std::vector<SuppressEntry>& entries,
+                       const std::string& rule, const std::string& path) {
+  for (const SuppressEntry& entry : entries) {
+    if (rule == entry.rule &&
+        path.find(entry.path_substring) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<SuppressEntry>& LintPathAllowlist() {
+  static const std::vector<SuppressEntry>* table = [] {
+    auto* entries = new std::vector<SuppressEntry>();
+    if (const char* env = std::getenv("BASM_ALLOWLIST")) {
+      if (LoadSuppressionsFile(env, entries)) return entries;
+    }
+#ifdef BASM_SOURCE_DIR
+    if (LoadSuppressionsFile(std::string(BASM_SOURCE_DIR) +
+                                 "/tools/allowlist.conf",
+                             entries)) {
+      return entries;
+    }
+#endif
+    (void)LoadSuppressionsFile("tools/allowlist.conf", entries);
+    return entries;
+  }();
+  return *table;
+}
+
+}  // namespace basm::lint

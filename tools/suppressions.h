@@ -1,0 +1,42 @@
+#ifndef BASM_TOOLS_SUPPRESSIONS_H_
+#define BASM_TOOLS_SUPPRESSIONS_H_
+
+#include <string>
+#include <vector>
+
+namespace basm::lint {
+
+/// One declarative exemption: `rule` is exempt in any file whose path
+/// contains `path_substring`. Parsed from the checked-in conf files
+/// (tools/allowlist.conf for basm_lint, tools/analyze_baseline.conf for
+/// basm_analyze), so adding an exemption is a data edit, not a C++ edit.
+struct SuppressEntry {
+  std::string rule;
+  std::string path_substring;
+  /// Free-text justification (the rest of the conf line). Required by
+  /// convention: an exemption without a why does not survive review.
+  std::string reason;
+};
+
+/// Parses the conf format: one `<rule> <path-substring> <justification...>`
+/// entry per line; blank lines and lines starting with '#' are skipped.
+std::vector<SuppressEntry> ParseSuppressions(const std::string& content);
+
+/// Reads and parses `path`. Returns false (and clears *out) when the file
+/// cannot be read — callers decide whether a missing table is an error.
+bool LoadSuppressionsFile(const std::string& path,
+                          std::vector<SuppressEntry>* out);
+
+/// True when some entry exempts `rule` for `path`.
+bool SuppressionsMatch(const std::vector<SuppressEntry>& entries,
+                       const std::string& rule, const std::string& path);
+
+/// The linter's path allowlist, loaded once per process. Resolution order:
+/// $BASM_ALLOWLIST, then BASM_SOURCE_DIR/tools/allowlist.conf (compiled-in
+/// source root, set by the build), then ./tools/allowlist.conf. A missing
+/// file yields an empty table (every rule applies everywhere).
+const std::vector<SuppressEntry>& LintPathAllowlist();
+
+}  // namespace basm::lint
+
+#endif  // BASM_TOOLS_SUPPRESSIONS_H_
