@@ -5,8 +5,10 @@
 // (Zipf users, meal-time diurnal hours) drives it over loopback. Then the
 // failure drill: kill one replica mid-traffic and watch its breaker trip,
 // its users re-home to survivors, and everyone else keep their pins; bring
-// it back and watch the ring heal. A final overload phase shows admission
-// control shedding instead of queueing without bound.
+// it back and watch the ring heal. An overload phase shows admission
+// control shedding instead of queueing without bound, and a final phase
+// reruns the healthy tier behind the epoll event-loop frontend with the
+// fleet pipelining 8 requests per connection.
 //
 // Honors BASM_FAST=1 (CI smoke): smaller world, fewer requests.
 
@@ -18,6 +20,7 @@
 #include "data/synth.h"
 #include "core/model_zoo.h"
 #include "net/client.h"
+#include "net/epoll_server.h"
 #include "net/router.h"
 #include "net/server.h"
 #include "runtime/serving_engine.h"
@@ -138,5 +141,43 @@ int main() {
   StatusOr<net::FleetReport> shed = storm.Run("127.0.0.1", overload.port());
   if (shed.ok()) std::printf("%s", shed.value().ToString().c_str());
   overload.Stop();
+
+  // 5) Event-loop frontend: the same tier behind the epoll server, with the
+  //    fleet in pipelined mode (window of 8 requests in flight per
+  //    connection, responses completed out of order and demuxed by wire
+  //    sequence number). Same routing, breaker, and shed semantics — only
+  //    the transport changed.
+  std::printf("\n== phase 5: epoll frontend, pipelined clients ==\n");
+  runtime::EngineConfig healthy = ec;
+  std::vector<std::unique_ptr<runtime::ServingEngine>> pair;
+  for (int i = 0; i < 2; ++i) {
+    healthy.seed = 0xE901 + static_cast<uint64_t>(i);
+    pair.push_back(std::make_unique<runtime::ServingEngine>(&pipeline, healthy));
+  }
+  std::vector<runtime::ServingEngine*> pair_borrowed;
+  for (const auto& r : pair) pair_borrowed.push_back(r.get());
+  net::Router pair_router(2, net::RouterConfig{});
+  net::EpollServerConfig epoll_config;
+  epoll_config.num_loops = 2;
+  net::EpollRpcServer epoll_server(pair_borrowed, &pair_router, epoll_config);
+  if (Status s = epoll_server.Start(); !s.ok()) {
+    std::printf("epoll server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  net::FleetConfig piped = fc;
+  piped.num_clients = 8;
+  piped.num_requests = fast ? 320 : 1600;
+  piped.pipeline_window = 8;
+  net::ClientFleet piped_fleet(world, piped);
+  StatusOr<net::FleetReport> piped_report =
+      piped_fleet.Run("127.0.0.1", epoll_server.port());
+  if (!piped_report.ok()) {
+    std::printf("pipelined fleet failed: %s\n",
+                piped_report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", piped_report.value().ToString().c_str());
+  std::printf("epoll counters:\n%s\n", epoll_server.stats().ToString().c_str());
+  epoll_server.Stop();
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <thread>
 #include <unordered_set>
 #include <utility>
@@ -18,12 +19,23 @@ StatusOr<RpcClient> RpcClient::Connect(const std::string& host,
   return RpcClient(std::move(connection).value());
 }
 
-StatusOr<RpcResponse> RpcClient::Call(const RpcRequest& request) {
+StatusOr<uint64_t> RpcClient::Send(const RpcRequest& request) {
   RpcRequest outgoing = request;
   outgoing.sequence = next_sequence_++;
   std::vector<uint8_t> frame = EncodeRequestFrame(outgoing);
   BASM_RETURN_IF_ERROR(connection_.WriteAll(frame.data(), frame.size()));
+  return outgoing.sequence;
+}
 
+StatusOr<RpcResponse> RpcClient::Receive(int timeout_ms) {
+  if (timeout_ms >= 0) {
+    StatusOr<bool> readable = connection_.WaitReadable(timeout_ms);
+    if (!readable.ok()) return readable.status();
+    if (!readable.value()) {
+      return Status::DeadlineExceeded("no response within " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+  }
   uint8_t header_bytes[kFrameHeaderBytes];
   BASM_RETURN_IF_ERROR(
       connection_.ReadAll(header_bytes, kFrameHeaderBytes));
@@ -39,14 +51,23 @@ StatusOr<RpcResponse> RpcClient::Call(const RpcRequest& request) {
   RpcResponse response;
   BASM_RETURN_IF_ERROR(
       DecodeResponsePayload(payload.data(), payload.size(), &response));
+  return response;
+}
+
+StatusOr<RpcResponse> RpcClient::Call(const RpcRequest& request) {
+  StatusOr<uint64_t> sequence = Send(request);
+  if (!sequence.ok()) return sequence.status();
+  StatusOr<RpcResponse> received = Receive(-1);
+  if (!received.ok()) return received;
   // Sequence 0 is the server's "decode failed before the sequence was
   // known" escape hatch; anything else must echo ours.
-  if (response.sequence != 0 && response.sequence != outgoing.sequence) {
+  if (received.value().sequence != 0 &&
+      received.value().sequence != sequence.value()) {
     return Status::Internal("response sequence mismatch: sent " +
-                            std::to_string(outgoing.sequence) + ", got " +
-                            std::to_string(response.sequence));
+                            std::to_string(sequence.value()) + ", got " +
+                            std::to_string(received.value().sequence));
   }
-  return response;
+  return received;
 }
 
 ClientFleet::ClientFleet(const data::World& world, FleetConfig config)
@@ -59,6 +80,31 @@ ClientFleet::ClientFleet(const data::World& world, FleetConfig config)
   user_replica_.assign(world.config().num_users, -1);
 }
 
+RpcRequest ClientFleet::MakeRequest(Rng& rng, int64_t i) const {
+  RpcRequest request;
+  // Zipf-distributed users over the meal-time exposure curve: the traffic
+  // shape of the paper's Fig 2, offered to the router as-is.
+  request.request.user_id = static_cast<int32_t>(user_zipf_.Sample(rng));
+  request.request.hour = world_.SampleHour(rng);
+  request.request.weekday = static_cast<int32_t>(i % 7);
+  request.request.city = world_.user(request.request.user_id).city;
+  request.request.day = 0;
+  request.request.request_id = static_cast<int32_t>(i);
+  request.deadline_micros = config_.deadline_micros;
+  if (config_.explicit_candidates > 0) {
+    const std::vector<int32_t>& pool =
+        world_.CityItems(request.request.city);
+    std::unordered_set<int32_t> picked;
+    int32_t want = std::min<int32_t>(config_.explicit_candidates,
+                                     static_cast<int32_t>(pool.size()));
+    while (static_cast<int32_t>(picked.size()) < want) {
+      picked.insert(pool[rng.NextUint64(pool.size())]);
+    }
+    request.candidates.assign(picked.begin(), picked.end());
+  }
+  return request;
+}
+
 void ClientFleet::ClientLoop(const std::string& host, uint16_t port,
                              int32_t client_id, int64_t begin, int64_t end,
                              FleetReport* report,
@@ -69,59 +115,87 @@ void ClientFleet::ClientLoop(const std::string& host, uint16_t port,
     return;
   }
   Rng rng = Rng(config_.seed).Fork(static_cast<uint64_t>(client_id));
+  const int32_t window = std::max<int32_t>(1, config_.pipeline_window);
   int32_t consecutive_transport_failures = 0;
 
-  for (int64_t i = begin; i < end; ++i) {
-    RpcRequest request;
-    // Zipf-distributed users over the meal-time exposure curve: the traffic
-    // shape of the paper's Fig 2, offered to the router as-is.
-    request.request.user_id =
-        static_cast<int32_t>(user_zipf_.Sample(rng));
-    request.request.hour = world_.SampleHour(rng);
-    request.request.weekday = static_cast<int32_t>(i % 7);
-    request.request.city = world_.user(request.request.user_id).city;
-    request.request.day = 0;
-    request.request.request_id = static_cast<int32_t>(i);
-    request.deadline_micros = config_.deadline_micros;
-    if (config_.explicit_candidates > 0) {
-      const std::vector<int32_t>& pool =
-          world_.CityItems(request.request.city);
-      std::unordered_set<int32_t> picked;
-      int32_t want = std::min<int32_t>(config_.explicit_candidates,
-                                       static_cast<int32_t>(pool.size()));
-      while (static_cast<int32_t>(picked.size()) < want) {
-        picked.insert(pool[rng.NextUint64(pool.size())]);
+  // In-flight bookkeeping for the pipelined window: sequence -> what we
+  // need when its response lands (possibly out of order).
+  struct InFlight {
+    int32_t user_id = 0;
+    double start_seconds = 0.0;
+  };
+  std::map<uint64_t, InFlight> outstanding;
+  WallTimer timer;
+  int64_t next = begin;
+
+  // A broken stream loses every in-flight request (each counted as one
+  // transport error, like the serial loop's lost call). Returns false when
+  // the client abandons the remainder.
+  auto recover_transport = [&]() -> bool {
+    report->transport_errors += static_cast<int64_t>(outstanding.size());
+    outstanding.clear();
+    if (++consecutive_transport_failures >= config_.max_transport_failures) {
+      report->transport_errors += end - next;  // abandoned remainder
+      return false;
+    }
+    // The stream is broken (or the server closed on a malformed frame);
+    // reconnect and carry on with the next request.
+    client = RpcClient::Connect(host, port);
+    if (!client.ok()) {
+      report->transport_errors += end - next;
+      return false;
+    }
+    return true;
+  };
+
+  while (next < end || !outstanding.empty()) {
+    // Fill the window before waiting: with window 1 this is the classic
+    // lock-step loop, with window N the frontend sees N frames back to
+    // back and completes them in whatever order the replicas finish.
+    bool send_failed = false;
+    while (next < end &&
+           static_cast<int32_t>(outstanding.size()) < window) {
+      RpcRequest request = MakeRequest(rng, next);
+      ++next;
+      ++report->sent;
+      StatusOr<uint64_t> sequence = client.value().Send(request);
+      if (!sequence.ok()) {
+        ++report->transport_errors;
+        send_failed = true;
+        break;
       }
-      request.candidates.assign(picked.begin(), picked.end());
+      outstanding.emplace(
+          sequence.value(),
+          InFlight{request.request.user_id, timer.ElapsedSeconds()});
+    }
+    if (send_failed) {
+      if (!recover_transport()) return;
+      continue;
     }
 
-    ++report->sent;
-    WallTimer call_timer;
-    StatusOr<RpcResponse> called = client.value().Call(request);
-    if (!called.ok()) {
-      ++report->transport_errors;
-      if (++consecutive_transport_failures >=
-          config_.max_transport_failures) {
-        report->transport_errors += end - i - 1;  // abandoned remainder
-        return;
-      }
-      // The stream is broken (or the server closed on a malformed frame);
-      // reconnect and carry on with the next request.
-      client = RpcClient::Connect(host, port);
-      if (!client.ok()) {
-        report->transport_errors += end - i - 1;
-        return;
-      }
+    StatusOr<RpcResponse> received =
+        client.value().Receive(config_.receive_timeout_ms);
+    if (!received.ok()) {
+      if (!recover_transport()) return;
+      continue;
+    }
+    auto in_flight = outstanding.find(received.value().sequence);
+    if (in_flight == outstanding.end()) {
+      // Unmatched sequence — either the server's sequence-0 decode-failure
+      // escape hatch or a desynchronized stream; both mean this connection
+      // is done.
+      if (!recover_transport()) return;
       continue;
     }
     consecutive_transport_failures = 0;
-    const RpcResponse& response = called.value();
+    const RpcResponse& response = received.value();
     switch (response.code) {
       case StatusCode::kOk: {
         ++report->ok;
         if (response.degraded) ++report->degraded;
-        recorder->RecordLatency(
-            static_cast<int64_t>(call_timer.ElapsedSeconds() * 1e6));
+        recorder->RecordLatency(static_cast<int64_t>(
+            (timer.ElapsedSeconds() - in_flight->second.start_seconds) *
+            1e6));
         int32_t replica = static_cast<int32_t>(response.replica);
         if (replica >= 0 &&
             static_cast<size_t>(replica) < 1024 /* sane replica count */) {
@@ -131,7 +205,7 @@ void ClientFleet::ClientLoop(const std::string& host, uint16_t port,
           }
           ++report->per_replica_ok[replica];
           MutexLock lock(&rehome_mu_);
-          int32_t& last = user_replica_[request.request.user_id];
+          int32_t& last = user_replica_[in_flight->second.user_id];
           if (last >= 0 && last != replica) ++report->rehomed_users;
           last = replica;
         }
@@ -144,7 +218,11 @@ void ClientFleet::ClientLoop(const std::string& host, uint16_t port,
         ++report->failed;
         break;
     }
+    outstanding.erase(in_flight);
   }
+  // Reached only when every assigned request was resolved (answered or
+  // tallied), never via abandonment.
+  ++report->clients_served;
 }
 
 StatusOr<FleetReport> ClientFleet::Run(const std::string& host,
@@ -179,6 +257,7 @@ StatusOr<FleetReport> ClientFleet::Run(const std::string& host,
     report.failed += partial.failed;
     report.transport_errors += partial.transport_errors;
     report.rehomed_users += partial.rehomed_users;
+    report.clients_served += partial.clients_served;
     if (partial.per_replica_ok.size() > report.per_replica_ok.size()) {
       report.per_replica_ok.resize(partial.per_replica_ok.size(), 0);
     }
@@ -215,9 +294,10 @@ std::string FleetReport::ToString() const {
   out += line;
   std::snprintf(line, sizeof(line),
                 "goodput %.1f qps  p50 %.0f us  p99 %.0f us  "
-                "rehomed users %lld\n",
+                "rehomed users %lld  clients served %lld\n",
                 qps, p50_micros, p99_micros,
-                static_cast<long long>(rehomed_users));
+                static_cast<long long>(rehomed_users),
+                static_cast<long long>(clients_served));
   out += line;
   if (!per_replica_ok.empty()) {
     out += "per-replica ok:";

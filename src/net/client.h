@@ -15,9 +15,12 @@
 
 namespace basm::net {
 
-/// Blocking RPC client over one TCP connection: one in-flight call at a
-/// time, sequence numbers assigned and verified per call. Move-only (owns
-/// the connection).
+/// Blocking RPC client over one TCP connection. Two usage modes, one
+/// connection object: the classic lock-step Call() (send, block for the
+/// matching response), and the pipelined Send()/Receive() pair — keep a
+/// window of requests in flight and demux responses by the sequence number
+/// they echo, in whatever order the server completes them (the epoll
+/// frontend finishes out of order). Move-only (owns the connection).
 class RpcClient {
  public:
   [[nodiscard]] static StatusOr<RpcClient> Connect(const std::string& host,
@@ -35,6 +38,18 @@ class RpcClient {
   /// (shed, unroutable, deadline) comes back as an OK Call whose
   /// RpcResponse::code is not kOk, exactly as it crossed the wire.
   [[nodiscard]] StatusOr<RpcResponse> Call(const RpcRequest& request);
+
+  /// Pipelined send: assigns the next sequence number, writes the frame,
+  /// and returns the sequence without waiting for the response. The caller
+  /// pairs it with a later Receive() by that sequence.
+  [[nodiscard]] StatusOr<uint64_t> Send(const RpcRequest& request);
+
+  /// Reads the next response frame off the wire, whichever in-flight
+  /// request it answers — the caller demuxes on RpcResponse::sequence.
+  /// `timeout_ms` bounds the wait for the first byte (DEADLINE_EXCEEDED on
+  /// expiry; a starved connection gives up instead of parking forever);
+  /// negative blocks indefinitely.
+  [[nodiscard]] StatusOr<RpcResponse> Receive(int timeout_ms);
 
  private:
   explicit RpcClient(TcpConnection connection)
@@ -63,6 +78,14 @@ struct FleetConfig {
   /// Consecutive transport failures after which a client gives up (the
   /// server is gone, not a replica).
   int32_t max_transport_failures = 3;
+  /// Requests each client keeps in flight on its connection. 1 is the
+  /// classic closed loop; >1 sends a window and demuxes responses by
+  /// sequence number (out-of-order completion from the epoll frontend).
+  int32_t pipeline_window = 1;
+  /// Patience for the next response: no bytes for this long counts as a
+  /// transport failure (a starved connection on an overloaded frontend
+  /// abandons instead of blocking forever). Negative blocks indefinitely.
+  int32_t receive_timeout_ms = 10000;
   uint64_t seed = 0xF1EE7ULL;
 };
 
@@ -81,6 +104,10 @@ struct FleetReport {
   /// Users whose answering replica changed mid-run — zero under stable
   /// replicas (the consistent-hash pin), positive only across a failover.
   int64_t rehomed_users = 0;
+  /// Clients that completed their whole assigned range (no abandonment) —
+  /// the connection-scaling metric: how many concurrent connections the
+  /// frontend actually sustained to completion.
+  int64_t clients_served = 0;
   double wall_seconds = 0.0;
   double qps = 0.0;
   double p50_micros = 0.0;
@@ -105,10 +132,16 @@ class ClientFleet {
                                           uint16_t port);
 
  private:
-  /// One client's closed loop (requests [begin, end) of the run).
+  /// One client's loop (requests [begin, end) of the run): a window of
+  /// `pipeline_window` requests kept in flight, responses demuxed by
+  /// sequence (window 1 degenerates to the classic closed loop).
   void ClientLoop(const std::string& host, uint16_t port, int32_t client_id,
                   int64_t begin, int64_t end, FleetReport* report,
                   runtime::LatencyRecorder* recorder);
+
+  /// Draws one request with the fleet's traffic shape (Zipf user, diurnal
+  /// hour, home city, optional explicit candidates).
+  RpcRequest MakeRequest(Rng& rng, int64_t i) const;
 
   const data::World& world_;
   const FleetConfig config_;

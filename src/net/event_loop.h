@@ -1,0 +1,105 @@
+#ifndef BASM_NET_EVENT_LOOP_H_
+#define BASM_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/synchronization.h"
+
+namespace basm::net {
+
+/// Readiness-based IO loop over epoll: one thread, many non-blocking file
+/// descriptors, one callback per descriptor. The building block of the
+/// event-loop RPC frontend (DESIGN §16) — each loop owns a set of
+/// connections outright, so connection state needs no locks: it is only
+/// ever touched from the loop's thread.
+///
+/// Registration (AddFd/UpdateFd/RemoveFd) is loop-thread-only by contract
+/// (checked); other threads hand work to the loop with PostTask, which is
+/// the only thread-safe entry point. A PostTask from anywhere wakes the
+/// loop through an eventfd, so completions queued by scoring workers are
+/// picked up immediately instead of waiting out the epoll timeout.
+///
+/// Readiness is level-triggered: a handler that does not drain its socket
+/// is simply called again on the next iteration, which keeps partial-read /
+/// partial-write state machines honest without EPOLLET resubscription
+/// subtleties.
+class EventLoop {
+ public:
+  /// Handler for one descriptor's readiness: receives the EPOLL* event mask.
+  using FdHandler = std::function<void(uint32_t events)>;
+  using Task = std::function<void()>;
+
+  EventLoop();
+  /// Stops and joins (equivalent to Stop()).
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll/eventfd pair and starts the loop thread. Call once.
+  [[nodiscard]] Status Start();
+
+  /// Posts a quit task and joins the loop thread. Pending tasks are drained
+  /// before the thread exits; registered handlers are dropped (closing the
+  /// descriptors stays the owner's job). Idempotent.
+  void Stop();
+
+  /// True on the loop's own thread (registration contract).
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_id_.load();
+  }
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT). Loop thread only.
+  [[nodiscard]] Status AddFd(int fd, uint32_t events, FdHandler handler);
+
+  /// Changes the event mask of a registered descriptor. Loop thread only.
+  [[nodiscard]] Status UpdateFd(int fd, uint32_t events);
+
+  /// Unregisters a descriptor (safe mid-dispatch: the handler entry is
+  /// kept alive until the current iteration finishes). Loop thread only.
+  void RemoveFd(int fd);
+
+  /// Enqueues `task` to run on the loop thread and wakes the loop. Safe
+  /// from any thread, including the loop's own (runs later the same
+  /// iteration). After Stop() the task is dropped: the caller must not
+  /// rely on post-Stop delivery.
+  void PostTask(Task task);
+
+  /// Number of descriptors currently registered (loop thread only; the
+  /// tests use it through posted tasks).
+  size_t num_fds() const { return handlers_.size(); }
+
+ private:
+  void Run();
+  void DrainTasks();
+  void DrainWakeup();
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+  std::atomic<bool> quit_{false};
+  std::atomic<bool> accepting_tasks_{false};
+
+  Mutex task_mu_;
+  std::vector<Task> tasks_ BASM_GUARDED_BY(task_mu_);
+
+  /// Loop-thread-only state. shared_ptr so RemoveFd during dispatch cannot
+  /// free a handler the iteration still holds.
+  std::map<int, std::shared_ptr<FdHandler>> handlers_;
+
+  Mutex lifecycle_mu_;
+  bool started_ BASM_GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ BASM_GUARDED_BY(lifecycle_mu_) = false;
+  std::thread thread_ BASM_GUARDED_BY(lifecycle_mu_);
+  std::atomic<std::thread::id> loop_thread_id_{};
+};
+
+}  // namespace basm::net
+
+#endif  // BASM_NET_EVENT_LOOP_H_

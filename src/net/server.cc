@@ -8,14 +8,13 @@
 
 namespace basm::net {
 
-RpcServer::RpcServer(std::vector<runtime::ServingEngine*> replicas,
-                     Router* router, ServerConfig config)
+FrontendCore::FrontendCore(std::vector<runtime::ServingEngine*> replicas,
+                           Router* router, FrontendConfig config)
     : replicas_(std::move(replicas)), router_(router), config_(config) {
   BASM_CHECK(!replicas_.empty());
   BASM_CHECK(router_ != nullptr);
   BASM_CHECK_EQ(router_->num_replicas(),
                 static_cast<int32_t>(replicas_.size()));
-  BASM_CHECK_GT(config_.io_threads, 0);
   BASM_CHECK_GE(config_.max_failovers, 0);
   for (runtime::ServingEngine* engine : replicas_) {
     BASM_CHECK(engine != nullptr);
@@ -24,6 +23,124 @@ RpcServer::RpcServer(std::vector<runtime::ServingEngine*> replicas,
   for (size_t i = 0; i < replicas_.size(); ++i) {
     per_replica_.push_back(std::make_unique<PerReplica>());
   }
+}
+
+void FrontendCore::SubmitAsync(const RpcRequest& request,
+                               ResponseCallback done) {
+  // One heap copy shared across failover attempts: a retry re-reads the
+  // request from whichever thread observed the dead replica.
+  Dispatch(std::make_shared<const RpcRequest>(request), config_.max_failovers,
+           std::move(done));
+}
+
+void FrontendCore::Dispatch(std::shared_ptr<const RpcRequest> request,
+                            int32_t failovers_left, ResponseCallback done) {
+  RpcResponse response;
+  response.sequence = request->sequence;
+  response.replica = kNoReplica;
+
+  StatusOr<int32_t> routed = router_->Route(request->request.user_id);
+  if (!routed.ok()) {
+    unroutable_.fetch_add(1, std::memory_order_relaxed);
+    response.code = StatusCode::kUnavailable;
+    response.message = routed.status().message();
+    done(std::move(response));
+    return;
+  }
+  const int32_t r = routed.value();
+  runtime::ServingEngine* engine = replicas_[r];
+  response.replica = static_cast<uint32_t>(r);
+
+  // Admission control: shed while the replica's backlog is saturated
+  // instead of letting the request join a queue it will time out in.
+  // Deliberately no breaker report — overload is backpressure, not
+  // death, and must not re-home the user's shard.
+  const double capacity = static_cast<double>(engine->queue_capacity());
+  if (config_.shed_queue_fraction < 1.0 &&
+      static_cast<double>(engine->QueueDepth()) >=
+          config_.shed_queue_fraction * capacity) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    response.code = StatusCode::kUnavailable;
+    response.message = "replica " + std::to_string(r) + " saturated";
+    done(std::move(response));
+    return;
+  }
+
+  engine->SubmitWithCallback(
+      request->request, request->candidates, request->deadline_micros,
+      [this, request, r, failovers_left,
+       done = std::move(done)](runtime::SlateResult result) mutable {
+        RpcResponse response;
+        response.sequence = request->sequence;
+        response.replica = static_cast<uint32_t>(r);
+
+        if (result.status.ok()) {
+          router_->ReportSuccess(r);
+          per_replica_[r]->ok.fetch_add(1, std::memory_order_relaxed);
+          response.code = StatusCode::kOk;
+          response.model_version = result.model_version;
+          response.degraded = result.degraded;
+          response.slate = std::move(result.slate);
+          done(std::move(response));
+          return;
+        }
+
+        if (result.status.code() == StatusCode::kCancelled) {
+          // The engine is shut down — this replica is dead. Feed its
+          // breaker (consecutive failures open it, removing the replica
+          // from the ring walk) and transparently fail the request over to
+          // a survivor. A dead engine rejects inline on the submitting
+          // thread, so the retry recursion is bounded by the budget.
+          router_->ReportFailure(r);
+          per_replica_[r]->failed.fetch_add(1, std::memory_order_relaxed);
+          if (failovers_left > 0) {
+            failover_retries_.fetch_add(1, std::memory_order_relaxed);
+            Dispatch(std::move(request), failovers_left - 1, std::move(done));
+            return;
+          }
+        } else if (result.status.code() == StatusCode::kUnavailable) {
+          // Queue-full reject from a live replica: counted as shed, breaker
+          // untouched (same reasoning as the admission check above).
+          shed_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Deadline-exceeded and other per-request failures: the replica
+          // answered, so it is alive; report nothing to the breaker.
+          per_replica_[r]->failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        response.code = result.status.code();
+        response.message = result.status.message();
+        done(std::move(response));
+      });
+}
+
+RpcResponse FrontendCore::HandleRequestBlocking(const RpcRequest& request) {
+  std::promise<RpcResponse> promise;
+  std::future<RpcResponse> future = promise.get_future();
+  SubmitAsync(request, [&promise](RpcResponse response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
+}
+
+void FrontendCore::FillStats(ServerStats* stats) const {
+  stats->shed = shed_.load(std::memory_order_relaxed);
+  stats->unroutable = unroutable_.load(std::memory_order_relaxed);
+  stats->failover_retries = failover_retries_.load(std::memory_order_relaxed);
+  stats->per_replica_ok.reserve(per_replica_.size());
+  stats->per_replica_failed.reserve(per_replica_.size());
+  for (const auto& pr : per_replica_) {
+    stats->per_replica_ok.push_back(pr->ok.load(std::memory_order_relaxed));
+    stats->per_replica_failed.push_back(
+        pr->failed.load(std::memory_order_relaxed));
+  }
+}
+
+RpcServer::RpcServer(std::vector<runtime::ServingEngine*> replicas,
+                     Router* router, ServerConfig config)
+    : core_(std::move(replicas), router,
+            FrontendConfig{config.shed_queue_fraction, config.max_failovers}),
+      config_(config) {
+  BASM_CHECK_GT(config_.io_threads, 0);
 }
 
 RpcServer::~RpcServer() { Stop(); }
@@ -124,7 +241,7 @@ void RpcServer::HandleConnection(std::shared_ptr<TcpConnection> connection) {
       return;
     }
 
-    RpcResponse response = HandleRequest(request);
+    RpcResponse response = core_.HandleRequestBlocking(request);
     std::vector<uint8_t> frame = EncodeResponseFrame(response);
     // Counted before the write: a client that has *observed* the response
     // must find it in stats(), and WriteAll publishes bytes to the peer
@@ -138,81 +255,6 @@ void RpcServer::HandleConnection(std::shared_ptr<TcpConnection> connection) {
   }
 }
 
-RpcResponse RpcServer::HandleRequest(const RpcRequest& request) {
-  RpcResponse response;
-  response.sequence = request.sequence;
-  response.replica = kNoReplica;
-
-  int32_t failovers_left = config_.max_failovers;
-  while (true) {
-    StatusOr<int32_t> routed = router_->Route(request.request.user_id);
-    if (!routed.ok()) {
-      unroutable_.fetch_add(1, std::memory_order_relaxed);
-      response.code = StatusCode::kUnavailable;
-      response.message = routed.status().message();
-      return response;
-    }
-    const int32_t r = routed.value();
-    runtime::ServingEngine* engine = replicas_[r];
-    response.replica = static_cast<uint32_t>(r);
-
-    // Admission control: shed while the replica's backlog is saturated
-    // instead of letting the request join a queue it will time out in.
-    // Deliberately no breaker report — overload is backpressure, not
-    // death, and must not re-home the user's shard.
-    const double capacity = static_cast<double>(engine->queue_capacity());
-    if (config_.shed_queue_fraction < 1.0 &&
-        static_cast<double>(engine->QueueDepth()) >=
-            config_.shed_queue_fraction * capacity) {
-      shed_.fetch_add(1, std::memory_order_relaxed);
-      response.code = StatusCode::kUnavailable;
-      response.message = "replica " + std::to_string(r) + " saturated";
-      return response;
-    }
-
-    std::future<runtime::SlateResult> future =
-        request.deadline_micros > 0
-            ? engine->Submit(request.request, request.candidates,
-                             request.deadline_micros)
-            : engine->Submit(request.request, request.candidates);
-    runtime::SlateResult result = future.get();
-
-    if (result.status.ok()) {
-      router_->ReportSuccess(r);
-      per_replica_[r]->ok.fetch_add(1, std::memory_order_relaxed);
-      response.code = StatusCode::kOk;
-      response.model_version = result.model_version;
-      response.degraded = result.degraded;
-      response.slate = std::move(result.slate);
-      return response;
-    }
-
-    if (result.status.code() == StatusCode::kCancelled) {
-      // The engine is shut down — this replica is dead. Feed its breaker
-      // (consecutive failures open it, removing the replica from the ring
-      // walk) and transparently fail the request over to a survivor.
-      router_->ReportFailure(r);
-      per_replica_[r]->failed.fetch_add(1, std::memory_order_relaxed);
-      if (failovers_left > 0) {
-        --failovers_left;
-        failover_retries_.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-    } else if (result.status.code() == StatusCode::kUnavailable) {
-      // Queue-full reject from a live replica: counted as shed, breaker
-      // untouched (same reasoning as the admission check above).
-      shed_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      // Deadline-exceeded and other per-request failures: the replica
-      // answered, so it is alive; report nothing to the breaker.
-      per_replica_[r]->failed.fetch_add(1, std::memory_order_relaxed);
-    }
-    response.code = result.status.code();
-    response.message = result.status.message();
-    return response;
-  }
-}
-
 ServerStats RpcServer::stats() const {
   ServerStats s;
   s.connections_accepted =
@@ -220,16 +262,7 @@ ServerStats RpcServer::stats() const {
   s.frames_received = frames_received_.load(std::memory_order_relaxed);
   s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
   s.decode_errors = decode_errors_.load(std::memory_order_relaxed);
-  s.shed = shed_.load(std::memory_order_relaxed);
-  s.unroutable = unroutable_.load(std::memory_order_relaxed);
-  s.failover_retries = failover_retries_.load(std::memory_order_relaxed);
-  s.per_replica_ok.reserve(per_replica_.size());
-  s.per_replica_failed.reserve(per_replica_.size());
-  for (const auto& pr : per_replica_) {
-    s.per_replica_ok.push_back(pr->ok.load(std::memory_order_relaxed));
-    s.per_replica_failed.push_back(
-        pr->failed.load(std::memory_order_relaxed));
-  }
+  core_.FillStats(&s);
   return s;
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -20,13 +21,9 @@ namespace basm::net {
 /// Replica field of a response that never reached any replica.
 inline constexpr uint32_t kNoReplica = 0xFFFFFFFFu;
 
-struct ServerConfig {
-  /// 0 binds an ephemeral port; read it back with port() after Start().
-  uint16_t port = 0;
-  /// Connection-handler threads (thread-per-connection): the frontend
-  /// serves at most this many concurrent connections; further accepts
-  /// queue on the pool.
-  int32_t io_threads = 8;
+/// Routing/admission knobs shared by both frontends (thread-per-connection
+/// RpcServer and the event-loop EpollRpcServer).
+struct FrontendConfig {
   /// Admission control: a request whose target replica's backlog is at or
   /// above this fraction of its queue capacity is shed with UNAVAILABLE
   /// before submission — the proactive layer on top of the engine's own
@@ -37,8 +34,6 @@ struct ServerConfig {
   /// is gone (CANCELLED) is re-routed (breaker now open or counting) at
   /// most this many extra times before the error goes back to the client.
   int32_t max_failovers = 2;
-  /// Stop-flag poll cadence of the acceptor and handler loops.
-  int32_t poll_interval_ms = 20;
 };
 
 /// Counters of one server since Start() (all monotonic; snapshot is
@@ -63,24 +58,97 @@ struct ServerStats {
   std::string ToString() const;
 };
 
+/// The transport-independent core of the serving frontend: route one decoded
+/// request (consistent hash + breaker health), admission-shed against the
+/// target replica's live queue depth, submit to the engine, and fail dead
+/// replicas over — exactly once per request, no matter which transport
+/// carried the frame. Both RpcServer (blocking, thread-per-connection) and
+/// EpollRpcServer (event loop, pipelined) delegate here, so the shed-vs-dead
+/// split and the breaker semantics cannot drift between the two frontends.
+///
+/// A submit that fails because the replica is dead (engine shut down,
+/// CANCELLED) feeds the replica's breaker and fails over to the next ring
+/// replica within `max_failovers`; queue-full rejects are shed *without*
+/// touching the breaker — overload is not death, and collapsing the two
+/// would let a traffic spike evict a healthy replica's shard.
+///
+/// The engines and router are borrowed and must outlive the core.
+class FrontendCore {
+ public:
+  /// Completion callback: receives the finished response exactly once, on a
+  /// scoring worker thread or inline on the submitting thread (shed,
+  /// unroutable, or dead-replica reject after the failover budget). Must be
+  /// non-blocking: it runs on the engine's scoring workers.
+  using ResponseCallback = std::function<void(RpcResponse)>;
+
+  FrontendCore(std::vector<runtime::ServingEngine*> replicas, Router* router,
+               FrontendConfig config);
+
+  FrontendCore(const FrontendCore&) = delete;
+  FrontendCore& operator=(const FrontendCore&) = delete;
+
+  /// Non-blocking submit: routes, admission-sheds, hands the request to the
+  /// replica's engine, and invokes `done` when the slate (or the error) is
+  /// ready. Failover re-dispatch happens on whichever thread observed the
+  /// dead replica; a dead engine rejects inline, so the recursion depth is
+  /// bounded by `max_failovers`.
+  void SubmitAsync(const RpcRequest& request, ResponseCallback done);
+
+  /// Blocking convenience for the thread-per-connection path: SubmitAsync
+  /// plus a wait for the completion.
+  RpcResponse HandleRequestBlocking(const RpcRequest& request);
+
+  /// Adds this core's counters (shed/unroutable/failover/per-replica) into
+  /// `stats`; the transport owns the connection/frame counters.
+  void FillStats(ServerStats* stats) const;
+
+ private:
+  /// One routing attempt with `failovers_left` retries remaining.
+  void Dispatch(std::shared_ptr<const RpcRequest> request,
+                int32_t failovers_left, ResponseCallback done);
+
+  const std::vector<runtime::ServingEngine*> replicas_;
+  Router* router_;
+  const FrontendConfig config_;
+
+  struct PerReplica {
+    std::atomic<int64_t> ok{0};
+    std::atomic<int64_t> failed{0};
+  };
+  std::vector<std::unique_ptr<PerReplica>> per_replica_;
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> unroutable_{0};
+  std::atomic<int64_t> failover_retries_{0};
+};
+
+struct ServerConfig {
+  /// 0 binds an ephemeral port; read it back with port() after Start().
+  uint16_t port = 0;
+  /// Connection-handler threads (thread-per-connection): the frontend
+  /// serves at most this many concurrent connections; further accepts
+  /// queue on the pool.
+  int32_t io_threads = 8;
+  /// See FrontendConfig.
+  double shed_queue_fraction = 0.9;
+  int32_t max_failovers = 2;
+  /// Stop-flag poll cadence of the acceptor and handler loops.
+  int32_t poll_interval_ms = 20;
+};
+
 /// TCP frontend of the multi-replica serving tier: a loopback/LAN acceptor
 /// (thread-per-connection on common::ThreadPool) speaking the length-
 /// prefixed binary protocol of net/wire.h, fronting N independent
 /// ServingEngine replicas behind a consistent-hash Router.
 ///
-/// Request path per frame: decode -> Route (consistent hash + breaker
-/// health) -> admission control against the replica's live queue depth ->
-/// ServingEngine::Submit -> encode the slate (or the error) back. A submit
-/// that fails because the replica is dead (engine shut down) feeds the
-/// replica's breaker and fails over to the next ring replica within
-/// `max_failovers`; queue-full rejects are shed *without* touching the
-/// breaker — overload is not death, and collapsing the two would let a
-/// traffic spike evict a healthy replica's shard.
-///
-/// The engines and router are borrowed and must outlive Stop(). Connections
+/// Request path per frame: decode -> FrontendCore (route, admission-shed,
+/// submit, failover) -> encode the slate (or the error) back. Connections
 /// are handled synchronously (one in-flight request per connection), which
 /// matches the closed-loop client fleet; concurrency comes from many
 /// connections, micro-batching inside each engine from concurrent arrivals.
+/// EpollRpcServer (net/epoll_server.h) is the pipelined event-loop frontend
+/// over the same core.
+///
+/// The engines and router are borrowed and must outlive Stop().
 class RpcServer {
  public:
   RpcServer(std::vector<runtime::ServingEngine*> replicas, Router* router,
@@ -107,11 +175,8 @@ class RpcServer {
  private:
   void AcceptLoop();
   void HandleConnection(std::shared_ptr<TcpConnection> connection);
-  /// Routes and scores one decoded request (the failover loop lives here).
-  RpcResponse HandleRequest(const RpcRequest& request);
 
-  const std::vector<runtime::ServingEngine*> replicas_;
-  Router* router_;
+  FrontendCore core_;
   const ServerConfig config_;
 
   TcpListener listener_;
@@ -124,18 +189,10 @@ class RpcServer {
   bool stopped_ BASM_GUARDED_BY(lifecycle_mu_) = false;
   std::thread acceptor_ BASM_GUARDED_BY(lifecycle_mu_);
 
-  struct PerReplica {
-    std::atomic<int64_t> ok{0};
-    std::atomic<int64_t> failed{0};
-  };
-  std::vector<std::unique_ptr<PerReplica>> per_replica_;
   std::atomic<int64_t> connections_accepted_{0};
   std::atomic<int64_t> frames_received_{0};
   std::atomic<int64_t> responses_sent_{0};
   std::atomic<int64_t> decode_errors_{0};
-  std::atomic<int64_t> shed_{0};
-  std::atomic<int64_t> unroutable_{0};
-  std::atomic<int64_t> failover_retries_{0};
 };
 
 }  // namespace basm::net

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -43,6 +44,27 @@ StatusOr<bool> PollFd(int fd, short events, int timeout_ms) {
 }
 
 }  // namespace
+
+Status Socket::SetNonBlocking(bool nonblocking) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Status::Internal(ErrnoMessage("fcntl(F_GETFL)", errno));
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd_, F_SETFL, flags) != 0) {
+    return Status::Internal(ErrnoMessage("fcntl(F_SETFL)", errno));
+  }
+  return Status::Ok();
+}
+
+Status Socket::SetSendBufferBytes(int32_t bytes) {
+  if (setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) != 0) {
+    return Status::Internal(ErrnoMessage("setsockopt(SO_SNDBUF)", errno));
+  }
+  return Status::Ok();
+}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
@@ -96,6 +118,14 @@ Status TcpConnection::WriteAll(const void* data, size_t size) {
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Slow peer (full send buffer) on a non-blocking descriptor: a
+        // frame half-written here would desynchronize the stream for every
+        // later frame, so park on writability and finish the buffer.
+        StatusOr<bool> writable = PollFd(socket_.fd(), POLLOUT, -1);
+        if (!writable.ok()) return writable.status();
+        continue;
+      }
       return Status::Unavailable(ErrnoMessage("send", errno));
     }
     written += static_cast<size_t>(n);
@@ -110,6 +140,13 @@ Status TcpConnection::ReadAll(void* data, size_t size) {
     ssize_t n = ::recv(socket_.fd(), p + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking descriptor used through the blocking wrapper: wait
+        // for readability and continue accumulating the buffer.
+        StatusOr<bool> readable = PollFd(socket_.fd(), POLLIN, -1);
+        if (!readable.ok()) return readable.status();
+        continue;
+      }
       return Status::Unavailable(ErrnoMessage("recv", errno));
     }
     if (n == 0) {
@@ -121,6 +158,44 @@ Status TcpConnection::ReadAll(void* data, size_t size) {
     got += static_cast<size_t>(n);
   }
   return Status::Ok();
+}
+
+StatusOr<IoChunk> TcpConnection::WriteChunk(const void* data, size_t size) {
+  IoChunk chunk;
+  while (true) {
+    ssize_t n = ::send(socket_.fd(), data, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      chunk.bytes = static_cast<size_t>(n);
+      return chunk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      chunk.would_block = true;
+      return chunk;
+    }
+    return Status::Unavailable(ErrnoMessage("send", errno));
+  }
+}
+
+StatusOr<IoChunk> TcpConnection::ReadChunk(void* data, size_t size) {
+  IoChunk chunk;
+  while (true) {
+    ssize_t n = ::recv(socket_.fd(), data, size, 0);
+    if (n > 0) {
+      chunk.bytes = static_cast<size_t>(n);
+      return chunk;
+    }
+    if (n == 0) {
+      chunk.eof = true;
+      return chunk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      chunk.would_block = true;
+      return chunk;
+    }
+    return Status::Unavailable(ErrnoMessage("recv", errno));
+  }
 }
 
 StatusOr<bool> TcpConnection::WaitReadable(int timeout_ms) {
@@ -170,6 +245,22 @@ StatusOr<TcpConnection> TcpListener::Accept() {
       return TcpConnection(std::move(conn));
     }
     if (errno == EINTR) continue;
+    return Status::Unavailable(ErrnoMessage("accept", errno));
+  }
+}
+
+StatusOr<bool> TcpListener::TryAccept(TcpConnection* out) {
+  while (true) {
+    int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      BASM_RETURN_IF_ERROR(SetNoDelay(fd));
+      BASM_RETURN_IF_ERROR(conn.SetNonBlocking(true));
+      *out = TcpConnection(std::move(conn));
+      return true;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
     return Status::Unavailable(ErrnoMessage("accept", errno));
   }
 }

@@ -24,6 +24,16 @@ class Socket {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
+  /// Toggles O_NONBLOCK. The event-loop tier runs every socket
+  /// non-blocking; the legacy thread-per-connection path leaves them
+  /// blocking.
+  [[nodiscard]] Status SetNonBlocking(bool nonblocking);
+
+  /// Clamps the kernel send buffer (SO_SNDBUF). Serving uses the OS
+  /// default; the backpressure tests shrink it so a slow reader fills the
+  /// kernel's slack deterministically instead of after ~100KB.
+  [[nodiscard]] Status SetSendBufferBytes(int32_t bytes);
+
   /// Closes the descriptor (idempotent).
   void Close();
 
@@ -36,9 +46,21 @@ class Socket {
   int fd_ = -1;
 };
 
-/// Blocking full-buffer transfers over a connected TCP socket, the framing
-/// substrate of the wire protocol (a frame is one WriteAll of header +
-/// payload, one ReadAll of the header, one ReadAll of the payload).
+/// Outcome of one non-blocking transfer attempt: `bytes` moved (possibly
+/// zero), or the reason nothing moved. Exactly one of the flags can be set.
+struct IoChunk {
+  size_t bytes = 0;
+  /// The socket would have blocked (EAGAIN): re-arm readiness and retry.
+  bool would_block = false;
+  /// The peer closed its end (reads only).
+  bool eof = false;
+};
+
+/// Full-buffer transfers over a connected TCP socket, the framing substrate
+/// of the wire protocol (a frame is one WriteAll of header + payload, one
+/// ReadAll of the header, one ReadAll of the payload). ReadChunk/WriteChunk
+/// are the non-blocking single-attempt primitives the event-loop tier
+/// builds its per-connection state machines on.
 class TcpConnection {
  public:
   TcpConnection() = default;
@@ -52,13 +74,38 @@ class TcpConnection {
   bool valid() const { return socket_.valid(); }
 
   /// Writes exactly `size` bytes or fails. A peer reset surfaces as
-  /// UNAVAILABLE.
+  /// UNAVAILABLE. A short write (slow peer, full send buffer, or a
+  /// non-blocking descriptor) is continued, polling for writability when
+  /// the socket would block — the frame is delivered whole or the call
+  /// fails, never left half-written to corrupt the stream framing.
   [[nodiscard]] Status WriteAll(const void* data, size_t size);
 
   /// Reads exactly `size` bytes or fails. A clean peer close before the
   /// first byte is CANCELLED ("connection closed"); mid-buffer EOF is
-  /// UNAVAILABLE (truncated stream).
+  /// UNAVAILABLE (truncated stream). Like WriteAll, a would-block from a
+  /// non-blocking descriptor polls for readability and continues.
   [[nodiscard]] Status ReadAll(void* data, size_t size);
+
+  /// One non-blocking write attempt: moves whatever the send buffer takes
+  /// right now and reports `would_block` instead of parking. Never polls.
+  [[nodiscard]] StatusOr<IoChunk> WriteChunk(const void* data, size_t size);
+
+  /// One non-blocking read attempt; `eof` reports a closed peer, and a
+  /// would-block returns zero bytes instead of parking. Never polls.
+  [[nodiscard]] StatusOr<IoChunk> ReadChunk(void* data, size_t size);
+
+  /// See Socket::SetNonBlocking.
+  [[nodiscard]] Status SetNonBlocking(bool nonblocking) {
+    return socket_.SetNonBlocking(nonblocking);
+  }
+
+  /// See Socket::SetSendBufferBytes.
+  [[nodiscard]] Status SetSendBufferBytes(int32_t bytes) {
+    return socket_.SetSendBufferBytes(bytes);
+  }
+
+  /// Raw descriptor for readiness registration (epoll). Owned here.
+  int fd() const { return socket_.fd(); }
 
   /// Blocks up to `timeout_ms` for readability. Returns true when a read
   /// would not block (data or EOF pending), false on timeout. Lets handler
@@ -90,7 +137,23 @@ class TcpListener {
   [[nodiscard]] StatusOr<bool> WaitAcceptable(int timeout_ms);
 
   /// Accepts one pending connection (blocking; pair with WaitAcceptable).
+  /// TCP_NODELAY is set on the accepted socket (frames are small and
+  /// latency-bound).
   [[nodiscard]] StatusOr<TcpConnection> Accept();
+
+  /// Non-blocking accept for the event-loop tier: returns false when no
+  /// connection is pending (the listener must be non-blocking), true with
+  /// `*out` filled otherwise. The accepted socket comes back non-blocking
+  /// with TCP_NODELAY set, ready for epoll registration.
+  [[nodiscard]] StatusOr<bool> TryAccept(TcpConnection* out);
+
+  /// See Socket::SetNonBlocking.
+  [[nodiscard]] Status SetNonBlocking(bool nonblocking) {
+    return socket_.SetNonBlocking(nonblocking);
+  }
+
+  /// Raw descriptor for readiness registration (epoll). Owned here.
+  int fd() const { return socket_.fd(); }
 
  private:
   TcpListener(Socket socket, uint16_t port)

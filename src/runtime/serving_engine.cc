@@ -81,10 +81,40 @@ std::future<SlateResult> ServingEngine::Submit(
   job->deadline =
       job->enqueue_time + std::chrono::microseconds(deadline_micros);
   std::future<SlateResult> future = job->promise.get_future();
+  Enqueue(std::move(job));
+  return future;
+}
 
+void ServingEngine::SubmitWithCallback(const serving::Request& request,
+                                       std::vector<int32_t> candidates,
+                                       int64_t deadline_micros,
+                                       SlateCallback done) {
+  BASM_CHECK(done != nullptr);
+  auto job = std::make_unique<Job>();
+  job->request = request;
+  job->candidates = std::move(candidates);
+  job->enqueue_time = Clock::now();
+  job->deadline = job->enqueue_time +
+                  std::chrono::microseconds(deadline_micros > 0
+                                                ? deadline_micros
+                                                : config_.default_deadline_micros);
+  job->callback = std::move(done);
+  Enqueue(std::move(job));
+}
+
+void ServingEngine::Resolve(Job* job, SlateResult result) {
+  if (job->callback) {
+    job->callback(std::move(result));
+  } else {
+    job->promise.set_value(std::move(result));
+  }
+}
+
+void ServingEngine::Enqueue(std::unique_ptr<Job> job) {
   if (!queue_.TryPush(std::move(job))) {
     // A rejected push leaves the job with us (TryPush takes an rvalue
-    // reference and only moves on success), so the promise is still live.
+    // reference and only moves on success), so the promise/callback is
+    // still live and resolves inline on the submitting thread.
     SlateResult result;
     if (queue_.shut_down()) {
       result.status = Status::Cancelled("serving engine is shut down");
@@ -92,9 +122,8 @@ std::future<SlateResult> ServingEngine::Submit(
       recorder_.RecordReject();
       result.status = Status::Unavailable("request queue full");
     }
-    job->promise.set_value(std::move(result));
+    Resolve(job.get(), std::move(result));
   }
-  return future;
 }
 
 void ServingEngine::AttachBreakerStats(LatencySnapshot* snap) const {
@@ -191,7 +220,7 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
       SlateResult result;
       result.status =
           Status::DeadlineExceeded("deadline passed before scoring");
-      job->promise.set_value(std::move(result));
+      Resolve(job.get(), std::move(result));
     } else {
       live.push_back(std::move(job));
     }
@@ -315,7 +344,7 @@ void ServingEngine::ProcessBatch(std::vector<std::unique_ptr<Job>> jobs) {
     recorder_.RecordLatency(std::chrono::duration_cast<std::chrono::microseconds>(
                                 done - live[j]->enqueue_time)
                                 .count());
-    live[j]->promise.set_value(std::move(result));
+    Resolve(live[j].get(), std::move(result));
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 #include <vector>
@@ -124,6 +125,22 @@ class ServingEngine {
                                   std::vector<int32_t> candidates,
                                   int64_t deadline_micros);
 
+  /// Completion-callback delivery of one SlateResult. Fires exactly once
+  /// per submit, from whichever thread resolves the request.
+  using SlateCallback = std::function<void(SlateResult)>;
+
+  /// Callback form of Submit — the completion path of the event-loop RPC
+  /// frontend: instead of parking a thread on a future, `done` is invoked
+  /// exactly once with the SlateResult. It runs on the scoring worker that
+  /// finished the micro-batch, or inline on the submitting thread when the
+  /// request is rejected up front (queue full / engine shut down / deadline
+  /// already passed). `done` must be non-blocking and must not call back
+  /// into Shutdown(); the IO tier posts the result to its completion queue
+  /// and returns.
+  void SubmitWithCallback(const serving::Request& request,
+                          std::vector<int32_t> candidates,
+                          int64_t deadline_micros, SlateCallback done);
+
   /// Stops accepting requests, lets workers drain the backlog, joins them.
   /// Idempotent and safe under concurrent callers; the destructor calls it.
   void Shutdown() BASM_EXCLUDES(shutdown_mu_);
@@ -163,7 +180,15 @@ class ServingEngine {
     std::chrono::steady_clock::time_point enqueue_time;
     std::chrono::steady_clock::time_point deadline;
     std::promise<SlateResult> promise;
+    /// Non-null on the callback submit path; the promise is unused then.
+    SlateCallback callback;
   };
+
+  /// Delivers `result` to the job's caller: its callback when one was
+  /// attached (SubmitWithCallback), its promise otherwise.
+  static void Resolve(Job* job, SlateResult result);
+  /// Shared tail of both submit paths: enqueue or reject-resolve.
+  void Enqueue(std::unique_ptr<Job> job);
 
   void WorkerLoop();
   void ProcessBatch(std::vector<std::unique_ptr<Job>> jobs);

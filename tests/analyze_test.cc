@@ -148,6 +148,27 @@ TEST(AnalyzeBlockingTest, InlineAllowSuppresses) {
   EXPECT_EQ(report.suppressed_inline, 1);
 }
 
+// --- blocking-in-event-loop ------------------------------------------------
+
+TEST(AnalyzeIoLoopTest, BlockingWrapperAndSleepInLoopScopeAreFlagged) {
+  AnalyzeReport report = RunFixture("io_loop_bad.cc");
+  ASSERT_EQ(report.findings.size(), 2u) << Dump(report);
+  EXPECT_EQ(report.findings[0].rule, "blocking-in-event-loop");
+  EXPECT_EQ(report.findings[0].line, 11);
+  EXPECT_NE(report.findings[0].message.find("ReadAll"), std::string::npos);
+  EXPECT_EQ(report.findings[1].rule, "blocking-in-event-loop");
+  EXPECT_EQ(report.findings[1].line, 15);
+  EXPECT_NE(report.findings[1].message.find("usleep"), std::string::npos);
+  // Stop()'s join is lifecycle-exempt: no third finding.
+  EXPECT_EQ(Dump(report).find("join"), std::string::npos) << Dump(report);
+}
+
+TEST(AnalyzeIoLoopTest, InlineAllowSuppresses) {
+  AnalyzeReport report = RunFixture("io_loop_allowed.cc");
+  EXPECT_TRUE(report.findings.empty()) << Dump(report);
+  EXPECT_EQ(report.suppressed_inline, 1);
+}
+
 // --- hot-path-alloc --------------------------------------------------------
 
 TEST(AnalyzeHotPathTest, UnreservedGrowthIsFlagged) {
@@ -166,13 +187,14 @@ TEST(AnalyzeHotPathTest, ReserveAndInlineAllowSuppress) {
 
 // --- report plumbing -------------------------------------------------------
 
-TEST(AnalyzeReportTest, PassCatalogHasFourPasses) {
+TEST(AnalyzeReportTest, PassCatalogHasFivePasses) {
   std::vector<PassInfo> passes = Passes();
-  ASSERT_EQ(passes.size(), 4u);
+  ASSERT_EQ(passes.size(), 5u);
   EXPECT_EQ(passes[0].id, "include-layering");
   EXPECT_EQ(passes[1].id, "lock-order");
   EXPECT_EQ(passes[2].id, "blocking-under-lock");
-  EXPECT_EQ(passes[3].id, "hot-path-alloc");
+  EXPECT_EQ(passes[3].id, "blocking-in-event-loop");
+  EXPECT_EQ(passes[4].id, "hot-path-alloc");
 }
 
 TEST(AnalyzeReportTest, PassSelectionRestrictsRuns) {

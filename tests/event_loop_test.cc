@@ -1,0 +1,168 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace basm::net {
+namespace {
+
+TEST(EventLoopTest, StartStopIsIdempotentAndJoins) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  loop.Stop();
+  loop.Stop();  // idempotent
+}
+
+TEST(EventLoopTest, DestructorStops) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  // Falling out of scope must join without a hang (death by timeout if
+  // this contract breaks).
+}
+
+TEST(EventLoopTest, PostTaskRunsOnTheLoopThread) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  EXPECT_FALSE(loop.InLoopThread());
+
+  std::promise<bool> on_loop;
+  loop.PostTask([&] { on_loop.set_value(loop.InLoopThread()); });
+  EXPECT_TRUE(on_loop.get_future().get());
+  loop.Stop();
+}
+
+TEST(EventLoopTest, PostTaskFromTheLoopThreadRunsToo) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+
+  std::promise<int> second;
+  loop.PostTask([&] {
+    // Re-posting from the loop's own thread must not deadlock: the nested
+    // task runs later in the same or the next iteration.
+    loop.PostTask([&] { second.set_value(42); });
+  });
+  EXPECT_EQ(second.get_future().get(), 42);
+  loop.Stop();
+}
+
+TEST(EventLoopTest, StopDrainsTasksPostedBeforeIt) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    loop.PostTask([&ran] { ran.fetch_add(1); });
+  }
+  loop.Stop();
+  EXPECT_EQ(ran.load(), 100);
+  // After Stop, posts are dropped (documented), never crash.
+  loop.PostTask([&ran] { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(EventLoopTest, DispatchesFdReadinessAndRemovalMidDispatchIsSafe) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+
+  int fds[2];
+  ASSERT_EQ(::pipe2(fds, O_NONBLOCK), 0);
+
+  std::promise<uint32_t> dispatched;
+  loop.PostTask([&] {
+    Status added = loop.AddFd(fds[0], EPOLLIN, [&](uint32_t events) {
+      char buf[8];
+      while (::read(fds[0], buf, sizeof(buf)) > 0) {
+      }
+      // The handler removes its own registration while the loop is still
+      // dispatching it — the documented mid-dispatch contract.
+      loop.RemoveFd(fds[0]);
+      dispatched.set_value(events);
+    });
+    ASSERT_TRUE(added.ok());
+  });
+
+  char byte = 'x';
+  ASSERT_EQ(::write(fds[1], &byte, 1), 1);
+  EXPECT_TRUE(dispatched.get_future().get() & EPOLLIN);
+
+  // The registration is gone: the table is empty again.
+  std::promise<size_t> registered;
+  loop.PostTask([&] { registered.set_value(loop.num_fds()); });
+  EXPECT_EQ(registered.get_future().get(), 0u);
+
+  loop.Stop();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(EventLoopTest, UpdateFdChangesTheInterestMask) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+
+  int fds[2];
+  ASSERT_EQ(::pipe2(fds, O_NONBLOCK), 0);
+
+  std::atomic<int> read_events{0};
+  std::promise<void> armed;
+  loop.PostTask([&] {
+    // Register with an empty mask: readiness must NOT dispatch.
+    ASSERT_TRUE(loop.AddFd(fds[0], 0, [&](uint32_t events) {
+      if (events & EPOLLIN) {
+        char buf[8];
+        while (::read(fds[0], buf, sizeof(buf)) > 0) {
+        }
+        read_events.fetch_add(1);
+      }
+    }).ok());
+    armed.set_value();
+  });
+  armed.get_future().get();
+
+  char byte = 'y';
+  ASSERT_EQ(::write(fds[1], &byte, 1), 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(read_events.load(), 0) << "masked-out readiness dispatched";
+
+  // Arm EPOLLIN: the already-pending byte dispatches (level-triggered).
+  std::promise<void> updated;
+  loop.PostTask([&] {
+    ASSERT_TRUE(loop.UpdateFd(fds[0], EPOLLIN).ok());
+    updated.set_value();
+  });
+  updated.get_future().get();
+  for (int i = 0; i < 200 && read_events.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(read_events.load(), 1);
+
+  loop.Stop();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(EventLoopTest, ManyProducersManyTasks) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 8; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        loop.PostTask([&ran] { ran.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  loop.Stop();
+  EXPECT_EQ(ran.load(), 8 * 500);
+}
+
+}  // namespace
+}  // namespace basm::net

@@ -1,0 +1,28 @@
+// Fixture: blocking calls inside event-loop scope — a poll-and-continue
+// socket wrapper in a readiness handler and a sleep in a task — plus a
+// lifecycle Stop() whose join must NOT be flagged (owner-thread territory).
+#include "net/event_loop.h"
+
+namespace fixture {
+
+class EventLoop {
+ public:
+  void HandleReadable() {
+    conn_.ReadAll(buf_, sizeof(buf_));
+  }
+
+  void RunTask() {
+    usleep(1000);
+  }
+
+  void Stop() {
+    thread_.join();
+  }
+
+ private:
+  Conn conn_;
+  Thread thread_;
+  char buf_[16];
+};
+
+}  // namespace fixture

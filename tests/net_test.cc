@@ -1,8 +1,11 @@
 #include <chrono>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/socket.h>
 
 #include "common/rng.h"
 #include "data/synth.h"
@@ -10,6 +13,7 @@
 #include "gtest/gtest.h"
 #include "core/model_zoo.h"
 #include "net/client.h"
+#include "net/epoll_server.h"
 #include "net/router.h"
 #include "net/server.h"
 #include "net/socket.h"
@@ -659,6 +663,441 @@ TEST_F(NetServingTest, ServerStopsCleanlyWithConnectedClients) {
 
   // Stop with the connection still open: handler loops notice the stop
   // flag and exit; Stop() joins everything without a hang.
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+// ------------------------------------------------- epoll event-loop tier --
+
+/// Reads one full response frame off a raw (blocking) connection.
+StatusOr<RpcResponse> ReadOneResponse(TcpConnection& conn) {
+  uint8_t header_bytes[kFrameHeaderBytes];
+  BASM_RETURN_IF_ERROR(conn.ReadAll(header_bytes, kFrameHeaderBytes));
+  FrameHeader header;
+  BASM_RETURN_IF_ERROR(
+      DecodeFrameHeader(header_bytes, kFrameHeaderBytes, &header));
+  if (header.type != FrameType::kResponse) {
+    return Status::InvalidArgument("expected a response frame");
+  }
+  std::vector<uint8_t> payload(header.payload_size);
+  BASM_RETURN_IF_ERROR(conn.ReadAll(payload.data(), payload.size()));
+  BASM_RETURN_IF_ERROR(VerifyPayload(header, payload.data(), payload.size()));
+  RpcResponse response;
+  BASM_RETURN_IF_ERROR(
+      DecodeResponsePayload(payload.data(), payload.size(), &response));
+  return response;
+}
+
+TEST_F(NetServingTest, EpollLoopbackCallRoundTrips) {
+  auto replicas = MakeReplicas(1);
+  Router router(1, RouterConfig{});
+  EpollRpcServer server(Borrow(replicas), &router, EpollServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  StatusOr<RpcClient> client = RpcClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  RpcRequest request;
+  request.request.user_id = 3;
+  request.request.hour = 12;
+  request.request.city = world_->user(3).city;
+  request.request.request_id = 1;
+  StatusOr<RpcResponse> response = client.value().Call(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().code, StatusCode::kOk);
+  EXPECT_EQ(response.value().replica, 0u);
+  EXPECT_EQ(static_cast<int32_t>(response.value().slate.size()),
+            pipeline_->expose_k());
+  for (size_t i = 0; i < response.value().slate.size(); ++i) {
+    EXPECT_EQ(response.value().slate[i].position, static_cast<int32_t>(i));
+  }
+
+  EpollServerStats stats = server.stats();
+  EXPECT_EQ(stats.core.connections_accepted, 1);
+  EXPECT_EQ(stats.core.frames_received, 1);
+  EXPECT_EQ(stats.core.responses_sent, 1);
+  server.Stop();
+}
+
+TEST_F(NetServingTest, EpollMalformedFrameCorpusRejected) {
+  // The same malformed-header corpus the codec tests run, replayed against
+  // the live epoll frontend: every mutation must produce a wire error
+  // response (sequence 0, no replica) followed by a close — identical to
+  // the blocking server's contract.
+  auto replicas = MakeReplicas(1);
+  Router router(1, RouterConfig{});
+  EpollRpcServer server(Borrow(replicas), &router, EpollServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<uint8_t> good = EncodeRequestFrame(SampleRequest());
+  struct Mutation {
+    const char* name;
+    size_t offset;
+    uint8_t value;
+  };
+  const Mutation corpus[] = {
+      {"bad magic", 0, 0xFF},
+      {"wrong version", 4, kWireVersion + 1},
+      {"unknown frame type", 5, 99},
+      {"nonzero reserved flag (low)", 6, 1},
+      {"nonzero reserved flag (high)", 7, 0x80},
+      {"oversized payload length", 11, 0xFF},
+  };
+  int64_t expected_errors = 0;
+  for (const Mutation& m : corpus) {
+    SCOPED_TRACE(m.name);
+    std::vector<uint8_t> frame = good;
+    frame[m.offset] = m.value;
+
+    StatusOr<TcpConnection> raw =
+        TcpConnection::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(raw.value().WriteAll(frame.data(), frame.size()).ok());
+
+    StatusOr<RpcResponse> response = ReadOneResponse(raw.value());
+    ASSERT_TRUE(response.ok());
+    EXPECT_NE(response.value().code, StatusCode::kOk);
+    EXPECT_EQ(response.value().sequence, 0u);
+    EXPECT_EQ(response.value().replica, kNoReplica);
+
+    // Closed after the error: next read sees EOF, not a hang.
+    uint8_t byte = 0;
+    EXPECT_FALSE(raw.value().ReadAll(&byte, 1).ok());
+    ++expected_errors;
+  }
+
+  // Corrupt payload checksum behind a valid header: same contract.
+  {
+    SCOPED_TRACE("corrupt checksum");
+    std::vector<uint8_t> frame = good;
+    frame.back() ^= 0x40;
+    StatusOr<TcpConnection> raw =
+        TcpConnection::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(raw.value().WriteAll(frame.data(), frame.size()).ok());
+    StatusOr<RpcResponse> response = ReadOneResponse(raw.value());
+    ASSERT_TRUE(response.ok());
+    EXPECT_NE(response.value().code, StatusCode::kOk);
+    uint8_t byte = 0;
+    EXPECT_FALSE(raw.value().ReadAll(&byte, 1).ok());
+    ++expected_errors;
+  }
+
+  EXPECT_EQ(server.stats().core.decode_errors, expected_errors);
+  server.Stop();
+}
+
+TEST_F(NetServingTest, EpollPipelinedOutOfOrderMatchesSerialSlates) {
+  // The ISSUE acceptance bar: slates served through the pipelined
+  // out-of-order path are bit-identical to the serial blocking path. Same
+  // deterministic model, two transports; any divergence is a frontend bug.
+  constexpr int kRequests = 24;
+  std::vector<RpcRequest> requests;
+  for (int i = 0; i < kRequests; ++i) {
+    RpcRequest r;
+    r.request.user_id = (i * 7) % NetWorldConfig().num_users;
+    r.request.hour = 11 + (i % 3);
+    r.request.weekday = i % 7;
+    r.request.city = world_->user(r.request.user_id).city;
+    r.request.request_id = 1000 + i;
+    r.deadline_micros = 2'000'000;
+    requests.push_back(r);
+  }
+
+  // Serial reference through the blocking thread-per-connection server.
+  std::vector<std::vector<serving::RankedItem>> expected;
+  {
+    auto replicas = MakeReplicas(1);
+    Router router(1, RouterConfig{});
+    RpcServer server(Borrow(replicas), &router, ServerConfig{});
+    ASSERT_TRUE(server.Start().ok());
+    StatusOr<RpcClient> client =
+        RpcClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    for (const RpcRequest& r : requests) {
+      StatusOr<RpcResponse> response = client.value().Call(r);
+      ASSERT_TRUE(response.ok());
+      ASSERT_EQ(response.value().code, StatusCode::kOk);
+      expected.push_back(response.value().slate);
+    }
+    server.Stop();
+  }
+
+  // Pipelined: the whole batch in flight at once, responses demuxed by
+  // sequence in whatever order the engine completes them.
+  auto replicas = MakeReplicas(1);
+  Router router(1, RouterConfig{});
+  EpollServerConfig config;
+  config.max_in_flight_per_connection = kRequests;  // nothing sheds
+  EpollRpcServer server(Borrow(replicas), &router, config);
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<RpcClient> client = RpcClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  std::map<uint64_t, size_t> sequence_to_index;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    StatusOr<uint64_t> sequence = client.value().Send(requests[i]);
+    ASSERT_TRUE(sequence.ok());
+    sequence_to_index[sequence.value()] = i;
+  }
+  std::vector<std::vector<serving::RankedItem>> got(requests.size());
+  std::vector<bool> seen(requests.size(), false);
+  for (int i = 0; i < kRequests; ++i) {
+    StatusOr<RpcResponse> response = client.value().Receive(10000);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response.value().code, StatusCode::kOk);
+    auto it = sequence_to_index.find(response.value().sequence);
+    ASSERT_NE(it, sequence_to_index.end()) << "unknown sequence";
+    ASSERT_FALSE(seen[it->second]) << "duplicate response";
+    seen[it->second] = true;
+    got[it->second] = response.value().slate;
+  }
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_EQ(got[i].size(), expected[i].size()) << "request " << i;
+    for (size_t k = 0; k < got[i].size(); ++k) {
+      EXPECT_EQ(got[i][k].item_id, expected[i][k].item_id)
+          << "request " << i << " slot " << k;
+      // Bit-identical scores, not approximately equal: both paths must run
+      // the exact same scoring computation.
+      EXPECT_EQ(got[i][k].score, expected[i][k].score)
+          << "request " << i << " slot " << k;
+      EXPECT_EQ(got[i][k].position, expected[i][k].position);
+    }
+  }
+  server.Stop();
+}
+
+TEST_F(NetServingTest, EpollInFlightCapShedsCleanly) {
+  // A greedy pipelined client bursts far past the per-connection in-flight
+  // cap: the overflow is shed with UNAVAILABLE (never dropped, never
+  // disconnects), accepted frames complete, and the connection stays
+  // usable afterwards.
+  auto replicas = MakeReplicas(1);
+  Router router(1, RouterConfig{});
+  EpollServerConfig config;
+  config.num_loops = 1;
+  config.max_in_flight_per_connection = 2;
+  EpollRpcServer server(Borrow(replicas), &router, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  StatusOr<TcpConnection> raw =
+      TcpConnection::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(raw.ok());
+
+  constexpr int kBurst = 32;
+  std::vector<uint8_t> burst;
+  for (int i = 0; i < kBurst; ++i) {
+    RpcRequest r;
+    r.sequence = static_cast<uint64_t>(i + 1);
+    r.request.user_id = 3;
+    r.request.city = world_->user(3).city;
+    r.request.request_id = i;
+    r.deadline_micros = 5'000'000;
+    std::vector<uint8_t> frame = EncodeRequestFrame(r);
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(raw.value().WriteAll(burst.data(), burst.size()).ok());
+
+  int64_t ok = 0, shed = 0;
+  std::vector<bool> answered(kBurst + 1, false);
+  for (int i = 0; i < kBurst; ++i) {
+    StatusOr<RpcResponse> response = ReadOneResponse(raw.value());
+    ASSERT_TRUE(response.ok()) << "response " << i;
+    ASSERT_GE(response.value().sequence, 1u);
+    ASSERT_LE(response.value().sequence, static_cast<uint64_t>(kBurst));
+    ASSERT_FALSE(answered[response.value().sequence]) << "duplicate";
+    answered[response.value().sequence] = true;
+    if (response.value().code == StatusCode::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(response.value().code, StatusCode::kUnavailable);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GE(ok, 2) << "capped frames must still complete";
+  EXPECT_GT(shed, 0) << "a 32-frame burst against cap 2 must shed";
+  EXPECT_EQ(server.stats().shed_pipeline, shed);
+
+  // The shed path is per-frame, not per-connection: the next lock-step
+  // request on the same connection succeeds.
+  RpcRequest again;
+  again.sequence = 999;
+  again.request.user_id = 3;
+  again.request.city = world_->user(3).city;
+  std::vector<uint8_t> frame = EncodeRequestFrame(again);
+  ASSERT_TRUE(raw.value().WriteAll(frame.data(), frame.size()).ok());
+  StatusOr<RpcResponse> response = ReadOneResponse(raw.value());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().code, StatusCode::kOk);
+  EXPECT_EQ(response.value().sequence, 999u);
+  server.Stop();
+}
+
+TEST_F(NetServingTest, EpollSlowReaderBackpressureNeverBlocksTheLoop) {
+  // A client that writes thousands of frames and reads nothing: its output
+  // backlog crosses the cap, its reads pause, and — the point of the test —
+  // the single IO loop keeps serving other connections the whole time. No
+  // thread ever blocks on the slow reader's socket.
+  auto replicas = MakeReplicas(1);
+  Router router(1, RouterConfig{});
+  EpollServerConfig config;
+  config.num_loops = 1;  // the slow reader and the probe share one loop
+  config.send_buffer_bytes = 4096;
+  config.max_output_backlog_bytes = 8192;
+  EpollRpcServer server(Borrow(replicas), &router, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  StatusOr<TcpConnection> slow =
+      TcpConnection::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(slow.ok());
+  // Clamp the slow reader's receive buffer too, so unread responses cannot
+  // drain into kernel slack — the server-side backlog must actually grow.
+  int rcvbuf = 4096;
+  ASSERT_EQ(setsockopt(slow.value().fd(), SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                       sizeof(rcvbuf)),
+            0);
+
+  constexpr int kFrames = 2000;
+  std::thread writer([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      RpcRequest r;
+      r.sequence = static_cast<uint64_t>(i + 1);
+      r.request.user_id = 3;
+      r.request.city = world_->user(3).city;
+      r.request.request_id = i;
+      r.deadline_micros = 30'000'000;
+      std::vector<uint8_t> frame = EncodeRequestFrame(r);
+      // Blocks once the server pauses reads and the buffers fill — that is
+      // the backpressure propagating to the client, by design.
+      ASSERT_TRUE(slow.value().WriteAll(frame.data(), frame.size()).ok());
+    }
+  });
+
+  // Wait for the backlog to cross the cap at least once.
+  bool paused = false;
+  for (int i = 0; i < 2000 && !paused; ++i) {
+    paused = server.stats().backpressure_pauses > 0;
+    if (!paused) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(paused) << "output backlog never crossed the cap";
+
+  // Liveness probe: a second connection on the SAME loop is served while
+  // the slow reader sits paused with a full output queue.
+  StatusOr<RpcClient> probe =
+      RpcClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(probe.ok());
+  RpcRequest ping;
+  ping.request.user_id = 5;
+  ping.request.city = world_->user(5).city;
+  StatusOr<RpcResponse> pong = probe.value().Call(ping);
+  ASSERT_TRUE(pong.ok()) << "IO loop blocked behind a slow reader";
+  // The round trip is the liveness proof. The engine may legitimately shed
+  // or deadline the probe while digesting the flood (sanitizer builds are
+  // slow enough to hit this) — only a transport-level failure would mean
+  // the loop was blocked.
+  EXPECT_TRUE(pong.value().code == StatusCode::kOk ||
+              pong.value().code == StatusCode::kUnavailable ||
+              pong.value().code == StatusCode::kDeadlineExceeded)
+      << "unexpected probe code " << static_cast<int>(pong.value().code);
+
+  // Now drain: every one of the kFrames frames gets exactly one response
+  // (OK, shed, or deadline-exceeded — never silently dropped).
+  std::vector<bool> answered(kFrames + 1, false);
+  for (int i = 0; i < kFrames; ++i) {
+    StatusOr<RpcResponse> response = ReadOneResponse(slow.value());
+    ASSERT_TRUE(response.ok()) << "response " << i;
+    uint64_t sequence = response.value().sequence;
+    ASSERT_GE(sequence, 1u);
+    ASSERT_LE(sequence, static_cast<uint64_t>(kFrames));
+    ASSERT_FALSE(answered[sequence]) << "duplicate sequence " << sequence;
+    answered[sequence] = true;
+  }
+  writer.join();
+  EXPECT_GE(server.stats().backpressure_pauses, 1);
+  server.Stop();
+}
+
+TEST_F(NetServingTest, EpollPipelinedFleetCompletesAllClients) {
+  auto replicas = MakeReplicas(2);
+  Router router(2, RouterConfig{});
+  EpollServerConfig config;
+  config.num_loops = 2;
+  EpollRpcServer server(Borrow(replicas), &router, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  FleetConfig fleet_config;
+  fleet_config.num_clients = 8;
+  fleet_config.num_requests = 400;
+  fleet_config.pipeline_window = 8;
+  fleet_config.deadline_micros = 5'000'000;
+  ClientFleet fleet(*world_, fleet_config);
+  StatusOr<FleetReport> report = fleet.Run("127.0.0.1", server.port());
+  ASSERT_TRUE(report.ok());
+
+  const FleetReport& r = report.value();
+  EXPECT_EQ(r.sent, 400);
+  EXPECT_EQ(r.ok, 400);
+  EXPECT_EQ(r.transport_errors, 0);
+  EXPECT_EQ(r.rehomed_users, 0);
+  EXPECT_EQ(r.clients_served, 8);
+  server.Stop();
+}
+
+TEST_F(NetServingTest, EpollKilledReplicaTripsBreakerAndFailsOver) {
+  RouterConfig router_config;
+  router_config.breaker.failure_threshold = 3;
+  router_config.breaker.open_micros = 60'000'000;
+  auto replicas = MakeReplicas(3);
+  Router router(3, router_config);
+  EpollRpcServer server(Borrow(replicas), &router, EpollServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  FleetConfig fleet_config;
+  fleet_config.num_clients = 4;
+  fleet_config.num_requests = 200;
+  fleet_config.pipeline_window = 4;
+  ClientFleet fleet(*world_, fleet_config);
+
+  StatusOr<FleetReport> baseline = fleet.Run("127.0.0.1", server.port());
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline.value().ok, 200);
+  ASSERT_EQ(baseline.value().rehomed_users, 0);
+  ASSERT_GT(baseline.value().per_replica_ok[1], 0)
+      << "no traffic on the replica the test is about to kill";
+
+  replicas[1]->Shutdown();
+
+  StatusOr<FleetReport> failover = fleet.Run("127.0.0.1", server.port());
+  ASSERT_TRUE(failover.ok());
+  const FleetReport& r = failover.value();
+  EXPECT_EQ(r.sent, 200);
+  EXPECT_GE(r.ok, (r.sent * 99) / 100);
+  EXPECT_GT(r.rehomed_users, 0) << "the dead replica's users must re-home";
+  if (r.per_replica_ok.size() > 1) {
+    EXPECT_EQ(r.per_replica_ok[1], 0) << "dead replica answered a request";
+  }
+  EXPECT_GE(router.BreakerStats(1).opens, 1);
+  EXPECT_GT(server.stats().core.failover_retries, 0);
+  server.Stop();
+}
+
+TEST_F(NetServingTest, EpollServerStopsCleanlyWithConnectedClients) {
+  auto replicas = MakeReplicas(1);
+  Router router(1, RouterConfig{});
+  EpollRpcServer server(Borrow(replicas), &router, EpollServerConfig{});
+  ASSERT_TRUE(server.Start().ok());
+
+  StatusOr<RpcClient> client = RpcClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  RpcRequest request;
+  request.request.user_id = 1;
+  request.request.city = world_->user(1).city;
+  ASSERT_TRUE(client.value().Call(request).ok());
+
+  // Stop with the connection open and nothing in flight: the loops join,
+  // every connection closes, no callback runs after teardown.
   server.Stop();
   server.Stop();  // idempotent
 }

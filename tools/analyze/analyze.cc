@@ -8,6 +8,7 @@
 #include "tools/analyze/blocking_calls.h"
 #include "tools/analyze/hot_path.h"
 #include "tools/analyze/include_graph.h"
+#include "tools/analyze/io_loop.h"
 #include "tools/analyze/lock_order.h"
 #include "tools/analyze/model.h"
 #include "tools/analyze/scanner.h"
@@ -95,6 +96,11 @@ std::vector<PassInfo> Passes() {
        "syscalls, sleeps, joins and queue waits made under a basm::Mutex "
        "stall every waiter of that lock; blocking sections must drop the "
        "lock (snapshot + revalidate)"},
+      {"blocking-in-event-loop",
+       "IO loop threads serve every connection of their shard, so event-loop "
+       "scope (EventLoop, EpollRpcServer handlers) must never park: no "
+       "blocking syscalls, CondVar waits, or poll-and-continue wrappers "
+       "(ReadAll/WriteAll/Accept/Submit) — only Chunk/Try/Async variants"},
       {"hot-path-alloc",
        "per-request scoring and wire-decode paths must not hit the "
        "allocator; memory comes from the TensorArena or pre-reserved "
@@ -148,6 +154,9 @@ AnalyzeReport Analyze(const std::vector<std::string>& paths,
   }
   if (PassSelected(options, "blocking-under-lock")) {
     append(RunBlockingCalls(scans, model));
+  }
+  if (PassSelected(options, "blocking-in-event-loop")) {
+    append(RunIoLoop(scans));
   }
   if (PassSelected(options, "hot-path-alloc")) {
     append(RunHotPath(scans));

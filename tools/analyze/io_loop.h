@@ -1,0 +1,23 @@
+#ifndef BASM_TOOLS_ANALYZE_IO_LOOP_H_
+#define BASM_TOOLS_ANALYZE_IO_LOOP_H_
+
+#include <vector>
+
+#include "tools/analyze/scanner.h"
+#include "tools/lint.h"
+
+namespace basm::analyze {
+
+/// Pass `blocking-in-event-loop`: the IO loop threads of the epoll frontend
+/// serve every connection of their shard, so ONE blocking call inside loop
+/// scope stalls them all — a stricter rule than blocking-under-lock (which
+/// only cares about held mutexes). Flags blocking syscall tokens, CondVar
+/// waits, and the repo's own blocking wrappers (ReadAll/WriteAll/Accept/
+/// WaitReadable/...) inside methods of the event-loop classes. Lifecycle
+/// methods (constructor/destructor/Start/Stop) are exempt: they run on the
+/// owner's thread, where joining and waiting is the whole point.
+std::vector<lint::Finding> RunIoLoop(const std::vector<FileScan>& files);
+
+}  // namespace basm::analyze
+
+#endif  // BASM_TOOLS_ANALYZE_IO_LOOP_H_

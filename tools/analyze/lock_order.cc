@@ -34,6 +34,11 @@ const std::vector<std::pair<const char*, const char*>>& AllowedEdges() {
       // Server lifecycle drains its handler pool (and the pool's queue).
       {"RpcServer::lifecycle_mu_", "ThreadPool::mu_"},
       {"RpcServer::lifecycle_mu_", "BlockingQueue::mu_"},
+      // Epoll server lifecycle starts/stops its IO loops (each loop has its
+      // own lifecycle and task locks) and waits out in-flight submissions.
+      {"EpollRpcServer::lifecycle_mu_", "EventLoop::lifecycle_mu_"},
+      {"EpollRpcServer::lifecycle_mu_", "EventLoop::task_mu_"},
+      {"EpollRpcServer::lifecycle_mu_", "EpollRpcServer::pending_mu_"},
   };
   return kAllowed;
 }

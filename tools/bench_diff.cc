@@ -4,7 +4,10 @@
 // --max-regression=N). Two sections are understood:
 //
 //   "gemm" (BENCH_kernels.json)  — GFLOP/s per (m,k,n,backend) cell
-//   "net"  (BENCH_serving.json)  — qps per replica-count cell
+//   "net"  (BENCH_serving.json)  — qps per cell, keyed by the composite
+//          (frontend, replicas, connections, window); the replica sweep
+//          carries only "replicas", the connection-scaling and pipelining
+//          sweeps add "frontend"/"connections"/"window"
 //
 //   bench_diff <baseline.json> <current.json> [--max-regression=20]
 //
@@ -224,14 +227,31 @@ std::string CellKey(const Cell& cell) {
 }
 
 struct NetCell {
+  /// Composite identity: the replica sweep keys on `replicas`, the
+  /// connection-scaling and pipelining sweeps on frontend/connections/
+  /// window. Absent keys stay at their defaults on both sides, so old
+  /// baselines (replicas-only cells) keep matching.
+  std::string frontend;
   long replicas = 0;
+  long connections = 0;
+  long window = 0;
   double qps = -1.0;
 };
 
-/// Extracts every cell of the "net" replica sweep from one
-/// BENCH_serving.json text. The cells are flat objects keyed by "replicas"
-/// with one gated metric, "qps"; other keys (latency percentiles, shed
-/// counts) ride along ungated because they vary legitimately run to run.
+std::string NetCellKey(const NetCell& cell) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "frontend=%s replicas=%ld connections=%ld window=%ld",
+                cell.frontend.empty() ? "-" : cell.frontend.c_str(),
+                cell.replicas, cell.connections, cell.window);
+  return buf;
+}
+
+/// Extracts every cell of the "net" sweeps from one BENCH_serving.json
+/// text. The cells are flat objects keyed by "replicas" (replica sweep) or
+/// "frontend"/"connections"/"window" (scaling and pipelining sweeps) with
+/// one gated metric, "qps"; other keys (latency percentiles, shed counts)
+/// ride along ungated because they vary legitimately run to run.
 std::vector<NetCell> ParseNetCells(const std::string& text) {
   std::vector<NetCell> cells;
   size_t pos = text.find("\"net\"");
@@ -280,17 +300,27 @@ std::vector<NetCell> ParseNetCells(const std::string& text) {
           ++pos;
           continue;
         }
+        if (pos < text.size() && text[pos] == '"') {
+          // String value: the frontend tag is part of the cell identity;
+          // any other string rides along ungated.
+          std::string string_value;
+          if (!ParseString(text, &pos, &string_value)) break;
+          if (depth == 1 && key == "frontend") cell.frontend = string_value;
+          continue;
+        }
         double value = 0;
         size_t value_start = pos;
         if (!ParseNumber(text, &pos, &value)) {
-          // Non-numeric value (string, bool, null, array): not a gated
-          // metric — skip it and keep walking the object.
+          // Non-numeric value (bool, null, array): not a gated metric —
+          // skip it and keep walking the object.
           pos = value_start;
           if (!SkipValue(text, &pos)) break;
           continue;
         }
         if (depth == 1) {
           if (key == "replicas") cell.replicas = static_cast<long>(value);
+          else if (key == "connections") cell.connections = static_cast<long>(value);
+          else if (key == "window") cell.window = static_cast<long>(value);
           else if (key == "qps") cell.qps = value;
         }
         continue;
@@ -303,19 +333,20 @@ std::vector<NetCell> ParseNetCells(const std::string& text) {
 }
 
 /// Gates the qps of each baseline net cell against the current run's cell
-/// for the same replica count. Returns the number of regressions; bumps
-/// *compared per matched cell.
+/// with the same composite identity (frontend, replicas, connections,
+/// window). Returns the number of regressions; bumps *compared per matched
+/// cell.
 int CompareNetCells(const std::vector<NetCell>& baseline,
                     const std::vector<NetCell>& current,
                     double max_regression_pct, int* compared) {
-  std::map<long, double> current_by_replicas;
-  for (const NetCell& cell : current) current_by_replicas[cell.replicas] = cell.qps;
+  std::map<std::string, double> current_by_key;
+  for (const NetCell& cell : current) current_by_key[NetCellKey(cell)] = cell.qps;
   int regressions = 0;
   for (const NetCell& base : baseline) {
-    auto it = current_by_replicas.find(base.replicas);
-    if (it == current_by_replicas.end()) {
-      std::printf("  [skip] net replicas=%ld: not in current run\n",
-                  base.replicas);
+    auto it = current_by_key.find(NetCellKey(base));
+    if (it == current_by_key.end()) {
+      std::printf("  [skip] net %s: not in current run\n",
+                  NetCellKey(base).c_str());
       continue;
     }
     ++*compared;
@@ -323,8 +354,8 @@ int CompareNetCells(const std::vector<NetCell>& baseline,
     double delta_pct = 100.0 * (it->second - base.qps) / base.qps;
     if (delta_pct < -max_regression_pct) {
       ++regressions;
-      std::printf("  [FAIL] net replicas=%ld: %.3f -> %.3f qps (%.1f%%)\n",
-                  base.replicas, base.qps, it->second, delta_pct);
+      std::printf("  [FAIL] net %s: %.3f -> %.3f qps (%.1f%%)\n",
+                  NetCellKey(base).c_str(), base.qps, it->second, delta_pct);
     }
   }
   return regressions;
